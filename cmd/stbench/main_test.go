@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"st4ml/internal/bench"
+)
+
+// TestRunAllTiny smoke-tests the whole driver at a tiny scale — every
+// experiment must produce output without error.
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	// Redirect stdout noise away from test output? The driver prints to
+	// stdout; that is fine under go test.
+	err := run("all", bench.Scale{
+		Events: 5_000, Trajs: 500, POIs: 2_000, Areas: 36, AirSta: 3,
+	}, 2, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work dir persisted stores.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("no stores created: %v", err)
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	if err := run("table8", bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("table9", bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	if err := run("nonsense", bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Command stquery runs an ad-hoc ST range selection against a dataset
+// ingested with stload, reporting how much the metadata index pruned and
+// how many records matched.
+//
+// Usage:
+//
+//	stquery -dir /data/nyc -dataset nyc \
+//	    -minx -74.0 -miny 40.7 -maxx -73.9 -maxy 40.8 \
+//	    -tstart 1357000000 -tend 1360000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+	"st4ml/internal/tempo"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "dataset directory (required)")
+		dataset = flag.String("dataset", "nyc", "schema: nyc|porto|air|osm")
+		minx    = flag.Float64("minx", -180, "window min longitude")
+		miny    = flag.Float64("miny", -90, "window min latitude")
+		maxx    = flag.Float64("maxx", 180, "window max longitude")
+		maxy    = flag.Float64("maxy", 90, "window max latitude")
+		tstart  = flag.Int64("tstart", 0, "window start (unix seconds)")
+		tend    = flag.Int64("tend", 1<<60, "window end (unix seconds)")
+		full    = flag.Bool("full-scan", false, "skip metadata pruning (native path)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "stquery: -dir is required")
+		os.Exit(2)
+	}
+	ctx := engine.New(engine.Config{})
+	w := selection.Window{
+		Space: geom.Box(*minx, *miny, *maxx, *maxy),
+		Time:  tempo.New(*tstart, *tend),
+	}
+	stats, err := query(ctx, *dataset, *dir, w, *full)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stquery:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("partitions: %d/%d loaded\nrecords: %d loaded, %d selected\nbytes read: %d\n",
+		stats.LoadedPartitions, stats.TotalPartitions,
+		stats.LoadedRecords, stats.SelectedRecords, stats.LoadedBytes)
+}
+
+func query(ctx *engine.Context, dataset, dir string, w selection.Window, full bool) (selection.Stats, error) {
+	switch dataset {
+	case "nyc":
+		sel := selection.New(ctx, stdata.EventRecC, stdata.EventRec.Box, nil,
+			selection.Config{Index: true})
+		if full {
+			_, st, err := sel.Select(dir, w)
+			return st, err
+		}
+		_, st, err := sel.SelectPruned(dir, w)
+		return st, err
+	case "porto":
+		sel := selection.New(ctx, stdata.TrajRecC, stdata.TrajRec.Box, nil,
+			selection.Config{Index: true})
+		if full {
+			_, st, err := sel.Select(dir, w)
+			return st, err
+		}
+		_, st, err := sel.SelectPruned(dir, w)
+		return st, err
+	case "air":
+		sel := selection.New(ctx, stdata.AirRecC, stdata.AirRec.Box, nil,
+			selection.Config{Index: true})
+		if full {
+			_, st, err := sel.Select(dir, w)
+			return st, err
+		}
+		_, st, err := sel.SelectPruned(dir, w)
+		return st, err
+	case "osm":
+		sel := selection.New(ctx, stdata.POIRecC, stdata.POIRec.Box, nil,
+			selection.Config{Index: true})
+		if full {
+			_, st, err := sel.Select(dir, w)
+			return st, err
+		}
+		_, st, err := sel.SelectPruned(dir, w)
+		return st, err
+	}
+	return selection.Stats{}, fmt.Errorf("unknown dataset %q", dataset)
+}

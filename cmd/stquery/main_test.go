@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/partition"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+	"st4ml/internal/tempo"
+)
+
+func ingestNYC(t *testing.T, ctx *engine.Context, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	recs := datagen.NYC(n, 1)
+	r := engine.Parallelize(ctx, recs, 0)
+	if _, err := selection.Ingest(r, dir, stdata.EventRecC, stdata.EventRec.Box,
+		partition.TSTR{GT: 4, GS: 4},
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestQueryAllSchemas(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	dir := ingestNYC(t, ctx, 2000)
+	w := selection.Window{
+		Space: geom.Box(-74.0, 40.7, -73.9, 40.8),
+		Time:  tempo.New(datagen.Year2013.Start, datagen.Year2013.End),
+	}
+	pruned, err := query(ctx, "nyc", dir, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := query(ctx, "nyc", dir, w, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.SelectedRecords != full.SelectedRecords {
+		t.Errorf("pruned selected %d, full %d", pruned.SelectedRecords, full.SelectedRecords)
+	}
+	if full.LoadedPartitions != full.TotalPartitions {
+		t.Errorf("full scan should load everything: %+v", full)
+	}
+	if _, err := query(ctx, "unknown", dir, w, false); err == nil {
+		t.Error("unknown schema should error")
+	}
+}

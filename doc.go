@@ -1,0 +1,28 @@
+// Package st4ml is a Go reproduction of "ST4ML: Machine Learning Oriented
+// Spatio-Temporal Data Processing at Scale" (SIGMOD 2023): a distributed
+// spatio-temporal data processing system for ML feature extraction built on
+// a three-stage Selection–Conversion–Extraction pipeline.
+//
+// The implementation lives under internal/:
+//
+//   - internal/engine     — the Spark-like dataflow substrate (lazy RDDs,
+//     shuffles with real serialization cost, broadcast, metrics)
+//   - internal/geom, internal/tempo — spatial & temporal primitives
+//   - internal/index      — R-tree (STR bulk load + dynamic) and Z-curves
+//   - internal/instance   — the five ST instances (§3.2.1)
+//   - internal/partition  — Hash/STR/Quadtree/T-balance/T-STR/KD/Grid
+//   - internal/storage    — partitioned on-disk store with ST metadata
+//   - internal/selection  — the Selection stage (§3.1, §4.1)
+//   - internal/convert    — instance conversions with §4.2 optimizations
+//   - internal/extract    — Table 3 extractors and Table 4 RDD APIs
+//   - internal/roadnet, internal/mapmatch — road graphs and HMM matching
+//   - internal/core       — the public pipeline facade (§3.4)
+//   - internal/baseline   — GeoSpark-like and GeoMesa-like comparators
+//   - internal/bench      — the experiment harness for every paper figure
+//
+// See README.md for a tour, DESIGN.md for the architecture and substitution
+// notes, and EXPERIMENTS.md for reproduced results.
+package st4ml
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

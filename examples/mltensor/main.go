@@ -1,0 +1,113 @@
+// Mltensor runs the paper's §2.1 motivating pipeline end to end: vehicle
+// trajectories → per-(grid cell, hour) average speeds → the sequence of
+// 2-d matrices [A^t0, A^t1, ...] that a traffic-forecasting deep model
+// takes as input, exported as JSON/CSV for TensorFlow or PyTorch loaders.
+//
+//	go run ./examples/mltensor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"st4ml/internal/convert"
+	"st4ml/internal/core"
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/extract"
+	"st4ml/internal/instance"
+	"st4ml/internal/mlexport"
+	"st4ml/internal/selection"
+	"st4ml/internal/tempo"
+)
+
+type traj = instance.Trajectory[instance.Unit, int64]
+
+func main() {
+	s := core.NewSession(engine.Config{})
+	dataDir, err := os.MkdirTemp("", "st4ml-mltensor-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+
+	// Preprocess a day-heavy Porto-like corpus.
+	trajs := datagen.Porto(8000, 99)
+	if _, err := s.IngestTrajs(trajs, dataDir, nil, selection.IngestOptions{Name: "porto"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Select one day, convert to a 16×16 grid × 24 hour raster, extract
+	// speeds.
+	day := tempo.New(datagen.Year2013.Start, datagen.Year2013.Start+86400-1)
+	sel := s.TrajSelector(selection.Config{Index: true})
+	recs, stats, err := sel.SelectPruned(dataDir, core.Window(datagen.PortoExtent, day))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d trajectories from %d partitions\n",
+		stats.SelectedRecords, stats.LoadedPartitions)
+
+	grid := instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: datagen.PortoExtent, NX: 16, NY: 16},
+		Time:  instance.TimeGrid{Window: day, NT: 24},
+	}
+	cells := convert.TrajToRaster(core.TrajInstances(recs),
+		convert.RasterGridTarget(grid), convert.Auto,
+		func(in []traj) []traj { return in })
+	speeds, ok := extract.RasterSpeed(cells, extract.KMH)
+	if !ok {
+		log.Fatal("no data")
+	}
+
+	// Reshape into the DL input tensor: [24][16][16], NaN = unobserved.
+	tensor, err := mlexport.RasterTensor(speeds, grid, func(v extract.CellSpeed) float64 {
+		if v.Count == 0 {
+			return math.NaN()
+		}
+		return v.Mean
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nt, ny, nx := tensor.Shape()
+	observed := 0
+	for _, plane := range tensor.Data {
+		for _, row := range plane {
+			for _, v := range row {
+				if !math.IsNaN(v) {
+					observed++
+				}
+			}
+		}
+	}
+	fmt.Printf("tensor shape: [%d][%d][%d], %d observed cells (%.0f%%)\n",
+		nt, ny, nx, observed, 100*float64(observed)/float64(nt*ny*nx))
+
+	// Channel to the ML engine as JSON and flat CSV.
+	jsonPath := filepath.Join(dataDir, "speeds.json")
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mlexport.WriteJSON(jf, tensor); err != nil {
+		log.Fatal(err)
+	}
+	jf.Close()
+	csvPath := filepath.Join(dataDir, "speeds.csv")
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mlexport.WriteTensorCSV(cf, tensor); err != nil {
+		log.Fatal(err)
+	}
+	cf.Close()
+	ji, _ := os.Stat(jsonPath)
+	ci, _ := os.Stat(csvPath)
+	fmt.Printf("exports ready for the model: %s (%d bytes), %s (%d bytes)\n",
+		filepath.Base(jsonPath), ji.Size(), filepath.Base(csvPath), ci.Size())
+}

@@ -1,0 +1,3 @@
+module st4ml
+
+go 1.22

@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/storage"
+	"st4ml/internal/tempo"
+)
+
+// GeoMesa models the GeoMesa design as the paper describes it: an
+// entry-level space-filling-curve index over the on-disk records (our
+// Z-order curve standing in for XZ2, composed with a time bin as GeoMesa's
+// Z3 does). Ingestion sorts every record by curve key and writes
+// fixed-size key-ordered chunks; a query computes curve key ranges and
+// reads only the chunks whose key span overlaps — good selection pruning,
+// which Fig. 7 credits GeoMesa for — but records stay String-attributed and
+// in-memory processing has no ST4ML-style optimization.
+type GeoMesa struct {
+	ctx    *engine.Context
+	dir    string
+	meta   *storage.Metadata
+	curve  *index.ZCurve3D
+	chunks []keySpan
+}
+
+type keySpan struct {
+	lo, hi uint64
+}
+
+// GeoMesaIngest sorts features by their composite curve key and persists
+// them in key-ordered chunks under dir. domain and window bound the curve;
+// bits and binSec set its resolution. Multi-point features are keyed by
+// their first point and start time (as GeoMesa keys a geometry by its
+// indexed reference point).
+func GeoMesaIngest(
+	ctx *engine.Context,
+	feats []Feature,
+	dir string,
+	domain geom.MBR,
+	window tempo.Duration,
+	bits uint,
+	binSec int64,
+	chunkSize int,
+) error {
+	curve := index.NewZCurve3D(domain, window, bits, binSec)
+	type keyed struct {
+		key uint64
+		f   Feature
+	}
+	ks := make([]keyed, len(feats))
+	for i, f := range feats {
+		ks[i] = keyed{key: featureKey(curve, f), f: f}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	if chunkSize < 1 {
+		chunkSize = 4096
+	}
+	var parts [][]Feature
+	for i := 0; i < len(ks); i += chunkSize {
+		end := i + chunkSize
+		if end > len(ks) {
+			end = len(ks)
+		}
+		chunk := make([]Feature, end-i)
+		for j := i; j < end; j++ {
+			chunk[j-i] = ks[j].f
+		}
+		parts = append(parts, chunk)
+	}
+	_, err := storage.Write(dir, FeatureC, parts, Feature.Box, storage.WriteOptions{
+		Name: fmt.Sprintf("geomesa-z3-%d-%d", bits, binSec),
+	})
+	return err
+}
+
+func featureKey(curve *index.ZCurve3D, f Feature) uint64 {
+	t := int64(0)
+	if ts := f.Times(); len(ts) > 0 {
+		t = ts[0]
+	}
+	return curve.Key(f.Shape[0], t)
+}
+
+// OpenGeoMesa opens an ingested store, reading chunk key spans from the
+// chunk contents' first/last records (the store's manifest).
+func OpenGeoMesa(
+	ctx *engine.Context,
+	dir string,
+	domain geom.MBR,
+	window tempo.Duration,
+	bits uint,
+	binSec int64,
+) (*GeoMesa, error) {
+	meta, err := storage.ReadMetadata(dir)
+	if err != nil {
+		return nil, err
+	}
+	curve := index.NewZCurve3D(domain, window, bits, binSec)
+	g := &GeoMesa{ctx: ctx, dir: dir, meta: meta, curve: curve}
+	// Build the chunk key-span manifest by reading chunk boundaries once.
+	g.chunks = make([]keySpan, meta.NumPartitions())
+	for i := 0; i < meta.NumPartitions(); i++ {
+		recs, err := storage.ReadPartition(dir, meta, i, FeatureC)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			g.chunks[i] = keySpan{lo: 1, hi: 0}
+			continue
+		}
+		g.chunks[i] = keySpan{
+			lo: featureKey(curve, recs[0]),
+			hi: featureKey(curve, recs[len(recs)-1]),
+		}
+	}
+	return g, nil
+}
+
+// Query computes curve key ranges for the window, reads only chunks whose
+// key span overlaps some range, and fine-filters the survivors (parsing
+// string timestamps). The returned RDD is one partition per scanned chunk.
+func (g *GeoMesa) Query(space geom.MBR, dur tempo.Duration) (*engine.RDD[Feature], int) {
+	ranges := g.curve.Ranges(space, dur, 6)
+	var scan []int
+	for i, span := range g.chunks {
+		if span.lo > span.hi {
+			continue
+		}
+		for _, r := range ranges {
+			if span.lo <= r.Hi && r.Lo <= span.hi {
+				scan = append(scan, i)
+				break
+			}
+		}
+	}
+	dir, meta := g.dir, g.meta
+	out := engine.Generate(g.ctx, "geomesa-scan", len(scan), func(p int) []Feature {
+		recs, err := storage.ReadPartition(dir, meta, scan[p], FeatureC)
+		if err != nil {
+			panic(err)
+		}
+		var keep []Feature
+		for _, f := range recs {
+			if !f.MBR().Intersects(space) {
+				continue
+			}
+			if !f.Duration().Intersects(dur) { // string timestamp parse
+				continue
+			}
+			keep = append(keep, f)
+		}
+		return keep
+	})
+	return out, len(scan)
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/roadnet"
+	"st4ml/internal/selection"
+	"st4ml/internal/tempo"
+)
+
+// App identifies one of the eight end-to-end applications of Table 7.
+type App string
+
+// The eight applications.
+const (
+	AppAnomaly    App = "anomaly"     // events, no conversion
+	AppAvgSpeed   App = "avg-speed"   // trajectories, no conversion
+	AppStayPoint  App = "stay-point"  // trajectories, no conversion
+	AppHourlyFlow App = "hourly-flow" // Event2Ts
+	AppGridSpeed  App = "grid-speed"  // Traj2Sm
+	AppTransition App = "transition"  // Traj2Raster
+	AppAirRoad    App = "air-road"    // Event2Raster over road network
+	AppPOICount   App = "poi-count"   // Event2Sm over postal areas
+)
+
+// AllApps lists the applications in Table 7 order.
+var AllApps = []App{
+	AppAnomaly, AppAvgSpeed, AppStayPoint, AppHourlyFlow,
+	AppGridSpeed, AppTransition, AppAirRoad, AppPOICount,
+}
+
+// SystemKind identifies an implementation style.
+type SystemKind string
+
+// The compared systems.
+const (
+	ST4MLB   SystemKind = "st4ml-b"  // built-in extractors
+	ST4MLC   SystemKind = "st4ml-c"  // custom logic through ST4ML APIs
+	GeoMesaK SystemKind = "geomesa"  // GeoMesa-like baseline
+	GeoSpark SystemKind = "geospark" // GeoSpark-like baseline
+)
+
+// AllSystems lists the compared systems.
+var AllSystems = []SystemKind{ST4MLB, ST4MLC, GeoMesaK, GeoSpark}
+
+// AppResult lets tests verify that every system computes the same feature.
+type AppResult struct {
+	// Checksum is an implementation-independent digest of the extracted
+	// feature (counts, flows, rounded speed sums).
+	Checksum float64
+	// Records is the number of records that entered extraction.
+	Records int64
+}
+
+// appParams bundles the fixed parameters of Table 7.
+type appParams struct {
+	anomalyLo, anomalyHi int     // 23:00–04:00
+	stayDistM            float64 // 200 m
+	stayDurSec           int64   // 10 min
+	flowNT               int     // hourly slots over the query span
+	gridNX, gridNY       int     // grid-speed cells
+	rasterNX, rasterNY   int     // transition cells
+	rasterNT             int
+}
+
+func defaultParams() appParams {
+	return appParams{
+		anomalyLo: 23, anomalyHi: 4,
+		stayDistM: 200, stayDurSec: 600,
+		flowNT: 24,
+		gridNX: 20, gridNY: 20,
+		rasterNX: 10, rasterNY: 10, rasterNT: 24,
+	}
+}
+
+// RunApp executes one application on one system over the query windows and
+// returns its result digest. The caller times it.
+func RunApp(env *Env, app App, sys SystemKind, windows []selection.Window) (AppResult, error) {
+	p := defaultParams()
+	switch sys {
+	case ST4MLB:
+		return runST4ML(env, app, windows, p, true)
+	case ST4MLC:
+		return runST4ML(env, app, windows, p, false)
+	case GeoMesaK:
+		return runGeoMesa(env, app, windows, p)
+	case GeoSpark:
+		return runGeoSpark(env, app, windows, p)
+	default:
+		return AppResult{}, fmt.Errorf("bench: unknown system %q", sys)
+	}
+}
+
+// WindowsFor builds the app-appropriate query windows at the given range
+// fraction.
+func WindowsFor(app App, frac float64, n int, seed int64) []selection.Window {
+	switch app {
+	case AppAnomaly, AppHourlyFlow:
+		return RandomWindows(datagen.NYCExtent, datagen.Year2013, frac, n, seed)
+	case AppAvgSpeed, AppStayPoint, AppGridSpeed, AppTransition:
+		return RandomWindows(datagen.PortoExtent, datagen.Year2013, frac, n, seed)
+	default:
+		// Air and POI apps operate on their full corpora.
+		return nil
+	}
+}
+
+// airSetting derives the air-over-road structure: a road network around the
+// first station and day slots over the corpus week.
+func airSetting(env *Env) (cells []geom.MBR, slots []tempo.Duration, window tempo.Duration) {
+	origin := env.Air[0].Loc
+	g := roadnet.GenerateGrid(10, 10, 500, origin, 0, 6)
+	buffer := geom.MetersToDegreesLat(200)
+	segBoxes := make([]geom.MBR, 0, g.NumEdges())
+	for i := 0; i < g.NumEdges(); i += 2 { // one box per bidirectional pair
+		a, b := g.EdgeEndpoints(roadnet.EdgeID(i))
+		segBoxes = append(segBoxes, geom.Box(a.X, a.Y, b.X, b.Y).Buffer(buffer))
+	}
+	window = tempo.New(datagen.Year2013.Start, datagen.Year2013.Start+7*86400-1)
+	days := window.Split(7)
+	for _, d := range days {
+		for _, sb := range segBoxes {
+			cells = append(cells, sb)
+			slots = append(slots, d)
+		}
+	}
+	return cells, slots, window
+}
+
+// gridSpeedCells builds the grid-speed spatial grid over the Porto extent.
+func gridSpeedCells(p appParams) instance.SpatialGrid {
+	return instance.SpatialGrid{Extent: datagen.PortoExtent, NX: p.gridNX, NY: p.gridNY}
+}
+
+// transitionGrid builds the transition raster grid over one query window.
+func transitionGrid(p appParams, w selection.Window) instance.RasterGrid {
+	return instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: w.Space, NX: p.rasterNX, NY: p.rasterNY},
+		Time:  instance.TimeGrid{Window: w.Time, NT: p.rasterNT},
+	}
+}
+
+// round2 quantizes a float for cross-system checksum stability.
+func round2(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return math.Round(v*100) / 100
+}

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"st4ml/internal/baseline"
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/extract"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/selection"
+	"st4ml/internal/tempo"
+)
+
+// The GeoMesa-like implementations: good on-disk pruning via the Z3 store,
+// but String-typed timestamps parsed per operation and Cartesian structure
+// allocation with no in-memory optimization — a straightforward extension
+// of GeoMesa as the paper evaluates it.
+
+func runGeoMesa(env *Env, app App, windows []selection.Window, p appParams) (AppResult, error) {
+	switch app {
+	case AppAnomaly:
+		return gmAnomaly(env, windows, p)
+	case AppAvgSpeed:
+		return gmAvgSpeed(env, windows)
+	case AppStayPoint:
+		return gmStayPoint(env, windows, p)
+	case AppHourlyFlow:
+		return gmHourlyFlow(env, windows, p)
+	case AppGridSpeed:
+		return gmGridSpeed(env, windows, p)
+	case AppTransition:
+		return gmTransition(env, windows, p)
+	case AppAirRoad:
+		return gmAirRoad(env)
+	case AppPOICount:
+		return gmPOICount(env)
+	}
+	return AppResult{}, errUnknownApp(app)
+}
+
+func gmAnomaly(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		feats, _ := env.GMEvents.Query(w.Space, w.Time)
+		res.Records += feats.Count()
+		n := feats.Filter(func(f baseline.Feature) bool {
+			t := baseline.ParseTime(f.Attrs["time"]) // string parse per record
+			h := tempo.HourOfDay(t)
+			return h >= p.anomalyLo || h < p.anomalyHi
+		}).Count()
+		res.Checksum += float64(n)
+	}
+	return res, nil
+}
+
+func gmAvgSpeed(env *Env, windows []selection.Window) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		feats, _ := env.GMTrajs.Query(w.Space, w.Time)
+		res.Records += feats.Count()
+		sum := engine.Aggregate(feats, 0.0,
+			func(acc float64, f baseline.Feature) float64 {
+				return acc + round2(featureSpeedKmh(f))
+			},
+			func(a, b float64) float64 { return a + b })
+		res.Checksum += sum
+	}
+	return res, nil
+}
+
+// featureSpeedMps reformats a trajectory feature (string timestamps) and
+// computes its average speed in m/s — the reformation toll of Table 1.
+func featureSpeedMps(f baseline.Feature) float64 {
+	times := f.Times() // parses every string timestamp
+	if len(times) < 2 {
+		return 0
+	}
+	var dist float64
+	for i := 1; i < len(f.Shape); i++ {
+		dist += geom.HaversineMeters(f.Shape[i-1], f.Shape[i])
+	}
+	dur := times[len(times)-1] - times[0]
+	if dur <= 0 {
+		return 0
+	}
+	return dist / float64(dur)
+}
+
+// featureSpeedKmh converts featureSpeedMps to km/h.
+func featureSpeedKmh(f baseline.Feature) float64 { return featureSpeedMps(f) * 3.6 }
+
+// featureEntries reformats a feature into (point, time) entries.
+func featureEntries(f baseline.Feature) []instance.Entry[geom.Point, instance.Unit] {
+	times := f.Times()
+	entries := make([]instance.Entry[geom.Point, instance.Unit], len(f.Shape))
+	for i := range f.Shape {
+		entries[i] = instance.Entry[geom.Point, instance.Unit]{
+			Spatial:  f.Shape[i],
+			Temporal: tempo.Instant(times[i]),
+		}
+	}
+	return entries
+}
+
+func gmStayPoint(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		feats, _ := env.GMTrajs.Query(w.Space, w.Time)
+		res.Records += feats.Count()
+		n := engine.Aggregate(feats, int64(0),
+			func(acc int64, f baseline.Feature) int64 {
+				entries := featureEntries(f) // reformat from strings
+				return acc + int64(len(extract.StayPointsOf(entries, p.stayDistM, p.stayDurSec)))
+			},
+			func(a, b int64) int64 { return a + b })
+		res.Checksum += float64(n)
+	}
+	return res, nil
+}
+
+func gmHourlyFlow(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		feats, _ := env.GMEvents.Query(w.Space, w.Time)
+		res.Records += feats.Count()
+		slots := w.Time.Split(p.flowNT)
+		// Cartesian slot allocation with a full shuffle: every (event, slot)
+		// pair is tested, matches keyed and counted via groupByKey.
+		pairs := engine.FlatMap(feats, func(f baseline.Feature) []codec.Pair[int, int64] {
+			t := baseline.ParseTime(f.Attrs["time"])
+			var out []codec.Pair[int, int64]
+			for i, s := range slots {
+				if s.Contains(t) {
+					out = append(out, codec.KV(i, int64(1)))
+				}
+			}
+			return out
+		})
+		grouped := engine.GroupByKey(pairs, codec.Int, codec.Int64, 0)
+		counts := make([]int64, p.flowNT)
+		for _, g := range grouped.Collect() {
+			counts[g.Key] = int64(len(g.Value))
+		}
+		for i, c := range counts {
+			res.Checksum += float64(int64(i+1) * c)
+		}
+	}
+	return res, nil
+}
+
+func gmGridSpeed(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	grid := gridSpeedCells(p)
+	cells := grid.Cells()
+	var res AppResult
+	for _, w := range windows {
+		feats, _ := env.GMTrajs.Query(w.Space, w.Time)
+		res.Records += feats.Count()
+		// Cartesian cell allocation, then a shuffled aggregation per cell.
+		pairs := engine.FlatMap(feats, func(f baseline.Feature) []codec.Pair[int, float64] {
+			speed := featureSpeedMps(f)
+			var out []codec.Pair[int, float64]
+			for ci, cell := range cells {
+				if featureCrossesBox(f, cell) {
+					out = append(out, codec.KV(ci, speed))
+				}
+			}
+			return out
+		})
+		grouped := engine.GroupByKey(pairs, codec.Int, codec.Float64, 0)
+		sums := make([]extract.MeanAcc, len(cells))
+		for _, g := range grouped.Collect() {
+			var a extract.MeanAcc
+			for _, v := range g.Value {
+				a = a.Add(v)
+			}
+			sums[g.Key] = a
+		}
+		for _, a := range sums {
+			res.Checksum += round2(a.Mean() * 3.6)
+		}
+	}
+	return res, nil
+}
+
+// featureCrossesBox tests whether any segment of the feature's shape
+// crosses the box (point features test containment).
+func featureCrossesBox(f baseline.Feature, b geom.MBR) bool {
+	if len(f.Shape) == 1 {
+		return b.ContainsPoint(f.Shape[0])
+	}
+	for i := 1; i < len(f.Shape); i++ {
+		if geom.SegmentIntersectsBox(f.Shape[i-1], f.Shape[i], b) {
+			return true
+		}
+	}
+	return false
+}
+
+func gmTransition(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		feats, _ := env.GMTrajs.Query(w.Space, w.Time)
+		res.Records += feats.Count()
+		grid := transitionGrid(p, w)
+		per := grid.Space.NumCells()
+		flows := engine.Aggregate(feats, nil,
+			func(acc []extract.InOut, f baseline.Feature) []extract.InOut {
+				if acc == nil {
+					acc = make([]extract.InOut, grid.NumCells())
+				}
+				entries := featureEntries(f) // reformat from strings
+				prevCell, prevSlot := -1, -1
+				for _, e := range entries {
+					cell := grid.Space.Locate(e.Spatial)
+					slot, _, ok := grid.Time.SlotRange(e.Temporal)
+					if !ok {
+						slot = -1
+					}
+					if prevCell >= 0 && cell >= 0 && slot >= 0 && cell != prevCell {
+						acc[prevSlot*per+prevCell].Out++
+						acc[slot*per+cell].In++
+					}
+					if cell >= 0 && slot >= 0 {
+						prevCell, prevSlot = cell, slot
+					}
+				}
+				return acc
+			},
+			mergeInOutSlices)
+		for _, fl := range flows {
+			res.Checksum += float64(fl.In + fl.Out)
+		}
+	}
+	return res, nil
+}
+
+func mergeInOutSlices(a, b []extract.InOut) []extract.InOut {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	for i := range a {
+		a[i] = a[i].Merge(b[i])
+	}
+	return a
+}
+
+func gmAirRoad(env *Env) (AppResult, error) {
+	cells, slots, _ := airSetting(env)
+	feats := make([]baseline.Feature, len(env.Air))
+	for i, a := range env.Air {
+		feats[i] = baseline.FromAirRec(a)
+	}
+	r := engine.Parallelize(env.Ctx, feats, 0)
+	var res AppResult
+	res.Records = int64(len(env.Air))
+	// Cartesian (record × cell) allocation: no structure index.
+	accs := engine.Aggregate(r, nil,
+		func(acc []extract.MeanAcc, f baseline.Feature) []extract.MeanAcc {
+			if acc == nil {
+				acc = make([]extract.MeanAcc, len(cells))
+			}
+			t := baseline.ParseTime(f.Attrs["time"])
+			pm := parseFloatAttr(f, "pm25")
+			for ci := range cells {
+				if cells[ci].ContainsPoint(f.Shape[0]) && slots[ci].Contains(t) {
+					acc[ci] = acc[ci].Add(pm)
+				}
+			}
+			return acc
+		},
+		mergeMeanSlices)
+	for _, a := range accs {
+		if a.N > 0 {
+			res.Checksum += round2(a.Mean())
+		}
+	}
+	return res, nil
+}
+
+func mergeMeanSlices(a, b []extract.MeanAcc) []extract.MeanAcc {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	for i := range a {
+		a[i] = a[i].Merge(b[i])
+	}
+	return a
+}
+
+func gmPOICount(env *Env) (AppResult, error) {
+	feats := make([]baseline.Feature, len(env.POIs))
+	for i, p := range env.POIs {
+		feats[i] = baseline.FromPOIRec(p)
+	}
+	r := engine.Parallelize(env.Ctx, feats, 0)
+	var res AppResult
+	res.Records = int64(len(env.POIs))
+	areas := env.Areas
+	counts := engine.Aggregate(r, nil,
+		func(acc []int64, f baseline.Feature) []int64 {
+			if acc == nil {
+				acc = make([]int64, len(areas))
+			}
+			for ai := range areas { // Cartesian: every (poi, area) pair
+				if areas[ai].Shape.ContainsPoint(f.Shape[0]) {
+					acc[ai]++
+				}
+			}
+			return acc
+		},
+		func(a, b []int64) []int64 {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			for i := range a {
+				a[i] += b[i]
+			}
+			return a
+		})
+	for i, c := range counts {
+		res.Checksum += float64(int64(i+1) * c)
+	}
+	return res, nil
+}

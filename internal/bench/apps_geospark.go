@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"strconv"
+
+	"st4ml/internal/baseline"
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/extract"
+	"st4ml/internal/selection"
+	"st4ml/internal/tempo"
+)
+
+// The GeoSpark-like implementations: every application first loads the
+// whole dataset into memory and KD-tree partitions it (the ad-hoc ingestion
+// the paper charges GeoSpark for), then range-queries per window and runs
+// generic shuffling RDD extraction over String-attributed features.
+
+func parseFloatAttr(f baseline.Feature, key string) float64 {
+	v, err := strconv.ParseFloat(f.Attrs[key], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func runGeoSpark(env *Env, app App, windows []selection.Window, p appParams) (AppResult, error) {
+	switch app {
+	case AppAnomaly:
+		return gsAnomaly(env, windows, p)
+	case AppAvgSpeed:
+		return gsAvgSpeed(env, windows)
+	case AppStayPoint:
+		return gsStayPoint(env, windows, p)
+	case AppHourlyFlow:
+		return gsHourlyFlow(env, windows, p)
+	case AppGridSpeed:
+		return gsGridSpeed(env, windows, p)
+	case AppTransition:
+		return gsTransition(env, windows, p)
+	case AppAirRoad:
+		return gsAirRoad(env)
+	case AppPOICount:
+		return gsPOICount(env)
+	}
+	return AppResult{}, errUnknownApp(app)
+}
+
+// gsLoadEvents performs the per-application full load of the event store.
+func gsLoadEvents(env *Env) (*baseline.GeoSpark, error) {
+	gs := baseline.NewGeoSpark(env.Ctx)
+	if err := gs.Load(env.GSEventDir, 2*env.Ctx.Slots()); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// gsLoadTrajs performs the per-application full load of the trajectory
+// store.
+func gsLoadTrajs(env *Env) (*baseline.GeoSpark, error) {
+	gs := baseline.NewGeoSpark(env.Ctx)
+	if err := gs.Load(env.GSTrajDir, 2*env.Ctx.Slots()); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+func gsAnomaly(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	gs, err := gsLoadEvents(env)
+	if err != nil {
+		return AppResult{}, err
+	}
+	var res AppResult
+	for _, w := range windows {
+		feats := gs.RangeQuery(w.Space, w.Time)
+		res.Records += feats.Count()
+		n := feats.Filter(func(f baseline.Feature) bool {
+			t := baseline.ParseTime(f.Attrs["time"])
+			h := tempo.HourOfDay(t)
+			return h >= p.anomalyLo || h < p.anomalyHi
+		}).Count()
+		res.Checksum += float64(n)
+	}
+	return res, nil
+}
+
+func gsAvgSpeed(env *Env, windows []selection.Window) (AppResult, error) {
+	gs, err := gsLoadTrajs(env)
+	if err != nil {
+		return AppResult{}, err
+	}
+	var res AppResult
+	for _, w := range windows {
+		feats := gs.RangeQuery(w.Space, w.Time)
+		res.Records += feats.Count()
+		sum := engine.Aggregate(feats, 0.0,
+			func(acc float64, f baseline.Feature) float64 {
+				return acc + round2(featureSpeedKmh(f))
+			},
+			func(a, b float64) float64 { return a + b })
+		res.Checksum += sum
+	}
+	return res, nil
+}
+
+func gsStayPoint(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	gs, err := gsLoadTrajs(env)
+	if err != nil {
+		return AppResult{}, err
+	}
+	var res AppResult
+	for _, w := range windows {
+		feats := gs.RangeQuery(w.Space, w.Time)
+		res.Records += feats.Count()
+		n := engine.Aggregate(feats, int64(0),
+			func(acc int64, f baseline.Feature) int64 {
+				entries := featureEntries(f)
+				return acc + int64(len(extract.StayPointsOf(entries, p.stayDistM, p.stayDurSec)))
+			},
+			func(a, b int64) int64 { return a + b })
+		res.Checksum += float64(n)
+	}
+	return res, nil
+}
+
+func gsHourlyFlow(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	gs, err := gsLoadEvents(env)
+	if err != nil {
+		return AppResult{}, err
+	}
+	var res AppResult
+	for _, w := range windows {
+		feats := gs.RangeQuery(w.Space, w.Time)
+		res.Records += feats.Count()
+		slots := w.Time.Split(p.flowNT)
+		pairs := engine.FlatMap(feats, func(f baseline.Feature) []codec.Pair[int, int64] {
+			t := baseline.ParseTime(f.Attrs["time"])
+			var out []codec.Pair[int, int64]
+			for i, s := range slots {
+				if s.Contains(t) {
+					out = append(out, codec.KV(i, int64(1)))
+				}
+			}
+			return out
+		})
+		grouped := engine.GroupByKey(pairs, codec.Int, codec.Int64, 0)
+		counts := make([]int64, p.flowNT)
+		for _, g := range grouped.Collect() {
+			counts[g.Key] = int64(len(g.Value))
+		}
+		for i, c := range counts {
+			res.Checksum += float64(int64(i+1) * c)
+		}
+	}
+	return res, nil
+}
+
+func gsGridSpeed(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	gs, err := gsLoadTrajs(env)
+	if err != nil {
+		return AppResult{}, err
+	}
+	grid := gridSpeedCells(p)
+	cells := grid.Cells()
+	var res AppResult
+	for _, w := range windows {
+		feats := gs.RangeQuery(w.Space, w.Time)
+		res.Records += feats.Count()
+		pairs := engine.FlatMap(feats, func(f baseline.Feature) []codec.Pair[int, float64] {
+			speed := featureSpeedMps(f)
+			var out []codec.Pair[int, float64]
+			for ci, cell := range cells {
+				if featureCrossesBox(f, cell) {
+					out = append(out, codec.KV(ci, speed))
+				}
+			}
+			return out
+		})
+		grouped := engine.GroupByKey(pairs, codec.Int, codec.Float64, 0)
+		sums := make([]extract.MeanAcc, len(cells))
+		for _, g := range grouped.Collect() {
+			var a extract.MeanAcc
+			for _, v := range g.Value {
+				a = a.Add(v)
+			}
+			sums[g.Key] = a
+		}
+		for _, a := range sums {
+			res.Checksum += round2(a.Mean() * 3.6)
+		}
+	}
+	return res, nil
+}
+
+func gsTransition(env *Env, windows []selection.Window, p appParams) (AppResult, error) {
+	gs, err := gsLoadTrajs(env)
+	if err != nil {
+		return AppResult{}, err
+	}
+	var res AppResult
+	for _, w := range windows {
+		feats := gs.RangeQuery(w.Space, w.Time)
+		res.Records += feats.Count()
+		grid := transitionGrid(p, w)
+		per := grid.Space.NumCells()
+		flows := engine.Aggregate(feats, nil,
+			func(acc []extract.InOut, f baseline.Feature) []extract.InOut {
+				if acc == nil {
+					acc = make([]extract.InOut, grid.NumCells())
+				}
+				entries := featureEntries(f)
+				prevCell, prevSlot := -1, -1
+				for _, e := range entries {
+					cell := grid.Space.Locate(e.Spatial)
+					slot, _, ok := grid.Time.SlotRange(e.Temporal)
+					if !ok {
+						slot = -1
+					}
+					if prevCell >= 0 && cell >= 0 && slot >= 0 && cell != prevCell {
+						acc[prevSlot*per+prevCell].Out++
+						acc[slot*per+cell].In++
+					}
+					if cell >= 0 && slot >= 0 {
+						prevCell, prevSlot = cell, slot
+					}
+				}
+				return acc
+			},
+			mergeInOutSlices)
+		for _, fl := range flows {
+			res.Checksum += float64(fl.In + fl.Out)
+		}
+	}
+	return res, nil
+}
+
+func gsAirRoad(env *Env) (AppResult, error) {
+	// Ad-hoc in-memory ingestion of the air corpus, then the same
+	// unoptimized Cartesian allocation as the GeoMesa extension.
+	cells, slots, _ := airSetting(env)
+	feats := make([]baseline.Feature, len(env.Air))
+	for i, a := range env.Air {
+		feats[i] = baseline.FromAirRec(a)
+	}
+	r := engine.Parallelize(env.Ctx, feats, 0).Cache()
+	r.Count()
+	var res AppResult
+	res.Records = int64(len(env.Air))
+	accs := engine.Aggregate(r, nil,
+		func(acc []extract.MeanAcc, f baseline.Feature) []extract.MeanAcc {
+			if acc == nil {
+				acc = make([]extract.MeanAcc, len(cells))
+			}
+			t := baseline.ParseTime(f.Attrs["time"])
+			pm := parseFloatAttr(f, "pm25")
+			for ci := range cells {
+				if cells[ci].ContainsPoint(f.Shape[0]) && slots[ci].Contains(t) {
+					acc[ci] = acc[ci].Add(pm)
+				}
+			}
+			return acc
+		},
+		mergeMeanSlices)
+	for _, a := range accs {
+		if a.N > 0 {
+			res.Checksum += round2(a.Mean())
+		}
+	}
+	return res, nil
+}
+
+func gsPOICount(env *Env) (AppResult, error) {
+	feats := make([]baseline.Feature, len(env.POIs))
+	for i, p := range env.POIs {
+		feats[i] = baseline.FromPOIRec(p)
+	}
+	r := engine.Parallelize(env.Ctx, feats, 0).Cache()
+	r.Count()
+	var res AppResult
+	res.Records = int64(len(env.POIs))
+	areas := env.Areas
+	counts := engine.Aggregate(r, nil,
+		func(acc []int64, f baseline.Feature) []int64 {
+			if acc == nil {
+				acc = make([]int64, len(areas))
+			}
+			for ai := range areas {
+				if areas[ai].Shape.ContainsPoint(f.Shape[0]) {
+					acc[ai]++
+				}
+			}
+			return acc
+		},
+		func(a, b []int64) []int64 {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			for i := range a {
+				a[i] += b[i]
+			}
+			return a
+		})
+	for i, c := range counts {
+		res.Checksum += float64(int64(i+1) * c)
+	}
+	return res, nil
+}

@@ -1,0 +1,358 @@
+package bench
+
+import (
+	"st4ml/internal/codec"
+	"st4ml/internal/convert"
+	"st4ml/internal/engine"
+	"st4ml/internal/extract"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/partition"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+	"st4ml/internal/tempo"
+)
+
+// The ST4ML implementations of the eight applications. builtin selects the
+// Table 3 extractors (ST4ML-B); otherwise the same feature is computed with
+// custom logic through the Table 4 APIs (ST4ML-C).
+
+type eventInst = instance.Event[geom.Point, string, int64]
+type trajInst = instance.Trajectory[instance.Unit, int64]
+
+func (e *Env) eventSelector() *selection.Selector[stdata.EventRec] {
+	return selection.New(e.Ctx, stdata.EventRecC, stdata.EventRec.Box, nil, selection.Config{
+		Index:      true,
+		Planner:    partition.TSTR{GT: 4, GS: 4},
+		SampleFrac: 0.1,
+	})
+}
+
+func (e *Env) trajSelector() *selection.Selector[stdata.TrajRec] {
+	// Box-level refinement matches the baselines' MBR query semantics so
+	// cross-system checksums agree.
+	return selection.New(e.Ctx, stdata.TrajRecC, stdata.TrajRec.Box, nil, selection.Config{
+		Index:      true,
+		Planner:    partition.TSTR{GT: 4, GS: 4},
+		SampleFrac: 0.1,
+	})
+}
+
+func runST4ML(env *Env, app App, windows []selection.Window, p appParams, builtin bool) (AppResult, error) {
+	switch app {
+	case AppAnomaly:
+		return st4mlAnomaly(env, windows, p, builtin)
+	case AppAvgSpeed:
+		return st4mlAvgSpeed(env, windows, builtin)
+	case AppStayPoint:
+		return st4mlStayPoint(env, windows, p, builtin)
+	case AppHourlyFlow:
+		return st4mlHourlyFlow(env, windows, p, builtin)
+	case AppGridSpeed:
+		return st4mlGridSpeed(env, windows, p, builtin)
+	case AppTransition:
+		return st4mlTransition(env, windows, p, builtin)
+	case AppAirRoad:
+		return st4mlAirRoad(env, builtin)
+	case AppPOICount:
+		return st4mlPOICount(env, builtin)
+	}
+	return AppResult{}, errUnknownApp(app)
+}
+
+func st4mlAnomaly(env *Env, windows []selection.Window, p appParams, builtin bool) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		recs, stats, err := env.eventSelector().SelectPruned(env.EventDir, w)
+		if err != nil {
+			return res, err
+		}
+		res.Records += stats.SelectedRecords
+		events := engine.Map(recs, stdata.EventRec.ToEvent)
+		var n int64
+		if builtin {
+			n = extract.EventAnomaly(events, p.anomalyLo, p.anomalyHi).Count()
+		} else {
+			n = events.Filter(func(e eventInst) bool {
+				h := tempo.HourOfDay(e.Entry.Temporal.Start)
+				return h >= p.anomalyLo || h < p.anomalyHi
+			}).Count()
+		}
+		res.Checksum += float64(n)
+	}
+	return res, nil
+}
+
+func st4mlAvgSpeed(env *Env, windows []selection.Window, builtin bool) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		recs, stats, err := env.trajSelector().SelectPruned(env.TrajDir, w)
+		if err != nil {
+			return res, err
+		}
+		res.Records += stats.SelectedRecords
+		trajs := engine.Map(recs, stdata.TrajRec.ToTrajectory)
+		if builtin {
+			speeds := extract.TrajSpeed(trajs, extract.KMH)
+			sum := engine.Aggregate(speeds, 0.0,
+				func(acc float64, p2 codec.Pair[int64, float64]) float64 {
+					return acc + round2(p2.Value)
+				},
+				func(a, b float64) float64 { return a + b })
+			res.Checksum += sum
+		} else {
+			sum := engine.Aggregate(trajs, 0.0,
+				func(acc float64, tr trajInst) float64 {
+					return acc + round2(tr.AvgSpeedMps()*3.6)
+				},
+				func(a, b float64) float64 { return a + b })
+			res.Checksum += sum
+		}
+	}
+	return res, nil
+}
+
+func st4mlStayPoint(env *Env, windows []selection.Window, p appParams, builtin bool) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		recs, stats, err := env.trajSelector().SelectPruned(env.TrajDir, w)
+		if err != nil {
+			return res, err
+		}
+		res.Records += stats.SelectedRecords
+		trajs := engine.Map(recs, stdata.TrajRec.ToTrajectory)
+		var n int64
+		if builtin {
+			sps := extract.TrajStayPoints(trajs, p.stayDistM, p.stayDurSec)
+			n = engine.Aggregate(sps, int64(0),
+				func(acc int64, pr codec.Pair[int64, []extract.StayPoint]) int64 {
+					return acc + int64(len(pr.Value))
+				},
+				func(a, b int64) int64 { return a + b })
+		} else {
+			n = engine.Aggregate(trajs, int64(0),
+				func(acc int64, tr trajInst) int64 {
+					return acc + int64(len(extract.StayPointsOf(tr.Entries, p.stayDistM, p.stayDurSec)))
+				},
+				func(a, b int64) int64 { return a + b })
+		}
+		res.Checksum += float64(n)
+	}
+	return res, nil
+}
+
+func st4mlHourlyFlow(env *Env, windows []selection.Window, p appParams, builtin bool) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		recs, stats, err := env.eventSelector().SelectPruned(env.EventDir, w)
+		if err != nil {
+			return res, err
+		}
+		res.Records += stats.SelectedRecords
+		events := engine.Map(recs, stdata.EventRec.ToEvent)
+		tgt := convert.TimeGridTarget(instance.TimeGrid{Window: w.Time, NT: p.flowNT})
+		if builtin {
+			cells := convert.EventToTimeSeries(events, tgt, convert.Auto,
+				func(in []eventInst) []eventInst { return in })
+			ts, ok := extract.TsFlow(cells)
+			if ok {
+				for i, e := range ts.Entries {
+					res.Checksum += float64(int64(i+1) * e.Value)
+				}
+			}
+		} else {
+			counts := convert.EventToTimeSeries(events, tgt, convert.Auto,
+				func(in []eventInst) int64 { return int64(len(in)) })
+			ts, ok := extract.CollectAndMergeTimeSeries(counts,
+				func(a, b int64) int64 { return a + b })
+			if ok {
+				for i, e := range ts.Entries {
+					res.Checksum += float64(int64(i+1) * e.Value)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func st4mlGridSpeed(env *Env, windows []selection.Window, p appParams, builtin bool) (AppResult, error) {
+	grid := gridSpeedCells(p)
+	tgt := convert.SpatialGridTarget(grid)
+	var res AppResult
+	for _, w := range windows {
+		recs, stats, err := env.trajSelector().SelectPruned(env.TrajDir, w)
+		if err != nil {
+			return res, err
+		}
+		res.Records += stats.SelectedRecords
+		trajs := engine.Map(recs, stdata.TrajRec.ToTrajectory)
+		if builtin {
+			cells := convert.TrajToSpatialMap(trajs, tgt, convert.Auto,
+				func(in []trajInst) []trajInst { return in })
+			sm, ok := extract.SmSpeed(cells, extract.KMH)
+			if ok {
+				for _, e := range sm.Entries {
+					res.Checksum += round2(e.Value)
+				}
+			}
+		} else {
+			accs := convert.TrajToSpatialMap(trajs, tgt, convert.Auto,
+				func(in []trajInst) extract.MeanAcc {
+					var a extract.MeanAcc
+					for _, tr := range in {
+						a = a.Add(tr.AvgSpeedMps())
+					}
+					return a
+				})
+			sm, ok := extract.CollectAndMergeSpatialMap(accs, extract.MeanAcc.Merge)
+			if ok {
+				for _, e := range sm.Entries {
+					res.Checksum += round2(e.Value.Mean() * 3.6)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func st4mlTransition(env *Env, windows []selection.Window, p appParams, builtin bool) (AppResult, error) {
+	var res AppResult
+	for _, w := range windows {
+		recs, stats, err := env.trajSelector().SelectPruned(env.TrajDir, w)
+		if err != nil {
+			return res, err
+		}
+		res.Records += stats.SelectedRecords
+		trajs := engine.Map(recs, stdata.TrajRec.ToTrajectory)
+		grid := transitionGrid(p, w)
+		if builtin {
+			ra := extract.RasterTransit(trajs, grid)
+			for _, e := range ra.Entries {
+				res.Checksum += float64(e.Value.In + e.Value.Out)
+			}
+		} else {
+			per := grid.Space.NumCells()
+			flows := engine.Aggregate(trajs, nil,
+				func(acc []extract.InOut, tr trajInst) []extract.InOut {
+					if acc == nil {
+						acc = make([]extract.InOut, grid.NumCells())
+					}
+					prevCell, prevSlot := -1, -1
+					for _, e := range tr.Entries {
+						cell := grid.Space.Locate(e.Spatial)
+						slot, _, ok := grid.Time.SlotRange(e.Temporal)
+						if !ok {
+							slot = -1
+						}
+						if prevCell >= 0 && cell >= 0 && slot >= 0 && cell != prevCell {
+							acc[prevSlot*per+prevCell].Out++
+							acc[slot*per+cell].In++
+						}
+						if cell >= 0 && slot >= 0 {
+							prevCell, prevSlot = cell, slot
+						}
+					}
+					return acc
+				},
+				func(a, b []extract.InOut) []extract.InOut {
+					if a == nil {
+						return b
+					}
+					if b == nil {
+						return a
+					}
+					for i := range a {
+						a[i] = a[i].Merge(b[i])
+					}
+					return a
+				})
+			for _, f := range flows {
+				res.Checksum += float64(f.In + f.Out)
+			}
+		}
+	}
+	return res, nil
+}
+
+func st4mlAirRoad(env *Env, builtin bool) (AppResult, error) {
+	cells, slots, _ := airSetting(env)
+	tgt := convert.RasterCellsTarget(cells, slots)
+	events := engine.Map(engine.Parallelize(env.Ctx, env.Air, 0), stdata.AirRec.ToEvent)
+	type airEv = instance.Event[geom.Point, [6]float64, int64]
+	var res AppResult
+	res.Records = int64(len(env.Air))
+	if builtin {
+		accs := convert.EventToRaster(events, tgt, convert.RTree,
+			func(in []airEv) extract.MeanAcc {
+				var a extract.MeanAcc
+				for _, e := range in {
+					a = a.Add(e.Entry.Value[0]) // PM2.5
+				}
+				return a
+			})
+		ra, ok := extract.CollectAndMergeRaster(accs, extract.MeanAcc.Merge)
+		if ok {
+			for _, e := range ra.Entries {
+				if e.Value.N > 0 {
+					res.Checksum += round2(e.Value.Mean())
+				}
+			}
+		}
+	} else {
+		raw := convert.EventToRaster(events, tgt, convert.RTree,
+			func(in []airEv) []airEv { return in })
+		means := extract.MapRasterValue(raw, func(in []airEv) extract.MeanAcc {
+			var a extract.MeanAcc
+			for _, e := range in {
+				a = a.Add(e.Entry.Value[0])
+			}
+			return a
+		})
+		ra, ok := extract.CollectAndMergeRaster(means, extract.MeanAcc.Merge)
+		if ok {
+			for _, e := range ra.Entries {
+				if e.Value.N > 0 {
+					res.Checksum += round2(e.Value.Mean())
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func st4mlPOICount(env *Env, builtin bool) (AppResult, error) {
+	polys := make([]*geom.Polygon, len(env.Areas))
+	for i, a := range env.Areas {
+		polys[i] = a.Shape
+	}
+	tgt := convert.CellsTarget(polys)
+	events := engine.Map(engine.Parallelize(env.Ctx, env.POIs, 0), stdata.POIRec.ToEvent)
+	var res AppResult
+	res.Records = int64(len(env.POIs))
+	if builtin {
+		cells := convert.EventToSpatialMap(events, tgt, convert.RTree,
+			func(in []eventInst) []eventInst { return in })
+		sm, ok := extract.SmFlow(cells)
+		if ok {
+			for i, e := range sm.Entries {
+				res.Checksum += float64(int64(i+1) * e.Value)
+			}
+		}
+	} else {
+		counts := convert.EventToSpatialMap(events, tgt, convert.RTree,
+			func(in []eventInst) int64 { return int64(len(in)) })
+		sm, ok := extract.CollectAndMergeSpatialMap(counts,
+			func(a, b int64) int64 { return a + b })
+		if ok {
+			for i, e := range sm.Entries {
+				res.Checksum += float64(int64(i+1) * e.Value)
+			}
+		}
+	}
+	return res, nil
+}
+
+type unknownAppError App
+
+func errUnknownApp(a App) error         { return unknownAppError(a) }
+func (e unknownAppError) Error() string { return "bench: unknown app " + string(e) }

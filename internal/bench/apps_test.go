@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"st4ml/internal/engine"
+)
+
+// Shared small environment for the package's tests (building the stores is
+// the slow part, so it happens once in TestMain with a directory that
+// outlives individual tests).
+var (
+	testEnv    *Env
+	testEnvErr error
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "st4ml-bench-*")
+	if err != nil {
+		testEnvErr = err
+		os.Exit(m.Run())
+	}
+	defer os.RemoveAll(dir)
+	ctx := engine.New(engine.Config{Slots: 4})
+	testEnv, testEnvErr = NewEnv(ctx, dir, Scale{
+		Events: 20_000, Trajs: 2_000, POIs: 10_000, Areas: 400, AirSta: 5,
+	})
+	os.Exit(m.Run())
+}
+
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	if testEnvErr != nil {
+		t.Fatal(testEnvErr)
+	}
+	return testEnv
+}
+
+// TestAllSystemsAgree verifies that all four implementations of every
+// application extract the same feature (checksum agreement) — the
+// correctness backbone behind the Fig. 7 comparison.
+func TestAllSystemsAgree(t *testing.T) {
+	env := smallEnv(t)
+	for _, app := range AllApps {
+		app := app
+		t.Run(string(app), func(t *testing.T) {
+			windows := WindowsFor(app, 0.4, 3, 99)
+			var ref AppResult
+			for i, sys := range AllSystems {
+				got, err := RunApp(env, app, sys, windows)
+				if err != nil {
+					t.Fatalf("%s: %v", sys, err)
+				}
+				if i == 0 {
+					ref = got
+					if got.Records == 0 {
+						t.Fatalf("%s selected no records — degenerate test", sys)
+					}
+					continue
+				}
+				if got.Records != ref.Records {
+					t.Errorf("%s selected %d records, %s selected %d",
+						sys, got.Records, AllSystems[0], ref.Records)
+				}
+				if !closeEnough(got.Checksum, ref.Checksum) {
+					t.Errorf("%s checksum %.6f != %s checksum %.6f",
+						sys, got.Checksum, AllSystems[0], ref.Checksum)
+				}
+			}
+		})
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*scale+1e-9
+}
+
+func TestWindowsForCoverage(t *testing.T) {
+	ws := WindowsFor(AppAnomaly, 0.3, 5, 1)
+	if len(ws) != 5 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	for _, w := range ws {
+		if w.Space.IsEmpty() || w.Time.IsEmpty() {
+			t.Fatal("degenerate window")
+		}
+	}
+	if WindowsFor(AppPOICount, 0.3, 5, 1) != nil {
+		t.Error("corpus-wide apps take no windows")
+	}
+}
+
+func TestRunAppUnknown(t *testing.T) {
+	env := smallEnv(t)
+	if _, err := RunApp(env, App("nope"), ST4MLB, nil); err == nil {
+		t.Error("unknown app should error")
+	}
+	if _, err := RunApp(env, AppAnomaly, SystemKind("nope"), nil); err == nil {
+		t.Error("unknown system should error")
+	}
+}

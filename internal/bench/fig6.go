@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"st4ml/internal/convert"
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/instance"
+	"st4ml/internal/stdata"
+)
+
+// Fig6Row is one point of Fig. 6: singular→collective conversion time for
+// one (dataset, target, granularity) under each allocation method.
+type Fig6Row struct {
+	Dataset     string
+	Target      string // ts | sm | raster
+	Granularity int    // NT for ts, x of x×x for sm, y of y×y×y for raster
+	NaiveMs     float64
+	RegularMs   float64
+	RTreeMs     float64
+}
+
+// Speedup returns naive/rtree, the paper's headline ratio.
+func (r Fig6Row) Speedup() float64 {
+	if r.RTreeMs <= 0 {
+		return 0
+	}
+	return r.NaiveMs / r.RTreeMs
+}
+
+// Fig6 measures all six singular→collective conversions under the three
+// allocation methods across granularities.
+func Fig6(env *Env, tsGrans, smGrans, rasterGrans []int) []Fig6Row {
+	events := engine.Map(
+		engine.Parallelize(env.Ctx, env.Events, 0),
+		stdata.EventRec.ToEvent).Cache()
+	events.Count()
+	trajs := engine.Map(
+		engine.Parallelize(env.Ctx, env.Trajs, 0),
+		stdata.TrajRec.ToTrajectory).Cache()
+	trajs.Count()
+
+	var rows []Fig6Row
+	timeIt := func(f func()) float64 {
+		t0 := time.Now()
+		f()
+		return float64(time.Since(t0).Microseconds()) / 1000
+	}
+
+	for _, nt := range tsGrans {
+		tgt := convert.TimeGridTarget(instance.TimeGrid{Window: datagen.Year2013, NT: nt})
+		row := Fig6Row{Dataset: "event", Target: "ts", Granularity: nt}
+		for _, m := range []convert.Method{convert.Naive, convert.Regular, convert.RTree} {
+			m := m
+			ms := timeIt(func() {
+				convert.EventToTimeSeries(events, tgt, m, countOf[eventInst]).Count()
+			})
+			row.set(m, ms)
+		}
+		rows = append(rows, row)
+
+		rowT := Fig6Row{Dataset: "traj", Target: "ts", Granularity: nt}
+		for _, m := range []convert.Method{convert.Naive, convert.Regular, convert.RTree} {
+			m := m
+			ms := timeIt(func() {
+				convert.TrajToTimeSeries(trajs, tgt, m, countOf[trajInst]).Count()
+			})
+			rowT.set(m, ms)
+		}
+		rows = append(rows, rowT)
+	}
+	for _, x := range smGrans {
+		evTgt := convert.SpatialGridTarget(instance.SpatialGrid{Extent: datagen.NYCExtent, NX: x, NY: x})
+		trTgt := convert.SpatialGridTarget(instance.SpatialGrid{Extent: datagen.PortoExtent, NX: x, NY: x})
+		row := Fig6Row{Dataset: "event", Target: "sm", Granularity: x}
+		rowT := Fig6Row{Dataset: "traj", Target: "sm", Granularity: x}
+		for _, m := range []convert.Method{convert.Naive, convert.Regular, convert.RTree} {
+			m := m
+			row.set(m, timeIt(func() {
+				convert.EventToSpatialMap(events, evTgt, m, countOf[eventInst]).Count()
+			}))
+			rowT.set(m, timeIt(func() {
+				convert.TrajToSpatialMap(trajs, trTgt, m, countOf[trajInst]).Count()
+			}))
+		}
+		rows = append(rows, row, rowT)
+	}
+	for _, y := range rasterGrans {
+		evTgt := convert.RasterGridTarget(instance.RasterGrid{
+			Space: instance.SpatialGrid{Extent: datagen.NYCExtent, NX: y, NY: y},
+			Time:  instance.TimeGrid{Window: datagen.Year2013, NT: y},
+		})
+		trTgt := convert.RasterGridTarget(instance.RasterGrid{
+			Space: instance.SpatialGrid{Extent: datagen.PortoExtent, NX: y, NY: y},
+			Time:  instance.TimeGrid{Window: datagen.Year2013, NT: y},
+		})
+		row := Fig6Row{Dataset: "event", Target: "raster", Granularity: y}
+		rowT := Fig6Row{Dataset: "traj", Target: "raster", Granularity: y}
+		for _, m := range []convert.Method{convert.Naive, convert.Regular, convert.RTree} {
+			m := m
+			row.set(m, timeIt(func() {
+				convert.EventToRaster(events, evTgt, m, countOf[eventInst]).Count()
+			}))
+			rowT.set(m, timeIt(func() {
+				convert.TrajToRaster(trajs, trTgt, m, countOf[trajInst]).Count()
+			}))
+		}
+		rows = append(rows, row, rowT)
+	}
+	return rows
+}
+
+func countOf[T any](in []T) int64 { return int64(len(in)) }
+
+func (r *Fig6Row) set(m convert.Method, ms float64) {
+	switch m {
+	case convert.Naive:
+		r.NaiveMs = ms
+	case convert.Regular:
+		r.RegularMs = ms
+	case convert.RTree:
+		r.RTreeMs = ms
+	}
+}
+
+// Fig6Table formats the rows.
+func Fig6Table(rows []Fig6Row) *Table {
+	t := NewTable("Fig 6: conversion time, naive vs regular vs R-tree",
+		"dataset", "target", "gran", "naive_ms", "regular_ms", "rtree_ms", "naive/rtree")
+	for _, r := range rows {
+		t.Add(r.Dataset, r.Target, fmt.Sprintf("%d", r.Granularity),
+			r.NaiveMs, r.RegularMs, r.RTreeMs, r.Speedup())
+	}
+	return t
+}

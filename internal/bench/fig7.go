@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// warmStores reads every store file once so Fig. 7 timings measure
+// processing rather than first-touch page-cache misses (the simulated
+// cluster's "data already on HDFS datanodes" assumption).
+func warmStores(env *Env) {
+	for _, dir := range []string{
+		env.EventDir, env.TrajDir,
+		env.GSEventDir, env.GSTrajDir,
+		env.GMEventDir, env.GMTrajDir,
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				_, _ = os.ReadFile(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+}
+
+// Fig7Row is one bar of Fig. 7: one application on one system.
+type Fig7Row struct {
+	App      App
+	System   SystemKind
+	Ms       float64
+	Checksum float64
+	Records  int64
+}
+
+// Fig7 runs the eight end-to-end applications on the compared systems over
+// numWindows sequential random ST ranges of the given fraction, reporting
+// total processing time per (app, system). ST4ML-C is skipped when
+// includeCustom is false (the paper's Fig. 7 uses the built-ins).
+func Fig7(env *Env, apps []App, systems []SystemKind, frac float64, numWindows int) ([]Fig7Row, error) {
+	warmStores(env)
+	var rows []Fig7Row
+	for _, app := range apps {
+		windows := WindowsFor(app, frac, numWindows, 100+int64(len(app)))
+		for _, sys := range systems {
+			t0 := time.Now()
+			res, err := RunApp(env, app, sys, windows)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig7Row{
+				App:      app,
+				System:   sys,
+				Ms:       float64(time.Since(t0).Microseconds()) / 1000,
+				Checksum: res.Checksum,
+				Records:  res.Records,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Table formats the rows with per-app speedups over ST4ML-B.
+func Fig7Table(rows []Fig7Row) *Table {
+	t := NewTable("Fig 7: end-to-end feature extraction time (ms)",
+		"app", "system", "ms", "vs_st4ml", "records", "checksum")
+	base := map[App]float64{}
+	for _, r := range rows {
+		if r.System == ST4MLB {
+			base[r.App] = r.Ms
+		}
+	}
+	for _, r := range rows {
+		rel := 0.0
+		if b := base[r.App]; b > 0 {
+			rel = r.Ms / b
+		}
+		t.Add(string(r.App), string(r.System), r.Ms, rel, r.Records, r.Checksum)
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"st4ml/internal/engine"
+)
+
+// Fig7SweepRow is one (scale, app, system) measurement of the Fig. 7 data
+// scale sweep — the x-axis of the paper's subfigures.
+type Fig7SweepRow struct {
+	ScaleFrac float64
+	Fig7Row
+}
+
+// Fig7Sweep rebuilds the environment at each fraction of the base scale
+// and reruns the applications, exposing how each system's time grows with
+// data volume (the paper's "ST4ML grows much slower" claim).
+func Fig7Sweep(
+	ctx *engine.Context,
+	baseDir string,
+	base Scale,
+	fractions []float64,
+	apps []App,
+	systems []SystemKind,
+	windowFrac float64,
+	numWindows int,
+) ([]Fig7SweepRow, error) {
+	var rows []Fig7SweepRow
+	for _, f := range fractions {
+		scaled := Scale{
+			Events: int(float64(base.Events) * f),
+			Trajs:  int(float64(base.Trajs) * f),
+			POIs:   int(float64(base.POIs) * f),
+			Areas:  base.Areas,
+			AirSta: maxInt(1, int(float64(base.AirSta)*f)),
+		}
+		dir := filepath.Join(baseDir, fmt.Sprintf("scale-%0.2f", f))
+		env, err := NewEnv(ctx, dir, scaled)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 sweep at %g: %w", f, err)
+		}
+		sub, err := Fig7(env, apps, systems, windowFrac, numWindows)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range sub {
+			rows = append(rows, Fig7SweepRow{ScaleFrac: f, Fig7Row: r})
+		}
+	}
+	return rows, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig7SweepTable formats the sweep with per-system growth factors between
+// the smallest and largest scale.
+func Fig7SweepTable(rows []Fig7SweepRow) *Table {
+	t := NewTable("Fig 7 scale sweep: processing time vs data size (ms)",
+		"app", "system", "scale", "ms", "vs_st4ml")
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.System == ST4MLB {
+			base[string(r.App)+fmt.Sprint(r.ScaleFrac)] = r.Ms
+		}
+	}
+	for _, r := range rows {
+		rel := 0.0
+		if b := base[string(r.App)+fmt.Sprint(r.ScaleFrac)]; b > 0 {
+			rel = r.Ms / b
+		}
+		t.Add(string(r.App), string(r.System), r.ScaleFrac, r.Ms, rel)
+	}
+	return t
+}

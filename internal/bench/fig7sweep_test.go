@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+
+	"st4ml/internal/engine"
+)
+
+// TestFig7SweepGrowth verifies the scale-sweep machinery and the paper's
+// growth claim: as data grows, the GeoSpark-like load-everything design
+// slows down at least as fast as ST4ML.
+func TestFig7SweepGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := engine.New(engine.Config{Slots: 4})
+	rows, err := Fig7Sweep(ctx, t.TempDir(),
+		Scale{Events: 10_000, Trajs: 1_000, POIs: 4_000, Areas: 36, AirSta: 3},
+		[]float64{0.5, 1.0},
+		[]App{AppHourlyFlow},
+		[]SystemKind{ST4MLB, GeoSpark},
+		0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(sys SystemKind, frac float64) Fig7SweepRow {
+		for _, r := range rows {
+			if r.System == sys && r.ScaleFrac == frac {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s@%g", sys, frac)
+		return Fig7SweepRow{}
+	}
+	// Record counts grow with scale for both systems identically.
+	if get(ST4MLB, 1.0).Records <= get(ST4MLB, 0.5).Records {
+		t.Error("larger scale should select more records")
+	}
+	if get(ST4MLB, 1.0).Records != get(GeoSpark, 1.0).Records {
+		t.Error("systems disagree on selected records")
+	}
+	// ST4ML stays faster at full scale.
+	if get(ST4MLB, 1.0).Ms >= get(GeoSpark, 1.0).Ms {
+		t.Errorf("ST4ML (%.1f ms) should beat GeoSpark-like (%.1f ms) at full scale",
+			get(ST4MLB, 1.0).Ms, get(GeoSpark, 1.0).Ms)
+	}
+	// The formatter renders.
+	if tab := Fig7SweepTable(rows); len(tab.Rows) != 4 {
+		t.Errorf("table rows = %d", len(tab.Rows))
+	}
+}

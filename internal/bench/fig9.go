@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"time"
+
+	"st4ml/internal/baseline"
+	"st4ml/internal/codec"
+	"st4ml/internal/convert"
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/extract"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/roadnet"
+	"st4ml/internal/stdata"
+	"st4ml/internal/tempo"
+)
+
+// Fig. 9 / case study 1: daily city-wide traffic speed extraction over a
+// raster of (district, one-hour) cells, ST4ML vs the GeoSpark-like
+// pipeline, per day with varying data volume.
+
+// Fig9Row is one day of the case study.
+type Fig9Row struct {
+	Day        int
+	Trajs      int
+	ST4MLMs    float64
+	GeoSparkMs float64
+	// Checksums verify both systems extract the same speeds.
+	ST4MLChecksum    float64
+	GeoSparkChecksum float64
+}
+
+// CaseStudyCity is the synthetic Hangzhou-like setting shared by Fig. 9 and
+// Table 9: a road network and 100 polygonal districts over it.
+type CaseStudyCity struct {
+	Graph     *roadnet.Graph
+	Districts []*geom.Polygon
+}
+
+// NewCaseStudyCity builds the deterministic city.
+func NewCaseStudyCity() *CaseStudyCity {
+	g := roadnet.GenerateGrid(16, 16, 500, geom.Pt(120.05, 30.20), 0.05, 17)
+	ext := g.Extent()
+	grid := instance.SpatialGrid{Extent: ext, NX: 10, NY: 10}
+	cells := grid.Cells()
+	districts := make([]*geom.Polygon, len(cells))
+	for i, c := range cells {
+		districts[i] = c.ToPolygon()
+	}
+	return &CaseStudyCity{Graph: g, Districts: districts}
+}
+
+// Fig9 runs the daily speed extraction for the given days; trajsBase
+// scales the per-day volume (day d carries trajsBase + d*trajsBase/4
+// trajectories, so volume grows through the period as in the paper's
+// month).
+func Fig9(ctx *engine.Context, city *CaseStudyCity, days, trajsBase int) []Fig9Row {
+	rows := make([]Fig9Row, 0, days)
+	for day := 0; day < days; day++ {
+		n := trajsBase + day*trajsBase/4
+		trajs := datagen.Camera(city.Graph, n, day, 23)
+		window := tempo.New(
+			datagen.Year2013.Start+int64(day)*86400,
+			datagen.Year2013.Start+int64(day+1)*86400-1)
+		row := Fig9Row{Day: day, Trajs: n}
+
+		// ST4ML: Traj2Raster (districts × 1 h) with the broadcast R-tree,
+		// then the built-in raster speed extractor.
+		t0 := time.Now()
+		row.ST4MLChecksum = fig9ST4ML(ctx, city, trajs, window)
+		row.ST4MLMs = msSince(t0)
+
+		// GeoSpark-like: features with string timestamps, ad-hoc in-memory
+		// ingestion, Cartesian district allocation, shuffled aggregation.
+		t0 = time.Now()
+		row.GeoSparkChecksum = fig9GeoSpark(ctx, city, trajs, window)
+		row.GeoSparkMs = msSince(t0)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1000
+}
+
+// fig9Cells builds the (district, hour) raster target.
+func fig9Cells(city *CaseStudyCity, window tempo.Duration) ([]*geom.Polygon, []tempo.Duration) {
+	hours := window.Split(24)
+	var cells []*geom.Polygon
+	var slots []tempo.Duration
+	for _, h := range hours {
+		for _, d := range city.Districts {
+			cells = append(cells, d)
+			slots = append(slots, h)
+		}
+	}
+	return cells, slots
+}
+
+func fig9ST4ML(ctx *engine.Context, city *CaseStudyCity, trajs []stdata.TrajRec, window tempo.Duration) float64 {
+	cells, slots := fig9Cells(city, window)
+	tgt := convert.RasterCellsTarget(cells, slots)
+	r := engine.Map(engine.Parallelize(ctx, trajs, 0), stdata.TrajRec.ToTrajectory)
+	raster := convert.TrajToRaster(r, tgt, convert.RTree,
+		func(in []trajInst) []trajInst { return in })
+	speeds, ok := extract.RasterSpeed(raster, extract.KMH)
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, e := range speeds.Entries {
+		if e.Value.Count > 0 {
+			sum += float64(e.Value.Count) + round2(e.Value.Mean)
+		}
+	}
+	return sum
+}
+
+func fig9GeoSpark(ctx *engine.Context, city *CaseStudyCity, trajs []stdata.TrajRec, window tempo.Duration) float64 {
+	feats := make([]baseline.Feature, len(trajs))
+	for i, tr := range trajs {
+		feats[i] = baseline.FromTrajRec(tr)
+	}
+	loaded := engine.Parallelize(ctx, feats, 0).Cache()
+	loaded.Count() // ad-hoc ingestion
+	cells, slots := fig9Cells(city, window)
+	// Cartesian (trajectory × cell) allocation with a shuffled per-cell
+	// aggregation.
+	pairs := engine.FlatMap(loaded, func(f baseline.Feature) []codec.Pair[int, float64] {
+		entries := featureEntries(f) // parse string timestamps
+		speed := featureSpeedMps(f)
+		var out []codec.Pair[int, float64]
+		for ci := range cells {
+			if featureHitsDistrict(entries, cells[ci], slots[ci]) {
+				out = append(out, codec.KV(ci, speed))
+			}
+		}
+		return out
+	})
+	grouped := engine.GroupByKey(pairs, codec.Int, codec.Float64, 0)
+	var sum float64
+	for _, g := range grouped.Collect() {
+		var a extract.MeanAcc
+		for _, v := range g.Value {
+			a = a.Add(v)
+		}
+		sum += float64(a.N) + round2(a.Mean()*3.6)
+	}
+	return sum
+}
+
+// featureHitsDistrict mirrors ST4ML's trajIntersectsCell semantics on the
+// reformatted entries: any segment overlapping the slot and crossing the
+// district polygon.
+func featureHitsDistrict(entries []instance.Entry[geom.Point, instance.Unit], cell *geom.Polygon, slot tempo.Duration) bool {
+	if len(entries) == 1 {
+		return slot.Intersects(entries[0].Temporal) && cell.ContainsPoint(entries[0].Spatial)
+	}
+	for i := 1; i < len(entries); i++ {
+		a, b := entries[i-1], entries[i]
+		if !slot.Intersects(a.Temporal.Union(b.Temporal)) {
+			continue
+		}
+		if cell.IntersectsSegment(a.Spatial, b.Spatial) {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig9Table formats the rows.
+func Fig9Table(rows []Fig9Row) *Table {
+	t := NewTable("Fig 9: daily traffic speed extraction (case study)",
+		"day", "trajs", "st4ml_ms", "geospark_ms", "speedup", "checks_match")
+	for _, r := range rows {
+		t.Add(r.Day, r.Trajs, r.ST4MLMs, r.GeoSparkMs,
+			ratio(r.GeoSparkMs, r.ST4MLMs),
+			closeEnoughF(r.ST4MLChecksum, r.GeoSparkChecksum))
+	}
+	return t
+}
+
+func closeEnoughF(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return diff <= 1e-6*scale+1e-9
+}

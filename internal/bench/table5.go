@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/index"
+	"st4ml/internal/partition"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+)
+
+// Table5Row is one cell group of Table 5: load balance (CV) and ST-locality
+// (OV) of one partitioner on one dataset.
+type Table5Row struct {
+	Partitioner string
+	Dataset     string
+	CV          float64
+	OV          float64
+}
+
+// Table5 evaluates the load balance and overlap of the compared
+// partitioners: the engine's Hash partitioner (native Spark's random
+// layout), the GeoMesa-like Z3 chunking (measured on the real store), the
+// GeoSpark-like KD-tree, and T-STR — n partitions each (T-STR uses gt×gs).
+func Table5(env *Env, n, gt, gs int) []Table5Row {
+	var rows []Table5Row
+	evRDD := engine.Parallelize(env.Ctx, env.Events, 0)
+	trRDD := engine.Parallelize(env.Ctx, env.Trajs, 0)
+
+	rows = append(rows,
+		table5One(evRDD, stdata.EventRecC, stdata.EventRec.Box, "event", "Native(Hash)", nil, n),
+		table5One(trRDD, stdata.TrajRecC, stdata.TrajRec.Box, "traj", "Native(Hash)", nil, n))
+
+	// The GeoMesa-like layout is its Z3-curve chunking: measure the real
+	// store's chunk extents (key-ordered runs are spatially non-contiguous,
+	// which is what drives its OV up — the paper's 13.44).
+	rows = append(rows,
+		table5Store(env.GMEventDir, "event", "GeoMesa(Z3)"),
+		table5Store(env.GMTrajDir, "traj", "GeoMesa(Z3)"))
+
+	planners := []struct {
+		name string
+		p    partition.Planner
+	}{
+		{"GeoSpark(KD)", partition.KDTree{N: n}},
+		{"ST4ML(T-STR)", partition.TSTR{GT: gt, GS: gs}},
+	}
+	for _, pl := range planners {
+		rows = append(rows,
+			table5One(evRDD, stdata.EventRecC, stdata.EventRec.Box, "event", pl.name, pl.p, n),
+			table5One(trRDD, stdata.TrajRecC, stdata.TrajRec.Box, "traj", pl.name, pl.p, n))
+	}
+	return rows
+}
+
+// table5Store measures CV/OV from an on-disk store's partition metadata
+// (counts and tight ST bounds per chunk).
+func table5Store(dir, dataset, name string) Table5Row {
+	meta, err := storage.ReadMetadata(dir)
+	if err != nil {
+		panic(err)
+	}
+	counts := make([]int64, 0, meta.NumPartitions())
+	boxes := make([]index.Box, 0, meta.NumPartitions())
+	all := index.EmptyBox()
+	for _, p := range meta.Partitions {
+		counts = append(counts, p.Count)
+		if p.Count > 0 {
+			boxes = append(boxes, p.Box())
+			all = all.Union(p.Box())
+		}
+	}
+	return Table5Row{
+		Partitioner: name,
+		Dataset:     dataset,
+		CV:          partition.CV(counts),
+		OV:          partition.OV(boxes, all),
+	}
+}
+
+// table5One partitions r (hash when planner is nil) and measures CV/OV of
+// the resulting layout.
+func table5One[T any](
+	r *engine.RDD[T],
+	c codec.Codec[T],
+	boxOf func(T) index.Box,
+	dataset, name string,
+	planner partition.Planner,
+	n int,
+) Table5Row {
+	var partitioned *engine.RDD[T]
+	if planner == nil {
+		partitioned = engine.HashPartitionBy(r, c, n)
+	} else {
+		partitioned, _ = partition.ByPlanner(r, c, boxOf, planner,
+			partition.Options{SampleFrac: 0.05, Seed: 5})
+	}
+	cv, ov := measurePartitions(partitioned, boxOf)
+	return Table5Row{Partitioner: name, Dataset: dataset, CV: cv, OV: ov}
+}
+
+// partStats holds one partition's record count and tight record cover box.
+type partStats struct {
+	count int64
+	cover index.Box
+}
+
+// measurePartitions computes the Table 5 metrics from actual per-partition
+// record placement: CV over record counts, OV over tight per-partition
+// cover boxes normalized by the global extent.
+func measurePartitions[T any](r *engine.RDD[T], boxOf func(T) index.Box) (cv, ov float64) {
+	stats := engine.MapPartitions(r, func(_ int, in []T) []partStats {
+		cover := index.EmptyBox()
+		for _, v := range in {
+			cover = cover.Union(boxOf(v))
+		}
+		return []partStats{{count: int64(len(in)), cover: cover}}
+	}).Collect()
+	counts := make([]int64, len(stats))
+	boxes := make([]index.Box, 0, len(stats))
+	all := index.EmptyBox()
+	for i, s := range stats {
+		counts[i] = s.count
+		all = all.Union(s.cover)
+		if !s.cover.IsEmpty() {
+			boxes = append(boxes, s.cover)
+		}
+	}
+	return partition.CV(counts), partition.OV(boxes, all)
+}
+
+// Table5Table formats the rows in the paper's layout.
+func Table5Table(rows []Table5Row) *Table {
+	t := NewTable("Table 5: load balance (CV) and ST overlap (OV)",
+		"partitioner", "CV_event", "OV_event", "CV_traj", "OV_traj")
+	byName := map[string]map[string]Table5Row{}
+	var order []string
+	for _, r := range rows {
+		if byName[r.Partitioner] == nil {
+			byName[r.Partitioner] = map[string]Table5Row{}
+			order = append(order, r.Partitioner)
+		}
+		byName[r.Partitioner][r.Dataset] = r
+	}
+	for _, name := range order {
+		ev := byName[name]["event"]
+		tr := byName[name]["traj"]
+		t.Add(name, ev.CV, ev.OV, tr.CV, tr.OV)
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"path/filepath"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/extract"
+	"st4ml/internal/geom"
+	"st4ml/internal/partition"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+	"st4ml/internal/tempo"
+)
+
+// Table6Result reproduces Table 6: T-STR vs 2-d STR on index-facilitated
+// data loading and on companion extraction (times in milliseconds).
+type Table6Result struct {
+	// Selection over on-disk indexes built with each partitioner.
+	LoadEventSTR2D, LoadEventTSTR float64
+	LoadTrajSTR2D, LoadTrajTSTR   float64
+	// End-to-end companion extraction partitioned with each.
+	CompEventSTR2D, CompEventTSTR float64
+	CompTrajSTR2D, CompTrajTSTR   float64
+	// Companion pair counts, for cross-partitioner agreement checks.
+	CompEventPairs, CompTrajPairs int
+}
+
+// Table6 runs both comparisons at n partitions, with queries random
+// selection tasks, and the paper's companion thresholds (1 km, 15 min)
+// over one day of data.
+func Table6(env *Env, baseDir string, n, queries int) (Table6Result, error) {
+	var res Table6Result
+	// --- Index construction for data loading ---
+	dirs := map[string]partition.Planner{
+		"t6-ev-str":  partition.STR2D{N: n},
+		"t6-ev-tstr": partition.TSTR{GT: 16, GS: n / 16},
+	}
+	evRDD := engine.Parallelize(env.Ctx, env.Events, 0)
+	trRDD := engine.Parallelize(env.Ctx, env.Trajs, 0)
+	for name, planner := range dirs {
+		dir := filepath.Join(baseDir, name)
+		if _, err := selection.Ingest(evRDD, dir, stdata.EventRecC, stdata.EventRec.Box,
+			planner, selection.IngestOptions{Name: name, SampleFrac: 0.05, Seed: 6}); err != nil {
+			return res, err
+		}
+	}
+	trDirs := map[string]partition.Planner{
+		"t6-tr-str":  partition.STR2D{N: n},
+		"t6-tr-tstr": partition.TSTR{GT: 16, GS: n / 16},
+	}
+	for name, planner := range trDirs {
+		dir := filepath.Join(baseDir, name)
+		if _, err := selection.Ingest(trRDD, dir, stdata.TrajRecC, stdata.TrajRec.Box,
+			planner, selection.IngestOptions{Name: name, SampleFrac: 0.05, Seed: 6}); err != nil {
+			return res, err
+		}
+	}
+	evSel := selection.New(env.Ctx, stdata.EventRecC, stdata.EventRec.Box, nil,
+		selection.Config{Index: true})
+	trSel := selection.New(env.Ctx, stdata.TrajRecC, stdata.TrajRec.Box, nil,
+		selection.Config{Index: true})
+	// The §4.1 selection shape: broad in space, weekly in time — where
+	// temporal partitioning prunes and spatial-only partitioning cannot.
+	evWindows := RandomWindowsST(datagen.NYCExtent, datagen.Year2013, 0.5, 0.02, queries, 61)
+	trWindows := RandomWindowsST(datagen.PortoExtent, datagen.Year2013, 0.5, 0.02, queries, 62)
+
+	timeSel := func(sel func(dir string, w selection.Window) error, dir string, ws []selection.Window) float64 {
+		t0 := time.Now()
+		for _, w := range ws {
+			if err := sel(dir, w); err != nil {
+				panic(err)
+			}
+		}
+		return float64(time.Since(t0).Microseconds()) / 1000
+	}
+	evRun := func(dir string, w selection.Window) error {
+		_, _, err := evSel.SelectPruned(dir, w)
+		return err
+	}
+	trRun := func(dir string, w selection.Window) error {
+		_, _, err := trSel.SelectPruned(dir, w)
+		return err
+	}
+	res.LoadEventSTR2D = timeSel(evRun, filepath.Join(baseDir, "t6-ev-str"), evWindows)
+	res.LoadEventTSTR = timeSel(evRun, filepath.Join(baseDir, "t6-ev-tstr"), evWindows)
+	res.LoadTrajSTR2D = timeSel(trRun, filepath.Join(baseDir, "t6-tr-str"), trWindows)
+	res.LoadTrajTSTR = timeSel(trRun, filepath.Join(baseDir, "t6-tr-tstr"), trWindows)
+
+	// --- Companion extraction over one day ---
+	day := tempo.New(datagen.Year2013.Start, datagen.Year2013.Start+86400-1)
+	dayEvents := evRDD.Filter(func(e stdata.EventRec) bool { return day.Contains(e.Time) }).Cache()
+	dayEvents.Count()
+	dayTrajs := trRDD.Filter(func(t stdata.TrajRec) bool {
+		return t.Box().Temporal().Intersects(day)
+	}).Cache()
+	dayTrajs.Count()
+
+	const distM, dtSec = 1000.0, 900
+	// Duplication buffers: the join thresholds, in degrees and seconds
+	// (longitude degrees shrink with latitude, so convert at 45° for a
+	// safe overestimate at both corpora's latitudes).
+	bufDeg := geom.MetersToDegreesLon(distM, 45)
+	idOf := func(d int64) int64 { return d }
+	dupOpts := func(seed int64) partition.Options {
+		return partition.Options{
+			SampleFrac: 0.1, Seed: seed,
+			Duplicate: true, BufferSpace: bufDeg, BufferTime: dtSec,
+		}
+	}
+
+	companionEvents := func(planner partition.Planner) (float64, int) {
+		t0 := time.Now()
+		parted, _ := partition.ByPlanner(dayEvents, stdata.EventRecC, stdata.EventRec.Box,
+			planner, dupOpts(7))
+		events := engine.Map(parted, stdata.EventRec.ToEvent)
+		pairs := extract.DedupCompanions(extract.EventCompanion(events, distM, dtSec, idOf))
+		return float64(time.Since(t0).Microseconds()) / 1000, len(pairs)
+	}
+	companionTrajs := func(planner partition.Planner) (float64, int) {
+		t0 := time.Now()
+		parted, _ := partition.ByPlanner(dayTrajs, stdata.TrajRecC, stdata.TrajRec.Box,
+			planner, dupOpts(8))
+		trajs := engine.Map(parted, stdata.TrajRec.ToTrajectory)
+		pairs := extract.DedupCompanions(extract.TrajCompanion(trajs, distM, dtSec, idOf))
+		return float64(time.Since(t0).Microseconds()) / 1000, len(pairs)
+	}
+	var nPairs int
+	res.CompEventSTR2D, nPairs = companionEvents(partition.STR2D{N: n})
+	res.CompEventTSTR, res.CompEventPairs = companionEvents(partition.TSTR{GT: 16, GS: n / 16})
+	if nPairs != res.CompEventPairs {
+		// Duplication guarantees completeness; both partitionings must find
+		// the same pair set.
+		panic("bench: companion pair counts disagree between partitioners")
+	}
+	res.CompTrajSTR2D, _ = companionTrajs(partition.STR2D{N: n})
+	res.CompTrajTSTR, res.CompTrajPairs = companionTrajs(partition.TSTR{GT: 16, GS: n / 16})
+	return res, nil
+}
+
+// Table6Table formats the result in the paper's layout.
+func Table6Table(r Table6Result) *Table {
+	t := NewTable("Table 6: T-STR vs 2-d STR (ms)",
+		"", "load_event", "load_traj", "companion_event", "companion_traj")
+	t.Add("2-d STR", r.LoadEventSTR2D, r.LoadTrajSTR2D, r.CompEventSTR2D, r.CompTrajSTR2D)
+	t.Add("T-STR", r.LoadEventTSTR, r.LoadTrajTSTR, r.CompEventTSTR, r.CompTrajTSTR)
+	t.Add("speedup",
+		ratio(r.LoadEventSTR2D, r.LoadEventTSTR),
+		ratio(r.LoadTrajSTR2D, r.LoadTrajTSTR),
+		ratio(r.CompEventSTR2D, r.CompEventTSTR),
+		ratio(r.CompTrajSTR2D, r.CompTrajTSTR))
+	return t
+}
+
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}

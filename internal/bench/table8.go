@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+)
+
+// Table 8 counts the lines of code of the end-to-end application
+// implementations, per system, directly from this package's sources: the
+// ST4ML implementations live in apps_st4ml.go (with the built-in and
+// custom styles as the two branches of each function's `if builtin`), the
+// baseline implementations in apps_geomesa.go and apps_geospark.go. The
+// comparison measures real, runnable code — the same functions Fig. 7
+// executes.
+
+//go:embed apps_st4ml.go apps_geomesa.go apps_geospark.go
+var appSources embed.FS
+
+// Table8Row reports one application's LoC per system.
+type Table8Row struct {
+	App      App
+	ST4MLB   int
+	ST4MLC   int
+	GeoMesa  int
+	GeoSpark int
+}
+
+// appFuncNames maps each application to its function name per source file.
+var appFuncNames = map[App][3]string{
+	AppAnomaly:    {"st4mlAnomaly", "gmAnomaly", "gsAnomaly"},
+	AppAvgSpeed:   {"st4mlAvgSpeed", "gmAvgSpeed", "gsAvgSpeed"},
+	AppStayPoint:  {"st4mlStayPoint", "gmStayPoint", "gsStayPoint"},
+	AppHourlyFlow: {"st4mlHourlyFlow", "gmHourlyFlow", "gsHourlyFlow"},
+	AppGridSpeed:  {"st4mlGridSpeed", "gmGridSpeed", "gsGridSpeed"},
+	AppTransition: {"st4mlTransition", "gmTransition", "gsTransition"},
+	AppAirRoad:    {"st4mlAirRoad", "gmAirRoad", "gsAirRoad"},
+	AppPOICount:   {"st4mlPOICount", "gmPOICount", "gsPOICount"},
+}
+
+// funcSpan records a function's total line span, the spans of the
+// builtin/custom branches of its top-level `if builtin` statement (0 when
+// absent), and the names of same-package functions it calls.
+type funcSpan struct {
+	total, thenLines, elseLines int
+	calls                       []string
+}
+
+// Table8 parses the embedded sources and reports per-app LoC per system.
+// Each application is charged for its function plus every same-package
+// helper it (transitively) calls — so the baselines' per-record string
+// reformatting helpers count toward the baselines' effort, as they would if
+// each application were written standalone (the paper's setting).
+func Table8() ([]Table8Row, error) {
+	spans := map[string]funcSpan{}
+	for _, file := range []string{"apps_st4ml.go", "apps_geomesa.go", "apps_geospark.go"} {
+		src, err := appSources.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("bench: read %s: %w", file, err)
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, file, src, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: parse %s: %w", file, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			span := funcSpan{
+				total: fset.Position(fd.End()).Line - fset.Position(fd.Pos()).Line + 1,
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.IfStmt:
+					// Find `if builtin { ... } else { ... }` branches.
+					if id, ok := node.Cond.(*ast.Ident); ok && id.Name == "builtin" {
+						span.thenLines = fset.Position(node.Body.End()).Line -
+							fset.Position(node.Body.Pos()).Line + 1
+						if node.Else != nil {
+							span.elseLines = fset.Position(node.Else.End()).Line -
+								fset.Position(node.Else.Pos()).Line + 1
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := node.Fun.(*ast.Ident); ok {
+						span.calls = append(span.calls, id.Name)
+					}
+				}
+				return true
+			})
+			spans[fd.Name.Name] = span
+		}
+	}
+
+	// helperLines sums the spans of package helpers transitively reachable
+	// from fn, excluding app entry points and dispatchers.
+	appEntry := map[string]bool{}
+	for _, names := range appFuncNames {
+		for _, n := range names {
+			appEntry[n] = true
+		}
+	}
+	helperLines := func(fn string) int {
+		seen := map[string]bool{fn: true}
+		queue := append([]string(nil), spans[fn].calls...)
+		total := 0
+		for len(queue) > 0 {
+			name := queue[0]
+			queue = queue[1:]
+			if seen[name] || appEntry[name] {
+				continue
+			}
+			seen[name] = true
+			h, ok := spans[name]
+			if !ok {
+				continue // library call, not package-local
+			}
+			total += h.total
+			queue = append(queue, h.calls...)
+		}
+		return total
+	}
+
+	var rows []Table8Row
+	for _, app := range AllApps {
+		names := appFuncNames[app]
+		for _, n := range names {
+			if _, ok := spans[n]; !ok {
+				return nil, fmt.Errorf("bench: function %s not found", n)
+			}
+		}
+		st, gm, gs := spans[names[0]], spans[names[1]], spans[names[2]]
+		helpers := helperLines(names[0])
+		rows = append(rows, Table8Row{
+			App: app,
+			// ST4ML-B: the shared function minus the custom branch;
+			// ST4ML-C: minus the built-in branch.
+			ST4MLB:   st.total - st.elseLines + helpers,
+			ST4MLC:   st.total - st.thenLines + helpers,
+			GeoMesa:  gm.total + helperLines(names[1]),
+			GeoSpark: gs.total + helperLines(names[2]),
+		})
+	}
+	return rows, nil
+}
+
+// Table8Table formats the rows with the paper's normalized average.
+func Table8Table(rows []Table8Row) *Table {
+	t := NewTable("Table 8: lines of code per end-to-end application",
+		"app", "st4ml-b", "st4ml-c", "geomesa", "geospark")
+	var sb, sc, sm, sg int
+	for _, r := range rows {
+		t.Add(string(r.App), r.ST4MLB, r.ST4MLC, r.GeoMesa, r.GeoSpark)
+		sb += r.ST4MLB
+		sc += r.ST4MLC
+		sm += r.GeoMesa
+		sg += r.GeoSpark
+	}
+	if sb > 0 {
+		t.Add("average(normalized)",
+			"100%",
+			fmt.Sprintf("%.0f%%", 100*float64(sc)/float64(sb)),
+			fmt.Sprintf("%.0f%%", 100*float64(sm)/float64(sb)),
+			fmt.Sprintf("%.0f%%", 100*float64(sg)/float64(sb)))
+	}
+	return t
+}

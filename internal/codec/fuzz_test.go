@@ -1,0 +1,57 @@
+package codec
+
+import (
+	"testing"
+)
+
+// Fuzz targets: decoding arbitrary bytes must never panic with anything
+// but ErrCorrupt (which Catch converts to an error), and valid encodings
+// must round-trip. Run the corpus as normal tests, or explore with
+// `go test -fuzz=FuzzDecode ./internal/codec`.
+
+func FuzzDecodeInt64(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(Marshal(Int64, -123456789))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(Int64, data)
+		if err == nil {
+			// A clean decode must re-encode to an equal value.
+			if got, err2 := Unmarshal(Int64, Marshal(Int64, v)); err2 != nil || got != v {
+				t.Fatalf("re-encode of %d failed: %v", v, err2)
+			}
+		}
+	})
+}
+
+func FuzzDecodeString(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 'h', 'e'}) // length longer than payload
+	f.Add(Marshal(String, "héllo"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(String, data)
+		if err == nil {
+			if got, err2 := Unmarshal(String, Marshal(String, v)); err2 != nil || got != v {
+				t.Fatalf("re-encode of %q failed: %v", v, err2)
+			}
+		}
+	})
+}
+
+func FuzzDecodePairSlice(f *testing.F) {
+	c := SliceOf(PairOf(Int64, Float64))
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x02, 0x00})
+	f.Add(Marshal(c, []Pair[int64, float64]{KV(int64(1), 2.5)}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(c, data)
+		if err == nil {
+			b := Marshal(c, v)
+			got, err2 := Unmarshal(c, b)
+			if err2 != nil || len(got) != len(v) {
+				t.Fatalf("re-encode failed: %v", err2)
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package convert
+
+import (
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// Collective→singular and collective→collective conversions (§3.2.2). All
+// are local per-instance operations — no shuffle.
+
+// SpatialMapToValues flattens the cell values of every spatial map in the
+// RDD — the collective→singular conversion when V is Array[SI].
+func SpatialMapToValues[S geom.Geometry, E, D any](
+	r *engine.RDD[instance.SpatialMap[S, []E, D]],
+) *engine.RDD[E] {
+	return engine.FlatMap(r, func(sm instance.SpatialMap[S, []E, D]) []E {
+		var out []E
+		for _, e := range sm.Entries {
+			out = append(out, e.Value...)
+		}
+		return out
+	})
+}
+
+// TimeSeriesToValues flattens the slot values of every time series.
+func TimeSeriesToValues[E, D any](
+	r *engine.RDD[instance.TimeSeries[[]E, D]],
+) *engine.RDD[E] {
+	return engine.FlatMap(r, func(ts instance.TimeSeries[[]E, D]) []E {
+		var out []E
+		for _, e := range ts.Entries {
+			out = append(out, e.Value...)
+		}
+		return out
+	})
+}
+
+// RasterToValues flattens the cell values of every raster.
+func RasterToValues[S geom.Geometry, E, D any](
+	r *engine.RDD[instance.Raster[S, []E, D]],
+) *engine.RDD[E] {
+	return engine.FlatMap(r, func(ra instance.Raster[S, []E, D]) []E {
+		var out []E
+		for _, e := range ra.Entries {
+			out = append(out, e.Value...)
+		}
+		return out
+	})
+}
+
+// RasterToTimeSeries collapses a raster's cells by their temporal slot,
+// combining co-slot values with merge — per instance, in parallel.
+func RasterToTimeSeries[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.Raster[S, V, D]],
+	merge func(V, V) V,
+) *engine.RDD[instance.TimeSeries[V, D]] {
+	return engine.Map(r, func(ra instance.Raster[S, V, D]) instance.TimeSeries[V, D] {
+		type slotAgg struct {
+			value V
+			set   bool
+		}
+		order := []tempo.Duration{}
+		agg := map[tempo.Duration]*slotAgg{}
+		extent := geom.EmptyMBR()
+		for _, e := range ra.Entries {
+			extent = extent.Union(e.Spatial.MBR())
+			a, ok := agg[e.Temporal]
+			if !ok {
+				a = &slotAgg{}
+				agg[e.Temporal] = a
+				order = append(order, e.Temporal)
+			}
+			if a.set {
+				a.value = merge(a.value, e.Value)
+			} else {
+				a.value, a.set = e.Value, true
+			}
+		}
+		slots := make([]tempo.Duration, len(order))
+		values := make([]V, len(order))
+		copy(slots, order)
+		for i, s := range order {
+			values[i] = agg[s].value
+		}
+		ts := instance.NewTimeSeries(slots, values, extent, ra.Data)
+		return ts
+	})
+}
+
+// RasterToSpatialMap collapses a raster's cells by their spatial shape
+// (keyed by MBR), combining co-located values with merge.
+func RasterToSpatialMap[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.Raster[S, V, D]],
+	merge func(V, V) V,
+) *engine.RDD[instance.SpatialMap[S, V, D]] {
+	return engine.Map(r, func(ra instance.Raster[S, V, D]) instance.SpatialMap[S, V, D] {
+		type cellAgg struct {
+			shape S
+			value V
+			set   bool
+		}
+		var order []geom.MBR
+		agg := map[geom.MBR]*cellAgg{}
+		for _, e := range ra.Entries {
+			key := e.Spatial.MBR()
+			a, ok := agg[key]
+			if !ok {
+				a = &cellAgg{shape: e.Spatial}
+				agg[key] = a
+				order = append(order, key)
+			}
+			if a.set {
+				a.value = merge(a.value, e.Value)
+			} else {
+				a.value, a.set = e.Value, true
+			}
+		}
+		cells := make([]S, len(order))
+		values := make([]V, len(order))
+		for i, k := range order {
+			cells[i] = agg[k].shape
+			values[i] = agg[k].value
+		}
+		return instance.NewSpatialMap(cells, values, ra.Data)
+	})
+}
+
+// SpatialMapToRaster expands a spatial map into a raster with a single time
+// slot spanning dur for every cell — the general spatial-map→raster rule of
+// §3.2.2.
+func SpatialMapToRaster[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.SpatialMap[S, V, D]],
+	dur tempo.Duration,
+) *engine.RDD[instance.Raster[S, V, D]] {
+	return engine.Map(r, func(sm instance.SpatialMap[S, V, D]) instance.Raster[S, V, D] {
+		cells := make([]S, len(sm.Entries))
+		slots := make([]tempo.Duration, len(sm.Entries))
+		values := make([]V, len(sm.Entries))
+		for i, e := range sm.Entries {
+			cells[i] = e.Spatial
+			slots[i] = dur
+			values[i] = e.Value
+		}
+		return instance.NewRaster(cells, slots, values, sm.Data)
+	})
+}
+
+// TimeSeriesToRaster expands a time series into a raster whose cells all
+// share the given spatial extent.
+func TimeSeriesToRaster[V, D any](
+	r *engine.RDD[instance.TimeSeries[V, D]],
+	extent geom.MBR,
+) *engine.RDD[instance.Raster[geom.MBR, V, D]] {
+	return engine.Map(r, func(ts instance.TimeSeries[V, D]) instance.Raster[geom.MBR, V, D] {
+		cells := make([]geom.MBR, len(ts.Entries))
+		slots := make([]tempo.Duration, len(ts.Entries))
+		values := make([]V, len(ts.Entries))
+		for i, e := range ts.Entries {
+			cells[i] = extent
+			slots[i] = e.Temporal
+			values[i] = e.Value
+		}
+		return instance.NewRaster(cells, slots, values, ts.Data)
+	})
+}

@@ -1,0 +1,72 @@
+package convert
+
+import (
+	"testing"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// TestSpatialMapToTimeSeriesComposition covers the paper's §3.2.2
+// concatenation example: a spatial map holding Array[Event] converts to a
+// time series via spatial-map-to-event followed by event-to-time-series.
+func TestSpatialMapToTimeSeriesComposition(t *testing.T) {
+	ctx := testCtx()
+	// Events in two spatial cells and two hours.
+	var events []pev
+	for i := 0; i < 40; i++ {
+		x := float64(i%2) + 0.5 // cell 0 or 1
+		tm := int64(i%2)*3600 + int64(i)
+		events = append(events, instance.NewEvent(
+			geom.Pt(x, 0.5), tempo.Instant(tm), instance.Unit{}, int64(i)))
+	}
+	r := engine.Parallelize(ctx, events, 3)
+
+	// First conversion: events into a 2-cell spatial map collecting them.
+	smTgt := SpatialGridTarget(instance.SpatialGrid{Extent: geom.Box(0, 0, 2, 1), NX: 2, NY: 1})
+	sm := EventToSpatialMap(r, smTgt, Auto, func(in []pev) []pev { return in })
+
+	// Second conversion: flatten the map back to events, then into hourly
+	// slots.
+	flat := SpatialMapToValues(sm)
+	tsTgt := TimeGridTarget(instance.TimeGrid{Window: tempo.New(0, 7199), NT: 2})
+	ts := EventToTimeSeries(flat, tsTgt, Auto, func(in []pev) int64 { return int64(len(in)) })
+
+	counts := make([]int64, 2)
+	for _, part := range ts.Collect() {
+		for i, e := range part.Entries {
+			counts[i] += e.Value
+		}
+	}
+	if counts[0] != 20 || counts[1] != 20 {
+		t.Errorf("composed counts = %v, want [20 20]", counts)
+	}
+}
+
+// TestMeshAsEvent covers the §3.2.1 flexibility claim: 3-d mesh data
+// represents as an event whose spatial field is the projected footprint and
+// whose value carries the mesh payload.
+func TestMeshAsEvent(t *testing.T) {
+	type mesh struct {
+		Vertices [][3]float64
+		Faces    [][3]int
+	}
+	m := mesh{
+		Vertices: [][3]float64{{0, 0, 1}, {1, 0, 2}, {0, 1, 3}},
+		Faces:    [][3]int{{0, 1, 2}},
+	}
+	// Projected footprint on the reference surface.
+	footprint := geom.NewPolygon([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}})
+	e := instance.NewEvent[geom.Geometry](footprint, tempo.Instant(100), m, "mesh-1")
+	if e.Entry.Value.Faces[0] != [3]int{0, 1, 2} {
+		t.Error("mesh payload lost")
+	}
+	if !e.Intersects(geom.Box(0, 0, 0.4, 0.4), tempo.New(50, 150)) {
+		t.Error("mesh event should answer ST predicates via its footprint")
+	}
+	if e.Intersects(geom.Box(0.9, 0.9, 1, 1), tempo.New(50, 150)) {
+		t.Error("footprint geometry should be exact, not MBR-level")
+	}
+}

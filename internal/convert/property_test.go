@@ -1,0 +1,156 @@
+package convert
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// Property tests: for arbitrary event sets and grid shapes, the three
+// allocation strategies must bucket identically — the §4.2 optimizations
+// are pure accelerations.
+
+// clampCoord squeezes an arbitrary float into the test domain.
+func clampCoord(v float64, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	r := math.Mod(math.Abs(v), hi-lo)
+	return lo + r
+}
+
+func TestQuickEventRasterMethodsAgree(t *testing.T) {
+	ctx := testCtx()
+	f := func(xs, ys []float64, ts []int64, nx, nt uint8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if len(ts) < n {
+			n = len(ts)
+		}
+		events := make([]pev, n)
+		for i := 0; i < n; i++ {
+			events[i] = instance.NewEvent(
+				geom.Pt(clampCoord(xs[i], 0, 100), clampCoord(ys[i], 0, 100)),
+				tempo.Instant(int64(clampCoord(float64(ts[i]), 0, 86400))),
+				instance.Unit{}, int64(i))
+		}
+		grid := instance.RasterGrid{
+			Space: instance.SpatialGrid{
+				Extent: geom.Box(0, 0, 100, 100),
+				NX:     int(nx%6) + 1, NY: int(nx%4) + 1,
+			},
+			Time: instance.TimeGrid{Window: tempo.New(0, 86399), NT: int(nt%5) + 1},
+		}
+		tgt := RasterGridTarget(grid)
+		r := engine.Parallelize(ctx, events, 3)
+		var results [][]int64
+		for _, m := range []Method{Naive, Regular, RTree} {
+			parts := EventToRaster(r, tgt, m, func(in []pev) int64 {
+				return int64(len(in))
+			}).Collect()
+			counts := make([]int64, grid.NumCells())
+			for _, ra := range parts {
+				for i, e := range ra.Entries {
+					counts[i] += e.Value
+				}
+			}
+			results = append(results, counts)
+		}
+		return reflect.DeepEqual(results[0], results[1]) &&
+			reflect.DeepEqual(results[0], results[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTrajSpatialMapMethodsAgree(t *testing.T) {
+	ctx := testCtx()
+	f := func(seeds []float64, nx uint8) bool {
+		// Build short trajectories from consecutive seed values.
+		var trajs []ptraj
+		for i := 0; i+3 < len(seeds); i += 4 {
+			entries := []instance.Entry[geom.Point, instance.Unit]{
+				{
+					Spatial:  geom.Pt(clampCoord(seeds[i], 0, 50), clampCoord(seeds[i+1], 0, 50)),
+					Temporal: tempo.Instant(int64(i)),
+				},
+				{
+					Spatial:  geom.Pt(clampCoord(seeds[i+2], 0, 50), clampCoord(seeds[i+3], 0, 50)),
+					Temporal: tempo.Instant(int64(i + 1)),
+				},
+			}
+			trajs = append(trajs, instance.NewTrajectory(entries, int64(i)))
+		}
+		if len(trajs) == 0 {
+			return true
+		}
+		grid := instance.SpatialGrid{
+			Extent: geom.Box(0, 0, 50, 50),
+			NX:     int(nx%5) + 1, NY: int(nx%3) + 1,
+		}
+		tgt := SpatialGridTarget(grid)
+		r := engine.Parallelize(ctx, trajs, 2)
+		var results [][]int64
+		for _, m := range []Method{Naive, Regular, RTree} {
+			parts := TrajToSpatialMap(r, tgt, m, func(in []ptraj) int64 {
+				return int64(len(in))
+			}).Collect()
+			counts := make([]int64, grid.NumCells())
+			for _, sm := range parts {
+				for i, e := range sm.Entries {
+					counts[i] += e.Value
+				}
+			}
+			results = append(results, counts)
+		}
+		return reflect.DeepEqual(results[0], results[1]) &&
+			reflect.DeepEqual(results[0], results[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every instant event lands in exactly one cell of a regular
+// raster whose grid covers it (cells tile; border points may touch two but
+// candidate refinement picks all intersecting — instants on interior
+// borders are measure-zero for random floats).
+func TestQuickEventConservation(t *testing.T) {
+	ctx := testCtx()
+	f := func(xs []float64) bool {
+		events := make([]pev, len(xs))
+		for i, x := range xs {
+			events[i] = instance.NewEvent(
+				geom.Pt(clampCoord(x, 0.001, 99.9), clampCoord(x*3.7, 0.001, 99.9)),
+				tempo.Instant(int64(clampCoord(x*11, 1, 86000))),
+				instance.Unit{}, int64(i))
+		}
+		grid := instance.RasterGrid{
+			Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 100, 100), NX: 4, NY: 4},
+			Time:  instance.TimeGrid{Window: tempo.New(0, 86399), NT: 3},
+		}
+		r := engine.Parallelize(ctx, events, 2)
+		parts := EventToRaster(r, RasterGridTarget(grid), Auto, func(in []pev) int64 {
+			return int64(len(in))
+		}).Collect()
+		var total int64
+		for _, ra := range parts {
+			for _, e := range ra.Entries {
+				total += e.Value
+			}
+		}
+		return total == int64(len(events))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package convert
+
+import (
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+)
+
+// Singular→singular conversions (§3.2.2).
+
+// TrajectoriesToEvents takes the sojourn points out of every trajectory —
+// a pure flatMap, no shuffle. Each event inherits the trajectory's data.
+func TrajectoriesToEvents[V any, D any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+) *engine.RDD[instance.Event[geom.Point, V, D]] {
+	return engine.FlatMap(r, func(tr instance.Trajectory[V, D]) []instance.Event[geom.Point, V, D] {
+		out := make([]instance.Event[geom.Point, V, D], len(tr.Entries))
+		for i, e := range tr.Entries {
+			out[i] = instance.Event[geom.Point, V, D]{Entry: e, Data: tr.Data}
+		}
+		return out
+	})
+}
+
+// EventsToTrajectories groups point events by their data field (the
+// trajectory key) and orders them by time. It is implemented as the paper's
+// map-side join: events are grouped locally within each partition first, so
+// only one partial entry list per (partition, key) crosses the network,
+// then partial lists merge on the reduce side.
+func EventsToTrajectories[V any, K comparable](
+	r *engine.RDD[instance.Event[geom.Point, V, K]],
+	kc codec.Codec[K],
+	vc codec.Codec[V],
+	nOut int,
+) *engine.RDD[instance.Trajectory[V, K]] {
+	entryListC := codec.SliceOf(instance.EntryCodec(codec.PointC, vc))
+	pairs := engine.Map(r, func(e instance.Event[geom.Point, V, K]) codec.Pair[K, []instance.Entry[geom.Point, V]] {
+		return codec.KV(e.Data, []instance.Entry[geom.Point, V]{e.Entry})
+	})
+	merged := engine.ReduceByKey(pairs, kc, entryListC,
+		func(a, b []instance.Entry[geom.Point, V]) []instance.Entry[geom.Point, V] {
+			return append(a, b...)
+		}, nOut)
+	return engine.Map(merged, func(p codec.Pair[K, []instance.Entry[geom.Point, V]]) instance.Trajectory[V, K] {
+		return instance.NewTrajectory(p.Value, p.Key)
+	})
+}

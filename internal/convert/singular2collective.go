@@ -1,0 +1,253 @@
+package convert
+
+import (
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// Singular→collective conversions. Each partition of singular instances is
+// allocated against the broadcast structure and aggregated per cell with
+// the user's agg function, producing one partial collective instance per
+// partition (no shuffle — the design of §3.2.2). Driver-side merging lives
+// in package extract (CollectAndMerge).
+
+// allocateLocal buckets local record indices into structure cells: for each
+// record, candidate cells come from cand and are refined by exact (nil
+// means candidates are exact already).
+func allocateLocal[T any](
+	recs []T,
+	boxOf func(T) index.Box,
+	cand candidates,
+	exact func(T, int) bool,
+	nCells int,
+) [][]int32 {
+	cells := make([][]int32, nCells)
+	for i, rec := range recs {
+		b := boxOf(rec)
+		cand(b, func(c int) {
+			if exact == nil || exact(rec, c) {
+				cells[c] = append(cells[c], int32(i))
+			}
+		})
+	}
+	return cells
+}
+
+// gather materializes the records of one cell.
+func gather[T any](recs []T, idx []int32) []T {
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]T, len(idx))
+	for i, j := range idx {
+		out[i] = recs[j]
+	}
+	return out
+}
+
+// broadcastStructure charges the broadcast metric for shipping a structure
+// of n cells to every executor.
+func broadcastStructure(ctx *engine.Context, n int) {
+	const approxCellBytes = 48
+	engine.Broadcast(ctx, struct{}{}, int64(n)*approxCellBytes)
+}
+
+// EventToTimeSeries allocates events into time slots and aggregates each
+// slot with agg (called for every slot, with nil for empty ones).
+func EventToTimeSeries[S geom.Geometry, V, D, U any](
+	r *engine.RDD[instance.Event[S, V, D]],
+	tgt TSTarget,
+	m Method,
+	agg func([]instance.Event[S, V, D]) U,
+) *engine.RDD[instance.TimeSeries[U, instance.Unit]] {
+	cand := tsCandidates(tgt, m)
+	broadcastStructure(r.Ctx(), len(tgt.Slots))
+	slots := tgt.Slots
+	exact := func(e instance.Event[S, V, D], c int) bool {
+		return slots[c].Intersects(e.Entry.Temporal)
+	}
+	return engine.MapPartitions(r, func(_ int, in []instance.Event[S, V, D]) []instance.TimeSeries[U, instance.Unit] {
+		cells := allocateLocal(in, instance.Event[S, V, D].Box, cand, exact, len(slots))
+		values := make([]U, len(slots))
+		for c := range values {
+			values[c] = agg(gather(in, cells[c]))
+		}
+		return []instance.TimeSeries[U, instance.Unit]{
+			instance.NewTimeSeries(slots, values, geom.EmptyMBR(), instance.Unit{}),
+		}
+	})
+}
+
+// TrajToTimeSeries allocates trajectories into every slot their duration
+// overlaps and aggregates per slot.
+func TrajToTimeSeries[V, D, U any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+	tgt TSTarget,
+	m Method,
+	agg func([]instance.Trajectory[V, D]) U,
+) *engine.RDD[instance.TimeSeries[U, instance.Unit]] {
+	cand := tsCandidates(tgt, m)
+	broadcastStructure(r.Ctx(), len(tgt.Slots))
+	slots := tgt.Slots
+	exact := func(tr instance.Trajectory[V, D], c int) bool {
+		return slots[c].Intersects(tr.Duration())
+	}
+	return engine.MapPartitions(r, func(_ int, in []instance.Trajectory[V, D]) []instance.TimeSeries[U, instance.Unit] {
+		cells := allocateLocal(in, instance.Trajectory[V, D].Box, cand, exact, len(slots))
+		values := make([]U, len(slots))
+		for c := range values {
+			values[c] = agg(gather(in, cells[c]))
+		}
+		return []instance.TimeSeries[U, instance.Unit]{
+			instance.NewTimeSeries(slots, values, geom.EmptyMBR(), instance.Unit{}),
+		}
+	})
+}
+
+// EventToSpatialMap allocates events into spatial cells and aggregates per
+// cell.
+func EventToSpatialMap[SC geom.Geometry, S geom.Geometry, V, D, U any](
+	r *engine.RDD[instance.Event[S, V, D]],
+	tgt SMTarget[SC],
+	m Method,
+	agg func([]instance.Event[S, V, D]) U,
+) *engine.RDD[instance.SpatialMap[SC, U, instance.Unit]] {
+	cand := smCandidates(tgt, m)
+	broadcastStructure(r.Ctx(), len(tgt.Cells))
+	cells := tgt.Cells
+	exact := func(e instance.Event[S, V, D], c int) bool {
+		return geom.GeometriesIntersect(e.Entry.Spatial, cells[c])
+	}
+	return engine.MapPartitions(r, func(_ int, in []instance.Event[S, V, D]) []instance.SpatialMap[SC, U, instance.Unit] {
+		buckets := allocateLocal(in, instance.Event[S, V, D].Box, cand, exact, len(cells))
+		values := make([]U, len(cells))
+		for c := range values {
+			values[c] = agg(gather(in, buckets[c]))
+		}
+		return []instance.SpatialMap[SC, U, instance.Unit]{
+			instance.NewSpatialMap(cells, values, instance.Unit{}),
+		}
+	})
+}
+
+// TrajToSpatialMap allocates trajectories into every spatial cell a segment
+// passes through and aggregates per cell.
+func TrajToSpatialMap[SC geom.Geometry, V, D, U any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+	tgt SMTarget[SC],
+	m Method,
+	agg func([]instance.Trajectory[V, D]) U,
+) *engine.RDD[instance.SpatialMap[SC, U, instance.Unit]] {
+	cand := smCandidates(tgt, m)
+	broadcastStructure(r.Ctx(), len(tgt.Cells))
+	cells := tgt.Cells
+	exact := func(tr instance.Trajectory[V, D], c int) bool {
+		return trajIntersectsCell(tr, cells[c], tempo.Empty())
+	}
+	return engine.MapPartitions(r, func(_ int, in []instance.Trajectory[V, D]) []instance.SpatialMap[SC, U, instance.Unit] {
+		buckets := allocateLocal(in, instance.Trajectory[V, D].Box, cand, exact, len(cells))
+		values := make([]U, len(cells))
+		for c := range values {
+			values[c] = agg(gather(in, buckets[c]))
+		}
+		return []instance.SpatialMap[SC, U, instance.Unit]{
+			instance.NewSpatialMap(cells, values, instance.Unit{}),
+		}
+	})
+}
+
+// EventToRaster allocates events into ST raster cells and aggregates per
+// cell.
+func EventToRaster[SC geom.Geometry, S geom.Geometry, V, D, U any](
+	r *engine.RDD[instance.Event[S, V, D]],
+	tgt RasterTarget[SC],
+	m Method,
+	agg func([]instance.Event[S, V, D]) U,
+) *engine.RDD[instance.Raster[SC, U, instance.Unit]] {
+	cand := rasterCandidates(tgt, m)
+	broadcastStructure(r.Ctx(), len(tgt.Cells))
+	cells, slots := tgt.Cells, tgt.Slots
+	exact := func(e instance.Event[S, V, D], c int) bool {
+		return slots[c].Intersects(e.Entry.Temporal) &&
+			geom.GeometriesIntersect(e.Entry.Spatial, cells[c])
+	}
+	return engine.MapPartitions(r, func(_ int, in []instance.Event[S, V, D]) []instance.Raster[SC, U, instance.Unit] {
+		buckets := allocateLocal(in, instance.Event[S, V, D].Box, cand, exact, len(cells))
+		values := make([]U, len(cells))
+		for c := range values {
+			values[c] = agg(gather(in, buckets[c]))
+		}
+		return []instance.Raster[SC, U, instance.Unit]{
+			instance.NewRaster(cells, slots, values, instance.Unit{}),
+		}
+	})
+}
+
+// TrajToRaster allocates trajectories into every ST cell a segment passes
+// through during the cell's slot, and aggregates per cell.
+func TrajToRaster[SC geom.Geometry, V, D, U any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+	tgt RasterTarget[SC],
+	m Method,
+	agg func([]instance.Trajectory[V, D]) U,
+) *engine.RDD[instance.Raster[SC, U, instance.Unit]] {
+	cand := rasterCandidates(tgt, m)
+	broadcastStructure(r.Ctx(), len(tgt.Cells))
+	cells, slots := tgt.Cells, tgt.Slots
+	exact := func(tr instance.Trajectory[V, D], c int) bool {
+		return trajIntersectsCell(tr, cells[c], slots[c])
+	}
+	return engine.MapPartitions(r, func(_ int, in []instance.Trajectory[V, D]) []instance.Raster[SC, U, instance.Unit] {
+		buckets := allocateLocal(in, instance.Trajectory[V, D].Box, cand, exact, len(cells))
+		values := make([]U, len(cells))
+		for c := range values {
+			values[c] = agg(gather(in, buckets[c]))
+		}
+		return []instance.Raster[SC, U, instance.Unit]{
+			instance.NewRaster(cells, slots, values, instance.Unit{}),
+		}
+	})
+}
+
+// trajIntersectsCell reports whether any trajectory segment passes through
+// the cell geometry while overlapping the slot (an empty slot means
+// time-unconstrained). Segment timing is the union of its endpoint
+// intervals.
+func trajIntersectsCell[V, D any](tr instance.Trajectory[V, D], cell geom.Geometry, slot tempo.Duration) bool {
+	timeOK := func(d tempo.Duration) bool {
+		return slot.IsEmpty() || slot.Intersects(d)
+	}
+	if len(tr.Entries) == 1 {
+		e := tr.Entries[0]
+		return timeOK(e.Temporal) && geom.GeometriesIntersect(e.Spatial, cell)
+	}
+	for i := 1; i < len(tr.Entries); i++ {
+		a, b := tr.Entries[i-1], tr.Entries[i]
+		if !timeOK(a.Temporal.Union(b.Temporal)) {
+			continue
+		}
+		if segmentIntersectsGeometry(a.Spatial, b.Spatial, cell) {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentIntersectsGeometry dispatches the exact segment-cell test by cell
+// shape.
+func segmentIntersectsGeometry(a, b geom.Point, cell geom.Geometry) bool {
+	switch g := cell.(type) {
+	case geom.MBR:
+		return geom.SegmentIntersectsBox(a, b, g)
+	case *geom.Polygon:
+		return g.IntersectsSegment(a, b)
+	case geom.Point:
+		return geom.PointSegmentDistance(g, a, b) == 0
+	default:
+		// Conservative: box-level test against the cell's MBR.
+		return geom.SegmentIntersectsBox(a, b, cell.MBR())
+	}
+}

@@ -1,0 +1,225 @@
+// Package convert implements ST4ML's Conversion stage (§3.2.2): reshaping
+// data between the five ST instances. Singular→collective conversions
+// allocate each event or trajectory to the cells of a broadcast collective
+// structure, with three allocation strategies (§4.2):
+//
+//   - Naive: test every (record, cell) pair — the O(mn) Cartesian baseline
+//     that Fig. 6 compares against.
+//   - Regular: index arithmetic over a regular grid, O(m) per point record.
+//   - RTree: a broadcast R-tree over the structure cells, O(m log n).
+//
+// Auto picks Regular when the target is a regular grid, else RTree.
+package convert
+
+import (
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// Method selects the allocation strategy for singular→collective
+// conversions.
+type Method int
+
+const (
+	// Auto uses Regular for regular-grid targets and RTree otherwise.
+	Auto Method = iota
+	// Naive iterates every (record, cell) pair.
+	Naive
+	// Regular derives candidate cells arithmetically; the target must be a
+	// regular grid or the conversion falls back to RTree.
+	Regular
+	// RTree searches a broadcast R-tree over the cells.
+	RTree
+)
+
+// String names the method for reports.
+func (m Method) String() string {
+	switch m {
+	case Naive:
+		return "naive"
+	case Regular:
+		return "regular"
+	case RTree:
+		return "rtree"
+	default:
+		return "auto"
+	}
+}
+
+// TSTarget describes a time-series structure: its slots, and optionally the
+// regular grid they came from (enabling the Regular method).
+type TSTarget struct {
+	Slots []tempo.Duration
+	Grid  *instance.TimeGrid
+}
+
+// SlotsTarget wraps explicit (possibly irregular) slots.
+func SlotsTarget(slots []tempo.Duration) TSTarget { return TSTarget{Slots: slots} }
+
+// TimeGridTarget wraps a regular time grid.
+func TimeGridTarget(g instance.TimeGrid) TSTarget {
+	return TSTarget{Slots: g.Slots(), Grid: &g}
+}
+
+// SMTarget describes a spatial-map structure of cells with shape S, and
+// optionally the regular grid they came from (S = geom.MBR).
+type SMTarget[S geom.Geometry] struct {
+	Cells []S
+	Grid  *instance.SpatialGrid
+}
+
+// CellsTarget wraps explicit (possibly irregular) cells.
+func CellsTarget[S geom.Geometry](cells []S) SMTarget[S] { return SMTarget[S]{Cells: cells} }
+
+// SpatialGridTarget wraps a regular spatial grid.
+func SpatialGridTarget(g instance.SpatialGrid) SMTarget[geom.MBR] {
+	return SMTarget[geom.MBR]{Cells: g.Cells(), Grid: &g}
+}
+
+// RasterTarget describes a raster structure: parallel cells and slots, and
+// optionally the regular ST grid they came from.
+type RasterTarget[S geom.Geometry] struct {
+	Cells []S
+	Slots []tempo.Duration
+	Grid  *instance.RasterGrid
+}
+
+// RasterCellsTarget wraps explicit cells and slots (equal length).
+func RasterCellsTarget[S geom.Geometry](cells []S, slots []tempo.Duration) RasterTarget[S] {
+	if len(cells) != len(slots) {
+		panic("convert: raster cells/slots length mismatch")
+	}
+	return RasterTarget[S]{Cells: cells, Slots: slots}
+}
+
+// RasterGridTarget wraps a regular ST grid.
+func RasterGridTarget(g instance.RasterGrid) RasterTarget[geom.MBR] {
+	cells, slots := g.Build()
+	return RasterTarget[geom.MBR]{Cells: cells, Slots: slots, Grid: &g}
+}
+
+// candidates yields candidate cell ids for a record's ST box. Strategies
+// may yield false positives (refined by exact predicates) but never miss a
+// truly intersecting cell.
+type candidates func(b index.Box, yield func(cell int))
+
+// naiveCandidates yields every cell.
+func naiveCandidates(n int) candidates {
+	return func(_ index.Box, yield func(int)) {
+		for i := 0; i < n; i++ {
+			yield(i)
+		}
+	}
+}
+
+// rtreeCandidates builds an R-tree over the cell boxes (the structure-side
+// indexing of §4.2 — cells are indexed once and every record traverses).
+func rtreeCandidates(boxes []index.Box) candidates {
+	items := make([]index.Item[int], len(boxes))
+	for i, b := range boxes {
+		items[i] = index.Item[int]{Box: b, Data: i}
+	}
+	tree := index.BulkLoadSTR(items, 16)
+	return func(b index.Box, yield func(int)) {
+		tree.SearchFunc(b, func(cell int, _ index.Box) bool {
+			yield(cell)
+			return true
+		})
+	}
+}
+
+// tsCandidates picks the strategy for a time-series target.
+func tsCandidates(t TSTarget, m Method) candidates {
+	switch m {
+	case Naive:
+		return naiveCandidates(len(t.Slots))
+	case Regular, Auto:
+		if t.Grid != nil {
+			g := *t.Grid
+			return func(b index.Box, yield func(int)) {
+				lo, hi, ok := g.SlotRange(b.Temporal())
+				if !ok {
+					return
+				}
+				for i := lo; i <= hi; i++ {
+					yield(i)
+				}
+			}
+		}
+		fallthrough
+	default:
+		boxes := make([]index.Box, len(t.Slots))
+		for i, s := range t.Slots {
+			boxes[i] = index.Box3(geom.Box(-1e18, -1e18, 1e18, 1e18), s)
+		}
+		return rtreeCandidates(boxes)
+	}
+}
+
+// smCandidates picks the strategy for a spatial-map target.
+func smCandidates[S geom.Geometry](t SMTarget[S], m Method) candidates {
+	switch m {
+	case Naive:
+		return naiveCandidates(len(t.Cells))
+	case Regular, Auto:
+		if t.Grid != nil {
+			g := *t.Grid
+			return func(b index.Box, yield func(int)) {
+				ix0, ix1, iy0, iy1, ok := g.CellRange(b.Spatial())
+				if !ok {
+					return
+				}
+				for iy := iy0; iy <= iy1; iy++ {
+					for ix := ix0; ix <= ix1; ix++ {
+						yield(iy*g.NX + ix)
+					}
+				}
+			}
+		}
+		fallthrough
+	default:
+		boxes := make([]index.Box, len(t.Cells))
+		for i, c := range t.Cells {
+			boxes[i] = index.Box3(c.MBR(), tempo.New(-1<<60, 1<<60))
+		}
+		return rtreeCandidates(boxes)
+	}
+}
+
+// rasterCandidates picks the strategy for a raster target.
+func rasterCandidates[S geom.Geometry](t RasterTarget[S], m Method) candidates {
+	switch m {
+	case Naive:
+		return naiveCandidates(len(t.Cells))
+	case Regular, Auto:
+		if t.Grid != nil {
+			g := *t.Grid
+			return func(b index.Box, yield func(int)) {
+				ix0, ix1, iy0, iy1, ok := g.Space.CellRange(b.Spatial())
+				if !ok {
+					return
+				}
+				lo, hi, tok := g.Time.SlotRange(b.Temporal())
+				if !tok {
+					return
+				}
+				for it := lo; it <= hi; it++ {
+					for iy := iy0; iy <= iy1; iy++ {
+						for ix := ix0; ix <= ix1; ix++ {
+							yield(g.Index(ix, iy, it))
+						}
+					}
+				}
+			}
+		}
+		fallthrough
+	default:
+		boxes := make([]index.Box, len(t.Cells))
+		for i := range t.Cells {
+			boxes[i] = index.Box3(t.Cells[i].MBR(), t.Slots[i])
+		}
+		return rtreeCandidates(boxes)
+	}
+}

@@ -1,0 +1,249 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/geom"
+	"st4ml/internal/roadnet"
+	"st4ml/internal/stdata"
+	"st4ml/internal/tempo"
+)
+
+func TestNYCDeterministicAndInBounds(t *testing.T) {
+	a := NYC(1000, 42)
+	b := NYC(1000, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must generate identical data")
+	}
+	c := NYC(1000, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+	for _, e := range a {
+		if !NYCExtent.ContainsPoint(e.Loc) {
+			t.Fatalf("event outside extent: %v", e.Loc)
+		}
+		if !Year2013.Contains(e.Time) {
+			t.Fatalf("event outside window: %d", e.Time)
+		}
+		if e.Aux != "pickup" && e.Aux != "dropoff" {
+			t.Fatalf("bad aux: %q", e.Aux)
+		}
+	}
+}
+
+func TestNYCSkewAndRushHours(t *testing.T) {
+	events := NYC(20000, 1)
+	// Rush-hour density: hours 8 and 18 each busier than hour 3.
+	hours := map[int]int{}
+	for _, e := range events {
+		hours[tempo.HourOfDay(e.Time)]++
+	}
+	if hours[8] <= hours[3]*2 || hours[18] <= hours[3]*2 {
+		t.Errorf("no rush-hour structure: h3=%d h8=%d h18=%d", hours[3], hours[8], hours[18])
+	}
+	// Spatial skew: a 10×10 grid should have very uneven counts.
+	counts := make([]int, 100)
+	for _, e := range events {
+		ix := int((e.Loc.X - NYCExtent.MinX) / NYCExtent.Width() * 10)
+		iy := int((e.Loc.Y - NYCExtent.MinY) / NYCExtent.Height() * 10)
+		if ix > 9 {
+			ix = 9
+		}
+		if iy > 9 {
+			iy = 9
+		}
+		counts[iy*10+ix]++
+	}
+	max, min := 0, len(events)
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 20*(min+1) {
+		t.Errorf("spatial distribution too uniform: max=%d min=%d", max, min)
+	}
+}
+
+func TestPortoShape(t *testing.T) {
+	trajs := Porto(200, 7)
+	for _, tr := range trajs {
+		if len(tr.Points) != len(tr.Times) {
+			t.Fatal("points/times mismatch")
+		}
+		if len(tr.Points) < 8 {
+			t.Fatalf("trajectory too short: %d", len(tr.Points))
+		}
+		for j := 1; j < len(tr.Times); j++ {
+			if tr.Times[j]-tr.Times[j-1] != 15 {
+				t.Fatalf("sampling interval = %d, want 15", tr.Times[j]-tr.Times[j-1])
+			}
+		}
+		// Urban speeds: consecutive points < 500 m apart.
+		for j := 1; j < len(tr.Points); j++ {
+			if d := geom.HaversineMeters(tr.Points[j-1], tr.Points[j]); d > 500 {
+				t.Fatalf("step %g m too large", d)
+			}
+		}
+	}
+}
+
+func TestEnlargeRecipe(t *testing.T) {
+	base := Porto(50, 1)
+	big := Enlarge(base, 4, 20, 120, 2)
+	if len(big) != 200 {
+		t.Fatalf("enlarged = %d, want 200", len(big))
+	}
+	// IDs fresh and unique.
+	seen := map[int64]bool{}
+	for _, tr := range big {
+		if seen[tr.ID] {
+			t.Fatal("duplicate id after enlarge")
+		}
+		seen[tr.ID] = true
+	}
+	// First copy is noise-free.
+	if !reflect.DeepEqual(big[0].Points, base[0].Points) {
+		t.Error("copy 0 should be the original")
+	}
+	// Later copies are perturbed but close (≤ ~6σ).
+	far := big[len(base)] // first record of copy 1
+	orig := base[0]
+	for j := range far.Points {
+		d := geom.HaversineMeters(far.Points[j], orig.Points[j])
+		if d == 0 {
+			t.Fatal("noisy copy identical to original")
+		}
+		if d > 200 {
+			t.Fatalf("noise too large: %g m", d)
+		}
+	}
+}
+
+func TestAirRecipe(t *testing.T) {
+	recs := Air(10, 3, 2, 3600, 5)
+	// 30 stations × 48 hourly records.
+	if len(recs) != 30*48 {
+		t.Fatalf("records = %d, want %d", len(recs), 30*48)
+	}
+	stations := map[int64]geom.Point{}
+	for _, r := range recs {
+		if prev, ok := stations[r.StationID]; ok && prev != r.Loc {
+			t.Fatal("station moved")
+		}
+		stations[r.StationID] = r.Loc
+		for _, v := range r.Indices {
+			if v < 0 {
+				t.Fatal("negative AQI")
+			}
+		}
+	}
+	if len(stations) != 30 {
+		t.Fatalf("stations = %d", len(stations))
+	}
+}
+
+func TestOSMAreasAndPOIs(t *testing.T) {
+	pois, areas := OSM(2000, 25, 9)
+	if len(pois) != 2000 || len(areas) != 25 {
+		t.Fatalf("sizes = %d, %d", len(pois), len(areas))
+	}
+	for _, a := range areas {
+		if a.Shape.Area() <= 0 {
+			t.Fatal("degenerate area polygon")
+		}
+	}
+	// A good fraction of POIs fall inside some area (tiling approximates
+	// coverage of the extent).
+	inside := 0
+	for _, p := range pois {
+		for _, a := range areas {
+			if a.Shape.ContainsPoint(p.Loc) {
+				inside++
+				break
+			}
+		}
+	}
+	if inside < len(pois)/2 {
+		t.Errorf("only %d/%d POIs inside areas", inside, len(pois))
+	}
+}
+
+func TestCameraSparsity(t *testing.T) {
+	g := roadnet.GenerateGrid(10, 10, 400, geom.Pt(120.1, 30.2), 0, 3)
+	trajs := Camera(g, 100, 0, 11)
+	count, avgPts, avgDur := DescribeTrajs(trajs)
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+	// The case-study regime: sparse points, tens of minutes.
+	if avgPts < 3 || avgPts > 30 {
+		t.Errorf("avg points = %g", avgPts)
+	}
+	if avgDur <= 0 {
+		t.Errorf("avg duration = %g", avgDur)
+	}
+	// Points near the network.
+	for _, tr := range trajs[:10] {
+		for _, p := range tr.Points {
+			if _, _, d, ok := g.NearestEdge(p); !ok || d > 100 {
+				t.Fatalf("camera sighting %g m off network", d)
+			}
+		}
+	}
+	// Different days differ.
+	day1 := Camera(g, 10, 1, 11)
+	if reflect.DeepEqual(trajs[:10], day1) {
+		t.Error("days should differ")
+	}
+}
+
+func TestRecordCodecs(t *testing.T) {
+	ev := NYC(5, 1)[0]
+	gotEv, err := codec.Unmarshal(stdata.EventRecC, codec.Marshal(stdata.EventRecC, ev))
+	if err != nil || !reflect.DeepEqual(gotEv, ev) {
+		t.Errorf("EventRec round trip: %v %v", gotEv, err)
+	}
+	tr := Porto(3, 1)[0]
+	gotTr, err := codec.Unmarshal(stdata.TrajRecC, codec.Marshal(stdata.TrajRecC, tr))
+	if err != nil || !reflect.DeepEqual(gotTr, tr) {
+		t.Errorf("TrajRec round trip: %v", err)
+	}
+	ar := Air(2, 1, 1, 3600, 1)[0]
+	gotAr, err := codec.Unmarshal(stdata.AirRecC, codec.Marshal(stdata.AirRecC, ar))
+	if err != nil || !reflect.DeepEqual(gotAr, ar) {
+		t.Errorf("AirRec round trip: %v", err)
+	}
+	poi, _ := OSM(1, 1, 1)
+	gotPoi, err := codec.Unmarshal(stdata.POIRecC, codec.Marshal(stdata.POIRecC, poi[0]))
+	if err != nil || !reflect.DeepEqual(gotPoi, poi[0]) {
+		t.Errorf("POIRec round trip: %v", err)
+	}
+}
+
+func TestToInstanceConversions(t *testing.T) {
+	ev := NYC(1, 2)[0].ToEvent()
+	if ev.Data < 0 || ev.Entry.Value == "" {
+		t.Error("event conversion lost fields")
+	}
+	tr := Porto(1, 2)[0].ToTrajectory()
+	if tr.Len() < 8 {
+		t.Error("trajectory conversion lost points")
+	}
+	// Entries sorted by time.
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Entries[i].Temporal.Start < tr.Entries[i-1].Temporal.Start {
+			t.Fatal("unsorted entries")
+		}
+	}
+	box := Porto(1, 2)[0].Box()
+	if box.IsEmpty() {
+		t.Error("empty trajectory box")
+	}
+}

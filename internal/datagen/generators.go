@@ -1,0 +1,329 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"st4ml/internal/geom"
+	"st4ml/internal/roadnet"
+	"st4ml/internal/stdata"
+	"st4ml/internal/tempo"
+)
+
+// Spatial extents of the synthetic corpora, mirroring the real datasets.
+var (
+	// NYCExtent covers New York City.
+	NYCExtent = geom.Box(-74.05, 40.60, -73.75, 40.90)
+	// PortoExtent covers Porto.
+	PortoExtent = geom.Box(-8.70, 41.10, -8.50, 41.25)
+	// ChinaExtent covers the air-quality station region.
+	ChinaExtent = geom.Box(113.0, 29.0, 120.0, 41.0)
+	// WorldExtent is the OSM-like global extent.
+	WorldExtent = geom.Box(-180, -60, 180, 70)
+)
+
+// Year2013 is the NYC corpus time window (one year of seconds from the
+// epoch-anchored start used by all generators).
+var Year2013 = tempo.New(1356998400, 1388534399) // 2013-01-01 .. 2013-12-31 UTC
+
+// hotspot mixture: a point drawn near one of k centers with the given
+// spread (in degrees), clamped to the extent.
+func hotspotPoint(rng *rand.Rand, centers []geom.Point, spread float64, extent geom.MBR) geom.Point {
+	c := centers[rng.Intn(len(centers))]
+	p := geom.Pt(c.X+rng.NormFloat64()*spread, c.Y+rng.NormFloat64()*spread)
+	p.X = math.Max(extent.MinX, math.Min(extent.MaxX, p.X))
+	p.Y = math.Max(extent.MinY, math.Min(extent.MaxY, p.Y))
+	return p
+}
+
+// hotspotCenters derives k stable pseudo-random hotspot centers inside the
+// extent.
+func hotspotCenters(rng *rand.Rand, k int, extent geom.MBR) []geom.Point {
+	out := make([]geom.Point, k)
+	for i := range out {
+		out[i] = geom.Pt(
+			extent.MinX+rng.Float64()*extent.Width(),
+			extent.MinY+rng.Float64()*extent.Height())
+	}
+	return out
+}
+
+// dailyTime draws a second-of-day with rush-hour bimodality, then places it
+// on a uniform day within the window.
+func dailyTime(rng *rand.Rand, window tempo.Duration) int64 {
+	days := window.Seconds()/86400 + 1
+	day := rng.Int63n(days)
+	var tod float64
+	if rng.Float64() < 0.6 {
+		// Rush hours: 8:30 or 18:00 ± 1.5 h.
+		center := 8.5
+		if rng.Float64() < 0.5 {
+			center = 18
+		}
+		tod = center*3600 + rng.NormFloat64()*5400
+	} else {
+		tod = rng.Float64() * 86400
+	}
+	if tod < 0 {
+		tod += 86400
+	}
+	if tod >= 86400 {
+		tod -= 86400
+	}
+	t := window.Start + day*86400 + int64(tod)
+	if t > window.End {
+		t = window.End
+	}
+	return t
+}
+
+// NYC generates n taxi pick-up/drop-off events with hot-spot spatial skew,
+// rush-hour time density, and time-correlated spatial drift (morning
+// activity biased toward the first hotspots, evening toward the last) —
+// the structure T-STR and metadata pruning exploit.
+func NYC(n int, seed int64) []stdata.EventRec {
+	rng := rand.New(rand.NewSource(seed))
+	centers := hotspotCenters(rng, 6, NYCExtent)
+	out := make([]stdata.EventRec, n)
+	for i := range out {
+		t := dailyTime(rng, Year2013)
+		hour := tempo.HourOfDay(t)
+		// Morning events favor downtown-ish centers, evening residential.
+		var sub []geom.Point
+		if hour >= 5 && hour < 14 {
+			sub = centers[:3]
+		} else {
+			sub = centers[3:]
+		}
+		aux := "pickup"
+		if i%2 == 1 {
+			aux = "dropoff"
+		}
+		out[i] = stdata.EventRec{
+			ID:   int64(i),
+			Loc:  hotspotPoint(rng, sub, 0.02, NYCExtent),
+			Time: t,
+			Aux:  aux,
+		}
+	}
+	return out
+}
+
+// Porto generates n vehicle trajectories as heading-persistent random walks
+// at urban speeds with 15 s sampling, the Porto dataset's shape.
+func Porto(n int, seed int64) []stdata.TrajRec {
+	rng := rand.New(rand.NewSource(seed))
+	centers := hotspotCenters(rng, 4, PortoExtent)
+	out := make([]stdata.TrajRec, n)
+	for i := range out {
+		start := hotspotPoint(rng, centers, 0.02, PortoExtent)
+		t := dailyTime(rng, Year2013)
+		m := 8 + rng.Intn(60) // 2–15 minutes of 15 s samples
+		pts := make([]geom.Point, m)
+		times := make([]int64, m)
+		heading := rng.Float64() * 2 * math.Pi
+		speedMps := 5 + rng.Float64()*15
+		cur := start
+		for j := 0; j < m; j++ {
+			pts[j] = cur
+			times[j] = t
+			heading += rng.NormFloat64() * 0.3
+			stepM := speedMps * 15
+			cur = geom.Pt(
+				cur.X+geom.MetersToDegreesLon(stepM*math.Cos(heading), cur.Y),
+				cur.Y+geom.MetersToDegreesLat(stepM*math.Sin(heading)))
+			t += 15
+		}
+		out[i] = stdata.TrajRec{ID: int64(i), Points: pts, Times: times}
+	}
+	return out
+}
+
+// Enlarge applies the paper's dataset-enlargement recipe: duplicate every
+// trajectory k times, adding Gaussian noise of sigmaSM metres in space and
+// sigmaTSec seconds in time. The output contains the originals followed by
+// the noisy copies, with fresh ids.
+func Enlarge(trajs []stdata.TrajRec, k int, sigmaSM float64, sigmaTSec float64, seed int64) []stdata.TrajRec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]stdata.TrajRec, 0, len(trajs)*k)
+	id := int64(0)
+	for copyIdx := 0; copyIdx < k; copyIdx++ {
+		for _, tr := range trajs {
+			pts := make([]geom.Point, len(tr.Points))
+			times := make([]int64, len(tr.Times))
+			var dt int64
+			if copyIdx > 0 {
+				dt = int64(rng.NormFloat64() * sigmaTSec)
+			}
+			for j := range pts {
+				p := tr.Points[j]
+				if copyIdx > 0 {
+					p = geom.Pt(
+						p.X+geom.MetersToDegreesLon(rng.NormFloat64()*sigmaSM, p.Y),
+						p.Y+geom.MetersToDegreesLat(rng.NormFloat64()*sigmaSM))
+				}
+				pts[j] = p
+				times[j] = tr.Times[j] + dt
+			}
+			out = append(out, stdata.TrajRec{ID: id, Points: pts, Times: times})
+			id++
+		}
+	}
+	return out
+}
+
+// Air generates hourly air-quality records from a jittered station grid,
+// optionally replicated (the paper's ×20, σ=500 m recipe) and interpolated
+// down to intervalSec sampling. days controls the covered window starting
+// at Year2013.
+func Air(stations, replicas, days int, intervalSec int64, seed int64) []stdata.AirRec {
+	rng := rand.New(rand.NewSource(seed))
+	// Base stations.
+	locs := make([]geom.Point, 0, stations*replicas)
+	for i := 0; i < stations; i++ {
+		locs = append(locs, geom.Pt(
+			ChinaExtent.MinX+rng.Float64()*ChinaExtent.Width(),
+			ChinaExtent.MinY+rng.Float64()*ChinaExtent.Height()))
+	}
+	for rep := 1; rep < replicas; rep++ {
+		for i := 0; i < stations; i++ {
+			base := locs[i]
+			locs = append(locs, geom.Pt(
+				base.X+geom.MetersToDegreesLon(rng.NormFloat64()*500, base.Y),
+				base.Y+geom.MetersToDegreesLat(rng.NormFloat64()*500)))
+		}
+	}
+	var out []stdata.AirRec
+	end := Year2013.Start + int64(days)*86400
+	for sid, loc := range locs {
+		// Per-station AQI random walk, interpolated to the interval.
+		var idx [6]float64
+		for i := range idx {
+			idx[i] = 20 + rng.Float64()*80
+		}
+		for t := Year2013.Start; t < end; t += intervalSec {
+			for i := range idx {
+				idx[i] += rng.NormFloat64() * 2
+				if idx[i] < 0 {
+					idx[i] = 0
+				}
+			}
+			out = append(out, stdata.AirRec{
+				StationID: int64(sid),
+				Loc:       loc,
+				Time:      t,
+				Indices:   idx,
+			})
+		}
+	}
+	return out
+}
+
+// OSM generates nPOIs clustered points of interest with type attributes and
+// nAreas postal-code-like polygons tiling the populated region with jittered
+// grid cells.
+func OSM(nPOIs, nAreas int, seed int64) ([]stdata.POIRec, []stdata.AreaRec) {
+	rng := rand.New(rand.NewSource(seed))
+	types := []string{"restaurant", "shop", "school", "park", "station", "hospital"}
+	centers := hotspotCenters(rng, 40, WorldExtent)
+	pois := make([]stdata.POIRec, nPOIs)
+	for i := range pois {
+		pois[i] = stdata.POIRec{
+			ID:   int64(i),
+			Loc:  hotspotPoint(rng, centers, 1.5, WorldExtent),
+			Type: types[rng.Intn(len(types))],
+		}
+	}
+	// Areas: jittered grid tiling of the extent.
+	na := int(math.Ceil(math.Sqrt(float64(nAreas))))
+	w := WorldExtent.Width() / float64(na)
+	h := WorldExtent.Height() / float64(na)
+	areas := make([]stdata.AreaRec, 0, nAreas)
+	for iy := 0; iy < na && len(areas) < nAreas; iy++ {
+		for ix := 0; ix < na && len(areas) < nAreas; ix++ {
+			x0 := WorldExtent.MinX + float64(ix)*w
+			y0 := WorldExtent.MinY + float64(iy)*h
+			// Jitter interior corners to make the cells irregular (but keep
+			// tiling approximate).
+			j := func() float64 { return (rng.Float64() - 0.5) * 0.2 }
+			ring := []geom.Point{
+				{X: x0 + j(), Y: y0 + j()},
+				{X: x0 + w + j(), Y: y0 + j()},
+				{X: x0 + w + j(), Y: y0 + h + j()},
+				{X: x0 + j(), Y: y0 + h + j()},
+			}
+			areas = append(areas, stdata.AreaRec{ID: int64(len(areas)), Shape: geom.NewPolygon(ring)})
+		}
+	}
+	return pois, areas
+}
+
+// Camera generates n sparse camera-sighting trajectories on a road graph:
+// a vehicle drives the shortest path between two random nodes and is
+// sighted at a few path nodes with small sensing noise — matching the case
+// study's sparsity (≈9 points, ≈27 min, Table 9). day selects the covered
+// day (0-based from Year2013).
+func Camera(g *roadnet.Graph, n int, day int, seed int64) []stdata.TrajRec {
+	rng := rand.New(rand.NewSource(seed + int64(day)*7919))
+	dayStart := Year2013.Start + int64(day)*86400
+	out := make([]stdata.TrajRec, 0, n)
+	for len(out) < n {
+		src := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		dst := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		if src == dst {
+			continue
+		}
+		dist, prev := g.ShortestPath(src, map[roadnet.NodeID]bool{dst: true}, 1e9)
+		if _, ok := dist[dst]; !ok {
+			continue
+		}
+		path, ok := g.PathEdges(src, dst, prev)
+		if !ok || len(path) < 3 {
+			continue
+		}
+		// Sight the vehicle at a sparse subset of path edges.
+		sightEvery := 1 + rng.Intn(3)
+		t := dayStart + int64(rng.Intn(86400-3600))
+		var pts []geom.Point
+		var times []int64
+		speedMps := 6 + rng.Float64()*10
+		for i, eid := range path {
+			e := g.Edge(eid)
+			travel := int64(e.LengthM / speedMps)
+			// Gap dwell time models stops between cameras.
+			t += travel + rng.Int63n(120)
+			if i%sightEvery != 0 {
+				continue
+			}
+			a, b := g.EdgeEndpoints(eid)
+			f := rng.Float64()
+			p := geom.Pt(a.X+(b.X-a.X)*f, a.Y+(b.Y-a.Y)*f)
+			p.X += geom.MetersToDegreesLon(rng.NormFloat64()*8, p.Y)
+			p.Y += geom.MetersToDegreesLat(rng.NormFloat64() * 8)
+			pts = append(pts, p)
+			times = append(times, t)
+		}
+		if len(pts) < 3 {
+			continue
+		}
+		out = append(out, stdata.TrajRec{ID: int64(len(out)), Points: pts, Times: times})
+	}
+	return out
+}
+
+// DescribeTrajs returns the (count, avg points, avg duration minutes)
+// summary Table 9 reports.
+func DescribeTrajs(trajs []stdata.TrajRec) (count int, avgPoints, avgDurMin float64) {
+	if len(trajs) == 0 {
+		return 0, 0, 0
+	}
+	var pts, dur float64
+	for _, tr := range trajs {
+		pts += float64(len(tr.Points))
+		if len(tr.Times) > 0 {
+			dur += float64(tr.Times[len(tr.Times)-1]-tr.Times[0]) / 60
+		}
+	}
+	n := float64(len(trajs))
+	return len(trajs), pts / n, dur / n
+}

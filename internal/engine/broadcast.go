@@ -1,0 +1,21 @@
+package engine
+
+// BVar is a broadcast variable: one immutable value shared by every task,
+// mirroring Spark's broadcast. ST4ML broadcasts the (empty) collective
+// structure and its R-tree index to all executors during conversion
+// (§3.2.2, §4.2), which this models.
+type BVar[T any] struct {
+	value T
+}
+
+// Broadcast registers v as a broadcast variable, charging approxBytes to
+// the broadcast-traffic metric (once per executor slot, as a cluster would
+// ship one copy per executor). Pass 0 when the size is unknown.
+func Broadcast[T any](ctx *Context, v T, approxBytes int64) *BVar[T] {
+	ctx.Metrics.broadcasts.Add(1)
+	ctx.Metrics.broadcastBytes.Add(approxBytes * int64(ctx.slots))
+	return &BVar[T]{value: v}
+}
+
+// Value returns the broadcast value. Tasks must not mutate it.
+func (b *BVar[T]) Value() T { return b.value }

@@ -1,0 +1,122 @@
+// Package engine is ST4ML's distributed dataflow substrate: an in-memory,
+// Spark-like execution engine built from scratch on goroutines. It provides
+// lazy generic RDDs with narrow transformations, keyed shuffles that pay an
+// honest serialization cost through the binary codec, broadcast variables,
+// and per-stage metrics.
+//
+// The engine stands in for Apache Spark in this reproduction (see
+// DESIGN.md). A Context models a cluster: Slots is the total number of
+// executor cores; every action schedules one task per partition onto the
+// slot pool, so load imbalance across partitions lengthens the stage
+// makespan exactly as it does on a real cluster.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config sizes the simulated cluster.
+type Config struct {
+	// Slots is the number of concurrently executing tasks (cluster cores).
+	// 0 means GOMAXPROCS.
+	Slots int
+	// DefaultParallelism is the partition count used when callers pass 0.
+	// 0 means 2×Slots.
+	DefaultParallelism int
+}
+
+// Context owns the executor pool and metrics for one logical cluster. It is
+// safe for concurrent use.
+type Context struct {
+	slots      int
+	defaultPar int
+	sem        chan struct{}
+	Metrics    Metrics
+}
+
+// New creates a Context with the given config.
+func New(cfg Config) *Context {
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	par := cfg.DefaultParallelism
+	if par <= 0 {
+		par = 2 * slots
+	}
+	return &Context{
+		slots:      slots,
+		defaultPar: par,
+		sem:        make(chan struct{}, slots),
+	}
+}
+
+// Slots returns the executor-core count.
+func (c *Context) Slots() int { return c.slots }
+
+// DefaultParallelism returns the default partition count.
+func (c *Context) DefaultParallelism() int { return c.defaultPar }
+
+// taskPanic wraps a panic raised inside a task with its task index so the
+// failure surfaces with context instead of a bare goroutine crash.
+type taskPanic struct {
+	task int
+	val  any
+}
+
+func (p taskPanic) Error() string { return fmt.Sprintf("engine: task %d panicked: %v", p.task, p.val) }
+
+// runStage executes fn for every task index in [0, tasks) on the slot pool
+// and blocks until all complete. A panic in any task is re-raised on the
+// caller with the task index attached. Metrics are charged per task.
+func (c *Context) runStage(name string, tasks int, fn func(task int)) {
+	if tasks == 0 {
+		return
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failure *taskPanic
+	var longest time.Duration
+	wg.Add(tasks)
+	for i := 0; i < tasks; i++ {
+		i := i
+		c.sem <- struct{}{}
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if failure == nil {
+						failure = &taskPanic{task: i, val: r}
+					}
+					mu.Unlock()
+				}
+				<-c.sem
+				wg.Done()
+			}()
+			t0 := time.Now()
+			fn(i)
+			d := time.Since(t0)
+			c.Metrics.tasksRun.Add(1)
+			c.Metrics.taskNanos.Add(int64(d))
+			mu.Lock()
+			if d > longest {
+				longest = d
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	c.Metrics.addStage(StageStat{
+		Name:        name,
+		Tasks:       tasks,
+		Wall:        time.Since(start),
+		LongestTask: longest,
+	})
+	if failure != nil {
+		panic(*failure)
+	}
+}

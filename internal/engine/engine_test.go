@@ -1,0 +1,452 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"st4ml/internal/codec"
+)
+
+func newTestCtx() *Context { return New(Config{Slots: 4, DefaultParallelism: 8}) }
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollectRoundTrip(t *testing.T) {
+	ctx := newTestCtx()
+	data := seq(100)
+	for _, parts := range []int{1, 3, 8, 100, 150} {
+		r := Parallelize(ctx, data, parts)
+		if r.NumPartitions() != parts {
+			t.Fatalf("parts = %d, want %d", r.NumPartitions(), parts)
+		}
+		got := r.Collect()
+		if !reflect.DeepEqual(got, data) {
+			t.Fatalf("parts=%d: collect mismatch (len %d)", parts, len(got))
+		}
+	}
+}
+
+func TestParallelizeEmpty(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, []int{}, 4)
+	if got := r.Count(); got != 0 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := r.Collect(); len(got) != 0 {
+		t.Errorf("Collect = %v", got)
+	}
+	if _, ok := r.Reduce(func(a, b int) int { return a + b }); ok {
+		t.Error("Reduce on empty should report !ok")
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(50), 7)
+	doubled := Map(r, func(v int) int { return v * 2 })
+	evens := doubled.Filter(func(v int) bool { return v%4 == 0 })
+	pairs := FlatMap(evens, func(v int) []int { return []int{v, v + 1} })
+	got := pairs.Collect()
+	var want []int
+	for i := 0; i < 50; i++ {
+		d := i * 2
+		if d%4 == 0 {
+			want = append(want, d, d+1)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMapPartitionsSeesIndex(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(20), 4)
+	tagged := MapPartitions(r, func(p int, in []int) []string {
+		out := make([]string, len(in))
+		for i, v := range in {
+			out[i] = fmt.Sprintf("%d:%d", p, v)
+		}
+		return out
+	})
+	got := tagged.Collect()
+	if len(got) != 20 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if !strings.HasPrefix(got[0], "0:") || !strings.HasPrefix(got[19], "3:") {
+		t.Errorf("partition tags wrong: first=%s last=%s", got[0], got[19])
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ctx := newTestCtx()
+	a := Parallelize(ctx, []int{1, 2}, 2)
+	b := Parallelize(ctx, []int{3, 4, 5}, 3)
+	u := a.Union(b)
+	if u.NumPartitions() != 5 {
+		t.Errorf("parts = %d", u.NumPartitions())
+	}
+	if got := u.Collect(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5}) {
+		t.Errorf("Collect = %v", got)
+	}
+}
+
+func TestSampleDeterministicAndApproximate(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(10000), 8)
+	s1 := r.Sample(0.1, 42).Collect()
+	s2 := r.Sample(0.1, 42).Collect()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("same seed should sample identically")
+	}
+	if len(s1) < 800 || len(s1) > 1200 {
+		t.Errorf("sample size %d far from 1000", len(s1))
+	}
+	s3 := r.Sample(0.1, 43).Collect()
+	if reflect.DeepEqual(s1, s3) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestReduceAndAggregate(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(101), 8)
+	sum, ok := r.Reduce(func(a, b int) int { return a + b })
+	if !ok || sum != 5050 {
+		t.Errorf("Reduce = %d ok=%v", sum, ok)
+	}
+	count := Aggregate(r, 0, func(acc, _ int) int { return acc + 1 },
+		func(a, b int) int { return a + b })
+	if count != 101 {
+		t.Errorf("Aggregate count = %d", count)
+	}
+}
+
+func TestCountByPartitionBalance(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(103), 10)
+	counts := r.CountByPartition()
+	var total int64
+	for _, c := range counts {
+		if c != 10 && c != 11 {
+			t.Errorf("unbalanced contiguous split: %v", counts)
+		}
+		total += c
+	}
+	if total != 103 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestCacheComputesOnce(t *testing.T) {
+	ctx := newTestCtx()
+	var calls atomic.Int64
+	r := Generate(ctx, "gen", 4, func(p int) []int {
+		calls.Add(1)
+		return []int{p}
+	})
+	cached := r.Cache()
+	_ = cached.Collect()
+	_ = cached.Collect()
+	_ = cached.Count()
+	if got := calls.Load(); got != 4 {
+		t.Errorf("generator called %d times, want 4", got)
+	}
+}
+
+func TestUncachedRecomputes(t *testing.T) {
+	ctx := newTestCtx()
+	var calls atomic.Int64
+	r := Generate(ctx, "gen", 2, func(p int) []int {
+		calls.Add(1)
+		return []int{p}
+	})
+	_ = r.Collect()
+	_ = r.Collect()
+	if got := calls.Load(); got != 4 {
+		t.Errorf("generator called %d times, want 4 (no caching)", got)
+	}
+}
+
+func TestTaskPanicPropagatesWithIndex(t *testing.T) {
+	ctx := newTestCtx()
+	r := Generate(ctx, "boom", 4, func(p int) []int {
+		if p == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected panic")
+		}
+		tp, ok := rec.(taskPanic)
+		if !ok || tp.task != 2 {
+			t.Fatalf("panic = %#v", rec)
+		}
+	}()
+	r.Collect()
+}
+
+func TestPartitionByRoutesCorrectly(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(100), 8)
+	shuffled := PartitionBy(r, codec.Int, 4, func(v int) int { return v % 4 })
+	parts := shuffled.CollectPartitions()
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	for p, part := range parts {
+		if len(part) != 25 {
+			t.Errorf("partition %d has %d records", p, len(part))
+		}
+		for _, v := range part {
+			if v%4 != p {
+				t.Errorf("record %d in wrong partition %d", v, p)
+			}
+		}
+	}
+}
+
+func TestPartitionByMultiDuplicates(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(10), 3)
+	dup := PartitionByMulti(r, codec.Int, 2, func(v int) []int {
+		if v == 0 {
+			return []int{0, 1} // duplicated
+		}
+		if v == 1 {
+			return nil // dropped
+		}
+		return []int{v % 2}
+	})
+	all := dup.Collect()
+	counts := map[int]int{}
+	for _, v := range all {
+		counts[v]++
+	}
+	if counts[0] != 2 {
+		t.Errorf("v=0 duplicated %d times, want 2", counts[0])
+	}
+	if counts[1] != 0 {
+		t.Errorf("v=1 should be dropped, got %d", counts[1])
+	}
+	if counts[5] != 1 {
+		t.Errorf("v=5 count = %d", counts[5])
+	}
+}
+
+func TestHashPartitionBalances(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(10000), 4)
+	h := HashPartitionBy(r, codec.Int, 16)
+	counts := h.CountByPartition()
+	var total int64
+	for _, c := range counts {
+		total += c
+		if c < 400 || c > 900 { // 625 expected
+			t.Errorf("skewed hash partition: %v", counts)
+			break
+		}
+	}
+	if total != 10000 {
+		t.Errorf("lost records: %d", total)
+	}
+	// Set equality with input.
+	got := h.Collect()
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, seq(10000)) {
+		t.Error("hash partitioning lost or duplicated records")
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := newTestCtx()
+	var pairs []codec.Pair[string, int64]
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, codec.KV(fmt.Sprintf("k%d", i%10), int64(1)))
+	}
+	r := Parallelize(ctx, pairs, 8)
+	counts := ReduceByKey(r, codec.String, codec.Int64,
+		func(a, b int64) int64 { return a + b }, 4)
+	got := counts.Collect()
+	if len(got) != 10 {
+		t.Fatalf("distinct keys = %d, want 10", len(got))
+	}
+	for _, p := range got {
+		if p.Value != 100 {
+			t.Errorf("key %s count = %d, want 100", p.Key, p.Value)
+		}
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := newTestCtx()
+	pairs := []codec.Pair[int64, string]{
+		codec.KV(int64(1), "a"), codec.KV(int64(2), "b"),
+		codec.KV(int64(1), "c"), codec.KV(int64(1), "d"),
+	}
+	r := Parallelize(ctx, pairs, 2)
+	grouped := GroupByKey(r, codec.Int64, codec.String, 3)
+	got := grouped.Collect()
+	if len(got) != 2 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	byKey := map[int64][]string{}
+	for _, g := range got {
+		vs := append([]string(nil), g.Value...)
+		sort.Strings(vs)
+		byKey[g.Key] = vs
+	}
+	if !reflect.DeepEqual(byKey[1], []string{"a", "c", "d"}) {
+		t.Errorf("key 1 = %v", byKey[1])
+	}
+	if !reflect.DeepEqual(byKey[2], []string{"b"}) {
+		t.Errorf("key 2 = %v", byKey[2])
+	}
+}
+
+func TestReduceByKeyShufflesLessThanGroupByKey(t *testing.T) {
+	ctx := newTestCtx()
+	var pairs []codec.Pair[string, int64]
+	for i := 0; i < 5000; i++ {
+		pairs = append(pairs, codec.KV(fmt.Sprintf("k%d", i%5), int64(i)))
+	}
+	r := Parallelize(ctx, pairs, 8)
+
+	ctx.Metrics.Reset()
+	_ = ReduceByKey(r, codec.String, codec.Int64,
+		func(a, b int64) int64 { return a + b }, 4).Collect()
+	rbk := ctx.Metrics.Snapshot().ShuffleRecords
+
+	ctx.Metrics.Reset()
+	_ = GroupByKey(r, codec.String, codec.Int64, 4).Collect()
+	gbk := ctx.Metrics.Snapshot().ShuffleRecords
+
+	// Map-side combine: at most keys×partitions records shuffle, versus all.
+	if rbk >= gbk {
+		t.Errorf("reduceByKey shuffled %d records, groupByKey %d — combine broken", rbk, gbk)
+	}
+	if gbk != 5000 {
+		t.Errorf("groupByKey should shuffle every record, got %d", gbk)
+	}
+	if rbk > 5*8 {
+		t.Errorf("reduceByKey shuffled %d, want <= 40", rbk)
+	}
+}
+
+func TestShuffleMetricsBytes(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(1000), 4)
+	ctx.Metrics.Reset()
+	_ = PartitionBy(r, codec.Int, 8, func(v int) int { return v }).Collect()
+	snap := ctx.Metrics.Snapshot()
+	if snap.ShuffleRecords != 1000 {
+		t.Errorf("ShuffleRecords = %d", snap.ShuffleRecords)
+	}
+	if snap.ShuffleBytes <= 0 {
+		t.Errorf("ShuffleBytes = %d", snap.ShuffleBytes)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	ctx := newTestCtx()
+	b := Broadcast(ctx, map[string]int{"x": 1}, 100)
+	if b.Value()["x"] != 1 {
+		t.Error("broadcast value lost")
+	}
+	snap := ctx.Metrics.Snapshot()
+	if snap.Broadcasts != 1 || snap.BroadcastBytes != 400 {
+		t.Errorf("broadcast metrics = %+v", snap)
+	}
+}
+
+func TestStageStatsRecorded(t *testing.T) {
+	ctx := newTestCtx()
+	ctx.Metrics.Reset()
+	r := Parallelize(ctx, seq(10), 5)
+	_ = r.Collect()
+	snap := ctx.Metrics.Snapshot()
+	if len(snap.Stages) == 0 {
+		t.Fatal("no stages recorded")
+	}
+	if snap.Stages[0].Tasks != 5 {
+		t.Errorf("stage tasks = %d", snap.Stages[0].Tasks)
+	}
+	if snap.TasksRun != 5 {
+		t.Errorf("TasksRun = %d", snap.TasksRun)
+	}
+}
+
+func TestShuffleDeterministicContent(t *testing.T) {
+	// Shuffle output content (as a multiset) equals input regardless of
+	// partitioning function.
+	ctx := newTestCtx()
+	f := func(data []int16, nOut uint8) bool {
+		n := int(nOut)%8 + 1
+		in := make([]int, len(data))
+		for i, v := range data {
+			in[i] = int(v)
+		}
+		r := Parallelize(ctx, in, 4)
+		out := PartitionBy(r, codec.Int, n, func(v int) int { return v }).Collect()
+		sort.Ints(out)
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		if len(out) != len(want) {
+			return false
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	ctx := New(Config{Slots: 3})
+	if ctx.Slots() != 3 {
+		t.Errorf("Slots = %d", ctx.Slots())
+	}
+	if ctx.DefaultParallelism() != 6 {
+		t.Errorf("DefaultParallelism = %d", ctx.DefaultParallelism())
+	}
+	r := Parallelize(ctx, seq(12), 0)
+	if r.NumPartitions() != 6 {
+		t.Errorf("default parts = %d", r.NumPartitions())
+	}
+}
+
+func TestChainedShuffles(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(100), 8)
+	s1 := PartitionBy(r, codec.Int, 4, func(v int) int { return v % 4 })
+	s2 := PartitionBy(Map(s1, func(v int) int { return v + 1 }), codec.Int, 2,
+		func(v int) int { return v % 2 })
+	got := s2.Collect()
+	sort.Ints(got)
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = i + 1
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("chained shuffle mismatch: %d records", len(got))
+	}
+}

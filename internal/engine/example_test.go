@@ -1,0 +1,52 @@
+package engine_test
+
+import (
+	"fmt"
+	"sort"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+)
+
+// ExampleReduceByKey shows the word-count shape with map-side combining —
+// the efficient idiom of the paper's §2.2 discussion.
+func ExampleReduceByKey() {
+	ctx := engine.New(engine.Config{Slots: 2})
+	words := []string{"st", "data", "st", "ml", "st", "data"}
+	pairs := engine.Map(engine.Parallelize(ctx, words, 3),
+		func(w string) codec.Pair[string, int64] { return codec.KV(w, int64(1)) })
+	counts := engine.ReduceByKey(pairs, codec.String, codec.Int64,
+		func(a, b int64) int64 { return a + b }, 2).Collect()
+	sort.Slice(counts, func(i, j int) bool { return counts[i].Key < counts[j].Key })
+	for _, c := range counts {
+		fmt.Printf("%s=%d\n", c.Key, c.Value)
+	}
+	// Output:
+	// data=2
+	// ml=1
+	// st=3
+}
+
+// ExampleRDD_Filter chains lazy transformations; nothing computes until an
+// action runs.
+func ExampleRDD_Filter() {
+	ctx := engine.New(engine.Config{Slots: 2})
+	r := engine.Parallelize(ctx, []int{1, 2, 3, 4, 5, 6}, 2)
+	evens := r.Filter(func(v int) bool { return v%2 == 0 })
+	doubled := engine.Map(evens, func(v int) int { return v * 10 })
+	fmt.Println(doubled.Collect())
+	// Output:
+	// [20 40 60]
+}
+
+// ExampleBroadcast ships one immutable value to every task, as ST4ML does
+// with its structure R-trees during conversion.
+func ExampleBroadcast() {
+	ctx := engine.New(engine.Config{Slots: 2})
+	lookup := engine.Broadcast(ctx, map[string]int{"a": 1, "b": 2}, 64)
+	r := engine.Parallelize(ctx, []string{"a", "b", "a"}, 2)
+	resolved := engine.Map(r, func(k string) int { return lookup.Value()[k] })
+	fmt.Println(resolved.Collect())
+	// Output:
+	// [1 2 1]
+}

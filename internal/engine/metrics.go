@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates execution counters for a Context. All fields are safe
+// for concurrent update; Snapshot returns a consistent-enough copy for
+// reporting (individual counters are atomic; cross-counter consistency is
+// not guaranteed mid-job).
+type Metrics struct {
+	tasksRun       atomic.Int64
+	recordsOut     atomic.Int64
+	shuffleRecords atomic.Int64
+	shuffleBytes   atomic.Int64
+	broadcasts     atomic.Int64
+	broadcastBytes atomic.Int64
+	taskNanos      atomic.Int64
+	stageMu        sync.Mutex
+	stages         []StageStat
+}
+
+// StageStat records one executed stage: its name, task count, wall-clock
+// duration, and the makespan-relevant longest task.
+type StageStat struct {
+	Name        string
+	Tasks       int
+	Wall        time.Duration
+	LongestTask time.Duration
+	Records     int64
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	TasksRun       int64
+	RecordsOut     int64
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	Broadcasts     int64
+	BroadcastBytes int64
+	TaskTime       time.Duration
+	Stages         []StageStat
+}
+
+// Snapshot returns a copy of the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.stageMu.Lock()
+	stages := make([]StageStat, len(m.stages))
+	copy(stages, m.stages)
+	m.stageMu.Unlock()
+	return Snapshot{
+		TasksRun:       m.tasksRun.Load(),
+		RecordsOut:     m.recordsOut.Load(),
+		ShuffleRecords: m.shuffleRecords.Load(),
+		ShuffleBytes:   m.shuffleBytes.Load(),
+		Broadcasts:     m.broadcasts.Load(),
+		BroadcastBytes: m.broadcastBytes.Load(),
+		TaskTime:       time.Duration(m.taskNanos.Load()),
+		Stages:         stages,
+	}
+}
+
+// Reset zeroes every counter. Benchmarks call it between runs.
+func (m *Metrics) Reset() {
+	m.tasksRun.Store(0)
+	m.recordsOut.Store(0)
+	m.shuffleRecords.Store(0)
+	m.shuffleBytes.Store(0)
+	m.broadcasts.Store(0)
+	m.broadcastBytes.Store(0)
+	m.taskNanos.Store(0)
+	m.stageMu.Lock()
+	m.stages = nil
+	m.stageMu.Unlock()
+}
+
+func (m *Metrics) addStage(s StageStat) {
+	m.stageMu.Lock()
+	m.stages = append(m.stages, s)
+	m.stageMu.Unlock()
+}
+
+// String formats the headline counters on one line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"tasks=%d records=%d shuffleRecords=%d shuffleBytes=%d broadcasts=%d taskTime=%s",
+		s.TasksRun, s.RecordsOut, s.ShuffleRecords, s.ShuffleBytes, s.Broadcasts, s.TaskTime)
+}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"sort"
+
+	"st4ml/internal/codec"
+)
+
+// Additional RDD operators: keyed joins, distinct, sort, and the pair
+// helpers application code composes. All shuffling operators pay the same
+// codec serialization toll as the core shuffles.
+
+// MapValues transforms the value side of a pair RDD, keeping keys (a
+// narrow, shuffle-free operation).
+func MapValues[K, V1, V2 any](
+	r *RDD[codec.Pair[K, V1]],
+	f func(V1) V2,
+) *RDD[codec.Pair[K, V2]] {
+	return Map(r, func(p codec.Pair[K, V1]) codec.Pair[K, V2] {
+		return codec.KV(p.Key, f(p.Value))
+	})
+}
+
+// Keys projects the keys of a pair RDD.
+func Keys[K, V any](r *RDD[codec.Pair[K, V]]) *RDD[K] {
+	return Map(r, func(p codec.Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a pair RDD.
+func Values[K, V any](r *RDD[codec.Pair[K, V]]) *RDD[V] {
+	return Map(r, func(p codec.Pair[K, V]) V { return p.Value })
+}
+
+// CountByKey returns the number of pairs per key, computed with a
+// map-side-combining shuffle.
+func CountByKey[K comparable, V any](
+	r *RDD[codec.Pair[K, V]],
+	kc codec.Codec[K],
+	nOut int,
+) map[K]int64 {
+	ones := Map(r, func(p codec.Pair[K, V]) codec.Pair[K, int64] {
+		return codec.KV(p.Key, int64(1))
+	})
+	counts := ReduceByKey(ones, kc, codec.Int64,
+		func(a, b int64) int64 { return a + b }, nOut)
+	out := map[K]int64{}
+	for _, p := range counts.Collect() {
+		out[p.Key] = p.Value
+	}
+	return out
+}
+
+// Join inner-joins two pair RDDs on their keys, producing one output pair
+// per matching (left, right) combination. Both sides shuffle by key hash
+// into nOut partitions, then each partition hash-joins locally.
+func Join[K comparable, V, W any](
+	left *RDD[codec.Pair[K, V]],
+	right *RDD[codec.Pair[K, W]],
+	kc codec.Codec[K],
+	vc codec.Codec[V],
+	wc codec.Codec[W],
+	nOut int,
+) *RDD[codec.Pair[K, codec.Pair[V, W]]] {
+	if nOut <= 0 {
+		nOut = left.ctx.defaultPar
+	}
+	route := func(k K) int { return keyBucket(kc, k, nOut) }
+	lp := PartitionBy(left, codec.PairOf(kc, vc), nOut,
+		func(p codec.Pair[K, V]) int { return route(p.Key) })
+	rp := PartitionBy(right, codec.PairOf(kc, wc), nOut,
+		func(p codec.Pair[K, W]) int { return route(p.Key) })
+	out := &RDD[codec.Pair[K, codec.Pair[V, W]]]{
+		ctx: left.ctx, name: left.name + ".join", parts: nOut,
+		parents: []preparable{lp, rp},
+		compute: func(p int) []codec.Pair[K, codec.Pair[V, W]] {
+			lhs := lp.computePartition(p)
+			rhs := rp.computePartition(p)
+			byKey := make(map[K][]V, len(lhs))
+			for _, l := range lhs {
+				byKey[l.Key] = append(byKey[l.Key], l.Value)
+			}
+			var joined []codec.Pair[K, codec.Pair[V, W]]
+			for _, r := range rhs {
+				for _, v := range byKey[r.Key] {
+					joined = append(joined, codec.KV(r.Key, codec.KV(v, r.Value)))
+				}
+			}
+			return joined
+		},
+	}
+	return out
+}
+
+// Distinct removes duplicates (by codec encoding) with a hash shuffle so
+// equal records co-locate, then per-partition dedup.
+func Distinct[T any](r *RDD[T], c codec.Codec[T], nOut int) *RDD[T] {
+	shuffled := HashPartitionBy(r, c, nOut)
+	return MapPartitions(shuffled, func(_ int, in []T) []T {
+		seen := make(map[string]bool, len(in))
+		out := make([]T, 0, len(in))
+		for _, v := range in {
+			key := string(codec.Marshal(c, v))
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, v)
+			}
+		}
+		return out
+	})
+}
+
+// SortBy globally sorts the RDD by a float64 sort key using range
+// partitioning: sampled quantile boundaries route records to ordered
+// partitions, each of which sorts locally — so Collect returns a totally
+// ordered sequence.
+func SortBy[T any](r *RDD[T], c codec.Codec[T], key func(T) float64, nOut int, seed int64) *RDD[T] {
+	if nOut <= 0 {
+		nOut = r.ctx.defaultPar
+	}
+	sample := Map(r.Sample(0.05, seed), key).Collect()
+	if len(sample) == 0 {
+		sample = Map(r, key).Collect()
+	}
+	sort.Float64s(sample)
+	bounds := make([]float64, 0, nOut-1)
+	for i := 1; i < nOut; i++ {
+		idx := i * len(sample) / nOut
+		if idx < len(sample) {
+			bounds = append(bounds, sample[idx])
+		}
+	}
+	ranged := PartitionBy(r, c, len(bounds)+1, func(v T) int {
+		k := key(v)
+		// First boundary greater than k decides the partition.
+		lo, hi := 0, len(bounds)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if k < bounds[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	})
+	return MapPartitions(ranged, func(_ int, in []T) []T {
+		out := append([]T(nil), in...)
+		sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+		return out
+	})
+}
+
+// Take returns up to n leading elements (in partition order) without
+// materializing the whole RDD beyond the needed partitions.
+func (r *RDD[T]) Take(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	r.prepare()
+	out := make([]T, 0, n)
+	for p := 0; p < r.parts && len(out) < n; p++ {
+		part := r.computePartition(p)
+		need := n - len(out)
+		if need > len(part) {
+			need = len(part)
+		}
+		out = append(out, part[:need]...)
+	}
+	return out
+}
+
+// First returns the first element, with ok=false for an empty RDD.
+func (r *RDD[T]) First() (T, bool) {
+	got := r.Take(1)
+	if len(got) == 0 {
+		var zero T
+		return zero, false
+	}
+	return got[0], true
+}
+
+// Zip pairs the i-th elements of two RDDs with identical partitioning
+// (same partition count and per-partition lengths); it panics otherwise,
+// matching Spark's contract.
+func Zip[A, B any](a *RDD[A], b *RDD[B]) *RDD[codec.Pair[A, B]] {
+	if a.parts != b.parts {
+		panic("engine: Zip of RDDs with different partition counts")
+	}
+	return &RDD[codec.Pair[A, B]]{
+		ctx: a.ctx, name: a.name + ".zip", parts: a.parts,
+		parents: []preparable{a, b},
+		compute: func(p int) []codec.Pair[A, B] {
+			as := a.computePartition(p)
+			bs := b.computePartition(p)
+			if len(as) != len(bs) {
+				panic("engine: Zip of partitions with different lengths")
+			}
+			out := make([]codec.Pair[A, B], len(as))
+			for i := range as {
+				out[i] = codec.KV(as[i], bs[i])
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"st4ml/internal/codec"
+)
+
+func TestMapValuesKeysValues(t *testing.T) {
+	ctx := newTestCtx()
+	pairs := []codec.Pair[string, int]{
+		codec.KV("a", 1), codec.KV("b", 2), codec.KV("a", 3),
+	}
+	r := Parallelize(ctx, pairs, 2)
+	doubled := MapValues(r, func(v int) int { return v * 2 }).Collect()
+	if doubled[0].Value != 2 || doubled[2].Value != 6 {
+		t.Errorf("MapValues = %v", doubled)
+	}
+	ks := Keys(r).Collect()
+	if !reflect.DeepEqual(ks, []string{"a", "b", "a"}) {
+		t.Errorf("Keys = %v", ks)
+	}
+	vs := Values(r).Collect()
+	if !reflect.DeepEqual(vs, []int{1, 2, 3}) {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := newTestCtx()
+	var pairs []codec.Pair[string, int]
+	for i := 0; i < 300; i++ {
+		pairs = append(pairs, codec.KV([]string{"x", "y", "z"}[i%3], i))
+	}
+	r := Parallelize(ctx, pairs, 5)
+	got := CountByKey(r, codec.String, 3)
+	if got["x"] != 100 || got["y"] != 100 || got["z"] != 100 {
+		t.Errorf("CountByKey = %v", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := newTestCtx()
+	left := Parallelize(ctx, []codec.Pair[int64, string]{
+		codec.KV(int64(1), "a"), codec.KV(int64(2), "b"),
+		codec.KV(int64(1), "c"), codec.KV(int64(3), "d"),
+	}, 2)
+	right := Parallelize(ctx, []codec.Pair[int64, float64]{
+		codec.KV(int64(1), 1.5), codec.KV(int64(2), 2.5),
+		codec.KV(int64(4), 4.5),
+	}, 3)
+	joined := Join(left, right, codec.Int64, codec.String, codec.Float64, 4).Collect()
+	// Key 1 matches twice (a, c), key 2 once, keys 3/4 drop.
+	if len(joined) != 3 {
+		t.Fatalf("joined = %v", joined)
+	}
+	found := map[string]float64{}
+	for _, j := range joined {
+		found[j.Value.Key] = j.Value.Value
+	}
+	if found["a"] != 1.5 || found["c"] != 1.5 || found["b"] != 2.5 {
+		t.Errorf("join content = %v", found)
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	ctx := newTestCtx()
+	left := Parallelize(ctx, []codec.Pair[int64, string]{}, 2)
+	right := Parallelize(ctx, []codec.Pair[int64, float64]{codec.KV(int64(1), 1.0)}, 2)
+	if got := Join(left, right, codec.Int64, codec.String, codec.Float64, 2).Count(); got != 0 {
+		t.Errorf("empty join = %d", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := newTestCtx()
+	data := []int{5, 3, 5, 5, 3, 7, 7, 1}
+	r := Parallelize(ctx, data, 3)
+	got := Distinct(r, codec.Int, 4).Collect()
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{1, 3, 5, 7}) {
+		t.Errorf("Distinct = %v", got)
+	}
+}
+
+func TestSortByTotalOrder(t *testing.T) {
+	ctx := newTestCtx()
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 100
+	}
+	r := Parallelize(ctx, data, 8)
+	got := SortBy(r, codec.Float64, func(v float64) float64 { return v }, 6, 42).Collect()
+	if len(got) != len(data) {
+		t.Fatalf("lost records: %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not sorted at %d: %g < %g", i, got[i], got[i-1])
+		}
+	}
+	want := append([]float64(nil), data...)
+	sort.Float64s(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("sorted content mismatch")
+	}
+}
+
+func TestSortByTinyInput(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, []float64{3, 1, 2}, 2)
+	got := SortBy(r, codec.Float64, func(v float64) float64 { return v }, 4, 1)
+	if !reflect.DeepEqual(got.Collect(), []float64{1, 2, 3}) {
+		t.Errorf("tiny sort = %v", got.Collect())
+	}
+}
+
+func TestTakeAndFirst(t *testing.T) {
+	ctx := newTestCtx()
+	r := Parallelize(ctx, seq(100), 7)
+	if got := r.Take(5); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("Take = %v", got)
+	}
+	if got := r.Take(1000); len(got) != 100 {
+		t.Errorf("oversized Take = %d", len(got))
+	}
+	if got := r.Take(0); got != nil {
+		t.Errorf("Take(0) = %v", got)
+	}
+	v, ok := r.First()
+	if !ok || v != 0 {
+		t.Errorf("First = %d %v", v, ok)
+	}
+	empty := Parallelize(ctx, []int{}, 3)
+	if _, ok := empty.First(); ok {
+		t.Error("First on empty should report !ok")
+	}
+}
+
+func TestZip(t *testing.T) {
+	ctx := newTestCtx()
+	a := Parallelize(ctx, []int{1, 2, 3, 4}, 2)
+	b := Parallelize(ctx, []string{"w", "x", "y", "z"}, 2)
+	got := Zip(a, b).Collect()
+	if len(got) != 4 || got[0] != codec.KV(1, "w") || got[3] != codec.KV(4, "z") {
+		t.Errorf("Zip = %v", got)
+	}
+}
+
+func TestZipMismatchedPanics(t *testing.T) {
+	ctx := newTestCtx()
+	a := Parallelize(ctx, []int{1, 2}, 2)
+	b := Parallelize(ctx, []int{1, 2}, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Zip(a, b)
+}
+
+// Property: Distinct output is the set of the input, for random inputs.
+func TestDistinctProperty(t *testing.T) {
+	ctx := newTestCtx()
+	f := func(data []int16) bool {
+		in := make([]int, len(data))
+		set := map[int]bool{}
+		for i, v := range data {
+			in[i] = int(v)
+			set[int(v)] = true
+		}
+		r := Parallelize(ctx, in, 4)
+		got := Distinct(r, codec.Int, 3).Collect()
+		if len(got) != len(set) {
+			return false
+		}
+		for _, v := range got {
+			if !set[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SortBy(Collect) == sort(Collect) for random inputs.
+func TestSortByProperty(t *testing.T) {
+	ctx := newTestCtx()
+	f := func(data []float32) bool {
+		in := make([]float64, len(data))
+		for i, v := range data {
+			in[i] = float64(v)
+		}
+		r := Parallelize(ctx, in, 3)
+		got := SortBy(r, codec.Float64, func(v float64) float64 { return v }, 4, 7).Collect()
+		want := append([]float64(nil), in...)
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// preparable is the untyped view of an RDD used for dependency preparation.
+// Actions prepare the whole lineage top-down before scheduling tasks, so
+// shuffle materialization never nests inside a running task (Spark's stage
+// boundary, which also avoids slot-pool deadlock here).
+type preparable interface {
+	prepare()
+}
+
+// RDD is a lazy, immutable, partitioned collection of T — the engine's
+// equivalent of a Spark RDD. Transformations build new RDDs without
+// computing anything; actions (Collect, Count, Reduce, ...) trigger a job.
+//
+// An RDD is safe for concurrent actions. Partition data returned by compute
+// functions must be treated as immutable by downstream code.
+type RDD[T any] struct {
+	ctx     *Context
+	name    string
+	parts   int
+	parents []preparable
+	// compute produces partition p. nil when the RDD is born materialized.
+	compute func(p int) []T
+	// doMaterialize, when non-nil, produces all partitions at once; it runs
+	// under matOnce during prepare. Shuffled and cached RDDs use it.
+	doMaterialize func() [][]T
+	matOnce       sync.Once
+	materialized  [][]T
+}
+
+// Ctx returns the owning context.
+func (r *RDD[T]) Ctx() *Context { return r.ctx }
+
+// Name returns the RDD's debug name.
+func (r *RDD[T]) Name() string { return r.name }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+func (r *RDD[T]) prepare() {
+	for _, p := range r.parents {
+		p.prepare()
+	}
+	if r.doMaterialize != nil {
+		r.matOnce.Do(func() {
+			r.materialized = r.doMaterialize()
+		})
+	}
+}
+
+// computePartition returns partition p, from the materialized store if
+// present, else by running the compute closure.
+func (r *RDD[T]) computePartition(p int) []T {
+	if r.materialized != nil {
+		return r.materialized[p]
+	}
+	return r.compute(p)
+}
+
+// Parallelize distributes data into numParts partitions (0 means the
+// context default), slicing contiguously like Spark's parallelize.
+func Parallelize[T any](ctx *Context, data []T, numParts int) *RDD[T] {
+	if numParts <= 0 {
+		numParts = ctx.defaultPar
+	}
+	parts := make([][]T, numParts)
+	n := len(data)
+	start := 0
+	for i := 0; i < numParts; i++ {
+		size := n / numParts
+		if i < n%numParts {
+			size++
+		}
+		parts[i] = data[start : start+size]
+		start += size
+	}
+	return FromPartitions(ctx, "parallelize", parts)
+}
+
+// FromPartitions wraps pre-partitioned in-memory data as an RDD.
+func FromPartitions[T any](ctx *Context, name string, parts [][]T) *RDD[T] {
+	return &RDD[T]{ctx: ctx, name: name, parts: len(parts), materialized: parts}
+}
+
+// Generate builds an RDD whose partitions are produced on demand by gen —
+// the entry point for readers that load partitions from disk in parallel.
+func Generate[T any](ctx *Context, name string, numParts int, gen func(p int) []T) *RDD[T] {
+	return &RDD[T]{ctx: ctx, name: name, parts: numParts, compute: gen}
+}
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return &RDD[U]{
+		ctx: r.ctx, name: r.name + ".map", parts: r.parts, parents: []preparable{r},
+		compute: func(p int) []U {
+			in := r.computePartition(p)
+			out := make([]U, len(in))
+			for i, v := range in {
+				out[i] = f(v)
+			}
+			return out
+		},
+	}
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return &RDD[U]{
+		ctx: r.ctx, name: r.name + ".flatMap", parts: r.parts, parents: []preparable{r},
+		compute: func(p int) []U {
+			in := r.computePartition(p)
+			var out []U
+			for _, v := range in {
+				out = append(out, f(v)...)
+			}
+			return out
+		},
+	}
+}
+
+// MapPartitions transforms each partition wholesale; f receives the
+// partition index and its records.
+func MapPartitions[T, U any](r *RDD[T], f func(p int, in []T) []U) *RDD[U] {
+	return &RDD[U]{
+		ctx: r.ctx, name: r.name + ".mapPartitions", parts: r.parts, parents: []preparable{r},
+		compute: func(p int) []U {
+			return f(p, r.computePartition(p))
+		},
+	}
+}
+
+// Filter keeps the elements for which pred is true.
+func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
+	return &RDD[T]{
+		ctx: r.ctx, name: r.name + ".filter", parts: r.parts, parents: []preparable{r},
+		compute: func(p int) []T {
+			in := r.computePartition(p)
+			out := make([]T, 0, len(in)/2)
+			for _, v := range in {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Union concatenates the partitions of both RDDs (no shuffle).
+func (r *RDD[T]) Union(o *RDD[T]) *RDD[T] {
+	return &RDD[T]{
+		ctx: r.ctx, name: r.name + "+" + o.name, parts: r.parts + o.parts,
+		parents: []preparable{r, o},
+		compute: func(p int) []T {
+			if p < r.parts {
+				return r.computePartition(p)
+			}
+			return o.computePartition(p - r.parts)
+		},
+	}
+}
+
+// Sample keeps each element with probability frac, deterministically per
+// (seed, partition).
+func (r *RDD[T]) Sample(frac float64, seed int64) *RDD[T] {
+	return &RDD[T]{
+		ctx: r.ctx, name: r.name + ".sample", parts: r.parts, parents: []preparable{r},
+		compute: func(p int) []T {
+			rng := rand.New(rand.NewSource(seed + int64(p)*7919))
+			in := r.computePartition(p)
+			out := make([]T, 0, int(float64(len(in))*frac)+1)
+			for _, v := range in {
+				if rng.Float64() < frac {
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Cache materializes the RDD on first action and serves later accesses from
+// memory, like Spark's persist(MEMORY_ONLY).
+func (r *RDD[T]) Cache() *RDD[T] {
+	cached := &RDD[T]{
+		ctx: r.ctx, name: r.name + ".cache", parts: r.parts, parents: []preparable{r},
+	}
+	cached.doMaterialize = func() [][]T {
+		out := make([][]T, r.parts)
+		r.ctx.runStage(cached.name, r.parts, func(p int) {
+			out[p] = r.computePartition(p)
+		})
+		return out
+	}
+	return cached
+}
+
+// runJob evaluates every partition of r in parallel and returns them.
+func runJob[T any](r *RDD[T], name string) [][]T {
+	r.prepare()
+	out := make([][]T, r.parts)
+	r.ctx.runStage(name, r.parts, func(p int) {
+		part := r.computePartition(p)
+		out[p] = part
+		r.ctx.Metrics.recordsOut.Add(int64(len(part)))
+	})
+	return out
+}
+
+// Collect returns all elements in partition order.
+func (r *RDD[T]) Collect() []T {
+	parts := runJob(r, r.name+".collect")
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// CollectPartitions returns the partitions without flattening.
+func (r *RDD[T]) CollectPartitions() [][]T {
+	return runJob(r, r.name+".collectPartitions")
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() int64 {
+	var total int64
+	for _, n := range r.CountByPartition() {
+		total += n
+	}
+	return total
+}
+
+// CountByPartition returns per-partition element counts (the input to the
+// load-balance CV metric of Table 5).
+func (r *RDD[T]) CountByPartition() []int64 {
+	r.prepare()
+	counts := make([]int64, r.parts)
+	r.ctx.runStage(r.name+".count", r.parts, func(p int) {
+		counts[p] = int64(len(r.computePartition(p)))
+	})
+	return counts
+}
+
+// Reduce folds all elements with f. ok is false for an empty RDD.
+func (r *RDD[T]) Reduce(f func(T, T) T) (result T, ok bool) {
+	parts := runJob(r, r.name+".reduce")
+	for _, part := range parts {
+		for _, v := range part {
+			if !ok {
+				result, ok = v, true
+			} else {
+				result = f(result, v)
+			}
+		}
+	}
+	return result, ok
+}
+
+// Aggregate folds each partition with seqOp from zero, then merges the
+// per-partition results with combOp on the driver.
+func Aggregate[T, U any](r *RDD[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) U {
+	r.prepare()
+	partial := make([]U, r.parts)
+	r.ctx.runStage(r.name+".aggregate", r.parts, func(p int) {
+		acc := zero
+		for _, v := range r.computePartition(p) {
+			acc = seqOp(acc, v)
+		}
+		partial[p] = acc
+	})
+	out := zero
+	for _, u := range partial {
+		out = combOp(out, u)
+	}
+	return out
+}
+
+// ForeachPartition runs fn over every partition for its side effects.
+func (r *RDD[T]) ForeachPartition(fn func(p int, in []T)) {
+	r.prepare()
+	r.ctx.runStage(r.name+".foreach", r.parts, func(p int) {
+		fn(p, r.computePartition(p))
+	})
+}

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"hash/fnv"
+
+	"st4ml/internal/codec"
+)
+
+// Shuffles route records between partitions. Every shuffled record is
+// encoded with its codec on the map side and decoded on the reduce side —
+// the same serialization toll Spark charges — and the byte volume is
+// tracked in Metrics.ShuffleBytes.
+
+// PartitionBy redistributes records into nOut partitions according to
+// target (values outside [0, nOut) are clamped by modulo).
+func PartitionBy[T any](r *RDD[T], c codec.Codec[T], nOut int, target func(T) int) *RDD[T] {
+	return PartitionByMulti(r, c, nOut, func(v T) []int { return []int{target(v)} })
+}
+
+// PartitionByMulti redistributes records into nOut partitions; targets may
+// send one record to several partitions (the duplication mode of the
+// paper's flatMap-based ST partitioning, needed when an instance overlaps
+// several partition extents). Records with no targets are dropped.
+func PartitionByMulti[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func(T) []int) *RDD[T] {
+	if nOut <= 0 {
+		nOut = r.ctx.defaultPar
+	}
+	out := &RDD[T]{
+		ctx: r.ctx, name: r.name + ".partitionBy", parts: nOut, parents: []preparable{r},
+	}
+	out.doMaterialize = func() [][]T {
+		enc := shuffleWrite(r, c, nOut, targets)
+		return shuffleRead(r.ctx, out.name, c, enc)
+	}
+	return out
+}
+
+// HashPartitionBy routes each record by the FNV hash of its encoding,
+// giving record-level random balance (ST4ML's Hash partitioner, §3.1).
+func HashPartitionBy[T any](r *RDD[T], c codec.Codec[T], nOut int) *RDD[T] {
+	if nOut <= 0 {
+		nOut = r.ctx.defaultPar
+	}
+	out := &RDD[T]{
+		ctx: r.ctx, name: r.name + ".hashPartition", parts: nOut, parents: []preparable{r},
+	}
+	out.doMaterialize = func() [][]T {
+		scratch := func() *codec.Writer { return codec.NewWriter(64) }
+		enc := shuffleWriteFunc(r, nOut, func(v T, w *codec.Writer) int {
+			c.Enc(w, v)
+			return int(hashBytes(w.Bytes()) % uint64(nOut))
+		}, scratch)
+		return shuffleRead(r.ctx, out.name, c, enc)
+	}
+	return out
+}
+
+// ReduceByKey combines values sharing a key with a map-side combine before
+// the shuffle — the efficient aggregation idiom of the paper's §2.2.
+// The output has nOut partitions keyed by key-hash.
+func ReduceByKey[K comparable, V any](
+	r *RDD[codec.Pair[K, V]],
+	kc codec.Codec[K], vc codec.Codec[V],
+	reduce func(V, V) V,
+	nOut int,
+) *RDD[codec.Pair[K, V]] {
+	if nOut <= 0 {
+		nOut = r.ctx.defaultPar
+	}
+	pc := codec.PairOf(kc, vc)
+	out := &RDD[codec.Pair[K, V]]{
+		ctx: r.ctx, name: r.name + ".reduceByKey", parts: nOut, parents: []preparable{r},
+	}
+	out.doMaterialize = func() [][]codec.Pair[K, V] {
+		combined := MapPartitions(r, func(_ int, in []codec.Pair[K, V]) []codec.Pair[K, V] {
+			m := make(map[K]V, len(in))
+			for _, p := range in {
+				if cur, ok := m[p.Key]; ok {
+					m[p.Key] = reduce(cur, p.Value)
+				} else {
+					m[p.Key] = p.Value
+				}
+			}
+			out := make([]codec.Pair[K, V], 0, len(m))
+			for k, v := range m {
+				out = append(out, codec.KV(k, v))
+			}
+			return out
+		})
+		enc := shuffleWrite(combined, pc, nOut, func(p codec.Pair[K, V]) []int {
+			return []int{keyBucket(kc, p.Key, nOut)}
+		})
+		shuffled := shuffleRead(r.ctx, out.name, pc, enc)
+		// Final merge per reduce partition.
+		result := make([][]codec.Pair[K, V], nOut)
+		r.ctx.runStage(out.name+".merge", nOut, func(p int) {
+			m := make(map[K]V)
+			for _, pair := range shuffled[p] {
+				if cur, ok := m[pair.Key]; ok {
+					m[pair.Key] = reduce(cur, pair.Value)
+				} else {
+					m[pair.Key] = pair.Value
+				}
+			}
+			outp := make([]codec.Pair[K, V], 0, len(m))
+			for k, v := range m {
+				outp = append(outp, codec.KV(k, v))
+			}
+			result[p] = outp
+		})
+		return result
+	}
+	return out
+}
+
+// GroupByKey shuffles every pair and groups values per key with no map-side
+// combine — the slower idiom the paper contrasts with ReduceByKey.
+func GroupByKey[K comparable, V any](
+	r *RDD[codec.Pair[K, V]],
+	kc codec.Codec[K], vc codec.Codec[V],
+	nOut int,
+) *RDD[codec.Pair[K, []V]] {
+	if nOut <= 0 {
+		nOut = r.ctx.defaultPar
+	}
+	pc := codec.PairOf(kc, vc)
+	out := &RDD[codec.Pair[K, []V]]{
+		ctx: r.ctx, name: r.name + ".groupByKey", parts: nOut, parents: []preparable{r},
+	}
+	out.doMaterialize = func() [][]codec.Pair[K, []V] {
+		enc := shuffleWrite(r, pc, nOut, func(p codec.Pair[K, V]) []int {
+			return []int{keyBucket(kc, p.Key, nOut)}
+		})
+		shuffled := shuffleRead(r.ctx, out.name, pc, enc)
+		result := make([][]codec.Pair[K, []V], nOut)
+		r.ctx.runStage(out.name+".group", nOut, func(p int) {
+			m := make(map[K][]V)
+			for _, pair := range shuffled[p] {
+				m[pair.Key] = append(m[pair.Key], pair.Value)
+			}
+			outp := make([]codec.Pair[K, []V], 0, len(m))
+			for k, vs := range m {
+				outp = append(outp, codec.KV(k, vs))
+			}
+			result[p] = outp
+		})
+		return result
+	}
+	return out
+}
+
+// keyBucket hashes a key through its codec encoding — works for any K
+// without a per-type hash function, at the cost of one small encode.
+func keyBucket[K any](kc codec.Codec[K], k K, n int) int {
+	w := codec.NewWriter(16)
+	kc.Enc(w, k)
+	return int(hashBytes(w.Bytes()) % uint64(n))
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// shuffleWrite runs the map side: every parent partition encodes its
+// records into one byte buffer per target partition. Returns
+// enc[parentPart][target] = concatenated encodings.
+func shuffleWrite[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func(T) []int) [][][]byte {
+	r.prepare()
+	enc := make([][][]byte, r.parts)
+	r.ctx.runStage(r.name+".shuffleWrite", r.parts, func(p int) {
+		writers := make([]*codec.Writer, nOut)
+		for _, v := range r.computePartition(p) {
+			for _, t := range targets(v) {
+				t = ((t % nOut) + nOut) % nOut
+				if writers[t] == nil {
+					writers[t] = codec.NewWriter(1024)
+				}
+				c.Enc(writers[t], v)
+				r.ctx.Metrics.shuffleRecords.Add(1)
+			}
+		}
+		bufs := make([][]byte, nOut)
+		var bytes int64
+		for t, w := range writers {
+			if w != nil {
+				bufs[t] = w.Bytes()
+				bytes += int64(w.Len())
+			}
+		}
+		r.ctx.Metrics.shuffleBytes.Add(bytes)
+		enc[p] = bufs
+	})
+	return enc
+}
+
+// shuffleWriteFunc is shuffleWrite with a fused encode+route step: route
+// receives a scratch writer, encodes v into it, and returns the target. The
+// encoded bytes are then moved to the target buffer, avoiding a second
+// encode for hash routing.
+func shuffleWriteFunc[T any](
+	r *RDD[T], nOut int,
+	route func(v T, scratch *codec.Writer) int,
+	newScratch func() *codec.Writer,
+) [][][]byte {
+	r.prepare()
+	enc := make([][][]byte, r.parts)
+	r.ctx.runStage(r.name+".shuffleWrite", r.parts, func(p int) {
+		writers := make([]*codec.Writer, nOut)
+		scratch := newScratch()
+		for _, v := range r.computePartition(p) {
+			scratch.Reset()
+			t := route(v, scratch)
+			t = ((t % nOut) + nOut) % nOut
+			if writers[t] == nil {
+				writers[t] = codec.NewWriter(1024)
+			}
+			writers[t].PutRaw(scratch.Bytes())
+			r.ctx.Metrics.shuffleRecords.Add(1)
+		}
+		bufs := make([][]byte, nOut)
+		var bytes int64
+		for t, w := range writers {
+			if w != nil {
+				bufs[t] = w.Bytes()
+				bytes += int64(w.Len())
+			}
+		}
+		r.ctx.Metrics.shuffleBytes.Add(bytes)
+		enc[p] = bufs
+	})
+	return enc
+}
+
+// shuffleRead runs the reduce side: for each output partition, decode the
+// byte buffers produced for it by every map task.
+func shuffleRead[T any](ctx *Context, name string, c codec.Codec[T], enc [][][]byte) [][]T {
+	if len(enc) == 0 {
+		return nil
+	}
+	nOut := len(enc[0])
+	out := make([][]T, nOut)
+	ctx.runStage(name+".shuffleRead", nOut, func(t int) {
+		var part []T
+		for p := range enc {
+			buf := enc[p][t]
+			if len(buf) == 0 {
+				continue
+			}
+			rd := codec.NewReader(buf)
+			for rd.Remaining() > 0 {
+				part = append(part, c.Dec(rd))
+			}
+		}
+		out[t] = part
+	})
+	return out
+}

@@ -1,0 +1,207 @@
+package extract
+
+import (
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// Event extractors (Table 3).
+
+// EventAnomaly keeps events whose start hour-of-day falls in [hourLo,
+// hourHi); a wrapped range like (23, 4) selects the night hours of the
+// paper's anomaly application.
+func EventAnomaly[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.Event[S, V, D]],
+	hourLo, hourHi int,
+) *engine.RDD[instance.Event[S, V, D]] {
+	return r.Filter(func(e instance.Event[S, V, D]) bool {
+		return HourInRange(tempo.HourOfDay(e.Entry.Temporal.Start), hourLo, hourHi)
+	})
+}
+
+// HourInRange reports whether hour lies in [lo, hi), wrapping across
+// midnight when lo > hi. lo == hi selects every hour.
+func HourInRange(hour, lo, hi int) bool {
+	if lo == hi {
+		return true
+	}
+	if lo < hi {
+		return hour >= lo && hour < hi
+	}
+	return hour >= lo || hour < hi
+}
+
+// CompanionPair reports that two records were within the companion
+// thresholds of each other.
+type CompanionPair[D any] struct {
+	A, B D
+}
+
+// EventCompanion finds event pairs within distM metres and dtSec seconds of
+// each other, comparing only within partitions — the input must be
+// ST-partitioned with duplication so every true pair co-locates (the
+// T-STR-with-duplication workload of Table 6). idOf must give distinct ids
+// to distinct events; a pair is reported once per partition that contains
+// both (callers dedupe with DedupCompanions when duplication is on).
+func EventCompanion[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.Event[S, V, D]],
+	distM float64,
+	dtSec int64,
+	idOf func(D) int64,
+) *engine.RDD[CompanionPair[int64]] {
+	return engine.MapPartitions(r, func(_ int, in []instance.Event[S, V, D]) []CompanionPair[int64] {
+		items := make([]index.Item[int], len(in))
+		for i, e := range in {
+			items[i] = index.Item[int]{Box: e.Box(), Data: i}
+		}
+		tree := index.BulkLoadSTR(items, 16)
+		var out []CompanionPair[int64]
+		for i, e := range in {
+			c := e.Entry.Spatial.Centroid()
+			q := index.Box3(
+				geom.MBR{
+					MinX: c.X - geom.MetersToDegreesLon(distM, c.Y),
+					MaxX: c.X + geom.MetersToDegreesLon(distM, c.Y),
+					MinY: c.Y - geom.MetersToDegreesLat(distM),
+					MaxY: c.Y + geom.MetersToDegreesLat(distM),
+				},
+				e.Entry.Temporal.Buffer(dtSec))
+			idI := idOf(e.Data)
+			tree.SearchFunc(q, func(j int, _ index.Box) bool {
+				if j <= i {
+					return true // each unordered pair once
+				}
+				o := in[j]
+				if idOf(o.Data) == idI {
+					return true
+				}
+				if geom.HaversineMeters(c, o.Entry.Spatial.Centroid()) <= distM &&
+					e.Entry.Temporal.Buffer(dtSec).Intersects(o.Entry.Temporal) {
+					out = append(out, orderedPair(idI, idOf(o.Data)))
+				}
+				return true
+			})
+		}
+		return out
+	})
+}
+
+func orderedPair(a, b int64) CompanionPair[int64] {
+	if a > b {
+		a, b = b, a
+	}
+	return CompanionPair[int64]{A: a, B: b}
+}
+
+// DedupCompanions removes duplicate pairs produced by partition
+// duplication, returning the distinct pair count and the pairs.
+func DedupCompanions(r *engine.RDD[CompanionPair[int64]]) []CompanionPair[int64] {
+	all := r.Collect()
+	seen := make(map[CompanionPair[int64]]bool, len(all))
+	out := all[:0]
+	for _, p := range all {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Cluster is one spatial cluster of events found by EventCluster.
+type Cluster struct {
+	// Center is the mean location of the cluster's core and border points.
+	Center geom.Point
+	// Size is the number of member events.
+	Size int
+}
+
+// EventCluster runs DBSCAN per partition over event centroids (epsM metres,
+// minPts density) and reports the clusters found — the hot-spot extraction
+// of Table 2. Clusters spanning partition borders are reported per
+// partition; ST-partitioning with duplication bounds the error, as in the
+// paper's clustering pipeline.
+func EventCluster[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.Event[S, V, D]],
+	epsM float64,
+	minPts int,
+) *engine.RDD[Cluster] {
+	return engine.MapPartitions(r, func(_ int, in []instance.Event[S, V, D]) []Cluster {
+		pts := make([]geom.Point, len(in))
+		items := make([]index.Item[int], len(in))
+		for i, e := range in {
+			pts[i] = e.Entry.Spatial.Centroid()
+			items[i] = index.Item[int]{Box: index.Box2(pts[i].MBR()), Data: i}
+		}
+		tree := index.BulkLoadSTR(items, 16)
+		neighbors := func(i int) []int {
+			p := pts[i]
+			q := index.Box2(geom.MBR{
+				MinX: p.X - geom.MetersToDegreesLon(epsM, p.Y),
+				MaxX: p.X + geom.MetersToDegreesLon(epsM, p.Y),
+				MinY: p.Y - geom.MetersToDegreesLat(epsM),
+				MaxY: p.Y + geom.MetersToDegreesLat(epsM),
+			})
+			var out []int
+			tree.SearchFunc(q, func(j int, _ index.Box) bool {
+				if geom.HaversineMeters(p, pts[j]) <= epsM {
+					out = append(out, j)
+				}
+				return true
+			})
+			return out
+		}
+		const (
+			unvisited = 0
+			noise     = -1
+		)
+		labels := make([]int, len(in)) // 0 unvisited, -1 noise, >0 cluster id
+		next := 0
+		var clusters []Cluster
+		for i := range in {
+			if labels[i] != unvisited {
+				continue
+			}
+			seed := neighbors(i)
+			if len(seed) < minPts {
+				labels[i] = noise
+				continue
+			}
+			next++
+			labels[i] = next
+			var members []int
+			members = append(members, i)
+			queue := append([]int(nil), seed...)
+			for len(queue) > 0 {
+				j := queue[0]
+				queue = queue[1:]
+				if labels[j] == noise {
+					labels[j] = next
+					members = append(members, j)
+				}
+				if labels[j] != unvisited {
+					continue
+				}
+				labels[j] = next
+				members = append(members, j)
+				if nb := neighbors(j); len(nb) >= minPts {
+					queue = append(queue, nb...)
+				}
+			}
+			var cx, cy float64
+			for _, m := range members {
+				cx += pts[m].X
+				cy += pts[m].Y
+			}
+			n := float64(len(members))
+			clusters = append(clusters, Cluster{
+				Center: geom.Pt(cx/n, cy/n),
+				Size:   len(members),
+			})
+		}
+		return clusters
+	})
+}

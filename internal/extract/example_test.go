@@ -1,0 +1,77 @@
+package extract_test
+
+import (
+	"fmt"
+
+	"st4ml/internal/convert"
+	"st4ml/internal/engine"
+	"st4ml/internal/extract"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// ExampleTsFlow shows the hourly-flow pipeline of Table 7: events are
+// converted to a time series whose cells collect them, then the built-in
+// flow extractor counts per slot and merges the distributed partials.
+func ExampleTsFlow() {
+	ctx := engine.New(engine.Config{Slots: 2})
+	type ev = instance.Event[geom.Point, instance.Unit, int64]
+	events := []ev{
+		instance.NewEvent(geom.Pt(1, 1), tempo.Instant(100), instance.Unit{}, int64(1)),
+		instance.NewEvent(geom.Pt(2, 2), tempo.Instant(200), instance.Unit{}, int64(2)),
+		instance.NewEvent(geom.Pt(3, 3), tempo.Instant(4000), instance.Unit{}, int64(3)),
+	}
+	r := engine.Parallelize(ctx, events, 2)
+	tgt := convert.TimeGridTarget(instance.TimeGrid{Window: tempo.New(0, 7199), NT: 2})
+	cells := convert.EventToTimeSeries(r, tgt, convert.Auto,
+		func(in []ev) []ev { return in })
+	ts, _ := extract.TsFlow(cells)
+	for i, e := range ts.Entries {
+		fmt.Printf("slot %d: %d events\n", i, e.Value)
+	}
+	// Output:
+	// slot 0: 2 events
+	// slot 1: 1 events
+}
+
+// ExampleMapRasterValuePlus shows the Table 4 extension API: custom logic
+// written against one cell value plus its ST boundaries, executed by the
+// engine across every instance.
+func ExampleMapRasterValuePlus() {
+	ctx := engine.New(engine.Config{Slots: 2})
+	grid := instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 2, 1), NX: 2, NY: 1},
+		Time:  instance.TimeGrid{Window: tempo.New(0, 9), NT: 1},
+	}
+	cells, slots := grid.Build()
+	ra := instance.NewRaster(cells, slots, []int64{3, 5}, instance.Unit{})
+	r := engine.Parallelize(ctx, []instance.Raster[geom.MBR, int64, instance.Unit]{ra}, 1)
+	perArea := extract.MapRasterValuePlus(r,
+		func(v int64, cell geom.MBR, slot tempo.Duration) float64 {
+			return float64(v) / cell.Area()
+		})
+	out := perArea.Collect()[0]
+	fmt.Printf("%.0f %.0f\n", out.Entries[0].Value, out.Entries[1].Value)
+	// Output:
+	// 3 5
+}
+
+// ExampleTrajStayPoints extracts stay points from a trajectory that pauses
+// for ten minutes.
+func ExampleTrajStayPoints() {
+	ctx := engine.New(engine.Config{Slots: 2})
+	entries := []instance.Entry[geom.Point, instance.Unit]{
+		{Spatial: geom.Pt(0, 0), Temporal: tempo.Instant(0)},
+		{Spatial: geom.Pt(0.00001, 0), Temporal: tempo.Instant(700)}, // ~1 m later
+		{Spatial: geom.Pt(0.1, 0), Temporal: tempo.Instant(800)},     // moved away
+	}
+	tr := instance.NewTrajectory(entries, int64(42))
+	r := engine.Parallelize(ctx, []instance.Trajectory[instance.Unit, int64]{tr}, 1)
+	got := extract.TrajStayPoints(r, 200, 600).Collect()
+	fmt.Printf("traj %d: %d stay point(s), %ds long\n",
+		got[0].Key, len(got[0].Value),
+		got[0].Value[0].LeaveAt-got[0].Value[0].ArriveAt)
+	// Output:
+	// traj 42: 1 stay point(s), 700s long
+}

@@ -1,0 +1,60 @@
+// Package extract implements ST4ML's Extraction stage (§3.3): the built-in
+// feature extractors of Table 3, the RDD-level extension APIs of Table 4
+// (MapValue, MapValuePlus, MapData, MapDataPlus, CollectAndMerge), and the
+// accumulator helpers custom extractors compose.
+//
+// Built-in extractors operate either on converted collective-instance RDDs
+// (one partial instance per partition, as the converters emit) or directly
+// on singular-instance RDDs, and reduce to a single merged result on the
+// driver where the paper's extractor does.
+package extract
+
+import "math"
+
+// MeanAcc accumulates a running mean: the merge-friendly aggregate used by
+// the speed extractors.
+type MeanAcc struct {
+	Sum float64
+	N   int64
+}
+
+// Add folds one observation.
+func (a MeanAcc) Add(v float64) MeanAcc { return MeanAcc{Sum: a.Sum + v, N: a.N + 1} }
+
+// Merge combines two accumulators.
+func (a MeanAcc) Merge(b MeanAcc) MeanAcc { return MeanAcc{Sum: a.Sum + b.Sum, N: a.N + b.N} }
+
+// Mean returns the mean, or NaN when empty.
+func (a MeanAcc) Mean() float64 {
+	if a.N == 0 {
+		return math.NaN()
+	}
+	return a.Sum / float64(a.N)
+}
+
+// InOut counts flow transitions through a cell: entries and exits.
+type InOut struct {
+	In  int64
+	Out int64
+}
+
+// Merge combines two counters.
+func (a InOut) Merge(b InOut) InOut { return InOut{In: a.In + b.In, Out: a.Out + b.Out} }
+
+// SpeedUnit selects the output unit of the speed extractors.
+type SpeedUnit int
+
+const (
+	// MPS reports metres per second.
+	MPS SpeedUnit = iota
+	// KMH reports kilometres per hour.
+	KMH
+)
+
+// Convert rescales a metres-per-second value into the unit.
+func (u SpeedUnit) Convert(mps float64) float64 {
+	if u == KMH {
+		return mps * 3.6
+	}
+	return mps
+}

@@ -1,0 +1,400 @@
+package extract
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"st4ml/internal/convert"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+type uev = instance.Event[geom.Point, instance.Unit, int64]
+type utraj = instance.Trajectory[instance.Unit, int64]
+
+func testCtx() *engine.Context { return engine.New(engine.Config{Slots: 4}) }
+
+func mkEvent(x, y float64, t int64, id int64) uev {
+	return instance.NewEvent(geom.Pt(x, y), tempo.Instant(t), instance.Unit{}, id)
+}
+
+func mkTraj(id int64, pts []geom.Point, times []int64) utraj {
+	entries := make([]instance.Entry[geom.Point, instance.Unit], len(pts))
+	for i := range pts {
+		entries[i] = instance.Entry[geom.Point, instance.Unit]{
+			Spatial: pts[i], Temporal: tempo.Instant(times[i]),
+		}
+	}
+	return instance.NewTrajectory(entries, id)
+}
+
+func TestMeanAcc(t *testing.T) {
+	var a MeanAcc
+	if !math.IsNaN(a.Mean()) {
+		t.Error("empty mean should be NaN")
+	}
+	a = a.Add(2).Add(4)
+	b := MeanAcc{}.Add(6)
+	if m := a.Merge(b).Mean(); m != 4 {
+		t.Errorf("mean = %g", m)
+	}
+}
+
+func TestSpeedUnit(t *testing.T) {
+	if KMH.Convert(10) != 36 {
+		t.Error("KMH conversion")
+	}
+	if MPS.Convert(10) != 10 {
+		t.Error("MPS conversion")
+	}
+}
+
+func TestHourInRange(t *testing.T) {
+	cases := []struct {
+		h, lo, hi int
+		want      bool
+	}{
+		{3, 1, 5, true}, {5, 1, 5, false}, {1, 1, 5, true},
+		{23, 23, 4, true}, {2, 23, 4, true}, {4, 23, 4, false}, {12, 23, 4, false},
+		{7, 7, 7, true},
+	}
+	for _, c := range cases {
+		if got := HourInRange(c.h, c.lo, c.hi); got != c.want {
+			t.Errorf("HourInRange(%d, %d, %d) = %v", c.h, c.lo, c.hi, got)
+		}
+	}
+}
+
+func TestEventAnomaly(t *testing.T) {
+	ctx := testCtx()
+	// Hours: 0, 3, 12, 23.
+	events := []uev{
+		mkEvent(0, 0, 0, 1),
+		mkEvent(0, 0, 3*3600, 2),
+		mkEvent(0, 0, 12*3600, 3),
+		mkEvent(0, 0, 23*3600, 4),
+	}
+	r := engine.Parallelize(ctx, events, 2)
+	got := EventAnomaly(r, 23, 4).Collect()
+	ids := map[int64]bool{}
+	for _, e := range got {
+		ids[e.Data] = true
+	}
+	if len(got) != 3 || !ids[1] || !ids[2] || !ids[4] {
+		t.Errorf("anomalies = %v", ids)
+	}
+}
+
+func TestEventCompanion(t *testing.T) {
+	ctx := testCtx()
+	// Two close-in-ST events, one far in space, one far in time.
+	events := []uev{
+		mkEvent(0, 0, 1000, 1),
+		mkEvent(0.0001, 0, 1100, 2), // ~11 m, 100 s away from #1
+		mkEvent(1, 1, 1000, 3),      // far away
+		mkEvent(0, 0, 99000, 4),     // far in time
+	}
+	r := engine.Parallelize(ctx, events, 1) // one partition: all comparable
+	pairs := DedupCompanions(EventCompanion(r, 100, 900, func(d int64) int64 { return d }))
+	if len(pairs) != 1 || pairs[0] != (CompanionPair[int64]{A: 1, B: 2}) {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestEventCompanionDedupAcrossPartitions(t *testing.T) {
+	ctx := testCtx()
+	// The same pair in two partitions (as duplication mode would place it).
+	events := []uev{
+		mkEvent(0, 0, 1000, 1), mkEvent(0.0001, 0, 1100, 2),
+		mkEvent(0, 0, 1000, 1), mkEvent(0.0001, 0, 1100, 2),
+	}
+	r := engine.FromPartitions(ctx, "dup", [][]uev{events[:2], events[2:]})
+	pairs := DedupCompanions(EventCompanion(r, 100, 900, func(d int64) int64 { return d }))
+	if len(pairs) != 1 {
+		t.Errorf("deduped pairs = %v", pairs)
+	}
+}
+
+func TestEventCluster(t *testing.T) {
+	ctx := testCtx()
+	rng := rand.New(rand.NewSource(1))
+	var events []uev
+	// Two dense blobs ~50 m wide, plus sparse noise.
+	blobs := []geom.Point{geom.Pt(0, 0), geom.Pt(0.01, 0.01)}
+	id := int64(0)
+	for _, b := range blobs {
+		for i := 0; i < 50; i++ {
+			events = append(events, mkEvent(
+				b.X+geom.MetersToDegreesLon(rng.NormFloat64()*20, 0),
+				b.Y+geom.MetersToDegreesLat(rng.NormFloat64()*20),
+				1000, id))
+			id++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		events = append(events, mkEvent(
+			0.05+rng.Float64()*0.1, 0.05+rng.Float64()*0.1, 1000, id))
+		id++
+	}
+	r := engine.Parallelize(ctx, events, 1)
+	clusters := EventCluster(r, 100, 5).Collect()
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	for _, c := range clusters {
+		if c.Size < 40 {
+			t.Errorf("cluster too small: %+v", c)
+		}
+	}
+}
+
+func TestTrajSpeedAndOD(t *testing.T) {
+	ctx := testCtx()
+	// ~111 km east in one hour: ~30.9 m/s.
+	tr := mkTraj(7, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, []int64{0, 3600})
+	r := engine.Parallelize(ctx, []utraj{tr}, 1)
+	sp := TrajSpeed(r, KMH).Collect()
+	if len(sp) != 1 || sp[0].Key != 7 {
+		t.Fatalf("speed = %v", sp)
+	}
+	if sp[0].Value < 105 || sp[0].Value > 118 {
+		t.Errorf("speed = %g km/h, want ~111", sp[0].Value)
+	}
+	od := TrajOD(r).Collect()
+	if od[0].Value.Origin != geom.Pt(0, 0) || od[0].Value.Destination != geom.Pt(1, 0) {
+		t.Errorf("OD = %+v", od[0].Value)
+	}
+	if od[0].Value.StartTime != 0 || od[0].Value.EndTime != 3600 {
+		t.Errorf("OD times = %+v", od[0].Value)
+	}
+}
+
+func TestStayPoints(t *testing.T) {
+	// Move, stay 700 s within 50 m, move on.
+	step := geom.MetersToDegreesLon(300, 0)
+	tiny := geom.MetersToDegreesLon(10, 0)
+	pts := []geom.Point{
+		geom.Pt(0, 0),
+		geom.Pt(step, 0),           // moving
+		geom.Pt(2*step, 0),         // stay anchor
+		geom.Pt(2*step+tiny, 0),    // within 50 m
+		geom.Pt(2*step+2*tiny, 0),  // within 50 m
+		geom.Pt(2*step+20*tiny, 0), // left
+	}
+	times := []int64{0, 100, 200, 500, 900, 1000}
+	sps := StayPointsOf(mkTraj(1, pts, times).Entries, 50, 600)
+	if len(sps) != 1 {
+		t.Fatalf("stay points = %+v", sps)
+	}
+	if sps[0].ArriveAt != 200 || sps[0].LeaveAt != 900 {
+		t.Errorf("stay interval = %+v", sps[0])
+	}
+	// No stay when the duration threshold is higher.
+	if got := StayPointsOf(mkTraj(1, pts, times).Entries, 50, 800); len(got) != 0 {
+		t.Errorf("unexpected stay points: %+v", got)
+	}
+}
+
+func TestTrajTurnings(t *testing.T) {
+	ctx := testCtx()
+	// Right-angle turn at (1,0).
+	tr := mkTraj(3,
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(1, 2)},
+		[]int64{0, 10, 20, 30})
+	r := engine.Parallelize(ctx, []utraj{tr}, 1)
+	got := TrajTurnings(r, 45).Collect()
+	if len(got) != 1 || len(got[0].Value) != 1 {
+		t.Fatalf("turnings = %+v", got)
+	}
+	tp := got[0].Value[0]
+	if tp.Loc != geom.Pt(1, 0) || math.Abs(tp.AngleDeg-90) > 1e-6 {
+		t.Errorf("turning = %+v", tp)
+	}
+}
+
+func TestTrajCompanion(t *testing.T) {
+	ctx := testCtx()
+	// a and b travel together; c is elsewhere.
+	a := mkTraj(1, []geom.Point{geom.Pt(0, 0), geom.Pt(0.001, 0)}, []int64{0, 60})
+	b := mkTraj(2, []geom.Point{geom.Pt(0.0001, 0), geom.Pt(0.0011, 0)}, []int64{10, 70})
+	c := mkTraj(3, []geom.Point{geom.Pt(1, 1), geom.Pt(1.001, 1)}, []int64{0, 60})
+	r := engine.Parallelize(ctx, []utraj{a, b, c}, 1)
+	pairs := DedupCompanions(TrajCompanion(r, 50, 120, func(d int64) int64 { return d }))
+	if len(pairs) != 1 || pairs[0] != (CompanionPair[int64]{A: 1, B: 2}) {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestTsFlowAndWindowFreq(t *testing.T) {
+	ctx := testCtx()
+	var events []uev
+	// 10 events in hour 0, 20 in hour 1, 5 in hour 2.
+	for i := 0; i < 10; i++ {
+		events = append(events, mkEvent(0, 0, int64(i), int64(i)))
+	}
+	for i := 0; i < 20; i++ {
+		events = append(events, mkEvent(0, 0, 3600+int64(i), int64(100+i)))
+	}
+	for i := 0; i < 5; i++ {
+		events = append(events, mkEvent(0, 0, 7200+int64(i), int64(200+i)))
+	}
+	r := engine.Parallelize(ctx, events, 3)
+	tgt := convert.TimeGridTarget(instance.TimeGrid{Window: tempo.New(0, 3*3600-1), NT: 3})
+	cells := convert.EventToTimeSeries(r, tgt, convert.Auto, func(in []uev) []uev { return in })
+	ts, ok := TsFlow(cells)
+	if !ok {
+		t.Fatal("empty flow")
+	}
+	want := []int64{10, 20, 5}
+	for i, w := range want {
+		if ts.Entries[i].Value != w {
+			t.Errorf("slot %d = %d, want %d", i, ts.Entries[i].Value, w)
+		}
+	}
+	freq := TsWindowFreq(ts, 2)
+	if len(freq) != 2 || freq[0] != 30 || freq[1] != 25 {
+		t.Errorf("window freq = %v", freq)
+	}
+	if got := TsWindowFreq(ts, 5); got != nil {
+		t.Errorf("oversized window = %v", got)
+	}
+}
+
+func TestSmFlowAndSpeed(t *testing.T) {
+	ctx := testCtx()
+	// Trajectories confined to single cells of a 2×1 grid.
+	left := mkTraj(1, []geom.Point{geom.Pt(0.1, 0.5), geom.Pt(0.2, 0.5)}, []int64{0, 100})
+	right := mkTraj(2, []geom.Point{geom.Pt(1.1, 0.5), geom.Pt(1.4, 0.5)}, []int64{0, 100})
+	right2 := mkTraj(3, []geom.Point{geom.Pt(1.5, 0.5), geom.Pt(1.8, 0.5)}, []int64{0, 100})
+	r := engine.Parallelize(ctx, []utraj{left, right, right2}, 2)
+	grid := instance.SpatialGrid{Extent: geom.Box(0, 0, 2, 1), NX: 2, NY: 1}
+	cells := convert.TrajToSpatialMap(r, convert.SpatialGridTarget(grid), convert.Auto,
+		func(in []utraj) []utraj { return in })
+	flow, ok := SmFlow(cells)
+	if !ok || flow.Entries[0].Value != 1 || flow.Entries[1].Value != 2 {
+		t.Errorf("flow = %+v", flow.Entries)
+	}
+	speed, ok := SmSpeed(cells, MPS)
+	if !ok {
+		t.Fatal("no speed")
+	}
+	if speed.Entries[0].Value <= 0 || speed.Entries[1].Value <= 0 {
+		t.Errorf("speeds = %+v", speed.Entries)
+	}
+	// Right cell's mean is the mean of trajectories 2 and 3.
+	s2 := right.AvgSpeedMps()
+	s3 := right2.AvgSpeedMps()
+	if got := speed.Entries[1].Value; math.Abs(got-(s2+s3)/2) > 1e-9 {
+		t.Errorf("right speed = %g, want %g", got, (s2+s3)/2)
+	}
+}
+
+func TestRasterFlowAndSpeed(t *testing.T) {
+	ctx := testCtx()
+	tr1 := mkTraj(1, []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5)}, []int64{0, 50})
+	tr2 := mkTraj(2, []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5)}, []int64{1000, 1050})
+	r := engine.Parallelize(ctx, []utraj{tr1, tr2}, 2)
+	g := instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 1, 1), NX: 1, NY: 1},
+		Time:  instance.TimeGrid{Window: tempo.New(0, 1999), NT: 2},
+	}
+	cells := convert.TrajToRaster(r, convert.RasterGridTarget(g), convert.Auto,
+		func(in []utraj) []utraj { return in })
+	flow, ok := RasterFlow(cells)
+	if !ok || flow.Entries[0].Value != 1 || flow.Entries[1].Value != 1 {
+		t.Errorf("raster flow = %+v", flow.Entries)
+	}
+	speed, ok := RasterSpeed(cells, KMH)
+	if !ok {
+		t.Fatal("no raster speed")
+	}
+	if speed.Entries[0].Value.Count != 1 || speed.Entries[0].Value.Mean <= 0 {
+		t.Errorf("raster speed = %+v", speed.Entries[0].Value)
+	}
+}
+
+func TestSmTransit(t *testing.T) {
+	ctx := testCtx()
+	// One trajectory crossing from cell 0 to cell 1 and back.
+	tr := mkTraj(1,
+		[]geom.Point{geom.Pt(0.5, 0.5), geom.Pt(1.5, 0.5), geom.Pt(0.5, 0.5)},
+		[]int64{0, 100, 200})
+	r := engine.Parallelize(ctx, []utraj{tr}, 1)
+	grid := instance.SpatialGrid{Extent: geom.Box(0, 0, 2, 1), NX: 2, NY: 1}
+	sm := SmTransit(r, grid)
+	if sm.Entries[0].Value != (InOut{In: 1, Out: 1}) {
+		t.Errorf("cell 0 = %+v", sm.Entries[0].Value)
+	}
+	if sm.Entries[1].Value != (InOut{In: 1, Out: 1}) {
+		t.Errorf("cell 1 = %+v", sm.Entries[1].Value)
+	}
+}
+
+func TestRasterTransit(t *testing.T) {
+	ctx := testCtx()
+	// Crossing at t=100 (slot 0) and back at t=1100 (slot 1).
+	tr := mkTraj(1,
+		[]geom.Point{geom.Pt(0.5, 0.5), geom.Pt(1.5, 0.5), geom.Pt(0.5, 0.5)},
+		[]int64{0, 100, 1100})
+	r := engine.Parallelize(ctx, []utraj{tr}, 1)
+	g := instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 2, 1), NX: 2, NY: 1},
+		Time:  instance.TimeGrid{Window: tempo.New(0, 1999), NT: 2},
+	}
+	ra := RasterTransit(r, g)
+	// Index layout: slot0 cells 0,1 then slot1 cells 2,3. Exits are charged
+	// to the slot of the departing observation.
+	if ra.Entries[0].Value.Out != 1 { // cell 0, slot 0: exit at t=100
+		t.Errorf("cell0/slot0 = %+v", ra.Entries[0].Value)
+	}
+	if ra.Entries[1].Value != (InOut{In: 1, Out: 1}) { // cell 1, slot 0: enter t=100, exit charged at departure slot
+		t.Errorf("cell1/slot0 = %+v", ra.Entries[1].Value)
+	}
+	if ra.Entries[2].Value.In != 1 { // cell 0, slot 1: entry at t=1100
+		t.Errorf("cell0/slot1 = %+v", ra.Entries[2].Value)
+	}
+	if ra.Entries[3].Value != (InOut{}) { // cell 1, slot 1: nothing
+		t.Errorf("cell1/slot1 = %+v", ra.Entries[3].Value)
+	}
+}
+
+func TestMapValuePlusProvidesBounds(t *testing.T) {
+	ctx := testCtx()
+	g := instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 2, 2), NX: 2, NY: 2},
+		Time:  instance.TimeGrid{Window: tempo.New(0, 99), NT: 1},
+	}
+	cells, slots := g.Build()
+	values := make([][]int, len(cells))
+	ra := instance.NewRaster(cells, slots, values, instance.Unit{})
+	r := engine.Parallelize(ctx, []instance.Raster[geom.MBR, []int, instance.Unit]{ra}, 1)
+	got := MapRasterValuePlus(r, func(_ []int, cell geom.MBR, slot tempo.Duration) float64 {
+		return cell.Area() * float64(slot.Seconds())
+	}).Collect()[0]
+	for _, e := range got.Entries {
+		if e.Value != 99 { // area 1 × 99 s
+			t.Errorf("value = %g", e.Value)
+		}
+	}
+}
+
+func TestCollectAndMergeEmpty(t *testing.T) {
+	ctx := testCtx()
+	r := engine.Parallelize(ctx, []instance.TimeSeries[int64, instance.Unit]{}, 2)
+	if _, ok := CollectAndMergeTimeSeries(r, func(a, b int64) int64 { return a + b }); ok {
+		t.Error("empty merge should report !ok")
+	}
+}
+
+func TestTsWindowFreqPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ts := instance.NewTimeSeries(tempo.New(0, 9).Split(2), []int64{1, 2}, geom.EmptyMBR(), instance.Unit{})
+	TsWindowFreq(ts, 0)
+}

@@ -1,0 +1,210 @@
+package extract
+
+import (
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// Table 4 RDD-extension interfaces, one family per collective instance.
+// They let application programmers write extraction logic against a single
+// cell value (or a single instance) and leave the distributed execution to
+// the engine.
+
+// MapTimeSeriesValue maps every slot value of every time series in the RDD.
+func MapTimeSeriesValue[V1, V2, D any](
+	r *engine.RDD[instance.TimeSeries[V1, D]],
+	f func(V1) V2,
+) *engine.RDD[instance.TimeSeries[V2, D]] {
+	return engine.Map(r, func(ts instance.TimeSeries[V1, D]) instance.TimeSeries[V2, D] {
+		entries := make([]instance.Entry[geom.MBR, V2], len(ts.Entries))
+		for i, e := range ts.Entries {
+			entries[i] = instance.Entry[geom.MBR, V2]{
+				Spatial: e.Spatial, Temporal: e.Temporal, Value: f(e.Value),
+			}
+		}
+		return instance.TimeSeries[V2, D]{Entries: entries, Data: ts.Data}
+	})
+}
+
+// MapTimeSeriesValuePlus is MapTimeSeriesValue with each slot's boundaries
+// passed to f.
+func MapTimeSeriesValuePlus[V1, V2, D any](
+	r *engine.RDD[instance.TimeSeries[V1, D]],
+	f func(V1, geom.MBR, tempo.Duration) V2,
+) *engine.RDD[instance.TimeSeries[V2, D]] {
+	return engine.Map(r, func(ts instance.TimeSeries[V1, D]) instance.TimeSeries[V2, D] {
+		entries := make([]instance.Entry[geom.MBR, V2], len(ts.Entries))
+		for i, e := range ts.Entries {
+			entries[i] = instance.Entry[geom.MBR, V2]{
+				Spatial: e.Spatial, Temporal: e.Temporal,
+				Value: f(e.Value, e.Spatial, e.Temporal),
+			}
+		}
+		return instance.TimeSeries[V2, D]{Entries: entries, Data: ts.Data}
+	})
+}
+
+// MapSpatialMapValue maps every cell value of every spatial map in the RDD.
+func MapSpatialMapValue[S geom.Geometry, V1, V2, D any](
+	r *engine.RDD[instance.SpatialMap[S, V1, D]],
+	f func(V1) V2,
+) *engine.RDD[instance.SpatialMap[S, V2, D]] {
+	return engine.Map(r, func(sm instance.SpatialMap[S, V1, D]) instance.SpatialMap[S, V2, D] {
+		entries := make([]instance.Entry[S, V2], len(sm.Entries))
+		for i, e := range sm.Entries {
+			entries[i] = instance.Entry[S, V2]{
+				Spatial: e.Spatial, Temporal: e.Temporal, Value: f(e.Value),
+			}
+		}
+		return instance.SpatialMap[S, V2, D]{Entries: entries, Data: sm.Data}
+	})
+}
+
+// MapSpatialMapValuePlus is MapSpatialMapValue with cell boundaries.
+func MapSpatialMapValuePlus[S geom.Geometry, V1, V2, D any](
+	r *engine.RDD[instance.SpatialMap[S, V1, D]],
+	f func(V1, S, tempo.Duration) V2,
+) *engine.RDD[instance.SpatialMap[S, V2, D]] {
+	return engine.Map(r, func(sm instance.SpatialMap[S, V1, D]) instance.SpatialMap[S, V2, D] {
+		entries := make([]instance.Entry[S, V2], len(sm.Entries))
+		for i, e := range sm.Entries {
+			entries[i] = instance.Entry[S, V2]{
+				Spatial: e.Spatial, Temporal: e.Temporal,
+				Value: f(e.Value, e.Spatial, e.Temporal),
+			}
+		}
+		return instance.SpatialMap[S, V2, D]{Entries: entries, Data: sm.Data}
+	})
+}
+
+// MapRasterValue maps every cell value of every raster in the RDD.
+func MapRasterValue[S geom.Geometry, V1, V2, D any](
+	r *engine.RDD[instance.Raster[S, V1, D]],
+	f func(V1) V2,
+) *engine.RDD[instance.Raster[S, V2, D]] {
+	return engine.Map(r, func(ra instance.Raster[S, V1, D]) instance.Raster[S, V2, D] {
+		entries := make([]instance.Entry[S, V2], len(ra.Entries))
+		for i, e := range ra.Entries {
+			entries[i] = instance.Entry[S, V2]{
+				Spatial: e.Spatial, Temporal: e.Temporal, Value: f(e.Value),
+			}
+		}
+		return instance.Raster[S, V2, D]{Entries: entries, Data: ra.Data}
+	})
+}
+
+// MapRasterValuePlus is MapRasterValue with cell boundaries — the API of
+// the paper's stay-point example (§3.3).
+func MapRasterValuePlus[S geom.Geometry, V1, V2, D any](
+	r *engine.RDD[instance.Raster[S, V1, D]],
+	f func(V1, S, tempo.Duration) V2,
+) *engine.RDD[instance.Raster[S, V2, D]] {
+	return engine.Map(r, func(ra instance.Raster[S, V1, D]) instance.Raster[S, V2, D] {
+		entries := make([]instance.Entry[S, V2], len(ra.Entries))
+		for i, e := range ra.Entries {
+			entries[i] = instance.Entry[S, V2]{
+				Spatial: e.Spatial, Temporal: e.Temporal,
+				Value: f(e.Value, e.Spatial, e.Temporal),
+			}
+		}
+		return instance.Raster[S, V2, D]{Entries: entries, Data: ra.Data}
+	})
+}
+
+// MapRasterData maps the instance-level data field of every raster.
+func MapRasterData[S geom.Geometry, V, D1, D2 any](
+	r *engine.RDD[instance.Raster[S, V, D1]],
+	f func(D1) D2,
+) *engine.RDD[instance.Raster[S, V, D2]] {
+	return engine.Map(r, func(ra instance.Raster[S, V, D1]) instance.Raster[S, V, D2] {
+		return instance.Raster[S, V, D2]{Entries: ra.Entries, Data: f(ra.Data)}
+	})
+}
+
+// MapRasterDataPlus is MapRasterData with the collective structure's cell
+// shapes and slots passed to f.
+func MapRasterDataPlus[S geom.Geometry, V, D1, D2 any](
+	r *engine.RDD[instance.Raster[S, V, D1]],
+	f func(D1, []S, []tempo.Duration) D2,
+) *engine.RDD[instance.Raster[S, V, D2]] {
+	return engine.Map(r, func(ra instance.Raster[S, V, D1]) instance.Raster[S, V, D2] {
+		shapes := make([]S, len(ra.Entries))
+		slots := make([]tempo.Duration, len(ra.Entries))
+		for i, e := range ra.Entries {
+			shapes[i] = e.Spatial
+			slots[i] = e.Temporal
+		}
+		return instance.Raster[S, V, D2]{Entries: ra.Entries, Data: f(ra.Data, shapes, slots)}
+	})
+}
+
+// CollectAndMergeTimeSeries fetches the distributed partial time series and
+// merges aligned slot values with f (Table 4's collectAndMerge). ok is
+// false for an empty RDD. All partials must share the same slot structure,
+// which the converters guarantee.
+func CollectAndMergeTimeSeries[V, D any](
+	r *engine.RDD[instance.TimeSeries[V, D]],
+	f func(V, V) V,
+) (instance.TimeSeries[V, D], bool) {
+	parts := r.Collect()
+	if len(parts) == 0 {
+		var zero instance.TimeSeries[V, D]
+		return zero, false
+	}
+	out := parts[0]
+	entries := make([]instance.Entry[geom.MBR, V], len(out.Entries))
+	copy(entries, out.Entries)
+	out.Entries = entries
+	for _, p := range parts[1:] {
+		for i := range out.Entries {
+			out.Entries[i].Value = f(out.Entries[i].Value, p.Entries[i].Value)
+		}
+	}
+	return out, true
+}
+
+// CollectAndMergeSpatialMap merges distributed partial spatial maps.
+func CollectAndMergeSpatialMap[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.SpatialMap[S, V, D]],
+	f func(V, V) V,
+) (instance.SpatialMap[S, V, D], bool) {
+	parts := r.Collect()
+	if len(parts) == 0 {
+		var zero instance.SpatialMap[S, V, D]
+		return zero, false
+	}
+	out := parts[0]
+	entries := make([]instance.Entry[S, V], len(out.Entries))
+	copy(entries, out.Entries)
+	out.Entries = entries
+	for _, p := range parts[1:] {
+		for i := range out.Entries {
+			out.Entries[i].Value = f(out.Entries[i].Value, p.Entries[i].Value)
+		}
+	}
+	return out, true
+}
+
+// CollectAndMergeRaster merges distributed partial rasters.
+func CollectAndMergeRaster[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.Raster[S, V, D]],
+	f func(V, V) V,
+) (instance.Raster[S, V, D], bool) {
+	parts := r.Collect()
+	if len(parts) == 0 {
+		var zero instance.Raster[S, V, D]
+		return zero, false
+	}
+	out := parts[0]
+	entries := make([]instance.Entry[S, V], len(out.Entries))
+	copy(entries, out.Entries)
+	out.Entries = entries
+	for _, p := range parts[1:] {
+		for i := range out.Entries {
+			out.Entries[i].Value = f(out.Entries[i].Value, p.Entries[i].Value)
+		}
+	}
+	return out, true
+}

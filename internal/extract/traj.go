@@ -1,0 +1,217 @@
+package extract
+
+import (
+	"math"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/instance"
+)
+
+// Trajectory extractors (Table 3).
+
+// TrajSpeed extracts the average speed of every trajectory, keyed by its
+// data field — the paper's average-speed application.
+func TrajSpeed[V, D any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+	unit SpeedUnit,
+) *engine.RDD[codec.Pair[D, float64]] {
+	return engine.Map(r, func(tr instance.Trajectory[V, D]) codec.Pair[D, float64] {
+		return codec.KV(tr.Data, unit.Convert(tr.AvgSpeedMps()))
+	})
+}
+
+// OD is one trajectory's origin-destination summary.
+type OD struct {
+	Origin      geom.Point
+	Destination geom.Point
+	StartTime   int64
+	EndTime     int64
+}
+
+// TrajOD extracts the origin-destination pair of every trajectory.
+func TrajOD[V, D any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+) *engine.RDD[codec.Pair[D, OD]] {
+	return engine.Map(r, func(tr instance.Trajectory[V, D]) codec.Pair[D, OD] {
+		first := tr.Entries[0]
+		last := tr.Entries[len(tr.Entries)-1]
+		return codec.KV(tr.Data, OD{
+			Origin:      first.Spatial,
+			Destination: last.Spatial,
+			StartTime:   first.Temporal.Start,
+			EndTime:     last.Temporal.End,
+		})
+	})
+}
+
+// StayPoint is a detected stop: the mean location of a point run that
+// stayed within the distance threshold for at least the duration threshold.
+type StayPoint struct {
+	Loc      geom.Point
+	ArriveAt int64
+	LeaveAt  int64
+}
+
+// TrajStayPoints extracts stay points from every trajectory using the
+// classic anchor-window algorithm: a stay point is reported when all
+// successive points remain within distM metres of an anchor for at least
+// minDurSec seconds — the (200 m, 10 min) application of Table 7.
+func TrajStayPoints[V, D any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+	distM float64,
+	minDurSec int64,
+) *engine.RDD[codec.Pair[D, []StayPoint]] {
+	return engine.Map(r, func(tr instance.Trajectory[V, D]) codec.Pair[D, []StayPoint] {
+		return codec.KV(tr.Data, StayPointsOf(tr.Entries, distM, minDurSec))
+	})
+}
+
+// StayPointsOf runs the stay-point scan over one entry sequence.
+func StayPointsOf[V any](entries []instance.Entry[geom.Point, V], distM float64, minDurSec int64) []StayPoint {
+	var out []StayPoint
+	i := 0
+	for i < len(entries) {
+		j := i + 1
+		for j < len(entries) &&
+			geom.HaversineMeters(entries[i].Spatial, entries[j].Spatial) <= distM {
+			j++
+		}
+		dur := entries[j-1].Temporal.End - entries[i].Temporal.Start
+		if j-1 > i && dur >= minDurSec {
+			var cx, cy float64
+			for k := i; k < j; k++ {
+				cx += entries[k].Spatial.X
+				cy += entries[k].Spatial.Y
+			}
+			n := float64(j - i)
+			out = append(out, StayPoint{
+				Loc:      geom.Pt(cx/n, cy/n),
+				ArriveAt: entries[i].Temporal.Start,
+				LeaveAt:  entries[j-1].Temporal.End,
+			})
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// TurningPoint is a sharp heading change along a trajectory.
+type TurningPoint struct {
+	Loc      geom.Point
+	Time     int64
+	AngleDeg float64
+}
+
+// TrajTurnings extracts points where the heading changes by at least
+// minAngleDeg degrees.
+func TrajTurnings[V, D any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+	minAngleDeg float64,
+) *engine.RDD[codec.Pair[D, []TurningPoint]] {
+	return engine.Map(r, func(tr instance.Trajectory[V, D]) codec.Pair[D, []TurningPoint] {
+		var out []TurningPoint
+		for i := 1; i+1 < len(tr.Entries); i++ {
+			a := tr.Entries[i-1].Spatial
+			b := tr.Entries[i].Spatial
+			c := tr.Entries[i+1].Spatial
+			turn := headingChangeDeg(a, b, c)
+			if turn >= minAngleDeg {
+				out = append(out, TurningPoint{
+					Loc:      b,
+					Time:     tr.Entries[i].Temporal.Start,
+					AngleDeg: turn,
+				})
+			}
+		}
+		return codec.KV(tr.Data, out)
+	})
+}
+
+// headingChangeDeg returns the absolute heading change at b along a→b→c in
+// degrees (0 = straight, 180 = U-turn). Degenerate zero-length legs report
+// 0.
+func headingChangeDeg(a, b, c geom.Point) float64 {
+	v1x, v1y := b.X-a.X, b.Y-a.Y
+	v2x, v2y := c.X-b.X, c.Y-b.Y
+	n1 := math.Hypot(v1x, v1y)
+	n2 := math.Hypot(v2x, v2y)
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	cos := (v1x*v2x + v1y*v2y) / (n1 * n2)
+	cos = math.Max(-1, math.Min(1, cos))
+	return math.Acos(cos) * 180 / math.Pi
+}
+
+// TrajCompanion finds trajectory pairs that were ever within distM metres
+// and dtSec seconds of each other, comparing point-wise within partitions
+// (the Table 6 companion workload; partition with duplication for
+// completeness). Pairs are keyed by idOf and deduped per partition.
+func TrajCompanion[V, D any](
+	r *engine.RDD[instance.Trajectory[V, D]],
+	distM float64,
+	dtSec int64,
+	idOf func(D) int64,
+) *engine.RDD[CompanionPair[int64]] {
+	return engine.MapPartitions(r, func(_ int, in []instance.Trajectory[V, D]) []CompanionPair[int64] {
+		// Coarse filter by buffered trajectory boxes, then exact pointwise.
+		items := make([]index.Item[int], len(in))
+		for i, tr := range in {
+			items[i] = index.Item[int]{Box: tr.Box(), Data: i}
+		}
+		tree := index.BulkLoadSTR(items, 16)
+		seen := map[CompanionPair[int64]]bool{}
+		var out []CompanionPair[int64]
+		for i, tr := range in {
+			b := tr.Box()
+			ext := b.Spatial()
+			q := index.Box3(geom.MBR{
+				MinX: ext.MinX - geom.MetersToDegreesLon(distM, ext.MinY),
+				MaxX: ext.MaxX + geom.MetersToDegreesLon(distM, ext.MinY),
+				MinY: ext.MinY - geom.MetersToDegreesLat(distM),
+				MaxY: ext.MaxY + geom.MetersToDegreesLat(distM),
+			}, b.Temporal().Buffer(dtSec))
+			idI := idOf(tr.Data)
+			tree.SearchFunc(q, func(j int, _ index.Box) bool {
+				if j <= i {
+					return true
+				}
+				idJ := idOf(in[j].Data)
+				if idJ == idI {
+					return true
+				}
+				pair := orderedPair(idI, idJ)
+				if seen[pair] {
+					return true
+				}
+				if trajsCompanion(tr, in[j], distM, dtSec) {
+					seen[pair] = true
+					out = append(out, pair)
+				}
+				return true
+			})
+		}
+		return out
+	})
+}
+
+// trajsCompanion reports whether any point pair across the two trajectories
+// is within both thresholds.
+func trajsCompanion[V, D any](a, b instance.Trajectory[V, D], distM float64, dtSec int64) bool {
+	for _, ea := range a.Entries {
+		for _, eb := range b.Entries {
+			if !ea.Temporal.Buffer(dtSec).Intersects(eb.Temporal) {
+				continue
+			}
+			if geom.HaversineMeters(ea.Spatial, eb.Spatial) <= distM {
+				return true
+			}
+		}
+	}
+	return false
+}

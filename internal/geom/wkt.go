@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WKT (well-known text) encoding for POINT, LINESTRING, and POLYGON — the
+// exchange format geospatial databases hand to ingestion pipelines (§2.1's
+// linestring-shaped trajectory records).
+
+// MarshalWKT renders a geometry as WKT. MBRs render as their polygon.
+func MarshalWKT(g Geometry) string {
+	switch v := g.(type) {
+	case Point:
+		return fmt.Sprintf("POINT (%s %s)", fmtCoord(v.X), fmtCoord(v.Y))
+	case *LineString:
+		var sb strings.Builder
+		sb.WriteString("LINESTRING (")
+		writeCoords(&sb, v.Points())
+		sb.WriteString(")")
+		return sb.String()
+	case *Polygon:
+		var sb strings.Builder
+		sb.WriteString("POLYGON ((")
+		writeRingClosed(&sb, v.Exterior())
+		sb.WriteString(")")
+		for i := 0; i < v.NumHoles(); i++ {
+			sb.WriteString(", (")
+			writeRingClosed(&sb, v.Hole(i))
+			sb.WriteString(")")
+		}
+		sb.WriteString(")")
+		return sb.String()
+	case MBR:
+		return MarshalWKT(v.ToPolygon())
+	default:
+		return fmt.Sprintf("POINT (%s %s)", fmtCoord(g.Centroid().X), fmtCoord(g.Centroid().Y))
+	}
+}
+
+func fmtCoord(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+func writeCoords(sb *strings.Builder, pts []Point) {
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(fmtCoord(p.X))
+		sb.WriteString(" ")
+		sb.WriteString(fmtCoord(p.Y))
+	}
+}
+
+func writeRingClosed(sb *strings.Builder, ring []Point) {
+	writeCoords(sb, ring)
+	if len(ring) > 0 {
+		sb.WriteString(", ")
+		sb.WriteString(fmtCoord(ring[0].X))
+		sb.WriteString(" ")
+		sb.WriteString(fmtCoord(ring[0].Y))
+	}
+}
+
+// ParseWKT parses a POINT, LINESTRING, or POLYGON literal (case- and
+// whitespace-insensitive).
+func ParseWKT(s string) (Geometry, error) {
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasPrefix(upper, "POINT"):
+		body, err := wktBody(s, "POINT")
+		if err != nil {
+			return nil, err
+		}
+		pts, err := parseCoordList(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) != 1 {
+			return nil, fmt.Errorf("geom: POINT needs one coordinate, got %d", len(pts))
+		}
+		return pts[0], nil
+	case strings.HasPrefix(upper, "LINESTRING"):
+		body, err := wktBody(s, "LINESTRING")
+		if err != nil {
+			return nil, err
+		}
+		pts, err := parseCoordList(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) == 0 {
+			return nil, fmt.Errorf("geom: empty LINESTRING")
+		}
+		return NewLineString(pts), nil
+	case strings.HasPrefix(upper, "POLYGON"):
+		body, err := wktBody(s, "POLYGON")
+		if err != nil {
+			return nil, err
+		}
+		rings, err := parseRings(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(rings) == 0 {
+			return nil, fmt.Errorf("geom: empty POLYGON")
+		}
+		for _, ring := range rings {
+			if len(dropClosingVertex(ring)) < 3 {
+				return nil, fmt.Errorf("geom: POLYGON ring needs >= 3 vertices")
+			}
+		}
+		return NewPolygon(rings[0], rings[1:]...), nil
+	default:
+		return nil, fmt.Errorf("geom: unsupported WKT %q", truncate(s, 32))
+	}
+}
+
+// wktBody extracts the outermost-parenthesized body after the keyword.
+func wktBody(s, keyword string) (string, error) {
+	rest := strings.TrimSpace(s[len(keyword):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", fmt.Errorf("geom: malformed %s body", keyword)
+	}
+	return rest[1 : len(rest)-1], nil
+}
+
+// parseCoordList parses "x y, x y, ..." into points.
+func parseCoordList(body string) ([]Point, error) {
+	parts := strings.Split(body, ",")
+	pts := make([]Point, 0, len(parts))
+	for _, part := range parts {
+		fields := strings.Fields(part)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("geom: bad coordinate %q", strings.TrimSpace(part))
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geom: bad x %q: %w", fields[0], err)
+		}
+		y, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geom: bad y %q: %w", fields[1], err)
+		}
+		pts = append(pts, Pt(x, y))
+	}
+	return pts, nil
+}
+
+// parseRings parses "(ring), (ring), ..." into coordinate rings.
+func parseRings(body string) ([][]Point, error) {
+	var rings [][]Point
+	depth := 0
+	start := -1
+	for i, c := range body {
+		switch c {
+		case '(':
+			if depth == 0 {
+				start = i + 1
+			}
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("geom: unbalanced parentheses")
+			}
+			if depth == 0 {
+				ring, err := parseCoordList(body[start:i])
+				if err != nil {
+					return nil, err
+				}
+				rings = append(rings, ring)
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("geom: unbalanced parentheses")
+	}
+	return rings, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,32 @@
+package geom
+
+import "testing"
+
+// FuzzParseWKT: arbitrary input must parse cleanly or error — never panic —
+// and successful parses must survive a marshal/parse round trip.
+func FuzzParseWKT(f *testing.F) {
+	f.Add("POINT (1 2)")
+	f.Add("LINESTRING (0 0, 1 1, 2 2)")
+	f.Add("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))")
+	f.Add("POLYGON ((0 0, 4 0, 4 4, 0 4), (1 1, 2 1, 2 2, 1 2))")
+	f.Add("point(1 2)")
+	f.Add("POLYGON ((")
+	f.Add("LINESTRING (nan inf)")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ParseWKT(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseWKT(MarshalWKT(g))
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", MarshalWKT(g), s, err)
+		}
+		if again.MBR() != g.MBR() && !(again.MBR().IsEmpty() && g.MBR().IsEmpty()) {
+			// NaN coordinates legitimately break MBR equality; allow them.
+			b := g.MBR()
+			if b.MinX == b.MinX && b.MinY == b.MinY { // not NaN
+				t.Fatalf("round trip changed MBR: %v -> %v", g.MBR(), again.MBR())
+			}
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package index
+
+import (
+	"st4ml/internal/geom"
+)
+
+// QuadTree is a point-region quadtree over 2-d points: leaves hold up to a
+// capacity of points and split into four quadrants on overflow. It is the
+// classic alternative to the R-tree for point-heavy per-partition indexes
+// (the paper's §3.1 quad-tree partitioner uses the same decomposition).
+//
+// QuadTree is not safe for concurrent mutation.
+type QuadTree[T any] struct {
+	root     *qnode[T]
+	capacity int
+	maxDepth int
+	size     int
+}
+
+type qpoint[T any] struct {
+	p    geom.Point
+	item T
+}
+
+type qnode[T any] struct {
+	bounds geom.MBR
+	points []qpoint[T] // non-nil iff leaf
+	kids   *[4]*qnode[T]
+	depth  int
+}
+
+// NewQuadTree creates a tree over bounds with the given leaf capacity
+// (0 means 16). Points outside bounds clamp into the nearest border leaf.
+func NewQuadTree[T any](bounds geom.MBR, capacity int) *QuadTree[T] {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &QuadTree[T]{
+		root:     &qnode[T]{bounds: bounds, points: []qpoint[T]{}},
+		capacity: capacity,
+		maxDepth: 24,
+	}
+}
+
+// Len returns the number of stored points.
+func (q *QuadTree[T]) Len() int { return q.size }
+
+// Insert adds a point with its payload.
+func (q *QuadTree[T]) Insert(p geom.Point, item T) {
+	p = clampPoint(p, q.root.bounds)
+	q.insert(q.root, qpoint[T]{p: p, item: item})
+	q.size++
+}
+
+func clampPoint(p geom.Point, b geom.MBR) geom.Point {
+	if p.X < b.MinX {
+		p.X = b.MinX
+	}
+	if p.X > b.MaxX {
+		p.X = b.MaxX
+	}
+	if p.Y < b.MinY {
+		p.Y = b.MinY
+	}
+	if p.Y > b.MaxY {
+		p.Y = b.MaxY
+	}
+	return p
+}
+
+func (q *QuadTree[T]) insert(n *qnode[T], qp qpoint[T]) {
+	for {
+		if n.points != nil {
+			n.points = append(n.points, qp)
+			if len(n.points) > q.capacity && n.depth < q.maxDepth {
+				q.split(n)
+			}
+			return
+		}
+		n = n.kids[quadrantOf(n.bounds, qp.p)]
+	}
+}
+
+func quadrantOf(b geom.MBR, p geom.Point) int {
+	midX := (b.MinX + b.MaxX) / 2
+	midY := (b.MinY + b.MaxY) / 2
+	qd := 0
+	if p.X >= midX {
+		qd |= 1
+	}
+	if p.Y >= midY {
+		qd |= 2
+	}
+	return qd
+}
+
+func quadrantBounds(b geom.MBR, qd int) geom.MBR {
+	midX := (b.MinX + b.MaxX) / 2
+	midY := (b.MinY + b.MaxY) / 2
+	out := b
+	if qd&1 == 0 {
+		out.MaxX = midX
+	} else {
+		out.MinX = midX
+	}
+	if qd&2 == 0 {
+		out.MaxY = midY
+	} else {
+		out.MinY = midY
+	}
+	return out
+}
+
+func (q *QuadTree[T]) split(n *qnode[T]) {
+	var kids [4]*qnode[T]
+	for qd := 0; qd < 4; qd++ {
+		kids[qd] = &qnode[T]{
+			bounds: quadrantBounds(n.bounds, qd),
+			points: []qpoint[T]{},
+			depth:  n.depth + 1,
+		}
+	}
+	pts := n.points
+	n.points = nil
+	n.kids = &kids
+	for _, qp := range pts {
+		q.insert(kids[quadrantOf(n.bounds, qp.p)], qp)
+	}
+}
+
+// Search returns the payloads of all points inside b (borders inclusive).
+func (q *QuadTree[T]) Search(b geom.MBR) []T {
+	var out []T
+	q.SearchFunc(b, func(_ geom.Point, item T) bool {
+		out = append(out, item)
+		return true
+	})
+	return out
+}
+
+// SearchFunc visits every point inside b; returning false stops early.
+func (q *QuadTree[T]) SearchFunc(b geom.MBR, fn func(p geom.Point, item T) bool) {
+	searchQNode(q.root, b, fn)
+}
+
+func searchQNode[T any](n *qnode[T], b geom.MBR, fn func(geom.Point, T) bool) bool {
+	if !n.bounds.Intersects(b) {
+		return true
+	}
+	if n.points != nil {
+		for _, qp := range n.points {
+			if b.ContainsPoint(qp.p) {
+				if !fn(qp.p, qp.item) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, kid := range n.kids {
+		if !searchQNode(kid, b, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the maximum leaf depth (0 for a root-only tree).
+func (q *QuadTree[T]) Depth() int {
+	max := 0
+	var walk func(n *qnode[T])
+	walk = func(n *qnode[T]) {
+		if n.depth > max {
+			max = n.depth
+		}
+		if n.kids != nil {
+			for _, kid := range n.kids {
+				walk(kid)
+			}
+		}
+	}
+	walk(q.root)
+	return max
+}
+
+// Leaves returns the bounds of every leaf node — the decomposition the
+// quadtree partitioner derives its partitions from.
+func (q *QuadTree[T]) Leaves() []geom.MBR {
+	var out []geom.MBR
+	var walk func(n *qnode[T])
+	walk = func(n *qnode[T]) {
+		if n.points != nil {
+			out = append(out, n.bounds)
+			return
+		}
+		for _, kid := range n.kids {
+			walk(kid)
+		}
+	}
+	walk(q.root)
+	return out
+}

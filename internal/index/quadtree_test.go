@@ -1,0 +1,117 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"st4ml/internal/geom"
+)
+
+func TestQuadTreeSearchMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bounds := geom.Box(0, 0, 100, 100)
+	q := NewQuadTree[int](bounds, 8)
+	pts := make([]geom.Point, 2000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		q.Insert(pts[i], i)
+	}
+	if q.Len() != 2000 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		b := geom.Box(rng.Float64()*100, rng.Float64()*100,
+			rng.Float64()*100, rng.Float64()*100)
+		got := q.Search(b)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if b.ContainsPoint(p) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: content mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestQuadTreeSplitsOnOverflow(t *testing.T) {
+	q := NewQuadTree[int](geom.Box(0, 0, 10, 10), 4)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		q.Insert(geom.Pt(rng.Float64()*10, rng.Float64()*10), i)
+	}
+	if q.Depth() == 0 {
+		t.Error("tree should have split")
+	}
+	leaves := q.Leaves()
+	if len(leaves) < 4 {
+		t.Errorf("leaves = %d", len(leaves))
+	}
+	// Leaves tile the bounds: areas sum to the whole.
+	var area float64
+	for _, l := range leaves {
+		area += l.Area()
+	}
+	if diff := area - 100; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("leaf area = %g, want 100", area)
+	}
+}
+
+func TestQuadTreeDuplicatePoints(t *testing.T) {
+	// Identical points cannot be separated by splitting; maxDepth caps the
+	// recursion and the leaf just grows.
+	q := NewQuadTree[int](geom.Box(0, 0, 1, 1), 2)
+	for i := 0; i < 50; i++ {
+		q.Insert(geom.Pt(0.5, 0.5), i)
+	}
+	got := q.Search(geom.Box(0.4, 0.4, 0.6, 0.6))
+	if len(got) != 50 {
+		t.Errorf("duplicates found = %d", len(got))
+	}
+}
+
+func TestQuadTreeClampsOutOfBounds(t *testing.T) {
+	q := NewQuadTree[string](geom.Box(0, 0, 10, 10), 4)
+	q.Insert(geom.Pt(-5, 20), "clamped")
+	got := q.Search(geom.Box(0, 9, 1, 10))
+	if len(got) != 1 || got[0] != "clamped" {
+		t.Errorf("clamped search = %v", got)
+	}
+}
+
+func TestQuadTreeEarlyStop(t *testing.T) {
+	q := NewQuadTree[int](geom.Box(0, 0, 10, 10), 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		q.Insert(geom.Pt(rng.Float64()*10, rng.Float64()*10), i)
+	}
+	visited := 0
+	q.SearchFunc(geom.Box(0, 0, 10, 10), func(geom.Point, int) bool {
+		visited++
+		return visited < 5
+	})
+	if visited != 5 {
+		t.Errorf("early stop visited %d", visited)
+	}
+}
+
+func TestQuadTreeEmpty(t *testing.T) {
+	q := NewQuadTree[int](geom.Box(0, 0, 1, 1), 0)
+	if q.Len() != 0 || q.Depth() != 0 {
+		t.Error("fresh tree state")
+	}
+	if got := q.Search(geom.Box(0, 0, 1, 1)); len(got) != 0 {
+		t.Errorf("empty search = %v", got)
+	}
+	if leaves := q.Leaves(); len(leaves) != 1 {
+		t.Errorf("empty leaves = %d", len(leaves))
+	}
+}

@@ -1,0 +1,148 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"st4ml/internal/geom"
+	"st4ml/internal/tempo"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		x := rng.Uint64() & 0x7fffffff
+		y := rng.Uint64() & 0x7fffffff
+		gx, gy := deinterleave2(interleave2(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("round trip failed: (%d,%d) -> (%d,%d)", x, y, gx, gy)
+		}
+	}
+}
+
+func TestZCurveKeyLocality(t *testing.T) {
+	z := NewZCurve2D(geom.Box(0, 0, 100, 100), 4) // 16 cells/dim, 6.25 wide
+	// Same cell -> same key.
+	if z.Key(geom.Pt(10.1, 10.1)) != z.Key(geom.Pt(10.2, 10.2)) {
+		t.Error("nearby points in one cell should share a key")
+	}
+	// Distinct cells -> distinct keys.
+	if z.Key(geom.Pt(1, 1)) == z.Key(geom.Pt(99, 99)) {
+		t.Error("far points should have different keys")
+	}
+}
+
+func TestZCurveKeyInCellBox(t *testing.T) {
+	z := NewZCurve2D(geom.Box(-10, -10, 10, 10), 6)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		p := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		cell := z.CellBox(z.Key(p))
+		if !cell.Buffer(1e-9).ContainsPoint(p) {
+			t.Fatalf("point %v not in its cell %v", p, cell)
+		}
+	}
+}
+
+func TestZCurveRangesCoverQuery(t *testing.T) {
+	z := NewZCurve2D(geom.Box(0, 0, 100, 100), 8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		q := geom.Box(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		ranges := z.Ranges(q, 6)
+		// Every point inside the query must fall in some range.
+		for j := 0; j < 50; j++ {
+			p := geom.Pt(
+				q.MinX+rng.Float64()*q.Width(),
+				q.MinY+rng.Float64()*q.Height())
+			key := z.Key(p)
+			found := false
+			for _, r := range ranges {
+				if key >= r.Lo && key <= r.Hi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("point %v key %d not covered by %d ranges for query %v",
+					p, key, len(ranges), q)
+			}
+		}
+	}
+}
+
+func TestZCurveRangesSortedAndMerged(t *testing.T) {
+	z := NewZCurve2D(geom.Box(0, 0, 100, 100), 8)
+	ranges := z.Ranges(geom.Box(10, 10, 60, 60), 6)
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Lo <= ranges[i-1].Hi+1 {
+			t.Fatalf("ranges not merged/sorted at %d: %v %v", i, ranges[i-1], ranges[i])
+		}
+	}
+}
+
+func TestZCurveFullDomainQuery(t *testing.T) {
+	z := NewZCurve2D(geom.Box(0, 0, 100, 100), 8)
+	ranges := z.Ranges(geom.Box(0, 0, 100, 100), 6)
+	if len(ranges) != 1 {
+		t.Fatalf("full-domain query should give one range, got %v", ranges)
+	}
+	if ranges[0].Lo != 0 || ranges[0].Hi != 1<<16-1 {
+		t.Errorf("full range = %v", ranges[0])
+	}
+}
+
+func TestZCurveDisjointQuery(t *testing.T) {
+	z := NewZCurve2D(geom.Box(0, 0, 100, 100), 8)
+	if got := z.Ranges(geom.Box(200, 200, 300, 300), 6); got != nil {
+		t.Errorf("disjoint query = %v", got)
+	}
+}
+
+func TestZCurve3DKeysOrderByTime(t *testing.T) {
+	window := tempo.New(0, 86400)
+	z := NewZCurve3D(geom.Box(0, 0, 100, 100), window, 8, 3600)
+	p := geom.Pt(50, 50)
+	k1 := z.Key(p, 100)  // bin 0
+	k2 := z.Key(p, 7200) // bin 2
+	if k1 >= k2 {
+		t.Errorf("later time bin should yield larger key: %d vs %d", k1, k2)
+	}
+}
+
+func TestZCurve3DRangesCover(t *testing.T) {
+	window := tempo.New(0, 86400)
+	z := NewZCurve3D(geom.Box(0, 0, 100, 100), window, 8, 3600)
+	rng := rand.New(rand.NewSource(4))
+	qs := geom.Box(20, 20, 70, 70)
+	qt := tempo.New(3600, 14400)
+	ranges := z.Ranges(qs, qt, 6)
+	for i := 0; i < 300; i++ {
+		p := geom.Pt(20+rng.Float64()*50, 20+rng.Float64()*50)
+		ts := 3600 + rng.Int63n(14400-3600)
+		key := z.Key(p, ts)
+		found := false
+		for _, r := range ranges {
+			if key >= r.Lo && key <= r.Hi {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("ST point (%v, %d) not covered", p, ts)
+		}
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	got := mergeRanges([]KeyRange{{10, 20}, {0, 5}, {21, 30}, {40, 50}, {45, 60}})
+	want := []KeyRange{{0, 5}, {10, 30}, {40, 60}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package instance
+
+import (
+	"st4ml/internal/codec"
+	"st4ml/internal/geom"
+)
+
+// Codec constructors for instance types. Shuffling or persisting an
+// instance requires codecs for its type parameters; these compose them.
+
+// EntryCodec builds a codec for Entry[S, V] from shape and value codecs.
+func EntryCodec[S geom.Geometry, V any](sc codec.Codec[S], vc codec.Codec[V]) codec.Codec[Entry[S, V]] {
+	return codec.Codec[Entry[S, V]]{
+		Enc: func(w *codec.Writer, e Entry[S, V]) {
+			sc.Enc(w, e.Spatial)
+			codec.DurationC.Enc(w, e.Temporal)
+			vc.Enc(w, e.Value)
+		},
+		Dec: func(r *codec.Reader) Entry[S, V] {
+			return Entry[S, V]{
+				Spatial:  sc.Dec(r),
+				Temporal: codec.DurationC.Dec(r),
+				Value:    vc.Dec(r),
+			}
+		},
+	}
+}
+
+// EventCodec builds a codec for Event[S, V, D].
+func EventCodec[S geom.Geometry, V, D any](
+	sc codec.Codec[S], vc codec.Codec[V], dc codec.Codec[D],
+) codec.Codec[Event[S, V, D]] {
+	ec := EntryCodec(sc, vc)
+	return codec.Codec[Event[S, V, D]]{
+		Enc: func(w *codec.Writer, e Event[S, V, D]) {
+			ec.Enc(w, e.Entry)
+			dc.Enc(w, e.Data)
+		},
+		Dec: func(r *codec.Reader) Event[S, V, D] {
+			return Event[S, V, D]{Entry: ec.Dec(r), Data: dc.Dec(r)}
+		},
+	}
+}
+
+// TrajectoryCodec builds a codec for Trajectory[V, D].
+func TrajectoryCodec[V, D any](vc codec.Codec[V], dc codec.Codec[D]) codec.Codec[Trajectory[V, D]] {
+	esc := codec.SliceOf(EntryCodec(codec.PointC, vc))
+	return codec.Codec[Trajectory[V, D]]{
+		Enc: func(w *codec.Writer, t Trajectory[V, D]) {
+			esc.Enc(w, t.Entries)
+			dc.Enc(w, t.Data)
+		},
+		Dec: func(r *codec.Reader) Trajectory[V, D] {
+			return Trajectory[V, D]{Entries: esc.Dec(r), Data: dc.Dec(r)}
+		},
+	}
+}
+
+// TimeSeriesCodec builds a codec for TimeSeries[V, D].
+func TimeSeriesCodec[V, D any](vc codec.Codec[V], dc codec.Codec[D]) codec.Codec[TimeSeries[V, D]] {
+	esc := codec.SliceOf(EntryCodec(codec.MBRC, vc))
+	return codec.Codec[TimeSeries[V, D]]{
+		Enc: func(w *codec.Writer, t TimeSeries[V, D]) {
+			esc.Enc(w, t.Entries)
+			dc.Enc(w, t.Data)
+		},
+		Dec: func(r *codec.Reader) TimeSeries[V, D] {
+			return TimeSeries[V, D]{Entries: esc.Dec(r), Data: dc.Dec(r)}
+		},
+	}
+}
+
+// SpatialMapCodec builds a codec for SpatialMap[S, V, D].
+func SpatialMapCodec[S geom.Geometry, V, D any](
+	sc codec.Codec[S], vc codec.Codec[V], dc codec.Codec[D],
+) codec.Codec[SpatialMap[S, V, D]] {
+	esc := codec.SliceOf(EntryCodec(sc, vc))
+	return codec.Codec[SpatialMap[S, V, D]]{
+		Enc: func(w *codec.Writer, m SpatialMap[S, V, D]) {
+			esc.Enc(w, m.Entries)
+			dc.Enc(w, m.Data)
+		},
+		Dec: func(r *codec.Reader) SpatialMap[S, V, D] {
+			return SpatialMap[S, V, D]{Entries: esc.Dec(r), Data: dc.Dec(r)}
+		},
+	}
+}
+
+// RasterCodec builds a codec for Raster[S, V, D].
+func RasterCodec[S geom.Geometry, V, D any](
+	sc codec.Codec[S], vc codec.Codec[V], dc codec.Codec[D],
+) codec.Codec[Raster[S, V, D]] {
+	esc := codec.SliceOf(EntryCodec(sc, vc))
+	return codec.Codec[Raster[S, V, D]]{
+		Enc: func(w *codec.Writer, ra Raster[S, V, D]) {
+			esc.Enc(w, ra.Entries)
+			dc.Enc(w, ra.Data)
+		},
+		Dec: func(r *codec.Reader) Raster[S, V, D] {
+			return Raster[S, V, D]{Entries: esc.Dec(r), Data: dc.Dec(r)}
+		},
+	}
+}
+
+// Unit is a zero-size placeholder for unused V or D type parameters.
+type Unit = struct{}
+
+// UnitC encodes Unit as nothing.
+var UnitC = codec.Codec[Unit]{
+	Enc: func(*codec.Writer, Unit) {},
+	Dec: func(*codec.Reader) Unit { return Unit{} },
+}

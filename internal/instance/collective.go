@@ -1,0 +1,95 @@
+package instance
+
+import (
+	"st4ml/internal/geom"
+	"st4ml/internal/tempo"
+)
+
+// TimeSeries is a collective instance organizing data by time: each entry is
+// a time slot whose value holds the measurements or objects falling in it.
+// The spatial field records the (optional) overall extent.
+type TimeSeries[V, D any] struct {
+	Entries []Entry[geom.MBR, V]
+	Data    D
+}
+
+// NewTimeSeries builds a series from parallel slot and value arrays (which
+// must have equal length) and an optional shared spatial extent.
+func NewTimeSeries[V, D any](slots []tempo.Duration, values []V, extent geom.MBR, data D) TimeSeries[V, D] {
+	if len(slots) != len(values) {
+		panic("instance: slots/values length mismatch")
+	}
+	entries := make([]Entry[geom.MBR, V], len(slots))
+	for i := range slots {
+		entries[i] = Entry[geom.MBR, V]{Spatial: extent, Temporal: slots[i], Value: values[i]}
+	}
+	return TimeSeries[V, D]{Entries: entries, Data: data}
+}
+
+// Len returns the number of time slots.
+func (ts TimeSeries[V, D]) Len() int { return len(ts.Entries) }
+
+// Duration returns the covered time interval.
+func (ts TimeSeries[V, D]) Duration() tempo.Duration { return entriesDuration(ts.Entries) }
+
+// Extent returns the covered spatial extent.
+func (ts TimeSeries[V, D]) Extent() geom.MBR { return entriesExtent(ts.Entries) }
+
+// SpatialMap is a collective instance organizing data by space: each entry
+// is a cell of shape S (grid square, road segment, district polygon) whose
+// value holds what falls inside.
+type SpatialMap[S geom.Geometry, V, D any] struct {
+	Entries []Entry[S, V]
+	Data    D
+}
+
+// NewSpatialMap builds a map from parallel cell and value arrays.
+func NewSpatialMap[S geom.Geometry, V, D any](cells []S, values []V, data D) SpatialMap[S, V, D] {
+	if len(cells) != len(values) {
+		panic("instance: cells/values length mismatch")
+	}
+	entries := make([]Entry[S, V], len(cells))
+	for i := range cells {
+		entries[i] = Entry[S, V]{Spatial: cells[i], Temporal: tempo.Empty(), Value: values[i]}
+	}
+	return SpatialMap[S, V, D]{Entries: entries, Data: data}
+}
+
+// Len returns the number of cells.
+func (sm SpatialMap[S, V, D]) Len() int { return len(sm.Entries) }
+
+// Extent returns the union of all cell extents.
+func (sm SpatialMap[S, V, D]) Extent() geom.MBR { return entriesExtent(sm.Entries) }
+
+// Duration returns the union of the cells' time intervals (often empty for
+// purely spatial maps).
+func (sm SpatialMap[S, V, D]) Duration() tempo.Duration { return entriesDuration(sm.Entries) }
+
+// Raster is a collective instance with both spatial and temporal structure:
+// a collection of shaped cells with temporal depth. Cell order is defined by
+// the spec or cell list used to build it.
+type Raster[S geom.Geometry, V, D any] struct {
+	Entries []Entry[S, V]
+	Data    D
+}
+
+// NewRaster builds a raster from parallel cell shapes, slots, and values.
+func NewRaster[S geom.Geometry, V, D any](cells []S, slots []tempo.Duration, values []V, data D) Raster[S, V, D] {
+	if len(cells) != len(values) || len(slots) != len(values) {
+		panic("instance: cells/slots/values length mismatch")
+	}
+	entries := make([]Entry[S, V], len(cells))
+	for i := range cells {
+		entries[i] = Entry[S, V]{Spatial: cells[i], Temporal: slots[i], Value: values[i]}
+	}
+	return Raster[S, V, D]{Entries: entries, Data: data}
+}
+
+// Len returns the number of ST cells.
+func (ra Raster[S, V, D]) Len() int { return len(ra.Entries) }
+
+// Extent returns the union of all cell extents.
+func (ra Raster[S, V, D]) Extent() geom.MBR { return entriesExtent(ra.Entries) }
+
+// Duration returns the union of all cell intervals.
+func (ra Raster[S, V, D]) Duration() tempo.Duration { return entriesDuration(ra.Entries) }

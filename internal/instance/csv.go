@@ -1,0 +1,130 @@
+package instance
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"st4ml/internal/geom"
+	"st4ml/internal/tempo"
+)
+
+// CSV exchange for raster structures and extracted features — the
+// ReadRaster / saveParquet helpers of the paper's §3.4 end-to-end example.
+// Each structure row is `wkt, t_min, t_max`; feature rows append a value
+// column.
+
+// ReadRasterCSV parses a raster structure definition: one cell per row with
+// fields (WKT shape, t_min, t_max). The header row is optional (detected by
+// a non-numeric second field).
+func ReadRasterCSV(r io.Reader) (cells []geom.Geometry, slots []tempo.Duration, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("instance: raster csv: %w", err)
+		}
+		if first {
+			first = false
+			if _, convErr := strconv.ParseInt(rec[1], 10, 64); convErr != nil {
+				continue // header row
+			}
+		}
+		shape, err := geom.ParseWKT(rec[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("instance: raster csv shape: %w", err)
+		}
+		tmin, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("instance: raster csv t_min: %w", err)
+		}
+		tmax, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("instance: raster csv t_max: %w", err)
+		}
+		cells = append(cells, shape)
+		slots = append(slots, tempo.New(tmin, tmax))
+	}
+	if len(cells) == 0 {
+		return nil, nil, fmt.Errorf("instance: raster csv: no cells")
+	}
+	return cells, slots, nil
+}
+
+// WriteRasterCSV writes an extracted raster as (WKT shape, t_min, t_max,
+// value) rows, with formatV rendering the value column.
+func WriteRasterCSV[S geom.Geometry, V, D any](
+	w io.Writer,
+	ra Raster[S, V, D],
+	formatV func(V) string,
+) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"shape", "t_min", "t_max", "value"}); err != nil {
+		return fmt.Errorf("instance: write raster csv: %w", err)
+	}
+	for _, e := range ra.Entries {
+		row := []string{
+			geom.MarshalWKT(e.Spatial),
+			strconv.FormatInt(e.Temporal.Start, 10),
+			strconv.FormatInt(e.Temporal.End, 10),
+			formatV(e.Value),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("instance: write raster csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSpatialMapCSV writes an extracted spatial map as (WKT shape, value)
+// rows.
+func WriteSpatialMapCSV[S geom.Geometry, V, D any](
+	w io.Writer,
+	sm SpatialMap[S, V, D],
+	formatV func(V) string,
+) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"shape", "value"}); err != nil {
+		return fmt.Errorf("instance: write spatial map csv: %w", err)
+	}
+	for _, e := range sm.Entries {
+		if err := cw.Write([]string{geom.MarshalWKT(e.Spatial), formatV(e.Value)}); err != nil {
+			return fmt.Errorf("instance: write spatial map csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimeSeriesCSV writes an extracted time series as (t_min, t_max,
+// value) rows.
+func WriteTimeSeriesCSV[V, D any](
+	w io.Writer,
+	ts TimeSeries[V, D],
+	formatV func(V) string,
+) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_min", "t_max", "value"}); err != nil {
+		return fmt.Errorf("instance: write time series csv: %w", err)
+	}
+	for _, e := range ts.Entries {
+		row := []string{
+			strconv.FormatInt(e.Temporal.Start, 10),
+			strconv.FormatInt(e.Temporal.End, 10),
+			formatV(e.Value),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("instance: write time series csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

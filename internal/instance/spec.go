@@ -1,0 +1,180 @@
+package instance
+
+import (
+	"math"
+
+	"st4ml/internal/geom"
+	"st4ml/internal/tempo"
+)
+
+// Regular structure specs. A structure is regular when its cells have equal
+// size and densely tile the space (§4.2). For regular structures the cells
+// intersecting a query extent follow from index arithmetic instead of
+// iteration — the conversion fast path the paper describes.
+
+// TimeGrid splits a window into NT equal consecutive slots.
+type TimeGrid struct {
+	Window tempo.Duration
+	NT     int
+}
+
+// Slots materializes the slot intervals.
+func (g TimeGrid) Slots() []tempo.Duration { return g.Window.Split(g.NT) }
+
+// SlotRange returns the inclusive slot index range [lo, hi] whose slots may
+// intersect d, or ok=false when d misses the window entirely.
+func (g TimeGrid) SlotRange(d tempo.Duration) (lo, hi int, ok bool) {
+	d = d.Intersection(g.Window)
+	if d.IsEmpty() || g.NT <= 0 {
+		return 0, 0, false
+	}
+	total := g.Window.End - g.Window.Start + 1
+	lo = int((d.Start - g.Window.Start) * int64(g.NT) / total)
+	hi = int((d.End - g.Window.Start) * int64(g.NT) / total)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= g.NT {
+		hi = g.NT - 1
+	}
+	return lo, hi, true
+}
+
+// SpatialGrid splits an extent into NX × NY equal rectangular cells, stored
+// row-major: index = iy*NX + ix.
+type SpatialGrid struct {
+	Extent geom.MBR
+	NX, NY int
+}
+
+// NumCells returns NX × NY.
+func (g SpatialGrid) NumCells() int { return g.NX * g.NY }
+
+// Cell returns the extent of cell (ix, iy).
+func (g SpatialGrid) Cell(ix, iy int) geom.MBR {
+	w := g.Extent.Width() / float64(g.NX)
+	h := g.Extent.Height() / float64(g.NY)
+	return geom.MBR{
+		MinX: g.Extent.MinX + float64(ix)*w,
+		MinY: g.Extent.MinY + float64(iy)*h,
+		MaxX: g.Extent.MinX + float64(ix+1)*w,
+		MaxY: g.Extent.MinY + float64(iy+1)*h,
+	}
+}
+
+// Cells materializes all cell extents in row-major order.
+func (g SpatialGrid) Cells() []geom.MBR {
+	out := make([]geom.MBR, 0, g.NumCells())
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			out = append(out, g.Cell(ix, iy))
+		}
+	}
+	return out
+}
+
+// Polygons materializes all cells as polygons (for APIs that require
+// polygon-shaped cells).
+func (g SpatialGrid) Polygons() []*geom.Polygon {
+	cells := g.Cells()
+	out := make([]*geom.Polygon, len(cells))
+	for i, c := range cells {
+		out[i] = c.ToPolygon()
+	}
+	return out
+}
+
+// CellRange returns the inclusive index ranges [ix0,ix1] × [iy0,iy1] of
+// cells that may intersect box b, or ok=false when b misses the extent.
+// This is the regular-structure index derivation of §4.2. Cells are closed
+// boxes sharing borders, so a coordinate exactly on a boundary belongs to
+// both adjacent cells — the lower index extends to cover that case.
+func (g SpatialGrid) CellRange(b geom.MBR) (ix0, ix1, iy0, iy1 int, ok bool) {
+	b = b.Intersection(g.Extent)
+	if b.IsEmpty() || g.NX <= 0 || g.NY <= 0 {
+		return 0, 0, 0, 0, false
+	}
+	w := g.Extent.Width() / float64(g.NX)
+	h := g.Extent.Height() / float64(g.NY)
+	ix0 = lowerCell((b.MinX-g.Extent.MinX)/w, g.NX)
+	ix1 = clampIdx(int((b.MaxX-g.Extent.MinX)/w), g.NX)
+	iy0 = lowerCell((b.MinY-g.Extent.MinY)/h, g.NY)
+	iy1 = clampIdx(int((b.MaxY-g.Extent.MinY)/h), g.NY)
+	return ix0, ix1, iy0, iy1, true
+}
+
+// lowerCell maps a fractional cell position to the lowest cell index whose
+// closed extent contains it: boundary-exact positions also touch the cell
+// below.
+func lowerCell(f float64, n int) int {
+	i := clampIdx(int(f), n)
+	if f == math.Trunc(f) && i > 0 {
+		i--
+	}
+	return i
+}
+
+// Locate returns the row-major index of the cell containing p, or -1 when p
+// is outside the extent. Border points resolve to the lower-index cell.
+func (g SpatialGrid) Locate(p geom.Point) int {
+	if !g.Extent.ContainsPoint(p) {
+		return -1
+	}
+	w := g.Extent.Width() / float64(g.NX)
+	h := g.Extent.Height() / float64(g.NY)
+	ix := clampIdx(int((p.X-g.Extent.MinX)/w), g.NX)
+	iy := clampIdx(int((p.Y-g.Extent.MinY)/h), g.NY)
+	return iy*g.NX + ix
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// RasterGrid is the product of a spatial grid and a time grid. Cell order
+// is time-major: index = it*(NX*NY) + iy*NX + ix, matching the sort order
+// (t_start, lon_min, lat_min) the paper prescribes for regular rasters.
+type RasterGrid struct {
+	Space SpatialGrid
+	Time  TimeGrid
+}
+
+// NumCells returns NX × NY × NT.
+func (g RasterGrid) NumCells() int { return g.Space.NumCells() * g.Time.NT }
+
+// Index composes a cell index from per-dimension indices.
+func (g RasterGrid) Index(ix, iy, it int) int {
+	return it*g.Space.NumCells() + iy*g.Space.NX + ix
+}
+
+// CellAt returns the spatial extent and slot of cell index i.
+func (g RasterGrid) CellAt(i int) (geom.MBR, tempo.Duration) {
+	per := g.Space.NumCells()
+	it := i / per
+	rem := i % per
+	iy := rem / g.Space.NX
+	ix := rem % g.Space.NX
+	slots := g.Time.Slots()
+	return g.Space.Cell(ix, iy), slots[it]
+}
+
+// Build materializes parallel cell and slot arrays in index order.
+func (g RasterGrid) Build() (cells []geom.MBR, slots []tempo.Duration) {
+	space := g.Space.Cells()
+	times := g.Time.Slots()
+	cells = make([]geom.MBR, 0, g.NumCells())
+	slots = make([]tempo.Duration, 0, g.NumCells())
+	for _, t := range times {
+		for _, c := range space {
+			cells = append(cells, c)
+			slots = append(slots, t)
+		}
+	}
+	return cells, slots
+}

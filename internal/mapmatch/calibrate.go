@@ -1,0 +1,55 @@
+package mapmatch
+
+import (
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/roadnet"
+)
+
+// Event-to-event calibration (§3.2.2): project each point event onto its
+// nearest road segment — the single-point counterpart of map matching, used
+// to snap noisy sensor readings onto the network before network-structured
+// aggregation.
+
+// CalibratedEvent is a projected event: the original value and data fields
+// plus the matched segment.
+type CalibratedEvent[V, D any] struct {
+	Event instance.Event[geom.Point, V, D]
+	Edge  roadnet.EdgeID
+	// DistM is the metre distance from the original location to the
+	// projection.
+	DistM float64
+}
+
+// CalibrateEvent snaps one event onto the network. ok is false when the
+// graph is empty.
+func CalibrateEvent[V, D any](g *roadnet.Graph, e instance.Event[geom.Point, V, D]) (CalibratedEvent[V, D], bool) {
+	edge, proj, dist, ok := g.NearestEdge(e.Entry.Spatial)
+	if !ok {
+		return CalibratedEvent[V, D]{}, false
+	}
+	out := e
+	out.Entry.Spatial = proj
+	return CalibratedEvent[V, D]{Event: out, Edge: edge, DistM: dist}, true
+}
+
+// CalibrateEvents runs event-to-event calibration over an RDD in parallel,
+// dropping events with no reachable segment (empty graphs) and optionally
+// those farther than maxDistM from the network (0 means keep all).
+func CalibrateEvents[V, D any](
+	r *engine.RDD[instance.Event[geom.Point, V, D]],
+	g *roadnet.Graph,
+	maxDistM float64,
+) *engine.RDD[CalibratedEvent[V, D]] {
+	return engine.FlatMap(r, func(e instance.Event[geom.Point, V, D]) []CalibratedEvent[V, D] {
+		c, ok := CalibrateEvent(g, e)
+		if !ok {
+			return nil
+		}
+		if maxDistM > 0 && c.DistM > maxDistM {
+			return nil
+		}
+		return []CalibratedEvent[V, D]{c}
+	})
+}

@@ -1,0 +1,71 @@
+package mapmatch
+
+import (
+	"testing"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/roadnet"
+	"st4ml/internal/tempo"
+)
+
+func TestCalibrateEvent(t *testing.T) {
+	g := cityGraph()
+	// An event 50 m off a road snaps onto it.
+	a, b := g.EdgeEndpoints(0)
+	mid := geom.Pt((a.X+b.X)/2, (a.Y+b.Y)/2)
+	off := geom.Pt(mid.X, mid.Y+geom.MetersToDegreesLat(50))
+	ev := instance.NewEvent(off, tempo.Instant(100), "reading", int64(1))
+	c, ok := CalibrateEvent(g, ev)
+	if !ok {
+		t.Fatal("no calibration")
+	}
+	if c.DistM < 30 || c.DistM > 70 {
+		t.Errorf("DistM = %g, want ~50", c.DistM)
+	}
+	if d := g.DistanceToEdgeM(c.Event.Entry.Spatial, c.Edge); d > 1 {
+		t.Errorf("calibrated point %g m off its edge", d)
+	}
+	if c.Event.Data != 1 || c.Event.Entry.Value != "reading" {
+		t.Error("value/data fields lost")
+	}
+	if c.Event.Entry.Temporal != tempo.Instant(100) {
+		t.Error("time changed")
+	}
+}
+
+func TestCalibrateEventsRDD(t *testing.T) {
+	g := cityGraph()
+	ctx := engine.New(engine.Config{Slots: 2})
+	a, b := g.EdgeEndpoints(0)
+	mid := geom.Pt((a.X+b.X)/2, (a.Y+b.Y)/2)
+	near := instance.NewEvent(
+		geom.Pt(mid.X, mid.Y+geom.MetersToDegreesLat(30)),
+		tempo.Instant(1), instance.Unit{}, int64(1))
+	far := instance.NewEvent(
+		geom.Pt(mid.X, mid.Y+geom.MetersToDegreesLat(5000)),
+		tempo.Instant(2), instance.Unit{}, int64(2))
+	r := engine.Parallelize(ctx,
+		[]instance.Event[geom.Point, instance.Unit, int64]{near, far}, 2)
+
+	all := CalibrateEvents(r, g, 0).Collect()
+	if len(all) != 2 {
+		t.Fatalf("unbounded calibration kept %d", len(all))
+	}
+	capped := CalibrateEvents(r, g, 100).Collect()
+	if len(capped) != 1 || capped[0].Event.Data != 1 {
+		t.Fatalf("capped calibration = %+v", capped)
+	}
+}
+
+func TestCalibrateEmptyGraph(t *testing.T) {
+	g, err := roadnet.NewGraph(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := instance.NewEvent(geom.Pt(0, 0), tempo.Instant(1), instance.Unit{}, int64(1))
+	if _, ok := CalibrateEvent(g, ev); ok {
+		t.Error("empty graph should not calibrate")
+	}
+}

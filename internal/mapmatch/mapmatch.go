@@ -1,0 +1,302 @@
+// Package mapmatch implements Hidden-Markov-Model map matching after Newson
+// & Krumm (2009) — the algorithm behind ST4ML's trajectory-to-trajectory
+// calibration conversion (§3.2.2) and the road-flow case study (§6).
+//
+// Each GPS point's candidate states are its projections onto nearby road
+// segments; emission probability falls with projection distance, transition
+// probability falls with the difference between route distance and
+// great-circle distance between consecutive points. Viterbi decoding picks
+// the most likely segment sequence.
+package mapmatch
+
+import (
+	"errors"
+	"math"
+
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/roadnet"
+)
+
+// Config tunes the HMM.
+type Config struct {
+	// SigmaZ is the GPS noise standard deviation in metres (emission).
+	// 0 means 20 m.
+	SigmaZ float64
+	// Beta is the transition exponential scale in metres. 0 means 200 m.
+	Beta float64
+	// CandidateRadiusM bounds the candidate segment search. 0 means 4σ.
+	CandidateRadiusM float64
+	// MaxCandidates caps candidates per point. 0 means 8.
+	MaxCandidates int
+	// MaxRouteM bounds route search between consecutive points. 0 means
+	// 10× the great-circle distance + 500 m.
+	MaxRouteM float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SigmaZ <= 0 {
+		c.SigmaZ = 20
+	}
+	if c.Beta <= 0 {
+		c.Beta = 200
+	}
+	if c.CandidateRadiusM <= 0 {
+		c.CandidateRadiusM = 4 * c.SigmaZ
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 8
+	}
+	return c
+}
+
+// Matcher map-matches point sequences against one road graph. It is safe
+// for concurrent use (the graph is immutable and matching is stateless).
+type Matcher struct {
+	g   *roadnet.Graph
+	cfg Config
+}
+
+// New builds a matcher.
+func New(g *roadnet.Graph, cfg Config) *Matcher {
+	return &Matcher{g: g, cfg: cfg.withDefaults()}
+}
+
+// Result is one matched trajectory.
+type Result struct {
+	// EdgeIDs[i] is the matched segment of input point i (NoEdge when the
+	// point had no candidate and was skipped).
+	EdgeIDs []roadnet.EdgeID
+	// Projected[i] is the point's projection onto its matched segment (the
+	// input point itself when unmatched).
+	Projected []geom.Point
+	// PathEdges is the full connected traversal: matched segments plus the
+	// shortest-path segments connecting consecutive matches — the input to
+	// flow inference over camera-free road segments (§6).
+	PathEdges []roadnet.EdgeID
+}
+
+// ErrNoMatch reports that no point of the trajectory had any candidate
+// segment.
+var ErrNoMatch = errors.New("mapmatch: no candidate segments for any point")
+
+type candState struct {
+	edge    roadnet.EdgeID
+	proj    geom.Point
+	emitLog float64
+}
+
+// Match map-matches an ordered point sequence.
+func (m *Matcher) Match(points []geom.Point) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, errors.New("mapmatch: empty trajectory")
+	}
+	// Candidate generation.
+	cands := make([][]candState, 0, len(points))
+	kept := make([]int, 0, len(points)) // original indices of points with candidates
+	for i, p := range points {
+		cs := m.candidatesFor(p)
+		if len(cs) > 0 {
+			cands = append(cands, cs)
+			kept = append(kept, i)
+		}
+	}
+	res := Result{
+		EdgeIDs:   make([]roadnet.EdgeID, len(points)),
+		Projected: make([]geom.Point, len(points)),
+	}
+	for i := range res.EdgeIDs {
+		res.EdgeIDs[i] = roadnet.NoEdge
+		res.Projected[i] = points[i]
+	}
+	if len(cands) == 0 {
+		return res, ErrNoMatch
+	}
+
+	// Viterbi.
+	type cell struct {
+		logp float64
+		prev int
+	}
+	prev := make([]cell, len(cands[0]))
+	for j, c := range cands[0] {
+		prev[j] = cell{logp: c.emitLog, prev: -1}
+	}
+	back := make([][]int, len(cands))
+	for t := 1; t < len(cands); t++ {
+		cur := make([]cell, len(cands[t]))
+		back[t] = make([]int, len(cands[t]))
+		pa := points[kept[t-1]]
+		pb := points[kept[t]]
+		gcDist := geom.HaversineMeters(pa, pb)
+		routes := m.routeDistances(cands[t-1], cands[t], gcDist)
+		for j := range cands[t] {
+			best, bestLog := -1, math.Inf(-1)
+			for i := range cands[t-1] {
+				trans := m.transitionLog(routes[i][j], gcDist)
+				if lp := prev[i].logp + trans; lp > bestLog {
+					best, bestLog = i, lp
+				}
+			}
+			cur[j] = cell{logp: bestLog + cands[t][j].emitLog, prev: best}
+			back[t][j] = best
+		}
+		prev = cur
+	}
+	// Backtrack.
+	bestEnd, bestLog := 0, math.Inf(-1)
+	for j, c := range prev {
+		if c.logp > bestLog {
+			bestEnd, bestLog = j, c.logp
+		}
+	}
+	choice := make([]int, len(cands))
+	choice[len(cands)-1] = bestEnd
+	for t := len(cands) - 1; t > 0; t-- {
+		choice[t-1] = back[t][choice[t]]
+	}
+	for t, j := range choice {
+		orig := kept[t]
+		res.EdgeIDs[orig] = cands[t][j].edge
+		res.Projected[orig] = cands[t][j].proj
+	}
+	res.PathEdges = m.connectPath(res.EdgeIDs, res.Projected)
+	return res, nil
+}
+
+// candidatesFor returns the emission states of one point, capped to the
+// nearest MaxCandidates.
+func (m *Matcher) candidatesFor(p geom.Point) []candState {
+	edges := m.g.EdgesNear(p, m.cfg.CandidateRadiusM)
+	cs := make([]candState, 0, len(edges))
+	for _, e := range edges {
+		proj := m.g.ProjectOnEdge(p, e)
+		d := geom.HaversineMeters(p, proj)
+		cs = append(cs, candState{
+			edge:    e,
+			proj:    proj,
+			emitLog: -(d * d) / (2 * m.cfg.SigmaZ * m.cfg.SigmaZ),
+		})
+	}
+	if len(cs) > m.cfg.MaxCandidates {
+		// Partial selection of nearest by emission (higher is nearer).
+		for i := 0; i < m.cfg.MaxCandidates; i++ {
+			best := i
+			for j := i + 1; j < len(cs); j++ {
+				if cs[j].emitLog > cs[best].emitLog {
+					best = j
+				}
+			}
+			cs[i], cs[best] = cs[best], cs[i]
+		}
+		cs = cs[:m.cfg.MaxCandidates]
+	}
+	return cs
+}
+
+// routeDistances computes the on-network metre distance from every state in
+// a to every state in b, sharing one Dijkstra per source edge.
+func (m *Matcher) routeDistances(a, b []candState, gcDist float64) [][]float64 {
+	maxRoute := m.cfg.MaxRouteM
+	if maxRoute <= 0 {
+		maxRoute = 10*gcDist + 500
+	}
+	out := make([][]float64, len(a))
+	targets := map[roadnet.NodeID]bool{}
+	for _, cb := range b {
+		targets[m.g.Edge(cb.edge).From] = true
+	}
+	for i, ca := range a {
+		out[i] = make([]float64, len(b))
+		eA := m.g.Edge(ca.edge)
+		alongA := m.g.AlongEdgeM(ca.proj, ca.edge)
+		remA := eA.LengthM - alongA
+		dist, _ := m.g.ShortestPath(eA.To, targets, maxRoute)
+		for j, cb := range b {
+			if ca.edge == cb.edge {
+				alongB := m.g.AlongEdgeM(cb.proj, cb.edge)
+				if alongB >= alongA {
+					out[i][j] = alongB - alongA
+					continue
+				}
+			}
+			eB := m.g.Edge(cb.edge)
+			alongB := m.g.AlongEdgeM(cb.proj, cb.edge)
+			d, ok := dist[eB.From]
+			if !ok {
+				out[i][j] = math.Inf(1)
+				continue
+			}
+			out[i][j] = remA + d + alongB
+		}
+	}
+	return out
+}
+
+// transitionLog is the Newson-Krumm transition log-probability.
+func (m *Matcher) transitionLog(routeM, gcM float64) float64 {
+	if math.IsInf(routeM, 1) {
+		return math.Inf(-1)
+	}
+	return -math.Abs(routeM-gcM) / m.cfg.Beta
+}
+
+// connectPath stitches matched segments into a connected edge traversal by
+// inserting shortest-path edges between consecutive distinct matches.
+func (m *Matcher) connectPath(edgeIDs []roadnet.EdgeID, proj []geom.Point) []roadnet.EdgeID {
+	var path []roadnet.EdgeID
+	last := roadnet.NoEdge
+	for _, eid := range edgeIDs {
+		if eid == roadnet.NoEdge {
+			continue
+		}
+		if eid == last {
+			continue
+		}
+		if last != roadnet.NoEdge {
+			from := m.g.Edge(last).To
+			to := m.g.Edge(eid).From
+			if from != to {
+				dist, prevEdge := m.g.ShortestPath(from, map[roadnet.NodeID]bool{to: true}, 5000)
+				if _, ok := dist[to]; ok {
+					if mid, ok := m.g.PathEdges(from, to, prevEdge); ok {
+						path = append(path, mid...)
+					}
+				}
+			}
+		}
+		path = append(path, eid)
+		last = eid
+	}
+	return path
+}
+
+// MatchTrajectory map-matches an instance trajectory, producing the
+// calibrated trajectory (points projected onto segments, entry values set
+// to the matched edge ids) and the connected path. Unmatched points are
+// dropped from the output trajectory.
+func MatchTrajectory[V, D any](
+	m *Matcher,
+	tr instance.Trajectory[V, D],
+) (instance.Trajectory[int32, D], []roadnet.EdgeID, error) {
+	points := make([]geom.Point, len(tr.Entries))
+	for i, e := range tr.Entries {
+		points[i] = e.Spatial
+	}
+	res, err := m.Match(points)
+	if err != nil {
+		return instance.Trajectory[int32, D]{}, nil, err
+	}
+	entries := make([]instance.Entry[geom.Point, int32], 0, len(tr.Entries))
+	for i, e := range tr.Entries {
+		if res.EdgeIDs[i] == roadnet.NoEdge {
+			continue
+		}
+		entries = append(entries, instance.Entry[geom.Point, int32]{
+			Spatial:  res.Projected[i],
+			Temporal: e.Temporal,
+			Value:    int32(res.EdgeIDs[i]),
+		})
+	}
+	return instance.NewTrajectory(entries, tr.Data), res.PathEdges, nil
+}

@@ -1,0 +1,212 @@
+package mapmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/roadnet"
+	"st4ml/internal/tempo"
+)
+
+// cityGraph builds a deterministic 8×8 grid, 400 m blocks.
+func cityGraph() *roadnet.Graph {
+	return roadnet.GenerateGrid(8, 8, 400, geom.Pt(116.3, 39.9), 0, 7)
+}
+
+// walkRoute simulates a vehicle driving a node path, emitting noisy GPS
+// samples along each edge.
+func walkRoute(g *roadnet.Graph, path []roadnet.EdgeID, noiseM float64, perEdge int, rng *rand.Rand) ([]geom.Point, []roadnet.EdgeID) {
+	var pts []geom.Point
+	var truth []roadnet.EdgeID
+	for _, eid := range path {
+		a, b := g.EdgeEndpoints(eid)
+		for s := 0; s < perEdge; s++ {
+			f := (float64(s) + 0.5) / float64(perEdge)
+			p := geom.Pt(a.X+(b.X-a.X)*f, a.Y+(b.Y-a.Y)*f)
+			p.X += geom.MetersToDegreesLon(rng.NormFloat64()*noiseM, p.Y)
+			p.Y += geom.MetersToDegreesLat(rng.NormFloat64() * noiseM)
+			pts = append(pts, p)
+			truth = append(truth, eid)
+		}
+	}
+	return pts, truth
+}
+
+// straightRoute returns an eastward route along the grid's bottom row.
+func straightRoute(g *roadnet.Graph, hops int) []roadnet.EdgeID {
+	var path []roadnet.EdgeID
+	cur := roadnet.NodeID(0)
+	for i := 0; i < hops; i++ {
+		next := cur + 1
+		found := roadnet.NoEdge
+		for eid := 0; eid < g.NumEdges(); eid++ {
+			e := g.Edge(roadnet.EdgeID(eid))
+			if e.From == cur && e.To == next {
+				found = e.ID
+				break
+			}
+		}
+		if found == roadnet.NoEdge {
+			break
+		}
+		path = append(path, found)
+		cur = next
+	}
+	return path
+}
+
+func TestMatchRecoversRoute(t *testing.T) {
+	g := cityGraph()
+	rng := rand.New(rand.NewSource(1))
+	route := straightRoute(g, 5)
+	if len(route) != 5 {
+		t.Fatalf("route = %v", route)
+	}
+	pts, truth := walkRoute(g, route, 10, 4, rng)
+	m := New(g, Config{SigmaZ: 15})
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range truth {
+		if res.EdgeIDs[i] == truth[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(truth)); frac < 0.8 {
+		t.Errorf("matched %d/%d points correctly (%.0f%%)", correct, len(truth), frac*100)
+	}
+	// Projections must lie on the network (within a metre of some edge).
+	for i, p := range res.Projected {
+		if res.EdgeIDs[i] == roadnet.NoEdge {
+			continue
+		}
+		if d := g.DistanceToEdgeM(p, res.EdgeIDs[i]); d > 1 {
+			t.Errorf("projection %d is %g m off its edge", i, d)
+		}
+	}
+}
+
+func TestMatchPathConnected(t *testing.T) {
+	g := cityGraph()
+	rng := rand.New(rand.NewSource(2))
+	route := straightRoute(g, 6)
+	// Sparse sampling: one point every other edge — the case-study regime
+	// (few points, long gaps) where path inference matters.
+	var pts []geom.Point
+	for i, eid := range route {
+		if i%2 == 1 {
+			continue
+		}
+		a, b := g.EdgeEndpoints(eid)
+		p := geom.Pt((a.X+b.X)/2, (a.Y+b.Y)/2)
+		p.X += geom.MetersToDegreesLon(rng.NormFloat64()*5, p.Y)
+		pts = append(pts, p)
+	}
+	m := New(g, Config{SigmaZ: 15})
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PathEdges) <= len(pts) {
+		t.Errorf("path should include connecting segments: %d edges for %d points",
+			len(res.PathEdges), len(pts))
+	}
+	// Path must be connected: consecutive edges share a node.
+	for i := 1; i < len(res.PathEdges); i++ {
+		prev := g.Edge(res.PathEdges[i-1])
+		cur := g.Edge(res.PathEdges[i])
+		if prev.To != cur.From {
+			t.Fatalf("path disconnected at %d: %v -> %v", i, prev, cur)
+		}
+	}
+}
+
+func TestMatchNoCandidates(t *testing.T) {
+	g := cityGraph()
+	m := New(g, Config{SigmaZ: 10, CandidateRadiusM: 30})
+	// Points far outside the city.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.1, 0.1)}
+	if _, err := m.Match(pts); err == nil {
+		t.Error("all-points-off-network should return ErrNoMatch")
+	}
+}
+
+func TestMatchEmptyInput(t *testing.T) {
+	m := New(cityGraph(), Config{})
+	if _, err := m.Match(nil); err == nil {
+		t.Error("empty trajectory should error")
+	}
+}
+
+func TestMatchSkipsOutliers(t *testing.T) {
+	g := cityGraph()
+	rng := rand.New(rand.NewSource(3))
+	route := straightRoute(g, 4)
+	pts, _ := walkRoute(g, route, 8, 3, rng)
+	// Inject an off-network outlier in the middle.
+	outlierIdx := len(pts) / 2
+	pts[outlierIdx] = geom.Pt(1, 1)
+	m := New(g, Config{SigmaZ: 15, CandidateRadiusM: 60})
+	res, err := m.Match(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeIDs[outlierIdx] != roadnet.NoEdge {
+		t.Error("outlier should be unmatched")
+	}
+	matched := 0
+	for _, e := range res.EdgeIDs {
+		if e != roadnet.NoEdge {
+			matched++
+		}
+	}
+	if matched != len(pts)-1 {
+		t.Errorf("matched %d of %d", matched, len(pts)-1)
+	}
+}
+
+func TestMatchTrajectoryInstance(t *testing.T) {
+	g := cityGraph()
+	rng := rand.New(rand.NewSource(4))
+	route := straightRoute(g, 5)
+	pts, _ := walkRoute(g, route, 10, 2, rng)
+	entries := make([]instance.Entry[geom.Point, instance.Unit], len(pts))
+	for i, p := range pts {
+		entries[i] = instance.Entry[geom.Point, instance.Unit]{
+			Spatial:  p,
+			Temporal: tempo.Instant(int64(i * 15)),
+		}
+	}
+	tr := instance.NewTrajectory(entries, "veh-1")
+	m := New(g, Config{SigmaZ: 15})
+	matched, path, err := MatchTrajectory(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched.Data != "veh-1" {
+		t.Error("data field lost")
+	}
+	if matched.Len() != len(pts) {
+		t.Errorf("matched points = %d, want %d", matched.Len(), len(pts))
+	}
+	if len(path) == 0 {
+		t.Error("empty path")
+	}
+	// Matched entries carry their edge id and calibrated location.
+	for _, e := range matched.Entries {
+		if d := g.DistanceToEdgeM(e.Spatial, roadnet.EdgeID(e.Value)); d > 1 {
+			t.Errorf("calibrated point %g m off its edge", d)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.SigmaZ != 20 || c.Beta != 200 || c.CandidateRadiusM != 80 || c.MaxCandidates != 8 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,175 @@
+// Package mlexport channels extracted ST features to external ML engines
+// (§3.3): tensor-shaped exports for deep models — the "sequence of 2-d
+// matrices [A^t0, A^t1, ...]" input of the paper's motivating traffic
+// forecast application (§2.1) — plus JSON and CSV encodings that
+// TensorFlow/PyTorch data loaders ingest directly.
+package mlexport
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+)
+
+// Tensor is a dense [T][Y][X] feature tensor with its axis metadata — one
+// 2-d matrix per time slot, the DL-model input shape of §2.1.
+type Tensor struct {
+	// Data[t][y][x] is the feature value of grid cell (x, y) at slot t.
+	Data [][][]float64 `json:"data"`
+	// TStart[t] is the Unix start second of slot t.
+	TStart []int64 `json:"t_start"`
+	// Extent is the spatial extent covered by the X/Y axes.
+	Extent [4]float64 `json:"extent"` // minx, miny, maxx, maxy
+}
+
+// Shape returns (T, Y, X).
+func (t *Tensor) Shape() (int, int, int) {
+	if len(t.Data) == 0 || len(t.Data[0]) == 0 {
+		return len(t.Data), 0, 0
+	}
+	return len(t.Data), len(t.Data[0]), len(t.Data[0][0])
+}
+
+// RasterTensor reshapes an extracted regular-grid raster into a Tensor.
+// The raster's entries must be in the grid's time-major order (as produced
+// by RasterGridTarget conversions); value extracts the per-cell feature
+// (use math.NaN for empty cells if the model masks them).
+func RasterTensor[V, D any](
+	ra instance.Raster[geom.MBR, V, D],
+	grid instance.RasterGrid,
+	value func(V) float64,
+) (*Tensor, error) {
+	if ra.Len() != grid.NumCells() {
+		return nil, fmt.Errorf("mlexport: raster has %d cells, grid defines %d",
+			ra.Len(), grid.NumCells())
+	}
+	nx, ny, nt := grid.Space.NX, grid.Space.NY, grid.Time.NT
+	out := &Tensor{
+		Data:   make([][][]float64, nt),
+		TStart: make([]int64, nt),
+		Extent: [4]float64{
+			grid.Space.Extent.MinX, grid.Space.Extent.MinY,
+			grid.Space.Extent.MaxX, grid.Space.Extent.MaxY,
+		},
+	}
+	slots := grid.Time.Slots()
+	for t := 0; t < nt; t++ {
+		out.TStart[t] = slots[t].Start
+		out.Data[t] = make([][]float64, ny)
+		for y := 0; y < ny; y++ {
+			out.Data[t][y] = make([]float64, nx)
+			for x := 0; x < nx; x++ {
+				out.Data[t][y][x] = value(ra.Entries[grid.Index(x, y, t)].Value)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SpatialMapMatrix reshapes an extracted regular spatial map into one 2-d
+// matrix [Y][X].
+func SpatialMapMatrix[V, D any](
+	sm instance.SpatialMap[geom.MBR, V, D],
+	grid instance.SpatialGrid,
+	value func(V) float64,
+) ([][]float64, error) {
+	if sm.Len() != grid.NumCells() {
+		return nil, fmt.Errorf("mlexport: spatial map has %d cells, grid defines %d",
+			sm.Len(), grid.NumCells())
+	}
+	out := make([][]float64, grid.NY)
+	for y := 0; y < grid.NY; y++ {
+		out[y] = make([]float64, grid.NX)
+		for x := 0; x < grid.NX; x++ {
+			out[y][x] = value(sm.Entries[y*grid.NX+x].Value)
+		}
+	}
+	return out, nil
+}
+
+// TimeSeriesVector reshapes a time series into a feature vector with its
+// slot starts.
+func TimeSeriesVector[V, D any](
+	ts instance.TimeSeries[V, D],
+	value func(V) float64,
+) (values []float64, starts []int64) {
+	values = make([]float64, ts.Len())
+	starts = make([]int64, ts.Len())
+	for i, e := range ts.Entries {
+		values[i] = value(e.Value)
+		starts[i] = e.Temporal.Start
+	}
+	return values, starts
+}
+
+// WriteJSON writes any export structure as JSON (NaN values are encoded as
+// null by pre-sanitizing, since encoding/json rejects NaN).
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if tensor, ok := v.(*Tensor); ok {
+		return enc.Encode(sanitizeTensor(tensor))
+	}
+	return enc.Encode(v)
+}
+
+// jsonTensor mirrors Tensor with nullable cells.
+type jsonTensor struct {
+	Data   [][][]*float64 `json:"data"`
+	TStart []int64        `json:"t_start"`
+	Extent [4]float64     `json:"extent"`
+}
+
+func sanitizeTensor(t *Tensor) jsonTensor {
+	out := jsonTensor{TStart: t.TStart, Extent: t.Extent}
+	out.Data = make([][][]*float64, len(t.Data))
+	for i, plane := range t.Data {
+		out.Data[i] = make([][]*float64, len(plane))
+		for j, row := range plane {
+			out.Data[i][j] = make([]*float64, len(row))
+			for k := range row {
+				if !math.IsNaN(row[k]) && !math.IsInf(row[k], 0) {
+					v := row[k]
+					out.Data[i][j][k] = &v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WriteTensorCSV writes the tensor as long-format CSV rows
+// (t_start, y, x, value), skipping NaN cells — the loader-friendly flat
+// encoding.
+func WriteTensorCSV(w io.Writer, t *Tensor) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_start", "y", "x", "value"}); err != nil {
+		return err
+	}
+	for ti, plane := range t.Data {
+		for y, row := range plane {
+			for x, v := range row {
+				if math.IsNaN(v) {
+					continue
+				}
+				rec := []string{
+					strconv.FormatInt(t.TStart[ti], 10),
+					strconv.Itoa(y),
+					strconv.Itoa(x),
+					strconv.FormatFloat(v, 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,182 @@
+package mlexport
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"st4ml/internal/convert"
+	"st4ml/internal/engine"
+	"st4ml/internal/extract"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+func testGrid() instance.RasterGrid {
+	return instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 4, 2), NX: 4, NY: 2},
+		Time:  instance.TimeGrid{Window: tempo.New(0, 299), NT: 3},
+	}
+}
+
+func TestRasterTensorLayout(t *testing.T) {
+	grid := testGrid()
+	cells, slots := grid.Build()
+	values := make([]float64, len(cells))
+	for i := range values {
+		values[i] = float64(i)
+	}
+	ra := instance.NewRaster(cells, slots, values, instance.Unit{})
+	tensor, err := RasterTensor(ra, grid, func(v float64) float64 { return v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, ny, nx := tensor.Shape()
+	if nt != 3 || ny != 2 || nx != 4 {
+		t.Fatalf("Shape = %d %d %d", nt, ny, nx)
+	}
+	// Cell value i lives at grid.Index(x, y, t).
+	for ti := 0; ti < 3; ti++ {
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 4; x++ {
+				want := float64(grid.Index(x, y, ti))
+				if got := tensor.Data[ti][y][x]; got != want {
+					t.Fatalf("Data[%d][%d][%d] = %g, want %g", ti, y, x, got, want)
+				}
+			}
+		}
+	}
+	if tensor.TStart[1] != 100 {
+		t.Errorf("TStart = %v", tensor.TStart)
+	}
+	if tensor.Extent != [4]float64{0, 0, 4, 2} {
+		t.Errorf("Extent = %v", tensor.Extent)
+	}
+}
+
+func TestRasterTensorSizeMismatch(t *testing.T) {
+	grid := testGrid()
+	ra := instance.NewRaster(
+		[]geom.MBR{geom.Box(0, 0, 1, 1)},
+		[]tempo.Duration{tempo.New(0, 9)},
+		[]float64{1}, instance.Unit{})
+	if _, err := RasterTensor(ra, grid, func(v float64) float64 { return v }); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestSpatialMapMatrixAndTimeSeriesVector(t *testing.T) {
+	grid := instance.SpatialGrid{Extent: geom.Box(0, 0, 2, 2), NX: 2, NY: 2}
+	sm := instance.NewSpatialMap(grid.Cells(), []int64{1, 2, 3, 4}, instance.Unit{})
+	m, err := SpatialMapMatrix(sm, grid, func(v int64) float64 { return float64(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][1] != 2 || m[1][0] != 3 {
+		t.Errorf("matrix = %v", m)
+	}
+
+	ts := instance.NewTimeSeries(tempo.New(0, 99).Split(2), []int64{7, 9},
+		geom.EmptyMBR(), instance.Unit{})
+	vs, starts := TimeSeriesVector(ts, func(v int64) float64 { return float64(v) })
+	if vs[0] != 7 || vs[1] != 9 || starts[1] != 50 {
+		t.Errorf("vector = %v starts = %v", vs, starts)
+	}
+}
+
+func TestWriteJSONHandlesNaN(t *testing.T) {
+	tensor := &Tensor{
+		Data:   [][][]float64{{{1, math.NaN()}, {math.Inf(1), 4}}},
+		TStart: []int64{0},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, tensor); err != nil {
+		t.Fatal(err)
+	}
+	var decoded jsonTensor
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Data[0][0][1] != nil || decoded.Data[0][1][0] != nil {
+		t.Error("NaN/Inf should encode as null")
+	}
+	if decoded.Data[0][0][0] == nil || *decoded.Data[0][0][0] != 1 {
+		t.Error("finite values should survive")
+	}
+}
+
+func TestWriteTensorCSV(t *testing.T) {
+	tensor := &Tensor{
+		Data:   [][][]float64{{{1.5, math.NaN()}}, {{0, 3}}},
+		TStart: []int64{0, 100},
+	}
+	var sb strings.Builder
+	if err := WriteTensorCSV(&sb, tensor); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Header + 3 non-NaN cells.
+	if len(lines) != 4 {
+		t.Fatalf("csv = %q", sb.String())
+	}
+	if lines[1] != "0,0,0,1.5" {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+// TestEndToEndTensorExport runs the §2.1 motivating pipeline: trajectories
+// → raster speeds → the [A^t0, A^t1, ...] matrix sequence a traffic
+// forecaster trains on.
+func TestEndToEndTensorExport(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	rng := rand.New(rand.NewSource(1))
+	type traj = instance.Trajectory[instance.Unit, int64]
+	var trajs []traj
+	for i := 0; i < 50; i++ {
+		x, y := rng.Float64()*4, rng.Float64()*2
+		t0 := rng.Int63n(250)
+		entries := []instance.Entry[geom.Point, instance.Unit]{
+			{Spatial: geom.Pt(x, y), Temporal: tempo.Instant(t0)},
+			{Spatial: geom.Pt(x+0.01, y), Temporal: tempo.Instant(t0 + 30)},
+		}
+		trajs = append(trajs, instance.NewTrajectory(entries, int64(i)))
+	}
+	grid := testGrid()
+	r := engine.Parallelize(ctx, trajs, 2)
+	cells := convert.TrajToRaster(r, convert.RasterGridTarget(grid), convert.Auto,
+		func(in []traj) []traj { return in })
+	speeds, ok := extract.RasterSpeed(cells, extract.KMH)
+	if !ok {
+		t.Fatal("no speeds")
+	}
+	tensor, err := RasterTensor(speeds, grid, func(v extract.CellSpeed) float64 {
+		if v.Count == 0 {
+			return math.NaN()
+		}
+		return v.Mean
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, ny, nx := tensor.Shape()
+	if nt != 3 || ny != 2 || nx != 4 {
+		t.Fatalf("Shape = %d %d %d", nt, ny, nx)
+	}
+	// At least one observed cell.
+	seen := false
+	for _, plane := range tensor.Data {
+		for _, row := range plane {
+			for _, v := range row {
+				if !math.IsNaN(v) {
+					seen = true
+				}
+			}
+		}
+	}
+	if !seen {
+		t.Error("tensor entirely empty")
+	}
+}

@@ -1,0 +1,202 @@
+// Package partition implements ST4ML's ST-aware data partitioners (§3.1,
+// §4.1): the novel T-STR partitioner (Algorithm 1), the classic 2-d STR and
+// quadtree partitioners, the temporal T-balance partitioner, and the
+// baseline partitioners used by the comparison systems (KD-tree for the
+// GeoSpark-like baseline, uniform grid for the GeoMesa-like baseline).
+//
+// A Planner computes partition extents from a data sample; an Assigner maps
+// record boxes to partition ids (optionally duplicating records into every
+// overlapped partition, the paper's flatMap duplication mode); CV and OV
+// compute the load-balance and ST-locality metrics of Table 5.
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"st4ml/internal/index"
+)
+
+// Planner computes partition extents from a sample of record ST boxes. The
+// number of partitions produced is planner-specific (configured at
+// construction) and may deviate slightly from the requested count.
+type Planner interface {
+	// Name identifies the planner in reports.
+	Name() string
+	// Plan returns the partition extents for the sampled boxes. It must
+	// return at least one partition for a non-empty sample.
+	Plan(sample []index.Box) []index.Box
+}
+
+// Assigner routes record boxes to planned partitions. Assignment indexes
+// the partition extents with an R-tree, so per-record routing is
+// logarithmic in the partition count.
+type Assigner struct {
+	bounds []index.Box
+	tree   *index.RTree[int]
+}
+
+// NewAssigner builds an assigner over partition extents.
+func NewAssigner(bounds []index.Box) *Assigner {
+	items := make([]index.Item[int], len(bounds))
+	for i, b := range bounds {
+		items[i] = index.Item[int]{Box: b, Data: i}
+	}
+	return &Assigner{bounds: bounds, tree: index.BulkLoadSTR(items, 16)}
+}
+
+// NumPartitions returns the partition count.
+func (a *Assigner) NumPartitions() int { return len(a.bounds) }
+
+// Bounds returns the partition extents (not to be mutated).
+func (a *Assigner) Bounds() []index.Box { return a.bounds }
+
+// Assign returns the single partition for box b: the first partition
+// containing b's center, else the nearest partition — so records outside
+// every planned extent (possible, since plans come from samples) still land
+// somewhere reasonable.
+func (a *Assigner) Assign(b index.Box) int {
+	c := b.Center()
+	best, bestDist := -1, math.Inf(1)
+	a.tree.SearchFunc(pointBox(c), func(p int, _ index.Box) bool {
+		best = p
+		return false // any containing partition is fine
+	})
+	if best >= 0 {
+		return best
+	}
+	for i, pb := range a.bounds {
+		if d := pb.DistanceSq(c); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// AssignAll returns every partition whose extent intersects b, or the
+// single Assign result when none do — guaranteeing at least one target.
+// This is the duplication mode used when overlap correctness requires a
+// record in every partition it touches (e.g. companion extraction).
+func (a *Assigner) AssignAll(b index.Box) []int {
+	out := a.tree.Search(b)
+	if len(out) == 0 {
+		return []int{a.Assign(b)}
+	}
+	return out
+}
+
+// AssignAllBuffered is AssignAll over the record box grown by spaceBuf on
+// the spatial axes and timeBuf on the temporal axis. A join with thresholds
+// (d, t) over tiling partitions is complete when records are duplicated
+// with buffers ≥ (d, t): every qualifying pair co-locates in at least the
+// partition holding either member's center.
+func (a *Assigner) AssignAllBuffered(b index.Box, spaceBuf float64, timeBuf int64) []int {
+	b.Min[0] -= spaceBuf
+	b.Min[1] -= spaceBuf
+	b.Max[0] += spaceBuf
+	b.Max[1] += spaceBuf
+	b.Min[2] -= float64(timeBuf)
+	b.Max[2] += float64(timeBuf)
+	return a.AssignAll(b)
+}
+
+func pointBox(c [index.Dims]float64) index.Box {
+	return index.Box{Min: c, Max: c}
+}
+
+// CV returns the coefficient of variation σ/μ of partition sizes — the load
+// balance metric of Table 5 (smaller is more balanced). It returns 0 for
+// fewer than one partition or zero mean.
+func CV(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += float64(c)
+	}
+	mean := sum / float64(len(counts))
+	if mean == 0 {
+		return 0
+	}
+	var varsum float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(counts))) / mean
+}
+
+// OV returns the overlap metric of Table 5: the sum of partition ST volumes
+// over the global ST volume, with every dimension normalized to [0, 1] over
+// the global extent so that space and time contribute comparably. An
+// ST-aware partitioning of k disjoint tight partitions gives OV ≈ 1;
+// spatial-only partitionings that span all time score much worse than
+// time-aware ones only when their spatial extents overlap, and random
+// partitionings approach k.
+func OV(bounds []index.Box, all index.Box) float64 {
+	if all.IsEmpty() {
+		return 0
+	}
+	var sum float64
+	for _, b := range bounds {
+		v := 1.0
+		for d := 0; d < index.Dims; d++ {
+			span := all.Max[d] - all.Min[d]
+			if span <= 0 {
+				continue // degenerate global dimension: contributes factor 1
+			}
+			ext := b.Max[d] - b.Min[d]
+			if ext < 0 {
+				v = 0
+				break
+			}
+			f := ext / span
+			if f > 1 {
+				f = 1
+			}
+			v *= f
+		}
+		sum += v
+	}
+	return sum
+}
+
+// sortByCenter sorts boxes in place by their center on axis d.
+func sortByCenter(boxes []index.Box, d int) {
+	sort.Slice(boxes, func(i, j int) bool {
+		return boxes[i].Center()[d] < boxes[j].Center()[d]
+	})
+}
+
+// chunksOfEqualCount splits a sorted slice into n contiguous groups whose
+// sizes differ by at most one.
+func chunksOfEqualCount(boxes []index.Box, n int) [][]index.Box {
+	if n < 1 {
+		n = 1
+	}
+	total := len(boxes)
+	out := make([][]index.Box, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		size := total / n
+		if i < total%n {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, boxes[start:start+size])
+		start += size
+	}
+	return out
+}
+
+// coverBox returns the MBR of a group of boxes.
+func coverBox(boxes []index.Box) index.Box {
+	b := index.EmptyBox()
+	for _, x := range boxes {
+		b = b.Union(x)
+	}
+	return b
+}

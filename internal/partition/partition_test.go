@@ -1,0 +1,351 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/tempo"
+)
+
+// skewedSample generates ST boxes whose spatial distribution shifts with
+// time of day, mimicking urban data: morning activity near one hub, evening
+// near another. This time-space correlation is what T-STR exploits.
+func skewedSample(rng *rand.Rand, n int) []index.Box {
+	out := make([]index.Box, n)
+	for i := range out {
+		var h geom.Point
+		var t int64
+		if rng.Float64() < 0.5 {
+			// Morning rush near the business district.
+			h = geom.Pt(10, 10)
+			t = int64(8*3600 + rng.NormFloat64()*3600)
+		} else {
+			// Evening rush near the residential area.
+			h = geom.Pt(80, 70)
+			t = int64(18*3600 + rng.NormFloat64()*3600)
+		}
+		if t < 0 {
+			t = 0
+		}
+		p := geom.Pt(h.X+rng.NormFloat64()*5, h.Y+rng.NormFloat64()*5)
+		out[i] = index.BoxOfPoint(p, t)
+	}
+	return out
+}
+
+func planAndCount(t *testing.T, p Planner, sample []index.Box) ([]index.Box, []int64) {
+	t.Helper()
+	bounds := p.Plan(sample)
+	if len(bounds) == 0 {
+		t.Fatalf("%s produced no partitions", p.Name())
+	}
+	a := NewAssigner(bounds)
+	counts := make([]int64, len(bounds))
+	for _, b := range sample {
+		counts[a.Assign(b)]++
+	}
+	return bounds, counts
+}
+
+func totalCount(counts []int64) int64 {
+	var s int64
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}
+
+func TestPlannersAssignEveryRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := skewedSample(rng, 5000)
+	planners := []Planner{
+		STR2D{N: 16}, TSTR{GT: 4, GS: 4}, TBalance{N: 16},
+		QuadTree{N: 16}, KDTree{N: 16}, Grid{N: 16},
+	}
+	for _, p := range planners {
+		_, counts := planAndCount(t, p, sample)
+		if got := totalCount(counts); got != 5000 {
+			t.Errorf("%s lost records: %d", p.Name(), got)
+		}
+	}
+}
+
+func TestTSTRPartitionCountAndBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := skewedSample(rng, 20000)
+	bounds, counts := planAndCount(t, TSTR{GT: 8, GS: 8}, sample)
+	if len(bounds) != 64 {
+		t.Fatalf("partitions = %d, want 64", len(bounds))
+	}
+	if cv := CV(counts); cv > 0.35 {
+		t.Errorf("T-STR CV = %g, want < 0.35 (plan on full data)", cv)
+	}
+}
+
+func TestTSTRTemporalSlicesAligned(t *testing.T) {
+	// All partitions within one temporal bucket share the same time bounds.
+	rng := rand.New(rand.NewSource(3))
+	sample := skewedSample(rng, 10000)
+	bounds := TSTR{GT: 4, GS: 4}.Plan(sample)
+	timeBounds := map[[2]float64]int{}
+	for _, b := range bounds {
+		timeBounds[[2]float64{b.Min[2], b.Max[2]}]++
+	}
+	if len(timeBounds) != 4 {
+		t.Errorf("distinct time slices = %d, want 4", len(timeBounds))
+	}
+	for k, n := range timeBounds {
+		if n != 4 {
+			t.Errorf("time slice %v has %d partitions, want 4", k, n)
+		}
+	}
+}
+
+func TestOVRankingMatchesTable5(t *testing.T) {
+	// The paper's Table 5 shape: T-STR has (near-)lowest OV; spatial-only
+	// partitioners (KD/Grid/STR2D) have higher OV in ST space because each
+	// partition spans all time; T-balance spans all space.
+	rng := rand.New(rand.NewSource(4))
+	sample := skewedSample(rng, 20000)
+	all := coverBox(sample)
+	// OV is measured over the tight cover boxes of the records each
+	// partition actually receives (planned bounds may tile unboundedly).
+	ovOf := func(p Planner) float64 {
+		bounds := p.Plan(sample)
+		a := NewAssigner(bounds)
+		covers := make([]index.Box, len(bounds))
+		for i := range covers {
+			covers[i] = index.EmptyBox()
+		}
+		for _, b := range sample {
+			id := a.Assign(b)
+			covers[id] = covers[id].Union(b)
+		}
+		tight := covers[:0]
+		for _, c := range covers {
+			if !c.IsEmpty() {
+				tight = append(tight, c)
+			}
+		}
+		return OV(tight, all)
+	}
+
+	tstr := ovOf(TSTR{GT: 6, GS: 6})
+	str2d := ovOf(STR2D{N: 36})
+	kd := ovOf(KDTree{N: 36})
+
+	// Spatial-only partitionings (2-d STR, KD) leave every partition
+	// covering the full time range; T-STR's explicit temporal slicing
+	// yields tighter ST covers. (The GeoMesa-style Z-chunk layout is
+	// measured on the real store in internal/bench's Table 5.)
+	if tstr >= str2d {
+		t.Errorf("OV: T-STR (%g) should beat 2-d STR (%g)", tstr, str2d)
+	}
+	if tstr >= kd {
+		t.Errorf("OV: T-STR (%g) should beat KD (%g)", tstr, kd)
+	}
+}
+
+func TestCVMetric(t *testing.T) {
+	if cv := CV([]int64{10, 10, 10}); cv != 0 {
+		t.Errorf("uniform CV = %g", cv)
+	}
+	if cv := CV([]int64{0, 0, 30}); math.Abs(cv-math.Sqrt2) > 1e-9 {
+		t.Errorf("skewed CV = %g, want sqrt(2)", cv)
+	}
+	if cv := CV(nil); cv != 0 {
+		t.Errorf("empty CV = %g", cv)
+	}
+	if cv := CV([]int64{0, 0}); cv != 0 {
+		t.Errorf("zero-mean CV = %g", cv)
+	}
+}
+
+func TestOVMetric(t *testing.T) {
+	all := index.Box3(geom.Box(0, 0, 10, 10), tempo.New(0, 100))
+	// Two disjoint halves along time: OV = 1.
+	h1 := index.Box3(geom.Box(0, 0, 10, 10), tempo.New(0, 50))
+	h2 := index.Box3(geom.Box(0, 0, 10, 10), tempo.New(50, 100))
+	if ov := OV([]index.Box{h1, h2}, all); math.Abs(ov-1) > 1e-9 {
+		t.Errorf("disjoint halves OV = %g, want 1", ov)
+	}
+	// Two copies of everything: OV = 2.
+	if ov := OV([]index.Box{all, all}, all); math.Abs(ov-2) > 1e-9 {
+		t.Errorf("full overlap OV = %g, want 2", ov)
+	}
+}
+
+func TestAssignerNearestFallback(t *testing.T) {
+	bounds := []index.Box{
+		index.Box3(geom.Box(0, 0, 10, 10), tempo.New(0, 100)),
+		index.Box3(geom.Box(20, 0, 30, 10), tempo.New(0, 100)),
+	}
+	a := NewAssigner(bounds)
+	// A record far outside both partitions goes to the nearest.
+	outside := index.BoxOfPoint(geom.Pt(32, 5), 50)
+	if got := a.Assign(outside); got != 1 {
+		t.Errorf("nearest fallback = %d, want 1", got)
+	}
+	inside := index.BoxOfPoint(geom.Pt(5, 5), 50)
+	if got := a.Assign(inside); got != 0 {
+		t.Errorf("containment assign = %d, want 0", got)
+	}
+}
+
+func TestAssignAllDuplication(t *testing.T) {
+	bounds := []index.Box{
+		index.Box3(geom.Box(0, 0, 10, 10), tempo.New(0, 100)),
+		index.Box3(geom.Box(10, 0, 20, 10), tempo.New(0, 100)),
+	}
+	a := NewAssigner(bounds)
+	// A box straddling the border overlaps both.
+	straddle := index.Box3(geom.Box(8, 2, 12, 4), tempo.New(10, 20))
+	got := a.AssignAll(straddle)
+	if len(got) != 2 {
+		t.Errorf("straddling box assigned to %v, want both", got)
+	}
+	// A far-away box still gets one target.
+	far := index.BoxOfPoint(geom.Pt(100, 100), 50)
+	if got := a.AssignAll(far); len(got) != 1 {
+		t.Errorf("far box assigned to %v, want one", got)
+	}
+}
+
+func TestQuadTreeAdaptsToSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sample := skewedSample(rng, 10000)
+	bounds := QuadTree{N: 32}.Plan(sample)
+	if len(bounds) < 16 || len(bounds) > 128 {
+		t.Errorf("quadtree leaves = %d, expected near 32", len(bounds))
+	}
+	// Quadtree on skewed data should beat a uniform grid's CV.
+	aq := NewAssigner(bounds)
+	qCounts := make([]int64, len(bounds))
+	for _, b := range sample {
+		qCounts[aq.Assign(b)]++
+	}
+	gBounds := Grid{N: len(bounds)}.Plan(sample)
+	ag := NewAssigner(gBounds)
+	gCounts := make([]int64, len(gBounds))
+	for _, b := range sample {
+		gCounts[ag.Assign(b)]++
+	}
+	if CV(qCounts) >= CV(gCounts) {
+		t.Errorf("quadtree CV %g should beat grid CV %g on skewed data",
+			CV(qCounts), CV(gCounts))
+	}
+}
+
+func TestKDTreeLeafCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sample := skewedSample(rng, 4096)
+	bounds := KDTree{N: 32}.Plan(sample)
+	if len(bounds) != 32 {
+		t.Errorf("KD leaves = %d, want 32", len(bounds))
+	}
+}
+
+func TestPlannersHandleTinySamples(t *testing.T) {
+	one := []index.Box{index.BoxOfPoint(geom.Pt(1, 1), 10)}
+	for _, p := range []Planner{
+		STR2D{N: 8}, TSTR{GT: 4, GS: 4}, TBalance{N: 8},
+		QuadTree{N: 8}, KDTree{N: 8}, Grid{N: 8},
+	} {
+		bounds := p.Plan(one)
+		if len(bounds) == 0 {
+			t.Errorf("%s: no partitions for single sample", p.Name())
+		}
+		if p.Plan(nil) != nil {
+			t.Errorf("%s: empty sample should plan nil", p.Name())
+		}
+	}
+}
+
+func TestByPlannerRDDIntegration(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	rng := rand.New(rand.NewSource(7))
+	type rec struct {
+		P geom.Point
+		T int64
+	}
+	data := make([]rec, 3000)
+	for i := range data {
+		data[i] = rec{P: geom.Pt(rng.Float64()*100, rng.Float64()*100), T: rng.Int63n(86400)}
+	}
+	c := codec.Codec[rec]{
+		Enc: func(w *codec.Writer, v rec) {
+			codec.PointC.Enc(w, v.P)
+			w.PutVarint(v.T)
+		},
+		Dec: func(r *codec.Reader) rec {
+			return rec{P: codec.PointC.Dec(r), T: r.Varint()}
+		},
+	}
+	boxOf := func(v rec) index.Box { return index.BoxOfPoint(v.P, v.T) }
+	r := engine.Parallelize(ctx, data, 8)
+	out, a := ByPlanner(r, c, boxOf, TSTR{GT: 4, GS: 4}, Options{SampleFrac: 0.2, Seed: 1})
+	if out.NumPartitions() != a.NumPartitions() {
+		t.Fatalf("partition count mismatch: %d vs %d", out.NumPartitions(), a.NumPartitions())
+	}
+	if got := out.Count(); got != 3000 {
+		t.Fatalf("records after partitioning = %d", got)
+	}
+	// Every record is inside (or at least near) its partition's extent:
+	// verify the partition a record landed in is the one Assign picks.
+	parts := out.CollectPartitions()
+	for p, part := range parts {
+		for _, v := range part {
+			if got := a.Assign(boxOf(v)); got != p {
+				t.Fatalf("record in partition %d but Assign says %d", p, got)
+			}
+		}
+	}
+	// Balance should be reasonable when planning from a 20% sample.
+	if cv := CV(out.CountByPartition()); cv > 0.6 {
+		t.Errorf("CV = %g too high", cv)
+	}
+}
+
+func TestByPlannerDuplicateMode(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	// Boxes that straddle partition borders must appear in every partition
+	// they overlap when Duplicate is on.
+	type rec struct{ B index.Box }
+	c := codec.Codec[rec]{
+		Enc: func(w *codec.Writer, v rec) {
+			for i := 0; i < 3; i++ {
+				w.PutFloat64(v.B.Min[i])
+				w.PutFloat64(v.B.Max[i])
+			}
+		},
+		Dec: func(r *codec.Reader) rec {
+			var b index.Box
+			for i := 0; i < 3; i++ {
+				b.Min[i] = r.Float64()
+				b.Max[i] = r.Float64()
+			}
+			return rec{B: b}
+		},
+	}
+	rng := rand.New(rand.NewSource(8))
+	data := make([]rec, 1000)
+	for i := range data {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		tt := float64(rng.Int63n(1000))
+		data[i] = rec{B: index.Box{
+			Min: [3]float64{x, y, tt},
+			Max: [3]float64{x + 10, y + 10, tt + 100},
+		}}
+	}
+	r := engine.Parallelize(ctx, data, 4)
+	boxOf := func(v rec) index.Box { return v.B }
+	out, _ := ByPlanner(r, c, boxOf, STR2D{N: 9}, Options{SampleFrac: 0.5, Seed: 2, Duplicate: true})
+	if got := out.Count(); got < 1000 {
+		t.Errorf("duplicate mode should not lose records: %d", got)
+	}
+}

@@ -1,0 +1,331 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"st4ml/internal/index"
+)
+
+// unbounded is the extent used for the open edges of tiling partitions.
+const unbounded = 1e18
+
+// STR2D is the classic sort-tile-recursive spatial partitioner: tiles the
+// sample into ~n groups by x then y, ignoring time. Each partition spans
+// all time (which is what makes it ST-unaware — the baseline T-STR
+// improves on, Table 6).
+//
+// Partitions *tile* the plane — boundaries fall midway between adjacent
+// groups and the edge tiles are unbounded — so every future record's
+// center lies in exactly one partition and buffered duplication finds
+// every partition within a join threshold (no sample-gap misses).
+type STR2D struct {
+	N int // requested partition count
+}
+
+// Name implements Planner.
+func (p STR2D) Name() string { return fmt.Sprintf("STR2D(%d)", p.N) }
+
+// Plan implements Planner.
+func (p STR2D) Plan(sample []index.Box) []index.Box {
+	if len(sample) == 0 {
+		return nil
+	}
+	n := p.N
+	if n < 1 {
+		n = 1
+	}
+	bounds := strTile(append([]index.Box(nil), sample...), n)
+	for i := range bounds {
+		bounds[i].Min[2], bounds[i].Max[2] = -unbounded, unbounded
+	}
+	return bounds
+}
+
+// strTile runs 2-d STR over boxes: √n vertical slabs by x-center, each
+// split into groups by y-center, returning *tiling* spatial bounds (time
+// axis left zeroed for the caller to fill). Exactly n tiles come out
+// (fewer only when len(boxes) < n): slab i takes its proportional share.
+func strTile(boxes []index.Box, n int) []index.Box {
+	sx := int(math.Ceil(math.Sqrt(float64(n))))
+	sortByCenter(boxes, 0)
+	slabs := chunksOfEqualCount(boxes, sx)
+	xBounds := tileBoundaries(slabs, 0)
+	out := make([]index.Box, 0, n)
+	remaining := n
+	for i, slab := range slabs {
+		slabsLeft := len(slabs) - i
+		sy := remaining / slabsLeft
+		if remaining%slabsLeft != 0 {
+			sy++
+		}
+		sortByCenter(slab, 1)
+		groups := chunksOfEqualCount(slab, sy)
+		yBounds := tileBoundaries(groups, 1)
+		for j := range groups {
+			var b index.Box
+			b.Min[0], b.Max[0] = xBounds[i], xBounds[i+1]
+			b.Min[1], b.Max[1] = yBounds[j], yBounds[j+1]
+			out = append(out, b)
+		}
+		remaining -= sy
+	}
+	return out
+}
+
+// tileBoundaries derives contiguous tile edges for sorted groups on axis d:
+// interior edges fall midway between the adjacent groups' extreme centers,
+// and the two outer edges are unbounded. len(result) == len(groups)+1.
+func tileBoundaries(groups [][]index.Box, d int) []float64 {
+	edges := make([]float64, len(groups)+1)
+	edges[0] = -unbounded
+	edges[len(groups)] = unbounded
+	for i := 1; i < len(groups); i++ {
+		prev := groups[i-1]
+		next := groups[i]
+		hi := prev[len(prev)-1].Center()[d]
+		lo := next[0].Center()[d]
+		edges[i] = (hi + lo) / 2
+	}
+	return edges
+}
+
+// TSTR is the paper's T-STR partitioner (Algorithm 1): first segment the
+// sample along time into GT equal-count buckets, then split each bucket
+// spatially with 2-d STR into GS groups, yielding GT×GS ST partitions.
+// Like STR2D, the partitions tile ST space (midpoint boundaries, unbounded
+// edges) so assignment is total and buffered duplication is complete.
+type TSTR struct {
+	GT int // temporal granularity
+	GS int // spatial granularity
+}
+
+// Name implements Planner.
+func (p TSTR) Name() string { return fmt.Sprintf("TSTR(%d,%d)", p.GT, p.GS) }
+
+// Plan implements Planner.
+func (p TSTR) Plan(sample []index.Box) []index.Box {
+	if len(sample) == 0 {
+		return nil
+	}
+	gt, gs := p.GT, p.GS
+	if gt < 1 {
+		gt = 1
+	}
+	if gs < 1 {
+		gs = 1
+	}
+	own := append([]index.Box(nil), sample...)
+	sortByCenter(own, 2)
+	tBuckets := chunksOfEqualCount(own, gt)
+	tEdges := tileBoundaries(tBuckets, 2)
+	var bounds []index.Box
+	for bi, bucket := range tBuckets {
+		for _, b := range strTile(bucket, gs) {
+			b.Min[2], b.Max[2] = tEdges[bi], tEdges[bi+1]
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
+}
+
+// TBalance partitions by time only, into N equal-count buckets (the
+// approx-percentile temporal partitioner of §3.1). Partitions span the full
+// sampled spatial extent.
+type TBalance struct {
+	N int
+}
+
+// Name implements Planner.
+func (p TBalance) Name() string { return fmt.Sprintf("TBalance(%d)", p.N) }
+
+// Plan implements Planner.
+func (p TBalance) Plan(sample []index.Box) []index.Box {
+	if len(sample) == 0 {
+		return nil
+	}
+	n := p.N
+	if n < 1 {
+		n = 1
+	}
+	own := append([]index.Box(nil), sample...)
+	sortByCenter(own, 2)
+	all := coverBox(own)
+	buckets := chunksOfEqualCount(own, n)
+	bounds := make([]index.Box, len(buckets))
+	for i, bucket := range buckets {
+		b := coverBox(bucket)
+		b.Min[0], b.Max[0] = all.Min[0], all.Max[0]
+		b.Min[1], b.Max[1] = all.Min[1], all.Max[1]
+		bounds[i] = b
+	}
+	return bounds
+}
+
+// QuadTree recursively splits space into four quadrants until each leaf
+// holds at most |sample|/N boxes, ignoring time (§3.1's quad-tree
+// partitioner). Leaf count approximates N but adapts to skew.
+type QuadTree struct {
+	N        int
+	MaxDepth int // 0 means a depth bound of 16
+}
+
+// Name implements Planner.
+func (p QuadTree) Name() string { return fmt.Sprintf("QuadTree(%d)", p.N) }
+
+// Plan implements Planner.
+func (p QuadTree) Plan(sample []index.Box) []index.Box {
+	if len(sample) == 0 {
+		return nil
+	}
+	n := p.N
+	if n < 1 {
+		n = 1
+	}
+	maxDepth := p.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 16
+	}
+	capacity := (len(sample) + n - 1) / n
+	if capacity < 1 {
+		capacity = 1
+	}
+	all := coverBox(sample)
+	var leaves []index.Box
+	var split func(boxes []index.Box, cell index.Box, depth int)
+	split = func(boxes []index.Box, cell index.Box, depth int) {
+		if len(boxes) <= capacity || depth >= maxDepth {
+			if len(boxes) == 0 {
+				return
+			}
+			b := coverBox(boxes)
+			b.Min[2], b.Max[2] = all.Min[2], all.Max[2]
+			leaves = append(leaves, b)
+			return
+		}
+		midX := (cell.Min[0] + cell.Max[0]) / 2
+		midY := (cell.Min[1] + cell.Max[1]) / 2
+		quads := make([][]index.Box, 4)
+		cells := [4]index.Box{}
+		for q := 0; q < 4; q++ {
+			cells[q] = cell
+		}
+		cells[0].Max[0], cells[0].Max[1] = midX, midY
+		cells[1].Min[0], cells[1].Max[1] = midX, midY
+		cells[2].Max[0], cells[2].Min[1] = midX, midY
+		cells[3].Min[0], cells[3].Min[1] = midX, midY
+		for _, b := range boxes {
+			c := b.Center()
+			q := 0
+			if c[0] >= midX {
+				q |= 1
+			}
+			if c[1] >= midY {
+				q |= 2
+			}
+			quads[q] = append(quads[q], b)
+		}
+		for q := 0; q < 4; q++ {
+			split(quads[q], cells[q], depth+1)
+		}
+	}
+	split(sample, all, 0)
+	return leaves
+}
+
+// KDTree is the spatial-only KD-tree partitioner that the GeoSpark-like
+// baseline uses: repeatedly median-split the most populated leaf on
+// alternating spatial axes until N leaves exist.
+type KDTree struct {
+	N int
+}
+
+// Name implements Planner.
+func (p KDTree) Name() string { return fmt.Sprintf("KDTree(%d)", p.N) }
+
+type kdLeaf struct {
+	boxes []index.Box
+	depth int
+}
+
+// Plan implements Planner.
+func (p KDTree) Plan(sample []index.Box) []index.Box {
+	if len(sample) == 0 {
+		return nil
+	}
+	n := p.N
+	if n < 1 {
+		n = 1
+	}
+	leaves := []kdLeaf{{boxes: append([]index.Box(nil), sample...)}}
+	for len(leaves) < n {
+		// Split the largest leaf.
+		largest, size := -1, 1 // leaves of size <= 1 cannot split
+		for i, l := range leaves {
+			if len(l.boxes) > size {
+				largest, size = i, len(l.boxes)
+			}
+		}
+		if largest < 0 {
+			break
+		}
+		l := leaves[largest]
+		axis := l.depth % 2
+		sortByCenter(l.boxes, axis)
+		mid := len(l.boxes) / 2
+		leaves[largest] = kdLeaf{boxes: l.boxes[:mid], depth: l.depth + 1}
+		leaves = append(leaves, kdLeaf{boxes: l.boxes[mid:], depth: l.depth + 1})
+	}
+	all := coverBox(sample)
+	bounds := make([]index.Box, len(leaves))
+	for i, l := range leaves {
+		b := coverBox(l.boxes)
+		b.Min[2], b.Max[2] = all.Min[2], all.Max[2]
+		bounds[i] = b
+	}
+	return bounds
+}
+
+// Grid is the data-independent uniform spatial grid partitioner the
+// GeoMesa-like baseline uses: ~√N × √N equal cells over the sampled
+// spatial extent, spanning all time.
+type Grid struct {
+	N int
+}
+
+// Name implements Planner.
+func (p Grid) Name() string { return fmt.Sprintf("Grid(%d)", p.N) }
+
+// Plan implements Planner.
+func (p Grid) Plan(sample []index.Box) []index.Box {
+	if len(sample) == 0 {
+		return nil
+	}
+	n := p.N
+	if n < 1 {
+		n = 1
+	}
+	nx := int(math.Ceil(math.Sqrt(float64(n))))
+	ny := (n + nx - 1) / nx
+	all := coverBox(sample)
+	w := (all.Max[0] - all.Min[0]) / float64(nx)
+	h := (all.Max[1] - all.Min[1]) / float64(ny)
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	var bounds []index.Box
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			b := all
+			b.Min[0] = all.Min[0] + float64(ix)*w
+			b.Max[0] = all.Min[0] + float64(ix+1)*w
+			b.Min[1] = all.Min[1] + float64(iy)*h
+			b.Max[1] = all.Min[1] + float64(iy+1)*h
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
+}

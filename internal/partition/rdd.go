@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/index"
+)
+
+// Options tunes sample-plan-shuffle partitioning.
+type Options struct {
+	// SampleFrac is the fraction of records sampled for planning (the
+	// paper's sr). 0 means 0.01.
+	SampleFrac float64
+	// Seed makes the sample deterministic.
+	Seed int64
+	// Duplicate assigns a record to every partition its box overlaps
+	// (required for correctness of cross-instance extractions like
+	// companion search); false assigns each record exactly once.
+	Duplicate bool
+	// BufferSpace and BufferTime grow each record's box before duplicate
+	// assignment — set them to the join thresholds so threshold-bounded
+	// pair extraction is complete across partition borders. Ignored
+	// without Duplicate.
+	BufferSpace float64
+	BufferTime  int64
+}
+
+// ByPlanner repartitions r ST-awareness-style: sample boxes, plan partition
+// extents, then shuffle every record to its partition(s). It returns the
+// shuffled RDD and the assigner (whose bounds callers persist as metadata
+// for on-disk indexing, §4.1).
+func ByPlanner[T any](
+	r *engine.RDD[T],
+	c codec.Codec[T],
+	boxOf func(T) index.Box,
+	planner Planner,
+	opt Options,
+) (*engine.RDD[T], *Assigner) {
+	frac := opt.SampleFrac
+	if frac <= 0 {
+		frac = 0.01
+	}
+	var sample []index.Box
+	if frac < 1 {
+		sample = engine.Map(r.Sample(frac, opt.Seed), boxOf).Collect()
+	}
+	if len(sample) == 0 {
+		// Tiny datasets: plan over everything rather than fail.
+		sample = engine.Map(r, boxOf).Collect()
+	}
+	if len(sample) == 0 {
+		return r, NewAssigner(nil)
+	}
+	bounds := planner.Plan(sample)
+	a := NewAssigner(bounds)
+	out := engine.PartitionByMulti(r, c, len(bounds), func(v T) []int {
+		if opt.Duplicate {
+			return a.AssignAllBuffered(boxOf(v), opt.BufferSpace, opt.BufferTime)
+		}
+		return []int{a.Assign(boxOf(v))}
+	})
+	return out, a
+}

@@ -1,0 +1,65 @@
+package selection
+
+import (
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/index"
+	"st4ml/internal/partition"
+	"st4ml/internal/storage"
+)
+
+// IngestOptions tunes offline dataset preparation.
+type IngestOptions struct {
+	// Name labels the dataset metadata.
+	Name string
+	// Compress gzips partition files.
+	Compress bool
+	// SampleFrac is the partition-planning sample fraction (0 = 1%).
+	SampleFrac float64
+	// Seed fixes sampling randomness.
+	Seed int64
+	// Duplicate stores records in every partition they overlap.
+	Duplicate bool
+}
+
+// Ingest performs the offline preparation of §4.1: ST-partition the records
+// with the planner, persist the partitions under dir, and write the
+// metadata index recording each partition's ST bounds. This is the Go
+// equivalent of the paper's
+//
+//	eventRDD.stPartitionWithInfo(TSTRPartitioner(gt, gs)); pInfo.toDisk(...)
+func Ingest[T any](
+	r *engine.RDD[T],
+	dir string,
+	c codec.Codec[T],
+	boxOf func(T) index.Box,
+	planner partition.Planner,
+	opts IngestOptions,
+) (*storage.Metadata, error) {
+	partitioned, _ := partition.ByPlanner(r, c, boxOf, planner, partition.Options{
+		SampleFrac: opts.SampleFrac,
+		Seed:       opts.Seed,
+		Duplicate:  opts.Duplicate,
+	})
+	parts := partitioned.CollectPartitions()
+	return storage.Write(dir, c, parts, boxOf, storage.WriteOptions{
+		Name:     opts.Name,
+		Compress: opts.Compress,
+	})
+}
+
+// IngestUnpartitioned persists the RDD's current partition layout without
+// ST-aware reshuffling — how a plain pipeline (or the GeoSpark-like
+// baseline) would land data on disk.
+func IngestUnpartitioned[T any](
+	r *engine.RDD[T],
+	dir string,
+	c codec.Codec[T],
+	boxOf func(T) index.Box,
+	opts IngestOptions,
+) (*storage.Metadata, error) {
+	return storage.Write(dir, c, r.CollectPartitions(), boxOf, storage.WriteOptions{
+		Name:     opts.Name,
+		Compress: opts.Compress,
+	})
+}

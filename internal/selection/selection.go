@@ -1,0 +1,228 @@
+// Package selection implements ST4ML's Selection stage (§3.1): loading ST
+// data from persistent storage into memory, filtering it against ST query
+// windows (optionally through per-partition R-trees built on the fly), and
+// ST-repartitioning the survivors for balanced downstream stages.
+//
+// Two paths exist, matching the paper:
+//
+//   - Select: the native-Spark path — every partition is loaded and
+//     filtered in parallel (Fig. 2).
+//   - SelectPruned: the metadata path (§4.1, Fig. 4) — partition extents
+//     from metadata.json are compared against the query first, and only
+//     overlapping partitions are ever read from disk.
+package selection
+
+import (
+	"fmt"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/partition"
+	"st4ml/internal/storage"
+	"st4ml/internal/tempo"
+)
+
+// Window is one ST query range.
+type Window struct {
+	Space geom.MBR
+	Time  tempo.Duration
+}
+
+// Box returns the window as a 3-d query box.
+func (w Window) Box() index.Box { return index.Box3(w.Space, w.Time) }
+
+// Config tunes a Selector.
+type Config struct {
+	// Index builds a 3-d R-tree per loaded partition and answers each
+	// window from it; false scans records linearly. Indexing pays off when
+	// several windows are selected per load.
+	Index bool
+	// Planner, when set, ST-repartitions the selected records (stage 2 of
+	// Fig. 2). Nil keeps the storage partitioning.
+	Planner partition.Planner
+	// Duplicate routes a record into every overlapped partition during
+	// repartitioning (needed by cross-instance extractors).
+	Duplicate bool
+	// SampleFrac is the planning sample fraction (0 = 1%).
+	SampleFrac float64
+	// Seed fixes sampling randomness.
+	Seed int64
+}
+
+// Stats reports what a selection did — the measurements behind Fig. 5.
+type Stats struct {
+	TotalPartitions  int
+	LoadedPartitions int
+	LoadedRecords    int64
+	LoadedBytes      int64
+	SelectedRecords  int64
+}
+
+// Selector selects records of type T from an on-disk dataset.
+type Selector[T any] struct {
+	ctx   *engine.Context
+	c     codec.Codec[T]
+	boxOf func(T) index.Box
+	// exact, when non-nil, refines the box-level test with exact geometry.
+	exact func(T, geom.MBR, tempo.Duration) bool
+	cfg   Config
+}
+
+// New builds a selector. boxOf extracts a record's ST box; exact (optional,
+// may be nil) refines candidate records with exact geometry, e.g. a
+// trajectory's per-segment test.
+func New[T any](
+	ctx *engine.Context,
+	c codec.Codec[T],
+	boxOf func(T) index.Box,
+	exact func(T, geom.MBR, tempo.Duration) bool,
+	cfg Config,
+) *Selector[T] {
+	return &Selector[T]{ctx: ctx, c: c, boxOf: boxOf, exact: exact, cfg: cfg}
+}
+
+// Select loads every partition of the dataset and filters in parallel (the
+// native path of Fig. 2): stage 1 load+filter, stage 2 ST partitioning.
+func (s *Selector[T]) Select(dir string, windows ...Window) (*engine.RDD[T], Stats, error) {
+	meta, err := storage.ReadMetadata(dir)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	all := make([]int, meta.NumPartitions())
+	for i := range all {
+		all[i] = i
+	}
+	return s.selectPartitions(dir, meta, all, windows)
+}
+
+// SelectPruned consults the metadata index first and reads only partitions
+// whose ST bounds overlap at least one window (§4.1, Fig. 4).
+func (s *Selector[T]) SelectPruned(dir string, windows ...Window) (*engine.RDD[T], Stats, error) {
+	meta, err := storage.ReadMetadata(dir)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	keepSet := map[int]bool{}
+	for _, w := range windows {
+		for _, id := range meta.Prune(w.Space, w.Time) {
+			keepSet[id] = true
+		}
+	}
+	keep := make([]int, 0, len(keepSet))
+	for i := 0; i < meta.NumPartitions(); i++ {
+		if keepSet[i] {
+			keep = append(keep, i)
+		}
+	}
+	return s.selectPartitions(dir, meta, keep, windows)
+}
+
+// selectPartitions runs the two selection stages over the given on-disk
+// partition ids.
+func (s *Selector[T]) selectPartitions(
+	dir string, meta *storage.Metadata, ids []int, windows []Window,
+) (*engine.RDD[T], Stats, error) {
+	stats := Stats{
+		TotalPartitions:  meta.NumPartitions(),
+		LoadedPartitions: len(ids),
+	}
+	for _, id := range ids {
+		stats.LoadedRecords += meta.Partitions[id].Count
+		stats.LoadedBytes += meta.Partitions[id].Bytes
+	}
+	if len(ids) == 0 {
+		return engine.FromPartitions(s.ctx, "selected:empty", [][]T{}), stats, nil
+	}
+
+	// Stage 1: parallel load + parse + filter. Decoding errors surface as
+	// task panics; convert to an error at the driver.
+	loaded := engine.Generate(s.ctx, "load:"+meta.Name, len(ids), func(p int) []T {
+		recs, err := storage.ReadPartition(dir, meta, ids[p], s.c)
+		if err != nil {
+			panic(err)
+		}
+		return s.filterPartition(recs, windows)
+	})
+	selected, err := materialize(loaded)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SelectedRecords = selected.Count()
+
+	// Stage 2: ST partitioning for load balance (skipped without planner).
+	if s.cfg.Planner != nil {
+		repartitioned, _ := partition.ByPlanner(selected, s.c, s.boxOf, s.cfg.Planner,
+			partition.Options{
+				SampleFrac: s.cfg.SampleFrac,
+				Seed:       s.cfg.Seed,
+				Duplicate:  s.cfg.Duplicate,
+			})
+		selected = repartitioned
+	}
+	return selected, stats, nil
+}
+
+// filterPartition applies the window predicate to one decoded partition,
+// through an on-the-fly R-tree when configured.
+func (s *Selector[T]) filterPartition(recs []T, windows []Window) []T {
+	if len(windows) == 0 {
+		return recs
+	}
+	if !s.cfg.Index {
+		out := make([]T, 0, len(recs)/2)
+		for _, rec := range recs {
+			if s.matches(rec, windows) {
+				out = append(out, rec)
+			}
+		}
+		return out
+	}
+	items := make([]index.Item[int], len(recs))
+	for i, rec := range recs {
+		items[i] = index.Item[int]{Box: s.boxOf(rec), Data: i}
+	}
+	tree := index.BulkLoadSTR(items, 16)
+	hit := make([]bool, len(recs))
+	for _, w := range windows {
+		tree.SearchFunc(w.Box(), func(i int, _ index.Box) bool {
+			if !hit[i] && (s.exact == nil || s.exact(recs[i], w.Space, w.Time)) {
+				hit[i] = true
+			}
+			return true
+		})
+	}
+	out := make([]T, 0, len(recs)/2)
+	for i, h := range hit {
+		if h {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}
+
+func (s *Selector[T]) matches(rec T, windows []Window) bool {
+	b := s.boxOf(rec)
+	for _, w := range windows {
+		if b.Intersects(w.Box()) {
+			if s.exact == nil || s.exact(rec, w.Space, w.Time) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// materialize caches the RDD and converts a load-task panic (bad file,
+// corrupt partition) into an error.
+func materialize[T any](r *engine.RDD[T]) (rdd *engine.RDD[T], err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("selection: load failed: %v", rec)
+		}
+	}()
+	cached := r.Cache()
+	cached.Count() // force
+	return cached, nil
+}

@@ -1,0 +1,260 @@
+package selection
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/partition"
+	"st4ml/internal/tempo"
+)
+
+type ev struct {
+	P geom.Point
+	T int64
+	N int64 // id for set comparisons
+}
+
+var evC = codec.Codec[ev]{
+	Enc: func(w *codec.Writer, v ev) {
+		codec.PointC.Enc(w, v.P)
+		w.PutVarint(v.T)
+		w.PutVarint(v.N)
+	},
+	Dec: func(r *codec.Reader) ev {
+		return ev{P: codec.PointC.Dec(r), T: r.Varint(), N: r.Varint()}
+	},
+}
+
+func evBox(v ev) index.Box { return index.BoxOfPoint(v.P, v.T) }
+
+// corpus generates n events over a 100×100 area and a day, and ingests them
+// T-STR-partitioned under dir.
+func corpus(t *testing.T, ctx *engine.Context, dir string, n int, seed int64) []ev {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]ev, n)
+	for i := range data {
+		data[i] = ev{
+			P: geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			T: rng.Int63n(86400),
+			N: int64(i),
+		}
+	}
+	r := engine.Parallelize(ctx, data, 8)
+	if _, err := Ingest(r, dir, evC, evBox, partition.TSTR{GT: 4, GS: 4},
+		IngestOptions{Name: "corpus", SampleFrac: 0.3, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// bruteSelect returns ids of events matching any window.
+func bruteSelect(data []ev, windows []Window) []int64 {
+	var out []int64
+	for _, v := range data {
+		b := evBox(v)
+		for _, w := range windows {
+			if b.Intersects(w.Box()) {
+				out = append(out, v.N)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func ids(evs []ev) []int64 {
+	out := make([]int64, len(evs))
+	for i, v := range evs {
+		out[i] = v.N
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectMatchesBruteForce(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := t.TempDir()
+	data := corpus(t, ctx, dir, 3000, 1)
+	windows := []Window{
+		{Space: geom.Box(10, 10, 40, 40), Time: tempo.New(0, 43200)},
+		{Space: geom.Box(60, 60, 90, 90), Time: tempo.New(43200, 86400)},
+	}
+	for _, useIndex := range []bool{false, true} {
+		sel := New(ctx, evC, evBox, nil, Config{Index: useIndex})
+		got, stats, err := sel.Select(dir, windows...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.LoadedPartitions != stats.TotalPartitions {
+			t.Errorf("full select should load all partitions: %+v", stats)
+		}
+		if !equalIDs(ids(got.Collect()), bruteSelect(data, windows)) {
+			t.Fatalf("index=%v: selection mismatch", useIndex)
+		}
+	}
+}
+
+func TestSelectPrunedMatchesFullSelect(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := t.TempDir()
+	data := corpus(t, ctx, dir, 3000, 2)
+	windows := []Window{{Space: geom.Box(20, 20, 35, 35), Time: tempo.New(10000, 30000)}}
+	sel := New(ctx, evC, evBox, nil, Config{Index: true})
+	pruned, prunedStats, err := sel.SelectPruned(dir, windows...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(ids(pruned.Collect()), bruteSelect(data, windows)) {
+		t.Fatal("pruned selection differs from brute force")
+	}
+	if prunedStats.LoadedPartitions >= prunedStats.TotalPartitions {
+		t.Errorf("small window should prune partitions: %+v", prunedStats)
+	}
+	if prunedStats.LoadedRecords >= int64(len(data)) {
+		t.Errorf("pruning should load fewer records: %+v", prunedStats)
+	}
+}
+
+func TestSelectPrunedLoadsLessForSmallerWindows(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := t.TempDir()
+	corpus(t, ctx, dir, 5000, 3)
+	sel := New(ctx, evC, evBox, nil, Config{})
+	small := Window{Space: geom.Box(45, 45, 55, 55), Time: tempo.New(40000, 46000)}
+	large := Window{Space: geom.Box(0, 0, 100, 100), Time: tempo.New(0, 86400)}
+	_, sSmall, err := sel.SelectPruned(dir, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sLarge, err := sel.SelectPruned(dir, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSmall.LoadedRecords >= sLarge.LoadedRecords {
+		t.Errorf("small window loaded %d, large %d", sSmall.LoadedRecords, sLarge.LoadedRecords)
+	}
+	if sLarge.LoadedPartitions != sLarge.TotalPartitions {
+		t.Errorf("full window should load everything: %+v", sLarge)
+	}
+}
+
+func TestSelectWithRepartitioning(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := t.TempDir()
+	data := corpus(t, ctx, dir, 4000, 4)
+	windows := []Window{{Space: geom.Box(0, 0, 100, 100), Time: tempo.New(0, 86400)}}
+	sel := New(ctx, evC, evBox, nil, Config{
+		Planner:    partition.TSTR{GT: 3, GS: 3},
+		SampleFrac: 0.3,
+	})
+	got, _, err := sel.Select(dir, windows...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPartitions() != 9 {
+		t.Errorf("repartitioned into %d, want 9", got.NumPartitions())
+	}
+	if !equalIDs(ids(got.Collect()), bruteSelect(data, windows)) {
+		t.Fatal("repartitioning changed the selected set")
+	}
+	if cv := partition.CV(got.CountByPartition()); cv > 0.5 {
+		t.Errorf("post-selection CV = %g", cv)
+	}
+}
+
+func TestSelectNoWindowsReturnsEverything(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := t.TempDir()
+	data := corpus(t, ctx, dir, 1000, 5)
+	sel := New(ctx, evC, evBox, nil, Config{})
+	got, stats, err := sel.Select(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(stats.SelectedRecords) != len(data) || int(got.Count()) != len(data) {
+		t.Errorf("no-window select kept %d of %d", stats.SelectedRecords, len(data))
+	}
+}
+
+func TestSelectPrunedEmptyResult(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := t.TempDir()
+	corpus(t, ctx, dir, 500, 6)
+	sel := New(ctx, evC, evBox, nil, Config{})
+	got, stats, err := sel.SelectPruned(dir,
+		Window{Space: geom.Box(500, 500, 600, 600), Time: tempo.New(0, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LoadedPartitions != 0 || got.Count() != 0 {
+		t.Errorf("disjoint window should prune everything: %+v", stats)
+	}
+}
+
+func TestSelectMissingDatasetErrors(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	sel := New(ctx, evC, evBox, nil, Config{})
+	if _, _, err := sel.Select(t.TempDir()); err == nil {
+		t.Error("missing dataset should error")
+	}
+}
+
+func TestExactRefinement(t *testing.T) {
+	// Use an exact predicate that rejects everything; box filter alone
+	// would accept.
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := t.TempDir()
+	corpus(t, ctx, dir, 300, 7)
+	reject := func(ev, geom.MBR, tempo.Duration) bool { return false }
+	for _, useIndex := range []bool{false, true} {
+		sel := New(ctx, evC, evBox, reject, Config{Index: useIndex})
+		got, _, err := sel.Select(dir,
+			Window{Space: geom.Box(0, 0, 100, 100), Time: tempo.New(0, 86400)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count() != 0 {
+			t.Errorf("index=%v: exact predicate ignored", useIndex)
+		}
+	}
+}
+
+func TestIngestUnpartitionedKeepsLayout(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(8))
+	data := make([]ev, 100)
+	for i := range data {
+		data[i] = ev{P: geom.Pt(rng.Float64(), rng.Float64()), T: int64(i), N: int64(i)}
+	}
+	r := engine.Parallelize(ctx, data, 5)
+	meta, err := IngestUnpartitioned(r, dir, evC, evBox, IngestOptions{Name: "raw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumPartitions() != 5 {
+		t.Errorf("partitions = %d, want 5", meta.NumPartitions())
+	}
+	if meta.TotalCount != 100 {
+		t.Errorf("count = %d", meta.TotalCount)
+	}
+}

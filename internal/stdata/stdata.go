@@ -1,0 +1,180 @@
+// Package stdata defines ST4ML's standard on-disk record schemas — the
+// STEvent/STTraj-style structures of §3.1 that datasets are transformed into
+// during preprocessing — together with their binary codecs and instance
+// conversions. The synthetic generators in package datagen produce these
+// records; the selectors, baselines, and benchmarks consume them.
+package stdata
+
+import (
+	"fmt"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+)
+
+// EventRec is a raw point event record: the [lon, lat, time, auxInfo]
+// schema of the NYC dataset.
+type EventRec struct {
+	ID   int64
+	Loc  geom.Point
+	Time int64
+	Aux  string
+}
+
+// Box returns the record's ST box.
+func (e EventRec) Box() index.Box { return index.BoxOfPoint(e.Loc, e.Time) }
+
+// ToEvent converts the record to an ST4ML event instance.
+func (e EventRec) ToEvent() instance.Event[geom.Point, string, int64] {
+	return instance.NewEvent(e.Loc, tempo.Instant(e.Time), e.Aux, e.ID)
+}
+
+// EventRecC is the binary codec for EventRec.
+var EventRecC = codec.Codec[EventRec]{
+	Enc: func(w *codec.Writer, e EventRec) {
+		w.PutVarint(e.ID)
+		codec.PointC.Enc(w, e.Loc)
+		w.PutVarint(e.Time)
+		w.PutString(e.Aux)
+	},
+	Dec: func(r *codec.Reader) EventRec {
+		return EventRec{
+			ID:   r.Varint(),
+			Loc:  codec.PointC.Dec(r),
+			Time: r.Varint(),
+			Aux:  r.String(),
+		}
+	},
+}
+
+// TrajRec is a raw trajectory record: the [tripId, Array((lon, lat)),
+// startTime] schema of the Porto dataset, with per-point times.
+type TrajRec struct {
+	ID     int64
+	Points []geom.Point
+	Times  []int64
+}
+
+// Box returns the record's ST box.
+func (t TrajRec) Box() index.Box {
+	mbr := geom.EmptyMBR()
+	for _, p := range t.Points {
+		mbr = mbr.ExpandToPoint(p)
+	}
+	d := tempo.Empty()
+	for _, ts := range t.Times {
+		d = d.ExpandTo(ts)
+	}
+	return index.Box3(mbr, d)
+}
+
+// ToTrajectory converts the record to an ST4ML trajectory instance.
+func (t TrajRec) ToTrajectory() instance.Trajectory[instance.Unit, int64] {
+	entries := make([]instance.Entry[geom.Point, instance.Unit], len(t.Points))
+	for i := range t.Points {
+		entries[i] = instance.Entry[geom.Point, instance.Unit]{
+			Spatial:  t.Points[i],
+			Temporal: tempo.Instant(t.Times[i]),
+		}
+	}
+	return instance.NewTrajectory(entries, t.ID)
+}
+
+// TrajRecC is the binary codec for TrajRec.
+var TrajRecC = codec.Codec[TrajRec]{
+	Enc: func(w *codec.Writer, t TrajRec) {
+		w.PutVarint(t.ID)
+		w.PutUvarint(uint64(len(t.Points)))
+		for i := range t.Points {
+			codec.PointC.Enc(w, t.Points[i])
+			w.PutVarint(t.Times[i])
+		}
+	},
+	Dec: func(r *codec.Reader) TrajRec {
+		id := r.Varint()
+		n := int(r.Uvarint())
+		pts := make([]geom.Point, n)
+		times := make([]int64, n)
+		for i := 0; i < n; i++ {
+			pts[i] = codec.PointC.Dec(r)
+			times[i] = r.Varint()
+		}
+		return TrajRec{ID: id, Points: pts, Times: times}
+	},
+}
+
+// AirRec is a raw air-quality record: station location, time, and six
+// indices (PM2.5, PM10, NO2, CO, O3, SO2).
+type AirRec struct {
+	StationID int64
+	Loc       geom.Point
+	Time      int64
+	Indices   [6]float64
+}
+
+// Box returns the record's ST box.
+func (a AirRec) Box() index.Box { return index.BoxOfPoint(a.Loc, a.Time) }
+
+// ToEvent converts the record to an event whose value carries the indices.
+func (a AirRec) ToEvent() instance.Event[geom.Point, [6]float64, int64] {
+	return instance.NewEvent(a.Loc, tempo.Instant(a.Time), a.Indices, a.StationID)
+}
+
+// AirRecC is the binary codec for AirRec.
+var AirRecC = codec.Codec[AirRec]{
+	Enc: func(w *codec.Writer, a AirRec) {
+		w.PutVarint(a.StationID)
+		codec.PointC.Enc(w, a.Loc)
+		w.PutVarint(a.Time)
+		for _, v := range a.Indices {
+			w.PutFloat64(v)
+		}
+	},
+	Dec: func(r *codec.Reader) AirRec {
+		out := AirRec{StationID: r.Varint(), Loc: codec.PointC.Dec(r), Time: r.Varint()}
+		for i := range out.Indices {
+			out.Indices[i] = r.Float64()
+		}
+		return out
+	},
+}
+
+// POIRec is a raw point-of-interest record with string attributes (no
+// temporal information, like the OSM dataset).
+type POIRec struct {
+	ID   int64
+	Loc  geom.Point
+	Type string
+}
+
+// Box returns the record's (purely spatial) box.
+func (p POIRec) Box() index.Box { return index.Box2(p.Loc.MBR()) }
+
+// ToEvent converts the POI to an event with an empty-time instant.
+func (p POIRec) ToEvent() instance.Event[geom.Point, string, int64] {
+	return instance.NewEvent(p.Loc, tempo.Instant(0), p.Type, p.ID)
+}
+
+// POIRecC is the binary codec for POIRec.
+var POIRecC = codec.Codec[POIRec]{
+	Enc: func(w *codec.Writer, p POIRec) {
+		w.PutVarint(p.ID)
+		codec.PointC.Enc(w, p.Loc)
+		w.PutString(p.Type)
+	},
+	Dec: func(r *codec.Reader) POIRec {
+		return POIRec{ID: r.Varint(), Loc: codec.PointC.Dec(r), Type: r.String()}
+	},
+}
+
+// AreaRec is a postal-code-like polygonal area.
+type AreaRec struct {
+	ID    int64
+	Shape *geom.Polygon
+}
+
+// String identifies the area for reports.
+func (a AreaRec) String() string { return fmt.Sprintf("area-%d", a.ID) }

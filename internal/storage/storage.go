@@ -1,0 +1,250 @@
+// Package storage implements ST4ML's persistent partitioned store: the
+// stand-in for Parquet-on-HDFS. A dataset is a directory of per-partition
+// binary files (records encoded back-to-back with a codec, optionally
+// gzip-compressed) plus a metadata.json indexing every partition with its
+// ST bounds — the on-disk indexing with metadata of §4.1.
+//
+// The selection stage reads the metadata, prunes partitions whose bounds
+// miss the query window, and loads only the survivors (Fig. 4).
+package storage
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/tempo"
+)
+
+// MetadataFile is the name of the partition index within a dataset
+// directory.
+const MetadataFile = "metadata.json"
+
+// PartitionMeta describes one on-disk partition.
+type PartitionMeta struct {
+	// File is the partition file name relative to the dataset directory.
+	File string `json:"file"`
+	// Count is the number of records in the partition.
+	Count int64 `json:"count"`
+	// Bytes is the on-disk size of the partition file.
+	Bytes int64 `json:"bytes"`
+	// The partition's ST extent: spatial MBR and time endpoints.
+	MinX   float64 `json:"minx"`
+	MinY   float64 `json:"miny"`
+	MaxX   float64 `json:"maxx"`
+	MaxY   float64 `json:"maxy"`
+	TStart int64   `json:"tstart"`
+	TEnd   int64   `json:"tend"`
+}
+
+// Box returns the partition's ST extent as an index box.
+func (p PartitionMeta) Box() index.Box {
+	return index.Box3(
+		geom.MBR{MinX: p.MinX, MinY: p.MinY, MaxX: p.MaxX, MaxY: p.MaxY},
+		tempo.Duration{Start: p.TStart, End: p.TEnd})
+}
+
+// Metadata is the master-side index of a dataset: one entry per partition
+// with its ST bounds, enabling partition pruning before any file is read.
+type Metadata struct {
+	Name       string          `json:"name"`
+	Compressed bool            `json:"compressed"`
+	TotalCount int64           `json:"total_count"`
+	Partitions []PartitionMeta `json:"partitions"`
+}
+
+// NumPartitions returns the partition count.
+func (m *Metadata) NumPartitions() int { return len(m.Partitions) }
+
+// Prune returns the ids of partitions whose ST bounds intersect the query
+// window — the shortlist step of Fig. 4.
+func (m *Metadata) Prune(space geom.MBR, dur tempo.Duration) []int {
+	q := index.Box3(space, dur)
+	out := make([]int, 0, len(m.Partitions))
+	for i, p := range m.Partitions {
+		if p.Count > 0 && p.Box().Intersects(q) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WriteOptions tunes dataset writing.
+type WriteOptions struct {
+	// Name labels the dataset in its metadata.
+	Name string
+	// Compress gzips each partition file.
+	Compress bool
+}
+
+// Write persists partitioned records under dir, computing per-partition ST
+// bounds with boxOf, and returns the metadata it wrote. dir is created if
+// missing; an existing metadata file is overwritten (a dataset rewrite),
+// but stale partition files from a previous larger layout are not removed.
+func Write[T any](
+	dir string,
+	c codec.Codec[T],
+	parts [][]T,
+	boxOf func(T) index.Box,
+	opts WriteOptions,
+) (*Metadata, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dataset dir: %w", err)
+	}
+	meta := &Metadata{Name: opts.Name, Compressed: opts.Compress}
+	for i, part := range parts {
+		pm, err := writePartition(dir, i, c, part, boxOf, opts.Compress)
+		if err != nil {
+			return nil, err
+		}
+		meta.TotalCount += pm.Count
+		meta.Partitions = append(meta.Partitions, pm)
+	}
+	if err := writeMetadata(dir, meta); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+func partitionFileName(i int) string { return fmt.Sprintf("part-%05d.stp", i) }
+
+func writePartition[T any](
+	dir string, i int, c codec.Codec[T], part []T,
+	boxOf func(T) index.Box, compress bool,
+) (PartitionMeta, error) {
+	name := partitionFileName(i)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: create partition: %w", err)
+	}
+	defer f.Close()
+
+	var out io.Writer = f
+	var gz *gzip.Writer
+	if compress {
+		gz = gzip.NewWriter(f)
+		out = gz
+	}
+	w := codec.NewWriter(64 * 1024)
+	bounds := index.EmptyBox()
+	for _, rec := range part {
+		c.Enc(w, rec)
+		bounds = bounds.Union(boxOf(rec))
+		if w.Len() >= 1<<20 {
+			if _, err := out.Write(w.Bytes()); err != nil {
+				return PartitionMeta{}, fmt.Errorf("storage: write partition: %w", err)
+			}
+			w.Reset()
+		}
+	}
+	if _, err := out.Write(w.Bytes()); err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: write partition: %w", err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return PartitionMeta{}, fmt.Errorf("storage: close gzip: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: close partition: %w", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return PartitionMeta{}, err
+	}
+	pm := PartitionMeta{File: name, Count: int64(len(part)), Bytes: st.Size()}
+	if !bounds.IsEmpty() {
+		s := bounds.Spatial()
+		d := bounds.Temporal()
+		pm.MinX, pm.MinY, pm.MaxX, pm.MaxY = s.MinX, s.MinY, s.MaxX, s.MaxY
+		pm.TStart, pm.TEnd = d.Start, d.End
+	}
+	return pm, nil
+}
+
+func writeMetadata(dir string, meta *Metadata) error {
+	b, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: marshal metadata: %w", err)
+	}
+	tmp := filepath.Join(dir, MetadataFile+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("storage: write metadata: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(dir, MetadataFile))
+}
+
+// ReadMetadata loads a dataset's partition index.
+func ReadMetadata(dir string) (*Metadata, error) {
+	b, err := os.ReadFile(filepath.Join(dir, MetadataFile))
+	if err != nil {
+		return nil, fmt.Errorf("storage: read metadata: %w", err)
+	}
+	var meta Metadata
+	if err := json.Unmarshal(b, &meta); err != nil {
+		return nil, fmt.Errorf("storage: parse metadata: %w", err)
+	}
+	return &meta, nil
+}
+
+// ReadPartition decodes one partition file.
+func ReadPartition[T any](dir string, meta *Metadata, i int, c codec.Codec[T]) ([]T, error) {
+	if i < 0 || i >= len(meta.Partitions) {
+		return nil, fmt.Errorf("storage: partition %d out of range [0,%d)", i, len(meta.Partitions))
+	}
+	pm := meta.Partitions[i]
+	raw, err := os.ReadFile(filepath.Join(dir, pm.File))
+	if err != nil {
+		return nil, fmt.Errorf("storage: read partition: %w", err)
+	}
+	if meta.Compressed {
+		gz, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("storage: open gzip: %w", err)
+		}
+		raw, err = io.ReadAll(gz)
+		if err != nil {
+			return nil, fmt.Errorf("storage: decompress partition: %w", err)
+		}
+	}
+	out := make([]T, 0, pm.Count)
+	err = codec.Catch(func() {
+		r := codec.NewReader(raw)
+		for r.Remaining() > 0 {
+			out = append(out, c.Dec(r))
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage: partition %s corrupt: %w", pm.File, err)
+	}
+	if int64(len(out)) != pm.Count {
+		return nil, fmt.Errorf("storage: partition %s has %d records, metadata says %d",
+			pm.File, len(out), pm.Count)
+	}
+	return out, nil
+}
+
+// MergeMetadata combines the partition lists of several dataset metadata
+// files that share one directory-of-directories layout — the paper's
+// periodic-reindex-and-merge workflow for continuously generated data.
+// Partition file names are rewritten as dir-prefixed relative paths.
+func MergeMetadata(parts map[string]*Metadata) *Metadata {
+	out := &Metadata{Name: "merged"}
+	for dir, m := range parts {
+		out.Compressed = m.Compressed
+		out.TotalCount += m.TotalCount
+		for _, p := range m.Partitions {
+			p.File = filepath.Join(dir, p.File)
+			out.Partitions = append(out.Partitions, p)
+		}
+	}
+	return out
+}
