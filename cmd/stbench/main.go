@@ -33,23 +33,36 @@ func main() {
 		windows = flag.Int("windows", 10, "query windows per application")
 		slots   = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
 		workdir = flag.String("workdir", "", "work directory for stores (default: temp)")
+		spec    = flag.Bool("speculation", false, "speculatively re-execute straggler tasks")
+		chaos   = flag.Int64("chaos", 0, "fault-injection seed (0 = off): run under a 10% transient task-failure/corruption plan to exercise retries")
 	)
 	flag.Parse()
-	if err := run(*exp, bench.Scale{
+	cfg := engine.Config{Slots: *slots, Speculation: *spec}
+	if *chaos != 0 {
+		cfg.Faults = &engine.FaultPlan{
+			Seed: *chaos, FailRate: 0.1, CorruptRate: 0.1,
+		}
+	}
+	if err := run(*exp, cfg, bench.Scale{
 		Events: *events, Trajs: *trajs, POIs: *pois, Areas: *areas, AirSta: *airSta,
-	}, *windows, *slots, *workdir); err != nil {
+	}, *windows, *workdir); err != nil {
 		fmt.Fprintln(os.Stderr, "stbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale bench.Scale, windows, slots int, workdir string) error {
+func run(exp string, cfg engine.Config, scale bench.Scale, windows int, workdir string) error {
 	want := map[string]bool{}
 	for _, e := range strings.Split(exp, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	ctx := engine.New(engine.Config{Slots: slots})
+	ctx := engine.New(cfg)
+	// Every experiment path below funnels through ctx, so the counter table
+	// printed on exit aggregates the whole invocation.
+	defer func() {
+		bench.EngineCountersTable(ctx.Metrics.Snapshot()).Fprint(os.Stdout)
+	}()
 
 	// Table 8 needs no environment.
 	if all || want["table8"] {

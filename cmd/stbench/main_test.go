@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"st4ml/internal/bench"
+	"st4ml/internal/engine"
 )
 
 // TestRunAllTiny smoke-tests the whole driver at a tiny scale — every
@@ -16,9 +17,9 @@ func TestRunAllTiny(t *testing.T) {
 	dir := t.TempDir()
 	// Redirect stdout noise away from test output? The driver prints to
 	// stdout; that is fine under go test.
-	err := run("all", bench.Scale{
+	err := run("all", engine.Config{Slots: 2}, bench.Scale{
 		Events: 5_000, Trajs: 500, POIs: 2_000, Areas: 36, AirSta: 3,
-	}, 2, 2, dir)
+	}, 2, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,16 +31,28 @@ func TestRunAllTiny(t *testing.T) {
 }
 
 func TestRunSingleExperiments(t *testing.T) {
-	if err := run("table8", bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+	if err := run("table8", engine.Config{Slots: 2}, bench.Scale{}, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table9", bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+	if err := run("table9", engine.Config{Slots: 2}, bench.Scale{}, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunUnderChaosPlan mirrors the -chaos flag: an experiment driven under
+// a transient fault plan must still complete.
+func TestRunUnderChaosPlan(t *testing.T) {
+	cfg := engine.Config{
+		Slots: 2, Speculation: true,
+		Faults: &engine.FaultPlan{Seed: 1, FailRate: 0.1, CorruptRate: 0.1},
+	}
+	if err := run("table9", cfg, bench.Scale{}, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperimentIsNoop(t *testing.T) {
-	if err := run("nonsense", bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+	if err := run("nonsense", engine.Config{Slots: 2}, bench.Scale{}, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -22,16 +22,23 @@ import (
 )
 
 func main() {
+	if err := run(100_000, 7); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the pipeline over nEvents seeded events.
+func run(nEvents int, seed int64) error {
 	s := core.NewSession(engine.Config{})
 
 	dataDir, err := os.MkdirTemp("", "st4ml-anomaly-*")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dataDir)
-	events := datagen.NYC(100_000, 7)
+	events := datagen.NYC(nEvents, seed)
 	if _, err := s.IngestEvents(events, dataDir, nil, selection.IngestOptions{Name: "nyc"}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Select one month of events city-wide, repartitioned ST-aware for
@@ -45,7 +52,7 @@ func main() {
 	})
 	recs, stats, err := sel.SelectPruned(dataDir, core.Window(datagen.NYCExtent, month))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("selected %d events (pruned %d of %d partitions)\n",
 		stats.SelectedRecords,
@@ -65,4 +72,5 @@ func main() {
 		}
 		fmt.Printf("  #%d: %v with %d events\n", i+1, c.Center, c.Size)
 	}
+	return nil
 }

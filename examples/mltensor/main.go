@@ -27,17 +27,24 @@ import (
 type traj = instance.Trajectory[instance.Unit, int64]
 
 func main() {
+	if err := run(8000, 99); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the pipeline over nTrajs seeded trajectories.
+func run(nTrajs int, seed int64) error {
 	s := core.NewSession(engine.Config{})
 	dataDir, err := os.MkdirTemp("", "st4ml-mltensor-*")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dataDir)
 
 	// Preprocess a day-heavy Porto-like corpus.
-	trajs := datagen.Porto(8000, 99)
+	trajs := datagen.Porto(nTrajs, seed)
 	if _, err := s.IngestTrajs(trajs, dataDir, nil, selection.IngestOptions{Name: "porto"}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Select one day, convert to a 16×16 grid × 24 hour raster, extract
@@ -46,7 +53,7 @@ func main() {
 	sel := s.TrajSelector(selection.Config{Index: true})
 	recs, stats, err := sel.SelectPruned(dataDir, core.Window(datagen.PortoExtent, day))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("selected %d trajectories from %d partitions\n",
 		stats.SelectedRecords, stats.LoadedPartitions)
@@ -60,7 +67,7 @@ func main() {
 		func(in []traj) []traj { return in })
 	speeds, ok := extract.RasterSpeed(cells, extract.KMH)
 	if !ok {
-		log.Fatal("no data")
+		return fmt.Errorf("no data")
 	}
 
 	// Reshape into the DL input tensor: [24][16][16], NaN = unobserved.
@@ -71,7 +78,7 @@ func main() {
 		return v.Mean
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	nt, ny, nx := tensor.Shape()
 	observed := 0
@@ -91,23 +98,24 @@ func main() {
 	jsonPath := filepath.Join(dataDir, "speeds.json")
 	jf, err := os.Create(jsonPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := mlexport.WriteJSON(jf, tensor); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	jf.Close()
 	csvPath := filepath.Join(dataDir, "speeds.csv")
 	cf, err := os.Create(csvPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := mlexport.WriteTensorCSV(cf, tensor); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cf.Close()
 	ji, _ := os.Stat(jsonPath)
 	ci, _ := os.Stat(csvPath)
 	fmt.Printf("exports ready for the model: %s (%d bytes), %s (%d bytes)\n",
 		filepath.Base(jsonPath), ji.Size(), filepath.Base(csvPath), ci.Size())
+	return nil
 }

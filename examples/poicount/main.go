@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"sort"
 
 	"st4ml/internal/convert"
@@ -23,8 +24,16 @@ import (
 type poiEvent = instance.Event[geom.Point, string, int64]
 
 func main() {
+	if err := run(200_000, 256, 11); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the pipeline over a seeded OSM-like corpus of nPOIs points
+// and nAreas polygon areas.
+func run(nPOIs, nAreas int, seed int64) error {
 	s := core.NewSession(engine.Config{})
-	pois, areas := datagen.OSM(200_000, 256, 11)
+	pois, areas := datagen.OSM(nPOIs, nAreas, seed)
 	fmt.Printf("corpus: %d POIs, %d areas\n", len(pois), len(areas))
 
 	polys := make([]*geom.Polygon, len(areas))
@@ -38,7 +47,7 @@ func main() {
 		func(in []poiEvent) []poiEvent { return in })
 	counts, ok := extract.SmFlow(cells)
 	if !ok {
-		panic("no data")
+		return fmt.Errorf("no data")
 	}
 	type ranked struct {
 		area  int
@@ -81,4 +90,5 @@ func main() {
 	for _, k := range keys {
 		fmt.Printf("  %-12s %d\n", k, byType[k])
 	}
+	return nil
 }

@@ -23,6 +23,13 @@ import (
 )
 
 func main() {
+	if err := run(5000, 42); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the pipeline over nTrajs seeded trajectories.
+func run(nTrajs int, seed int64) error {
 	// A session owns the (simulated) cluster.
 	s := core.NewSession(engine.Config{})
 
@@ -30,12 +37,12 @@ func main() {
 	// persist it T-STR-partitioned with a metadata index.
 	dataDir, err := os.MkdirTemp("", "st4ml-quickstart-*")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dataDir)
-	trajs := datagen.Porto(5000, 42)
+	trajs := datagen.Porto(nTrajs, seed)
 	if _, err := s.IngestTrajs(trajs, dataDir, nil, selection.IngestOptions{Name: "porto"}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Stage 1 — Selection: one week over the city center, loading only the
@@ -45,7 +52,7 @@ func main() {
 	sel := s.TrajSelector(selection.Config{Index: true})
 	recs, stats, err := sel.SelectPruned(dataDir, core.Window(cityArea, week))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("selected %d of %d trajectories (read %d of %d partitions)\n",
 		stats.SelectedRecords, stats.LoadedRecords,
@@ -68,7 +75,7 @@ func main() {
 	// Stage 3 — Extraction: the built-in raster speed extractor.
 	speeds, ok := extract.RasterSpeed(cells, extract.KMH)
 	if !ok {
-		log.Fatal("no data extracted")
+		return fmt.Errorf("no data extracted")
 	}
 	var bestCount int64
 	var bestIdx int
@@ -81,4 +88,5 @@ func main() {
 	fmt.Printf("busiest cell: %v during %v — %d vehicles, avg %.1f km/h\n",
 		e.Spatial, e.Temporal, e.Value.Count, e.Value.Mean)
 	fmt.Printf("engine metrics: %v\n", s.Metrics())
+	return nil
 }

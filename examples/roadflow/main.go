@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"sort"
 
 	"st4ml/internal/bench"
@@ -23,12 +24,19 @@ import (
 )
 
 func main() {
+	if err := run(800, 77); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the pipeline over nTrajs seeded camera trajectories.
+func run(nTrajs int, seed int64) error {
 	ctx := engine.New(engine.Config{})
 	city := bench.NewCaseStudyCity()
 	fmt.Printf("road network: %d nodes, %d directed segments\n",
 		city.Graph.NumNodes(), city.Graph.NumEdges())
 
-	trajs := datagen.Camera(city.Graph, 800, 0, 77)
+	trajs := datagen.Camera(city.Graph, nTrajs, 0, seed)
 	count, avgPts, avgDur := datagen.DescribeTrajs(trajs)
 	fmt.Printf("camera trajectories: %d, avg %.1f points / %.1f min (sparse!)\n",
 		count, avgPts, avgDur)
@@ -83,4 +91,5 @@ func main() {
 		a, b := city.Graph.EdgeEndpoints(top[i].edge)
 		fmt.Printf("  segment %d (%v -> %v): %d vehicles\n", top[i].edge, a, b, top[i].flow)
 	}
+	return nil
 }

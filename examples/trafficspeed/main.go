@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"st4ml/internal/bench"
 	"st4ml/internal/convert"
@@ -23,9 +24,16 @@ import (
 type traj = instance.Trajectory[instance.Unit, int64]
 
 func main() {
+	if err := run(2000, 51); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the pipeline over nTrajs seeded camera trajectories.
+func run(nTrajs int, seed int64) error {
 	ctx := engine.New(engine.Config{})
 	city := bench.NewCaseStudyCity()
-	trajs := datagen.Camera(city.Graph, 2000, 0, 51)
+	trajs := datagen.Camera(city.Graph, nTrajs, 0, seed)
 	count, avgPts, avgDur := datagen.DescribeTrajs(trajs)
 	fmt.Printf("day 0: %d trajectories, %.1f points and %.1f min each on average\n",
 		count, avgPts, avgDur)
@@ -48,7 +56,7 @@ func main() {
 		convert.RTree, func(in []traj) []traj { return in })
 	speeds, ok := extract.RasterSpeed(raster, extract.KMH)
 	if !ok {
-		panic("no data")
+		return fmt.Errorf("no data")
 	}
 
 	// Find the busiest hour and summarize its districts.
@@ -73,6 +81,10 @@ func main() {
 			speedSum += v.Mean
 		}
 	}
+	if active == 0 {
+		return fmt.Errorf("no district saw traffic in the busiest hour")
+	}
 	fmt.Printf("districts with traffic that hour: %d of %d, mean speed %.1f km/h\n",
 		active, nd, speedSum/float64(active))
+	return nil
 }

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestRunSmall smoke-tests the full pipeline on a small seeded corpus.
+func TestRunSmall(t *testing.T) {
+	if err := run(300, 51); err != nil {
+		t.Fatal(err)
+	}
+}

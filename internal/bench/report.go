@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"st4ml/internal/engine"
 )
 
 // Table is a simple column-aligned report the experiment drivers print.
@@ -30,6 +32,19 @@ func (t *Table) Add(cells ...any) {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+}
+
+// EngineCountersTable renders a Context's execution counters — including
+// the fault-tolerance counters (task retries, speculative duplicates, and
+// corrupt-block rereads) — as a one-row report table.
+func EngineCountersTable(s engine.Snapshot) *Table {
+	t := NewTable("Engine counters",
+		"tasks", "records", "shuffleRecords", "shuffleMB", "taskTime",
+		"retries", "speculated", "specWins", "corruptRereads")
+	t.Add(s.TasksRun, s.RecordsOut, s.ShuffleRecords,
+		float64(s.ShuffleBytes)/(1<<20), s.TaskTime,
+		s.TaskRetries, s.SpeculativeLaunched, s.SpeculativeWins, s.CorruptRereads)
+	return t
 }
 
 // Fprint writes the table with aligned columns.

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"st4ml/internal/codec"
+)
+
+// Chaos suite: for seeded FaultPlans with fault rates up to 30%, every
+// action must return byte-identical results to a fault-free run, across
+// slot counts — the property Spark's task re-execution guarantees and this
+// engine must preserve.
+
+// chaosData builds a deterministic skewed dataset for a seed.
+func chaosData(seed int64, n int) []codec.Pair[int64, int64] {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]codec.Pair[int64, int64], n)
+	for i := range out {
+		// Zipf-ish key skew so reduce partitions are imbalanced.
+		key := int64(rng.Intn(1 + rng.Intn(50)))
+		out[i] = codec.KV(key, int64(rng.Intn(1000)))
+	}
+	return out
+}
+
+// encodePartitions canonicalizes job output to bytes: each partition's
+// records are encoded in order, partitions concatenated with separators.
+func encodePartitions[T any](c codec.Codec[T], parts [][]T) []byte {
+	w := codec.NewWriter(1 << 12)
+	for _, part := range parts {
+		w.PutUvarint(uint64(len(part)))
+		for _, v := range part {
+			c.Enc(w, v)
+		}
+	}
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// encodeSortedPairs canonicalizes keyed output whose order is
+// map-iteration-dependent: sort by encoded record bytes, then concatenate.
+func encodeSortedPairs[T any](c codec.Codec[T], recs []T) []byte {
+	encs := make([][]byte, len(recs))
+	for i, v := range recs {
+		encs[i] = codec.Marshal(c, v)
+	}
+	sort.Slice(encs, func(i, j int) bool { return bytes.Compare(encs[i], encs[j]) < 0 })
+	return bytes.Join(encs, []byte{0xFF})
+}
+
+// chaosPlan builds a FaultPlan exercising every injection class at up to a
+// 30% transient task-failure rate.
+func chaosPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		Seed:        seed,
+		FailRate:    0.3,
+		DelayRate:   0.1,
+		MaxDelay:    3 * time.Millisecond,
+		CorruptRate: 0.3,
+	}
+}
+
+func chaosCtx(slots int, plan *FaultPlan) *Context {
+	return New(Config{
+		Slots: slots, DefaultParallelism: 8,
+		RetryBackoff:          -1,
+		Speculation:           plan != nil,
+		SpeculationQuantile:   0.5,
+		SpeculationMultiplier: 1.5,
+		SpeculationInterval:   200 * time.Microsecond,
+		Faults:                plan,
+	})
+}
+
+// chaosActions runs every engine action over the same logical pipeline on
+// ctx and returns the canonical bytes of each action's result.
+func chaosActions(ctx *Context, seed int64) map[string][]byte {
+	pc := codec.PairOf(codec.Int64, codec.Int64)
+	data := chaosData(seed, 2000)
+	out := map[string][]byte{}
+
+	base := Parallelize(ctx, data, 16)
+	mapped := Map(base, func(p codec.Pair[int64, int64]) codec.Pair[int64, int64] {
+		return codec.KV(p.Key, p.Value*2+1)
+	})
+
+	// Collect over a narrow pipeline: order fully deterministic.
+	out["collect"] = encodePartitions(pc, [][]codec.Pair[int64, int64]{mapped.Collect()})
+
+	// PartitionBy: per-partition record order is deterministic.
+	shuffled := PartitionBy(mapped, pc, 8, func(p codec.Pair[int64, int64]) int {
+		return int(p.Key % 8)
+	})
+	out["partitionBy"] = encodePartitions(pc, shuffled.CollectPartitions())
+
+	// ReduceByKey: record order within a partition is map-iteration
+	// dependent, so canonicalize by sorting encoded records.
+	reduced := ReduceByKey(mapped, codec.Int64, codec.Int64,
+		func(a, b int64) int64 { return a + b }, 8)
+	out["reduceByKey"] = encodeSortedPairs(pc, reduced.Collect())
+
+	// GroupByKey: values arrive in deterministic shuffle order; key order
+	// needs the same canonicalization.
+	grouped := GroupByKey(mapped, codec.Int64, codec.Int64, 8)
+	gc := codec.PairOf(codec.Int64, codec.SliceOf(codec.Int64))
+	out["groupByKey"] = encodeSortedPairs(gc, grouped.Collect())
+
+	// Count through an aggregate for good measure.
+	out["count"] = []byte(fmt.Sprint(mapped.Count()))
+	return out
+}
+
+func TestChaosActionsMatchFaultFreeRuns(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		want := chaosActions(chaosCtx(4, nil), seed)
+		for _, slots := range []int{1, 2, 8} {
+			ctx := chaosCtx(slots, chaosPlan(seed))
+			got := chaosActions(ctx, seed)
+			for action, wantBytes := range want {
+				if !bytes.Equal(got[action], wantBytes) {
+					t.Errorf("seed=%d slots=%d action=%s: chaos result differs from fault-free run",
+						seed, slots, action)
+				}
+			}
+			snap := ctx.Metrics.Snapshot()
+			if snap.TaskRetries == 0 {
+				t.Errorf("seed=%d slots=%d: no retries recorded at 30%% fault rate", seed, slots)
+			}
+			if snap.CorruptRereads == 0 {
+				t.Errorf("seed=%d slots=%d: no corrupt-block rereads recorded", seed, slots)
+			}
+		}
+	}
+}
+
+func TestChaosSpeculationCountersNonzero(t *testing.T) {
+	// Straggler injection with many tasks and spare slots: across the
+	// whole suite at least one speculative duplicate must launch (and the
+	// result must still be exact).
+	plan := &FaultPlan{Seed: 9, DelayRate: 0.15, MaxDelay: 30 * time.Millisecond}
+	ctx := chaosCtx(8, plan)
+	want := chaosActions(chaosCtx(8, nil), 9)
+	got := chaosActions(ctx, 9)
+	for action, wantBytes := range want {
+		if !bytes.Equal(got[action], wantBytes) {
+			t.Errorf("action %s differs under straggler injection", action)
+		}
+	}
+	snap := ctx.Metrics.Snapshot()
+	if snap.SpeculativeLaunched == 0 {
+		t.Error("no speculative duplicates launched under straggler injection")
+	}
+}
+
+func TestChaosDeterministicAcrossRuns(t *testing.T) {
+	// The same seed must produce the same metrics-relevant fault decisions
+	// and identical results on repeated runs.
+	a := chaosActions(chaosCtx(4, chaosPlan(11)), 11)
+	b := chaosActions(chaosCtx(4, chaosPlan(11)), 11)
+	for action := range a {
+		if !bytes.Equal(a[action], b[action]) {
+			t.Errorf("action %s not reproducible across identical chaos runs", action)
+		}
+	}
+}

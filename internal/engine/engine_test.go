@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
@@ -179,25 +180,38 @@ func TestUncachedRecomputes(t *testing.T) {
 	}
 }
 
-func TestTaskPanicPropagatesWithIndex(t *testing.T) {
-	ctx := newTestCtx()
+func TestTaskPanicBecomesTaskError(t *testing.T) {
+	// A panicking task is retried, then surfaces as a *TaskError carrying
+	// the task index — not as a re-raised panic value.
+	ctx := New(Config{Slots: 4, MaxTaskAttempts: 2, RetryBackoff: -1})
+	var calls atomic.Int64
 	r := Generate(ctx, "boom", 4, func(p int) []int {
 		if p == 2 {
+			calls.Add(1)
 			panic("kaboom")
 		}
 		return nil
 	})
-	defer func() {
-		rec := recover()
-		if rec == nil {
-			t.Fatal("expected panic")
-		}
-		tp, ok := rec.(taskPanic)
-		if !ok || tp.task != 2 {
-			t.Fatalf("panic = %#v", rec)
-		}
-	}()
-	r.Collect()
+	err := Try(func() { r.Collect() })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if te.Task != 2 || te.Attempts != 2 {
+		t.Errorf("TaskError = %+v", te)
+	}
+	if !strings.Contains(err.Error(), "task 2") || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("task index or cause missing from message: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("panicking task ran %d times, want 2 (1 retry)", got)
+	}
+	if ctx.Metrics.Snapshot().TaskRetries == 0 {
+		t.Error("TaskRetries not counted")
+	}
 }
 
 func TestPartitionByRoutesCorrectly(t *testing.T) {

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Fault tolerance. The engine survives three failure classes the way Spark
+// does: transient task failures are retried with bounded attempts and
+// exponential backoff, stragglers are raced against speculative duplicates
+// (first finisher commits), and corrupt shuffle blocks are detected by
+// checksum frames and re-read. A FaultPlan injects all three failure
+// classes deterministically from a seed, so chaos runs are reproducible.
+
+// TaskError reports a task that failed every allowed attempt, aborting its
+// stage. It wraps the last attempt's error.
+type TaskError struct {
+	// Stage is the stage name the task belonged to.
+	Stage string
+	// Task is the task (partition) index.
+	Task int
+	// Attempts is how many times the task was tried.
+	Attempts int
+	// Err is the error from the final attempt.
+	Err error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("engine: stage %q task %d failed after %d attempts: %v",
+		e.Stage, e.Task, e.Attempts, e.Err)
+}
+
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Try runs fn, converting a job-abort panic (a *TaskError raised by an
+// action after a task exhausted its attempts) into a returned error. Other
+// panics propagate. It is the error boundary for callers of the
+// panic-on-abort action API (Collect, Count, ...).
+func Try(fn func()) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				var te *TaskError
+				if errors.As(e, &te) {
+					err = e
+					return
+				}
+			}
+			panic(rec)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// FaultPlan deterministically injects faults into stage execution. Every
+// decision is a pure function of (Seed, stage name, task index, attempt),
+// so a chaos run is byte-for-byte reproducible regardless of scheduling or
+// slot count. A nil *FaultPlan injects nothing.
+type FaultPlan struct {
+	// Seed drives every pseudo-random decision.
+	Seed int64
+
+	// FailRate is the probability that a task attempt fails with an
+	// injected error. Injected failures only strike the first
+	// MaxFailuresPerTask attempts, so rate-based faults are always
+	// transient when MaxFailuresPerTask < Config.MaxTaskAttempts.
+	FailRate float64
+	// MaxFailuresPerTask caps injected failures per task. 0 means 3 (one
+	// below the default MaxTaskAttempts of 4).
+	MaxFailuresPerTask int
+
+	// DelayRate is the probability that a task's non-speculative attempts
+	// are slowed by up to MaxDelay — an injected straggler. Speculative
+	// duplicates are exempt, modeling a relaunch on a healthy executor.
+	DelayRate float64
+	// MaxDelay bounds the injected straggler delay.
+	MaxDelay time.Duration
+
+	// CorruptRate is the probability that a shuffle-block read observes
+	// flipped bytes. Injected corruption only strikes the first
+	// MaxCorruptReads read attempts, so the block re-read recovers.
+	CorruptRate float64
+	// MaxCorruptReads caps injected corruptions per block. 0 means 2 (one
+	// below the engine's read attempts per block).
+	MaxCorruptReads int
+
+	// FailTasks forces the first n attempts of a task index to fail in
+	// every stage, regardless of FailRate. Values >= MaxTaskAttempts make
+	// the task fail permanently — the job-abort path for tests.
+	FailTasks map[int]int
+	// DelayTasks forces a fixed delay on every non-speculative attempt of
+	// a task index in every stage — a deterministic straggler.
+	DelayTasks map[int]time.Duration
+}
+
+// u returns a uniform [0,1) value derived from the plan seed and the
+// decision coordinates.
+func (p *FaultPlan) u(salt byte, stage string, a, b, c int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.Seed))
+	h.Write(buf[:])
+	h.Write([]byte{salt})
+	h.Write([]byte(stage))
+	binary.LittleEndian.PutUint64(buf[:], uint64(a))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(b))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(c))
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+// failTask reports whether the given attempt of a task should fail, as a
+// non-nil injected error.
+func (p *FaultPlan) failTask(stage string, task, attempt int) error {
+	if p == nil {
+		return nil
+	}
+	if n, ok := p.FailTasks[task]; ok && attempt < n {
+		return fmt.Errorf("injected fault: task %d attempt %d", task, attempt)
+	}
+	if p.FailRate > 0 {
+		cap := p.MaxFailuresPerTask
+		if cap <= 0 {
+			cap = 3
+		}
+		if attempt < cap && p.u('f', stage, task, attempt, 0) < p.FailRate {
+			return fmt.Errorf("injected fault: task %d attempt %d", task, attempt)
+		}
+	}
+	return nil
+}
+
+// taskDelay returns the injected straggler delay for a non-speculative
+// attempt, or 0.
+func (p *FaultPlan) taskDelay(stage string, task, attempt int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	if d, ok := p.DelayTasks[task]; ok {
+		return d
+	}
+	if p.DelayRate > 0 && p.MaxDelay > 0 {
+		if p.u('d', stage, task, attempt, 0) < p.DelayRate {
+			return time.Duration(p.u('D', stage, task, attempt, 0) * float64(p.MaxDelay))
+		}
+	}
+	return 0
+}
+
+// corruptBlock reports whether the shuffle block from map partition src to
+// reduce partition dst should be observed corrupted on this read attempt,
+// and at which payload offset to flip a byte.
+func (p *FaultPlan) corruptBlock(stage string, src, dst, attempt, blockLen int) (bool, int) {
+	if p == nil || p.CorruptRate <= 0 || blockLen == 0 {
+		return false, 0
+	}
+	cap := p.MaxCorruptReads
+	if cap <= 0 {
+		cap = 2
+	}
+	if attempt >= cap {
+		return false, 0
+	}
+	if p.u('c', stage, src, dst, attempt) >= p.CorruptRate {
+		return false, 0
+	}
+	return true, int(p.u('o', stage, src, dst, attempt) * float64(blockLen))
+}

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"st4ml/internal/codec"
+)
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	ctx := New(Config{
+		Slots: 4, DefaultParallelism: 8, RetryBackoff: -1,
+		Faults: &FaultPlan{FailTasks: map[int]int{3: 2}},
+	})
+	r := Parallelize(ctx, seq(100), 8)
+	got := r.Collect()
+	if !reflect.DeepEqual(got, seq(100)) {
+		t.Fatalf("collect under transient faults wrong: %d records", len(got))
+	}
+	snap := ctx.Metrics.Snapshot()
+	if snap.TaskRetries != 2 {
+		t.Errorf("TaskRetries = %d, want 2", snap.TaskRetries)
+	}
+	if snap.TasksRun != 8 {
+		t.Errorf("TasksRun = %d, want 8 (one commit per task)", snap.TasksRun)
+	}
+}
+
+func TestPermanentFailureReturnsTaskError(t *testing.T) {
+	ctx := New(Config{
+		Slots: 2, MaxTaskAttempts: 3, RetryBackoff: -1,
+		Faults: &FaultPlan{FailTasks: map[int]int{2: 100}},
+	})
+	r := Parallelize(ctx, seq(40), 4)
+	err := Try(func() { r.Collect() })
+	if err == nil {
+		t.Fatal("expected job abort")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error type %T", err)
+	}
+	if te.Task != 2 || te.Attempts != 3 {
+		t.Errorf("TaskError = %+v", te)
+	}
+	if !strings.Contains(err.Error(), "task 2") {
+		t.Errorf("task index missing: %v", err)
+	}
+}
+
+func TestRunStageReturnsErrorDirectly(t *testing.T) {
+	// White-box: the stage runner itself reports permanent task failure as
+	// a returned error (the old engine re-raised a panic instead).
+	ctx := New(Config{Slots: 2, MaxTaskAttempts: 2, RetryBackoff: -1})
+	err := ctx.runStage("direct", 4, func(task int) (func(), error) {
+		if task == 1 {
+			panic("direct kaboom")
+		}
+		return nil, nil
+	})
+	if err == nil {
+		t.Fatal("expected error from runStage")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || te.Task != 1 || te.Stage != "direct" {
+		t.Fatalf("runStage error = %v", err)
+	}
+}
+
+func TestTryPassesThroughForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic should propagate through Try")
+		}
+	}()
+	_ = Try(func() { panic("not a task error") })
+}
+
+func TestSpeculationRescuesStraggler(t *testing.T) {
+	ctx := New(Config{
+		Slots: 8, Speculation: true,
+		SpeculationQuantile: 0.3, SpeculationMultiplier: 1.5,
+		SpeculationInterval: 100 * time.Microsecond,
+		Faults:              &FaultPlan{DelayTasks: map[int]time.Duration{5: 200 * time.Millisecond}},
+	})
+	var vals []int
+	for i := 0; i < 16; i++ {
+		vals = append(vals, i)
+	}
+	r := Parallelize(ctx, vals, 16)
+	start := time.Now()
+	got := r.Collect()
+	elapsed := time.Since(start)
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("collect under speculation wrong: %v", got)
+	}
+	snap := ctx.Metrics.Snapshot()
+	if snap.SpeculativeLaunched == 0 {
+		t.Error("no speculative duplicate launched")
+	}
+	if snap.SpeculativeWins == 0 {
+		t.Errorf("speculative duplicate did not win (elapsed %v)", elapsed)
+	}
+	if snap.TasksRun != 16 {
+		t.Errorf("TasksRun = %d, want 16 — duplicate commits must not double-count", snap.TasksRun)
+	}
+}
+
+func TestSpeculationWithTinyAttemptBudget(t *testing.T) {
+	// Speculation composes with a minimal retry budget: the delayed
+	// primary and its duplicate race, exactly one commits, results stay
+	// correct.
+	ctx := New(Config{
+		Slots: 8, Speculation: true, MaxTaskAttempts: 2, RetryBackoff: -1,
+		SpeculationQuantile: 0.3, SpeculationMultiplier: 1.2,
+		SpeculationInterval: 100 * time.Microsecond,
+		Faults:              &FaultPlan{DelayTasks: map[int]time.Duration{3: 100 * time.Millisecond}},
+	})
+	r := Parallelize(ctx, seq(32), 16)
+	got := r.Collect()
+	if !reflect.DeepEqual(got, seq(32)) {
+		t.Fatalf("collect wrong: %d records", len(got))
+	}
+}
+
+func TestShuffleCorruptionRecoveredByReread(t *testing.T) {
+	ctx := New(Config{
+		Slots: 4, RetryBackoff: -1,
+		Faults: &FaultPlan{Seed: 7, CorruptRate: 1.0, MaxCorruptReads: 2},
+	})
+	r := Parallelize(ctx, seq(500), 4)
+	out := PartitionBy(r, codec.Int, 8, func(v int) int { return v % 8 }).Collect()
+	if len(out) != 500 {
+		t.Fatalf("lost records under shuffle corruption: %d", len(out))
+	}
+	snap := ctx.Metrics.Snapshot()
+	if snap.CorruptRereads == 0 {
+		t.Error("CorruptRereads not counted")
+	}
+}
+
+func TestShufflePermanentCorruptionAborts(t *testing.T) {
+	ctx := New(Config{
+		Slots: 4, MaxTaskAttempts: 2, RetryBackoff: -1,
+		Faults: &FaultPlan{Seed: 7, CorruptRate: 1.0, MaxCorruptReads: maxBlockReadAttempts + 8},
+	})
+	r := Parallelize(ctx, seq(100), 4)
+	err := Try(func() {
+		_ = PartitionBy(r, codec.Int, 4, func(v int) int { return v % 4 }).Collect()
+	})
+	if err == nil {
+		t.Fatal("permanently corrupt shuffle block should abort the job")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("error does not mention corruption: %v", err)
+	}
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	a := &FaultPlan{Seed: 42, FailRate: 0.3, DelayRate: 0.2, MaxDelay: time.Millisecond, CorruptRate: 0.5}
+	b := &FaultPlan{Seed: 42, FailRate: 0.3, DelayRate: 0.2, MaxDelay: time.Millisecond, CorruptRate: 0.5}
+	for task := 0; task < 50; task++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			ea, eb := a.failTask("s", task, attempt), b.failTask("s", task, attempt)
+			if (ea == nil) != (eb == nil) {
+				t.Fatalf("failTask(%d,%d) differs", task, attempt)
+			}
+			if a.taskDelay("s", task, attempt) != b.taskDelay("s", task, attempt) {
+				t.Fatalf("taskDelay(%d,%d) differs", task, attempt)
+			}
+			ba, oa := a.corruptBlock("s", task, 0, attempt, 100)
+			bb, ob := b.corruptBlock("s", task, 0, attempt, 100)
+			if ba != bb || oa != ob {
+				t.Fatalf("corruptBlock(%d,%d) differs", task, attempt)
+			}
+		}
+	}
+	// A different seed must change at least one decision.
+	c := &FaultPlan{Seed: 43, FailRate: 0.3}
+	diff := false
+	for task := 0; task < 50 && !diff; task++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			if (a.failTask("s", task, attempt) == nil) != (c.failTask("s", task, attempt) == nil) {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Error("seeds 42 and 43 made identical decisions")
+	}
+}
+
+func TestNilFaultPlanInjectsNothing(t *testing.T) {
+	var p *FaultPlan
+	if p.failTask("s", 0, 0) != nil {
+		t.Error("nil plan failed a task")
+	}
+	if p.taskDelay("s", 0, 0) != 0 {
+		t.Error("nil plan delayed a task")
+	}
+	if bad, _ := p.corruptBlock("s", 0, 0, 0, 10); bad {
+		t.Error("nil plan corrupted a block")
+	}
+}
+
+func TestForeachPartitionExactlyOnceUnderRetries(t *testing.T) {
+	ctx := New(Config{
+		Slots: 4, RetryBackoff: -1,
+		Faults: &FaultPlan{FailTasks: map[int]int{1: 2}},
+	})
+	var effects atomic.Int64
+	r := Parallelize(ctx, seq(40), 8)
+	r.ForeachPartition(func(p int, in []int) { effects.Add(1) })
+	if got := effects.Load(); got != 8 {
+		t.Errorf("side effect ran %d times, want 8", got)
+	}
+}

@@ -19,6 +19,10 @@ type Metrics struct {
 	broadcasts     atomic.Int64
 	broadcastBytes atomic.Int64
 	taskNanos      atomic.Int64
+	taskRetries    atomic.Int64
+	specLaunched   atomic.Int64
+	specWins       atomic.Int64
+	corruptRereads atomic.Int64
 	stageMu        sync.Mutex
 	stages         []StageStat
 }
@@ -42,6 +46,16 @@ type Snapshot struct {
 	Broadcasts     int64
 	BroadcastBytes int64
 	TaskTime       time.Duration
+	// TaskRetries counts task attempts re-run after a failed attempt.
+	TaskRetries int64
+	// SpeculativeLaunched counts straggler duplicates launched.
+	SpeculativeLaunched int64
+	// SpeculativeWins counts tasks whose speculative duplicate committed
+	// first.
+	SpeculativeWins int64
+	// CorruptRereads counts shuffle blocks re-read after a checksum
+	// mismatch.
+	CorruptRereads int64
 	Stages         []StageStat
 }
 
@@ -52,14 +66,18 @@ func (m *Metrics) Snapshot() Snapshot {
 	copy(stages, m.stages)
 	m.stageMu.Unlock()
 	return Snapshot{
-		TasksRun:       m.tasksRun.Load(),
-		RecordsOut:     m.recordsOut.Load(),
-		ShuffleRecords: m.shuffleRecords.Load(),
-		ShuffleBytes:   m.shuffleBytes.Load(),
-		Broadcasts:     m.broadcasts.Load(),
-		BroadcastBytes: m.broadcastBytes.Load(),
-		TaskTime:       time.Duration(m.taskNanos.Load()),
-		Stages:         stages,
+		TasksRun:            m.tasksRun.Load(),
+		RecordsOut:          m.recordsOut.Load(),
+		ShuffleRecords:      m.shuffleRecords.Load(),
+		ShuffleBytes:        m.shuffleBytes.Load(),
+		Broadcasts:          m.broadcasts.Load(),
+		BroadcastBytes:      m.broadcastBytes.Load(),
+		TaskTime:            time.Duration(m.taskNanos.Load()),
+		TaskRetries:         m.taskRetries.Load(),
+		SpeculativeLaunched: m.specLaunched.Load(),
+		SpeculativeWins:     m.specWins.Load(),
+		CorruptRereads:      m.corruptRereads.Load(),
+		Stages:              stages,
 	}
 }
 
@@ -72,6 +90,10 @@ func (m *Metrics) Reset() {
 	m.broadcasts.Store(0)
 	m.broadcastBytes.Store(0)
 	m.taskNanos.Store(0)
+	m.taskRetries.Store(0)
+	m.specLaunched.Store(0)
+	m.specWins.Store(0)
+	m.corruptRereads.Store(0)
 	m.stageMu.Lock()
 	m.stages = nil
 	m.stageMu.Unlock()
@@ -86,6 +108,8 @@ func (m *Metrics) addStage(s StageStat) {
 // String formats the headline counters on one line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"tasks=%d records=%d shuffleRecords=%d shuffleBytes=%d broadcasts=%d taskTime=%s",
-		s.TasksRun, s.RecordsOut, s.ShuffleRecords, s.ShuffleBytes, s.Broadcasts, s.TaskTime)
+		"tasks=%d records=%d shuffleRecords=%d shuffleBytes=%d broadcasts=%d taskTime=%s"+
+			" retries=%d speculated=%d specWins=%d corruptRereads=%d",
+		s.TasksRun, s.RecordsOut, s.ShuffleRecords, s.ShuffleBytes, s.Broadcasts, s.TaskTime,
+		s.TaskRetries, s.SpeculativeLaunched, s.SpeculativeWins, s.CorruptRereads)
 }

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"st4ml/internal/codec"
+)
+
+// TestMetricsConcurrentJobs hammers one Metrics value from many jobs running
+// in parallel — Snapshot and Reset interleave with counter updates and
+// addStage. Run under -race this is the concurrency-safety check for the
+// metrics layer.
+func TestMetricsConcurrentJobs(t *testing.T) {
+	ctx := New(Config{Slots: 8, DefaultParallelism: 4, RetryBackoff: -1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				r := Parallelize(ctx, seq(64), 4)
+				_ = PartitionBy(r, codec.Int, 4, func(v int) int { return v % 4 }).Collect()
+				_ = ctx.Metrics.Snapshot()
+				if g == 0 && i%3 == 0 {
+					ctx.Metrics.Reset()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Post-quiescence: counters and stages must be internally readable.
+	snap := ctx.Metrics.Snapshot()
+	if snap.TasksRun < 0 {
+		t.Errorf("TasksRun negative: %d", snap.TasksRun)
+	}
+}
+
+func TestSnapshotStringIncludesFaultCounters(t *testing.T) {
+	var m Metrics
+	m.taskRetries.Store(3)
+	m.specLaunched.Store(2)
+	m.specWins.Store(1)
+	m.corruptRereads.Store(4)
+	s := m.Snapshot().String()
+	for _, want := range []string{"retries=3", "speculated=2", "specWins=1", "corruptRereads=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Snapshot.String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestMetricsResetClearsFaultCounters(t *testing.T) {
+	var m Metrics
+	m.taskRetries.Store(5)
+	m.specLaunched.Store(5)
+	m.specWins.Store(5)
+	m.corruptRereads.Store(5)
+	m.addStage(StageStat{Name: "s"})
+	m.Reset()
+	snap := m.Snapshot()
+	if snap.TaskRetries != 0 || snap.SpeculativeLaunched != 0 ||
+		snap.SpeculativeWins != 0 || snap.CorruptRereads != 0 || len(snap.Stages) != 0 {
+		t.Errorf("Reset left residue: %+v", snap)
+	}
+}

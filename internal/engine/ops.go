@@ -156,7 +156,7 @@ func (r *RDD[T]) Take(n int) []T {
 	if n <= 0 {
 		return nil
 	}
-	r.prepare()
+	must(r.prepare())
 	out := make([]T, 0, n)
 	for p := 0; p < r.parts && len(out) < n; p++ {
 		part := r.computePartition(p)

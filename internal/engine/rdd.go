@@ -8,9 +8,10 @@ import (
 // preparable is the untyped view of an RDD used for dependency preparation.
 // Actions prepare the whole lineage top-down before scheduling tasks, so
 // shuffle materialization never nests inside a running task (Spark's stage
-// boundary, which also avoids slot-pool deadlock here).
+// boundary, which also avoids slot-pool deadlock here). prepare returns the
+// first permanent stage failure encountered in the lineage.
 type preparable interface {
-	prepare()
+	prepare() error
 }
 
 // RDD is a lazy, immutable, partitioned collection of T — the engine's
@@ -19,6 +20,10 @@ type preparable interface {
 //
 // An RDD is safe for concurrent actions. Partition data returned by compute
 // functions must be treated as immutable by downstream code.
+//
+// Actions retry failing tasks per the context's fault-tolerance config; a
+// task that fails every attempt aborts the job with a panic carrying a
+// *TaskError. Wrap action calls in Try to receive it as an error instead.
 type RDD[T any] struct {
 	ctx     *Context
 	name    string
@@ -28,9 +33,10 @@ type RDD[T any] struct {
 	compute func(p int) []T
 	// doMaterialize, when non-nil, produces all partitions at once; it runs
 	// under matOnce during prepare. Shuffled and cached RDDs use it.
-	doMaterialize func() [][]T
+	doMaterialize func() ([][]T, error)
 	matOnce       sync.Once
 	materialized  [][]T
+	matErr        error
 }
 
 // Ctx returns the owning context.
@@ -42,15 +48,18 @@ func (r *RDD[T]) Name() string { return r.name }
 // NumPartitions returns the partition count.
 func (r *RDD[T]) NumPartitions() int { return r.parts }
 
-func (r *RDD[T]) prepare() {
+func (r *RDD[T]) prepare() error {
 	for _, p := range r.parents {
-		p.prepare()
+		if err := p.prepare(); err != nil {
+			return err
+		}
 	}
 	if r.doMaterialize != nil {
 		r.matOnce.Do(func() {
-			r.materialized = r.doMaterialize()
+			r.materialized, r.matErr = r.doMaterialize()
 		})
 	}
+	return r.matErr
 }
 
 // computePartition returns partition p, from the materialized store if
@@ -190,31 +199,49 @@ func (r *RDD[T]) Cache() *RDD[T] {
 	cached := &RDD[T]{
 		ctx: r.ctx, name: r.name + ".cache", parts: r.parts, parents: []preparable{r},
 	}
-	cached.doMaterialize = func() [][]T {
+	cached.doMaterialize = func() ([][]T, error) {
 		out := make([][]T, r.parts)
-		r.ctx.runStage(cached.name, r.parts, func(p int) {
-			out[p] = r.computePartition(p)
+		err := r.ctx.runStage(cached.name, r.parts, func(p int) (func(), error) {
+			part := r.computePartition(p)
+			return func() { out[p] = part }, nil
 		})
-		return out
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	return cached
 }
 
 // runJob evaluates every partition of r in parallel and returns them.
-func runJob[T any](r *RDD[T], name string) [][]T {
-	r.prepare()
+func runJob[T any](r *RDD[T], name string) ([][]T, error) {
+	if err := r.prepare(); err != nil {
+		return nil, err
+	}
 	out := make([][]T, r.parts)
-	r.ctx.runStage(name, r.parts, func(p int) {
+	err := r.ctx.runStage(name, r.parts, func(p int) (func(), error) {
 		part := r.computePartition(p)
-		out[p] = part
-		r.ctx.Metrics.recordsOut.Add(int64(len(part)))
+		return func() {
+			out[p] = part
+			r.ctx.Metrics.recordsOut.Add(int64(len(part)))
+		}, nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mustRunJob is runJob for the panic-on-abort action API.
+func mustRunJob[T any](r *RDD[T], name string) [][]T {
+	parts, err := runJob(r, name)
+	must(err)
+	return parts
 }
 
 // Collect returns all elements in partition order.
 func (r *RDD[T]) Collect() []T {
-	parts := runJob(r, r.name+".collect")
+	parts := mustRunJob(r, r.name+".collect")
 	var n int
 	for _, p := range parts {
 		n += len(p)
@@ -228,7 +255,7 @@ func (r *RDD[T]) Collect() []T {
 
 // CollectPartitions returns the partitions without flattening.
 func (r *RDD[T]) CollectPartitions() [][]T {
-	return runJob(r, r.name+".collectPartitions")
+	return mustRunJob(r, r.name+".collectPartitions")
 }
 
 // Count returns the number of elements.
@@ -243,17 +270,18 @@ func (r *RDD[T]) Count() int64 {
 // CountByPartition returns per-partition element counts (the input to the
 // load-balance CV metric of Table 5).
 func (r *RDD[T]) CountByPartition() []int64 {
-	r.prepare()
+	must(r.prepare())
 	counts := make([]int64, r.parts)
-	r.ctx.runStage(r.name+".count", r.parts, func(p int) {
-		counts[p] = int64(len(r.computePartition(p)))
-	})
+	must(r.ctx.runStage(r.name+".count", r.parts, func(p int) (func(), error) {
+		n := int64(len(r.computePartition(p)))
+		return func() { counts[p] = n }, nil
+	}))
 	return counts
 }
 
 // Reduce folds all elements with f. ok is false for an empty RDD.
 func (r *RDD[T]) Reduce(f func(T, T) T) (result T, ok bool) {
-	parts := runJob(r, r.name+".reduce")
+	parts := mustRunJob(r, r.name+".reduce")
 	for _, part := range parts {
 		for _, v := range part {
 			if !ok {
@@ -269,15 +297,15 @@ func (r *RDD[T]) Reduce(f func(T, T) T) (result T, ok bool) {
 // Aggregate folds each partition with seqOp from zero, then merges the
 // per-partition results with combOp on the driver.
 func Aggregate[T, U any](r *RDD[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) U {
-	r.prepare()
+	must(r.prepare())
 	partial := make([]U, r.parts)
-	r.ctx.runStage(r.name+".aggregate", r.parts, func(p int) {
+	must(r.ctx.runStage(r.name+".aggregate", r.parts, func(p int) (func(), error) {
 		acc := zero
 		for _, v := range r.computePartition(p) {
 			acc = seqOp(acc, v)
 		}
-		partial[p] = acc
-	})
+		return func() { partial[p] = acc }, nil
+	}))
 	out := zero
 	for _, u := range partial {
 		out = combOp(out, u)
@@ -285,10 +313,14 @@ func Aggregate[T, U any](r *RDD[T], zero U, seqOp func(U, T) U, combOp func(U, U
 	return out
 }
 
-// ForeachPartition runs fn over every partition for its side effects.
+// ForeachPartition runs fn over every partition for its side effects. The
+// commit machinery runs fn exactly once per partition even under retries
+// and speculation — but an attempt that fails partway may already have
+// performed part of its effect, so fn's effects should be idempotent.
 func (r *RDD[T]) ForeachPartition(fn func(p int, in []T)) {
-	r.prepare()
-	r.ctx.runStage(r.name+".foreach", r.parts, func(p int) {
-		fn(p, r.computePartition(p))
-	})
+	must(r.prepare())
+	must(r.ctx.runStage(r.name+".foreach", r.parts, func(p int) (func(), error) {
+		in := r.computePartition(p)
+		return func() { fn(p, in) }, nil
+	}))
 }

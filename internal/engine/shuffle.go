@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"hash/fnv"
 
 	"st4ml/internal/codec"
@@ -9,7 +10,13 @@ import (
 // Shuffles route records between partitions. Every shuffled record is
 // encoded with its codec on the map side and decoded on the reduce side —
 // the same serialization toll Spark charges — and the byte volume is
-// tracked in Metrics.ShuffleBytes.
+// tracked in Metrics.ShuffleBytes. Each (map, reduce) block travels in a
+// length+checksum frame; the reduce side verifies the frame and re-reads
+// the block on a mismatch before failing the task.
+
+// maxBlockReadAttempts is how many times the reduce side reads a shuffle
+// block before declaring it permanently corrupt.
+const maxBlockReadAttempts = 3
 
 // PartitionBy redistributes records into nOut partitions according to
 // target (values outside [0, nOut) are clamped by modulo).
@@ -28,8 +35,11 @@ func PartitionByMulti[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func
 	out := &RDD[T]{
 		ctx: r.ctx, name: r.name + ".partitionBy", parts: nOut, parents: []preparable{r},
 	}
-	out.doMaterialize = func() [][]T {
-		enc := shuffleWrite(r, c, nOut, targets)
+	out.doMaterialize = func() ([][]T, error) {
+		enc, err := shuffleWrite(r, c, nOut, targets)
+		if err != nil {
+			return nil, err
+		}
 		return shuffleRead(r.ctx, out.name, c, enc)
 	}
 	return out
@@ -44,12 +54,15 @@ func HashPartitionBy[T any](r *RDD[T], c codec.Codec[T], nOut int) *RDD[T] {
 	out := &RDD[T]{
 		ctx: r.ctx, name: r.name + ".hashPartition", parts: nOut, parents: []preparable{r},
 	}
-	out.doMaterialize = func() [][]T {
+	out.doMaterialize = func() ([][]T, error) {
 		scratch := func() *codec.Writer { return codec.NewWriter(64) }
-		enc := shuffleWriteFunc(r, nOut, func(v T, w *codec.Writer) int {
+		enc, err := shuffleWriteFunc(r, nOut, func(v T, w *codec.Writer) int {
 			c.Enc(w, v)
 			return int(hashBytes(w.Bytes()) % uint64(nOut))
 		}, scratch)
+		if err != nil {
+			return nil, err
+		}
 		return shuffleRead(r.ctx, out.name, c, enc)
 	}
 	return out
@@ -71,7 +84,7 @@ func ReduceByKey[K comparable, V any](
 	out := &RDD[codec.Pair[K, V]]{
 		ctx: r.ctx, name: r.name + ".reduceByKey", parts: nOut, parents: []preparable{r},
 	}
-	out.doMaterialize = func() [][]codec.Pair[K, V] {
+	out.doMaterialize = func() ([][]codec.Pair[K, V], error) {
 		combined := MapPartitions(r, func(_ int, in []codec.Pair[K, V]) []codec.Pair[K, V] {
 			m := make(map[K]V, len(in))
 			for _, p := range in {
@@ -87,13 +100,19 @@ func ReduceByKey[K comparable, V any](
 			}
 			return out
 		})
-		enc := shuffleWrite(combined, pc, nOut, func(p codec.Pair[K, V]) []int {
+		enc, err := shuffleWrite(combined, pc, nOut, func(p codec.Pair[K, V]) []int {
 			return []int{keyBucket(kc, p.Key, nOut)}
 		})
-		shuffled := shuffleRead(r.ctx, out.name, pc, enc)
+		if err != nil {
+			return nil, err
+		}
+		shuffled, err := shuffleRead(r.ctx, out.name, pc, enc)
+		if err != nil {
+			return nil, err
+		}
 		// Final merge per reduce partition.
 		result := make([][]codec.Pair[K, V], nOut)
-		r.ctx.runStage(out.name+".merge", nOut, func(p int) {
+		err = r.ctx.runStage(out.name+".merge", nOut, func(p int) (func(), error) {
 			m := make(map[K]V)
 			for _, pair := range shuffled[p] {
 				if cur, ok := m[pair.Key]; ok {
@@ -106,9 +125,12 @@ func ReduceByKey[K comparable, V any](
 			for k, v := range m {
 				outp = append(outp, codec.KV(k, v))
 			}
-			result[p] = outp
+			return func() { result[p] = outp }, nil
 		})
-		return result
+		if err != nil {
+			return nil, err
+		}
+		return result, nil
 	}
 	return out
 }
@@ -127,13 +149,19 @@ func GroupByKey[K comparable, V any](
 	out := &RDD[codec.Pair[K, []V]]{
 		ctx: r.ctx, name: r.name + ".groupByKey", parts: nOut, parents: []preparable{r},
 	}
-	out.doMaterialize = func() [][]codec.Pair[K, []V] {
-		enc := shuffleWrite(r, pc, nOut, func(p codec.Pair[K, V]) []int {
+	out.doMaterialize = func() ([][]codec.Pair[K, []V], error) {
+		enc, err := shuffleWrite(r, pc, nOut, func(p codec.Pair[K, V]) []int {
 			return []int{keyBucket(kc, p.Key, nOut)}
 		})
-		shuffled := shuffleRead(r.ctx, out.name, pc, enc)
+		if err != nil {
+			return nil, err
+		}
+		shuffled, err := shuffleRead(r.ctx, out.name, pc, enc)
+		if err != nil {
+			return nil, err
+		}
 		result := make([][]codec.Pair[K, []V], nOut)
-		r.ctx.runStage(out.name+".group", nOut, func(p int) {
+		err = r.ctx.runStage(out.name+".group", nOut, func(p int) (func(), error) {
 			m := make(map[K][]V)
 			for _, pair := range shuffled[p] {
 				m[pair.Key] = append(m[pair.Key], pair.Value)
@@ -142,9 +170,12 @@ func GroupByKey[K comparable, V any](
 			for k, vs := range m {
 				outp = append(outp, codec.KV(k, vs))
 			}
-			result[p] = outp
+			return func() { result[p] = outp }, nil
 		})
-		return result
+		if err != nil {
+			return nil, err
+		}
+		return result, nil
 	}
 	return out
 }
@@ -163,14 +194,34 @@ func hashBytes(b []byte) uint64 {
 	return h.Sum64()
 }
 
+// frameBuffers wraps each non-empty per-target buffer in a checksum frame
+// and returns the framed buffers plus the total payload byte count.
+func frameBuffers(writers []*codec.Writer) ([][]byte, int64) {
+	bufs := make([][]byte, len(writers))
+	var bytes int64
+	for t, w := range writers {
+		if w == nil {
+			continue
+		}
+		framed := codec.NewWriter(w.Len() + 16)
+		framed.PutFrame(w.Bytes())
+		bufs[t] = framed.Bytes()
+		bytes += int64(w.Len())
+	}
+	return bufs, bytes
+}
+
 // shuffleWrite runs the map side: every parent partition encodes its
-// records into one byte buffer per target partition. Returns
-// enc[parentPart][target] = concatenated encodings.
-func shuffleWrite[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func(T) []int) [][][]byte {
-	r.prepare()
+// records into one checksum-framed byte buffer per target partition.
+// Returns enc[parentPart][target] = framed concatenated encodings.
+func shuffleWrite[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func(T) []int) ([][][]byte, error) {
+	if err := r.prepare(); err != nil {
+		return nil, err
+	}
 	enc := make([][][]byte, r.parts)
-	r.ctx.runStage(r.name+".shuffleWrite", r.parts, func(p int) {
+	err := r.ctx.runStage(r.name+".shuffleWrite", r.parts, func(p int) (func(), error) {
 		writers := make([]*codec.Writer, nOut)
+		var records int64
 		for _, v := range r.computePartition(p) {
 			for _, t := range targets(v) {
 				t = ((t % nOut) + nOut) % nOut
@@ -178,21 +229,20 @@ func shuffleWrite[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func(T) 
 					writers[t] = codec.NewWriter(1024)
 				}
 				c.Enc(writers[t], v)
-				r.ctx.Metrics.shuffleRecords.Add(1)
+				records++
 			}
 		}
-		bufs := make([][]byte, nOut)
-		var bytes int64
-		for t, w := range writers {
-			if w != nil {
-				bufs[t] = w.Bytes()
-				bytes += int64(w.Len())
-			}
-		}
-		r.ctx.Metrics.shuffleBytes.Add(bytes)
-		enc[p] = bufs
+		bufs, bytes := frameBuffers(writers)
+		return func() {
+			enc[p] = bufs
+			r.ctx.Metrics.shuffleRecords.Add(records)
+			r.ctx.Metrics.shuffleBytes.Add(bytes)
+		}, nil
 	})
-	return enc
+	if err != nil {
+		return nil, err
+	}
+	return enc, nil
 }
 
 // shuffleWriteFunc is shuffleWrite with a fused encode+route step: route
@@ -203,12 +253,15 @@ func shuffleWriteFunc[T any](
 	r *RDD[T], nOut int,
 	route func(v T, scratch *codec.Writer) int,
 	newScratch func() *codec.Writer,
-) [][][]byte {
-	r.prepare()
+) ([][][]byte, error) {
+	if err := r.prepare(); err != nil {
+		return nil, err
+	}
 	enc := make([][][]byte, r.parts)
-	r.ctx.runStage(r.name+".shuffleWrite", r.parts, func(p int) {
+	err := r.ctx.runStage(r.name+".shuffleWrite", r.parts, func(p int) (func(), error) {
 		writers := make([]*codec.Writer, nOut)
 		scratch := newScratch()
+		var records int64
 		for _, v := range r.computePartition(p) {
 			scratch.Reset()
 			t := route(v, scratch)
@@ -217,43 +270,80 @@ func shuffleWriteFunc[T any](
 				writers[t] = codec.NewWriter(1024)
 			}
 			writers[t].PutRaw(scratch.Bytes())
-			r.ctx.Metrics.shuffleRecords.Add(1)
+			records++
 		}
-		bufs := make([][]byte, nOut)
-		var bytes int64
-		for t, w := range writers {
-			if w != nil {
-				bufs[t] = w.Bytes()
-				bytes += int64(w.Len())
-			}
-		}
-		r.ctx.Metrics.shuffleBytes.Add(bytes)
-		enc[p] = bufs
+		bufs, bytes := frameBuffers(writers)
+		return func() {
+			enc[p] = bufs
+			r.ctx.Metrics.shuffleRecords.Add(records)
+			r.ctx.Metrics.shuffleBytes.Add(bytes)
+		}, nil
 	})
-	return enc
+	if err != nil {
+		return nil, err
+	}
+	return enc, nil
 }
 
-// shuffleRead runs the reduce side: for each output partition, decode the
-// byte buffers produced for it by every map task.
-func shuffleRead[T any](ctx *Context, name string, c codec.Codec[T], enc [][][]byte) [][]T {
+// readBlock verifies and unwraps one framed shuffle block, re-reading on
+// checksum mismatch (a FaultPlan may inject transient corruption; real
+// corruption fails every attempt). The returned payload aliases buf.
+func readBlock(ctx *Context, stage string, src, dst int, buf []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxBlockReadAttempts; attempt++ {
+		data := buf
+		if bad, off := ctx.faults.corruptBlock(stage, src, dst, attempt, len(buf)); bad {
+			corrupted := append([]byte(nil), buf...)
+			corrupted[off] ^= 0x01
+			data = corrupted
+		}
+		var payload []byte
+		err := codec.Catch(func() {
+			rd := codec.NewReader(data)
+			payload = rd.Frame()
+			if rd.Remaining() != 0 {
+				panic(codec.ErrCorrupt{Off: len(data) - rd.Remaining()})
+			}
+		})
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+		ctx.Metrics.corruptRereads.Add(1)
+	}
+	return nil, fmt.Errorf("engine: shuffle block %d->%d corrupt after %d reads: %w",
+		src, dst, maxBlockReadAttempts, lastErr)
+}
+
+// shuffleRead runs the reduce side: for each output partition, verify and
+// decode the framed byte buffers produced for it by every map task.
+func shuffleRead[T any](ctx *Context, name string, c codec.Codec[T], enc [][][]byte) ([][]T, error) {
 	if len(enc) == 0 {
-		return nil
+		return nil, nil
 	}
 	nOut := len(enc[0])
 	out := make([][]T, nOut)
-	ctx.runStage(name+".shuffleRead", nOut, func(t int) {
+	stage := name + ".shuffleRead"
+	err := ctx.runStage(stage, nOut, func(t int) (func(), error) {
 		var part []T
 		for p := range enc {
 			buf := enc[p][t]
 			if len(buf) == 0 {
 				continue
 			}
-			rd := codec.NewReader(buf)
+			payload, err := readBlock(ctx, stage, p, t, buf)
+			if err != nil {
+				return nil, err
+			}
+			rd := codec.NewReader(payload)
 			for rd.Remaining() > 0 {
 				part = append(part, c.Dec(rd))
 			}
 		}
-		out[t] = part
+		return func() { out[t] = part }, nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -54,8 +55,13 @@ func (p PartitionMeta) Box() index.Box {
 // Metadata is the master-side index of a dataset: one entry per partition
 // with its ST bounds, enabling partition pruning before any file is read.
 type Metadata struct {
-	Name       string          `json:"name"`
-	Compressed bool            `json:"compressed"`
+	Name       string `json:"name"`
+	Compressed bool   `json:"compressed"`
+	// Framed marks partitions written as length+CRC32C frames; readers
+	// verify every frame and reject corrupt files instead of silently
+	// decoding garbage. Absent (false) on legacy datasets, which decode as
+	// bare record streams.
+	Framed     bool            `json:"framed,omitempty"`
 	TotalCount int64           `json:"total_count"`
 	Partitions []PartitionMeta `json:"partitions"`
 }
@@ -98,7 +104,7 @@ func Write[T any](
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create dataset dir: %w", err)
 	}
-	meta := &Metadata{Name: opts.Name, Compressed: opts.Compress}
+	meta := &Metadata{Name: opts.Name, Compressed: opts.Compress, Framed: true}
 	for i, part := range parts {
 		pm, err := writePartition(dir, i, c, part, boxOf, opts.Compress)
 		if err != nil {
@@ -133,20 +139,35 @@ func writePartition[T any](
 		gz = gzip.NewWriter(f)
 		out = gz
 	}
+	// Records accumulate in w and flush as integrity frames (length +
+	// CRC32C + payload) at record boundaries, so a reader can verify each
+	// chunk before decoding it.
 	w := codec.NewWriter(64 * 1024)
+	fw := codec.NewWriter(64 * 1024)
+	flush := func() error {
+		if w.Len() == 0 {
+			return nil
+		}
+		fw.Reset()
+		fw.PutFrame(w.Bytes())
+		if _, err := out.Write(fw.Bytes()); err != nil {
+			return fmt.Errorf("storage: write partition: %w", err)
+		}
+		w.Reset()
+		return nil
+	}
 	bounds := index.EmptyBox()
 	for _, rec := range part {
 		c.Enc(w, rec)
 		bounds = bounds.Union(boxOf(rec))
 		if w.Len() >= 1<<20 {
-			if _, err := out.Write(w.Bytes()); err != nil {
-				return PartitionMeta{}, fmt.Errorf("storage: write partition: %w", err)
+			if err := flush(); err != nil {
+				return PartitionMeta{}, err
 			}
-			w.Reset()
 		}
 	}
-	if _, err := out.Write(w.Bytes()); err != nil {
-		return PartitionMeta{}, fmt.Errorf("storage: write partition: %w", err)
+	if err := flush(); err != nil {
+		return PartitionMeta{}, err
 	}
 	if gz != nil {
 		if err := gz.Close(); err != nil {
@@ -195,12 +216,38 @@ func ReadMetadata(dir string) (*Metadata, error) {
 	return &meta, nil
 }
 
-// ReadPartition decodes one partition file.
+// maxPartitionReadAttempts bounds re-reads of a partition file whose
+// checksum verification failed — transient media errors recover, while a
+// truly corrupt file fails every attempt and surfaces an error.
+const maxPartitionReadAttempts = 3
+
+// ReadPartition decodes one partition file. Framed datasets verify every
+// chunk's CRC32C before decoding and re-read the file a bounded number of
+// times on mismatch; corruption is always reported, never silently decoded.
 func ReadPartition[T any](dir string, meta *Metadata, i int, c codec.Codec[T]) ([]T, error) {
 	if i < 0 || i >= len(meta.Partitions) {
 		return nil, fmt.Errorf("storage: partition %d out of range [0,%d)", i, len(meta.Partitions))
 	}
 	pm := meta.Partitions[i]
+	var lastErr error
+	for attempt := 0; attempt < maxPartitionReadAttempts; attempt++ {
+		out, err := readPartitionOnce[T](dir, meta, pm, c)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		var ce codec.ErrCorrupt
+		if !errors.As(err, &ce) {
+			return nil, err // I/O or structural error: retrying won't help
+		}
+	}
+	return nil, fmt.Errorf("storage: partition %s corrupt after %d reads: %w",
+		pm.File, maxPartitionReadAttempts, lastErr)
+}
+
+func readPartitionOnce[T any](
+	dir string, meta *Metadata, pm PartitionMeta, c codec.Codec[T],
+) ([]T, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, pm.File))
 	if err != nil {
 		return nil, fmt.Errorf("storage: read partition: %w", err)
@@ -218,8 +265,18 @@ func ReadPartition[T any](dir string, meta *Metadata, i int, c codec.Codec[T]) (
 	out := make([]T, 0, pm.Count)
 	err = codec.Catch(func() {
 		r := codec.NewReader(raw)
-		for r.Remaining() > 0 {
-			out = append(out, c.Dec(r))
+		if meta.Framed {
+			for r.Remaining() > 0 {
+				fr := codec.NewReader(r.Frame())
+				for fr.Remaining() > 0 {
+					out = append(out, c.Dec(fr))
+				}
+			}
+		} else {
+			// Legacy dataset: bare record stream with no checksums.
+			for r.Remaining() > 0 {
+				out = append(out, c.Dec(r))
+			}
 		}
 	})
 	if err != nil {
@@ -240,6 +297,7 @@ func MergeMetadata(parts map[string]*Metadata) *Metadata {
 	out := &Metadata{Name: "merged"}
 	for dir, m := range parts {
 		out.Compressed = m.Compressed
+		out.Framed = m.Framed
 		out.TotalCount += m.TotalCount
 		for _, p := range m.Partitions {
 			p.File = filepath.Join(dir, p.File)
