@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet check bench serve
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the full pre-merge gate: vet, build, and the race-enabled test
-# suite (including the engine chaos tests).
+# check is the full pre-merge gate: vet, build, the race-enabled test suite
+# (including the engine chaos tests), and an explicit stserved smoke — boot
+# the daemon on an ephemeral port with a generated dataset and run one query
+# end to end.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run TestServedSmoke ./cmd/stserved
 
 bench:
 	$(GO) run ./cmd/stbench -exp all
+
+# serve boots the feature-serving daemon on a generated demo dataset.
+serve:
+	$(GO) run ./cmd/stserved -demo 100000

@@ -24,13 +24,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig5|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|all")
+		exp     = flag.String("exp", "all", "experiment: fig5|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|all")
 		events  = flag.Int("events", 200_000, "NYC-like event count")
 		trajs   = flag.Int("trajs", 20_000, "Porto-like trajectory count")
 		pois    = flag.Int("pois", 100_000, "OSM-like POI count")
 		areas   = flag.Int("areas", 400, "OSM-like area count")
 		airSta  = flag.Int("airsta", 40, "air-quality stations (before x4 replication)")
 		windows = flag.Int("windows", 10, "query windows per application")
+		clients = flag.Int("clients", 8, "concurrent HTTP clients for -exp serve")
 		slots   = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
 		workdir = flag.String("workdir", "", "work directory for stores (default: temp)")
 		spec    = flag.Bool("speculation", false, "speculatively re-execute straggler tasks")
@@ -45,13 +46,13 @@ func main() {
 	}
 	if err := run(*exp, cfg, bench.Scale{
 		Events: *events, Trajs: *trajs, POIs: *pois, Areas: *areas, AirSta: *airSta,
-	}, *windows, *workdir); err != nil {
+	}, *windows, *clients, *workdir); err != nil {
 		fmt.Fprintln(os.Stderr, "stbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg engine.Config, scale bench.Scale, windows int, workdir string) error {
+func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int, workdir string) error {
 	want := map[string]bool{}
 	for _, e := range strings.Split(exp, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -84,7 +85,7 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows int, workdir 
 	}
 	needEnv := all || want["fig5"] || want["fig6"] || want["table5"] ||
 		want["table6"] || want["fig7"] || want["ablation"] || want["fig7sweep"]
-	if !needEnv {
+	if !needEnv && !want["serve"] {
 		return nil
 	}
 
@@ -95,6 +96,22 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows int, workdir 
 		}
 		defer os.RemoveAll(dir)
 		workdir = dir
+	}
+
+	// The serving benchmark builds its own (smaller) store; it does not need
+	// the full multi-system environment.
+	if all || want["serve"] {
+		res, err := bench.Serve(ctx, workdir, scale.Events/2, clients, windows)
+		if err != nil {
+			return err
+		}
+		bench.ServeTable(res).Fprint(os.Stdout)
+		if err := bench.WriteJSONRow(os.Stdout, "serve", res); err != nil {
+			return err
+		}
+	}
+	if !needEnv {
+		return nil
 	}
 	fmt.Fprintf(os.Stderr, "stbench: preparing corpora (events=%d trajs=%d pois=%d) ...\n",
 		scale.Events, scale.Trajs, scale.POIs)

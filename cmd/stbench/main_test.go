@@ -19,7 +19,7 @@ func TestRunAllTiny(t *testing.T) {
 	// stdout; that is fine under go test.
 	err := run("all", engine.Config{Slots: 2}, bench.Scale{
 		Events: 5_000, Trajs: 500, POIs: 2_000, Areas: 36, AirSta: 3,
-	}, 2, dir)
+	}, 2, 4, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,10 +31,13 @@ func TestRunAllTiny(t *testing.T) {
 }
 
 func TestRunSingleExperiments(t *testing.T) {
-	if err := run("table8", engine.Config{Slots: 2}, bench.Scale{}, 1, t.TempDir()); err != nil {
+	if err := run("table8", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table9", engine.Config{Slots: 2}, bench.Scale{}, 1, t.TempDir()); err != nil {
+	if err := run("table9", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("serve", engine.Config{Slots: 2}, bench.Scale{Events: 4_000}, 2, 3, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -46,13 +49,13 @@ func TestRunUnderChaosPlan(t *testing.T) {
 		Slots: 2, Speculation: true,
 		Faults: &engine.FaultPlan{Seed: 1, FailRate: 0.1, CorruptRate: 0.1},
 	}
-	if err := run("table9", cfg, bench.Scale{}, 1, t.TempDir()); err != nil {
+	if err := run("table9", cfg, bench.Scale{}, 1, 2, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperimentIsNoop(t *testing.T) {
-	if err := run("nonsense", engine.Config{Slots: 2}, bench.Scale{}, 1, t.TempDir()); err != nil {
+	if err := run("nonsense", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -17,12 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"strings"
 
 	"st4ml/internal/datagen"
 	"st4ml/internal/engine"
-	"st4ml/internal/partition"
 	"st4ml/internal/selection"
 	"st4ml/internal/stdata"
 	"st4ml/internal/storage"
@@ -30,7 +29,7 @@ import (
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "nyc", "dataset schema: nyc|porto|air|osm")
+		dataset  = flag.String("dataset", "nyc", "dataset schema: "+strings.Join(stdata.SchemaNames(), "|"))
 		n        = flag.Int("n", 100_000, "record count when generating (events/trajectories/POIs)")
 		input    = flag.String("input", "", "CSV file to ingest instead of generating (nyc/porto schemas)")
 		out      = flag.String("out", "", "output dataset directory (required)")
@@ -45,49 +44,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stload: -out is required")
 		os.Exit(2)
 	}
+	sch, ok := stdata.Lookup(*dataset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stload: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
 	ctx := engine.New(engine.Config{Slots: *slots})
-	planner := partition.TSTR{GT: *gt, GS: *gs}
 	opts := selection.IngestOptions{
 		Name: *dataset, Compress: *compress, SampleFrac: 0.02, Seed: *seed,
 	}
 	var (
-		meta *storage.Metadata
+		recs any
 		err  error
 	)
-	switch *dataset {
-	case "nyc":
-		var recs []stdata.EventRec
-		if *input != "" {
-			recs, err = readCSV(*input, stdata.ReadEventsCSV)
-		} else {
-			recs = datagen.NYC(*n, *seed)
-		}
-		if err == nil {
-			meta, err = selection.Ingest(engine.Parallelize(ctx, recs, 0), *out,
-				stdata.EventRecC, stdata.EventRec.Box, planner, opts)
-		}
-	case "porto":
-		var recs []stdata.TrajRec
-		if *input != "" {
-			recs, err = readCSV(*input, stdata.ReadTrajsCSV)
-		} else {
-			recs = datagen.Porto(*n, *seed)
-		}
-		if err == nil {
-			meta, err = selection.Ingest(engine.Parallelize(ctx, recs, 0), *out,
-				stdata.TrajRecC, stdata.TrajRec.Box, planner, opts)
-		}
-	case "air":
-		recs := datagen.Air(*n, 4, 7, 1800, *seed)
-		meta, err = selection.Ingest(engine.Parallelize(ctx, recs, 0), *out,
-			stdata.AirRecC, stdata.AirRec.Box, planner, opts)
-	case "osm":
-		pois, _ := datagen.OSM(*n, 1, *seed)
-		meta, err = selection.Ingest(engine.Parallelize(ctx, pois, 0), *out,
-			stdata.POIRecC, stdata.POIRec.Box, partition.STR2D{N: *gt * *gs}, opts)
-	default:
-		fmt.Fprintf(os.Stderr, "stload: unknown dataset %q\n", *dataset)
-		os.Exit(2)
+	if *input != "" {
+		recs, err = readCSV(sch, *input)
+	} else {
+		recs = generate(*dataset, *n, *seed)
+	}
+	var meta *storage.Metadata
+	if err == nil {
+		meta, err = sch.Ingest(ctx, recs, *out, sch.DefaultPlanner(*gt, *gs), opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stload:", err)
@@ -97,12 +74,30 @@ func main() {
 		meta.TotalCount, meta.NumPartitions(), *out)
 }
 
-// readCSV opens path and parses it with the schema reader.
-func readCSV[T any](path string, parse func(io.Reader) ([]T, error)) ([]T, error) {
+// generate produces n synthetic records of the named schema. Generator
+// signatures differ per corpus, so this stays a switch; everything
+// downstream goes through the stdata registry.
+func generate(dataset string, n int, seed int64) any {
+	switch dataset {
+	case "nyc":
+		return datagen.NYC(n, seed)
+	case "porto":
+		return datagen.Porto(n, seed)
+	case "air":
+		return datagen.Air(n, 4, 7, 1800, seed)
+	case "osm":
+		pois, _ := datagen.OSM(n, 1, seed)
+		return pois
+	}
+	return nil
+}
+
+// readCSV opens path and parses it with the schema's CSV reader.
+func readCSV(sch stdata.Schema, path string) (any, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return parse(f)
+	return sch.ReadCSV(f)
 }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"st4ml/internal/engine"
 	"st4ml/internal/geom"
@@ -24,7 +25,7 @@ import (
 func main() {
 	var (
 		dir     = flag.String("dir", "", "dataset directory (required)")
-		dataset = flag.String("dataset", "nyc", "schema: nyc|porto|air|osm")
+		dataset = flag.String("dataset", "nyc", "schema: "+strings.Join(stdata.SchemaNames(), "|"))
 		minx    = flag.Float64("minx", -180, "window min longitude")
 		miny    = flag.Float64("miny", -90, "window min latitude")
 		maxx    = flag.Float64("maxx", 180, "window max longitude")
@@ -32,6 +33,7 @@ func main() {
 		tstart  = flag.Int64("tstart", 0, "window start (unix seconds)")
 		tend    = flag.Int64("tend", 1<<60, "window end (unix seconds)")
 		full    = flag.Bool("full-scan", false, "skip metadata pruning (native path)")
+		metrics = flag.Bool("metrics", false, "print the engine counter snapshot after the query")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -51,46 +53,21 @@ func main() {
 	fmt.Printf("partitions: %d/%d loaded\nrecords: %d loaded, %d selected\nbytes read: %d\n",
 		stats.LoadedPartitions, stats.TotalPartitions,
 		stats.LoadedRecords, stats.SelectedRecords, stats.LoadedBytes)
+	if *metrics {
+		// Same counters the server's /metrics and stbench report, so every
+		// entry point speaks one metrics dialect.
+		fmt.Println(ctx.Metrics.Snapshot())
+	}
 }
 
 func query(ctx *engine.Context, dataset, dir string, w selection.Window, full bool) (selection.Stats, error) {
-	switch dataset {
-	case "nyc":
-		sel := selection.New(ctx, stdata.EventRecC, stdata.EventRec.Box, nil,
-			selection.Config{Index: true})
-		if full {
-			_, st, err := sel.Select(dir, w)
-			return st, err
-		}
-		_, st, err := sel.SelectPruned(dir, w)
-		return st, err
-	case "porto":
-		sel := selection.New(ctx, stdata.TrajRecC, stdata.TrajRec.Box, nil,
-			selection.Config{Index: true})
-		if full {
-			_, st, err := sel.Select(dir, w)
-			return st, err
-		}
-		_, st, err := sel.SelectPruned(dir, w)
-		return st, err
-	case "air":
-		sel := selection.New(ctx, stdata.AirRecC, stdata.AirRec.Box, nil,
-			selection.Config{Index: true})
-		if full {
-			_, st, err := sel.Select(dir, w)
-			return st, err
-		}
-		_, st, err := sel.SelectPruned(dir, w)
-		return st, err
-	case "osm":
-		sel := selection.New(ctx, stdata.POIRecC, stdata.POIRec.Box, nil,
-			selection.Config{Index: true})
-		if full {
-			_, st, err := sel.Select(dir, w)
-			return st, err
-		}
-		_, st, err := sel.SelectPruned(dir, w)
-		return st, err
+	sch, ok := stdata.Lookup(dataset)
+	if !ok {
+		return selection.Stats{}, fmt.Errorf("unknown dataset %q", dataset)
 	}
-	return selection.Stats{}, fmt.Errorf("unknown dataset %q", dataset)
+	q := sch.NewQuerier(ctx, selection.Config{Index: true})
+	if full {
+		return q.Select(dir, w)
+	}
+	return q.SelectPruned(dir, w)
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"st4ml/internal/engine"
+)
+
+// TestServedSmoke is the make-check smoke gate: build the daemon against a
+// tiny generated dataset, issue one query over HTTP, and expect 200 with a
+// sane body.
+func TestServedSmoke(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir()) // the demo ingest dir dies with the test
+	ctx := engine.New(engine.Config{Slots: 2})
+	srv, err := build(ctx, nil, 2000, 8<<20, 4, 8, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(
+		`{"dataset":"demo","minx":-74.1,"miny":40.6,"maxx":-73.8,"maxy":40.9,"tstart":0,"tend":2000000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Stats struct {
+			SelectedRecords int64
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Stats.SelectedRecords == 0 {
+		t.Error("whole-extent query selected 0 records")
+	}
+
+	for _, path := range []string{"/healthz", "/datasets", "/metrics"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s status = %d", path, r.StatusCode)
+		}
+	}
+}
+
+func TestParseDatasetSpec(t *testing.T) {
+	name, schema, dir, err := parseDatasetSpec("taxi:nyc=/data/taxi")
+	if err != nil || name != "taxi" || schema != "nyc" || dir != "/data/taxi" {
+		t.Errorf("got %q %q %q %v", name, schema, dir, err)
+	}
+	name, schema, _, err = parseDatasetSpec("porto=/data/porto")
+	if err != nil || name != "porto" || schema != "porto" {
+		t.Errorf("got %q %q %v", name, schema, err)
+	}
+	for _, bad := range []string{"", "nyc", "=dir", "nyc="} {
+		if _, _, _, err := parseDatasetSpec(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/selection"
+	"st4ml/internal/serve"
+	"st4ml/internal/stdata"
+)
+
+// ServeResult is one serving-benchmark row: the same query mix issued over
+// HTTP against a cold stserved instance (every query misses the result
+// cache and loads partitions from disk) and then replayed fully hot (every
+// query is answered from the result cache).
+type ServeResult struct {
+	Events         int     `json:"events"`
+	Partitions     int     `json:"partitions"`
+	Clients        int     `json:"clients"`
+	Queries        int     `json:"queries"`
+	ColdMeanMS     float64 `json:"cold_mean_ms"`
+	ColdP95MS      float64 `json:"cold_p95_ms"`
+	ColdQPS        float64 `json:"cold_qps"`
+	HotMeanMS      float64 `json:"hot_mean_ms"`
+	HotP95MS       float64 `json:"hot_p95_ms"`
+	HotQPS         float64 `json:"hot_qps"`
+	PartitionLoads int64   `json:"partition_loads"`
+	ResultHits     int64   `json:"result_cache_hits"`
+	Shed           int64   `json:"shed"`
+}
+
+// Serve benchmarks the serving tier end to end: ingest an NYC-like store,
+// register it with a serve.Server, and drive clients concurrent HTTP
+// clients through windowsPerClient distinct random windows each — once
+// cold, then the identical mix again hot. The gap between the two passes is
+// the amortization the daemon exists for; the counters prove where it came
+// from (partition loads bounded by the store size, one result hit per hot
+// query).
+func Serve(ctx *engine.Context, workdir string, events, clients, windowsPerClient int) (ServeResult, error) {
+	sch, ok := stdata.Lookup("nyc")
+	if !ok {
+		return ServeResult{}, fmt.Errorf("bench: nyc schema not registered")
+	}
+	dir := filepath.Join(workdir, "serve-nyc")
+	meta, err := sch.Ingest(ctx, datagen.NYC(events, 11), dir, sch.DefaultPlanner(8, 4),
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.05, Seed: 11})
+	if err != nil {
+		return ServeResult{}, err
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Ctx: ctx,
+		// Generous admission so the benchmark measures latency, not
+		// shedding; Shed staying zero is part of the expected shape.
+		MaxInFlight: 2 * clients,
+		MaxQueue:    2 * clients,
+	})
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		return ServeResult{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	total := clients * windowsPerClient
+	windows := RandomWindows(datagen.NYCExtent, datagen.Year2013, 0.15, total, 11)
+	bodies := make([][]byte, total)
+	for i, w := range windows {
+		bodies[i], err = json.Marshal(serve.QueryRequest{
+			Dataset: "nyc",
+			MinX:    w.Space.MinX, MinY: w.Space.MinY,
+			MaxX: w.Space.MaxX, MaxY: w.Space.MaxY,
+			TStart: w.Time.Start, TEnd: w.Time.End,
+		})
+		if err != nil {
+			return ServeResult{}, err
+		}
+	}
+
+	res := ServeResult{
+		Events:     events,
+		Partitions: meta.NumPartitions(),
+		Clients:    clients,
+		Queries:    total,
+	}
+	res.ColdMeanMS, res.ColdP95MS, res.ColdQPS, err =
+		servePass(ts.URL, bodies, clients, &res.Shed)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	res.HotMeanMS, res.HotP95MS, res.HotQPS, err =
+		servePass(ts.URL, bodies, clients, &res.Shed)
+	if err != nil {
+		return ServeResult{}, err
+	}
+
+	var metrics serve.MetricsResponse
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return ServeResult{}, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		return ServeResult{}, err
+	}
+	res.PartitionLoads = metrics.Server.PartitionLoads
+	res.ResultHits = metrics.Server.ResultHits
+	return res, nil
+}
+
+// servePass issues every body once, partitioned round-robin across clients
+// concurrent goroutines, and returns mean/p95 latency (ms) and overall
+// queries/sec. 429/504 responses count into shed; any other non-200 fails
+// the pass.
+func servePass(url string, bodies [][]byte, clients int, shed *int64) (mean, p95, qps float64, err error) {
+	latencies := make([]float64, len(bodies))
+	errs := make([]error, clients)
+	var shedN int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(bodies); i += clients {
+				t0 := time.Now()
+				resp, err := http.Post(url+"/query", "application/json",
+					bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				resp.Body.Close()
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+				switch resp.StatusCode {
+				case http.StatusOK:
+				case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+					mu.Lock()
+					shedN++
+					mu.Unlock()
+				default:
+					errs[c] = fmt.Errorf("query %d: HTTP %d", i, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, 0, e
+		}
+	}
+	*shed += shedN
+
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, l := range sorted {
+		sum += l
+	}
+	mean = sum / float64(len(sorted))
+	p95 = sorted[len(sorted)*95/100]
+	if elapsed > 0 {
+		qps = float64(len(bodies)) / elapsed
+	}
+	return mean, p95, qps, nil
+}
+
+// ServeTable formats the serving row.
+func ServeTable(r ServeResult) *Table {
+	t := NewTable("Serving: cold vs hot result cache over HTTP",
+		"events", "parts", "clients", "queries",
+		"cold_ms", "cold_p95", "cold_qps", "hot_ms", "hot_p95", "hot_qps",
+		"partLoads", "resHits", "shed")
+	t.Add(r.Events, r.Partitions, r.Clients, r.Queries,
+		r.ColdMeanMS, r.ColdP95MS, r.ColdQPS, r.HotMeanMS, r.HotP95MS, r.HotQPS,
+		r.PartitionLoads, r.ResultHits, r.Shed)
+	return t
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"st4ml/internal/engine"
+)
+
+func TestServeBenchShape(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	res, err := Serve(ctx, t.TempDir(), 5000, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 12 || res.Clients != 4 {
+		t.Errorf("result = %+v", res)
+	}
+	// The hot pass replays the cold mix verbatim: one result hit per query.
+	if res.ResultHits != int64(res.Queries) {
+		t.Errorf("hot pass hit %d results for %d queries", res.ResultHits, res.Queries)
+	}
+	// Partition loads happen only in the cold pass and at most once per
+	// partition (the cache dedups concurrent loads).
+	if res.PartitionLoads <= 0 || res.PartitionLoads > int64(res.Partitions) {
+		t.Errorf("partition loads = %d with %d partitions", res.PartitionLoads, res.Partitions)
+	}
+	if res.Shed != 0 {
+		t.Errorf("benchmark shed %d queries", res.Shed)
+	}
+	if res.ColdQPS <= 0 || res.HotQPS <= 0 {
+		t.Errorf("qps not measured: %+v", res)
+	}
+}
+
+func TestWriteJSONRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONRow(&buf, "serve", ServeResult{Queries: 7}); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("not a single line: %q", line)
+	}
+	var row struct {
+		Exp  string      `json:"exp"`
+		Data ServeResult `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(line), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Exp != "serve" || row.Data.Queries != 7 {
+		t.Errorf("row = %+v", row)
+	}
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"st4ml/internal/codec"
+)
+
+// TestConcurrentJobsOnSharedContext is the serving-tier contract: many
+// goroutines submit independent jobs to one Context and every job must see
+// exactly its own results, race-clean under -race. This is the multi-job
+// concurrency the stserved daemon leans on.
+func TestConcurrentJobsOnSharedContext(t *testing.T) {
+	ctx := New(Config{Slots: 4})
+	const jobs = 16
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			n := 200 + j // distinct sizes so cross-job mixups are visible
+			data := make([]int64, n)
+			var want int64
+			for i := range data {
+				data[i] = int64(j*100_000 + i)
+				want += data[i]
+			}
+			rdd := Parallelize(ctx, data, 8)
+
+			// Collect: every element, in order.
+			got := rdd.Collect()
+			if len(got) != n {
+				t.Errorf("job %d: collected %d elements, want %d", j, len(got), n)
+				return
+			}
+			for i, v := range got {
+				if v != data[i] {
+					t.Errorf("job %d: element %d = %d, want %d", j, i, v, data[i])
+					return
+				}
+			}
+
+			// ReduceByKey through the shuffle path: per-residue sums.
+			pairs := Map(rdd, func(v int64) codec.Pair[int64, int64] {
+				return codec.KV(v%7, v)
+			})
+			reduced := ReduceByKey(pairs, codec.Int64, codec.Int64,
+				func(a, b int64) int64 { return a + b }, 4)
+			var total int64
+			for _, p := range reduced.Collect() {
+				total += p.Value
+			}
+			if total != want {
+				t.Errorf("job %d: reduced total = %d, want %d", j, total, want)
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	snap := ctx.Metrics.Snapshot()
+	if snap.TasksRun == 0 {
+		t.Error("no tasks recorded")
+	}
+}
+
+// TestConcurrentActionsOnSharedRDD runs actions on one cached RDD from many
+// goroutines: materialization must happen once and all readers agree.
+func TestConcurrentActionsOnSharedRDD(t *testing.T) {
+	ctx := New(Config{Slots: 4})
+	var computes sync.Map
+	base := Generate(ctx, "gen", 8, func(p int) []int {
+		if _, loaded := computes.LoadOrStore(p, true); loaded {
+			t.Errorf("partition %d computed twice", p)
+		}
+		out := make([]int, 100)
+		for i := range out {
+			out[i] = p*100 + i
+		}
+		return out
+	})
+	cached := base.Cache()
+
+	const readers = 12
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if n := cached.Count(); n != 800 {
+				t.Errorf("count = %d, want 800", n)
+			}
+			sum, _ := Map(cached, func(v int) int64 { return int64(v) }).
+				Reduce(func(a, b int64) int64 { return a + b })
+			if sum != 319600 { // sum of 0..799
+				t.Errorf("sum = %d, want 319600", sum)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentJobsWithFailuresIsolated checks that a job whose tasks fail
+// permanently aborts alone: concurrent healthy jobs on the same context
+// complete untouched.
+func TestConcurrentJobsWithFailuresIsolated(t *testing.T) {
+	ctx := New(Config{Slots: 4, MaxTaskAttempts: 2, RetryBackoff: -1})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for j := 0; j < 8; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			fail := j%2 == 1
+			rdd := Generate(ctx, fmt.Sprintf("job%d", j), 4, func(p int) []int {
+				if fail {
+					panic(fmt.Sprintf("job %d is doomed", j))
+				}
+				return []int{p}
+			})
+			errs[j] = Try(func() { rdd.Collect() })
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if j%2 == 1 && err == nil {
+			t.Errorf("doomed job %d did not fail", j)
+		}
+		if j%2 == 0 && err != nil {
+			t.Errorf("healthy job %d failed: %v", j, err)
+		}
+	}
+}

@@ -25,7 +25,14 @@ type Metrics struct {
 	corruptRereads atomic.Int64
 	stageMu        sync.Mutex
 	stages         []StageStat
+	stagesDropped  int64
 }
+
+// maxStageStats bounds the retained per-stage history. A long-running
+// process (the serving daemon) executes stages indefinitely; only the most
+// recent window is kept, and StagesDropped counts what aged out. The
+// headline counters are unaffected — they aggregate every stage ever run.
+const maxStageStats = 4096
 
 // StageStat records one executed stage: its name, task count, wall-clock
 // duration, and the makespan-relevant longest task.
@@ -56,7 +63,10 @@ type Snapshot struct {
 	// CorruptRereads counts shuffle blocks re-read after a checksum
 	// mismatch.
 	CorruptRereads int64
-	Stages         []StageStat
+	// Stages holds the most recent executed stages (bounded window);
+	// StagesDropped counts older entries that aged out of it.
+	Stages        []StageStat
+	StagesDropped int64
 }
 
 // Snapshot returns a copy of the current counters.
@@ -64,6 +74,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.stageMu.Lock()
 	stages := make([]StageStat, len(m.stages))
 	copy(stages, m.stages)
+	dropped := m.stagesDropped
 	m.stageMu.Unlock()
 	return Snapshot{
 		TasksRun:            m.tasksRun.Load(),
@@ -78,6 +89,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		SpeculativeWins:     m.specWins.Load(),
 		CorruptRereads:      m.corruptRereads.Load(),
 		Stages:              stages,
+		StagesDropped:       dropped,
 	}
 }
 
@@ -96,12 +108,18 @@ func (m *Metrics) Reset() {
 	m.corruptRereads.Store(0)
 	m.stageMu.Lock()
 	m.stages = nil
+	m.stagesDropped = 0
 	m.stageMu.Unlock()
 }
 
 func (m *Metrics) addStage(s StageStat) {
 	m.stageMu.Lock()
 	m.stages = append(m.stages, s)
+	if len(m.stages) > maxStageStats {
+		drop := len(m.stages) - maxStageStats
+		m.stages = append(m.stages[:0], m.stages[drop:]...)
+		m.stagesDropped += int64(drop)
+	}
 	m.stageMu.Unlock()
 }
 

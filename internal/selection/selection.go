@@ -90,6 +90,13 @@ func (s *Selector[T]) Select(dir string, windows ...Window) (*engine.RDD[T], Sta
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return s.SelectWith(dir, meta, windows...)
+}
+
+// SelectWith is Select against an already-loaded metadata handle — the
+// resident-catalog path, where a long-lived caller pins the metadata once
+// instead of re-reading metadata.json on every query.
+func (s *Selector[T]) SelectWith(dir string, meta *storage.Metadata, windows ...Window) (*engine.RDD[T], Stats, error) {
 	all := make([]int, meta.NumPartitions())
 	for i := range all {
 		all[i] = i
@@ -104,6 +111,12 @@ func (s *Selector[T]) SelectPruned(dir string, windows ...Window) (*engine.RDD[T
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return s.SelectPrunedWith(dir, meta, windows...)
+}
+
+// SelectPrunedWith is SelectPruned against an already-loaded metadata
+// handle (see SelectWith).
+func (s *Selector[T]) SelectPrunedWith(dir string, meta *storage.Metadata, windows ...Window) (*engine.RDD[T], Stats, error) {
 	keepSet := map[int]bool{}
 	for _, w := range windows {
 		for _, id := range meta.Prune(w.Space, w.Time) {

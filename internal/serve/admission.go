@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBusy is returned when the wait queue is already at its depth limit —
+// the shed-with-429 path, taken immediately instead of queueing unboundedly.
+var ErrBusy = errors.New("serve: over capacity, request shed")
+
+// ErrTimedOut is returned when a request's deadline passes while it is
+// still waiting for an execution slot — the shed-with-504 path.
+var ErrTimedOut = errors.New("serve: timed out waiting for an execution slot")
+
+// Admission bounds how much query work the daemon accepts: at most
+// maxInFlight queries execute concurrently, at most maxQueue more may wait
+// for a slot, and a waiter gives up when its request context expires.
+// Everything beyond that is shed immediately, keeping latency bounded
+// instead of letting the queue (and every client's tail) grow without
+// limit.
+type Admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+
+	admitted atomic.Int64
+	shedBusy atomic.Int64
+	shedSlow atomic.Int64
+	inFlight atomic.Int64
+}
+
+// NewAdmission builds a controller for maxInFlight concurrent executions
+// and a wait queue of maxQueue.
+func NewAdmission(maxInFlight, maxQueue int) *Admission {
+	if maxInFlight <= 0 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Acquire claims an execution slot, waiting until ctx expires. It returns
+// a release closure on success, ErrBusy when the wait queue is full, and
+// ErrTimedOut when the deadline passed first. release must be called
+// exactly once.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	grant := func() func() {
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		var done atomic.Bool
+		return func() {
+			if done.CompareAndSwap(false, true) {
+				a.inFlight.Add(-1)
+				<-a.slots
+			}
+		}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return grant(), nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.shedBusy.Add(1)
+		return nil, ErrBusy
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return grant(), nil
+	case <-ctx.Done():
+		a.shedSlow.Add(1)
+		return nil, ErrTimedOut
+	}
+}
+
+// AdmissionStats is a point-in-time copy of the admission counters.
+type AdmissionStats struct {
+	Admitted    int64 `json:"admitted"`
+	ShedBusy    int64 `json:"shed_busy"`
+	ShedTimeout int64 `json:"shed_timeout"`
+	InFlight    int64 `json:"in_flight"`
+	Waiting     int64 `json:"waiting"`
+	MaxInFlight int   `json:"max_in_flight"`
+	MaxQueue    int64 `json:"max_queue"`
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Admitted:    a.admitted.Load(),
+		ShedBusy:    a.shedBusy.Load(),
+		ShedTimeout: a.shedSlow.Load(),
+		InFlight:    a.inFlight.Load(),
+		Waiting:     a.waiting.Load(),
+		MaxInFlight: cap(a.slots),
+		MaxQueue:    a.maxQueue,
+	}
+}

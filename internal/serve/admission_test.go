@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 0)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.InFlight != 2 || st.Admitted != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	r1()
+	r1() // release is idempotent
+	r2()
+	if st := a.Stats(); st.InFlight != 0 {
+		t.Errorf("stats after release = %+v", st)
+	}
+}
+
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	a := NewAdmission(1, 0) // no queue at all
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrBusy) {
+		t.Errorf("second acquire = %v, want ErrBusy", err)
+	}
+	if st := a.Stats(); st.ShedBusy != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionQueueThenTimeout(t *testing.T) {
+	a := NewAdmission(1, 1)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fits in the queue and times out with ErrTimedOut; while
+	// it waits, a second arrival overflows the queue and sheds ErrBusy.
+	waiterIn := make(chan struct{})
+	waiterOut := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		close(waiterIn)
+		_, err := a.Acquire(ctx)
+		waiterOut <- err
+	}()
+	<-waiterIn
+	deadline := time.Now().Add(time.Second)
+	for a.Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrBusy) {
+		t.Errorf("overflow acquire = %v, want ErrBusy", err)
+	}
+	if err := <-waiterOut; !errors.Is(err, ErrTimedOut) {
+		t.Errorf("queued waiter = %v, want ErrTimedOut", err)
+	}
+	release()
+	if st := a.Stats(); st.ShedBusy != 1 || st.ShedTimeout != 1 || st.Waiting != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionQueuedWaiterGetsSlot(t *testing.T) {
+	a := NewAdmission(1, 4)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued acquire = %v", err)
+			return
+		}
+		close(got)
+		r()
+	}()
+	deadline := time.Now().Add(time.Second)
+	for a.Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("released slot never reached the queued waiter")
+	}
+	wg.Wait()
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", 1, 40)
+	c.Put("b", 2, 40)
+	if _, ok := c.Get("a"); !ok { // a is now most recent
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3, 40) // evicts b (least recently used), not a
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.UsedBytes != 80 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheOversizedValueNotCached(t *testing.T) {
+	c := NewCache(10)
+	c.Put("big", 1, 11)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("oversized value was cached: %+v", st)
+	}
+}
+
+func TestCacheReplaceAdjustsBudget(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", 1, 60)
+	c.Put("a", 2, 30)
+	if st := c.Stats(); st.UsedBytes != 30 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Errorf("a = %v, want 2", v)
+	}
+}
+
+func TestCacheDisabledBudget(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a value")
+	}
+	v, err := c.GetOrLoad("a", func() (any, int64, error) { return 7, 1, nil })
+	if err != nil || v != 7 {
+		t.Errorf("GetOrLoad = %v, %v", v, err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("disabled cache holds entries: %+v", st)
+	}
+}
+
+func TestCacheGetOrLoadDeduplicates(t *testing.T) {
+	c := NewCache(1 << 20)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrLoad("k", func() (any, int64, error) {
+				loads.Add(1)
+				<-gate // hold every concurrent caller in the miss window
+				return "value", 8, nil
+			})
+			if err != nil || v != "value" {
+				t.Errorf("GetOrLoad = %v, %v", v, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Errorf("value loaded %d times, want 1", n)
+	}
+}
+
+func TestCacheGetOrLoadErrorNotCached(t *testing.T) {
+	c := NewCache(1 << 20)
+	boom := errors.New("boom")
+	if _, err := c.GetOrLoad("k", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.GetOrLoad("k", func() (any, int64, error) { return 1, 1, nil })
+	if err != nil || v != 1 {
+		t.Errorf("retry after error = %v, %v", v, err)
+	}
+}
+
+func TestCacheDropPrefix(t *testing.T) {
+	c := NewCache(1 << 20)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("part|nyc|%d", i), i, 10)
+		c.Put(fmt.Sprintf("part|porto|%d", i), i, 10)
+	}
+	if n := c.DropPrefix("part|nyc|"); n != 4 {
+		t.Errorf("dropped %d, want 4", n)
+	}
+	st := c.Stats()
+	if st.Entries != 4 || st.UsedBytes != 40 {
+		t.Errorf("stats after drop = %+v", st)
+	}
+	if _, ok := c.Get("part|porto|0"); !ok {
+		t.Error("unrelated prefix was dropped")
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+)
+
+// Catalog is the daemon's resident dataset registry: for every served
+// dataset it pins the metadata.json partition index in memory behind an
+// RWMutex, so the paper's §4.1 on-disk index is read once and amortized
+// across every query instead of being re-parsed per request. The pin is
+// validated against the file's mtime on each access; a reload bumps the
+// dataset's generation, which invalidates its cached partitions and
+// results (their cache keys embed the generation).
+type Catalog struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{datasets: map[string]*Dataset{}}
+}
+
+// Register adds the dataset at dir under name, decoding its records with
+// the named stdata schema. The metadata is read eagerly so registration of
+// a missing or broken dataset fails at startup, not at first query.
+func (c *Catalog) Register(name, schemaName, dir string) (*Dataset, error) {
+	sch, ok := stdata.Lookup(schemaName)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown schema %q (have %v)", schemaName, stdata.SchemaNames())
+	}
+	d := &Dataset{Name: name, Dir: dir, Schema: sch}
+	if _, _, err := d.Meta(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.datasets[name]; dup {
+		return nil, fmt.Errorf("serve: dataset %q already registered", name)
+	}
+	c.datasets[name] = d
+	return d, nil
+}
+
+// Get returns the dataset registered under name.
+func (c *Catalog) Get(name string) (*Dataset, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.datasets[name]
+	return d, ok
+}
+
+// List returns a summary of every registered dataset, sorted by name.
+func (c *Catalog) List() []DatasetInfo {
+	c.mu.RLock()
+	ds := make([]*Dataset, 0, len(c.datasets))
+	for _, d := range c.datasets {
+		ds = append(ds, d)
+	}
+	c.mu.RUnlock()
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	out := make([]DatasetInfo, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.Info())
+	}
+	return out
+}
+
+// DatasetInfo is the /datasets wire form of one catalog entry.
+type DatasetInfo struct {
+	Name       string `json:"name"`
+	Schema     string `json:"schema"`
+	Dir        string `json:"dir"`
+	Partitions int    `json:"partitions"`
+	Records    int64  `json:"records"`
+	Generation int64  `json:"generation"`
+	// Error reports a metadata refresh failure (the entry stays listed so
+	// operators can see what broke).
+	Error string `json:"error,omitempty"`
+}
+
+// Dataset is one served dataset: its directory, decoding schema, and the
+// pinned, mtime-validated metadata handle.
+type Dataset struct {
+	Name   string
+	Dir    string
+	Schema stdata.Schema
+
+	mu    sync.RWMutex
+	meta  *storage.Metadata
+	mtime time.Time
+	gen   int64
+}
+
+// Meta returns the pinned metadata handle and its generation, reloading
+// from disk when metadata.json's mtime has changed since the pin (a
+// re-ingest under the daemon). The generation increments on every reload.
+func (d *Dataset) Meta() (*storage.Metadata, int64, error) {
+	path := filepath.Join(d.Dir, storage.MetadataFile)
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: dataset %s: %w", d.Name, err)
+	}
+	d.mu.RLock()
+	if d.meta != nil && st.ModTime().Equal(d.mtime) {
+		meta, gen := d.meta, d.gen
+		d.mu.RUnlock()
+		return meta, gen, nil
+	}
+	d.mu.RUnlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Another query may have refreshed while we waited for the write lock.
+	if d.meta != nil && st.ModTime().Equal(d.mtime) {
+		return d.meta, d.gen, nil
+	}
+	meta, err := storage.ReadMetadata(d.Dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: dataset %s: %w", d.Name, err)
+	}
+	d.meta = meta
+	d.mtime = st.ModTime()
+	d.gen++
+	return d.meta, d.gen, nil
+}
+
+// Info summarizes the dataset for /datasets.
+func (d *Dataset) Info() DatasetInfo {
+	info := DatasetInfo{Name: d.Name, Schema: d.Schema.SchemaName(), Dir: d.Dir}
+	meta, gen, err := d.Meta()
+	if err != nil {
+		info.Error = err.Error()
+		return info
+	}
+	info.Partitions = meta.NumPartitions()
+	info.Records = meta.TotalCount
+	info.Generation = gen
+	return info
+}

@@ -1,0 +1,141 @@
+// Package serve is the ST feature-serving daemon: the long-running tier
+// that turns the repository's one-shot Selection pipeline into an
+// interactive service. Where stquery rebuilds an engine.Context, re-reads
+// metadata.json, and re-indexes partitions for every invocation, a Server
+// amortizes all of that across requests:
+//
+//   - a Catalog pins each dataset's partition metadata in memory behind an
+//     RWMutex, revalidated by file mtime (a re-ingest is picked up without
+//     a restart and bumps the dataset generation);
+//   - a byte-budgeted LRU Cache holds decoded partitions — each pinned
+//     together with its 3-d R-tree, built lazily on first touch — and
+//     marshaled query results, so hot windows skip disk (and the engine)
+//     entirely;
+//   - every query executes as engine tasks on one shared engine.Context,
+//     exercising the engine's multi-job concurrency, retries included;
+//   - an Admission controller bounds in-flight queries and queue depth and
+//     sheds the excess with 429 (queue full) or 504 (deadline passed),
+//     keeping tail latency bounded under overload.
+//
+// Endpoints: POST /query, GET /datasets, GET /metrics, GET /healthz.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"st4ml/internal/engine"
+)
+
+// Config tunes a Server. Zero values pick serving defaults.
+type Config struct {
+	// Ctx is the shared execution engine. Nil builds a default Context.
+	Ctx *engine.Context
+	// CacheBytes is the joint partition+result cache budget.
+	// 0 means 256 MiB; negative disables caching.
+	CacheBytes int64
+	// MaxInFlight is the concurrent query bound. 0 means 2×engine slots.
+	MaxInFlight int
+	// MaxQueue is how many queries may wait for a slot before new arrivals
+	// are shed with 429. 0 means 4×MaxInFlight; negative means no queue.
+	MaxQueue int
+	// Timeout is the per-request deadline; a query that cannot finish (or
+	// even start) in time is answered 504. 0 means 30s.
+	Timeout time.Duration
+}
+
+// Server is the serving daemon's state: catalog, cache, admission, and the
+// shared engine context, plus request counters in the engine.Metrics style.
+type Server struct {
+	ctx     *engine.Context
+	catalog *Catalog
+	cache   *Cache
+	adm     *Admission
+	timeout time.Duration
+	started time.Time
+
+	queries        atomic.Int64
+	queryErrors    atomic.Int64
+	resultHits     atomic.Int64
+	resultMisses   atomic.Int64
+	partitionLoads atomic.Int64
+	timeouts       atomic.Int64
+
+	// lastGen tracks each dataset's observed metadata generation, so a
+	// reload triggers eager cache invalidation (see noteGeneration).
+	genMu   sync.Mutex
+	lastGen map[string]int64
+}
+
+// NewServer builds a Server from cfg.
+func NewServer(cfg Config) *Server {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = engine.New(engine.Config{})
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 256 << 20
+	}
+	inFlight := cfg.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = 2 * ctx.Slots()
+	}
+	queue := cfg.MaxQueue
+	if queue == 0 {
+		queue = 4 * inFlight
+	} else if queue < 0 {
+		queue = 0
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Server{
+		ctx:     ctx,
+		catalog: NewCatalog(),
+		cache:   NewCache(cacheBytes),
+		adm:     NewAdmission(inFlight, queue),
+		timeout: timeout,
+		started: time.Now(),
+		lastGen: map[string]int64{},
+	}
+}
+
+// Catalog exposes the server's dataset catalog.
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// Engine exposes the shared execution context.
+func (s *Server) Engine() *engine.Context { return s.ctx }
+
+// AddDataset registers the dataset at dir under name, decoded by the named
+// stdata schema.
+func (s *Server) AddDataset(name, schemaName, dir string) error {
+	_, err := s.catalog.Register(name, schemaName, dir)
+	return err
+}
+
+// ServerStats is the /metrics wire form of the server-level counters.
+type ServerStats struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Queries        int64   `json:"queries"`
+	QueryErrors    int64   `json:"query_errors"`
+	ResultHits     int64   `json:"result_cache_hits"`
+	ResultMisses   int64   `json:"result_cache_misses"`
+	PartitionLoads int64   `json:"partition_loads"`
+	Timeouts       int64   `json:"timeouts"`
+}
+
+// Stats returns a snapshot of the server-level counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Queries:        s.queries.Load(),
+		QueryErrors:    s.queryErrors.Load(),
+		ResultHits:     s.resultHits.Load(),
+		ResultMisses:   s.resultMisses.Load(),
+		PartitionLoads: s.partitionLoads.Load(),
+		Timeouts:       s.timeouts.Load(),
+	}
+}

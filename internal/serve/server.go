@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+	"st4ml/internal/tempo"
+)
+
+// QueryRequest is the POST /query body: a dataset name, an ST window, and
+// result options.
+type QueryRequest struct {
+	Dataset string  `json:"dataset"`
+	MinX    float64 `json:"minx"`
+	MinY    float64 `json:"miny"`
+	MaxX    float64 `json:"maxx"`
+	MaxY    float64 `json:"maxy"`
+	TStart  int64   `json:"tstart"`
+	TEnd    int64   `json:"tend"`
+	// Records returns the matching records, capped at Limit (0 = all).
+	Records bool `json:"records"`
+	Limit   int  `json:"limit"`
+	// NoCache bypasses the result cache (partitions still cache).
+	NoCache bool `json:"no_cache"`
+}
+
+// Window converts the request coordinates to a selection window.
+func (q QueryRequest) Window() selection.Window {
+	return selection.Window{
+		Space: geom.Box(q.MinX, q.MinY, q.MaxX, q.MaxY),
+		Time:  tempo.New(q.TStart, q.TEnd),
+	}
+}
+
+// resultKey is the result-cache key: dataset identity and generation plus
+// everything that shapes the response body.
+func (q QueryRequest) resultKey(gen int64) string {
+	return fmt.Sprintf("res|%s|%d|%v,%v,%v,%v|%d,%d|%t,%d",
+		q.Dataset, gen, q.MinX, q.MinY, q.MaxX, q.MaxY, q.TStart, q.TEnd, q.Records, q.Limit)
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	Dataset string `json:"dataset"`
+	// Cache is "hit" when the result came from the result cache.
+	Cache     string  `json:"cache"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	stdata.QueryResult
+}
+
+// errorResponse is the JSON error body for non-200 statuses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	s.queries.Add(1)
+	res, cache, status, err := s.runQuery(r.Context(), req)
+	if err != nil {
+		if status >= http.StatusInternalServerError && status != http.StatusGatewayTimeout {
+			s.queryErrors.Add(1)
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Dataset:     req.Dataset,
+		Cache:       cache,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		QueryResult: res,
+	})
+}
+
+// runQuery resolves, admits, and executes one query. It returns the result,
+// the cache disposition ("hit"/"miss"), and on failure an HTTP status.
+func (s *Server) runQuery(reqCtx context.Context, req QueryRequest) (stdata.QueryResult, string, int, error) {
+	d, ok := s.catalog.Get(req.Dataset)
+	if !ok {
+		return stdata.QueryResult{}, "", http.StatusNotFound,
+			fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+	meta, gen, err := d.Meta()
+	if err != nil {
+		return stdata.QueryResult{}, "", http.StatusInternalServerError, err
+	}
+	s.noteGeneration(req.Dataset, gen)
+
+	key := req.resultKey(gen)
+	if !req.NoCache {
+		if v, ok := s.cache.Get(key); ok {
+			s.resultHits.Add(1)
+			return v.(stdata.QueryResult), "hit", http.StatusOK, nil
+		}
+	}
+	s.resultMisses.Add(1)
+
+	// Admission: bounded in-flight execution with a bounded wait queue,
+	// under the per-request deadline.
+	ctx, cancel := context.WithTimeout(reqCtx, s.timeout)
+	defer cancel()
+	release, err := s.adm.Acquire(ctx)
+	if errors.Is(err, ErrBusy) {
+		return stdata.QueryResult{}, "", http.StatusTooManyRequests, err
+	}
+	if err != nil {
+		s.timeouts.Add(1)
+		return stdata.QueryResult{}, "", http.StatusGatewayTimeout, err
+	}
+
+	// Execute on the shared engine. Engine jobs are not preemptible, so on
+	// deadline expiry the request is answered 504 while the job drains in
+	// the background — it still releases its slot and warms the cache.
+	type outcome struct {
+		res stdata.QueryResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer release()
+		res, err := d.Schema.ServeQuery(s.ctx, d.Dir, meta, s.fetcher(d, meta, gen), req.Window(),
+			stdata.QueryOptions{Records: req.Records, Limit: req.Limit})
+		if err == nil && !req.NoCache {
+			s.cache.Put(key, res, resultBytes(res))
+		}
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return stdata.QueryResult{}, "", http.StatusInternalServerError, out.err
+		}
+		return out.res, "miss", http.StatusOK, nil
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return stdata.QueryResult{}, "", http.StatusGatewayTimeout,
+			fmt.Errorf("serve: query exceeded the %s deadline", s.timeout)
+	}
+}
+
+// fetcher returns the cache-aware partition loader for one query: hits
+// return the pinned partition (records + R-tree), misses read the disk
+// exactly once per key even under concurrent identical queries.
+func (s *Server) fetcher(d *Dataset, meta *storage.Metadata, gen int64) func(id int) (stdata.Partition, error) {
+	return func(id int) (stdata.Partition, error) {
+		key := fmt.Sprintf("part|%s|%d|%d", d.Name, gen, id)
+		v, err := s.cache.GetOrLoad(key, func() (any, int64, error) {
+			s.partitionLoads.Add(1)
+			p, err := d.Schema.LoadPartition(d.Dir, meta, id)
+			if err != nil {
+				return nil, 0, err
+			}
+			return p, p.SizeBytes(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return v.(stdata.Partition), nil
+	}
+}
+
+// resultBytes estimates a cached result's resident size.
+func resultBytes(res stdata.QueryResult) int64 {
+	n := int64(128)
+	for _, rec := range res.Records {
+		n += int64(len(rec)) + 24
+	}
+	return n
+}
+
+// noteGeneration eagerly drops a dataset's cached partitions and results
+// when its metadata generation moves (a re-ingest was detected); without
+// this, stale entries would linger in the budget until LRU aged them out.
+func (s *Server) noteGeneration(name string, gen int64) {
+	s.genMu.Lock()
+	last := s.lastGen[name]
+	if last == gen {
+		s.genMu.Unlock()
+		return
+	}
+	s.lastGen[name] = gen
+	s.genMu.Unlock()
+	if last != 0 {
+		s.cache.DropPrefix("part|" + name + "|")
+		s.cache.DropPrefix("res|" + name + "|")
+	}
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.catalog.List())
+}
+
+// MetricsResponse is the GET /metrics body: every counter family the
+// daemon maintains, engine included, in one dump.
+type MetricsResponse struct {
+	Server    ServerStats     `json:"server"`
+	Cache     CacheStats      `json:"cache"`
+	Admission AdmissionStats  `json:"admission"`
+	Engine    engine.Snapshot `json:"engine"`
+}
+
+// maxMetricsStages bounds the per-stage history included in /metrics.
+const maxMetricsStages = 16
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.ctx.Metrics.Snapshot()
+	if len(snap.Stages) > maxMetricsStages {
+		snap.StagesDropped += int64(len(snap.Stages) - maxMetricsStages)
+		snap.Stages = snap.Stages[len(snap.Stages)-maxMetricsStages:]
+	}
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Server:    s.Stats(),
+		Cache:     s.cache.Stats(),
+		Admission: s.adm.Stats(),
+		Engine:    snap,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

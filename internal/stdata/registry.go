@@ -1,0 +1,302 @@
+package stdata
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/index"
+	"st4ml/internal/partition"
+	"st4ml/internal/selection"
+	"st4ml/internal/storage"
+)
+
+// This file is the dataset registry: every standard schema's typed
+// machinery (codec, ST box, CSV reader, selection entry points) bundled
+// behind an untyped Schema interface, so the CLI commands and the serving
+// daemon dispatch on a dataset name instead of each repeating a
+// nyc|porto|air|osm type switch.
+
+// Spec is the typed bundle for one standard schema.
+type Spec[T any] struct {
+	// Name is the registry key ("nyc", "porto", ...).
+	Name string
+	// Codec is the record's binary codec.
+	Codec codec.Codec[T]
+	// BoxOf extracts a record's ST box.
+	BoxOf func(T) index.Box
+	// CSV parses the schema's CSV layout; nil when the schema has none.
+	CSV func(io.Reader) ([]T, error)
+	// Spatial2D marks schemas with no temporal extent (OSM POIs), which
+	// plan with a 2-d STR partitioner instead of T-STR.
+	Spatial2D bool
+}
+
+// QueryOptions tunes one served query.
+type QueryOptions struct {
+	// Records returns the matching records (JSON-marshaled per record) in
+	// addition to the stats. Limit caps how many (0 = all).
+	Records bool
+	Limit   int
+}
+
+// QueryResult is one selection's outcome in transportable form.
+type QueryResult struct {
+	Stats selection.Stats `json:"stats"`
+	// Records, when requested, holds the matches in deterministic
+	// (partition, record) order.
+	Records []json.RawMessage `json:"records,omitempty"`
+}
+
+// Partition is a decoded partition pinned in memory together with its 3-d
+// R-tree — the unit the serving daemon's cache holds.
+type Partition interface {
+	// Len is the record count.
+	Len() int
+	// SizeBytes estimates the resident size, the unit of the serving
+	// cache's byte budget.
+	SizeBytes() int64
+}
+
+// Querier runs one-shot window selections against an on-disk dataset, the
+// stquery path (metadata re-read per call; see Schema.ServeQuery for the
+// daemon's cached path).
+type Querier interface {
+	// Select scans every partition (the native path).
+	Select(dir string, w selection.Window) (selection.Stats, error)
+	// SelectPruned consults the metadata index first (§4.1).
+	SelectPruned(dir string, w selection.Window) (selection.Stats, error)
+}
+
+// Schema is the untyped view of a Spec, dispatchable by name.
+type Schema interface {
+	// SchemaName returns the registry key.
+	SchemaName() string
+	// DefaultPlanner returns the schema's ingest partitioner at the given
+	// T-STR granularities (2-d schemas fold both into an STR cell count).
+	DefaultPlanner(gt, gs int) partition.Planner
+	// NewQuerier binds a one-shot selection runner to ctx and cfg.
+	NewQuerier(ctx *engine.Context, cfg selection.Config) Querier
+	// Ingest ST-partitions recs — a []T of the schema's record type — with
+	// planner and persists them under dir.
+	Ingest(ctx *engine.Context, recs any, dir string, planner partition.Planner,
+		opts selection.IngestOptions) (*storage.Metadata, error)
+	// ReadCSV parses records in the schema's CSV layout.
+	ReadCSV(r io.Reader) (any, error)
+	// LoadPartition reads and decodes partition id of the dataset at dir,
+	// returning a pinned handle with an R-tree over its records.
+	LoadPartition(dir string, meta *storage.Metadata, id int) (Partition, error)
+	// ServeQuery is the daemon's selection path: partitions surviving the
+	// metadata prune are fetched through fetch — the serving cache's
+	// get-or-load hook, whose misses call LoadPartition — and searched via
+	// their pinned R-trees, one engine task per partition on the shared
+	// context. A nil fetch loads every partition from disk.
+	ServeQuery(ctx *engine.Context, dir string, meta *storage.Metadata,
+		fetch func(id int) (Partition, error), w selection.Window,
+		opts QueryOptions) (QueryResult, error)
+}
+
+var registry = map[string]Schema{}
+
+func register[T any](s Spec[T]) { registry[s.Name] = schema[T]{s} }
+
+func init() {
+	register(Spec[EventRec]{Name: "nyc", Codec: EventRecC, BoxOf: EventRec.Box, CSV: ReadEventsCSV})
+	register(Spec[TrajRec]{Name: "porto", Codec: TrajRecC, BoxOf: TrajRec.Box, CSV: ReadTrajsCSV})
+	register(Spec[AirRec]{Name: "air", Codec: AirRecC, BoxOf: AirRec.Box})
+	register(Spec[POIRec]{Name: "osm", Codec: POIRecC, BoxOf: POIRec.Box, Spatial2D: true})
+}
+
+// Lookup returns the schema registered under name.
+func Lookup(name string) (Schema, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// SchemaNames lists the registered schema names, sorted.
+func SchemaNames() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// schema adapts a typed Spec to the untyped Schema interface.
+type schema[T any] struct{ spec Spec[T] }
+
+func (s schema[T]) SchemaName() string { return s.spec.Name }
+
+func (s schema[T]) DefaultPlanner(gt, gs int) partition.Planner {
+	if s.spec.Spatial2D {
+		return partition.STR2D{N: gt * gs}
+	}
+	return partition.TSTR{GT: gt, GS: gs}
+}
+
+func (s schema[T]) NewQuerier(ctx *engine.Context, cfg selection.Config) Querier {
+	return querier[T]{selection.New(ctx, s.spec.Codec, s.spec.BoxOf, nil, cfg)}
+}
+
+func (s schema[T]) Ingest(
+	ctx *engine.Context, recs any, dir string, planner partition.Planner,
+	opts selection.IngestOptions,
+) (*storage.Metadata, error) {
+	typed, ok := recs.([]T)
+	if !ok {
+		return nil, fmt.Errorf("stdata: schema %s: ingest of %T, want []%T",
+			s.spec.Name, recs, *new(T))
+	}
+	return selection.Ingest(engine.Parallelize(ctx, typed, 0), dir,
+		s.spec.Codec, s.spec.BoxOf, planner, opts)
+}
+
+func (s schema[T]) ReadCSV(r io.Reader) (any, error) {
+	if s.spec.CSV == nil {
+		return nil, fmt.Errorf("stdata: schema %s has no CSV reader", s.spec.Name)
+	}
+	return s.spec.CSV(r)
+}
+
+// partData is the pinned form of one decoded partition: its records plus a
+// bulk-loaded R-tree over record indexes (record order is preserved by
+// searches, so served results match a direct linear selection).
+type partData[T any] struct {
+	recs  []T
+	tree  *index.RTree[int]
+	bytes int64
+}
+
+func (p *partData[T]) Len() int         { return len(p.recs) }
+func (p *partData[T]) SizeBytes() int64 { return p.bytes }
+
+// search returns the indexes of records intersecting w, ascending.
+func (p *partData[T]) search(w selection.Window) []int {
+	hit := make([]bool, len(p.recs))
+	n := 0
+	p.tree.SearchFunc(w.Box(), func(i int, _ index.Box) bool {
+		if !hit[i] {
+			hit[i] = true
+			n++
+		}
+		return true
+	})
+	out := make([]int, 0, n)
+	for i, h := range hit {
+		if h {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pinOverheadBytes approximates the per-record cost of the pinned slice and
+// R-tree beyond the encoded payload.
+const pinOverheadBytes = 64
+
+func (s schema[T]) LoadPartition(dir string, meta *storage.Metadata, id int) (Partition, error) {
+	recs, err := storage.ReadPartition(dir, meta, id, s.spec.Codec)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]index.Item[int], len(recs))
+	for i, rec := range recs {
+		items[i] = index.Item[int]{Box: s.spec.BoxOf(rec), Data: i}
+	}
+	return &partData[T]{
+		recs:  recs,
+		tree:  index.BulkLoadSTR(items, 16),
+		bytes: meta.Partitions[id].Bytes + int64(len(recs))*pinOverheadBytes,
+	}, nil
+}
+
+func (s schema[T]) ServeQuery(
+	ctx *engine.Context, dir string, meta *storage.Metadata,
+	fetch func(id int) (Partition, error), w selection.Window,
+	opts QueryOptions,
+) (QueryResult, error) {
+	if fetch == nil {
+		fetch = func(id int) (Partition, error) { return s.LoadPartition(dir, meta, id) }
+	}
+	ids := meta.Prune(w.Space, w.Time)
+	stats := selection.Stats{
+		TotalPartitions:  meta.NumPartitions(),
+		LoadedPartitions: len(ids),
+	}
+	for _, id := range ids {
+		stats.LoadedRecords += meta.Partitions[id].Count
+		stats.LoadedBytes += meta.Partitions[id].Bytes
+	}
+	res := QueryResult{Stats: stats}
+	if len(ids) == 0 {
+		return res, nil
+	}
+
+	// One engine task per surviving partition: fetch the pinned handle and
+	// search its R-tree. Fetch failures surface as task errors through the
+	// engine's retry machinery.
+	matched := make([][]T, len(ids))
+	err := engine.Try(func() {
+		rdd := engine.Generate(ctx, "serve:"+meta.Name, len(ids), func(p int) []T {
+			part, err := fetch(ids[p])
+			if err != nil {
+				panic(err)
+			}
+			pd, ok := part.(*partData[T])
+			if !ok {
+				panic(fmt.Sprintf("stdata: schema %s: cached partition has type %T", s.spec.Name, part))
+			}
+			out := make([]T, 0, 16)
+			for _, i := range pd.search(w) {
+				out = append(out, pd.recs[i])
+			}
+			return out
+		})
+		rdd.ForeachPartition(func(p int, in []T) { matched[p] = in })
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+
+	for _, part := range matched {
+		res.Stats.SelectedRecords += int64(len(part))
+	}
+	if opts.Records {
+		limit := opts.Limit
+		if limit <= 0 || int64(limit) > res.Stats.SelectedRecords {
+			limit = int(res.Stats.SelectedRecords)
+		}
+		res.Records = make([]json.RawMessage, 0, limit)
+	marshal:
+		for _, part := range matched {
+			for _, rec := range part {
+				if len(res.Records) >= limit {
+					break marshal
+				}
+				b, err := json.Marshal(rec)
+				if err != nil {
+					return QueryResult{}, fmt.Errorf("stdata: marshal record: %w", err)
+				}
+				res.Records = append(res.Records, b)
+			}
+		}
+	}
+	return res, nil
+}
+
+// querier adapts a typed Selector to the untyped Querier interface.
+type querier[T any] struct{ sel *selection.Selector[T] }
+
+func (q querier[T]) Select(dir string, w selection.Window) (selection.Stats, error) {
+	_, st, err := q.sel.Select(dir, w)
+	return st, err
+}
+
+func (q querier[T]) SelectPruned(dir string, w selection.Window) (selection.Stats, error) {
+	_, st, err := q.sel.SelectPruned(dir, w)
+	return st, err
+}

@@ -1,0 +1,162 @@
+package stdata
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/selection"
+	"st4ml/internal/tempo"
+)
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	want := []string{"air", "nyc", "osm", "porto"}
+	if got := SchemaNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("SchemaNames() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		sch, ok := Lookup(name)
+		if !ok || sch.SchemaName() != name {
+			t.Errorf("Lookup(%q) = %v, %v", name, sch, ok)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown schema succeeded")
+	}
+}
+
+func TestDefaultPlanners(t *testing.T) {
+	nyc, _ := Lookup("nyc")
+	osm, _ := Lookup("osm")
+	if p := nyc.DefaultPlanner(4, 8); p == nil {
+		t.Error("nyc planner nil")
+	}
+	// The purely spatial schema must not plan temporal slices.
+	if reflect.TypeOf(nyc.DefaultPlanner(4, 8)) == reflect.TypeOf(osm.DefaultPlanner(4, 8)) {
+		t.Error("osm should use a different planner than nyc")
+	}
+}
+
+// makeEvents builds a tiny grid of events covering [0,10)² × [0,100).
+func makeEvents(n int) []EventRec {
+	out := make([]EventRec, n)
+	for i := range out {
+		out[i] = EventRec{
+			ID:   int64(i),
+			Loc:  geom.Pt(float64(i%10), float64((i/10)%10)),
+			Time: int64(i % 100),
+			Aux:  "e",
+		}
+	}
+	return out
+}
+
+func TestIngestQuerierAndServeQueryAgree(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	sch, _ := Lookup("nyc")
+	dir := t.TempDir()
+	recs := makeEvents(500)
+	meta, err := sch.Ingest(ctx, recs, dir, sch.DefaultPlanner(2, 2),
+		selection.IngestOptions{Name: "grid", SampleFrac: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.TotalCount != 500 {
+		t.Fatalf("ingested %d records", meta.TotalCount)
+	}
+	if _, err := sch.Ingest(ctx, "not a slice", dir, sch.DefaultPlanner(2, 2),
+		selection.IngestOptions{}); err == nil {
+		t.Error("ingest of a wrong type should fail")
+	}
+
+	w := selection.Window{Space: geom.Box(2, 2, 7, 7), Time: tempo.New(0, 60)}
+	q := sch.NewQuerier(ctx, selection.Config{Index: true})
+	direct, err := q.SelectPruned(dir, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := sch.ServeQuery(ctx, dir, meta, nil, w, QueryOptions{Records: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Stats.SelectedRecords != direct.SelectedRecords {
+		t.Errorf("served selected %d, direct %d",
+			served.Stats.SelectedRecords, direct.SelectedRecords)
+	}
+	if int64(len(served.Records)) != served.Stats.SelectedRecords {
+		t.Errorf("%d record bodies for %d selected",
+			len(served.Records), served.Stats.SelectedRecords)
+	}
+	for _, raw := range served.Records {
+		var rec EventRec
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatalf("bad record body %s: %v", raw, err)
+		}
+		in := rec.Loc.X >= 2 && rec.Loc.X <= 7 && rec.Loc.Y >= 2 && rec.Loc.Y <= 7 &&
+			rec.Time >= 0 && rec.Time <= 60
+		if !in {
+			t.Errorf("record %s outside the window", raw)
+		}
+	}
+}
+
+func TestServeQueryFetchHookAndLimit(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	sch, _ := Lookup("nyc")
+	dir := t.TempDir()
+	meta, err := sch.Ingest(ctx, makeEvents(400), dir, sch.DefaultPlanner(2, 2),
+		selection.IngestOptions{Name: "grid", SampleFrac: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := selection.Window{Space: geom.Box(0, 0, 10, 10), Time: tempo.New(0, 100)}
+
+	// The fetch hook sees exactly the pruned partition ids, each once.
+	var mu sync.Mutex
+	fetched := map[int]int{}
+	fetch := func(id int) (Partition, error) {
+		mu.Lock()
+		fetched[id]++
+		mu.Unlock()
+		return sch.LoadPartition(dir, meta, id)
+	}
+	res, err := sch.ServeQuery(ctx, dir, meta, fetch, w, QueryOptions{Records: true, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SelectedRecords != 400 {
+		t.Errorf("selected %d, want 400", res.Stats.SelectedRecords)
+	}
+	if len(res.Records) != 5 {
+		t.Errorf("limit ignored: %d records", len(res.Records))
+	}
+	if len(fetched) != res.Stats.LoadedPartitions {
+		t.Errorf("fetched %d distinct partitions, stats say %d",
+			len(fetched), res.Stats.LoadedPartitions)
+	}
+	for id, n := range fetched {
+		if n != 1 {
+			t.Errorf("partition %d fetched %d times", id, n)
+		}
+	}
+}
+
+func TestCSVDispatch(t *testing.T) {
+	nyc, _ := Lookup("nyc")
+	recs, err := nyc.ReadCSV(strings.NewReader("1,-73.99,40.75,1357000000,cab\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, ok := recs.([]EventRec)
+	if !ok || len(events) != 1 || events[0].ID != 1 {
+		t.Errorf("ReadCSV = %#v", recs)
+	}
+	air, _ := Lookup("air")
+	if _, err := air.ReadCSV(strings.NewReader("x")); err == nil {
+		t.Error("air has no CSV reader, want error")
+	}
+}
