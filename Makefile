@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test race vet check bench serve
+.PHONY: build test race vet check cover bench serve
+
+# COVER_FLOOR is the minimum acceptable total statement coverage, in
+# percent. The suite currently sits well above this; the floor exists to
+# catch a PR that lands a subsystem without tests, not to chase decimals.
+COVER_FLOOR ?= 70.0
 
 build:
 	$(GO) build ./...
@@ -14,14 +19,25 @@ race:
 vet:
 	$(GO) vet ./...
 
+# cover runs the suite with statement coverage over all packages and fails
+# if the total drops below COVER_FLOOR percent.
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{sub(/%/,"",$$NF); print $$NF}'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < floor+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
+		printf "coverage %.1f%% >= %.1f%% floor\n", t, floor }'
+
 # check is the full pre-merge gate: vet, build, the race-enabled test suite
-# (including the engine chaos tests), and an explicit stserved smoke — boot
-# the daemon on an ephemeral port with a generated dataset and run one query
-# end to end.
+# (including the engine chaos tests), the coverage floor, and an explicit
+# stserved smoke — boot the daemon on an ephemeral port with a generated
+# dataset and run one query end to end.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) cover
 	$(GO) test -race -count=1 -run TestServedSmoke ./cmd/stserved
 
 bench:

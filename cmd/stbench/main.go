@@ -20,22 +20,24 @@ import (
 
 	"st4ml/internal/bench"
 	"st4ml/internal/engine"
+	"st4ml/internal/trace"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig5|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|all")
-		events  = flag.Int("events", 200_000, "NYC-like event count")
-		trajs   = flag.Int("trajs", 20_000, "Porto-like trajectory count")
-		pois    = flag.Int("pois", 100_000, "OSM-like POI count")
-		areas   = flag.Int("areas", 400, "OSM-like area count")
-		airSta  = flag.Int("airsta", 40, "air-quality stations (before x4 replication)")
-		windows = flag.Int("windows", 10, "query windows per application")
-		clients = flag.Int("clients", 8, "concurrent HTTP clients for -exp serve")
-		slots   = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
-		workdir = flag.String("workdir", "", "work directory for stores (default: temp)")
-		spec    = flag.Bool("speculation", false, "speculatively re-execute straggler tasks")
-		chaos   = flag.Int64("chaos", 0, "fault-injection seed (0 = off): run under a 10% transient task-failure/corruption plan to exercise retries")
+		exp       = flag.String("exp", "all", "experiment: fig5|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|all")
+		events    = flag.Int("events", 200_000, "NYC-like event count")
+		trajs     = flag.Int("trajs", 20_000, "Porto-like trajectory count")
+		pois      = flag.Int("pois", 100_000, "OSM-like POI count")
+		areas     = flag.Int("areas", 400, "OSM-like area count")
+		airSta    = flag.Int("airsta", 40, "air-quality stations (before x4 replication)")
+		windows   = flag.Int("windows", 10, "query windows per application")
+		clients   = flag.Int("clients", 8, "concurrent HTTP clients for -exp serve")
+		slots     = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
+		workdir   = flag.String("workdir", "", "work directory for stores (default: temp)")
+		spec      = flag.Bool("speculation", false, "speculatively re-execute straggler tasks")
+		chaos     = flag.Int64("chaos", 0, "fault-injection seed (0 = off): run under a 10% transient task-failure/corruption plan to exercise retries")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the whole run to this file")
 	)
 	flag.Parse()
 	cfg := engine.Config{Slots: *slots, Speculation: *spec}
@@ -44,12 +46,36 @@ func main() {
 			Seed: *chaos, FailRate: 0.1, CorruptRate: 0.1,
 		}
 	}
-	if err := run(*exp, cfg, bench.Scale{
+	var tr *trace.Tracer
+	if *traceFile != "" {
+		// Every experiment funnels through one Context, so one tracer on the
+		// engine config captures the whole invocation.
+		tr = trace.New()
+		cfg.Tracer = tr
+	}
+	err := run(*exp, cfg, bench.Scale{
 		Events: *events, Trajs: *trajs, POIs: *pois, Areas: *areas, AirSta: *airSta,
-	}, *windows, *clients, *workdir); err != nil {
+	}, *windows, *clients, *workdir)
+	if err == nil && *traceFile != "" {
+		err = writeTrace(*traceFile, tr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "stbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the tracer's spans as a Chrome trace file.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int, workdir string) error {

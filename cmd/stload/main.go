@@ -25,19 +25,21 @@ import (
 	"st4ml/internal/selection"
 	"st4ml/internal/stdata"
 	"st4ml/internal/storage"
+	"st4ml/internal/trace"
 )
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "nyc", "dataset schema: "+strings.Join(stdata.SchemaNames(), "|"))
-		n        = flag.Int("n", 100_000, "record count when generating (events/trajectories/POIs)")
-		input    = flag.String("input", "", "CSV file to ingest instead of generating (nyc/porto schemas)")
-		out      = flag.String("out", "", "output dataset directory (required)")
-		gt       = flag.Int("gt", 16, "T-STR temporal granularity")
-		gs       = flag.Int("gs", 8, "T-STR spatial granularity")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		compress = flag.Bool("compress", false, "gzip partition files")
-		slots    = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
+		dataset   = flag.String("dataset", "nyc", "dataset schema: "+strings.Join(stdata.SchemaNames(), "|"))
+		n         = flag.Int("n", 100_000, "record count when generating (events/trajectories/POIs)")
+		input     = flag.String("input", "", "CSV file to ingest instead of generating (nyc/porto schemas)")
+		out       = flag.String("out", "", "output dataset directory (required)")
+		gt        = flag.Int("gt", 16, "T-STR temporal granularity")
+		gs        = flag.Int("gs", 8, "T-STR spatial granularity")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		compress  = flag.Bool("compress", false, "gzip partition files")
+		slots     = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the ingest to this file")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -49,7 +51,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stload: unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
-	ctx := engine.New(engine.Config{Slots: *slots})
+	var tr *trace.Tracer
+	if *traceFile != "" {
+		tr = trace.New()
+	}
+	ctx := engine.New(engine.Config{Slots: *slots, Tracer: tr})
 	opts := selection.IngestOptions{
 		Name: *dataset, Compress: *compress, SampleFrac: 0.02, Seed: *seed,
 	}
@@ -72,6 +78,25 @@ func main() {
 	}
 	fmt.Printf("stload: wrote %d records in %d partitions to %s\n",
 		meta.TotalCount, meta.NumPartitions(), *out)
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "stload:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the tracer's spans as a Chrome trace file.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // generate produces n synthetic records of the named schema. Generator

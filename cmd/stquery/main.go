@@ -20,27 +20,34 @@ import (
 	"st4ml/internal/selection"
 	"st4ml/internal/stdata"
 	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "dataset directory (required)")
-		dataset = flag.String("dataset", "nyc", "schema: "+strings.Join(stdata.SchemaNames(), "|"))
-		minx    = flag.Float64("minx", -180, "window min longitude")
-		miny    = flag.Float64("miny", -90, "window min latitude")
-		maxx    = flag.Float64("maxx", 180, "window max longitude")
-		maxy    = flag.Float64("maxy", 90, "window max latitude")
-		tstart  = flag.Int64("tstart", 0, "window start (unix seconds)")
-		tend    = flag.Int64("tend", 1<<60, "window end (unix seconds)")
-		full    = flag.Bool("full-scan", false, "skip metadata pruning (native path)")
-		metrics = flag.Bool("metrics", false, "print the engine counter snapshot after the query")
+		dir       = flag.String("dir", "", "dataset directory (required)")
+		dataset   = flag.String("dataset", "nyc", "schema: "+strings.Join(stdata.SchemaNames(), "|"))
+		minx      = flag.Float64("minx", -180, "window min longitude")
+		miny      = flag.Float64("miny", -90, "window min latitude")
+		maxx      = flag.Float64("maxx", 180, "window max longitude")
+		maxy      = flag.Float64("maxy", 90, "window max latitude")
+		tstart    = flag.Int64("tstart", 0, "window start (unix seconds)")
+		tend      = flag.Int64("tend", 1<<60, "window end (unix seconds)")
+		full      = flag.Bool("full-scan", false, "skip metadata pruning (native path)")
+		metrics   = flag.Bool("metrics", false, "print the engine counter snapshot after the query")
+		explain   = flag.Bool("explain", false, "print the aggregated execution report (partitions pruned, records, tasks, per-stage breakdown)")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the query to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "stquery: -dir is required")
 		os.Exit(2)
 	}
-	ctx := engine.New(engine.Config{})
+	var tr *trace.Tracer
+	if *explain || *traceFile != "" {
+		tr = trace.New()
+	}
+	ctx := engine.New(engine.Config{Tracer: tr})
 	w := selection.Window{
 		Space: geom.Box(*minx, *miny, *maxx, *maxy),
 		Time:  tempo.New(*tstart, *tend),
@@ -58,6 +65,28 @@ func main() {
 		// entry point speaks one metrics dialect.
 		fmt.Println(ctx.Metrics.Snapshot())
 	}
+	if *explain {
+		trace.Build(tr.Snapshot()).Fprint(os.Stdout)
+	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "stquery:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the tracer's spans as a Chrome trace file.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func query(ctx *engine.Context, dataset, dir string, w selection.Window, full bool) (selection.Stats, error) {

@@ -10,6 +10,7 @@ import (
 	"st4ml/internal/selection"
 	"st4ml/internal/stdata"
 	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
 )
 
 func ingestNYC(t *testing.T, ctx *engine.Context, n int) string {
@@ -48,5 +49,69 @@ func TestQueryAllSchemas(t *testing.T) {
 	}
 	if _, err := query(ctx, "unknown", dir, w, false); err == nil {
 		t.Error("unknown schema should error")
+	}
+}
+
+// TestExplainMatchesMetrics is the acceptance check that the explain report
+// (built purely from the span dump) agrees with the engine's own counters
+// and with the selection stats — the two observability paths cannot drift.
+func TestExplainMatchesMetrics(t *testing.T) {
+	dir := ingestNYC(t, engine.New(engine.Config{Slots: 2}), 2000)
+
+	tr := trace.New()
+	ctx := engine.New(engine.Config{Slots: 2, Tracer: tr})
+	w := selection.Window{
+		Space: geom.Box(-74.0, 40.7, -73.9, 40.8),
+		Time:  tempo.New(datagen.Year2013.Start, datagen.Year2013.End),
+	}
+	stats, err := query(ctx, "nyc", dir, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := trace.Build(tr.Snapshot())
+	snap := ctx.Metrics.Snapshot()
+
+	if e.TasksRun != snap.TasksRun {
+		t.Errorf("explain tasks %d != metrics tasks %d", e.TasksRun, snap.TasksRun)
+	}
+	if e.TaskRetries != snap.TaskRetries {
+		t.Errorf("explain retries %d != metrics retries %d", e.TaskRetries, snap.TaskRetries)
+	}
+	if e.ShuffleBytes != snap.ShuffleBytes {
+		t.Errorf("explain shuffle bytes %d != metrics %d", e.ShuffleBytes, snap.ShuffleBytes)
+	}
+	if e.ShuffleRecords != snap.ShuffleRecords {
+		t.Errorf("explain shuffle records %d != metrics %d", e.ShuffleRecords, snap.ShuffleRecords)
+	}
+
+	// Selection stats agree with the span-derived partition accounting.
+	if e.ReadPartitions != int64(stats.LoadedPartitions) ||
+		e.TotalPartitions != int64(stats.TotalPartitions) {
+		t.Errorf("explain partitions %d/%d != stats %d/%d",
+			e.ReadPartitions, e.TotalPartitions, stats.LoadedPartitions, stats.TotalPartitions)
+	}
+	if e.RecordsSelected != stats.SelectedRecords {
+		t.Errorf("explain selected %d != stats %d", e.RecordsSelected, stats.SelectedRecords)
+	}
+	if e.PartitionBytes != stats.LoadedBytes {
+		t.Errorf("explain bytes %d != stats %d", e.PartitionBytes, stats.LoadedBytes)
+	}
+
+	// Every executed stage appears in the explain with matching task and
+	// record counts.
+	if len(e.Stages) != len(snap.Stages) {
+		t.Fatalf("explain has %d stages, metrics %d", len(e.Stages), len(snap.Stages))
+	}
+	for _, ms := range snap.Stages {
+		es, ok := e.StageByName(ms.Name)
+		if !ok {
+			t.Errorf("stage %q missing from explain", ms.Name)
+			continue
+		}
+		if es.Tasks != int64(ms.Tasks) || es.Records != ms.Records {
+			t.Errorf("stage %q: explain tasks/records %d/%d != metrics %d/%d",
+				ms.Name, es.Tasks, es.Records, ms.Tasks, ms.Records)
+		}
 	}
 }

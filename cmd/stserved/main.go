@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -48,6 +49,7 @@ func main() {
 		inFlight   = flag.Int("max-inflight", 0, "concurrent query bound (0 = 2x slots)")
 		maxQueue   = flag.Int("max-queue", 0, "admission queue depth (0 = 4x max-inflight)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Var(&datasets, "dataset", "serve a dataset: name=dir or name:schema=dir (repeatable)")
 	flag.Parse()
@@ -62,11 +64,32 @@ func main() {
 		fmt.Printf("stserved: serving %s (%s schema): %d records in %d partitions from %s\n",
 			info.Name, info.Schema, info.Records, info.Partitions, info.Dir)
 	}
+	if *debugAddr != "" {
+		go func() {
+			fmt.Printf("stserved: pprof on %s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "stserved: debug server:", err)
+			}
+		}()
+	}
 	fmt.Printf("stserved: listening on %s\n", *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "stserved:", err)
 		os.Exit(1)
 	}
+}
+
+// debugMux routes the net/http/pprof endpoints explicitly (the package's
+// DefaultServeMux side-effect registration would expose them on the main
+// query listener too, which the -debug-addr split exists to prevent).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // build assembles the server from the flag values. With demo > 0 it

@@ -57,6 +57,120 @@ func TestServedSmoke(t *testing.T) {
 	}
 }
 
+// TestServedExplain exercises the ?explain=1 path end to end: the response
+// carries an execution report whose numbers agree with the stats block.
+func TestServedExplain(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir())
+	ctx := engine.New(engine.Config{Slots: 2})
+	srv, err := build(ctx, nil, 2000, 8<<20, 4, 8, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"dataset":"demo","minx":-74.1,"miny":40.6,"maxx":-73.8,"maxy":40.9,"tstart":0,"tend":2000000000,"explain":true}`
+	resp, err := http.Post(ts.URL+"/query?explain=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Cache   string `json:"cache"`
+		Explain *struct {
+			ReadPartitions  int64  `json:"read_partitions"`
+			RecordsSelected int64  `json:"records_selected"`
+			TasksRun        int64  `json:"tasks_run"`
+			ResultCache     string `json:"result_cache"`
+			Spans           int    `json:"spans"`
+		} `json:"explain"`
+		Stats struct {
+			LoadedPartitions int64 `json:"LoadedPartitions"`
+			SelectedRecords  int64 `json:"SelectedRecords"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Explain == nil {
+		t.Fatal("explain=1 response has no explain block")
+	}
+	if out.Explain.Spans == 0 || out.Explain.TasksRun == 0 {
+		t.Errorf("explain looks empty: %+v", *out.Explain)
+	}
+	if out.Explain.ReadPartitions != out.Stats.LoadedPartitions {
+		t.Errorf("explain read %d != stats loaded %d",
+			out.Explain.ReadPartitions, out.Stats.LoadedPartitions)
+	}
+	if out.Explain.RecordsSelected != out.Stats.SelectedRecords {
+		t.Errorf("explain selected %d != stats %d",
+			out.Explain.RecordsSelected, out.Stats.SelectedRecords)
+	}
+	if out.Explain.ResultCache != "miss" {
+		t.Errorf("first query result_cache = %q, want miss", out.Explain.ResultCache)
+	}
+
+	// A repeat of the same query (same result key) must explain as a hit.
+	resp2, err := http.Post(ts.URL+"/query?explain=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 struct {
+		Cache   string `json:"cache"`
+		Explain *struct {
+			ResultCache string `json:"result_cache"`
+		} `json:"explain"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Cache != "hit" || out2.Explain == nil || out2.Explain.ResultCache != "hit" {
+		t.Errorf("repeat query cache=%q explain=%+v, want hit/hit", out2.Cache, out2.Explain)
+	}
+
+	// An untraced query must carry no explain block.
+	resp3, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(
+		`{"dataset":"demo","minx":-74.1,"miny":40.6,"maxx":-73.8,"maxy":40.9,"tstart":0,"tend":2000000000,"no_cache":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var out3 map[string]json.RawMessage
+	if err := json.NewDecoder(resp3.Body).Decode(&out3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out3["explain"]; ok {
+		t.Error("untraced query response carries an explain block")
+	}
+}
+
+// TestDebugMux checks the -debug-addr pprof mux serves the profile index
+// without touching the main query mux.
+func TestDebugMux(t *testing.T) {
+	ts := httptest.NewServer(debugMux())
+	defer ts.Close()
+	r, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ status = %d", r.StatusCode)
+	}
+	r2, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline status = %d", r2.StatusCode)
+	}
+}
+
 func TestParseDatasetSpec(t *testing.T) {
 	name, schema, dir, err := parseDatasetSpec("taxi:nyc=/data/taxi")
 	if err != nil || name != "taxi" || schema != "nyc" || dir != "/data/taxi" {

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestWriteJSONRowGolden pins the exact serialized form of a benchmark
+// row — field names, key order, number formatting, trailing newline —
+// against a checked-in golden file. Downstream tooling appends these lines
+// to .jsonl perf logs across commits, so any schema drift must be a
+// deliberate, reviewed change (run `go test ./internal/bench -update` to
+// accept one).
+func TestWriteJSONRowGolden(t *testing.T) {
+	row := ServeResult{
+		Events:         50000,
+		Partitions:     32,
+		Clients:        8,
+		Queries:        160,
+		ColdMeanMS:     12.5,
+		ColdP95MS:      40.25,
+		ColdQPS:        128,
+		HotMeanMS:      0.75,
+		HotP95MS:       2.5,
+		HotQPS:         4096,
+		PartitionLoads: 32,
+		ResultHits:     160,
+		Shed:           0,
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONRow(&buf, "serve", row); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "serve_row.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("WriteJSONRow output drifted from golden file\n got: %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+}

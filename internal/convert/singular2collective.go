@@ -63,7 +63,7 @@ func EventToTimeSeries[S geom.Geometry, V, D, U any](
 	m Method,
 	agg func([]instance.Event[S, V, D]) U,
 ) *engine.RDD[instance.TimeSeries[U, instance.Unit]] {
-	cand := tsCandidates(tgt, m)
+	cand := tsCandidates(r.Ctx(), tgt, m)
 	broadcastStructure(r.Ctx(), len(tgt.Slots))
 	slots := tgt.Slots
 	exact := func(e instance.Event[S, V, D], c int) bool {
@@ -89,7 +89,7 @@ func TrajToTimeSeries[V, D, U any](
 	m Method,
 	agg func([]instance.Trajectory[V, D]) U,
 ) *engine.RDD[instance.TimeSeries[U, instance.Unit]] {
-	cand := tsCandidates(tgt, m)
+	cand := tsCandidates(r.Ctx(), tgt, m)
 	broadcastStructure(r.Ctx(), len(tgt.Slots))
 	slots := tgt.Slots
 	exact := func(tr instance.Trajectory[V, D], c int) bool {
@@ -115,7 +115,7 @@ func EventToSpatialMap[SC geom.Geometry, S geom.Geometry, V, D, U any](
 	m Method,
 	agg func([]instance.Event[S, V, D]) U,
 ) *engine.RDD[instance.SpatialMap[SC, U, instance.Unit]] {
-	cand := smCandidates(tgt, m)
+	cand := smCandidates(r.Ctx(), tgt, m)
 	broadcastStructure(r.Ctx(), len(tgt.Cells))
 	cells := tgt.Cells
 	exact := func(e instance.Event[S, V, D], c int) bool {
@@ -141,7 +141,7 @@ func TrajToSpatialMap[SC geom.Geometry, V, D, U any](
 	m Method,
 	agg func([]instance.Trajectory[V, D]) U,
 ) *engine.RDD[instance.SpatialMap[SC, U, instance.Unit]] {
-	cand := smCandidates(tgt, m)
+	cand := smCandidates(r.Ctx(), tgt, m)
 	broadcastStructure(r.Ctx(), len(tgt.Cells))
 	cells := tgt.Cells
 	exact := func(tr instance.Trajectory[V, D], c int) bool {
@@ -167,7 +167,7 @@ func EventToRaster[SC geom.Geometry, S geom.Geometry, V, D, U any](
 	m Method,
 	agg func([]instance.Event[S, V, D]) U,
 ) *engine.RDD[instance.Raster[SC, U, instance.Unit]] {
-	cand := rasterCandidates(tgt, m)
+	cand := rasterCandidates(r.Ctx(), tgt, m)
 	broadcastStructure(r.Ctx(), len(tgt.Cells))
 	cells, slots := tgt.Cells, tgt.Slots
 	exact := func(e instance.Event[S, V, D], c int) bool {
@@ -194,7 +194,7 @@ func TrajToRaster[SC geom.Geometry, V, D, U any](
 	m Method,
 	agg func([]instance.Trajectory[V, D]) U,
 ) *engine.RDD[instance.Raster[SC, U, instance.Unit]] {
-	cand := rasterCandidates(tgt, m)
+	cand := rasterCandidates(r.Ctx(), tgt, m)
 	broadcastStructure(r.Ctx(), len(tgt.Cells))
 	cells, slots := tgt.Cells, tgt.Slots
 	exact := func(tr instance.Trajectory[V, D], c int) bool {

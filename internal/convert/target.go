@@ -12,10 +12,12 @@
 package convert
 
 import (
+	"st4ml/internal/engine"
 	"st4ml/internal/geom"
 	"st4ml/internal/index"
 	"st4ml/internal/instance"
 	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
 )
 
 // Method selects the allocation strategy for singular→collective
@@ -116,12 +118,15 @@ func naiveCandidates(n int) candidates {
 
 // rtreeCandidates builds an R-tree over the cell boxes (the structure-side
 // indexing of §4.2 — cells are indexed once and every record traverses).
-func rtreeCandidates(boxes []index.Box) candidates {
+func rtreeCandidates(ctx *engine.Context, boxes []index.Box) candidates {
 	items := make([]index.Item[int], len(boxes))
 	for i, b := range boxes {
 		items[i] = index.Item[int]{Box: b, Data: i}
 	}
+	sp := ctx.StartSpan(trace.SpanRTreeBuild,
+		trace.Int("items", int64(len(items))), trace.Str("site", "convert"))
 	tree := index.BulkLoadSTR(items, 16)
+	sp.End()
 	return func(b index.Box, yield func(int)) {
 		tree.SearchFunc(b, func(cell int, _ index.Box) bool {
 			yield(cell)
@@ -131,7 +136,7 @@ func rtreeCandidates(boxes []index.Box) candidates {
 }
 
 // tsCandidates picks the strategy for a time-series target.
-func tsCandidates(t TSTarget, m Method) candidates {
+func tsCandidates(ctx *engine.Context, t TSTarget, m Method) candidates {
 	switch m {
 	case Naive:
 		return naiveCandidates(len(t.Slots))
@@ -154,12 +159,12 @@ func tsCandidates(t TSTarget, m Method) candidates {
 		for i, s := range t.Slots {
 			boxes[i] = index.Box3(geom.Box(-1e18, -1e18, 1e18, 1e18), s)
 		}
-		return rtreeCandidates(boxes)
+		return rtreeCandidates(ctx, boxes)
 	}
 }
 
 // smCandidates picks the strategy for a spatial-map target.
-func smCandidates[S geom.Geometry](t SMTarget[S], m Method) candidates {
+func smCandidates[S geom.Geometry](ctx *engine.Context, t SMTarget[S], m Method) candidates {
 	switch m {
 	case Naive:
 		return naiveCandidates(len(t.Cells))
@@ -184,12 +189,12 @@ func smCandidates[S geom.Geometry](t SMTarget[S], m Method) candidates {
 		for i, c := range t.Cells {
 			boxes[i] = index.Box3(c.MBR(), tempo.New(-1<<60, 1<<60))
 		}
-		return rtreeCandidates(boxes)
+		return rtreeCandidates(ctx, boxes)
 	}
 }
 
 // rasterCandidates picks the strategy for a raster target.
-func rasterCandidates[S geom.Geometry](t RasterTarget[S], m Method) candidates {
+func rasterCandidates[S geom.Geometry](ctx *engine.Context, t RasterTarget[S], m Method) candidates {
 	switch m {
 	case Naive:
 		return naiveCandidates(len(t.Cells))
@@ -220,6 +225,6 @@ func rasterCandidates[S geom.Geometry](t RasterTarget[S], m Method) candidates {
 		for i := range t.Cells {
 			boxes[i] = index.Box3(t.Cells[i].MBR(), t.Slots[i])
 		}
-		return rtreeCandidates(boxes)
+		return rtreeCandidates(ctx, boxes)
 	}
 }

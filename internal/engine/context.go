@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"st4ml/internal/trace"
 )
 
 // Config sizes the simulated cluster and its fault-tolerance behavior.
@@ -74,6 +76,11 @@ type Config struct {
 	// Faults optionally injects deterministic failures, stragglers, and
 	// shuffle corruption (see FaultPlan).
 	Faults *FaultPlan
+
+	// Tracer, when set, records a span per stage, task attempt, and shuffle
+	// side (see package trace). Nil — the default — disables tracing at zero
+	// cost: the no-op span path performs no allocations.
+	Tracer *trace.Tracer
 }
 
 // Context owns the executor pool and metrics for one logical cluster. It is
@@ -82,7 +89,9 @@ type Context struct {
 	slots      int
 	defaultPar int
 	sem        chan struct{}
-	Metrics    Metrics
+	// Metrics is shared by pointer so trace-scoped shallow copies of the
+	// Context (WithTracer) aggregate into the same counters.
+	Metrics *Metrics
 
 	maxTaskAttempts int
 	retryBackoff    time.Duration
@@ -91,6 +100,9 @@ type Context struct {
 	specMultiplier  float64
 	specInterval    time.Duration
 	faults          *FaultPlan
+
+	tracer      *trace.Tracer
+	traceParent trace.SpanID
 }
 
 // New creates a Context with the given config.
@@ -129,6 +141,7 @@ func New(cfg Config) *Context {
 		slots:           slots,
 		defaultPar:      par,
 		sem:             make(chan struct{}, slots),
+		Metrics:         new(Metrics),
 		maxTaskAttempts: attempts,
 		retryBackoff:    backoff,
 		speculation:     cfg.Speculation,
@@ -136,6 +149,7 @@ func New(cfg Config) *Context {
 		specMultiplier:  multiplier,
 		specInterval:    interval,
 		faults:          cfg.Faults,
+		tracer:          cfg.Tracer,
 	}
 }
 
@@ -144,6 +158,41 @@ func (c *Context) Slots() int { return c.slots }
 
 // DefaultParallelism returns the default partition count.
 func (c *Context) DefaultParallelism() int { return c.defaultPar }
+
+// Tracer returns the context's tracer (nil when tracing is disabled).
+func (c *Context) Tracer() *trace.Tracer { return c.tracer }
+
+// TraceParent returns the span every stage of this context parents under.
+func (c *Context) TraceParent() trace.SpanID { return c.traceParent }
+
+// WithTracer returns a shallow copy of c that records spans on tr, parented
+// under parent. The copy shares the slot pool, metrics, and fault plan, so
+// concurrent queries can each carry their own trace scope while executing
+// on one cluster. A nil tr returns c unchanged.
+func (c *Context) WithTracer(tr *trace.Tracer, parent trace.SpanID) *Context {
+	if tr == nil {
+		return c
+	}
+	scoped := *c
+	scoped.tracer = tr
+	scoped.traceParent = parent
+	return &scoped
+}
+
+// WithSpan scopes c under sp (see WithTracer). A nil span returns c
+// unchanged, so call sites need no tracing-enabled branch.
+func (c *Context) WithSpan(sp *trace.Span) *Context {
+	if sp == nil {
+		return c
+	}
+	return c.WithTracer(c.tracer, sp.ID())
+}
+
+// StartSpan begins a span under the context's trace parent. On an untraced
+// context it returns the no-op nil span.
+func (c *Context) StartSpan(name string, attrs ...trace.Attr) *trace.Span {
+	return c.tracer.StartSpan(c.traceParent, name, attrs...)
+}
 
 // minSpeculationThreshold keeps near-zero medians from marking every
 // still-running task a straggler.
@@ -170,29 +219,34 @@ type stageState struct {
 	c     *Context
 	name  string
 	tasks int
-	fn    func(task int) (commit func(), err error)
+	fn    func(task int) (commit func(), records int64, err error)
+	span  *trace.Span
 
 	mu        sync.Mutex
 	completed int
 	durations []time.Duration // committed attempt durations, for the median
 	longest   time.Duration
+	records   atomic.Int64 // records produced by committed tasks
 	state     []taskState
 	dupWG     sync.WaitGroup
 }
 
 // runStage executes fn for every task index in [0, tasks) on the slot pool
 // and blocks until all complete. fn does the task's work and returns a
-// commit closure that publishes its result; runStage guarantees the commit
-// runs exactly once per task even when retries or speculative duplicates
-// race. A task attempt that returns an error or panics is retried with
-// backoff; a task whose every attempt fails aborts the stage with a
-// *TaskError naming the task. Metrics are charged per committed task.
-func (c *Context) runStage(name string, tasks int, fn func(task int) (commit func(), err error)) error {
+// commit closure that publishes its result plus the number of records the
+// task produced; runStage guarantees the commit runs exactly once per task
+// even when retries or speculative duplicates race. A task attempt that
+// returns an error or panics is retried with backoff; a task whose every
+// attempt fails aborts the stage with a *TaskError naming the task.
+// Metrics are charged per committed task, and with a tracer configured the
+// stage and every task attempt record spans.
+func (c *Context) runStage(name string, tasks int, fn func(task int) (commit func(), records int64, err error)) error {
 	if tasks == 0 {
 		return nil
 	}
 	start := time.Now()
 	st := &stageState{c: c, name: name, tasks: tasks, fn: fn, state: make([]taskState, tasks)}
+	st.span = c.tracer.StartSpan(c.traceParent, trace.SpanStagePrefix+name, trace.Int("tasks", int64(tasks)))
 
 	stop := make(chan struct{})
 	var monWG sync.WaitGroup
@@ -239,9 +293,12 @@ func (c *Context) runStage(name string, tasks int, fn func(task int) (commit fun
 			break
 		}
 	}
+	recs := st.records.Load()
+	st.span.End(trace.Int("records", recs))
 	c.Metrics.addStage(StageStat{
 		Name:        name,
 		Tasks:       tasks,
+		Records:     recs,
 		Wall:        time.Since(start),
 		LongestTask: st.longest,
 	})
@@ -269,10 +326,18 @@ func (s *stageState) runAttempts(i int, speculative bool) {
 				time.Sleep(d)
 			}
 		}
+		// The attempt span starts after backoff/fault delays (so its duration
+		// is actual task work) and after the retry metric above, keeping the
+		// span count with attempt>0 equal to Metrics.TaskRetries.
+		sp := s.span.Child(trace.SpanTask,
+			trace.Int("task", int64(i)),
+			trace.Int("attempt", int64(attempt)),
+			trace.Bool("speculative", speculative))
 		t0 := time.Now()
-		commit, err := s.callTask(i, attempt)
+		commit, records, err := s.callTask(i, attempt)
 		if err != nil {
 			lastErr = err
+			sp.End(trace.Bool("committed", false), trace.Str("error", err.Error()))
 			continue
 		}
 		// Exactly-once commit: the first finisher claims the task; losers
@@ -280,9 +345,11 @@ func (s *stageState) runAttempts(i int, speculative bool) {
 		// code in ForeachPartition) is a permanent failure — the effect
 		// may be partial, so it must not be retried.
 		if !ts.claimed.CompareAndSwap(false, true) {
+			sp.End(trace.Bool("committed", false))
 			return
 		}
 		if cerr := runCommit(commit); cerr != nil {
+			sp.End(trace.Bool("committed", false), trace.Str("error", cerr.Error()))
 			s.mu.Lock()
 			ts.err = &TaskError{Stage: s.name, Task: i, Attempts: attempt + 1, Err: cerr}
 			s.mu.Unlock()
@@ -290,6 +357,8 @@ func (s *stageState) runAttempts(i int, speculative bool) {
 		}
 		d := time.Since(t0)
 		ts.committed.Store(true)
+		s.records.Add(records)
+		sp.End(trace.Bool("committed", true), trace.Int("records", records))
 		c.Metrics.tasksRun.Add(1)
 		c.Metrics.taskNanos.Add(int64(d))
 		if speculative {
@@ -327,14 +396,14 @@ func runCommit(commit func()) (err error) {
 
 // callTask runs one attempt of task i, converting panics and injected
 // faults into errors.
-func (s *stageState) callTask(i, attempt int) (commit func(), err error) {
+func (s *stageState) callTask(i, attempt int) (commit func(), records int64, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			commit, err = nil, fmt.Errorf("task %d panicked: %v", i, rec)
+			commit, records, err = nil, 0, fmt.Errorf("task %d panicked: %v", i, rec)
 		}
 	}()
 	if err := s.c.faults.failTask(s.name, i, attempt); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return s.fn(i)
 }

@@ -56,11 +56,11 @@ func TestRunStageReturnsErrorDirectly(t *testing.T) {
 	// White-box: the stage runner itself reports permanent task failure as
 	// a returned error (the old engine re-raised a panic instead).
 	ctx := New(Config{Slots: 2, MaxTaskAttempts: 2, RetryBackoff: -1})
-	err := ctx.runStage("direct", 4, func(task int) (func(), error) {
+	err := ctx.runStage("direct", 4, func(task int) (func(), int64, error) {
 		if task == 1 {
 			panic("direct kaboom")
 		}
-		return nil, nil
+		return nil, 0, nil
 	})
 	if err == nil {
 		t.Fatal("expected error from runStage")

@@ -201,9 +201,9 @@ func (r *RDD[T]) Cache() *RDD[T] {
 	}
 	cached.doMaterialize = func() ([][]T, error) {
 		out := make([][]T, r.parts)
-		err := r.ctx.runStage(cached.name, r.parts, func(p int) (func(), error) {
+		err := r.ctx.runStage(cached.name, r.parts, func(p int) (func(), int64, error) {
 			part := r.computePartition(p)
-			return func() { out[p] = part }, nil
+			return func() { out[p] = part }, int64(len(part)), nil
 		})
 		if err != nil {
 			return nil, err
@@ -219,12 +219,12 @@ func runJob[T any](r *RDD[T], name string) ([][]T, error) {
 		return nil, err
 	}
 	out := make([][]T, r.parts)
-	err := r.ctx.runStage(name, r.parts, func(p int) (func(), error) {
+	err := r.ctx.runStage(name, r.parts, func(p int) (func(), int64, error) {
 		part := r.computePartition(p)
 		return func() {
 			out[p] = part
 			r.ctx.Metrics.recordsOut.Add(int64(len(part)))
-		}, nil
+		}, int64(len(part)), nil
 	})
 	if err != nil {
 		return nil, err
@@ -272,9 +272,9 @@ func (r *RDD[T]) Count() int64 {
 func (r *RDD[T]) CountByPartition() []int64 {
 	must(r.prepare())
 	counts := make([]int64, r.parts)
-	must(r.ctx.runStage(r.name+".count", r.parts, func(p int) (func(), error) {
+	must(r.ctx.runStage(r.name+".count", r.parts, func(p int) (func(), int64, error) {
 		n := int64(len(r.computePartition(p)))
-		return func() { counts[p] = n }, nil
+		return func() { counts[p] = n }, n, nil
 	}))
 	return counts
 }
@@ -299,12 +299,13 @@ func (r *RDD[T]) Reduce(f func(T, T) T) (result T, ok bool) {
 func Aggregate[T, U any](r *RDD[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) U {
 	must(r.prepare())
 	partial := make([]U, r.parts)
-	must(r.ctx.runStage(r.name+".aggregate", r.parts, func(p int) (func(), error) {
+	must(r.ctx.runStage(r.name+".aggregate", r.parts, func(p int) (func(), int64, error) {
+		in := r.computePartition(p)
 		acc := zero
-		for _, v := range r.computePartition(p) {
+		for _, v := range in {
 			acc = seqOp(acc, v)
 		}
-		return func() { partial[p] = acc }, nil
+		return func() { partial[p] = acc }, int64(len(in)), nil
 	}))
 	out := zero
 	for _, u := range partial {
@@ -319,8 +320,8 @@ func Aggregate[T, U any](r *RDD[T], zero U, seqOp func(U, T) U, combOp func(U, U
 // performed part of its effect, so fn's effects should be idempotent.
 func (r *RDD[T]) ForeachPartition(fn func(p int, in []T)) {
 	must(r.prepare())
-	must(r.ctx.runStage(r.name+".foreach", r.parts, func(p int) (func(), error) {
+	must(r.ctx.runStage(r.name+".foreach", r.parts, func(p int) (func(), int64, error) {
 		in := r.computePartition(p)
-		return func() { fn(p, in) }, nil
+		return func() { fn(p, in) }, int64(len(in)), nil
 	}))
 }

@@ -3,8 +3,10 @@ package engine
 import (
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"st4ml/internal/codec"
+	"st4ml/internal/trace"
 )
 
 // Shuffles route records between partitions. Every shuffled record is
@@ -112,7 +114,7 @@ func ReduceByKey[K comparable, V any](
 		}
 		// Final merge per reduce partition.
 		result := make([][]codec.Pair[K, V], nOut)
-		err = r.ctx.runStage(out.name+".merge", nOut, func(p int) (func(), error) {
+		err = r.ctx.runStage(out.name+".merge", nOut, func(p int) (func(), int64, error) {
 			m := make(map[K]V)
 			for _, pair := range shuffled[p] {
 				if cur, ok := m[pair.Key]; ok {
@@ -125,7 +127,7 @@ func ReduceByKey[K comparable, V any](
 			for k, v := range m {
 				outp = append(outp, codec.KV(k, v))
 			}
-			return func() { result[p] = outp }, nil
+			return func() { result[p] = outp }, int64(len(outp)), nil
 		})
 		if err != nil {
 			return nil, err
@@ -161,7 +163,7 @@ func GroupByKey[K comparable, V any](
 			return nil, err
 		}
 		result := make([][]codec.Pair[K, []V], nOut)
-		err = r.ctx.runStage(out.name+".group", nOut, func(p int) (func(), error) {
+		err = r.ctx.runStage(out.name+".group", nOut, func(p int) (func(), int64, error) {
 			m := make(map[K][]V)
 			for _, pair := range shuffled[p] {
 				m[pair.Key] = append(m[pair.Key], pair.Value)
@@ -170,7 +172,7 @@ func GroupByKey[K comparable, V any](
 			for k, vs := range m {
 				outp = append(outp, codec.KV(k, vs))
 			}
-			return func() { result[p] = outp }, nil
+			return func() { result[p] = outp }, int64(len(outp)), nil
 		})
 		if err != nil {
 			return nil, err
@@ -218,8 +220,10 @@ func shuffleWrite[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func(T) 
 	if err := r.prepare(); err != nil {
 		return nil, err
 	}
+	sp := r.ctx.StartSpan(trace.SpanShuffleWrite, trace.Str("stage", r.name+".shuffleWrite"))
+	var spanBytes, spanRecords atomic.Int64
 	enc := make([][][]byte, r.parts)
-	err := r.ctx.runStage(r.name+".shuffleWrite", r.parts, func(p int) (func(), error) {
+	err := r.ctx.WithSpan(sp).runStage(r.name+".shuffleWrite", r.parts, func(p int) (func(), int64, error) {
 		writers := make([]*codec.Writer, nOut)
 		var records int64
 		for _, v := range r.computePartition(p) {
@@ -237,8 +241,11 @@ func shuffleWrite[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func(T) 
 			enc[p] = bufs
 			r.ctx.Metrics.shuffleRecords.Add(records)
 			r.ctx.Metrics.shuffleBytes.Add(bytes)
-		}, nil
+			spanBytes.Add(bytes)
+			spanRecords.Add(records)
+		}, records, nil
 	})
+	sp.End(trace.Int("bytes", spanBytes.Load()), trace.Int("records", spanRecords.Load()))
 	if err != nil {
 		return nil, err
 	}
@@ -257,8 +264,10 @@ func shuffleWriteFunc[T any](
 	if err := r.prepare(); err != nil {
 		return nil, err
 	}
+	sp := r.ctx.StartSpan(trace.SpanShuffleWrite, trace.Str("stage", r.name+".shuffleWrite"))
+	var spanBytes, spanRecords atomic.Int64
 	enc := make([][][]byte, r.parts)
-	err := r.ctx.runStage(r.name+".shuffleWrite", r.parts, func(p int) (func(), error) {
+	err := r.ctx.WithSpan(sp).runStage(r.name+".shuffleWrite", r.parts, func(p int) (func(), int64, error) {
 		writers := make([]*codec.Writer, nOut)
 		scratch := newScratch()
 		var records int64
@@ -277,8 +286,11 @@ func shuffleWriteFunc[T any](
 			enc[p] = bufs
 			r.ctx.Metrics.shuffleRecords.Add(records)
 			r.ctx.Metrics.shuffleBytes.Add(bytes)
-		}, nil
+			spanBytes.Add(bytes)
+			spanRecords.Add(records)
+		}, records, nil
 	})
+	sp.End(trace.Int("bytes", spanBytes.Load()), trace.Int("records", spanRecords.Load()))
 	if err != nil {
 		return nil, err
 	}
@@ -324,8 +336,11 @@ func shuffleRead[T any](ctx *Context, name string, c codec.Codec[T], enc [][][]b
 	nOut := len(enc[0])
 	out := make([][]T, nOut)
 	stage := name + ".shuffleRead"
-	err := ctx.runStage(stage, nOut, func(t int) (func(), error) {
+	sp := ctx.StartSpan(trace.SpanShuffleRead, trace.Str("stage", stage))
+	var spanBytes, spanRecords atomic.Int64
+	err := ctx.WithSpan(sp).runStage(stage, nOut, func(t int) (func(), int64, error) {
 		var part []T
+		var bytes int64
 		for p := range enc {
 			buf := enc[p][t]
 			if len(buf) == 0 {
@@ -333,15 +348,22 @@ func shuffleRead[T any](ctx *Context, name string, c codec.Codec[T], enc [][][]b
 			}
 			payload, err := readBlock(ctx, stage, p, t, buf)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
+			bytes += int64(len(payload))
 			rd := codec.NewReader(payload)
 			for rd.Remaining() > 0 {
 				part = append(part, c.Dec(rd))
 			}
 		}
-		return func() { out[t] = part }, nil
+		n := int64(len(part))
+		return func() {
+			out[t] = part
+			spanBytes.Add(bytes)
+			spanRecords.Add(n)
+		}, n, nil
 	})
+	sp.End(trace.Int("bytes", spanBytes.Load()), trace.Int("records", spanRecords.Load()))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/trace"
+)
+
+// TestTraceInvariantsUnderChaos runs a shuffle job under a seeded fault
+// plan with retries and speculation enabled, then checks the span dump
+// against the structural invariants the tracer promises: spans nest, every
+// task commits exactly once, and the span-derived aggregates agree with the
+// engine's own Metrics. Tracing must stay truthful precisely when the
+// execution is messiest.
+func TestTraceInvariantsUnderChaos(t *testing.T) {
+	tr := trace.New()
+	ctx := New(Config{
+		Slots: 4, RetryBackoff: -1, Tracer: tr,
+		Speculation: true, SpeculationQuantile: 0.3, SpeculationMultiplier: 1.5,
+		SpeculationInterval: 100 * time.Microsecond,
+		Faults: &FaultPlan{
+			Seed: 11, FailRate: 0.15, CorruptRate: 0.2, MaxCorruptReads: 1,
+			DelayTasks: map[int]time.Duration{2: 30 * time.Millisecond},
+		},
+	})
+	r := Parallelize(ctx, seq(400), 8)
+	out := PartitionBy(r, codec.Int, 8, func(v int) int { return v % 8 }).Collect()
+	if len(out) != 400 {
+		t.Fatalf("chaos run lost records: %d of 400", len(out))
+	}
+
+	spans := tr.Snapshot()
+	snap := ctx.Metrics.Snapshot()
+	if snap.TaskRetries == 0 {
+		t.Error("fault plan injected no retries — chaos test is vacuous")
+	}
+
+	byID := map[trace.SpanID]trace.SpanRecord{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+
+	// Invariant 1: spans nest. Every child starts no earlier and ends no
+	// later than its parent.
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Errorf("span %q has unknown parent %d", s.Name, s.Parent)
+			continue
+		}
+		if s.Start.Before(p.Start) || s.End().After(p.End()) {
+			t.Errorf("span %q [%v..%v] escapes parent %q [%v..%v]",
+				s.Name, s.Start, s.End(), p.Name, p.Start, p.End())
+		}
+	}
+
+	// Invariant 2: exactly one committed attempt span per (stage, task),
+	// and committed spans total Metrics.TasksRun.
+	committed := map[trace.SpanID]map[int64]int{} // stage span -> task -> commits
+	var committedTotal, retrySpans, specWinSpans int64
+	for _, s := range spans {
+		if s.Name != trace.SpanTask {
+			continue
+		}
+		task, _ := s.Int("task")
+		attempt, _ := s.Int("attempt")
+		if attempt > 0 {
+			retrySpans++
+		}
+		if !s.BoolAttr("committed") {
+			continue
+		}
+		committedTotal++
+		if s.BoolAttr("speculative") {
+			specWinSpans++
+		}
+		if committed[s.Parent] == nil {
+			committed[s.Parent] = map[int64]int{}
+		}
+		committed[s.Parent][task]++
+	}
+	for stageID, tasks := range committed {
+		stage := byID[stageID]
+		want, _ := stage.Int("tasks")
+		if int64(len(tasks)) != want {
+			t.Errorf("stage %q: %d tasks committed, span says %d tasks",
+				stage.Name, len(tasks), want)
+		}
+		for task, n := range tasks {
+			if n != 1 {
+				t.Errorf("stage %q task %d committed %d times", stage.Name, task, n)
+			}
+		}
+	}
+	if committedTotal != snap.TasksRun {
+		t.Errorf("committed spans %d != Metrics.TasksRun %d", committedTotal, snap.TasksRun)
+	}
+
+	// Invariant 3: retry attempts and speculative wins match the counters
+	// one for one.
+	if retrySpans != snap.TaskRetries {
+		t.Errorf("attempt>0 spans %d != Metrics.TaskRetries %d", retrySpans, snap.TaskRetries)
+	}
+	if specWinSpans != snap.SpeculativeWins {
+		t.Errorf("speculative committed spans %d != Metrics.SpeculativeWins %d",
+			specWinSpans, snap.SpeculativeWins)
+	}
+
+	// Invariant 4: each stage span's records attr equals the committed task
+	// records beneath it and the StageStat the engine reported.
+	stageStats := map[string]StageStat{}
+	for _, st := range snap.Stages {
+		stageStats[st.Name] = st
+	}
+	for _, s := range spans {
+		if !strings.HasPrefix(s.Name, trace.SpanStagePrefix) {
+			continue
+		}
+		spanRecs, _ := s.Int("records")
+		var childRecs int64
+		for _, c := range spans {
+			if c.Parent == s.ID && c.Name == trace.SpanTask && c.BoolAttr("committed") {
+				n, _ := c.Int("records")
+				childRecs += n
+			}
+		}
+		if spanRecs != childRecs {
+			t.Errorf("stage %q: span records %d != committed task records %d",
+				s.Name, spanRecs, childRecs)
+		}
+		st, ok := stageStats[strings.TrimPrefix(s.Name, trace.SpanStagePrefix)]
+		if !ok {
+			t.Errorf("stage span %q has no StageStat", s.Name)
+			continue
+		}
+		if st.Records != spanRecs {
+			t.Errorf("stage %q: span records %d != StageStat.Records %d",
+				s.Name, spanRecs, st.Records)
+		}
+	}
+
+	// Invariant 5: shuffle span byte/record totals equal the shuffle
+	// counters (the write side is what Metrics charges).
+	var wBytes, wRecs int64
+	for _, s := range spans {
+		if s.Name == trace.SpanShuffleWrite {
+			b, _ := s.Int("bytes")
+			r, _ := s.Int("records")
+			wBytes += b
+			wRecs += r
+		}
+	}
+	if wBytes != snap.ShuffleBytes || wRecs != snap.ShuffleRecords {
+		t.Errorf("shuffle:write spans %d bytes / %d records != Metrics %d / %d",
+			wBytes, wRecs, snap.ShuffleBytes, snap.ShuffleRecords)
+	}
+}

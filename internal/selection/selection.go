@@ -22,6 +22,7 @@ import (
 	"st4ml/internal/partition"
 	"st4ml/internal/storage"
 	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
 )
 
 // Window is one ST query range.
@@ -145,21 +146,37 @@ func (s *Selector[T]) selectPartitions(
 		stats.LoadedRecords += meta.Partitions[id].Count
 		stats.LoadedBytes += meta.Partitions[id].Bytes
 	}
+	sp := s.ctx.StartSpan(trace.SpanSelect,
+		trace.Str("dataset", meta.Name),
+		trace.Int("total_partitions", int64(stats.TotalPartitions)),
+		trace.Int("kept_partitions", int64(stats.LoadedPartitions)),
+		trace.Int("loaded_records", stats.LoadedRecords),
+		trace.Int("loaded_bytes", stats.LoadedBytes))
 	if len(ids) == 0 {
+		sp.End(trace.Int("selected", 0))
 		return engine.FromPartitions(s.ctx, "selected:empty", [][]T{}), stats, nil
 	}
 
-	// Stage 1: parallel load + parse + filter. Decoding errors surface as
-	// task panics; convert to an error at the driver.
-	loaded := engine.Generate(s.ctx, "load:"+meta.Name, len(ids), func(p int) []T {
+	// Stage 1: parallel load + parse + filter, traced under the select span.
+	// Decoding errors surface as task panics; convert to an error at the
+	// driver.
+	sctx := s.ctx.WithSpan(sp)
+	loaded := engine.Generate(sctx, "load:"+meta.Name, len(ids), func(p int) []T {
+		rsp := sctx.StartSpan(trace.SpanPartitionRead, trace.Int("partition", int64(ids[p])))
 		recs, err := storage.ReadPartition(dir, meta, ids[p], s.c)
 		if err != nil {
+			rsp.End(trace.Str("error", err.Error()))
 			panic(err)
 		}
-		return s.filterPartition(recs, windows)
+		out := s.filterPartition(sctx, recs, windows)
+		rsp.End(trace.Int("records", int64(len(recs))),
+			trace.Int("bytes", meta.Partitions[ids[p]].Bytes),
+			trace.Int("selected", int64(len(out))))
+		return out
 	})
 	selected, err := materialize(loaded)
 	if err != nil {
+		sp.End(trace.Str("error", err.Error()))
 		return nil, stats, err
 	}
 	stats.SelectedRecords = selected.Count()
@@ -174,12 +191,14 @@ func (s *Selector[T]) selectPartitions(
 			})
 		selected = repartitioned
 	}
+	sp.End(trace.Int("selected", stats.SelectedRecords))
 	return selected, stats, nil
 }
 
 // filterPartition applies the window predicate to one decoded partition,
-// through an on-the-fly R-tree when configured.
-func (s *Selector[T]) filterPartition(recs []T, windows []Window) []T {
+// through an on-the-fly R-tree when configured. ctx carries the trace scope
+// of the enclosing selection.
+func (s *Selector[T]) filterPartition(ctx *engine.Context, recs []T, windows []Window) []T {
 	if len(windows) == 0 {
 		return recs
 	}
@@ -196,7 +215,9 @@ func (s *Selector[T]) filterPartition(recs []T, windows []Window) []T {
 	for i, rec := range recs {
 		items[i] = index.Item[int]{Box: s.boxOf(rec), Data: i}
 	}
+	bsp := ctx.StartSpan(trace.SpanRTreeBuild, trace.Int("items", int64(len(items))))
 	tree := index.BulkLoadSTR(items, 16)
+	bsp.End()
 	hit := make([]bool, len(recs))
 	for _, w := range windows {
 		tree.SearchFunc(w.Box(), func(i int, _ index.Box) bool {

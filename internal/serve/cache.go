@@ -24,6 +24,9 @@ type Cache struct {
 	inflight map[string]*cacheLoad
 	used     int64
 
+	// lookups counts every Get/GetOrLoad probe; each probe resolves to
+	// exactly one hit or one miss, so hits+misses == lookups at rest.
+	lookups   atomic.Int64
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
@@ -57,6 +60,7 @@ func NewCache(budget int64) *Cache {
 
 // Get returns the cached value for key, marking it most recently used.
 func (c *Cache) Get(key string) (any, bool) {
+	c.lookups.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -107,6 +111,7 @@ func (c *Cache) putLocked(key string, val any, bytes int64) {
 // Concurrent callers of the same cold key share one load; a load error is
 // returned to every waiter and nothing is cached.
 func (c *Cache) GetOrLoad(key string, load func() (val any, bytes int64, err error)) (any, error) {
+	c.lookups.Add(1)
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
@@ -116,6 +121,9 @@ func (c *Cache) GetOrLoad(key string, load func() (val any, bytes int64, err err
 		return val, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
+		// Joining an in-progress load is a miss for this caller too: the
+		// value was not resident when it asked.
+		c.misses.Add(1)
 		c.mu.Unlock()
 		<-fl.done
 		if fl.err != nil {
@@ -163,6 +171,7 @@ func (c *Cache) DropPrefix(prefix string) int {
 
 // CacheStats is a point-in-time copy of the cache counters.
 type CacheStats struct {
+	Lookups     int64 `json:"lookups"`
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
 	Evictions   int64 `json:"evictions"`
@@ -177,6 +186,7 @@ func (c *Cache) Stats() CacheStats {
 	entries, used := len(c.items), c.used
 	c.mu.Unlock()
 	return CacheStats{
+		Lookups:     c.lookups.Load(),
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
 		Evictions:   c.evictions.Load(),

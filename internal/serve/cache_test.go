@@ -119,3 +119,137 @@ func TestCacheDropPrefix(t *testing.T) {
 		t.Error("unrelated prefix was dropped")
 	}
 }
+
+// TestCacheCountersConcurrent hammers one cache from many goroutines —
+// mixed Get / GetOrLoad / Put traffic over a key space larger than the
+// budget, with deliberate key collisions so some callers join in-progress
+// loads — and checks the counter contract: every counter is monotonic
+// under observation, and at rest every probe resolved to exactly one hit
+// or one miss (hits+misses == lookups). Run under -race this also proves
+// the counters and the LRU state tolerate full concurrency.
+func TestCacheCountersConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 300
+		keys    = 16 // budget holds ~5 entries, so eviction churns constantly
+	)
+	c := NewCache(100)
+	var probes atomic.Int64 // Get + GetOrLoad calls issued by the workers
+
+	// A monitor samples Stats during the storm: each counter may only grow.
+	stopMon := make(chan struct{})
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		var prev CacheStats
+		for {
+			select {
+			case <-stopMon:
+				return
+			default:
+			}
+			s := c.Stats()
+			if s.Hits < prev.Hits || s.Misses < prev.Misses ||
+				s.Evictions < prev.Evictions || s.Lookups < prev.Lookups {
+				t.Errorf("counter went backwards: %+v after %+v", s, prev)
+				return
+			}
+			prev = s
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%keys)
+				switch i % 3 {
+				case 0:
+					probes.Add(1)
+					c.Get(key)
+				case 1:
+					probes.Add(1)
+					if _, err := c.GetOrLoad(key, func() (any, int64, error) {
+						return w, 20, nil
+					}); err != nil {
+						t.Errorf("GetOrLoad(%s): %v", key, err)
+					}
+				default:
+					c.Put(key, i, 20)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopMon)
+	<-monDone
+
+	s := c.Stats()
+	if s.Lookups != probes.Load() {
+		t.Errorf("lookups = %d, issued %d probes", s.Lookups, probes.Load())
+	}
+	if s.Hits+s.Misses != s.Lookups {
+		t.Errorf("hits %d + misses %d != lookups %d", s.Hits, s.Misses, s.Lookups)
+	}
+	if s.Hits == 0 || s.Misses == 0 || s.Evictions == 0 {
+		t.Errorf("storm did not exercise all paths: %+v", s)
+	}
+	if s.UsedBytes > 100 {
+		t.Errorf("used %d bytes over the 100-byte budget", s.UsedBytes)
+	}
+}
+
+// TestCacheInflightJoinCountsMiss pins the accounting rule for the
+// dedup path specifically: a caller that joins another goroutine's
+// in-progress load gets the value without a disk read, but it still
+// counts as a miss — the value was not resident when it asked.
+func TestCacheInflightJoinCountsMiss(t *testing.T) {
+	c := NewCache(1000)
+	loading := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.GetOrLoad("k", func() (any, int64, error) {
+			close(loading)
+			<-release
+			return "v", 10, nil
+		})
+	}()
+	<-loading // the load is now in flight
+
+	const joiners = 4
+	var wg sync.WaitGroup
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrLoad("k", func() (any, int64, error) {
+				t.Error("joiner ran its own load")
+				return nil, 0, nil
+			})
+			if err != nil || v != "v" {
+				t.Errorf("joiner got %v, %v", v, err)
+			}
+		}()
+	}
+	// Joiners must count their misses before the load resolves.
+	for c.Stats().Misses < 1+joiners {
+		select {
+		case <-done:
+			t.Fatal("load finished before joiners registered")
+		default:
+		}
+	}
+	close(release)
+	wg.Wait()
+	<-done
+
+	s := c.Stats()
+	if s.Lookups != 1+joiners || s.Misses != 1+joiners || s.Hits != 0 {
+		t.Errorf("stats = %+v, want %d lookups all misses", s, 1+joiners)
+	}
+}

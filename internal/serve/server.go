@@ -14,6 +14,7 @@ import (
 	"st4ml/internal/stdata"
 	"st4ml/internal/storage"
 	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
 )
 
 // QueryRequest is the POST /query body: a dataset name, an ST window, and
@@ -31,6 +32,9 @@ type QueryRequest struct {
 	Limit   int  `json:"limit"`
 	// NoCache bypasses the result cache (partitions still cache).
 	NoCache bool `json:"no_cache"`
+	// Explain traces the query and attaches the aggregated execution report
+	// to the response (also enabled by the ?explain=1 URL parameter).
+	Explain bool `json:"explain"`
 }
 
 // Window converts the request coordinates to a selection window.
@@ -54,6 +58,8 @@ type QueryResponse struct {
 	// Cache is "hit" when the result came from the result cache.
 	Cache     string  `json:"cache"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Explain is the aggregated execution report of a traced query.
+	Explain *trace.Explain `json:"explain,omitempty"`
 	stdata.QueryResult
 }
 
@@ -91,8 +97,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
+	if r.URL.Query().Get("explain") == "1" {
+		req.Explain = true
+	}
 	s.queries.Add(1)
-	res, cache, status, err := s.runQuery(r.Context(), req)
+	res, cache, explain, status, err := s.runQuery(r.Context(), req)
 	if err != nil {
 		if status >= http.StatusInternalServerError && status != http.StatusGatewayTimeout {
 			s.queryErrors.Add(1)
@@ -104,29 +113,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Dataset:     req.Dataset,
 		Cache:       cache,
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		Explain:     explain,
 		QueryResult: res,
 	})
 }
 
 // runQuery resolves, admits, and executes one query. It returns the result,
-// the cache disposition ("hit"/"miss"), and on failure an HTTP status.
-func (s *Server) runQuery(reqCtx context.Context, req QueryRequest) (stdata.QueryResult, string, int, error) {
+// the cache disposition ("hit"/"miss"), the execution report when the
+// request asked for one, and on failure an HTTP status.
+func (s *Server) runQuery(reqCtx context.Context, req QueryRequest) (stdata.QueryResult, string, *trace.Explain, int, error) {
 	d, ok := s.catalog.Get(req.Dataset)
 	if !ok {
-		return stdata.QueryResult{}, "", http.StatusNotFound,
+		return stdata.QueryResult{}, "", nil, http.StatusNotFound,
 			fmt.Errorf("unknown dataset %q", req.Dataset)
 	}
 	meta, gen, err := d.Meta()
 	if err != nil {
-		return stdata.QueryResult{}, "", http.StatusInternalServerError, err
+		return stdata.QueryResult{}, "", nil, http.StatusInternalServerError, err
 	}
 	s.noteGeneration(req.Dataset, gen)
 
+	// Per-request tracing: an explain request gets its own Tracer, scoped
+	// onto the shared engine via a trace-scoped Context copy. Untraced
+	// requests keep tr nil, so every span below is the zero-cost no-op.
+	var tr *trace.Tracer
+	if req.Explain {
+		tr = trace.New()
+	}
+	root := tr.StartSpan(0, "query", trace.Str("dataset", req.Dataset))
+
 	key := req.resultKey(gen)
 	if !req.NoCache {
-		if v, ok := s.cache.Get(key); ok {
+		lsp := root.Child(trace.SpanResultLookup)
+		v, ok := s.cache.Get(key)
+		lsp.End(trace.Bool("hit", ok))
+		if ok {
 			s.resultHits.Add(1)
-			return v.(stdata.QueryResult), "hit", http.StatusOK, nil
+			root.End()
+			return v.(stdata.QueryResult), "hit", trace.Build(tr.Snapshot()), http.StatusOK, nil
 		}
 	}
 	s.resultMisses.Add(1)
@@ -135,18 +159,23 @@ func (s *Server) runQuery(reqCtx context.Context, req QueryRequest) (stdata.Quer
 	// under the per-request deadline.
 	ctx, cancel := context.WithTimeout(reqCtx, s.timeout)
 	defer cancel()
+	asp := root.Child(trace.SpanAdmission)
 	release, err := s.adm.Acquire(ctx)
+	asp.End(trace.Bool("acquired", err == nil))
 	if errors.Is(err, ErrBusy) {
-		return stdata.QueryResult{}, "", http.StatusTooManyRequests, err
+		root.End(trace.Str("error", err.Error()))
+		return stdata.QueryResult{}, "", nil, http.StatusTooManyRequests, err
 	}
 	if err != nil {
 		s.timeouts.Add(1)
-		return stdata.QueryResult{}, "", http.StatusGatewayTimeout, err
+		root.End(trace.Str("error", err.Error()))
+		return stdata.QueryResult{}, "", nil, http.StatusGatewayTimeout, err
 	}
 
 	// Execute on the shared engine. Engine jobs are not preemptible, so on
 	// deadline expiry the request is answered 504 while the job drains in
 	// the background — it still releases its slot and warms the cache.
+	ectx := s.ctx.WithTracer(tr, root.ID())
 	type outcome struct {
 		res stdata.QueryResult
 		err error
@@ -154,7 +183,7 @@ func (s *Server) runQuery(reqCtx context.Context, req QueryRequest) (stdata.Quer
 	done := make(chan outcome, 1)
 	go func() {
 		defer release()
-		res, err := d.Schema.ServeQuery(s.ctx, d.Dir, meta, s.fetcher(d, meta, gen), req.Window(),
+		res, err := d.Schema.ServeQuery(ectx, d.Dir, meta, s.fetcher(d, meta, gen, ectx), req.Window(),
 			stdata.QueryOptions{Records: req.Records, Limit: req.Limit})
 		if err == nil && !req.NoCache {
 			s.cache.Put(key, res, resultBytes(res))
@@ -164,33 +193,42 @@ func (s *Server) runQuery(reqCtx context.Context, req QueryRequest) (stdata.Quer
 	select {
 	case out := <-done:
 		if out.err != nil {
-			return stdata.QueryResult{}, "", http.StatusInternalServerError, out.err
+			root.End(trace.Str("error", out.err.Error()))
+			return stdata.QueryResult{}, "", nil, http.StatusInternalServerError, out.err
 		}
-		return out.res, "miss", http.StatusOK, nil
+		root.End()
+		return out.res, "miss", trace.Build(tr.Snapshot()), http.StatusOK, nil
 	case <-ctx.Done():
 		s.timeouts.Add(1)
-		return stdata.QueryResult{}, "", http.StatusGatewayTimeout,
+		return stdata.QueryResult{}, "", nil, http.StatusGatewayTimeout,
 			fmt.Errorf("serve: query exceeded the %s deadline", s.timeout)
 	}
 }
 
 // fetcher returns the cache-aware partition loader for one query: hits
 // return the pinned partition (records + R-tree), misses read the disk
-// exactly once per key even under concurrent identical queries.
-func (s *Server) fetcher(d *Dataset, meta *storage.Metadata, gen int64) func(id int) (stdata.Partition, error) {
+// exactly once per key even under concurrent identical queries. ectx
+// carries the request's trace scope.
+func (s *Server) fetcher(d *Dataset, meta *storage.Metadata, gen int64, ectx *engine.Context) func(id int) (stdata.Partition, error) {
 	return func(id int) (stdata.Partition, error) {
+		fsp := ectx.StartSpan(trace.SpanPartitionFetch, trace.Int("partition", int64(id)))
 		key := fmt.Sprintf("part|%s|%d|%d", d.Name, gen, id)
 		v, err := s.cache.GetOrLoad(key, func() (any, int64, error) {
+			lsp := ectx.StartSpan(trace.SpanPartitionLoad, trace.Int("partition", int64(id)))
 			s.partitionLoads.Add(1)
 			p, err := d.Schema.LoadPartition(d.Dir, meta, id)
 			if err != nil {
+				lsp.End(trace.Str("error", err.Error()))
 				return nil, 0, err
 			}
+			lsp.End(trace.Int("records", int64(p.Len())), trace.Int("bytes", p.SizeBytes()))
 			return p, p.SizeBytes(), nil
 		})
 		if err != nil {
+			fsp.End(trace.Str("error", err.Error()))
 			return nil, err
 		}
+		fsp.End()
 		return v.(stdata.Partition), nil
 	}
 }

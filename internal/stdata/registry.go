@@ -12,6 +12,7 @@ import (
 	"st4ml/internal/partition"
 	"st4ml/internal/selection"
 	"st4ml/internal/storage"
+	"st4ml/internal/trace"
 )
 
 // This file is the dataset registry: every standard schema's typed
@@ -231,17 +232,25 @@ func (s schema[T]) ServeQuery(
 		stats.LoadedRecords += meta.Partitions[id].Count
 		stats.LoadedBytes += meta.Partitions[id].Bytes
 	}
+	sp := ctx.StartSpan(trace.SpanSelect,
+		trace.Str("dataset", meta.Name),
+		trace.Int("total_partitions", int64(stats.TotalPartitions)),
+		trace.Int("kept_partitions", int64(stats.LoadedPartitions)),
+		trace.Int("loaded_records", stats.LoadedRecords),
+		trace.Int("loaded_bytes", stats.LoadedBytes))
 	res := QueryResult{Stats: stats}
 	if len(ids) == 0 {
+		sp.End(trace.Int("selected", 0))
 		return res, nil
 	}
 
 	// One engine task per surviving partition: fetch the pinned handle and
 	// search its R-tree. Fetch failures surface as task errors through the
-	// engine's retry machinery.
+	// engine's retry machinery. The stage is traced under the select span.
+	sctx := ctx.WithSpan(sp)
 	matched := make([][]T, len(ids))
 	err := engine.Try(func() {
-		rdd := engine.Generate(ctx, "serve:"+meta.Name, len(ids), func(p int) []T {
+		rdd := engine.Generate(sctx, "serve:"+meta.Name, len(ids), func(p int) []T {
 			part, err := fetch(ids[p])
 			if err != nil {
 				panic(err)
@@ -259,12 +268,14 @@ func (s schema[T]) ServeQuery(
 		rdd.ForeachPartition(func(p int, in []T) { matched[p] = in })
 	})
 	if err != nil {
+		sp.End(trace.Str("error", err.Error()))
 		return QueryResult{}, err
 	}
 
 	for _, part := range matched {
 		res.Stats.SelectedRecords += int64(len(part))
 	}
+	sp.End(trace.Int("selected", res.Stats.SelectedRecords))
 	if opts.Records {
 		limit := opts.Limit
 		if limit <= 0 || int64(limit) > res.Stats.SelectedRecords {

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`  // microseconds
+	Dur  int64          `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes spans as a Chrome trace dump: one complete event per
+// span, timestamped relative to the earliest span so the viewer opens at
+// t=0. Task spans land on a per-task lane (tid = task index + 1), which
+// renders a stage's parallel tasks side by side; everything else shares
+// lane 0.
+func WriteChrome(w io.Writer, spans []SpanRecord) error {
+	events := make([]chromeEvent, 0, len(spans))
+	var epoch int64
+	for i, s := range spans {
+		if ns := s.Start.UnixNano(); i == 0 || ns < epoch {
+			epoch = ns
+		}
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "st4ml",
+			Ph:   "X",
+			TS:   (s.Start.UnixNano() - epoch) / 1e3,
+			Dur:  s.Duration.Microseconds(),
+			PID:  1,
+		}
+		if task, ok := s.Int("task"); ok {
+			ev.TID = task + 1
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs)+1)
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value()
+			}
+			ev.Args["span"] = int64(s.ID)
+		}
+		events = append(events, ev)
+	}
+	b, err := json.Marshal(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+	if err != nil {
+		return fmt.Errorf("trace: marshal chrome dump: %w", err)
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span names and attribute keys shared by the instrumented layers. Explain
+// aggregation keys off these, so they are constants rather than ad-hoc
+// strings at each call site.
+const (
+	// SpanStage is one engine stage; prefix + stage name.
+	SpanStagePrefix = "stage:"
+	// SpanTask is one task attempt within a stage.
+	SpanTask = "task"
+	// SpanShuffleWrite / SpanShuffleRead are the two sides of one shuffle.
+	SpanShuffleWrite = "shuffle:write"
+	SpanShuffleRead  = "shuffle:read"
+	// SpanSelect is one selection (prune + load + filter) over a dataset.
+	SpanSelect = "select"
+	// SpanPartitionRead is one storage partition decoded from disk.
+	SpanPartitionRead = "partition:read"
+	// SpanPartitionFetch is one partition consulted through the serving
+	// cache; SpanPartitionLoad is the subset that missed and hit the disk.
+	SpanPartitionFetch = "partition:fetch"
+	SpanPartitionLoad  = "partition:load"
+	// SpanResultLookup is the serving tier's result-cache probe.
+	SpanResultLookup = "result:lookup"
+	// SpanAdmission is the serving tier's admission wait.
+	SpanAdmission = "admission:wait"
+	// SpanRTreeBuild is one R-tree bulk load (selection filter index,
+	// pinned partition index, or conversion structure index).
+	SpanRTreeBuild = "rtree:build"
+)
+
+// StageExplain is the per-stage line of an explain report.
+type StageExplain struct {
+	Name        string  `json:"name"`
+	Tasks       int64   `json:"tasks"`
+	Records     int64   `json:"records"`
+	Retries     int64   `json:"retries"`
+	Speculative int64   `json:"speculative"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+// Explain is the aggregated execution report of one traced query: where the
+// partitions, records, bytes, and task attempts went. It is derived purely
+// from a span dump (Build), so anything that produces spans — stquery, the
+// serving daemon, an ingest — explains the same way.
+type Explain struct {
+	TotalPartitions  int64 `json:"total_partitions"`
+	ReadPartitions   int64 `json:"read_partitions"`
+	PrunedPartitions int64 `json:"pruned_partitions"`
+	PartitionBytes   int64 `json:"partition_bytes"`
+	RecordsLoaded    int64 `json:"records_loaded"`
+	RecordsSelected  int64 `json:"records_selected"`
+
+	ShuffleRecords int64 `json:"shuffle_records"`
+	ShuffleBytes   int64 `json:"shuffle_bytes"`
+
+	TasksRun    int64 `json:"tasks_run"`
+	TaskRetries int64 `json:"task_retries"`
+	Speculative int64 `json:"speculative_attempts"`
+	RTreeBuilds int64 `json:"rtree_builds"`
+
+	// Serving-tier dispositions; empty/zero outside the daemon.
+	ResultCache     string  `json:"result_cache,omitempty"`
+	PartitionHits   int64   `json:"partition_cache_hits"`
+	PartitionLoads  int64   `json:"partition_cache_loads"`
+	AdmissionWaitMS float64 `json:"admission_wait_ms"`
+
+	Stages []StageExplain `json:"stages"`
+	WallMS float64        `json:"wall_ms"`
+	Spans  int            `json:"spans"`
+}
+
+// Build aggregates a span dump into an explain report. It tolerates partial
+// dumps (missing span kinds simply leave their fields zero).
+func Build(spans []SpanRecord) *Explain {
+	if spans == nil {
+		return nil
+	}
+	e := &Explain{Spans: len(spans)}
+	// Stage spans indexed by ID so task children can attribute retries.
+	stageOf := map[SpanID]int{}
+	var fetches int64
+	for _, s := range spans {
+		switch {
+		case len(s.Name) > len(SpanStagePrefix) && s.Name[:len(SpanStagePrefix)] == SpanStagePrefix:
+			st := StageExplain{
+				Name:   s.Name[len(SpanStagePrefix):],
+				WallMS: float64(s.Duration.Microseconds()) / 1000,
+			}
+			st.Tasks, _ = s.Int("tasks")
+			st.Records, _ = s.Int("records")
+			stageOf[s.ID] = len(e.Stages)
+			e.Stages = append(e.Stages, st)
+		case s.Name == SpanSelect:
+			total, _ := s.Int("total_partitions")
+			kept, _ := s.Int("kept_partitions")
+			e.TotalPartitions += total
+			e.ReadPartitions += kept
+			e.PrunedPartitions += total - kept
+			if v, ok := s.Int("loaded_records"); ok {
+				e.RecordsLoaded += v
+			}
+			if v, ok := s.Int("loaded_bytes"); ok {
+				e.PartitionBytes += v
+			}
+			if v, ok := s.Int("selected"); ok {
+				e.RecordsSelected += v
+			}
+		case s.Name == SpanShuffleWrite:
+			if v, ok := s.Int("bytes"); ok {
+				e.ShuffleBytes += v
+			}
+			if v, ok := s.Int("records"); ok {
+				e.ShuffleRecords += v
+			}
+		case s.Name == SpanPartitionFetch:
+			fetches++
+		case s.Name == SpanPartitionLoad:
+			e.PartitionLoads++
+		case s.Name == SpanResultLookup:
+			if s.BoolAttr("hit") {
+				e.ResultCache = "hit"
+			} else {
+				e.ResultCache = "miss"
+			}
+		case s.Name == SpanAdmission:
+			e.AdmissionWaitMS += float64(s.Duration.Microseconds()) / 1000
+		case s.Name == SpanRTreeBuild:
+			e.RTreeBuilds++
+		}
+		if s.Parent == 0 {
+			if ms := float64(s.Duration.Microseconds()) / 1000; ms > e.WallMS {
+				e.WallMS = ms
+			}
+		}
+	}
+	e.PartitionHits = fetches - e.PartitionLoads
+	// Task spans: committed attempts count as runs, attempt>0 as retries.
+	for _, s := range spans {
+		if s.Name != SpanTask {
+			continue
+		}
+		attempt, _ := s.Int("attempt")
+		committed := s.BoolAttr("committed")
+		speculative := s.BoolAttr("speculative")
+		if committed {
+			e.TasksRun++
+		}
+		if attempt > 0 {
+			e.TaskRetries++
+		}
+		if speculative {
+			e.Speculative++
+		}
+		if idx, ok := stageOf[s.Parent]; ok {
+			if attempt > 0 {
+				e.Stages[idx].Retries++
+			}
+			if speculative {
+				e.Stages[idx].Speculative++
+			}
+		}
+	}
+	return e
+}
+
+// Fprint renders the report as the human-readable text stquery -explain
+// prints.
+func (e *Explain) Fprint(w io.Writer) {
+	if e == nil {
+		return
+	}
+	fmt.Fprintf(w, "== query explain ==\n")
+	fmt.Fprintf(w, "wall: %.3f ms (%d spans)\n", e.WallMS, e.Spans)
+	fmt.Fprintf(w, "partitions: %d read, %d pruned (of %d); %d bytes read\n",
+		e.ReadPartitions, e.PrunedPartitions, e.TotalPartitions, e.PartitionBytes)
+	fmt.Fprintf(w, "records: %d loaded, %d selected\n", e.RecordsLoaded, e.RecordsSelected)
+	fmt.Fprintf(w, "shuffle: %d records, %d bytes\n", e.ShuffleRecords, e.ShuffleBytes)
+	fmt.Fprintf(w, "tasks: %d run, %d retried, %d speculative; %d r-tree builds\n",
+		e.TasksRun, e.TaskRetries, e.Speculative, e.RTreeBuilds)
+	if e.ResultCache != "" {
+		fmt.Fprintf(w, "serving: result cache %s; partitions %d cached, %d loaded; admission wait %.3f ms\n",
+			e.ResultCache, e.PartitionHits, e.PartitionLoads, e.AdmissionWaitMS)
+	}
+	if len(e.Stages) == 0 {
+		return
+	}
+	width := len("stage")
+	for _, st := range e.Stages {
+		if len(st.Name) > width {
+			width = len(st.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %6s  %9s  %7s  %5s  %9s\n",
+		width, "stage", "tasks", "records", "retries", "spec", "wall_ms")
+	for _, st := range e.Stages {
+		fmt.Fprintf(w, "%-*s  %6d  %9d  %7d  %5d  %9.3f\n",
+			width, st.Name, st.Tasks, st.Records, st.Retries, st.Speculative, st.WallMS)
+	}
+}
+
+// StageByName returns the first stage entry with the given name.
+func (e *Explain) StageByName(name string) (StageExplain, bool) {
+	for _, st := range e.Stages {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return StageExplain{}, false
+}
+
+// SortSpans orders a span dump by start time (stable on IDs) — handy for
+// tests and deterministic rendering.
+func SortSpans(spans []SpanRecord) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].ID < spans[j].ID
+		}
+		return spans[i].Start.Before(spans[j].Start)
+	})
+}
