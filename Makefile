@@ -29,14 +29,16 @@ cover:
 		if (t+0 < floor+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
 		printf "coverage %.1f%% >= %.1f%% floor\n", t, floor }'
 
-# check is the full pre-merge gate: vet, build, the race-enabled test suite
-# (including the engine chaos tests), the coverage floor, and an explicit
+# check is the full pre-merge gate: vet, build, the race-enabled short
+# suite (fast gate over every package — fuzz corpora, metamorphic suites,
+# and the pool/prefetch paths all run with the detector on; `make race`
+# remains the full-length run), the coverage floor, and an explicit
 # stserved smoke — boot the daemon on an ephemeral port with a generated
 # dataset and run one query end to end.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 	$(MAKE) cover
 	$(GO) test -race -count=1 -run TestServedSmoke ./cmd/stserved
 

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig5|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|all")
+		exp       = flag.String("exp", "all", "experiment: fig5|blocks|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|all")
 		events    = flag.Int("events", 200_000, "NYC-like event count")
 		trajs     = flag.Int("trajs", 20_000, "Porto-like trajectory count")
 		pois      = flag.Int("pois", 100_000, "OSM-like POI count")
@@ -38,6 +39,7 @@ func main() {
 		spec      = flag.Bool("speculation", false, "speculatively re-execute straggler tasks")
 		chaos     = flag.Int64("chaos", 0, "fault-injection seed (0 = off): run under a 10% transient task-failure/corruption plan to exercise retries")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the whole run to this file")
+		jsonFile  = flag.String("json", "", "append machine-readable result rows (one JSON object per line) to this file")
 	)
 	flag.Parse()
 	cfg := engine.Config{Slots: *slots, Speculation: *spec}
@@ -53,9 +55,19 @@ func main() {
 		tr = trace.New()
 		cfg.Tracer = tr
 	}
+	var jsonOut *os.File
+	if *jsonFile != "" {
+		f, err := os.OpenFile(*jsonFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonOut = f
+	}
 	err := run(*exp, cfg, bench.Scale{
 		Events: *events, Trajs: *trajs, POIs: *pois, Areas: *areas, AirSta: *airSta,
-	}, *windows, *clients, *workdir)
+	}, *windows, *clients, *workdir, jsonOut)
 	if err == nil && *traceFile != "" {
 		err = writeTrace(*traceFile, tr)
 	}
@@ -78,12 +90,20 @@ func writeTrace(path string, tr *trace.Tracer) error {
 	return f.Close()
 }
 
-func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int, workdir string) error {
+func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int, workdir string, jsonOut io.Writer) error {
 	want := map[string]bool{}
 	for _, e := range strings.Split(exp, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
+	// emit appends one machine-readable row per result to -json, so
+	// successive runs build a perf trajectory across commits.
+	emit := func(exp string, row any) error {
+		if jsonOut == nil {
+			return nil
+		}
+		return bench.WriteJSONRow(jsonOut, exp, row)
+	}
 	ctx := engine.New(cfg)
 	// Every experiment path below funnels through ctx, so the counter table
 	// printed on exit aggregates the whole invocation.
@@ -109,7 +129,7 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 			bench.Table9Table(bench.Table9(ctx, city, 2, 400)).Fprint(os.Stdout)
 		}
 	}
-	needEnv := all || want["fig5"] || want["fig6"] || want["table5"] ||
+	needEnv := all || want["fig5"] || want["blocks"] || want["fig6"] || want["table5"] ||
 		want["table6"] || want["fig7"] || want["ablation"] || want["fig7sweep"]
 	if !needEnv && !want["serve"] {
 		return nil
@@ -135,6 +155,9 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 		if err := bench.WriteJSONRow(os.Stdout, "serve", res); err != nil {
 			return err
 		}
+		if err := emit("serve", res); err != nil {
+			return err
+		}
 	}
 	if !needEnv {
 		return nil
@@ -149,6 +172,25 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 	if all || want["fig5"] {
 		rows := bench.Fig5(env, []float64{0.05, 0.1, 0.2, 0.4, 0.8}, windows)
 		bench.Fig5Table(rows).Fprint(os.Stdout)
+		for _, r := range rows {
+			if err := emit("fig5", r); err != nil {
+				return err
+			}
+		}
+	}
+	// The storage-format comparison rides with fig5: same selection shape,
+	// but v1 vs v2 on-disk layouts instead of native vs indexed paths.
+	if all || want["fig5"] || want["blocks"] {
+		rows, err := bench.FigBlocks(env, workdir, []float64{0.05, 0.1, 0.2, 0.4, 0.8}, windows)
+		if err != nil {
+			return err
+		}
+		bench.FigBlocksTable(rows).Fprint(os.Stdout)
+		for _, r := range rows {
+			if err := emit("blocks", r); err != nil {
+				return err
+			}
+		}
 	}
 	if all || want["fig6"] {
 		rows := bench.Fig6(env, []int{16, 64, 256}, []int{4, 8, 16}, []int{4, 8, 12})

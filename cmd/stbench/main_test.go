@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"os"
+	"strings"
 	"testing"
 
 	"st4ml/internal/bench"
@@ -17,11 +19,18 @@ func TestRunAllTiny(t *testing.T) {
 	dir := t.TempDir()
 	// Redirect stdout noise away from test output? The driver prints to
 	// stdout; that is fine under go test.
+	var jsonBuf bytes.Buffer
 	err := run("all", engine.Config{Slots: 2}, bench.Scale{
 		Events: 5_000, Trajs: 500, POIs: 2_000, Areas: 36, AirSta: 3,
-	}, 2, 4, dir)
+	}, 2, 4, dir, &jsonBuf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// -json captured machine-readable rows for the perf-trajectory file.
+	for _, exp := range []string{`"exp":"fig5"`, `"exp":"blocks"`, `"exp":"serve"`} {
+		if !strings.Contains(jsonBuf.String(), exp) {
+			t.Errorf("json output missing %s rows", exp)
+		}
 	}
 	// Work dir persisted stores.
 	entries, err := os.ReadDir(dir)
@@ -31,13 +40,13 @@ func TestRunAllTiny(t *testing.T) {
 }
 
 func TestRunSingleExperiments(t *testing.T) {
-	if err := run("table8", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+	if err := run("table8", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir(), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table9", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+	if err := run("table9", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir(), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("serve", engine.Config{Slots: 2}, bench.Scale{Events: 4_000}, 2, 3, t.TempDir()); err != nil {
+	if err := run("serve", engine.Config{Slots: 2}, bench.Scale{Events: 4_000}, 2, 3, t.TempDir(), nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -49,13 +58,13 @@ func TestRunUnderChaosPlan(t *testing.T) {
 		Slots: 2, Speculation: true,
 		Faults: &engine.FaultPlan{Seed: 1, FailRate: 0.1, CorruptRate: 0.1},
 	}
-	if err := run("table9", cfg, bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+	if err := run("table9", cfg, bench.Scale{}, 1, 2, t.TempDir(), nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperimentIsNoop(t *testing.T) {
-	if err := run("nonsense", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir()); err != nil {
+	if err := run("nonsense", engine.Config{Slots: 2}, bench.Scale{}, 1, 2, t.TempDir(), nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -37,7 +37,10 @@ func main() {
 		gt        = flag.Int("gt", 16, "T-STR temporal granularity")
 		gs        = flag.Int("gs", 8, "T-STR spatial granularity")
 		seed      = flag.Int64("seed", 1, "generator seed")
-		compress  = flag.Bool("compress", false, "gzip partition files")
+		compress  = flag.Bool("compress", false, "gzip partition data (per block on the v2 layout)")
+		blockRecs = flag.Int("block-records", 0, "records per v2 storage block (0 = default; smaller blocks prune harder on narrow queries)")
+		v1        = flag.Bool("v1", false, "write the legacy v1 monolithic partition layout (no block index)")
+		noCluster = flag.Bool("no-cluster", false, "skip the in-partition Z-order sort (blocks keep arrival order; pruning degrades)")
 		slots     = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the ingest to this file")
 	)
@@ -58,6 +61,10 @@ func main() {
 	ctx := engine.New(engine.Config{Slots: *slots, Tracer: tr})
 	opts := selection.IngestOptions{
 		Name: *dataset, Compress: *compress, SampleFrac: 0.02, Seed: *seed,
+		BlockRecords: *blockRecs, NoCluster: *noCluster,
+	}
+	if *v1 {
+		opts.Version = 1
 	}
 	var (
 		recs any
@@ -76,8 +83,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stload:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("stload: wrote %d records in %d partitions to %s\n",
-		meta.TotalCount, meta.NumPartitions(), *out)
+	format := "v1"
+	if meta.Version >= 2 {
+		format = fmt.Sprintf("v%d, %d records/block", meta.Version, meta.BlockRecords)
+	}
+	fmt.Printf("stload: wrote %d records in %d partitions to %s (%s)\n",
+		meta.TotalCount, meta.NumPartitions(), *out, format)
 	if *traceFile != "" {
 		if err := writeTrace(*traceFile, tr); err != nil {
 			fmt.Fprintln(os.Stderr, "stload:", err)

@@ -60,6 +60,8 @@ func main() {
 	fmt.Printf("partitions: %d/%d loaded\nrecords: %d loaded, %d selected\nbytes read: %d\n",
 		stats.LoadedPartitions, stats.TotalPartitions,
 		stats.LoadedRecords, stats.SelectedRecords, stats.LoadedBytes)
+	fmt.Printf("blocks: %d/%d scanned (%d pruned); %d bytes decompressed\n",
+		stats.BlocksScanned, stats.BlocksTotal, stats.BlocksPruned, stats.DecompressedBytes)
 	if *metrics {
 		// Same counters the server's /metrics and stbench report, so every
 		// entry point speaks one metrics dialect.

@@ -52,6 +52,31 @@ func TestQueryAllSchemas(t *testing.T) {
 	}
 }
 
+// TestQueryServesCommittedV1Golden points stquery's query path at the
+// committed legacy-format dataset under internal/storage/testdata — the
+// end-to-end half of the backward-compat guarantee: a v1 store ingested
+// before the block format existed still answers queries without re-ingest.
+func TestQueryServesCommittedV1Golden(t *testing.T) {
+	dir := "../../internal/storage/testdata/v1-golden"
+	ctx := engine.New(engine.Config{Slots: 2})
+	w := selection.Window{
+		Space: geom.Box(-180, -90, 180, 90),
+		Time:  tempo.New(0, 1<<60),
+	}
+	stats, err := query(ctx, "nyc", dir, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SelectedRecords != 80 {
+		t.Errorf("golden v1 dataset served %d records, want 80", stats.SelectedRecords)
+	}
+	// v1 files have no block structure: every loaded partition reads as one
+	// scanned block, nothing prunes.
+	if stats.BlocksTotal != int64(stats.LoadedPartitions) || stats.BlocksPruned != 0 {
+		t.Errorf("v1 block accounting off: %+v", stats)
+	}
+}
+
 // TestExplainMatchesMetrics is the acceptance check that the explain report
 // (built purely from the span dump) agrees with the engine's own counters
 // and with the selection stats — the two observability paths cannot drift.
@@ -96,6 +121,24 @@ func TestExplainMatchesMetrics(t *testing.T) {
 	}
 	if e.PartitionBytes != stats.LoadedBytes {
 		t.Errorf("explain bytes %d != stats %d", e.PartitionBytes, stats.LoadedBytes)
+	}
+
+	// Block-granularity accounting agrees three ways: selection stats, the
+	// engine counters, and the span-derived explain.
+	if e.BlocksScanned != stats.BlocksScanned || e.BlocksPruned != stats.BlocksPruned ||
+		e.BytesDecompressed != stats.DecompressedBytes {
+		t.Errorf("explain blocks %d/%d/%d != stats %d/%d/%d",
+			e.BlocksScanned, e.BlocksPruned, e.BytesDecompressed,
+			stats.BlocksScanned, stats.BlocksPruned, stats.DecompressedBytes)
+	}
+	if e.BlocksScanned != snap.BlocksScanned || e.BlocksPruned != snap.BlocksPruned ||
+		e.BytesDecompressed != snap.BytesDecompressed {
+		t.Errorf("explain blocks %d/%d/%d != metrics %d/%d/%d",
+			e.BlocksScanned, e.BlocksPruned, e.BytesDecompressed,
+			snap.BlocksScanned, snap.BlocksPruned, snap.BytesDecompressed)
+	}
+	if stats.BlocksTotal == 0 || stats.BlocksScanned+stats.BlocksPruned != stats.BlocksTotal {
+		t.Errorf("block totals inconsistent: %+v", stats)
 	}
 
 	// Every executed stage appears in the explain with matching task and

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"path/filepath"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/partition"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+)
+
+// FigBlocksRow is one point of the storage-format comparison: the same
+// event corpus and the same seeded windows, stored as legacy v1 monolithic
+// partitions versus block-structured v2, both gzip-compressed, queried
+// through the metadata-pruned path. At small range fractions v2 should
+// decompress measurably fewer bytes (footer bounds skip blocks inside the
+// loaded partitions) and finish faster; at full range the two converge.
+type FigBlocksRow struct {
+	Format            string  `json:"format"` // "v1" | "v2"
+	Frac              float64 `json:"frac"`
+	WallMs            float64 `json:"wall_ms"`
+	Selected          int64   `json:"selected"`
+	LoadedBytes       int64   `json:"loaded_bytes"`
+	DecompressedBytes int64   `json:"decompressed_bytes"`
+	BlocksScanned     int64   `json:"blocks_scanned"`
+	BlocksPruned      int64   `json:"blocks_pruned"`
+}
+
+// FigBlocks ingests env.Events twice under workdir — once per storage
+// format — and measures queriesPerFrac pruned selections at each range
+// fraction against both stores. The v1 store is what every pre-block
+// release wrote; reading it exercises the legacy path of the same reader.
+func FigBlocks(env *Env, workdir string, fracs []float64, queriesPerFrac int) ([]FigBlocksRow, error) {
+	type store struct {
+		format string
+		dir    string
+		opts   selection.IngestOptions
+	}
+	stores := []store{
+		{"v1", filepath.Join(workdir, "blocks-v1"), selection.IngestOptions{
+			Name: "nyc", Compress: true, SampleFrac: 0.05, Seed: 1, Version: 1}},
+		{"v2", filepath.Join(workdir, "blocks-v2"), selection.IngestOptions{
+			Name: "nyc", Compress: true, SampleFrac: 0.05, Seed: 1, BlockRecords: 128}},
+	}
+	for _, s := range stores {
+		r := engine.Parallelize(env.Ctx, env.Events, 0)
+		if _, err := selection.Ingest(r, s.dir, stdata.EventRecC, stdata.EventRec.Box,
+			partition.TSTR{GT: 12, GS: 8}, s.opts); err != nil {
+			return nil, err
+		}
+	}
+	sel := selection.New(env.Ctx, stdata.EventRecC, stdata.EventRec.Box, nil,
+		selection.Config{Index: true})
+	var rows []FigBlocksRow
+	for _, frac := range fracs {
+		windows := RandomWindows(datagen.NYCExtent, datagen.Year2013, frac,
+			queriesPerFrac, int64(frac*1000)+13)
+		for _, s := range stores {
+			row := FigBlocksRow{Format: s.format, Frac: frac}
+			for _, w := range windows {
+				t0 := time.Now()
+				_, st, err := sel.SelectPruned(s.dir, w)
+				if err != nil {
+					return nil, err
+				}
+				row.WallMs += float64(time.Since(t0).Microseconds()) / 1000
+				row.Selected += st.SelectedRecords
+				row.LoadedBytes += st.LoadedBytes
+				row.DecompressedBytes += st.DecompressedBytes
+				row.BlocksScanned += st.BlocksScanned
+				row.BlocksPruned += st.BlocksPruned
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FigBlocksTable formats the rows.
+func FigBlocksTable(rows []FigBlocksRow) *Table {
+	t := NewTable("Blocks: storage v1 (monolithic) vs v2 (block-pruned) selection",
+		"format", "range", "wall_ms", "selected",
+		"mb_loaded", "mb_decompressed", "blk_scan", "blk_prune")
+	for _, r := range rows {
+		t.Add(r.Format, r.Frac, r.WallMs, r.Selected,
+			float64(r.LoadedBytes)/(1<<20), float64(r.DecompressedBytes)/(1<<20),
+			r.BlocksScanned, r.BlocksPruned)
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigBlocksShape is the bench-regression gate for the v2 storage
+// format's headline claim: at small query ranges, block-level pruning
+// decompresses measurably less data than the monolithic v1 layout on the
+// same corpus and windows, without changing any answer.
+func TestFigBlocksShape(t *testing.T) {
+	env := smallEnv(t)
+	rows, err := FigBlocks(env, t.TempDir(), []float64{0.05, 0.4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]FigBlocksRow{}
+	for _, r := range rows {
+		byKey[r.Format+"@"+floatKey(r.Frac)] = r
+	}
+	for _, frac := range []string{"0.05", "0.40"} {
+		v1, v2 := byKey["v1@"+frac], byKey["v2@"+frac]
+		// Identical answers on both formats.
+		if v1.Selected != v2.Selected {
+			t.Errorf("frac %s: v1 selected %d, v2 selected %d", frac, v1.Selected, v2.Selected)
+		}
+		// v1 has no block structure to prune.
+		if v1.BlocksPruned != 0 {
+			t.Errorf("frac %s: v1 pruned %d blocks", frac, v1.BlocksPruned)
+		}
+		// v2 never decompresses more than v1 (same loaded partitions, some
+		// blocks skipped).
+		if v2.DecompressedBytes > v1.DecompressedBytes {
+			t.Errorf("frac %s: v2 decompressed %d > v1 %d",
+				frac, v2.DecompressedBytes, v1.DecompressedBytes)
+		}
+	}
+	// The headline claim: at the small range, v2 prunes blocks and
+	// decompresses measurably less.
+	v1s, v2s := byKey["v1@0.05"], byKey["v2@0.05"]
+	if v2s.BlocksPruned == 0 {
+		t.Error("small-range v2 selection pruned no blocks")
+	}
+	if v2s.DecompressedBytes >= v1s.DecompressedBytes {
+		t.Errorf("small-range v2 decompressed %d bytes, v1 %d — no saving",
+			v2s.DecompressedBytes, v1s.DecompressedBytes)
+	}
+
+	var sb strings.Builder
+	FigBlocksTable(rows).Fprint(&sb)
+	if !strings.Contains(sb.String(), "Blocks:") {
+		t.Error("table title missing")
+	}
+}
+
+func floatKey(f float64) string {
+	if f == 0.05 {
+		return "0.05"
+	}
+	return "0.40"
+}

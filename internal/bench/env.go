@@ -100,15 +100,18 @@ func NewEnv(ctx *engine.Context, baseDir string, scale Scale) (*Env, error) {
 	}
 	// ST4ML stores: T-STR partitioned with metadata.
 	evRDD := engine.Parallelize(ctx, e.Events, 0)
+	// 512-record blocks give each ~2k-record partition a handful of blocks,
+	// so the v2 footer bounds have something to prune inside loaded
+	// partitions at small query ranges.
 	if _, err := selection.Ingest(evRDD, e.EventDir, stdata.EventRecC, stdata.EventRec.Box,
 		partition.TSTR{GT: 12, GS: 8},
-		selection.IngestOptions{Name: "nyc", SampleFrac: 0.05, Seed: 1}); err != nil {
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.05, Seed: 1, BlockRecords: 512}); err != nil {
 		return nil, fmt.Errorf("ingest events: %w", err)
 	}
 	trRDD := engine.Parallelize(ctx, e.Trajs, 0)
 	if _, err := selection.Ingest(trRDD, e.TrajDir, stdata.TrajRecC, stdata.TrajRec.Box,
 		partition.TSTR{GT: 12, GS: 8},
-		selection.IngestOptions{Name: "porto", SampleFrac: 0.05, Seed: 2}); err != nil {
+		selection.IngestOptions{Name: "porto", SampleFrac: 0.05, Seed: 2, BlockRecords: 512}); err != nil {
 		return nil, fmt.Errorf("ingest trajs: %w", err)
 	}
 	// GeoSpark stores: flat, unindexed.

@@ -21,6 +21,13 @@ type Fig5Row struct {
 	// Byte-level view of the same pruning (the memory plot of Fig. 5c/d).
 	BytesNative  int64
 	BytesIndexed int64
+	// Block-granularity view (storage format v2): the indexed path
+	// additionally skips blocks inside loaded partitions whose footer bounds
+	// miss the window, so it decompresses fewer bytes than it loads.
+	BlocksScanned int64
+	BlocksPruned  int64
+	RawNative     int64 // bytes decompressed by the full-scan path
+	RawIndexed    int64 // bytes decompressed after partition + block pruning
 }
 
 // Fig5 measures loading+selection with the native path (load everything,
@@ -75,6 +82,7 @@ func fig5Dataset(
 		row.NativeMs += float64(time.Since(t0).Microseconds()) / 1000
 		row.LoadedNative += st.LoadedRecords
 		row.BytesNative += st.LoadedBytes
+		row.RawNative += st.DecompressedBytes
 		row.Selected += st.SelectedRecords
 
 		t0 = time.Now()
@@ -85,6 +93,9 @@ func fig5Dataset(
 		row.IndexedMs += float64(time.Since(t0).Microseconds()) / 1000
 		row.LoadedIndexed += st.LoadedRecords
 		row.BytesIndexed += st.LoadedBytes
+		row.RawIndexed += st.DecompressedBytes
+		row.BlocksScanned += st.BlocksScanned
+		row.BlocksPruned += st.BlocksPruned
 	}
 	return row
 }
@@ -94,7 +105,7 @@ func Fig5Table(rows []Fig5Row) *Table {
 	t := NewTable("Fig 5: selection time and loaded data, native vs on-disk index",
 		"dataset", "range", "native_ms", "indexed_ms", "saving",
 		"loaded_native", "loaded_indexed", "selected", "pruned_frac",
-		"mb_native", "mb_indexed")
+		"mb_native", "mb_indexed", "blk_scan", "blk_prune", "raw_mb_nat", "raw_mb_idx")
 	for _, r := range rows {
 		saving := 0.0
 		if r.NativeMs > 0 {
@@ -106,7 +117,9 @@ func Fig5Table(rows []Fig5Row) *Table {
 		}
 		t.Add(r.Dataset, r.Frac, r.NativeMs, r.IndexedMs, saving,
 			r.LoadedNative, r.LoadedIndexed, r.Selected, prunedFrac,
-			float64(r.BytesNative)/(1<<20), float64(r.BytesIndexed)/(1<<20))
+			float64(r.BytesNative)/(1<<20), float64(r.BytesIndexed)/(1<<20),
+			r.BlocksScanned, r.BlocksPruned,
+			float64(r.RawNative)/(1<<20), float64(r.RawIndexed)/(1<<20))
 	}
 	return t
 }

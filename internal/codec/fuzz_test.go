@@ -39,6 +39,49 @@ func FuzzDecodeString(f *testing.F) {
 	})
 }
 
+// FuzzFrame feeds arbitrary bytes to the integrity-frame decoder: any
+// mutation must surface as ErrCorrupt, never another panic, and a clean
+// decode must return exactly the framed payload.
+func FuzzFrame(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		w := NewWriter(len(payload) + 16)
+		w.PutFrame(payload)
+		out := make([]byte, w.Len())
+		copy(out, w.Bytes())
+		return out
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(frame(nil))
+	f.Add(frame([]byte("hello frame")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var payload []byte
+		err := Catch(func() {
+			r := NewReader(data)
+			payload = r.Frame()
+			if r.Remaining() != 0 {
+				panic(ErrCorrupt{Off: len(data) - r.Remaining()})
+			}
+		})
+		if err != nil {
+			return
+		}
+		// A clean decode's payload must checksum to the frame's stored CRC
+		// (the decoder promised as much) and survive a re-frame round trip.
+		// Byte-identity of the whole frame is NOT asserted: varint lengths
+		// admit non-minimal encodings.
+		reframed := frame(payload)
+		var back []byte
+		if err := Catch(func() { back = NewReader(reframed).Frame() }); err != nil {
+			t.Fatalf("re-framed payload failed to decode: %v", err)
+		}
+		if string(back) != string(payload) {
+			t.Fatalf("payload %x re-framed to %x which decodes to %x", payload, reframed, back)
+		}
+	})
+}
+
 func FuzzDecodePairSlice(f *testing.F) {
 	c := SliceOf(PairOf(Int64, Float64))
 	f.Add([]byte{})

@@ -23,9 +23,26 @@ type Metrics struct {
 	specLaunched   atomic.Int64
 	specWins       atomic.Int64
 	corruptRereads atomic.Int64
-	stageMu        sync.Mutex
-	stages         []StageStat
-	stagesDropped  int64
+
+	// Block-level read accounting (storage format v2): how many partition
+	// blocks were decoded versus skipped by footer-bounds pruning, and the
+	// decompressed byte volume actually decoded.
+	blocksScanned     atomic.Int64
+	blocksPruned      atomic.Int64
+	bytesDecompressed atomic.Int64
+
+	stageMu       sync.Mutex
+	stages        []StageStat
+	stagesDropped int64
+}
+
+// AddBlockRead accounts one partition read at block granularity: scanned
+// and pruned block counts plus decompressed payload bytes. Callers sit in
+// the storage read path (selection load tasks, the serving cache loader).
+func (m *Metrics) AddBlockRead(scanned, pruned, rawBytes int64) {
+	m.blocksScanned.Add(scanned)
+	m.blocksPruned.Add(pruned)
+	m.bytesDecompressed.Add(rawBytes)
 }
 
 // maxStageStats bounds the retained per-stage history. A long-running
@@ -63,6 +80,12 @@ type Snapshot struct {
 	// CorruptRereads counts shuffle blocks re-read after a checksum
 	// mismatch.
 	CorruptRereads int64
+	// BlocksScanned and BlocksPruned count storage-v2 partition blocks
+	// decoded versus skipped by footer-bounds pruning; BytesDecompressed
+	// is the raw payload volume of the scanned blocks.
+	BlocksScanned     int64
+	BlocksPruned      int64
+	BytesDecompressed int64
 	// Stages holds the most recent executed stages (bounded window);
 	// StagesDropped counts older entries that aged out of it.
 	Stages        []StageStat
@@ -88,6 +111,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		SpeculativeLaunched: m.specLaunched.Load(),
 		SpeculativeWins:     m.specWins.Load(),
 		CorruptRereads:      m.corruptRereads.Load(),
+		BlocksScanned:       m.blocksScanned.Load(),
+		BlocksPruned:        m.blocksPruned.Load(),
+		BytesDecompressed:   m.bytesDecompressed.Load(),
 		Stages:              stages,
 		StagesDropped:       dropped,
 	}
@@ -106,6 +132,9 @@ func (m *Metrics) Reset() {
 	m.specLaunched.Store(0)
 	m.specWins.Store(0)
 	m.corruptRereads.Store(0)
+	m.blocksScanned.Store(0)
+	m.blocksPruned.Store(0)
+	m.bytesDecompressed.Store(0)
 	m.stageMu.Lock()
 	m.stages = nil
 	m.stagesDropped = 0
@@ -127,7 +156,9 @@ func (m *Metrics) addStage(s StageStat) {
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"tasks=%d records=%d shuffleRecords=%d shuffleBytes=%d broadcasts=%d taskTime=%s"+
-			" retries=%d speculated=%d specWins=%d corruptRereads=%d",
+			" retries=%d speculated=%d specWins=%d corruptRereads=%d"+
+			" blocksScanned=%d blocksPruned=%d bytesDecompressed=%d",
 		s.TasksRun, s.RecordsOut, s.ShuffleRecords, s.ShuffleBytes, s.Broadcasts, s.TaskTime,
-		s.TaskRetries, s.SpeculativeLaunched, s.SpeculativeWins, s.CorruptRereads)
+		s.TaskRetries, s.SpeculativeLaunched, s.SpeculativeWins, s.CorruptRereads,
+		s.BlocksScanned, s.BlocksPruned, s.BytesDecompressed)
 }

@@ -57,11 +57,29 @@ func TestMetricsResetClearsFaultCounters(t *testing.T) {
 	m.specLaunched.Store(5)
 	m.specWins.Store(5)
 	m.corruptRereads.Store(5)
+	m.AddBlockRead(3, 2, 1000)
 	m.addStage(StageStat{Name: "s"})
 	m.Reset()
 	snap := m.Snapshot()
 	if snap.TaskRetries != 0 || snap.SpeculativeLaunched != 0 ||
-		snap.SpeculativeWins != 0 || snap.CorruptRereads != 0 || len(snap.Stages) != 0 {
+		snap.SpeculativeWins != 0 || snap.CorruptRereads != 0 || len(snap.Stages) != 0 ||
+		snap.BlocksScanned != 0 || snap.BlocksPruned != 0 || snap.BytesDecompressed != 0 {
 		t.Errorf("Reset left residue: %+v", snap)
+	}
+}
+
+func TestAddBlockReadAccumulates(t *testing.T) {
+	var m Metrics
+	m.AddBlockRead(4, 12, 4096)
+	m.AddBlockRead(1, 0, 512)
+	snap := m.Snapshot()
+	if snap.BlocksScanned != 5 || snap.BlocksPruned != 12 || snap.BytesDecompressed != 4608 {
+		t.Errorf("block counters = %+v", snap)
+	}
+	s := snap.String()
+	for _, want := range []string{"blocksScanned=5", "blocksPruned=12", "bytesDecompressed=4608"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Snapshot.String() missing %q: %s", want, s)
+		}
 	}
 }

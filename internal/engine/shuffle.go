@@ -57,7 +57,7 @@ func HashPartitionBy[T any](r *RDD[T], c codec.Codec[T], nOut int) *RDD[T] {
 		ctx: r.ctx, name: r.name + ".hashPartition", parts: nOut, parents: []preparable{r},
 	}
 	out.doMaterialize = func() ([][]T, error) {
-		scratch := func() *codec.Writer { return codec.NewWriter(64) }
+		scratch := codec.GetWriter
 		enc, err := shuffleWriteFunc(r, nOut, func(v T, w *codec.Writer) int {
 			c.Enc(w, v)
 			return int(hashBytes(w.Bytes()) % uint64(nOut))
@@ -183,11 +183,14 @@ func GroupByKey[K comparable, V any](
 }
 
 // keyBucket hashes a key through its codec encoding — works for any K
-// without a per-type hash function, at the cost of one small encode.
+// without a per-type hash function, at the cost of one small encode into
+// a pooled scratch buffer.
 func keyBucket[K any](kc codec.Codec[K], k K, n int) int {
-	w := codec.NewWriter(16)
+	w := codec.GetWriter()
 	kc.Enc(w, k)
-	return int(hashBytes(w.Bytes()) % uint64(n))
+	b := int(hashBytes(w.Bytes()) % uint64(n))
+	codec.PutWriter(w)
+	return b
 }
 
 func hashBytes(b []byte) uint64 {
@@ -197,7 +200,10 @@ func hashBytes(b []byte) uint64 {
 }
 
 // frameBuffers wraps each non-empty per-target buffer in a checksum frame
-// and returns the framed buffers plus the total payload byte count.
+// and returns the framed buffers plus the total payload byte count. The
+// framed output is freshly allocated (it outlives the map task inside the
+// shuffle exchange); the per-target writers are returned to the codec
+// pool, so each map task reuses the previous task's scratch.
 func frameBuffers(writers []*codec.Writer) ([][]byte, int64) {
 	bufs := make([][]byte, len(writers))
 	var bytes int64
@@ -209,6 +215,7 @@ func frameBuffers(writers []*codec.Writer) ([][]byte, int64) {
 		framed.PutFrame(w.Bytes())
 		bufs[t] = framed.Bytes()
 		bytes += int64(w.Len())
+		codec.PutWriter(w)
 	}
 	return bufs, bytes
 }
@@ -230,7 +237,7 @@ func shuffleWrite[T any](r *RDD[T], c codec.Codec[T], nOut int, targets func(T) 
 			for _, t := range targets(v) {
 				t = ((t % nOut) + nOut) % nOut
 				if writers[t] == nil {
-					writers[t] = codec.NewWriter(1024)
+					writers[t] = codec.GetWriter()
 				}
 				c.Enc(writers[t], v)
 				records++
@@ -276,11 +283,12 @@ func shuffleWriteFunc[T any](
 			t := route(v, scratch)
 			t = ((t % nOut) + nOut) % nOut
 			if writers[t] == nil {
-				writers[t] = codec.NewWriter(1024)
+				writers[t] = codec.GetWriter()
 			}
 			writers[t].PutRaw(scratch.Bytes())
 			records++
 		}
+		codec.PutWriter(scratch)
 		bufs, bytes := frameBuffers(writers)
 		return func() {
 			enc[p] = bufs

@@ -1,8 +1,11 @@
 package selection
 
 import (
+	"sort"
+
 	"st4ml/internal/codec"
 	"st4ml/internal/engine"
+	"st4ml/internal/geom"
 	"st4ml/internal/index"
 	"st4ml/internal/partition"
 	"st4ml/internal/storage"
@@ -12,7 +15,7 @@ import (
 type IngestOptions struct {
 	// Name labels the dataset metadata.
 	Name string
-	// Compress gzips partition files.
+	// Compress gzips partition data (per block on v2 layouts).
 	Compress bool
 	// SampleFrac is the partition-planning sample fraction (0 = 1%).
 	SampleFrac float64
@@ -20,6 +23,71 @@ type IngestOptions struct {
 	Seed int64
 	// Duplicate stores records in every partition they overlap.
 	Duplicate bool
+	// BlockRecords is the records-per-block target of the v2 file layout
+	// (0 = storage.DefaultBlockRecords). Smaller blocks prune harder on
+	// narrow queries but cost more framing overhead.
+	BlockRecords int
+	// Version pins the storage format (0 = latest). Version 1 writes the
+	// legacy monolithic layout for compatibility experiments.
+	Version int
+	// NoCluster skips the in-partition Z-order sort. Blocks then inherit
+	// arrival order and their ST bounds overlap heavily, so intra-partition
+	// pruning degrades to whole-partition reads.
+	NoCluster bool
+}
+
+func (o IngestOptions) writeOptions() storage.WriteOptions {
+	return storage.WriteOptions{
+		Name:         o.Name,
+		Compress:     o.Compress,
+		BlockRecords: o.BlockRecords,
+		Version:      o.Version,
+	}
+}
+
+// clusterPartitions sorts each partition's records along a 3-d Z-order
+// curve over that partition's own ST extent, so consecutive records — and
+// therefore the v2 block layout's record ranges — cover small, mostly
+// disjoint ST boxes. This is what makes the per-block footer bounds
+// selective: without it every block spans the whole partition and
+// intra-partition pruning never fires (the row-group sort-key idiom of
+// columnar stores, applied to the paper's §4.1 layout).
+func clusterPartitions[T any](parts [][]T, boxOf func(T) index.Box) {
+	for _, part := range parts {
+		if len(part) < 2 {
+			continue
+		}
+		bounds := index.EmptyBox()
+		for _, rec := range part {
+			bounds = bounds.Union(boxOf(rec))
+		}
+		if bounds.IsEmpty() {
+			continue
+		}
+		space := bounds.Spatial()
+		window := bounds.Temporal()
+		// ~16 time bins per partition; spatial resolution 8 bits/dim.
+		binSec := (window.End - window.Start) / 16
+		if binSec < 1 {
+			binSec = 1
+		}
+		curve := index.NewZCurve3D(space, window, 8, binSec)
+		type keyed struct {
+			key uint64
+			idx int
+		}
+		order := make([]keyed, len(part))
+		for i, rec := range part {
+			c := boxOf(rec).Center()
+			order[i] = keyed{key: curve.Key(geom.Pt(c[0], c[1]), int64(c[2])), idx: i}
+		}
+		sort.SliceStable(order, func(i, j int) bool { return order[i].key < order[j].key })
+		sorted := make([]T, len(part))
+		for i, k := range order {
+			sorted[i] = part[k.idx]
+		}
+		copy(part, sorted)
+	}
 }
 
 // Ingest performs the offline preparation of §4.1: ST-partition the records
@@ -42,10 +110,10 @@ func Ingest[T any](
 		Duplicate:  opts.Duplicate,
 	})
 	parts := partitioned.CollectPartitions()
-	return storage.Write(dir, c, parts, boxOf, storage.WriteOptions{
-		Name:     opts.Name,
-		Compress: opts.Compress,
-	})
+	if !opts.NoCluster {
+		clusterPartitions(parts, boxOf)
+	}
+	return storage.Write(dir, c, parts, boxOf, opts.writeOptions())
 }
 
 // IngestUnpartitioned persists the RDD's current partition layout without
@@ -58,8 +126,9 @@ func IngestUnpartitioned[T any](
 	boxOf func(T) index.Box,
 	opts IngestOptions,
 ) (*storage.Metadata, error) {
-	return storage.Write(dir, c, r.CollectPartitions(), boxOf, storage.WriteOptions{
-		Name:     opts.Name,
-		Compress: opts.Compress,
-	})
+	parts := r.CollectPartitions()
+	if !opts.NoCluster {
+		clusterPartitions(parts, boxOf)
+	}
+	return storage.Write(dir, c, parts, boxOf, opts.writeOptions())
 }

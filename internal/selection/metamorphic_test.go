@@ -52,31 +52,51 @@ type metaLayout struct {
 	ingest func(t *testing.T, ctx *engine.Context, dir string, data []ev, seed int64)
 }
 
-func plannerLayout(name string, p partition.Planner) metaLayout {
+func plannerLayout(name string, p partition.Planner, mod func(*IngestOptions)) metaLayout {
 	return metaLayout{name: name, ingest: func(t *testing.T, ctx *engine.Context, dir string, data []ev, seed int64) {
 		t.Helper()
 		r := engine.Parallelize(ctx, data, 8)
-		if _, err := Ingest(r, dir, evC, evBox, p,
-			IngestOptions{Name: name, SampleFrac: 0.3, Seed: seed}); err != nil {
+		opts := IngestOptions{Name: name, SampleFrac: 0.3, Seed: seed}
+		if mod != nil {
+			mod(&opts)
+		}
+		if _, err := Ingest(r, dir, evC, evBox, p, opts); err != nil {
 			t.Fatal(err)
 		}
 	}}
 }
 
 // metaLayouts covers ST-aware partitioners at two granularities, a purely
-// spatial partitioner, and the ST-oblivious hash layout a plain pipeline
-// would produce (partition bounds then come solely from storage.Write's
-// per-partition record-box union).
+// spatial partitioner, the ST-oblivious hash layout a plain pipeline would
+// produce (partition bounds then come solely from storage.Write's
+// per-partition record-box union), and storage-format variants: tiny and
+// single-record blocks, compressed blocks, unclustered blocks (worst-case
+// footer bounds), and the legacy v1 monolithic layout.
 func metaLayouts() []metaLayout {
 	return []metaLayout{
-		plannerLayout("tstr4x4", partition.TSTR{GT: 4, GS: 4}),
-		plannerLayout("tstr2x8", partition.TSTR{GT: 2, GS: 8}),
-		plannerLayout("str2d9", partition.STR2D{N: 9}),
+		plannerLayout("tstr4x4", partition.TSTR{GT: 4, GS: 4}, nil),
+		plannerLayout("tstr2x8", partition.TSTR{GT: 2, GS: 8}, nil),
+		plannerLayout("str2d9", partition.STR2D{N: 9}, nil),
+		plannerLayout("tstr4x4-b16gz", partition.TSTR{GT: 4, GS: 4}, func(o *IngestOptions) {
+			o.BlockRecords = 16
+			o.Compress = true
+		}),
+		plannerLayout("str2d9-b1", partition.STR2D{N: 9}, func(o *IngestOptions) {
+			o.BlockRecords = 1
+		}),
+		plannerLayout("tstr4x4-nocluster", partition.TSTR{GT: 4, GS: 4}, func(o *IngestOptions) {
+			o.BlockRecords = 32
+			o.NoCluster = true
+		}),
+		plannerLayout("tstr4x4-v1", partition.TSTR{GT: 4, GS: 4}, func(o *IngestOptions) {
+			o.Version = 1
+			o.Compress = true
+		}),
 		{name: "hash6", ingest: func(t *testing.T, ctx *engine.Context, dir string, data []ev, seed int64) {
 			t.Helper()
 			r := engine.HashPartitionBy(engine.Parallelize(ctx, data, 8), evC, 6)
 			if _, err := IngestUnpartitioned(r, dir, evC, evBox,
-				IngestOptions{Name: "hash6"}); err != nil {
+				IngestOptions{Name: "hash6", BlockRecords: 64}); err != nil {
 				t.Fatal(err)
 			}
 		}},
@@ -184,6 +204,14 @@ func TestMetamorphicPrunedEqualsFull(t *testing.T) {
 					prunedStats.LoadedRecords > fullStats.LoadedRecords {
 					t.Errorf("%s: pruning loaded more than the full scan: %+v vs %+v",
 						name, prunedStats, fullStats)
+				}
+				if prunedStats.BlocksScanned+prunedStats.BlocksPruned != prunedStats.BlocksTotal {
+					t.Errorf("%s: block accounting broken: %d scanned + %d pruned != %d total",
+						name, prunedStats.BlocksScanned, prunedStats.BlocksPruned, prunedStats.BlocksTotal)
+				}
+				if prunedStats.DecompressedBytes > fullStats.DecompressedBytes {
+					t.Errorf("%s: pruned decompressed %d bytes, full scan only %d",
+						name, prunedStats.DecompressedBytes, fullStats.DecompressedBytes)
 				}
 				if ws%5 == 4 && prunedStats.LoadedPartitions != 0 {
 					t.Errorf("%s: disjoint window loaded %d partitions, want 0",

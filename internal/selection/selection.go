@@ -14,6 +14,7 @@ package selection
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"st4ml/internal/codec"
 	"st4ml/internal/engine"
@@ -59,6 +60,15 @@ type Stats struct {
 	LoadedRecords    int64
 	LoadedBytes      int64
 	SelectedRecords  int64
+	// Block-granularity accounting (storage format v2): across the loaded
+	// partitions, how many blocks existed, how many were decoded, how many
+	// the footer bounds let the reader skip, and the decompressed payload
+	// volume actually decoded. On v1 datasets every loaded partition is one
+	// scanned block.
+	BlocksTotal       int64
+	BlocksScanned     int64
+	BlocksPruned      int64
+	DecompressedBytes int64
 }
 
 // Selector selects records of type T from an on-disk dataset.
@@ -102,7 +112,7 @@ func (s *Selector[T]) SelectWith(dir string, meta *storage.Metadata, windows ...
 	for i := range all {
 		all[i] = i
 	}
-	return s.selectPartitions(dir, meta, all, windows)
+	return s.selectPartitions(dir, meta, all, windows, false)
 }
 
 // SelectPruned consults the metadata index first and reads only partitions
@@ -130,13 +140,16 @@ func (s *Selector[T]) SelectPrunedWith(dir string, meta *storage.Metadata, windo
 			keep = append(keep, i)
 		}
 	}
-	return s.selectPartitions(dir, meta, keep, windows)
+	return s.selectPartitions(dir, meta, keep, windows, true)
 }
 
 // selectPartitions runs the two selection stages over the given on-disk
-// partition ids.
+// partition ids. blockPrune lets the storage layer additionally skip v2
+// blocks whose footer bounds miss every window (SelectPruned's
+// intra-partition extension of §4.1); the native Select path keeps it off
+// so it stays an honest full-scan baseline.
 func (s *Selector[T]) selectPartitions(
-	dir string, meta *storage.Metadata, ids []int, windows []Window,
+	dir string, meta *storage.Metadata, ids []int, windows []Window, blockPrune bool,
 ) (*engine.RDD[T], Stats, error) {
 	stats := Stats{
 		TotalPartitions:  meta.NumPartitions(),
@@ -160,17 +173,37 @@ func (s *Selector[T]) selectPartitions(
 	// Stage 1: parallel load + parse + filter, traced under the select span.
 	// Decoding errors surface as task panics; convert to an error at the
 	// driver.
+	var winBoxes []index.Box
+	if blockPrune && len(windows) > 0 {
+		winBoxes = make([]index.Box, len(windows))
+		for i, w := range windows {
+			winBoxes[i] = w.Box()
+		}
+	}
+	// Block counters accumulate across concurrent load tasks; under
+	// retries/speculation (off by default) an attempt may be counted twice,
+	// same as the partition:read spans.
+	var blocksTotal, blocksScanned, blocksPruned, rawBytes atomic.Int64
 	sctx := s.ctx.WithSpan(sp)
 	loaded := engine.Generate(sctx, "load:"+meta.Name, len(ids), func(p int) []T {
 		rsp := sctx.StartSpan(trace.SpanPartitionRead, trace.Int("partition", int64(ids[p])))
-		recs, err := storage.ReadPartition(dir, meta, ids[p], s.c)
+		recs, rst, err := storage.ReadPartitionPruned(dir, meta, ids[p], s.c, winBoxes)
 		if err != nil {
 			rsp.End(trace.Str("error", err.Error()))
 			panic(err)
 		}
+		blocksTotal.Add(int64(rst.Blocks))
+		blocksScanned.Add(int64(rst.BlocksScanned))
+		blocksPruned.Add(int64(rst.BlocksPruned))
+		rawBytes.Add(rst.RawBytes)
+		sctx.Metrics.AddBlockRead(int64(rst.BlocksScanned), int64(rst.BlocksPruned), rst.RawBytes)
 		out := s.filterPartition(sctx, recs, windows)
 		rsp.End(trace.Int("records", int64(len(recs))),
 			trace.Int("bytes", meta.Partitions[ids[p]].Bytes),
+			trace.Int("blocks", int64(rst.Blocks)),
+			trace.Int("blocks_scanned", int64(rst.BlocksScanned)),
+			trace.Int("blocks_pruned", int64(rst.BlocksPruned)),
+			trace.Int("raw_bytes", rst.RawBytes),
 			trace.Int("selected", int64(len(out))))
 		return out
 	})
@@ -180,6 +213,10 @@ func (s *Selector[T]) selectPartitions(
 		return nil, stats, err
 	}
 	stats.SelectedRecords = selected.Count()
+	stats.BlocksTotal = blocksTotal.Load()
+	stats.BlocksScanned = blocksScanned.Load()
+	stats.BlocksPruned = blocksPruned.Load()
+	stats.DecompressedBytes = rawBytes.Load()
 
 	// Stage 2: ST partitioning for load balance (skipped without planner).
 	if s.cfg.Planner != nil {

@@ -216,12 +216,17 @@ func (s *Server) fetcher(d *Dataset, meta *storage.Metadata, gen int64, ectx *en
 		v, err := s.cache.GetOrLoad(key, func() (any, int64, error) {
 			lsp := ectx.StartSpan(trace.SpanPartitionLoad, trace.Int("partition", int64(id)))
 			s.partitionLoads.Add(1)
-			p, err := d.Schema.LoadPartition(d.Dir, meta, id)
+			p, rst, err := d.Schema.LoadPartition(d.Dir, meta, id)
 			if err != nil {
 				lsp.End(trace.Str("error", err.Error()))
 				return nil, 0, err
 			}
-			lsp.End(trace.Int("records", int64(p.Len())), trace.Int("bytes", p.SizeBytes()))
+			ectx.Metrics.AddBlockRead(int64(rst.BlocksScanned), int64(rst.BlocksPruned), rst.RawBytes)
+			lsp.End(trace.Int("records", int64(p.Len())), trace.Int("bytes", p.SizeBytes()),
+				trace.Int("blocks", int64(rst.Blocks)),
+				trace.Int("blocks_scanned", int64(rst.BlocksScanned)),
+				trace.Int("blocks_pruned", int64(rst.BlocksPruned)),
+				trace.Int("raw_bytes", rst.RawBytes))
 			return p, p.SizeBytes(), nil
 		})
 		if err != nil {

@@ -88,8 +88,9 @@ type Schema interface {
 	// ReadCSV parses records in the schema's CSV layout.
 	ReadCSV(r io.Reader) (any, error)
 	// LoadPartition reads and decodes partition id of the dataset at dir,
-	// returning a pinned handle with an R-tree over its records.
-	LoadPartition(dir string, meta *storage.Metadata, id int) (Partition, error)
+	// returning a pinned handle with an R-tree over its records plus the
+	// storage layer's block-granularity read accounting.
+	LoadPartition(dir string, meta *storage.Metadata, id int) (Partition, storage.ReadStats, error)
 	// ServeQuery is the daemon's selection path: partitions surviving the
 	// metadata prune are fetched through fetch — the serving cache's
 	// get-or-load hook, whose misses call LoadPartition — and searched via
@@ -199,10 +200,13 @@ func (p *partData[T]) search(w selection.Window) []int {
 // R-tree beyond the encoded payload.
 const pinOverheadBytes = 64
 
-func (s schema[T]) LoadPartition(dir string, meta *storage.Metadata, id int) (Partition, error) {
-	recs, err := storage.ReadPartition(dir, meta, id, s.spec.Codec)
+func (s schema[T]) LoadPartition(dir string, meta *storage.Metadata, id int) (Partition, storage.ReadStats, error) {
+	// The pinned handle serves arbitrary later windows, so the whole
+	// partition is decoded (nil windows — no block pruning); the stats still
+	// report the block and byte volume the load cost.
+	recs, rst, err := storage.ReadPartitionPruned(dir, meta, id, s.spec.Codec, nil)
 	if err != nil {
-		return nil, err
+		return nil, rst, err
 	}
 	items := make([]index.Item[int], len(recs))
 	for i, rec := range recs {
@@ -212,7 +216,7 @@ func (s schema[T]) LoadPartition(dir string, meta *storage.Metadata, id int) (Pa
 		recs:  recs,
 		tree:  index.BulkLoadSTR(items, 16),
 		bytes: meta.Partitions[id].Bytes + int64(len(recs))*pinOverheadBytes,
-	}, nil
+	}, rst, nil
 }
 
 func (s schema[T]) ServeQuery(
@@ -221,7 +225,10 @@ func (s schema[T]) ServeQuery(
 	opts QueryOptions,
 ) (QueryResult, error) {
 	if fetch == nil {
-		fetch = func(id int) (Partition, error) { return s.LoadPartition(dir, meta, id) }
+		fetch = func(id int) (Partition, error) {
+			p, _, err := s.LoadPartition(dir, meta, id)
+			return p, err
+		}
 	}
 	ids := meta.Prune(w.Space, w.Time)
 	stats := selection.Stats{

@@ -122,7 +122,11 @@ func TestServeQueryFetchHookAndLimit(t *testing.T) {
 		mu.Lock()
 		fetched[id]++
 		mu.Unlock()
-		return sch.LoadPartition(dir, meta, id)
+		p, rst, err := sch.LoadPartition(dir, meta, id)
+		if err == nil && (rst.Blocks < 1 || rst.BlocksScanned != rst.Blocks || rst.BlocksPruned != 0) {
+			t.Errorf("full load of partition %d reported odd block stats %+v", id, rst)
+		}
+		return p, err
 	}
 	res, err := sch.ServeQuery(ctx, dir, meta, fetch, w, QueryOptions{Records: true, Limit: 5})
 	if err != nil {

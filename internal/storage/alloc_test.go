@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/index"
+)
+
+// flatRec is a pointer-free record so decode allocations reflect the read
+// path itself, not per-record string/slice headers.
+type flatRec struct {
+	X, Y float64
+	T    int64
+}
+
+var flatC = codec.Codec[flatRec]{
+	Enc: func(w *codec.Writer, v flatRec) {
+		w.PutFloat64(v.X)
+		w.PutFloat64(v.Y)
+		w.PutVarint(v.T)
+	},
+	Dec: func(r *codec.Reader) flatRec {
+		return flatRec{X: r.Float64(), Y: r.Float64(), T: r.Varint()}
+	},
+}
+
+func flatBox(v flatRec) index.Box {
+	return index.Box{
+		Min: [index.Dims]float64{v.X, v.Y, float64(v.T)},
+		Max: [index.Dims]float64{v.X, v.Y, float64(v.T)},
+	}
+}
+
+func flatDataset(t testing.TB, dir string, compress bool, n, blockRecords int) *Metadata {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	part := make([]flatRec, n)
+	for i := range part {
+		part[i] = flatRec{X: rng.Float64() * 100, Y: rng.Float64() * 100, T: int64(i)}
+	}
+	meta, err := Write(dir, flatC, [][]flatRec{part}, flatBox, WriteOptions{
+		Name: "alloc", Compress: compress, BlockRecords: blockRecords,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+// Alloc ceilings for one full ReadPartition of 2048 records across 8
+// blocks. The fixed costs are the result slice, file handle, per-read
+// channels/goroutines of the prefetcher, and a handful of error-path-free
+// bookkeeping allocations; block payload and decompression buffers come
+// from the codec pools and must NOT scale with record or block count.
+// Ceilings are deliberately loose (observed ~40–60) so the test only
+// fires on a real regression — e.g. losing pooling would add ~2 allocs
+// per block and tens of KiB per read, blowing well past these numbers.
+const (
+	allocCeilingPlain = 150
+	allocCeilingGzip  = 250
+)
+
+func TestReadPartitionAllocCeiling(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		compress bool
+		ceiling  float64
+	}{
+		{"plain", false, allocCeilingPlain},
+		{"gzip", true, allocCeilingGzip},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			meta := flatDataset(t, dir, tc.compress, 2048, 256)
+			read := func() {
+				out, _, err := ReadPartitionPruned(dir, meta, 0, flatC, nil)
+				if err != nil || len(out) != 2048 {
+					t.Fatalf("read: %d recs, %v", len(out), err)
+				}
+			}
+			read() // warm the pools so steady-state is what's measured
+			got := testing.AllocsPerRun(20, read)
+			if got > tc.ceiling {
+				t.Errorf("ReadPartition (%s) allocs/op = %.0f, ceiling %v — pooled buffers regressed?",
+					tc.name, got, tc.ceiling)
+			}
+		})
+	}
+}
+
+func benchRead(b *testing.B, compress bool, windows []index.Box) {
+	dir := b.TempDir()
+	meta := flatDataset(b, dir, compress, 64<<10, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, st, err := ReadPartitionPruned(dir, meta, 0, flatC, windows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+		_ = st
+	}
+}
+
+func BenchmarkReadPartitionV2Plain(b *testing.B) { benchRead(b, false, nil) }
+func BenchmarkReadPartitionV2Gzip(b *testing.B)  { benchRead(b, true, nil) }
+
+// BenchmarkReadPartitionV2GzipPruned reads with a window covering ~1/32
+// of the time axis; flatDataset records are time-ordered so most blocks
+// prune, and the gap to the full-scan benchmark is the prefetch+prune win.
+func BenchmarkReadPartitionV2GzipPruned(b *testing.B) {
+	n := 64 << 10
+	win := index.Box{
+		Min: [index.Dims]float64{-1e9, -1e9, 0},
+		Max: [index.Dims]float64{1e9, 1e9, float64(n / 32)},
+	}
+	benchRead(b, true, []index.Box{win})
+}

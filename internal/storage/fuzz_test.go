@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/index"
+)
+
+// writeFuzzSeed produces the bytes of a small v2 partition file plus its
+// metadata, shared by the fuzz target and the byte-flip test.
+func writeFuzzSeed(t testing.TB, compress bool, blockRecords int) ([]byte, *Metadata, []rec) {
+	t.Helper()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(99))
+	parts := makeParts(rng, 1, 50)
+	meta, err := Write(dir, recC, parts, recBox, WriteOptions{
+		Name: "fuzz", Compress: compress, BlockRecords: blockRecords,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, meta.Partitions[0].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, meta, parts[0]
+}
+
+// readBytesAsPartition writes data as partition 0 of a scratch dataset
+// carrying meta's shape and reads it back through the pruned reader.
+func readBytesAsPartition(t testing.TB, meta *Metadata, data []byte, windows []index.Box) ([]rec, error) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, meta.Partitions[0].File), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ReadPartitionPruned(dir, meta, 0, recC, windows)
+	return out, err
+}
+
+// FuzzV2Partition throws arbitrary bytes at the v2 reader as a whole
+// partition file. The invariants: the reader never panics (ErrCorrupt is
+// always caught), and a read that succeeds returns exactly the record
+// count the metadata promises — arbitrary corruption must surface as an
+// error, never as silently wrong output.
+func FuzzV2Partition(f *testing.F) {
+	seedPlain, metaPlain, _ := writeFuzzSeed(f, false, 8)
+	seedGzip, _, _ := writeFuzzSeed(f, true, 8)
+	f.Add(seedPlain)
+	f.Add(seedGzip)
+	f.Add([]byte{})
+	f.Add([]byte(v2Magic))
+	f.Add(append(append([]byte(v2Magic), make([]byte, 12)...), v2TrailerMagic...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Full scan: success implies the metadata count cross-check held.
+		out, err := readBytesAsPartition(t, metaPlain, data, nil)
+		if err == nil && int64(len(out)) != metaPlain.Partitions[0].Count {
+			t.Fatalf("clean read returned %d records, metadata says %d",
+				len(out), metaPlain.Partitions[0].Count)
+		}
+		// Pruned scan must never panic either; its count check is per-block.
+		win := []index.Box{{
+			Min: [index.Dims]float64{0, 0, 0},
+			Max: [index.Dims]float64{5, 5, 500},
+		}}
+		if _, err := readBytesAsPartition(t, metaPlain, data, win); err != nil {
+			_ = err // corruption reported, not panicked: that is the contract
+		}
+	})
+}
+
+// FuzzBlockFooter drives the footer decoder directly: any byte soup must
+// either decode or panic ErrCorrupt (converted by Catch), with the
+// entry-size guard preventing absurd pre-allocations.
+func FuzzBlockFooter(f *testing.F) {
+	valid := codec.GetWriter()
+	encodeFooter(valid, []BlockMeta{
+		{Offset: 4, Stored: 100, Raw: 200, Count: 8, Bounds: index.EmptyBox()},
+		{Offset: 104, Stored: 50, Raw: 60, Count: 3},
+	})
+	f.Add(append([]byte{}, valid.Bytes()...), int64(1000))
+	codec.PutWriter(valid)
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, int64(1<<40))
+	f.Fuzz(func(t *testing.T, data []byte, regionEnd int64) {
+		err := codec.Catch(func() {
+			blocks := decodeFooter(data, regionEnd)
+			// Decoded footers satisfy the structural invariants the reader
+			// depends on: ordered, non-overlapping, inside the block region.
+			prevEnd := int64(v2HeaderLen)
+			for _, b := range blocks {
+				if b.Offset < prevEnd || b.Offset+b.Stored > regionEnd {
+					t.Fatalf("decodeFooter admitted out-of-region block %+v", b)
+				}
+				prevEnd = b.Offset + b.Stored
+			}
+		})
+		_ = err
+	})
+}
+
+// TestV2EveryByteFlipDetected is the deterministic core of the fuzz
+// contract: every byte of a v2 partition file is protected — header and
+// trailer magics by explicit checks, the trailer offset by range
+// validation, and everything else by a CRC32C frame — so flipping ANY
+// single byte must either error or (never) return the original records.
+func TestV2EveryByteFlipDetected(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		raw, meta, want := writeFuzzSeed(t, compress, 8)
+		for pos := 0; pos < len(raw); pos++ {
+			mut := append([]byte{}, raw...)
+			mut[pos] ^= 0x5a
+			got, err := readBytesAsPartition(t, meta, mut, nil)
+			if err == nil && !reflect.DeepEqual(got, want) {
+				t.Fatalf("compress=%v: flip at byte %d/%d silently changed records",
+					compress, pos, len(raw))
+			}
+			if err == nil {
+				t.Fatalf("compress=%v: flip at byte %d/%d went undetected", compress, pos, len(raw))
+			}
+		}
+	}
+}
+
+// TestV2TruncationsDetected chops the file at every length below full and
+// expects an error each time.
+func TestV2TruncationsDetected(t *testing.T) {
+	raw, meta, _ := writeFuzzSeed(t, true, 8)
+	for n := 0; n < len(raw); n += 7 {
+		if _, err := readBytesAsPartition(t, meta, raw[:n], nil); err == nil {
+			t.Fatalf("truncation to %d/%d bytes went undetected", n, len(raw))
+		}
+	}
+}

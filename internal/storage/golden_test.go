@@ -1,0 +1,99 @@
+// Backward-compatibility golden test: a v1 dataset written by the
+// pre-block storage layer is committed under testdata/, and every future
+// reader must keep returning exactly the records recorded beside it.
+// Regenerate with `go test ./internal/storage -run TestGoldenV1 -update`
+// only when intentionally re-seeding (the committed files are the
+// contract; regenerating weakens it to a self-test for one commit).
+package storage_test
+
+import (
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"st4ml/internal/geom"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden testdata")
+
+const goldenDir = "testdata/v1-golden"
+
+// goldenRecords deterministically builds the dataset committed under
+// testdata: two partitions of NYC-style events on disjoint ST tiles.
+func goldenRecords() [][]stdata.EventRec {
+	rng := rand.New(rand.NewSource(20260805))
+	parts := make([][]stdata.EventRec, 2)
+	for p := range parts {
+		for i := 0; i < 40; i++ {
+			parts[p] = append(parts[p], stdata.EventRec{
+				ID:   int64(p*1000 + i),
+				Loc:  geom.Pt(-74.0+float64(p)*0.5+rng.Float64()*0.5, 40.7+rng.Float64()*0.3),
+				Time: int64(p*3600) + rng.Int63n(3600),
+				Aux:  "golden",
+			})
+		}
+	}
+	return parts
+}
+
+func TestGoldenV1DatasetStillReads(t *testing.T) {
+	parts := goldenRecords()
+	if *updateGolden {
+		if err := os.RemoveAll(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		// Version 1 pins the legacy monolithic layout — the whole point is
+		// that files written before the block format keep working.
+		_, err := storage.Write(goldenDir, stdata.EventRecC, parts,
+			stdata.EventRec.Box,
+			storage.WriteOptions{Name: "v1-golden", Compress: true, Version: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(parts, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(goldenDir, "records.json"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := storage.ReadMetadata(goldenDir)
+	if err != nil {
+		t.Fatalf("golden dataset unreadable (run with -update to regenerate): %v", err)
+	}
+	if meta.Version != 0 {
+		t.Fatalf("golden dataset is not v1: version=%d", meta.Version)
+	}
+	var want [][]stdata.EventRec
+	b, err := os.ReadFile(filepath.Join(goldenDir, "records.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		got, st, err := storage.ReadPartitionPruned(goldenDir, meta, i, stdata.EventRecC, nil)
+		if err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("partition %d: records differ from committed golden set", i)
+		}
+		if st.Blocks != 1 || st.BlocksScanned != 1 {
+			t.Fatalf("partition %d: v1 stats %+v", i, st)
+		}
+	}
+	// The in-memory generator still matches the committed records, so a
+	// future -update cannot silently change the dataset's content.
+	if !reflect.DeepEqual(parts, want) {
+		t.Fatal("goldenRecords() drifted from committed records.json")
+	}
+}

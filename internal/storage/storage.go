@@ -9,8 +9,10 @@
 package storage
 
 import (
+	"bufio"
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -61,9 +63,17 @@ type Metadata struct {
 	// verify every frame and reject corrupt files instead of silently
 	// decoding garbage. Absent (false) on legacy datasets, which decode as
 	// bare record streams.
-	Framed     bool            `json:"framed,omitempty"`
-	TotalCount int64           `json:"total_count"`
-	Partitions []PartitionMeta `json:"partitions"`
+	Framed bool `json:"framed,omitempty"`
+	// Version selects the partition file format: absent or 1 is the v1
+	// monolithic layout (whole-file gzip, framed or bare record stream),
+	// 2 is the block layout of block.go. Readers honor whatever is here,
+	// so v1 datasets stay readable without re-ingest.
+	Version int `json:"version,omitempty"`
+	// BlockRecords is the records-per-block target the dataset was written
+	// with (v2 only; informational).
+	BlockRecords int             `json:"block_records,omitempty"`
+	TotalCount   int64           `json:"total_count"`
+	Partitions   []PartitionMeta `json:"partitions"`
 }
 
 // NumPartitions returns the partition count.
@@ -86,8 +96,15 @@ func (m *Metadata) Prune(space geom.MBR, dur tempo.Duration) []int {
 type WriteOptions struct {
 	// Name labels the dataset in its metadata.
 	Name string
-	// Compress gzips each partition file.
+	// Compress gzips partition data (per block in v2, whole-file in v1).
 	Compress bool
+	// BlockRecords is the records-per-block target for v2 files;
+	// 0 means DefaultBlockRecords.
+	BlockRecords int
+	// Version pins the file format: 0 means latest (FormatVersion), 1
+	// forces the legacy monolithic layout — kept so compat tests and
+	// benchmarks can produce v1 datasets on demand.
+	Version int
 }
 
 // Write persists partitioned records under dir, computing per-partition ST
@@ -104,9 +121,27 @@ func Write[T any](
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create dataset dir: %w", err)
 	}
+	version := opts.Version
+	if version == 0 {
+		version = FormatVersion
+	}
+	blockRecords := opts.BlockRecords
+	if blockRecords <= 0 {
+		blockRecords = DefaultBlockRecords
+	}
 	meta := &Metadata{Name: opts.Name, Compressed: opts.Compress, Framed: true}
+	if version >= 2 {
+		meta.Version = version
+		meta.BlockRecords = blockRecords
+	}
 	for i, part := range parts {
-		pm, err := writePartition(dir, i, c, part, boxOf, opts.Compress)
+		var pm PartitionMeta
+		var err error
+		if version >= 2 {
+			pm, err = writePartitionV2(dir, i, c, part, boxOf, opts.Compress, blockRecords)
+		} else {
+			pm, err = writePartition(dir, i, c, part, boxOf, opts.Compress)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -191,6 +226,126 @@ func writePartition[T any](
 	return pm, nil
 }
 
+// writePartitionV2 writes one partition in the block layout: a header
+// magic, then frames of BlockRecords-record chunks (each gzipped
+// independently when compress is set), a framed footer indexing every
+// block's byte range, count, and ST bounds, and a fixed trailer pointing
+// at the footer. Scratch buffers come from the codec pools so a bulk
+// ingest reuses, rather than reallocates, its per-block encodings.
+func writePartitionV2[T any](
+	dir string, i int, c codec.Codec[T], part []T,
+	boxOf func(T) index.Box, compress bool, blockRecords int,
+) (PartitionMeta, error) {
+	name := partitionFileName(i)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: create partition: %w", err)
+	}
+	defer f.Close()
+	out := bufio.NewWriterSize(f, 256<<10)
+	if _, err := out.WriteString(v2Magic); err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: write partition: %w", err)
+	}
+	off := int64(v2HeaderLen)
+
+	recW := codec.GetWriter()   // raw record encodings for the current block
+	gzW := codec.GetWriter()    // compressed payload scratch
+	frameW := codec.GetWriter() // framed output scratch
+	defer func() {
+		codec.PutWriter(recW)
+		codec.PutWriter(gzW)
+		codec.PutWriter(frameW)
+	}()
+
+	var blocks []BlockMeta
+	bounds := index.EmptyBox()
+	flush := func(blockBounds index.Box, count int64) error {
+		payload := recW.Bytes()
+		raw := int64(len(payload))
+		if compress {
+			gzW.Reset()
+			gz := gzWriterPool.Get().(*gzip.Writer)
+			gz.Reset(gzW)
+			_, werr := gz.Write(payload)
+			if cerr := gz.Close(); werr == nil {
+				werr = cerr
+			}
+			gzWriterPool.Put(gz)
+			if werr != nil {
+				return fmt.Errorf("storage: compress block: %w", werr)
+			}
+			payload = gzW.Bytes()
+		}
+		frameW.Reset()
+		frameW.PutFrame(payload)
+		if _, err := out.Write(frameW.Bytes()); err != nil {
+			return fmt.Errorf("storage: write block: %w", err)
+		}
+		blocks = append(blocks, BlockMeta{
+			Offset: off, Stored: int64(frameW.Len()), Raw: raw,
+			Count: count, Bounds: blockBounds,
+		})
+		off += int64(frameW.Len())
+		recW.Reset()
+		return nil
+	}
+	blockBounds := index.EmptyBox()
+	var blockCount int64
+	for _, rec := range part {
+		c.Enc(recW, rec)
+		b := boxOf(rec)
+		blockBounds = blockBounds.Union(b)
+		bounds = bounds.Union(b)
+		blockCount++
+		if blockCount >= int64(blockRecords) {
+			if err := flush(blockBounds, blockCount); err != nil {
+				return PartitionMeta{}, err
+			}
+			blockBounds = index.EmptyBox()
+			blockCount = 0
+		}
+	}
+	if blockCount > 0 {
+		if err := flush(blockBounds, blockCount); err != nil {
+			return PartitionMeta{}, err
+		}
+	}
+
+	footerOff := off
+	recW.Reset()
+	encodeFooter(recW, blocks)
+	frameW.Reset()
+	frameW.PutFrame(recW.Bytes())
+	if _, err := out.Write(frameW.Bytes()); err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: write footer: %w", err)
+	}
+	var trailer [v2TrailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(footerOff))
+	copy(trailer[8:], v2TrailerMagic)
+	if _, err := out.Write(trailer[:]); err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: write trailer: %w", err)
+	}
+	if err := out.Flush(); err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: flush partition: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return PartitionMeta{}, fmt.Errorf("storage: close partition: %w", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return PartitionMeta{}, err
+	}
+	pm := PartitionMeta{File: name, Count: int64(len(part)), Bytes: st.Size()}
+	if !bounds.IsEmpty() {
+		s := bounds.Spatial()
+		d := bounds.Temporal()
+		pm.MinX, pm.MinY, pm.MaxX, pm.MaxY = s.MinX, s.MinY, s.MaxX, s.MaxY
+		pm.TStart, pm.TEnd = d.Start, d.End
+	}
+	return pm, nil
+}
+
 func writeMetadata(dir string, meta *Metadata) error {
 	b, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
@@ -221,47 +376,92 @@ func ReadMetadata(dir string) (*Metadata, error) {
 // truly corrupt file fails every attempt and surfaces an error.
 const maxPartitionReadAttempts = 3
 
-// ReadPartition decodes one partition file. Framed datasets verify every
-// chunk's CRC32C before decoding and re-read the file a bounded number of
-// times on mismatch; corruption is always reported, never silently decoded.
+// ReadStats reports what a partition read actually touched, so callers
+// (selection stats, serve metrics, explain output) can account for
+// block-level pruning: how many blocks the footer listed, how many were
+// scanned versus skipped, and the on-disk versus decompressed byte volume.
+type ReadStats struct {
+	// Blocks is the number of blocks in the partition file (1 for v1).
+	Blocks int
+	// BlocksScanned is how many blocks were read and decoded.
+	BlocksScanned int
+	// BlocksPruned is how many blocks the footer bounds let us skip.
+	BlocksPruned int
+	// BytesRead is the on-disk bytes actually read (header, scanned block
+	// frames, footer, trailer; the whole file for v1).
+	BytesRead int64
+	// RawBytes is the decompressed payload bytes decoded.
+	RawBytes int64
+}
+
+// ReadPartition decodes one partition file in full. Framed datasets verify
+// every chunk's CRC32C before decoding and re-read the file a bounded
+// number of times on mismatch; corruption is always reported, never
+// silently decoded.
 func ReadPartition[T any](dir string, meta *Metadata, i int, c codec.Codec[T]) ([]T, error) {
+	out, _, err := ReadPartitionPruned(dir, meta, i, c, nil)
+	return out, err
+}
+
+// ReadPartitionPruned decodes one partition file, skipping blocks whose
+// footer bounds intersect none of the windows — the intra-partition
+// analogue of Metadata.Prune. A nil windows slice means read everything
+// (and cross-check the record count against the partition metadata, which
+// a pruned read cannot do). On v1 files the windows are ignored and the
+// whole partition is returned; callers re-filter records either way, so
+// pruning is purely an I/O and CPU saving, never a correctness dependency.
+func ReadPartitionPruned[T any](
+	dir string, meta *Metadata, i int, c codec.Codec[T], windows []index.Box,
+) ([]T, ReadStats, error) {
 	if i < 0 || i >= len(meta.Partitions) {
-		return nil, fmt.Errorf("storage: partition %d out of range [0,%d)", i, len(meta.Partitions))
+		return nil, ReadStats{}, fmt.Errorf(
+			"storage: partition %d out of range [0,%d)", i, len(meta.Partitions))
 	}
 	pm := meta.Partitions[i]
 	var lastErr error
 	for attempt := 0; attempt < maxPartitionReadAttempts; attempt++ {
-		out, err := readPartitionOnce[T](dir, meta, pm, c)
+		var out []T
+		var st ReadStats
+		var err error
+		if meta.Version >= 2 {
+			out, st, err = readPartitionV2Once[T](dir, meta, pm, c, windows)
+		} else {
+			out, st, err = readPartitionOnce[T](dir, meta, pm, c)
+		}
 		if err == nil {
-			return out, nil
+			return out, st, nil
 		}
 		lastErr = err
 		var ce codec.ErrCorrupt
 		if !errors.As(err, &ce) {
-			return nil, err // I/O or structural error: retrying won't help
+			return nil, ReadStats{}, err // I/O or structural error: retrying won't help
 		}
 	}
-	return nil, fmt.Errorf("storage: partition %s corrupt after %d reads: %w",
+	return nil, ReadStats{}, fmt.Errorf("storage: partition %s corrupt after %d reads: %w",
 		pm.File, maxPartitionReadAttempts, lastErr)
 }
 
 func readPartitionOnce[T any](
 	dir string, meta *Metadata, pm PartitionMeta, c codec.Codec[T],
-) ([]T, error) {
+) ([]T, ReadStats, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, pm.File))
 	if err != nil {
-		return nil, fmt.Errorf("storage: read partition: %w", err)
+		return nil, ReadStats{}, fmt.Errorf("storage: read partition: %w", err)
 	}
+	st := ReadStats{Blocks: 1, BlocksScanned: 1, BytesRead: int64(len(raw))}
 	if meta.Compressed {
-		gz, err := gzip.NewReader(bytes.NewReader(raw))
-		if err != nil {
-			return nil, fmt.Errorf("storage: open gzip: %w", err)
+		gz := gzReaderPool.Get().(*gzip.Reader)
+		if err := gz.Reset(bytes.NewReader(raw)); err != nil {
+			gzReaderPool.Put(gz)
+			return nil, ReadStats{}, fmt.Errorf("storage: open gzip: %w", err)
 		}
 		raw, err = io.ReadAll(gz)
+		gzReaderPool.Put(gz)
 		if err != nil {
-			return nil, fmt.Errorf("storage: decompress partition: %w", err)
+			return nil, ReadStats{}, fmt.Errorf("storage: decompress partition: %w", err)
 		}
 	}
+	st.RawBytes = int64(len(raw))
 	out := make([]T, 0, pm.Count)
 	err = codec.Catch(func() {
 		r := codec.NewReader(raw)
@@ -280,13 +480,136 @@ func readPartitionOnce[T any](
 		}
 	})
 	if err != nil {
-		return nil, fmt.Errorf("storage: partition %s corrupt: %w", pm.File, err)
+		return nil, ReadStats{}, fmt.Errorf("storage: partition %s corrupt: %w", pm.File, err)
 	}
 	if int64(len(out)) != pm.Count {
-		return nil, fmt.Errorf("storage: partition %s has %d records, metadata says %d",
+		return nil, ReadStats{}, fmt.Errorf("storage: partition %s has %d records, metadata says %d",
 			pm.File, len(out), pm.Count)
 	}
-	return out, nil
+	return out, st, nil
+}
+
+// readFooter opens a v2 partition file and returns its verified block
+// index plus the file handle (positioned for ReadAt) and total size.
+func readFooter(path string) (*os.File, []BlockMeta, int64, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, 0, fmt.Errorf("storage: open partition: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, 0, fmt.Errorf("storage: stat partition: %w", err)
+	}
+	size := st.Size()
+	fail := func(err error) (*os.File, []BlockMeta, int64, int64, error) {
+		f.Close()
+		return nil, nil, 0, 0, err
+	}
+	if size < int64(v2HeaderLen)+v2TrailerLen {
+		return fail(fmt.Errorf("storage: partition %s truncated: %w",
+			filepath.Base(path), codec.ErrCorrupt{Off: int(size)}))
+	}
+	var head [v2HeaderLen]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return fail(fmt.Errorf("storage: read header: %w", err))
+	}
+	if string(head[:]) != v2Magic {
+		return fail(fmt.Errorf("storage: partition %s: bad magic: %w",
+			filepath.Base(path), codec.ErrCorrupt{Off: 0}))
+	}
+	var trailer [v2TrailerLen]byte
+	if _, err := f.ReadAt(trailer[:], size-v2TrailerLen); err != nil {
+		return fail(fmt.Errorf("storage: read trailer: %w", err))
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if string(trailer[8:]) != v2TrailerMagic ||
+		footerOff < int64(v2HeaderLen) || footerOff >= size-v2TrailerLen {
+		return fail(fmt.Errorf("storage: partition %s: bad trailer: %w",
+			filepath.Base(path), codec.ErrCorrupt{Off: int(size - v2TrailerLen)}))
+	}
+	footerStored := codec.GetBuf(int(size - v2TrailerLen - footerOff))
+	defer codec.PutBuf(footerStored)
+	if _, err := f.ReadAt(footerStored, footerOff); err != nil {
+		return fail(fmt.Errorf("storage: read footer: %w", err))
+	}
+	var blocks []BlockMeta
+	err = codec.Catch(func() {
+		r := codec.NewReader(footerStored)
+		payload := r.Frame()
+		if r.Remaining() != 0 {
+			panic(codec.ErrCorrupt{Off: int(footerOff)})
+		}
+		blocks = decodeFooter(payload, footerOff)
+	})
+	if err != nil {
+		return fail(fmt.Errorf("storage: partition %s footer: %w", filepath.Base(path), err))
+	}
+	return f, blocks, footerOff, size, nil
+}
+
+func readPartitionV2Once[T any](
+	dir string, meta *Metadata, pm PartitionMeta, c codec.Codec[T], windows []index.Box,
+) ([]T, ReadStats, error) {
+	f, blocks, footerOff, size, err := readFooter(filepath.Join(dir, pm.File))
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	defer f.Close()
+
+	// Footer/trailer/header bytes are always read.
+	st := ReadStats{Blocks: len(blocks), BytesRead: int64(v2HeaderLen) + (size - footerOff)}
+	var scan []BlockMeta
+	var expect int64
+	for _, bm := range blocks {
+		keep := windows == nil
+		if !keep && bm.Count > 0 {
+			for _, w := range windows {
+				if bm.Bounds.Intersects(w) {
+					keep = true
+					break
+				}
+			}
+		}
+		if keep {
+			scan = append(scan, bm)
+			expect += bm.Count
+		} else {
+			st.BlocksPruned++
+		}
+	}
+	st.BlocksScanned = len(scan)
+	if windows == nil && expect != pm.Count {
+		return nil, ReadStats{}, fmt.Errorf(
+			"storage: partition %s footer counts %d records, metadata says %d: %w",
+			pm.File, expect, pm.Count, codec.ErrCorrupt{Off: int(footerOff)})
+	}
+
+	out := make([]T, 0, expect)
+	done := make(chan struct{})
+	defer close(done)
+	for blk := range prefetchBlocks(f, scan, meta.Compressed, done) {
+		if blk.err != nil {
+			return nil, ReadStats{}, fmt.Errorf("storage: partition %s: %w", pm.File, blk.err)
+		}
+		st.BytesRead += blk.bm.Stored
+		st.RawBytes += blk.bm.Raw
+		decErr := codec.Catch(func() {
+			r := codec.NewReader(blk.raw)
+			for n := int64(0); n < blk.bm.Count; n++ {
+				out = append(out, c.Dec(r))
+			}
+			if r.Remaining() != 0 {
+				panic(codec.ErrCorrupt{Off: int(blk.bm.Raw)})
+			}
+		})
+		blk.release()
+		if decErr != nil {
+			return nil, ReadStats{}, fmt.Errorf("storage: partition %s block at %d: %w",
+				pm.File, blk.bm.Offset, decErr)
+		}
+	}
+	return out, st, nil
 }
 
 // MergeMetadata combines the partition lists of several dataset metadata
@@ -298,6 +621,8 @@ func MergeMetadata(parts map[string]*Metadata) *Metadata {
 	for dir, m := range parts {
 		out.Compressed = m.Compressed
 		out.Framed = m.Framed
+		out.Version = m.Version
+		out.BlockRecords = m.BlockRecords
 		out.TotalCount += m.TotalCount
 		for _, p := range m.Partitions {
 			p.File = filepath.Join(dir, p.File)

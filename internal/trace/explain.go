@@ -56,6 +56,15 @@ type Explain struct {
 	RecordsLoaded    int64 `json:"records_loaded"`
 	RecordsSelected  int64 `json:"records_selected"`
 
+	// Block-granularity read accounting (storage format v2): within the
+	// partitions that were read, how many blocks were decoded versus
+	// skipped via footer bounds, and the decompressed payload volume.
+	// Aggregated from partition:read (selection) and partition:load
+	// (serving cache miss) spans; zero on v1 datasets.
+	BlocksScanned     int64 `json:"blocks_scanned"`
+	BlocksPruned      int64 `json:"blocks_pruned"`
+	BytesDecompressed int64 `json:"bytes_decompressed"`
+
 	ShuffleRecords int64 `json:"shuffle_records"`
 	ShuffleBytes   int64 `json:"shuffle_bytes"`
 
@@ -118,10 +127,13 @@ func Build(spans []SpanRecord) *Explain {
 			if v, ok := s.Int("records"); ok {
 				e.ShuffleRecords += v
 			}
+		case s.Name == SpanPartitionRead:
+			e.addBlockAttrs(s)
 		case s.Name == SpanPartitionFetch:
 			fetches++
 		case s.Name == SpanPartitionLoad:
 			e.PartitionLoads++
+			e.addBlockAttrs(s)
 		case s.Name == SpanResultLookup:
 			if s.BoolAttr("hit") {
 				e.ResultCache = "hit"
@@ -169,6 +181,19 @@ func Build(spans []SpanRecord) *Explain {
 	return e
 }
 
+// addBlockAttrs folds one disk-read span's block counters into the report.
+func (e *Explain) addBlockAttrs(s SpanRecord) {
+	if v, ok := s.Int("blocks_scanned"); ok {
+		e.BlocksScanned += v
+	}
+	if v, ok := s.Int("blocks_pruned"); ok {
+		e.BlocksPruned += v
+	}
+	if v, ok := s.Int("raw_bytes"); ok {
+		e.BytesDecompressed += v
+	}
+}
+
 // Fprint renders the report as the human-readable text stquery -explain
 // prints.
 func (e *Explain) Fprint(w io.Writer) {
@@ -179,6 +204,8 @@ func (e *Explain) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "wall: %.3f ms (%d spans)\n", e.WallMS, e.Spans)
 	fmt.Fprintf(w, "partitions: %d read, %d pruned (of %d); %d bytes read\n",
 		e.ReadPartitions, e.PrunedPartitions, e.TotalPartitions, e.PartitionBytes)
+	fmt.Fprintf(w, "blocks: %d scanned, %d pruned; %d bytes decompressed\n",
+		e.BlocksScanned, e.BlocksPruned, e.BytesDecompressed)
 	fmt.Fprintf(w, "records: %d loaded, %d selected\n", e.RecordsLoaded, e.RecordsSelected)
 	fmt.Fprintf(w, "shuffle: %d records, %d bytes\n", e.ShuffleRecords, e.ShuffleBytes)
 	fmt.Fprintf(w, "tasks: %d run, %d retried, %d speculative; %d r-tree builds\n",

@@ -190,6 +190,10 @@ func TestExplainRendering(t *testing.T) {
 	retry.End(Bool("committed", false))
 	st.End(Int("records", 100), Int("tasks", 3))
 	sel.End(Int("loaded_records", 400), Int("loaded_bytes", 8192), Int("selected", 100))
+	pr := root.Child(SpanPartitionRead, Int("partition", 0))
+	pr.End(Int("blocks_scanned", 2), Int("blocks_pruned", 6), Int("raw_bytes", 4096))
+	pl := root.Child(SpanPartitionLoad, Str("key", "part|nyc|0|0"))
+	pl.End(Int("blocks_scanned", 1), Int("blocks_pruned", 3), Int("raw_bytes", 1024))
 	sw := root.Child(SpanShuffleWrite, Int("bytes", 2048), Int("records", 100))
 	sw.End()
 	root.End()
@@ -203,6 +207,11 @@ func TestExplainRendering(t *testing.T) {
 	}
 	if e.ShuffleBytes != 2048 || e.ShuffleRecords != 100 {
 		t.Errorf("shuffle = %d bytes %d records", e.ShuffleBytes, e.ShuffleRecords)
+	}
+	// Block counters aggregate across partition:read and partition:load.
+	if e.BlocksScanned != 3 || e.BlocksPruned != 9 || e.BytesDecompressed != 5120 {
+		t.Errorf("blocks = %d scanned %d pruned %d raw",
+			e.BlocksScanned, e.BlocksPruned, e.BytesDecompressed)
 	}
 	if e.TasksRun != 3 || e.TaskRetries != 1 {
 		t.Errorf("tasks = %d run %d retries", e.TasksRun, e.TaskRetries)
@@ -218,7 +227,8 @@ func TestExplainRendering(t *testing.T) {
 	var buf bytes.Buffer
 	e.Fprint(&buf)
 	out := buf.String()
-	for _, want := range []string{"3 read", "13 pruned", "load:nyc.cache", "2048 bytes"} {
+	for _, want := range []string{"3 read", "13 pruned", "load:nyc.cache", "2048 bytes",
+		"3 scanned, 9 pruned; 5120 bytes decompressed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain text missing %q:\n%s", want, out)
 		}
