@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check cover bench serve
+.PHONY: build test race vet check cover docs bench serve
 
 # COVER_FLOOR is the minimum acceptable total statement coverage, in
 # percent. The suite currently sits well above this; the floor exists to
@@ -29,18 +29,31 @@ cover:
 		if (t+0 < floor+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
 		printf "coverage %.1f%% >= %.1f%% floor\n", t, floor }'
 
-# check is the full pre-merge gate: vet, build, the race-enabled short
-# suite (fast gate over every package — fuzz corpora, metamorphic suites,
-# and the pool/prefetch paths all run with the detector on; `make race`
-# remains the full-length run), the coverage floor, and an explicit
-# stserved smoke — boot the daemon on an ephemeral port with a generated
-# dataset and run one query end to end.
+# docs fails if any package is missing a package comment, keeping the
+# godoc entry point of every subsystem present (see ARCHITECTURE.md for
+# the prose tour).
+docs:
+	@missing=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...); \
+	if [ -n "$$missing" ]; then \
+		echo "packages missing a package comment:"; echo "$$missing"; exit 1; \
+	fi; \
+	echo "all packages have package comments"
+
+# check is the full pre-merge gate: vet, the docs gate, build, the
+# race-enabled short suite (fast gate over every package — fuzz corpora,
+# metamorphic suites, and the pool/prefetch paths all run with the
+# detector on; `make race` remains the full-length run), the coverage
+# floor, and two explicit end-to-end smokes: boot stserved on an
+# ephemeral port with a generated dataset and run one query, and drive
+# stingest's full tail-append-compact loop in-process.
 check:
 	$(GO) vet ./...
+	$(MAKE) docs
 	$(GO) build ./...
 	$(GO) test -race -short ./...
 	$(MAKE) cover
 	$(GO) test -race -count=1 -run TestServedSmoke ./cmd/stserved
+	$(GO) test -race -count=1 -run TestIngestSmoke ./cmd/stingest
 
 bench:
 	$(GO) run ./cmd/stbench -exp all

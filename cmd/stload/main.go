@@ -8,10 +8,17 @@
 //	stload -dataset nyc -n 500000 -out /data/nyc -gt 16 -gs 8
 //	stload -dataset porto -n 50000 -out /data/porto -compress
 //	stload -dataset nyc -input events.csv -out /data/mine
+//	stload -dataset nyc -input more.csv -out /data/mine -append
 //
 // -input ingests external CSV data in the standard schemas (see package
 // stdata): events as `id,lon,lat,time[,aux]`, trajectories as
 // `id,"lon lat ...","t t ..."`.
+//
+// -append routes the records into an existing dataset through the storage
+// delta layer instead of rebuilding it: small immutable delta files beside
+// the base partitions, committed by an atomic manifest swap, merged on
+// read and folded back in by compaction (see cmd/stingest for the
+// continuous form).
 package main
 
 import (
@@ -43,6 +50,8 @@ func main() {
 		noCluster = flag.Bool("no-cluster", false, "skip the in-partition Z-order sort (blocks keep arrival order; pruning degrades)")
 		slots     = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the ingest to this file")
+		appendTo  = flag.Bool("append", false, "append to the existing dataset at -out via the delta layer instead of rebuilding it")
+		batchID   = flag.String("batch", "", "idempotency id for -append: re-running with the same id is a no-op")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -74,6 +83,25 @@ func main() {
 		recs, err = readCSV(sch, *input)
 	} else {
 		recs = generate(*dataset, *n, *seed)
+	}
+	if *appendTo {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stload:", err)
+			os.Exit(1)
+		}
+		gen, err := sch.Append(recs, *out, *batchID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stload:", err)
+			os.Exit(1)
+		}
+		meta, err := storage.ReadMetadata(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stload: appended to %s (generation %d, %d records, %d live deltas)\n",
+			*out, gen, meta.TotalCount, meta.DeltaCount())
+		return
 	}
 	var meta *storage.Metadata
 	if err == nil {

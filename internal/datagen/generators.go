@@ -1,3 +1,9 @@
+// Package datagen generates the synthetic stand-ins for the paper's
+// evaluation corpora (§5.1): NYC-taxi-like events, Porto-like
+// trajectories, Chinese air-quality time series, and OSM-like POIs/areas,
+// each drawn from seeded hotspot mixtures over the real datasets' spatial
+// extents and time windows so experiments are reproducible without the
+// proprietary data (see DESIGN.md substitutions).
 package datagen
 
 import (

@@ -31,6 +31,13 @@ type Metrics struct {
 	blocksPruned      atomic.Int64
 	bytesDecompressed atomic.Int64
 
+	// Delta-layer accounting: delta files unioned into partition reads
+	// (merge-on-read), the records they contributed, and compactor partition
+	// rewrites observed by this context.
+	deltasRead   atomic.Int64
+	deltaRecords atomic.Int64
+	compactions  atomic.Int64
+
 	stageMu       sync.Mutex
 	stages        []StageStat
 	stagesDropped int64
@@ -43,6 +50,18 @@ func (m *Metrics) AddBlockRead(scanned, pruned, rawBytes int64) {
 	m.blocksScanned.Add(scanned)
 	m.blocksPruned.Add(pruned)
 	m.bytesDecompressed.Add(rawBytes)
+}
+
+// AddDeltaRead accounts one merge-on-read partition read: how many delta
+// files were unioned into the base and the records they contributed.
+func (m *Metrics) AddDeltaRead(files, records int64) {
+	m.deltasRead.Add(files)
+	m.deltaRecords.Add(records)
+}
+
+// AddCompaction accounts compactor partition rewrites.
+func (m *Metrics) AddCompaction(partitions int64) {
+	m.compactions.Add(partitions)
 }
 
 // maxStageStats bounds the retained per-stage history. A long-running
@@ -86,6 +105,12 @@ type Snapshot struct {
 	BlocksScanned     int64
 	BlocksPruned      int64
 	BytesDecompressed int64
+	// DeltasRead counts delta files unioned into partition reads and
+	// DeltaRecords the records they contributed; Compactions counts
+	// compactor partition rewrites.
+	DeltasRead   int64
+	DeltaRecords int64
+	Compactions  int64
 	// Stages holds the most recent executed stages (bounded window);
 	// StagesDropped counts older entries that aged out of it.
 	Stages        []StageStat
@@ -114,6 +139,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		BlocksScanned:       m.blocksScanned.Load(),
 		BlocksPruned:        m.blocksPruned.Load(),
 		BytesDecompressed:   m.bytesDecompressed.Load(),
+		DeltasRead:          m.deltasRead.Load(),
+		DeltaRecords:        m.deltaRecords.Load(),
+		Compactions:         m.compactions.Load(),
 		Stages:              stages,
 		StagesDropped:       dropped,
 	}
@@ -135,6 +163,9 @@ func (m *Metrics) Reset() {
 	m.blocksScanned.Store(0)
 	m.blocksPruned.Store(0)
 	m.bytesDecompressed.Store(0)
+	m.deltasRead.Store(0)
+	m.deltaRecords.Store(0)
+	m.compactions.Store(0)
 	m.stageMu.Lock()
 	m.stages = nil
 	m.stagesDropped = 0
@@ -157,8 +188,10 @@ func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"tasks=%d records=%d shuffleRecords=%d shuffleBytes=%d broadcasts=%d taskTime=%s"+
 			" retries=%d speculated=%d specWins=%d corruptRereads=%d"+
-			" blocksScanned=%d blocksPruned=%d bytesDecompressed=%d",
+			" blocksScanned=%d blocksPruned=%d bytesDecompressed=%d"+
+			" deltasRead=%d deltaRecords=%d compactions=%d",
 		s.TasksRun, s.RecordsOut, s.ShuffleRecords, s.ShuffleBytes, s.Broadcasts, s.TaskTime,
 		s.TaskRetries, s.SpeculativeLaunched, s.SpeculativeWins, s.CorruptRereads,
-		s.BlocksScanned, s.BlocksPruned, s.BytesDecompressed)
+		s.BlocksScanned, s.BlocksPruned, s.BytesDecompressed,
+		s.DeltasRead, s.DeltaRecords, s.Compactions)
 }

@@ -1,0 +1,94 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/storage"
+	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
+)
+
+// TestSelectPrunedMergesDeltas pins the selection stage's view of the
+// delta layer: SelectPruned over a store grown by appends returns exactly
+// what a brute-force scan of base+appended records returns, the delta
+// stats are populated, and a delta:read span lands in the trace.
+func TestSelectPrunedMergesDeltas(t *testing.T) {
+	tr := trace.New()
+	ctx := engine.New(engine.Config{Slots: 4, Tracer: tr})
+	dir := t.TempDir()
+	data := corpus(t, ctx, dir, 2000, 5)
+
+	rng := rand.New(rand.NewSource(6))
+	extra := make([]ev, 500)
+	for i := range extra {
+		extra[i] = ev{
+			P: geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			T: rng.Int63n(86400),
+			N: int64(10_000 + i),
+		}
+	}
+	if _, err := storage.AppendDelta(dir, evC, extra, evBox, storage.AppendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]ev{}, data...), extra...)
+
+	sel := New(ctx, evC, evBox, nil, Config{})
+	windows := []Window{
+		{Space: geom.Box(0, 0, 100, 100), Time: tempo.New(0, 86400)},
+		{Space: geom.Box(20, 20, 60, 45), Time: tempo.New(10_000, 50_000)},
+	}
+	for i, w := range windows {
+		rdd, st, err := sel.SelectPruned(dir, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(ids(rdd.Collect()), bruteSelect(all, []Window{w})) {
+			t.Fatalf("window %d: merged selection diverges from brute force", i)
+		}
+		if st.DeltasRead == 0 || st.DeltaRecords == 0 {
+			t.Fatalf("window %d: delta stats empty: %+v", i, st)
+		}
+		if st.DeltasRead+st.DeltasPruned != st.DeltaFiles {
+			t.Fatalf("window %d: read %d + pruned %d != files %d",
+				i, st.DeltasRead, st.DeltasPruned, st.DeltaFiles)
+		}
+		// LoadedRecords sizing must account the live view (base + deltas),
+		// never less than what was actually returned.
+		if st.LoadedRecords < st.SelectedRecords {
+			t.Fatalf("window %d: loaded %d < selected %d", i, st.LoadedRecords, st.SelectedRecords)
+		}
+	}
+	found := false
+	for _, s := range tr.Snapshot() {
+		if s.Name == trace.SpanDeltaRead {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no delta:read span recorded")
+	}
+	if m := ctx.Metrics.Snapshot(); m.DeltasRead == 0 || m.DeltaRecords == 0 {
+		t.Fatalf("engine delta counters empty: %+v", m)
+	}
+
+	// After compaction the same selections still agree and read no deltas.
+	if _, err := storage.Compact(dir, evC, evBox, storage.CompactOptions{MinDeltas: 1, GCGrace: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range windows {
+		rdd, st, err := sel.SelectPruned(dir, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(ids(rdd.Collect()), bruteSelect(all, []Window{w})) {
+			t.Fatalf("window %d: post-compaction selection diverges", i)
+		}
+		if st.DeltaFiles != 0 {
+			t.Fatalf("window %d: %d delta files survive compaction", i, st.DeltaFiles)
+		}
+	}
+}

@@ -1,11 +1,8 @@
 package selection
 
 import (
-	"sort"
-
 	"st4ml/internal/codec"
 	"st4ml/internal/engine"
-	"st4ml/internal/geom"
 	"st4ml/internal/index"
 	"st4ml/internal/partition"
 	"st4ml/internal/storage"
@@ -45,48 +42,14 @@ func (o IngestOptions) writeOptions() storage.WriteOptions {
 	}
 }
 
-// clusterPartitions sorts each partition's records along a 3-d Z-order
-// curve over that partition's own ST extent, so consecutive records — and
-// therefore the v2 block layout's record ranges — cover small, mostly
-// disjoint ST boxes. This is what makes the per-block footer bounds
-// selective: without it every block spans the whole partition and
-// intra-partition pruning never fires (the row-group sort-key idiom of
-// columnar stores, applied to the paper's §4.1 layout).
+// clusterPartitions Z-orders each partition's records so the v2 block
+// layout's record ranges cover small, mostly disjoint ST boxes. The sort
+// itself lives in storage.ZCluster, shared with the delta layer's appends
+// and compactions so all three write paths produce equivalently clustered
+// files.
 func clusterPartitions[T any](parts [][]T, boxOf func(T) index.Box) {
 	for _, part := range parts {
-		if len(part) < 2 {
-			continue
-		}
-		bounds := index.EmptyBox()
-		for _, rec := range part {
-			bounds = bounds.Union(boxOf(rec))
-		}
-		if bounds.IsEmpty() {
-			continue
-		}
-		space := bounds.Spatial()
-		window := bounds.Temporal()
-		// ~16 time bins per partition; spatial resolution 8 bits/dim.
-		binSec := (window.End - window.Start) / 16
-		if binSec < 1 {
-			binSec = 1
-		}
-		curve := index.NewZCurve3D(space, window, 8, binSec)
-		type keyed struct {
-			key uint64
-			idx int
-		}
-		order := make([]keyed, len(part))
-		for i, rec := range part {
-			c := boxOf(rec).Center()
-			order[i] = keyed{key: curve.Key(geom.Pt(c[0], c[1]), int64(c[2])), idx: i}
-		}
-		sort.SliceStable(order, func(i, j int) bool { return order[i].key < order[j].key })
-		sorted := make([]T, len(part))
-		for i, k := range order {
-			sorted[i] = part[k.idx]
-		}
-		copy(part, sorted)
+		storage.ZCluster(part, boxOf)
 	}
 }
 

@@ -69,6 +69,14 @@ type Stats struct {
 	BlocksScanned     int64
 	BlocksPruned      int64
 	DecompressedBytes int64
+	// Delta-layer accounting (merge-on-read): across the loaded partitions,
+	// how many delta files were unioned in, how many the manifest bounds let
+	// the reader skip, and the records the read deltas contributed. All zero
+	// on datasets without a delta layer.
+	DeltaFiles   int64
+	DeltasRead   int64
+	DeltasPruned int64
+	DeltaRecords int64
 }
 
 // Selector selects records of type T from an on-disk dataset.
@@ -156,8 +164,8 @@ func (s *Selector[T]) selectPartitions(
 		LoadedPartitions: len(ids),
 	}
 	for _, id := range ids {
-		stats.LoadedRecords += meta.Partitions[id].Count
-		stats.LoadedBytes += meta.Partitions[id].Bytes
+		stats.LoadedRecords += meta.PartitionCount(id)
+		stats.LoadedBytes += meta.PartitionBytes(id)
 	}
 	sp := s.ctx.StartSpan(trace.SpanSelect,
 		trace.Str("dataset", meta.Name),
@@ -184,6 +192,7 @@ func (s *Selector[T]) selectPartitions(
 	// retries/speculation (off by default) an attempt may be counted twice,
 	// same as the partition:read spans.
 	var blocksTotal, blocksScanned, blocksPruned, rawBytes atomic.Int64
+	var deltaFiles, deltasRead, deltasPruned, deltaRecords atomic.Int64
 	sctx := s.ctx.WithSpan(sp)
 	loaded := engine.Generate(sctx, "load:"+meta.Name, len(ids), func(p int) []T {
 		rsp := sctx.StartSpan(trace.SpanPartitionRead, trace.Int("partition", int64(ids[p])))
@@ -197,9 +206,24 @@ func (s *Selector[T]) selectPartitions(
 		blocksPruned.Add(int64(rst.BlocksPruned))
 		rawBytes.Add(rst.RawBytes)
 		sctx.Metrics.AddBlockRead(int64(rst.BlocksScanned), int64(rst.BlocksPruned), rst.RawBytes)
+		if rst.DeltaFiles > 0 {
+			// Merge-on-read happened: record it as its own span so Explain
+			// can attribute the unioned files and records.
+			deltaFiles.Add(int64(rst.DeltaFiles))
+			deltasRead.Add(int64(rst.DeltasRead))
+			deltasPruned.Add(int64(rst.DeltasPruned))
+			deltaRecords.Add(rst.DeltaRecords)
+			sctx.Metrics.AddDeltaRead(int64(rst.DeltasRead), rst.DeltaRecords)
+			dsp := sctx.StartSpan(trace.SpanDeltaRead,
+				trace.Int("partition", int64(ids[p])),
+				trace.Int("files", int64(rst.DeltasRead)),
+				trace.Int("pruned", int64(rst.DeltasPruned)),
+				trace.Int("records", rst.DeltaRecords))
+			dsp.End()
+		}
 		out := s.filterPartition(sctx, recs, windows)
 		rsp.End(trace.Int("records", int64(len(recs))),
-			trace.Int("bytes", meta.Partitions[ids[p]].Bytes),
+			trace.Int("bytes", meta.PartitionBytes(ids[p])),
 			trace.Int("blocks", int64(rst.Blocks)),
 			trace.Int("blocks_scanned", int64(rst.BlocksScanned)),
 			trace.Int("blocks_pruned", int64(rst.BlocksPruned)),
@@ -217,6 +241,10 @@ func (s *Selector[T]) selectPartitions(
 	stats.BlocksScanned = blocksScanned.Load()
 	stats.BlocksPruned = blocksPruned.Load()
 	stats.DecompressedBytes = rawBytes.Load()
+	stats.DeltaFiles = deltaFiles.Load()
+	stats.DeltasRead = deltasRead.Load()
+	stats.DeltasPruned = deltasPruned.Load()
+	stats.DeltaRecords = deltaRecords.Load()
 
 	// Stage 2: ST partitioning for load balance (skipped without planner).
 	if s.cfg.Planner != nil {

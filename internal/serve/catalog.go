@@ -97,20 +97,30 @@ type Dataset struct {
 	mu    sync.RWMutex
 	meta  *storage.Metadata
 	mtime time.Time
+	mgen  int64
 	gen   int64
 }
 
 // Meta returns the pinned metadata handle and its generation, reloading
-// from disk when metadata.json's mtime has changed since the pin (a
-// re-ingest under the daemon). The generation increments on every reload.
+// from disk when the on-disk dataset has changed since the pin. Two probes
+// back the revalidation: metadata.json's mtime (a full re-ingest replaces
+// the file) and the delta manifest's generation (appends and compactions
+// rewrite partitions in place and never touch metadata.json — and an
+// mtime-only probe would also miss a rewrite landing within one timestamp
+// granule). The catalog generation increments on every reload, which is
+// what invalidates cached partitions and results for this dataset.
 func (d *Dataset) Meta() (*storage.Metadata, int64, error) {
 	path := filepath.Join(d.Dir, storage.MetadataFile)
 	st, err := os.Stat(path)
 	if err != nil {
 		return nil, 0, fmt.Errorf("serve: dataset %s: %w", d.Name, err)
 	}
+	mgen, err := storage.ManifestGeneration(d.Dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: dataset %s: %w", d.Name, err)
+	}
 	d.mu.RLock()
-	if d.meta != nil && st.ModTime().Equal(d.mtime) {
+	if d.meta != nil && st.ModTime().Equal(d.mtime) && mgen == d.mgen {
 		meta, gen := d.meta, d.gen
 		d.mu.RUnlock()
 		return meta, gen, nil
@@ -120,7 +130,7 @@ func (d *Dataset) Meta() (*storage.Metadata, int64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// Another query may have refreshed while we waited for the write lock.
-	if d.meta != nil && st.ModTime().Equal(d.mtime) {
+	if d.meta != nil && st.ModTime().Equal(d.mtime) && mgen == d.mgen {
 		return d.meta, d.gen, nil
 	}
 	meta, err := storage.ReadMetadata(d.Dir)
@@ -129,6 +139,7 @@ func (d *Dataset) Meta() (*storage.Metadata, int64, error) {
 	}
 	d.meta = meta
 	d.mtime = st.ModTime()
+	d.mgen = meta.Generation
 	d.gen++
 	return d.meta, d.gen, nil
 }

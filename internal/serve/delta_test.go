@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+)
+
+// allNYC is a window covering the whole synthetic corpus, so selected
+// counts track the dataset's total record count.
+func allNYC() QueryRequest {
+	return QueryRequest{
+		Dataset: "nyc",
+		MinX:    -180, MinY: -90, MaxX: 180, MaxY: 90,
+		TStart: 0, TEnd: 1 << 40,
+	}
+}
+
+// TestCatalogDetectsInPlaceRewrite is the regression for the revalidation
+// bug: delta appends and compactions rewrite the dataset in place without
+// ever touching metadata.json, so an mtime-only probe would keep serving
+// the stale pinned view. The catalog must revalidate on the manifest
+// generation and reload.
+func TestCatalogDetectsInPlaceRewrite(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	dir := ingestNYC(t, ctx, 2000)
+	cat := NewCatalog()
+	d, err := cat.Register("nyc", "nyc", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, gen0, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := meta.TotalCount
+
+	// Out-of-band append: metadata.json untouched, manifest committed.
+	extra := datagen.NYC(333, 7)
+	if _, err := storage.AppendDelta(dir, stdata.EventRecC, extra, stdata.EventRec.Box,
+		storage.AppendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	meta, gen1, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen1 == gen0 {
+		t.Fatal("catalog generation did not move after an in-place append")
+	}
+	if meta.TotalCount != base+333 {
+		t.Fatalf("pinned view has %d records, want %d", meta.TotalCount, base+333)
+	}
+
+	// Out-of-band compaction: also in place, also must be detected.
+	if _, err := storage.Compact(dir, stdata.EventRecC, stdata.EventRec.Box,
+		storage.CompactOptions{MinDeltas: 1, GCGrace: 0}); err != nil {
+		t.Fatal(err)
+	}
+	meta, gen2, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 == gen1 {
+		t.Fatal("catalog generation did not move after an in-place compaction")
+	}
+	if meta.TotalCount != base+333 || meta.DeltaCount() != 0 {
+		t.Fatalf("post-compaction view: %d records, %d deltas", meta.TotalCount, meta.DeltaCount())
+	}
+	// Stable when nothing changes.
+	if _, gen3, err := d.Meta(); err != nil || gen3 != gen2 {
+		t.Fatalf("generation moved without a change: %d -> %d (err %v)", gen2, gen3, err)
+	}
+}
+
+// TestServedAcrossConcurrentCompaction proves the daemon serves correct
+// results while appends and a compaction rewrite the dataset underneath
+// it, without a restart: concurrent full-extent queries must never see a
+// torn state — observed counts only grow (appends) and never regress
+// (compaction preserves the record set) — and the final count equals the
+// full corpus.
+func TestServedAcrossConcurrentCompaction(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := ingestNYC(t, ctx, 3000)
+	srv := NewServer(Config{Ctx: ctx, CacheBytes: 64 << 20, MaxInFlight: 8, MaxQueue: 256})
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := allNYC()
+	if res, code := postQuery(t, ts.URL, req); code != 200 || res.Stats.SelectedRecords != 3000 {
+		t.Fatalf("warmup: code=%d res=%+v", code, res)
+	}
+
+	var stopFlag atomic.Bool
+	var mu sync.Mutex
+	var counts []int64
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopFlag.Load() {
+				res, code := postQuery(t, ts.URL, req)
+				if code != 200 {
+					t.Errorf("query failed with status %d", code)
+					return
+				}
+				mu.Lock()
+				counts = append(counts, res.Stats.SelectedRecords)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Writer: stream appends, then compact, while the queriers hammer.
+	extra := datagen.NYC(1000, 9)
+	for b := 0; b < 5; b++ {
+		lo, hi := b*200, (b+1)*200
+		if _, err := storage.AppendDelta(dir, stdata.EventRecC, extra[lo:hi],
+			stdata.EventRec.Box, storage.AppendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Long GC grace keeps pre-compaction files for queries still holding
+	// the previous generation's view.
+	if _, err := storage.Compact(dir, stdata.EventRecC, stdata.EventRec.Box,
+		storage.CompactOptions{MinDeltas: 1, GCGrace: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	stopFlag.Store(true)
+	wg.Wait()
+
+	// No torn states: counts only ever grow, in batch-of-200 steps.
+	last := int64(0)
+	for i, c := range counts {
+		if c < last {
+			t.Fatalf("observed count regressed at %d: %d -> %d", i, last, c)
+		}
+		if (c-3000)%200 != 0 {
+			t.Fatalf("observed count %d is not base + whole batches", c)
+		}
+		last = c
+	}
+	// And the settled daemon serves the full corpus with zero live deltas.
+	res, code := postQuery(t, ts.URL, req)
+	if code != 200 || res.Stats.SelectedRecords != 4000 {
+		t.Fatalf("final: code=%d selected=%d want 4000", code, res.Stats.SelectedRecords)
+	}
+	info := srv.Catalog().List()[0]
+	if info.Records != 4000 {
+		t.Fatalf("catalog reports %d records", info.Records)
+	}
+}
+
+// TestServedDeltaExplain checks the observability thread: an explained
+// query over a dataset with live deltas reports the delta reads in both
+// the explain output and the engine counters.
+func TestServedDeltaExplain(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	dir := ingestNYC(t, ctx, 2000)
+	if _, err := storage.AppendDelta(dir, stdata.EventRecC, datagen.NYC(400, 11),
+		stdata.EventRec.Box, storage.AppendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Config{Ctx: ctx, CacheBytes: 32 << 20})
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := allNYC()
+	req.Explain = true
+	res, code := postQuery(t, ts.URL, req)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if res.Explain == nil {
+		t.Fatal("no explain attached")
+	}
+	if res.Explain.DeltaFilesRead == 0 || res.Explain.DeltaRecords == 0 {
+		t.Fatalf("explain reports no delta reads: %+v", res.Explain)
+	}
+	m := getMetrics(t, ts.URL)
+	if m.Engine.DeltasRead == 0 || m.Engine.DeltaRecords == 0 {
+		t.Fatalf("engine counters report no delta reads: %+v", m.Engine)
+	}
+}

@@ -222,6 +222,15 @@ func (s *Server) fetcher(d *Dataset, meta *storage.Metadata, gen int64, ectx *en
 				return nil, 0, err
 			}
 			ectx.Metrics.AddBlockRead(int64(rst.BlocksScanned), int64(rst.BlocksPruned), rst.RawBytes)
+			if rst.DeltaFiles > 0 {
+				ectx.Metrics.AddDeltaRead(int64(rst.DeltasRead), rst.DeltaRecords)
+				dsp := ectx.StartSpan(trace.SpanDeltaRead,
+					trace.Int("partition", int64(id)),
+					trace.Int("files", int64(rst.DeltasRead)),
+					trace.Int("pruned", int64(rst.DeltasPruned)),
+					trace.Int("records", rst.DeltaRecords))
+				dsp.End()
+			}
 			lsp.End(trace.Int("records", int64(p.Len())), trace.Int("bytes", p.SizeBytes()),
 				trace.Int("blocks", int64(rst.Blocks)),
 				trace.Int("blocks_scanned", int64(rst.BlocksScanned)),
@@ -248,8 +257,9 @@ func resultBytes(res stdata.QueryResult) int64 {
 }
 
 // noteGeneration eagerly drops a dataset's cached partitions and results
-// when its metadata generation moves (a re-ingest was detected); without
-// this, stale entries would linger in the budget until LRU aged them out.
+// when its catalog generation moves (a re-ingest, delta append, or
+// compaction was detected); without this, stale entries would linger in
+// the budget until LRU aged them out.
 func (s *Server) noteGeneration(name string, gen int64) {
 	s.genMu.Lock()
 	last := s.lastGen[name]

@@ -87,6 +87,14 @@ type Schema interface {
 		opts selection.IngestOptions) (*storage.Metadata, error)
 	// ReadCSV parses records in the schema's CSV layout.
 	ReadCSV(r io.Reader) (any, error)
+	// Append adds recs — a []T of the schema's record type — to the live
+	// dataset at dir through the storage delta layer (no base rewrite);
+	// batchID, when non-empty, makes retries exactly-once. It returns the
+	// dataset generation after the append.
+	Append(recs any, dir, batchID string) (int64, error)
+	// Compact runs one compaction pass over the dataset at dir, folding
+	// delta files back into rewritten base partitions.
+	Compact(dir string, opts storage.CompactOptions) (storage.CompactStats, error)
 	// LoadPartition reads and decodes partition id of the dataset at dir,
 	// returning a pinned handle with an R-tree over its records plus the
 	// storage layer's block-granularity read accounting.
@@ -157,6 +165,24 @@ func (s schema[T]) Ingest(
 		s.spec.Codec, s.spec.BoxOf, planner, opts)
 }
 
+func (s schema[T]) Append(recs any, dir, batchID string) (int64, error) {
+	typed, ok := recs.([]T)
+	if !ok {
+		return 0, fmt.Errorf("stdata: schema %s: append of %T, want []%T",
+			s.spec.Name, recs, *new(T))
+	}
+	mf, err := storage.AppendDelta(dir, s.spec.Codec, typed, s.spec.BoxOf,
+		storage.AppendOptions{BatchID: batchID})
+	if err != nil {
+		return 0, err
+	}
+	return mf.Generation, nil
+}
+
+func (s schema[T]) Compact(dir string, opts storage.CompactOptions) (storage.CompactStats, error) {
+	return storage.Compact(dir, s.spec.Codec, s.spec.BoxOf, opts)
+}
+
 func (s schema[T]) ReadCSV(r io.Reader) (any, error) {
 	if s.spec.CSV == nil {
 		return nil, fmt.Errorf("stdata: schema %s has no CSV reader", s.spec.Name)
@@ -215,7 +241,7 @@ func (s schema[T]) LoadPartition(dir string, meta *storage.Metadata, id int) (Pa
 	return &partData[T]{
 		recs:  recs,
 		tree:  index.BulkLoadSTR(items, 16),
-		bytes: meta.Partitions[id].Bytes + int64(len(recs))*pinOverheadBytes,
+		bytes: meta.PartitionBytes(id) + int64(len(recs))*pinOverheadBytes,
 	}, rst, nil
 }
 
@@ -236,8 +262,8 @@ func (s schema[T]) ServeQuery(
 		LoadedPartitions: len(ids),
 	}
 	for _, id := range ids {
-		stats.LoadedRecords += meta.Partitions[id].Count
-		stats.LoadedBytes += meta.Partitions[id].Bytes
+		stats.LoadedRecords += meta.PartitionCount(id)
+		stats.LoadedBytes += meta.PartitionBytes(id)
 	}
 	sp := ctx.StartSpan(trace.SpanSelect,
 		trace.Str("dataset", meta.Name),

@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/index"
+	"st4ml/internal/trace"
+)
+
+// CompactOptions tunes one compaction pass.
+type CompactOptions struct {
+	// MinDeltas is the size-tier trigger: only partitions carrying at least
+	// this many delta files are rewritten (0 means 1 — any delta compacts).
+	MinDeltas int
+	// MinDeltaBytes additionally requires the partition's delta files to
+	// total at least this many bytes (0 means no byte threshold).
+	MinDeltaBytes int64
+	// Tracer, when non-nil, records one trace.SpanCompact span per
+	// rewritten partition.
+	Tracer *trace.Tracer
+	// GCGrace bounds garbage collection of obsolete files (superseded base
+	// generations, folded-in deltas, orphans from crashed appends): only
+	// files unreferenced by the committed manifest AND older than this are
+	// removed, so readers holding the previous view keep their files.
+	// Negative skips GC entirely.
+	GCGrace time.Duration
+}
+
+// CompactStats reports what a compaction pass did.
+type CompactStats struct {
+	// PartitionsCompacted is how many base partitions were rewritten.
+	PartitionsCompacted int `json:"partitions_compacted"`
+	// DeltasMerged is how many delta files were folded into rewrites.
+	DeltasMerged int `json:"deltas_merged"`
+	// RecordsRewritten is the total record count of the rewritten files.
+	RecordsRewritten int64 `json:"records_rewritten"`
+	// BytesRewritten is the on-disk size of the files written.
+	BytesRewritten int64 `json:"bytes_rewritten"`
+	// FilesRemoved counts obsolete files the GC deleted.
+	FilesRemoved int `json:"files_removed"`
+	// Generation is the manifest generation after the pass (unchanged when
+	// nothing compacted).
+	Generation int64 `json:"generation"`
+}
+
+// Compact is the background compactor's one pass over the dataset at dir:
+// every partition whose attached deltas meet the size-tier thresholds is
+// rewritten — base + deltas read through the ordinary merge-on-read path,
+// Z-order re-clustered, written as a fresh generation-suffixed v2 file —
+// and the whole pass commits with a single atomic manifest swap that bumps
+// the dataset generation. Readers are never blocked: the old base and
+// delta files stay on disk until the grace-bounded GC collects them, so a
+// reader holding the pre-compaction manifest keeps a complete, consistent
+// view (MVCC with files). Queries before and after the swap return
+// identical records; only the file layout changes.
+func Compact[T any](
+	dir string, c codec.Codec[T], boxOf func(T) index.Box, opts CompactOptions,
+) (CompactStats, error) {
+	unlock := lockDir(dir)
+	defer unlock()
+
+	meta, err := ReadMetadata(dir)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	mf, err := ReadManifest(dir)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	st := CompactStats{Generation: mf.Generation}
+
+	minDeltas := opts.MinDeltas
+	if minDeltas <= 0 {
+		minDeltas = 1
+	}
+	var targets []int
+	for i := 0; i < meta.NumPartitions(); i++ {
+		ds := meta.Deltas(i)
+		if len(ds) < minDeltas {
+			continue
+		}
+		var bytes int64
+		for _, d := range ds {
+			bytes += d.Bytes
+		}
+		if bytes < opts.MinDeltaBytes {
+			continue
+		}
+		targets = append(targets, i)
+	}
+	if len(targets) == 0 {
+		if opts.GCGrace >= 0 {
+			st.FilesRemoved, err = collectGarbage(dir, meta, mf, opts.GCGrace)
+		}
+		return st, err
+	}
+
+	gen := mf.Generation + 1
+	blockRecords := meta.BlockRecords
+	if blockRecords <= 0 {
+		blockRecords = DefaultBlockRecords
+	}
+	if mf.Rewrites == nil {
+		mf.Rewrites = map[int]PartitionMeta{}
+	}
+	for _, pi := range targets {
+		sp := opts.Tracer.StartSpan(0, trace.SpanCompact,
+			trace.Int("partition", int64(pi)),
+			trace.Int("deltas", int64(len(meta.Deltas(pi)))))
+		recs, _, err := ReadPartitionPruned(dir, meta, pi, c, nil)
+		if err != nil {
+			sp.End(trace.Str("error", err.Error()))
+			return st, fmt.Errorf("storage: compact partition %d: %w", pi, err)
+		}
+		ZCluster(recs, boxOf)
+		pm, err := writePartitionV2File(dir, compactedFileName(pi, gen), c, recs, boxOf,
+			meta.Compressed, blockRecords, true)
+		if err != nil {
+			sp.End(trace.Str("error", err.Error()))
+			return st, fmt.Errorf("storage: compact partition %d: %w", pi, err)
+		}
+		pm.Format = FormatVersion
+		mf.Rewrites[pi] = pm
+		st.PartitionsCompacted++
+		st.DeltasMerged += len(meta.Deltas(pi))
+		st.RecordsRewritten += pm.Count
+		st.BytesRewritten += pm.Bytes
+		sp.End(trace.Int("records", pm.Count), trace.Int("bytes", pm.Bytes))
+	}
+	// Drop the folded-in deltas from the manifest.
+	compacted := map[int]bool{}
+	for _, pi := range targets {
+		compacted[pi] = true
+	}
+	live := mf.Deltas[:0]
+	for _, d := range mf.Deltas {
+		if !compacted[d.Partition] {
+			live = append(live, d)
+		}
+	}
+	mf.Deltas = live
+	crash("compact:base-written")
+	mf.Generation = gen
+	if err := writeManifest(dir, mf); err != nil {
+		return st, err
+	}
+	st.Generation = gen
+	crash("compact:swapped")
+
+	if opts.GCGrace >= 0 {
+		// Rebuild the post-swap view for the referenced-file set.
+		view, err := ReadMetadata(dir)
+		if err != nil {
+			return st, err
+		}
+		st.FilesRemoved, err = collectGarbage(dir, view, mf, opts.GCGrace)
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// collectGarbage removes partition/delta files that the committed view no
+// longer references and that are older than grace. The grace window is
+// what keeps concurrently executing readers safe: they resolved their file
+// set from a manifest committed strictly less than `grace` ago.
+func collectGarbage(dir string, view *Metadata, mf *Manifest, grace time.Duration) (int, error) {
+	referenced := map[string]bool{}
+	for i, p := range view.Partitions {
+		referenced[p.File] = true
+		for _, d := range view.Deltas(i) {
+			referenced[d.File] = true
+		}
+	}
+	// Files named by the raw metadata.json stay referenced even when a
+	// rewrite supersedes them in the merged view: metadata.json is never
+	// rewritten by the delta layer, so GC deleting its files would leave a
+	// dangling index if manifest.json were ever lost. Only superseded
+	// rewrite generations, folded-in deltas, and crash orphans are eligible.
+	if raw, err := readRawMetadata(dir); err == nil {
+		for _, p := range raw.Partitions {
+			referenced[p.File] = true
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("storage: gc: %w", err)
+	}
+	removed := 0
+	now := time.Now()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || referenced[name] || !strings.HasSuffix(name, ".stp") {
+			continue
+		}
+		if !strings.HasPrefix(name, "part-") && !strings.HasPrefix(name, "delta-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if now.Sub(info.ModTime()) < grace {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// readRawMetadata loads metadata.json without the manifest merge.
+func readRawMetadata(dir string) (*Metadata, error) {
+	b, err := os.ReadFile(filepath.Join(dir, MetadataFile))
+	if err != nil {
+		return nil, err
+	}
+	var meta Metadata
+	if err := json.Unmarshal(b, &meta); err != nil {
+		return nil, err
+	}
+	return &meta, nil
+}
+
+// Compactor runs Compact on a fixed cadence until stopped — the background
+// half of the LSM discipline, owned by whichever process owns ingest (the
+// stingest daemon, or a test driving time by hand via RunOnce).
+type Compactor[T any] struct {
+	Dir   string
+	Codec codec.Codec[T]
+	BoxOf func(T) index.Box
+	Opts  CompactOptions
+	// OnPass, when non-nil, observes every pass (stats + error) — the hook
+	// metrics and logs attach to.
+	OnPass func(CompactStats, error)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// RunOnce executes a single compaction pass.
+func (cp *Compactor[T]) RunOnce() (CompactStats, error) {
+	st, err := Compact(cp.Dir, cp.Codec, cp.BoxOf, cp.Opts)
+	if cp.OnPass != nil {
+		cp.OnPass(st, err)
+	}
+	return st, err
+}
+
+// Start launches the background loop at the given interval.
+func (cp *Compactor[T]) Start(interval time.Duration) {
+	cp.stop = make(chan struct{})
+	cp.done = make(chan struct{})
+	go func() {
+		defer close(cp.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-cp.stop:
+				return
+			case <-t.C:
+				cp.RunOnce() //nolint:errcheck // surfaced via OnPass
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for an in-flight pass.
+func (cp *Compactor[T]) Stop() {
+	if cp.stop == nil {
+		return
+	}
+	close(cp.stop)
+	<-cp.done
+	cp.stop = nil
+}

@@ -1,0 +1,309 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/index"
+)
+
+// The delta layer turns the rebuild-the-world store into a continuously
+// ingesting one (see DESIGN.md "Delta layer & compaction"). New records are
+// not merged into the base partition files; they land in small immutable
+// delta files (the v2 block layout, Z-order clustered, CRC-framed) routed
+// to the base partition whose extent they enlarge least, and a manifest
+// file — swapped atomically via tmp+rename — records which delta files are
+// live. Readers union base + manifest-listed deltas (merge-on-read);
+// a background compactor folds deltas back into rewritten base files and
+// swaps the manifest again. The manifest rename is the single commit point
+// of both operations:
+//
+//   - a delta file (or compacted base file) that exists on disk but is not
+//     referenced by the manifest is invisible — a crash between file write
+//     and manifest swap loses nothing the ingester had been acked for and
+//     duplicates nothing a reader can see;
+//   - appends carry an optional batch id recorded in the manifest, so an
+//     ingester that crashes after the swap but before acking its source can
+//     replay the batch and have it recognized as already committed —
+//     exactly-once, the same commit-or-retry discipline as the engine's
+//     task protocol.
+//
+// Writers (append, compact) of one dataset directory serialize on an
+// in-process lock; running multiple writer processes against one directory
+// is not supported (readers are always safe).
+
+// ManifestFile is the name of the delta manifest within a dataset
+// directory. Absence means the dataset has no delta layer (generation 0).
+const ManifestFile = "manifest.json"
+
+// DeltaMeta describes one live delta file: which base partition it extends
+// plus the usual partition accounting (file, count, bytes, ST bounds).
+type DeltaMeta struct {
+	// Partition is the base partition this delta extends.
+	Partition int `json:"partition"`
+	// Seq is the delta's unique, monotonically increasing sequence number.
+	Seq int64 `json:"seq"`
+	PartitionMeta
+}
+
+// Manifest is the delta layer's commit record: the dataset generation,
+// compaction rewrites, and the set of live delta files. It is always
+// written to a temp file and renamed into place, so readers see either the
+// old or the new version, never a torn one.
+type Manifest struct {
+	// Generation increments on every committed append or compaction. The
+	// serving catalog revalidates on it (mtime alone misses in-place
+	// rewrites within one timestamp granule).
+	Generation int64 `json:"generation"`
+	// NextSeq is the next unused delta sequence number.
+	NextSeq int64 `json:"next_seq"`
+	// Rewrites maps partition id → the compacted base file that replaces
+	// the metadata.json entry for that partition.
+	Rewrites map[int]PartitionMeta `json:"rewrites,omitempty"`
+	// Deltas lists the live delta files in append order.
+	Deltas []DeltaMeta `json:"deltas,omitempty"`
+	// AppliedBatches holds the most recent ingest batch ids (bounded at
+	// maxAppliedBatches); an AppendDelta carrying one of them is a retry of
+	// a committed batch and becomes a no-op.
+	AppliedBatches []string `json:"applied_batches,omitempty"`
+}
+
+// maxAppliedBatches bounds the manifest's batch-id memory. An ingester
+// replays at most the batches since its last ack, which is far fewer.
+const maxAppliedBatches = 256
+
+// applied reports whether batch id is recorded as committed.
+func (mf *Manifest) applied(id string) bool {
+	for _, b := range mf.AppliedBatches {
+		if b == id {
+			return true
+		}
+	}
+	return false
+}
+
+// noteBatch records a committed batch id, aging out the oldest.
+func (mf *Manifest) noteBatch(id string) {
+	if id == "" {
+		return
+	}
+	mf.AppliedBatches = append(mf.AppliedBatches, id)
+	if len(mf.AppliedBatches) > maxAppliedBatches {
+		mf.AppliedBatches = append(mf.AppliedBatches[:0],
+			mf.AppliedBatches[len(mf.AppliedBatches)-maxAppliedBatches:]...)
+	}
+}
+
+// ReadManifest loads the dataset's delta manifest. A missing file is not
+// an error: it returns an empty manifest at generation 0.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if os.IsNotExist(err) {
+		return &Manifest{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	var mf Manifest
+	if err := json.Unmarshal(b, &mf); err != nil {
+		return nil, fmt.Errorf("storage: parse manifest: %w", err)
+	}
+	return &mf, nil
+}
+
+// ManifestGeneration returns the dataset's current manifest generation
+// (0 when it has no manifest) — the cheap revalidation probe the serving
+// catalog polls.
+func ManifestGeneration(dir string) (int64, error) {
+	mf, err := ReadManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	return mf.Generation, nil
+}
+
+// writeManifest commits mf: marshal to a temp file, fsync, rename over
+// ManifestFile. The rename is the commit point of the delta layer.
+func writeManifest(dir string, mf *Manifest) error {
+	b, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: marshal manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, ManifestFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: close manifest: %w", err)
+	}
+	crash("manifest:tmp")
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestFile)); err != nil {
+		return fmt.Errorf("storage: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// crashHook, when non-nil, is invoked at every labeled injection point of
+// the append/compact protocols. The chaos suite sets it to panic mid-
+// operation and then proves no committed record was lost or duplicated.
+// Production leaves it nil.
+var crashHook func(point string)
+
+func crash(point string) {
+	if crashHook != nil {
+		crashHook(point)
+	}
+}
+
+// dirLocks serializes writers (append, compact) per dataset directory
+// within this process.
+var dirLocks sync.Map // string → *sync.Mutex
+
+func lockDir(dir string) func() {
+	mu, _ := dirLocks.LoadOrStore(filepath.Clean(dir), &sync.Mutex{})
+	m := mu.(*sync.Mutex)
+	m.Lock()
+	return m.Unlock
+}
+
+// AppendOptions tunes one delta append.
+type AppendOptions struct {
+	// BatchID, when non-empty, identifies the ingest batch for exactly-once
+	// retry: appending a batch whose id the manifest already records is a
+	// no-op returning the current manifest.
+	BatchID string
+}
+
+// deltaFileName names partition pi's delta with sequence seq.
+func deltaFileName(pi int, seq int64) string {
+	return fmt.Sprintf("delta-%05d-%08d.stp", pi, seq)
+}
+
+// compactedFileName names partition pi's base rewrite at generation gen.
+// Generation-suffixed names (never rename-over) are what let a reader
+// holding the previous manifest keep reading the previous base file while
+// a compaction commits — MVCC with files.
+func compactedFileName(pi int, gen int64) string {
+	return fmt.Sprintf("part-%05d-g%06d.stp", pi, gen)
+}
+
+// AppendDelta appends recs to the live dataset at dir without rewriting
+// any base file: records are routed to the base partition whose ST extent
+// they enlarge least, Z-order clustered, written as per-partition delta
+// files in the v2 block layout (compressed iff the base is), and committed
+// by an atomic manifest swap that bumps the dataset generation. Readers
+// that load metadata after the swap see the new records; readers that
+// loaded before keep a consistent pre-append view. Concurrent appends and
+// compactions of one directory serialize in-process; see the package
+// comment on delta.go for the crash-safety argument.
+func AppendDelta[T any](
+	dir string, c codec.Codec[T], recs []T, boxOf func(T) index.Box, opts AppendOptions,
+) (*Manifest, error) {
+	unlock := lockDir(dir)
+	defer unlock()
+
+	meta, err := ReadMetadata(dir)
+	if err != nil {
+		return nil, err
+	}
+	if meta.NumPartitions() == 0 {
+		return nil, fmt.Errorf("storage: append to %s: dataset has no partitions", dir)
+	}
+	mf, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.BatchID != "" && mf.applied(opts.BatchID) {
+		return mf, nil // committed by a previous attempt
+	}
+	if len(recs) == 0 {
+		return mf, nil
+	}
+
+	blockRecords := meta.BlockRecords
+	if blockRecords <= 0 {
+		blockRecords = DefaultBlockRecords
+	}
+	groups := routeToPartitions(meta, recs, boxOf)
+	for pi, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		ZCluster(group, boxOf)
+		seq := mf.NextSeq
+		mf.NextSeq++
+		name := deltaFileName(pi, seq)
+		pm, err := writePartitionV2File(dir, name, c, group, boxOf,
+			meta.Compressed, blockRecords, true)
+		if err != nil {
+			return nil, err
+		}
+		pm.Format = FormatVersion
+		mf.Deltas = append(mf.Deltas, DeltaMeta{Partition: pi, Seq: seq, PartitionMeta: pm})
+	}
+	crash("append:delta-written")
+	mf.Generation++
+	mf.noteBatch(opts.BatchID)
+	if err := writeManifest(dir, mf); err != nil {
+		return nil, err
+	}
+	return mf, nil
+}
+
+// routeToPartitions assigns each record to a base partition: the one whose
+// live extent (base ∪ attached deltas) grows least, in coordinates
+// normalized by the dataset's own extent so degrees and seconds weigh
+// comparably. Pure locality heuristic — pruning correctness rests on the
+// delta files' recorded bounds, not on where records are routed.
+func routeToPartitions[T any](meta *Metadata, recs []T, boxOf func(T) index.Box) map[int][]T {
+	boxes := make([]index.Box, meta.NumPartitions())
+	all := index.EmptyBox()
+	for i, p := range meta.Partitions {
+		b := p.Box()
+		for _, d := range meta.Deltas(i) {
+			b = b.Union(d.Box())
+		}
+		boxes[i] = b
+		all = all.Union(b)
+	}
+	scale := [index.Dims]float64{}
+	for d := 0; d < index.Dims; d++ {
+		scale[d] = all.Max[d] - all.Min[d]
+		if scale[d] <= 0 {
+			scale[d] = 1
+		}
+	}
+	normVolume := func(b index.Box) float64 {
+		v := 1.0
+		for d := 0; d < index.Dims; d++ {
+			v *= (b.Max[d] - b.Min[d]) / scale[d]
+		}
+		return v
+	}
+	groups := map[int][]T{}
+	for _, rec := range recs {
+		rb := boxOf(rec)
+		best, bestCost := 0, 0.0
+		for i, pb := range boxes {
+			cost := normVolume(pb.Union(rb)) - normVolume(pb)
+			if i == 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		groups[best] = append(groups[best], rec)
+	}
+	return groups
+}

@@ -45,6 +45,22 @@ type PartitionMeta struct {
 	MaxY   float64 `json:"maxy"`
 	TStart int64   `json:"tstart"`
 	TEnd   int64   `json:"tend"`
+	// Format, when non-zero, overrides the dataset-level Version for this
+	// partition's file. Compaction writes it so a rewritten partition of a
+	// v1 dataset can use the v2 block layout without re-ingesting the other
+	// partitions; delta files always carry Format 2.
+	Format int `json:"format,omitempty"`
+}
+
+// setBounds records the union box as the partition's ST extent.
+func (p *PartitionMeta) setBounds(bounds index.Box) {
+	if bounds.IsEmpty() {
+		return
+	}
+	s := bounds.Spatial()
+	d := bounds.Temporal()
+	p.MinX, p.MinY, p.MaxX, p.MaxY = s.MinX, s.MinY, s.MaxX, s.MaxY
+	p.TStart, p.TEnd = d.Start, d.End
 }
 
 // Box returns the partition's ST extent as an index box.
@@ -74,18 +90,75 @@ type Metadata struct {
 	BlockRecords int             `json:"block_records,omitempty"`
 	TotalCount   int64           `json:"total_count"`
 	Partitions   []PartitionMeta `json:"partitions"`
+
+	// Generation is the manifest generation this in-memory view was merged
+	// at: 0 for a dataset with no delta layer, otherwise the monotonically
+	// increasing counter bumped by every committed append or compaction.
+	// It lives in manifest.json, never in metadata.json.
+	Generation int64 `json:"-"`
+	// deltas[i] lists partition i's live delta files, merged in from the
+	// manifest by ReadMetadata (nil when the dataset has none). Readers
+	// union them with the base partition — merge-on-read.
+	deltas [][]DeltaMeta
 }
 
 // NumPartitions returns the partition count.
 func (m *Metadata) NumPartitions() int { return len(m.Partitions) }
 
+// Deltas returns partition i's live delta files (nil when it has none).
+func (m *Metadata) Deltas(i int) []DeltaMeta {
+	if m.deltas == nil || i < 0 || i >= len(m.deltas) {
+		return nil
+	}
+	return m.deltas[i]
+}
+
+// DeltaCount returns the total number of live delta files across the view.
+func (m *Metadata) DeltaCount() int {
+	n := 0
+	for _, ds := range m.deltas {
+		n += len(ds)
+	}
+	return n
+}
+
+// PartitionCount returns partition i's live record count: the base file
+// plus every delta attached to it.
+func (m *Metadata) PartitionCount(i int) int64 {
+	n := m.Partitions[i].Count
+	for _, d := range m.Deltas(i) {
+		n += d.Count
+	}
+	return n
+}
+
+// PartitionBytes returns partition i's live on-disk size, deltas included.
+func (m *Metadata) PartitionBytes(i int) int64 {
+	n := m.Partitions[i].Bytes
+	for _, d := range m.Deltas(i) {
+		n += d.Bytes
+	}
+	return n
+}
+
 // Prune returns the ids of partitions whose ST bounds intersect the query
-// window — the shortlist step of Fig. 4.
+// window — the shortlist step of Fig. 4. A partition whose base extent
+// misses the window survives if any of its deltas overlap it: delta bounds
+// are part of the partition's live extent.
 func (m *Metadata) Prune(space geom.MBR, dur tempo.Duration) []int {
 	q := index.Box3(space, dur)
 	out := make([]int, 0, len(m.Partitions))
 	for i, p := range m.Partitions {
-		if p.Count > 0 && p.Box().Intersects(q) {
+		keep := p.Count > 0 && p.Box().Intersects(q)
+		if !keep {
+			for _, d := range m.Deltas(i) {
+				if d.Count > 0 && d.Box().Intersects(q) {
+					keep = true
+					break
+				}
+			}
+		}
+		if keep {
 			out = append(out, i)
 		}
 	}
@@ -217,12 +290,7 @@ func writePartition[T any](
 		return PartitionMeta{}, err
 	}
 	pm := PartitionMeta{File: name, Count: int64(len(part)), Bytes: st.Size()}
-	if !bounds.IsEmpty() {
-		s := bounds.Spatial()
-		d := bounds.Temporal()
-		pm.MinX, pm.MinY, pm.MaxX, pm.MaxY = s.MinX, s.MinY, s.MaxX, s.MaxY
-		pm.TStart, pm.TEnd = d.Start, d.End
-	}
+	pm.setBounds(bounds)
 	return pm, nil
 }
 
@@ -236,7 +304,18 @@ func writePartitionV2[T any](
 	dir string, i int, c codec.Codec[T], part []T,
 	boxOf func(T) index.Box, compress bool, blockRecords int,
 ) (PartitionMeta, error) {
-	name := partitionFileName(i)
+	return writePartitionV2File(dir, partitionFileName(i), c, part, boxOf, compress, blockRecords, false)
+}
+
+// writePartitionV2File is writePartitionV2 against an explicit file name —
+// the shared writer behind base partitions, delta files, and compaction
+// rewrites. sync forces the file to stable storage before returning; the
+// delta layer requires it, because the manifest swap that makes a file
+// visible must never commit a file the disk does not yet hold.
+func writePartitionV2File[T any](
+	dir, name string, c codec.Codec[T], part []T,
+	boxOf func(T) index.Box, compress bool, blockRecords int, sync bool,
+) (PartitionMeta, error) {
 	path := filepath.Join(dir, name)
 	f, err := os.Create(path)
 	if err != nil {
@@ -329,6 +408,11 @@ func writePartitionV2[T any](
 	if err := out.Flush(); err != nil {
 		return PartitionMeta{}, fmt.Errorf("storage: flush partition: %w", err)
 	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			return PartitionMeta{}, fmt.Errorf("storage: sync partition: %w", err)
+		}
+	}
 	if err := f.Close(); err != nil {
 		return PartitionMeta{}, fmt.Errorf("storage: close partition: %w", err)
 	}
@@ -337,12 +421,7 @@ func writePartitionV2[T any](
 		return PartitionMeta{}, err
 	}
 	pm := PartitionMeta{File: name, Count: int64(len(part)), Bytes: st.Size()}
-	if !bounds.IsEmpty() {
-		s := bounds.Spatial()
-		d := bounds.Temporal()
-		pm.MinX, pm.MinY, pm.MaxX, pm.MaxY = s.MinX, s.MinY, s.MaxX, s.MaxY
-		pm.TStart, pm.TEnd = d.Start, d.End
-	}
+	pm.setBounds(bounds)
 	return pm, nil
 }
 
@@ -358,7 +437,12 @@ func writeMetadata(dir string, meta *Metadata) error {
 	return os.Rename(tmp, filepath.Join(dir, MetadataFile))
 }
 
-// ReadMetadata loads a dataset's partition index.
+// ReadMetadata loads a dataset's partition index and merges the delta
+// manifest into it when one exists: compacted partitions are replaced by
+// their rewrites, live delta files attach to their partitions, and the
+// total count reflects base plus deltas. The returned view is what every
+// reader — selection, the serving catalog, the CLIs — sees, so the delta
+// layer is merge-on-read everywhere without callers opting in.
 func ReadMetadata(dir string) (*Metadata, error) {
 	b, err := os.ReadFile(filepath.Join(dir, MetadataFile))
 	if err != nil {
@@ -368,7 +452,42 @@ func ReadMetadata(dir string) (*Metadata, error) {
 	if err := json.Unmarshal(b, &meta); err != nil {
 		return nil, fmt.Errorf("storage: parse metadata: %w", err)
 	}
+	mf, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := meta.applyManifest(mf); err != nil {
+		return nil, err
+	}
 	return &meta, nil
+}
+
+// applyManifest merges a manifest into the base metadata view.
+func (m *Metadata) applyManifest(mf *Manifest) error {
+	if mf == nil || mf.Generation == 0 {
+		return nil
+	}
+	m.Generation = mf.Generation
+	for i, pm := range mf.Rewrites {
+		if i < 0 || i >= len(m.Partitions) {
+			return fmt.Errorf("storage: manifest rewrites partition %d of %d", i, len(m.Partitions))
+		}
+		m.TotalCount += pm.Count - m.Partitions[i].Count
+		m.Partitions[i] = pm
+	}
+	if len(mf.Deltas) == 0 {
+		return nil
+	}
+	m.deltas = make([][]DeltaMeta, len(m.Partitions))
+	for _, d := range mf.Deltas {
+		if d.Partition < 0 || d.Partition >= len(m.Partitions) {
+			return fmt.Errorf("storage: manifest delta for partition %d of %d",
+				d.Partition, len(m.Partitions))
+		}
+		m.deltas[d.Partition] = append(m.deltas[d.Partition], d)
+		m.TotalCount += d.Count
+	}
+	return nil
 }
 
 // maxPartitionReadAttempts bounds re-reads of a partition file whose
@@ -392,6 +511,23 @@ type ReadStats struct {
 	BytesRead int64
 	// RawBytes is the decompressed payload bytes decoded.
 	RawBytes int64
+	// Delta-layer accounting: how many delta files the manifest attaches to
+	// the partition, how many were read versus skipped entirely because
+	// their manifest bounds miss every window, and the records they
+	// contributed. Zero on datasets without a delta layer.
+	DeltaFiles   int
+	DeltasRead   int
+	DeltasPruned int
+	DeltaRecords int64
+}
+
+// add folds another read's accounting into s (base + delta segments).
+func (s *ReadStats) add(o ReadStats) {
+	s.Blocks += o.Blocks
+	s.BlocksScanned += o.BlocksScanned
+	s.BlocksPruned += o.BlocksPruned
+	s.BytesRead += o.BytesRead
+	s.RawBytes += o.RawBytes
 }
 
 // ReadPartition decodes one partition file in full. Framed datasets verify
@@ -403,13 +539,17 @@ func ReadPartition[T any](dir string, meta *Metadata, i int, c codec.Codec[T]) (
 	return out, err
 }
 
-// ReadPartitionPruned decodes one partition file, skipping blocks whose
-// footer bounds intersect none of the windows — the intra-partition
-// analogue of Metadata.Prune. A nil windows slice means read everything
-// (and cross-check the record count against the partition metadata, which
-// a pruned read cannot do). On v1 files the windows are ignored and the
-// whole partition is returned; callers re-filter records either way, so
-// pruning is purely an I/O and CPU saving, never a correctness dependency.
+// ReadPartitionPruned decodes one partition, skipping blocks whose footer
+// bounds intersect none of the windows — the intra-partition analogue of
+// Metadata.Prune. The result is the live merge-on-read view: the base
+// partition file followed by every delta file the manifest attaches to the
+// partition, in manifest (append) order; delta files whose manifest bounds
+// miss every window are skipped without being opened. A nil windows slice
+// means read everything (and cross-check each segment's record count
+// against its metadata, which a pruned read cannot do). On v1 base files
+// the windows are ignored and the whole base is returned; callers
+// re-filter records either way, so pruning is purely an I/O and CPU
+// saving, never a correctness dependency.
 func ReadPartitionPruned[T any](
 	dir string, meta *Metadata, i int, c codec.Codec[T], windows []index.Box,
 ) ([]T, ReadStats, error) {
@@ -418,16 +558,58 @@ func ReadPartitionPruned[T any](
 			"storage: partition %d out of range [0,%d)", i, len(meta.Partitions))
 	}
 	pm := meta.Partitions[i]
+	version := meta.Version
+	if pm.Format != 0 {
+		version = pm.Format
+	}
+	out, st, err := readWithRetry(pm.File, func() ([]T, ReadStats, error) {
+		if version >= 2 {
+			return readPartitionV2Once[T](dir, meta.Compressed, pm, c, windows)
+		}
+		return readPartitionOnce[T](dir, meta, pm, c)
+	})
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	deltas := meta.Deltas(i)
+	st.DeltaFiles = len(deltas)
+	for _, dm := range deltas {
+		if windows != nil && !boxIntersectsAny(dm.Box(), windows) {
+			st.DeltasPruned++
+			continue
+		}
+		dpm := dm.PartitionMeta
+		drecs, dst, err := readWithRetry(dpm.File, func() ([]T, ReadStats, error) {
+			return readPartitionV2Once[T](dir, meta.Compressed, dpm, c, windows)
+		})
+		if err != nil {
+			return nil, ReadStats{}, err
+		}
+		st.DeltasRead++
+		st.DeltaRecords += int64(len(drecs))
+		st.add(dst)
+		out = append(out, drecs...)
+	}
+	return out, st, nil
+}
+
+// boxIntersectsAny reports whether b intersects at least one window.
+func boxIntersectsAny(b index.Box, windows []index.Box) bool {
+	for _, w := range windows {
+		if b.Intersects(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// readWithRetry re-runs read a bounded number of times while it fails with
+// a checksum mismatch (see maxPartitionReadAttempts); other errors return
+// immediately.
+func readWithRetry[T any](file string, read func() ([]T, ReadStats, error)) ([]T, ReadStats, error) {
 	var lastErr error
 	for attempt := 0; attempt < maxPartitionReadAttempts; attempt++ {
-		var out []T
-		var st ReadStats
-		var err error
-		if meta.Version >= 2 {
-			out, st, err = readPartitionV2Once[T](dir, meta, pm, c, windows)
-		} else {
-			out, st, err = readPartitionOnce[T](dir, meta, pm, c)
-		}
+		out, st, err := read()
 		if err == nil {
 			return out, st, nil
 		}
@@ -438,7 +620,7 @@ func ReadPartitionPruned[T any](
 		}
 	}
 	return nil, ReadStats{}, fmt.Errorf("storage: partition %s corrupt after %d reads: %w",
-		pm.File, maxPartitionReadAttempts, lastErr)
+		file, maxPartitionReadAttempts, lastErr)
 }
 
 func readPartitionOnce[T any](
@@ -549,7 +731,7 @@ func readFooter(path string) (*os.File, []BlockMeta, int64, int64, error) {
 }
 
 func readPartitionV2Once[T any](
-	dir string, meta *Metadata, pm PartitionMeta, c codec.Codec[T], windows []index.Box,
+	dir string, compressed bool, pm PartitionMeta, c codec.Codec[T], windows []index.Box,
 ) ([]T, ReadStats, error) {
 	f, blocks, footerOff, size, err := readFooter(filepath.Join(dir, pm.File))
 	if err != nil {
@@ -588,7 +770,7 @@ func readPartitionV2Once[T any](
 	out := make([]T, 0, expect)
 	done := make(chan struct{})
 	defer close(done)
-	for blk := range prefetchBlocks(f, scan, meta.Compressed, done) {
+	for blk := range prefetchBlocks(f, scan, compressed, done) {
 		if blk.err != nil {
 			return nil, ReadStats{}, fmt.Errorf("storage: partition %s: %w", pm.File, blk.err)
 		}
@@ -615,7 +797,8 @@ func readPartitionV2Once[T any](
 // MergeMetadata combines the partition lists of several dataset metadata
 // files that share one directory-of-directories layout — the paper's
 // periodic-reindex-and-merge workflow for continuously generated data.
-// Partition file names are rewritten as dir-prefixed relative paths.
+// Partition file names are rewritten as dir-prefixed relative paths; delta
+// attachments follow their partitions.
 func MergeMetadata(parts map[string]*Metadata) *Metadata {
 	out := &Metadata{Name: "merged"}
 	for dir, m := range parts {
@@ -624,10 +807,28 @@ func MergeMetadata(parts map[string]*Metadata) *Metadata {
 		out.Version = m.Version
 		out.BlockRecords = m.BlockRecords
 		out.TotalCount += m.TotalCount
-		for _, p := range m.Partitions {
+		for i, p := range m.Partitions {
 			p.File = filepath.Join(dir, p.File)
+			ds := m.Deltas(i)
+			if len(ds) > 0 {
+				if out.deltas == nil {
+					out.deltas = make([][]DeltaMeta, len(out.Partitions))
+				}
+				rebased := make([]DeltaMeta, len(ds))
+				for j, d := range ds {
+					d.Partition = len(out.Partitions)
+					d.File = filepath.Join(dir, d.File)
+					rebased[j] = d
+				}
+				out.deltas = append(out.deltas, rebased)
+			} else if out.deltas != nil {
+				out.deltas = append(out.deltas, nil)
+			}
 			out.Partitions = append(out.Partitions, p)
 		}
+	}
+	if out.deltas != nil && len(out.deltas) < len(out.Partitions) {
+		out.deltas = append(out.deltas, make([][]DeltaMeta, len(out.Partitions)-len(out.deltas))...)
 	}
 	return out
 }

@@ -32,6 +32,12 @@ const (
 	// SpanRTreeBuild is one R-tree bulk load (selection filter index,
 	// pinned partition index, or conversion structure index).
 	SpanRTreeBuild = "rtree:build"
+	// SpanDeltaRead marks a partition read that unioned delta files into
+	// the base (merge-on-read): attrs carry how many delta files were read
+	// versus pruned by manifest bounds and the records they contributed.
+	SpanDeltaRead = "delta:read"
+	// SpanCompact is one partition rewrite by the background compactor.
+	SpanCompact = "compact:partition"
 )
 
 // StageExplain is the per-stage line of an explain report.
@@ -64,6 +70,15 @@ type Explain struct {
 	BlocksScanned     int64 `json:"blocks_scanned"`
 	BlocksPruned      int64 `json:"blocks_pruned"`
 	BytesDecompressed int64 `json:"bytes_decompressed"`
+
+	// Delta-layer accounting: delta files unioned into partition reads
+	// (merge-on-read), delta files skipped via manifest bounds, the records
+	// they contributed, and compactor partition rewrites that ran under
+	// this trace. All zero on datasets without a delta layer.
+	DeltaFilesRead   int64 `json:"delta_files_read"`
+	DeltaFilesPruned int64 `json:"delta_files_pruned"`
+	DeltaRecords     int64 `json:"delta_records"`
+	Compactions      int64 `json:"compactions"`
 
 	ShuffleRecords int64 `json:"shuffle_records"`
 	ShuffleBytes   int64 `json:"shuffle_bytes"`
@@ -144,6 +159,18 @@ func Build(spans []SpanRecord) *Explain {
 			e.AdmissionWaitMS += float64(s.Duration.Microseconds()) / 1000
 		case s.Name == SpanRTreeBuild:
 			e.RTreeBuilds++
+		case s.Name == SpanDeltaRead:
+			if v, ok := s.Int("files"); ok {
+				e.DeltaFilesRead += v
+			}
+			if v, ok := s.Int("pruned"); ok {
+				e.DeltaFilesPruned += v
+			}
+			if v, ok := s.Int("records"); ok {
+				e.DeltaRecords += v
+			}
+		case s.Name == SpanCompact:
+			e.Compactions++
 		}
 		if s.Parent == 0 {
 			if ms := float64(s.Duration.Microseconds()) / 1000; ms > e.WallMS {
@@ -206,6 +233,10 @@ func (e *Explain) Fprint(w io.Writer) {
 		e.ReadPartitions, e.PrunedPartitions, e.TotalPartitions, e.PartitionBytes)
 	fmt.Fprintf(w, "blocks: %d scanned, %d pruned; %d bytes decompressed\n",
 		e.BlocksScanned, e.BlocksPruned, e.BytesDecompressed)
+	if e.DeltaFilesRead > 0 || e.DeltaFilesPruned > 0 || e.Compactions > 0 {
+		fmt.Fprintf(w, "deltas: %d files read, %d pruned; %d records; %d compactions\n",
+			e.DeltaFilesRead, e.DeltaFilesPruned, e.DeltaRecords, e.Compactions)
+	}
 	fmt.Fprintf(w, "records: %d loaded, %d selected\n", e.RecordsLoaded, e.RecordsSelected)
 	fmt.Fprintf(w, "shuffle: %d records, %d bytes\n", e.ShuffleRecords, e.ShuffleBytes)
 	fmt.Fprintf(w, "tasks: %d run, %d retried, %d speculative; %d r-tree builds\n",
