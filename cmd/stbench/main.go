@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig5|blocks|compact|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|all")
+		exp       = flag.String("exp", "all", "experiment: fig5|blocks|encode|compact|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|all")
 		events    = flag.Int("events", 200_000, "NYC-like event count")
 		trajs     = flag.Int("trajs", 20_000, "Porto-like trajectory count")
 		pois      = flag.Int("pois", 100_000, "OSM-like POI count")
@@ -129,8 +129,9 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 			bench.Table9Table(bench.Table9(ctx, city, 2, 400)).Fprint(os.Stdout)
 		}
 	}
-	needEnv := all || want["fig5"] || want["blocks"] || want["compact"] || want["fig6"] ||
-		want["table5"] || want["table6"] || want["fig7"] || want["ablation"] || want["fig7sweep"]
+	needEnv := all || want["fig5"] || want["blocks"] || want["encode"] || want["compact"] ||
+		want["fig6"] || want["table5"] || want["table6"] || want["fig7"] || want["ablation"] ||
+		want["fig7sweep"]
 	if !needEnv && !want["serve"] {
 		return nil
 	}
@@ -190,6 +191,25 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 			if err := emit("blocks", r); err != nil {
 				return err
 			}
+		}
+	}
+	// The storage-format-v3 headline: all three generations at their
+	// defaults under the same window workload, with the v2-gzip/v3 ratios
+	// summarized for the smallest range fraction.
+	if all || want["encode"] {
+		rows, sum, err := bench.EncodeBench(env, workdir, []float64{0.01, 0.05, 0.1, 0.4}, windows)
+		if err != nil {
+			return err
+		}
+		bench.EncodeTable(rows).Fprint(os.Stdout)
+		bench.EncodeSummaryTable(sum).Fprint(os.Stdout)
+		for _, r := range rows {
+			if err := emit("encode", r); err != nil {
+				return err
+			}
+		}
+		if err := emit("encode_summary", sum); err != nil {
+			return err
 		}
 	}
 	// The delta-layer experiment: the same corpus queried as one-shot

@@ -9,6 +9,11 @@
 //	stload -dataset porto -n 50000 -out /data/porto -compress
 //	stload -dataset nyc -input events.csv -out /data/mine
 //	stload -dataset nyc -input more.csv -out /data/mine -append
+//	stload -dataset nyc -n 500000 -out /data/nyc2 -format v2 -compress
+//
+// -format selects the on-disk partition layout: v3 (default) lays blocks
+// out as delta-compressed column streams, v2 is the row-major gzip-able
+// block layout, v1 the legacy monolithic file.
 //
 // -input ingests external CSV data in the standard schemas (see package
 // stdata): events as `id,lon,lat,time[,aux]`, trajectories as
@@ -44,9 +49,10 @@ func main() {
 		gt        = flag.Int("gt", 16, "T-STR temporal granularity")
 		gs        = flag.Int("gs", 8, "T-STR spatial granularity")
 		seed      = flag.Int64("seed", 1, "generator seed")
-		compress  = flag.Bool("compress", false, "gzip partition data (per block on the v2 layout)")
-		blockRecs = flag.Int("block-records", 0, "records per v2 storage block (0 = default; smaller blocks prune harder on narrow queries)")
-		v1        = flag.Bool("v1", false, "write the legacy v1 monolithic partition layout (no block index)")
+		compress  = flag.Bool("compress", false, "gzip partition data (per block on the v2 layout; ignored by v3)")
+		blockRecs = flag.Int("block-records", 0, "records per storage block (0 = format default; smaller blocks prune harder on narrow queries)")
+		v1        = flag.Bool("v1", false, "write the legacy v1 monolithic partition layout (shorthand for -format=v1)")
+		formatF   = flag.String("format", "", "storage format: v1|v2|v3 (default: current, v3 columnar)")
 		noCluster = flag.Bool("no-cluster", false, "skip the in-partition Z-order sort (blocks keep arrival order; pruning degrades)")
 		slots     = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the ingest to this file")
@@ -74,6 +80,18 @@ func main() {
 	}
 	if *v1 {
 		opts.Version = 1
+	}
+	switch *formatF {
+	case "":
+	case "v1":
+		opts.Version = 1
+	case "v2":
+		opts.Version = 2
+	case "v3":
+		opts.Version = 3
+	default:
+		fmt.Fprintf(os.Stderr, "stload: unknown -format %q (want v1, v2 or v3)\n", *formatF)
+		os.Exit(2)
 	}
 	var (
 		recs any

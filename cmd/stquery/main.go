@@ -62,6 +62,10 @@ func main() {
 		stats.LoadedRecords, stats.SelectedRecords, stats.LoadedBytes)
 	fmt.Printf("blocks: %d/%d scanned (%d pruned); %d bytes decompressed\n",
 		stats.BlocksScanned, stats.BlocksTotal, stats.BlocksPruned, stats.DecompressedBytes)
+	if stats.RecordsPruned > 0 {
+		fmt.Printf("records pruned columnar: %d (v3 predicate, skipped before materialization)\n",
+			stats.RecordsPruned)
+	}
 	if *metrics {
 		// Same counters the server's /metrics and stbench report, so every
 		// entry point speaks one metrics dialect.

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/partition"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+)
+
+// The encode experiment is the storage-format-v3 headline: the same event
+// corpus stored under all three on-disk generations at their shipping
+// defaults — v1 monolithic gzip, v2 row-major gzip blocks, v3 columnar
+// streams — queried with identical window sets. v3 should decompress a
+// small fraction of v2's bytes on narrow ranges (delta varint columns
+// decode only what survives; no gzip anywhere) and finish several times
+// faster, while every format selects exactly the same records.
+
+// EncodeRow is one (format, range-fraction) measurement.
+type EncodeRow struct {
+	Format            string  `json:"format"` // "v1" | "v2" | "v3"
+	Frac              float64 `json:"frac"`
+	WallMs            float64 `json:"wall_ms"`
+	Selected          int64   `json:"selected"`
+	LoadedBytes       int64   `json:"loaded_bytes"`
+	DecompressedBytes int64   `json:"decompressed_bytes"`
+	BlocksScanned     int64   `json:"blocks_scanned"`
+	BlocksPruned      int64   `json:"blocks_pruned"`
+	RecordsPruned     int64   `json:"records_pruned"`
+	DiskBytes         int64   `json:"disk_bytes"`
+}
+
+// EncodeSummary condenses the acceptance criteria: ratios of v2-gzip over
+// v3 on the smallest range fraction, and whether selected counts agreed
+// across every format at every fraction.
+type EncodeSummary struct {
+	SmallFrac       float64 `json:"small_frac"`
+	V2OverV3Bytes   float64 `json:"v2_over_v3_decompressed"`
+	V2OverV3Wall    float64 `json:"v2_over_v3_wall"`
+	V1DiskBytes     int64   `json:"v1_disk_bytes"`
+	V2DiskBytes     int64   `json:"v2_disk_bytes"`
+	V3DiskBytes     int64   `json:"v3_disk_bytes"`
+	SelectedAgree   bool    `json:"selected_agree"`
+	RecordsPrunedV3 int64   `json:"v3_records_pruned"`
+	QueriesPerFrac  int     `json:"queries_per_frac"`
+	FormatsCompared int     `json:"formats_compared"`
+}
+
+// EncodeBench ingests env.Events three times under workdir — once per
+// format generation, each at its defaults (v1/v2 gzip; v3 columnar,
+// uncompressed by design) — and sweeps the readbench-style window
+// workload over all three.
+func EncodeBench(env *Env, workdir string, fracs []float64, queriesPerFrac int) ([]EncodeRow, EncodeSummary, error) {
+	type store struct {
+		format string
+		dir    string
+		opts   selection.IngestOptions
+	}
+	stores := []store{
+		{"v1", filepath.Join(workdir, "encode-v1"), selection.IngestOptions{
+			Name: "nyc", Compress: true, SampleFrac: 0.05, Seed: 1, Version: 1}},
+		{"v2", filepath.Join(workdir, "encode-v2"), selection.IngestOptions{
+			Name: "nyc", Compress: true, SampleFrac: 0.05, Seed: 1, Version: 2}},
+		{"v3", filepath.Join(workdir, "encode-v3"), selection.IngestOptions{
+			Name: "nyc", SampleFrac: 0.05, Seed: 1, Version: 3}},
+	}
+	disk := map[string]int64{}
+	for _, s := range stores {
+		r := engine.Parallelize(env.Ctx, env.Events, 0)
+		meta, err := selection.Ingest(r, s.dir, stdata.EventRecC, stdata.EventRec.Box,
+			partition.TSTR{GT: 12, GS: 8}, s.opts)
+		if err != nil {
+			return nil, EncodeSummary{}, err
+		}
+		for _, p := range meta.Partitions {
+			disk[s.format] += p.Bytes
+		}
+	}
+	sel := selection.New(env.Ctx, stdata.EventRecC, stdata.EventRec.Box, nil,
+		selection.Config{Index: true})
+	var rows []EncodeRow
+	sum := EncodeSummary{
+		SmallFrac:       fracs[0],
+		SelectedAgree:   true,
+		QueriesPerFrac:  queriesPerFrac,
+		FormatsCompared: len(stores),
+		V1DiskBytes:     disk["v1"],
+		V2DiskBytes:     disk["v2"],
+		V3DiskBytes:     disk["v3"],
+	}
+	for _, frac := range fracs {
+		if frac < sum.SmallFrac {
+			sum.SmallFrac = frac
+		}
+	}
+	for _, frac := range fracs {
+		windows := RandomWindows(datagen.NYCExtent, datagen.Year2013, frac,
+			queriesPerFrac, int64(frac*1000)+29)
+		var fracRows []EncodeRow
+		for _, s := range stores {
+			row := EncodeRow{Format: s.format, Frac: frac, DiskBytes: disk[s.format]}
+			for _, w := range windows {
+				t0 := time.Now()
+				_, st, err := sel.SelectPruned(s.dir, w)
+				if err != nil {
+					return nil, EncodeSummary{}, err
+				}
+				row.WallMs += float64(time.Since(t0).Microseconds()) / 1000
+				row.Selected += st.SelectedRecords
+				row.LoadedBytes += st.LoadedBytes
+				row.DecompressedBytes += st.DecompressedBytes
+				row.BlocksScanned += st.BlocksScanned
+				row.BlocksPruned += st.BlocksPruned
+				row.RecordsPruned += st.RecordsPruned
+			}
+			fracRows = append(fracRows, row)
+		}
+		for _, r := range fracRows[1:] {
+			if r.Selected != fracRows[0].Selected {
+				sum.SelectedAgree = false
+			}
+		}
+		if frac == sum.SmallFrac {
+			var v2, v3 *EncodeRow
+			for i := range fracRows {
+				switch fracRows[i].Format {
+				case "v2":
+					v2 = &fracRows[i]
+				case "v3":
+					v3 = &fracRows[i]
+				}
+			}
+			if v2 != nil && v3 != nil {
+				sum.V2OverV3Bytes = ratio(float64(v2.DecompressedBytes), float64(v3.DecompressedBytes))
+				sum.V2OverV3Wall = ratio(v2.WallMs, v3.WallMs)
+				sum.RecordsPrunedV3 = v3.RecordsPruned
+			}
+		}
+		rows = append(rows, fracRows...)
+	}
+	return rows, sum, nil
+}
+
+// EncodeTable formats the rows.
+func EncodeTable(rows []EncodeRow) *Table {
+	t := NewTable("Encode: storage v1/v2 (gzip rows) vs v3 (columnar) selection",
+		"format", "range", "wall_ms", "selected",
+		"mb_loaded", "mb_decompressed", "blk_scan", "blk_prune", "rec_prune", "mb_disk")
+	for _, r := range rows {
+		t.Add(r.Format, r.Frac, r.WallMs, r.Selected,
+			float64(r.LoadedBytes)/(1<<20), float64(r.DecompressedBytes)/(1<<20),
+			r.BlocksScanned, r.BlocksPruned, r.RecordsPruned,
+			float64(r.DiskBytes)/(1<<20))
+	}
+	return t
+}
+
+// EncodeSummaryTable formats the acceptance summary.
+func EncodeSummaryTable(s EncodeSummary) *Table {
+	t := NewTable(
+		fmt.Sprintf("Encode summary (small range %.2f): v2-gzip / v3 ratios", s.SmallFrac),
+		"metric", "value")
+	t.Add("decompressed bytes ratio", s.V2OverV3Bytes)
+	t.Add("wall-clock ratio", s.V2OverV3Wall)
+	t.Add("selected counts agree", fmt.Sprint(s.SelectedAgree))
+	t.Add("v3 records pruned", s.RecordsPrunedV3)
+	t.Add("disk MB v1/v2/v3", fmt.Sprintf("%.1f / %.1f / %.1f",
+		float64(s.V1DiskBytes)/(1<<20), float64(s.V2DiskBytes)/(1<<20), float64(s.V3DiskBytes)/(1<<20)))
+	return t
+}

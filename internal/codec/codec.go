@@ -88,6 +88,14 @@ type Reader struct {
 // NewReader returns a Reader over b.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
 
+// ResetBytes repoints the reader at b, rewound to the start. Hot decode
+// loops (one payload span per record) reuse a single Reader this way
+// instead of allocating one per record.
+func (r *Reader) ResetBytes(b []byte) {
+	r.b = b
+	r.off = 0
+}
+
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.b) - r.off }
 
@@ -168,6 +176,11 @@ func (r *Reader) Bytes() []byte {
 type Codec[T any] struct {
 	Enc func(w *Writer, v T)
 	Dec func(r *Reader) T
+	// Col, when non-nil, is the record type's columnar decomposition: it
+	// lets the storage layer lay blocks out struct-of-arrays (format v3)
+	// instead of row-wise. Codecs without one still work everywhere — v3
+	// files then fall back to a generic row-payload layout.
+	Col *Columnar[T]
 }
 
 // Marshal encodes v into a fresh byte slice.

@@ -32,13 +32,20 @@ var (
 // epoch-anchored start used by all generators).
 var Year2013 = tempo.New(1356998400, 1388534399) // 2013-01-01 .. 2013-12-31 UTC
 
+// gpsQuantize snaps a coordinate to the 1e-6° grid (~0.11 m) — the
+// precision real GPS feeds carry. Generated point corpora quantize so their
+// coordinate columns compress the way real traces do (storage v3 detects
+// the grid and delta-encodes quantized steps instead of raw float bits).
+func gpsQuantize(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
 // hotspot mixture: a point drawn near one of k centers with the given
-// spread (in degrees), clamped to the extent.
+// spread (in degrees), clamped to the extent and snapped to the GPS grid.
+// The extents above all sit on the grid, so clamped points stay on it.
 func hotspotPoint(rng *rand.Rand, centers []geom.Point, spread float64, extent geom.MBR) geom.Point {
 	c := centers[rng.Intn(len(centers))]
 	p := geom.Pt(c.X+rng.NormFloat64()*spread, c.Y+rng.NormFloat64()*spread)
-	p.X = math.Max(extent.MinX, math.Min(extent.MaxX, p.X))
-	p.Y = math.Max(extent.MinY, math.Min(extent.MaxY, p.Y))
+	p.X = gpsQuantize(math.Max(extent.MinX, math.Min(extent.MaxX, p.X)))
+	p.Y = gpsQuantize(math.Max(extent.MinY, math.Min(extent.MaxY, p.Y)))
 	return p
 }
 

@@ -30,6 +30,7 @@ type Metrics struct {
 	blocksScanned     atomic.Int64
 	blocksPruned      atomic.Int64
 	bytesDecompressed atomic.Int64
+	recordsPruned     atomic.Int64
 
 	// Delta-layer accounting: delta files unioned into partition reads
 	// (merge-on-read), the records they contributed, and compactor partition
@@ -50,6 +51,12 @@ func (m *Metrics) AddBlockRead(scanned, pruned, rawBytes int64) {
 	m.blocksScanned.Add(scanned)
 	m.blocksPruned.Add(pruned)
 	m.bytesDecompressed.Add(rawBytes)
+}
+
+// AddRecordsPruned accounts records the v3 columnar predicate dropped on
+// decoded columns before materialization.
+func (m *Metrics) AddRecordsPruned(n int64) {
+	m.recordsPruned.Add(n)
 }
 
 // AddDeltaRead accounts one merge-on-read partition read: how many delta
@@ -105,6 +112,9 @@ type Snapshot struct {
 	BlocksScanned     int64
 	BlocksPruned      int64
 	BytesDecompressed int64
+	// RecordsPruned counts records the v3 columnar predicate dropped on
+	// decoded lon/lat/t columns before materialization.
+	RecordsPruned int64
 	// DeltasRead counts delta files unioned into partition reads and
 	// DeltaRecords the records they contributed; Compactions counts
 	// compactor partition rewrites.
@@ -139,6 +149,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		BlocksScanned:       m.blocksScanned.Load(),
 		BlocksPruned:        m.blocksPruned.Load(),
 		BytesDecompressed:   m.bytesDecompressed.Load(),
+		RecordsPruned:       m.recordsPruned.Load(),
 		DeltasRead:          m.deltasRead.Load(),
 		DeltaRecords:        m.deltaRecords.Load(),
 		Compactions:         m.compactions.Load(),
@@ -163,6 +174,7 @@ func (m *Metrics) Reset() {
 	m.blocksScanned.Store(0)
 	m.blocksPruned.Store(0)
 	m.bytesDecompressed.Store(0)
+	m.recordsPruned.Store(0)
 	m.deltasRead.Store(0)
 	m.deltaRecords.Store(0)
 	m.compactions.Store(0)
@@ -188,10 +200,10 @@ func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"tasks=%d records=%d shuffleRecords=%d shuffleBytes=%d broadcasts=%d taskTime=%s"+
 			" retries=%d speculated=%d specWins=%d corruptRereads=%d"+
-			" blocksScanned=%d blocksPruned=%d bytesDecompressed=%d"+
+			" blocksScanned=%d blocksPruned=%d bytesDecompressed=%d recordsPruned=%d"+
 			" deltasRead=%d deltaRecords=%d compactions=%d",
 		s.TasksRun, s.RecordsOut, s.ShuffleRecords, s.ShuffleBytes, s.Broadcasts, s.TaskTime,
 		s.TaskRetries, s.SpeculativeLaunched, s.SpeculativeWins, s.CorruptRereads,
-		s.BlocksScanned, s.BlocksPruned, s.BytesDecompressed,
+		s.BlocksScanned, s.BlocksPruned, s.BytesDecompressed, s.RecordsPruned,
 		s.DeltasRead, s.DeltaRecords, s.Compactions)
 }

@@ -92,6 +92,19 @@ func metaLayouts() []metaLayout {
 			o.Version = 1
 			o.Compress = true
 		}),
+		// Explicit format pins: the row-major v2 layout and the columnar v3
+		// layout at single-record block granularity. (Unpinned layouts above
+		// already run v3 — the default — through evC's Columnar schema, so
+		// the per-record predicate is active across the whole suite.)
+		plannerLayout("tstr4x4-v2gz", partition.TSTR{GT: 4, GS: 4}, func(o *IngestOptions) {
+			o.Version = 2
+			o.Compress = true
+			o.BlockRecords = 32
+		}),
+		plannerLayout("str2d9-v3b1", partition.STR2D{N: 9}, func(o *IngestOptions) {
+			o.Version = 3
+			o.BlockRecords = 1
+		}),
 		{name: "hash6", ingest: func(t *testing.T, ctx *engine.Context, dir string, data []ev, seed int64) {
 			t.Helper()
 			r := engine.HashPartitionBy(engine.Parallelize(ctx, data, 8), evC, 6)
@@ -151,11 +164,12 @@ func metamorphicWindows(rng *rand.Rand, data []ev, kind int) []Window {
 	}
 }
 
-// TestMetamorphicPrunedEqualsFull is the suite entry point: 4 layouts x 2
-// index modes x 8 seeded window sets = 64 combos, each asserting the
-// byte-for-byte multiset identity SelectPruned(w) == Select(w), plus the
-// structural invariants pruning promises (never loads more than the full
-// scan; empty window sets load nothing).
+// TestMetamorphicPrunedEqualsFull is the suite entry point: 10 layouts
+// (spanning v1, v2, and v3 columnar formats) x 2 index modes x 8 seeded
+// window sets = 160 combos, each asserting the byte-for-byte multiset
+// identity SelectPruned(w) == Select(w), plus the structural invariants
+// pruning promises (never loads more than the full scan; empty window
+// sets load nothing).
 func TestMetamorphicPrunedEqualsFull(t *testing.T) {
 	ctx := engine.New(engine.Config{Slots: 4})
 	combos := 0
@@ -223,8 +237,8 @@ func TestMetamorphicPrunedEqualsFull(t *testing.T) {
 			}
 		}
 	}
-	if combos < 50 {
-		t.Fatalf("metamorphic suite ran %d combos, want >= 50", combos)
+	if combos < 128 {
+		t.Fatalf("metamorphic suite ran %d combos, want >= 128", combos)
 	}
 	t.Logf("metamorphic suite: %d combos", combos)
 }

@@ -69,6 +69,10 @@ type Stats struct {
 	BlocksScanned     int64
 	BlocksPruned      int64
 	DecompressedBytes int64
+	// RecordsPruned counts records the v3 columnar predicate dropped on
+	// decoded lon/lat/t columns before materialization — pruning one level
+	// finer than blocks. Zero on v1/v2 datasets.
+	RecordsPruned int64
 	// Delta-layer accounting (merge-on-read): across the loaded partitions,
 	// how many delta files were unioned in, how many the manifest bounds let
 	// the reader skip, and the records the read deltas contributed. All zero
@@ -191,7 +195,7 @@ func (s *Selector[T]) selectPartitions(
 	// Block counters accumulate across concurrent load tasks; under
 	// retries/speculation (off by default) an attempt may be counted twice,
 	// same as the partition:read spans.
-	var blocksTotal, blocksScanned, blocksPruned, rawBytes atomic.Int64
+	var blocksTotal, blocksScanned, blocksPruned, rawBytes, recordsPruned atomic.Int64
 	var deltaFiles, deltasRead, deltasPruned, deltaRecords atomic.Int64
 	sctx := s.ctx.WithSpan(sp)
 	loaded := engine.Generate(sctx, "load:"+meta.Name, len(ids), func(p int) []T {
@@ -205,7 +209,11 @@ func (s *Selector[T]) selectPartitions(
 		blocksScanned.Add(int64(rst.BlocksScanned))
 		blocksPruned.Add(int64(rst.BlocksPruned))
 		rawBytes.Add(rst.RawBytes)
+		recordsPruned.Add(rst.RecordsPruned)
 		sctx.Metrics.AddBlockRead(int64(rst.BlocksScanned), int64(rst.BlocksPruned), rst.RawBytes)
+		if rst.RecordsPruned > 0 {
+			sctx.Metrics.AddRecordsPruned(rst.RecordsPruned)
+		}
 		if rst.DeltaFiles > 0 {
 			// Merge-on-read happened: record it as its own span so Explain
 			// can attribute the unioned files and records.
@@ -228,6 +236,7 @@ func (s *Selector[T]) selectPartitions(
 			trace.Int("blocks_scanned", int64(rst.BlocksScanned)),
 			trace.Int("blocks_pruned", int64(rst.BlocksPruned)),
 			trace.Int("raw_bytes", rst.RawBytes),
+			trace.Int("records_pruned", rst.RecordsPruned),
 			trace.Int("selected", int64(len(out))))
 		return out
 	})
@@ -241,6 +250,7 @@ func (s *Selector[T]) selectPartitions(
 	stats.BlocksScanned = blocksScanned.Load()
 	stats.BlocksPruned = blocksPruned.Load()
 	stats.DecompressedBytes = rawBytes.Load()
+	stats.RecordsPruned = recordsPruned.Load()
 	stats.DeltaFiles = deltaFiles.Load()
 	stats.DeltasRead = deltasRead.Load()
 	stats.DeltasPruned = deltasPruned.Load()

@@ -28,6 +28,18 @@ var evC = codec.Codec[ev]{
 	Dec: func(r *codec.Reader) ev {
 		return ev{P: codec.PointC.Dec(r), T: r.Varint(), N: r.Varint()}
 	},
+	Col: &codec.Columnar[ev]{
+		Point: true,
+		Split: func(v ev, b *codec.ColBlock) {
+			b.IDs = append(b.IDs, v.N)
+			b.Lon = append(b.Lon, v.P.X)
+			b.Lat = append(b.Lat, v.P.Y)
+			b.T = append(b.T, v.T)
+		},
+		Join: func(b *codec.ColBlock, i int, pay *codec.Reader) ev {
+			return ev{P: geom.Pt(b.Lon[i], b.Lat[i]), T: b.T[i], N: b.IDs[i]}
+		},
+	},
 }
 
 func evBox(v ev) index.Box { return index.BoxOfPoint(v.P, v.T) }

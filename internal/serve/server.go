@@ -222,6 +222,9 @@ func (s *Server) fetcher(d *Dataset, meta *storage.Metadata, gen int64, ectx *en
 				return nil, 0, err
 			}
 			ectx.Metrics.AddBlockRead(int64(rst.BlocksScanned), int64(rst.BlocksPruned), rst.RawBytes)
+			if rst.RecordsPruned > 0 {
+				ectx.Metrics.AddRecordsPruned(rst.RecordsPruned)
+			}
 			if rst.DeltaFiles > 0 {
 				ectx.Metrics.AddDeltaRead(int64(rst.DeltasRead), rst.DeltaRecords)
 				dsp := ectx.StartSpan(trace.SpanDeltaRead,
@@ -235,7 +238,8 @@ func (s *Server) fetcher(d *Dataset, meta *storage.Metadata, gen int64, ectx *en
 				trace.Int("blocks", int64(rst.Blocks)),
 				trace.Int("blocks_scanned", int64(rst.BlocksScanned)),
 				trace.Int("blocks_pruned", int64(rst.BlocksPruned)),
-				trace.Int("raw_bytes", rst.RawBytes))
+				trace.Int("raw_bytes", rst.RawBytes),
+				trace.Int("records_pruned", rst.RecordsPruned))
 			return p, p.SizeBytes(), nil
 		})
 		if err != nil {

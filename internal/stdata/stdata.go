@@ -32,7 +32,10 @@ func (e EventRec) ToEvent() instance.Event[geom.Point, string, int64] {
 	return instance.NewEvent(e.Loc, tempo.Instant(e.Time), e.Aux, e.ID)
 }
 
-// EventRecC is the binary codec for EventRec.
+// EventRecC is the binary codec for EventRec. Its columnar schema maps
+// every field onto a shared column (Aux is the dictionary-friendly string
+// attribute), leaving an empty payload; events are point records, so the
+// v3 reader can filter them on the decoded columns.
 var EventRecC = codec.Codec[EventRec]{
 	Enc: func(w *codec.Writer, e EventRec) {
 		w.PutVarint(e.ID)
@@ -47,6 +50,25 @@ var EventRecC = codec.Codec[EventRec]{
 			Time: r.Varint(),
 			Aux:  r.String(),
 		}
+	},
+	Col: &codec.Columnar[EventRec]{
+		Point:  true,
+		HasStr: true,
+		Split: func(e EventRec, b *codec.ColBlock) {
+			b.IDs = append(b.IDs, e.ID)
+			b.Lon = append(b.Lon, e.Loc.X)
+			b.Lat = append(b.Lat, e.Loc.Y)
+			b.T = append(b.T, e.Time)
+			b.Str = append(b.Str, e.Aux)
+		},
+		Join: func(b *codec.ColBlock, i int, _ *codec.Reader) EventRec {
+			return EventRec{
+				ID:   b.IDs[i],
+				Loc:  geom.Pt(b.Lon[i], b.Lat[i]),
+				Time: b.T[i],
+				Aux:  b.Str[i],
+			}
+		},
 	},
 }
 
@@ -83,7 +105,10 @@ func (t TrajRec) ToTrajectory() instance.Trajectory[instance.Unit, int64] {
 	return instance.NewTrajectory(entries, t.ID)
 }
 
-// TrajRecC is the binary codec for TrajRec.
+// TrajRecC is the binary codec for TrajRec. Its columnar schema puts the
+// first sample on the shared columns (a summary, not the full extent —
+// Point stays false) and the rest in the payload, with per-point times
+// delta-encoded against their predecessor.
 var TrajRecC = codec.Codec[TrajRec]{
 	Enc: func(w *codec.Writer, t TrajRec) {
 		w.PutVarint(t.ID)
@@ -104,6 +129,46 @@ var TrajRecC = codec.Codec[TrajRec]{
 		}
 		return TrajRec{ID: id, Points: pts, Times: times}
 	},
+	Col: &codec.Columnar[TrajRec]{
+		Split: func(t TrajRec, b *codec.ColBlock) {
+			b.IDs = append(b.IDs, t.ID)
+			if len(t.Points) > 0 {
+				b.Lon = append(b.Lon, t.Points[0].X)
+				b.Lat = append(b.Lat, t.Points[0].Y)
+				b.T = append(b.T, t.Times[0])
+			} else {
+				b.Lon = append(b.Lon, 0)
+				b.Lat = append(b.Lat, 0)
+				b.T = append(b.T, 0)
+			}
+			pay := &b.Pay
+			pay.PutUvarint(uint64(len(t.Points)))
+			for i := 1; i < len(t.Points); i++ {
+				pay.PutFloat64(t.Points[i].X)
+				pay.PutFloat64(t.Points[i].Y)
+				pay.PutVarint(t.Times[i] - t.Times[i-1])
+			}
+		},
+		Join: func(b *codec.ColBlock, i int, pay *codec.Reader) TrajRec {
+			n := int(pay.Uvarint())
+			// Each point past the first occupies ≥ 17 payload bytes; an
+			// impossible count is corruption, caught before allocating.
+			if n < 0 || (n > 1 && (n-1) > pay.Remaining()/17) {
+				panic(codec.ErrCorrupt{Off: 0})
+			}
+			pts := make([]geom.Point, n)
+			times := make([]int64, n)
+			if n > 0 {
+				pts[0] = geom.Pt(b.Lon[i], b.Lat[i])
+				times[0] = b.T[i]
+			}
+			for j := 1; j < n; j++ {
+				pts[j] = geom.Pt(pay.Float64(), pay.Float64())
+				times[j] = times[j-1] + pay.Varint()
+			}
+			return TrajRec{ID: b.IDs[i], Points: pts, Times: times}
+		},
+	},
 }
 
 // AirRec is a raw air-quality record: station location, time, and six
@@ -123,7 +188,8 @@ func (a AirRec) ToEvent() instance.Event[geom.Point, [6]float64, int64] {
 	return instance.NewEvent(a.Loc, tempo.Instant(a.Time), a.Indices, a.StationID)
 }
 
-// AirRecC is the binary codec for AirRec.
+// AirRecC is the binary codec for AirRec. Its columnar schema keeps the
+// six indices in the payload; station readings are point records.
 var AirRecC = codec.Codec[AirRec]{
 	Enc: func(w *codec.Writer, a AirRec) {
 		w.PutVarint(a.StationID)
@@ -139,6 +205,29 @@ var AirRecC = codec.Codec[AirRec]{
 			out.Indices[i] = r.Float64()
 		}
 		return out
+	},
+	Col: &codec.Columnar[AirRec]{
+		Point: true,
+		Split: func(a AirRec, b *codec.ColBlock) {
+			b.IDs = append(b.IDs, a.StationID)
+			b.Lon = append(b.Lon, a.Loc.X)
+			b.Lat = append(b.Lat, a.Loc.Y)
+			b.T = append(b.T, a.Time)
+			for _, v := range a.Indices {
+				b.Pay.PutFloat64(v)
+			}
+		},
+		Join: func(b *codec.ColBlock, i int, pay *codec.Reader) AirRec {
+			out := AirRec{
+				StationID: b.IDs[i],
+				Loc:       geom.Pt(b.Lon[i], b.Lat[i]),
+				Time:      b.T[i],
+			}
+			for j := range out.Indices {
+				out.Indices[j] = pay.Float64()
+			}
+			return out
+		},
 	},
 }
 
@@ -158,7 +247,9 @@ func (p POIRec) ToEvent() instance.Event[geom.Point, string, int64] {
 	return instance.NewEvent(p.Loc, tempo.Instant(0), p.Type, p.ID)
 }
 
-// POIRecC is the binary codec for POIRec.
+// POIRecC is the binary codec for POIRec. Its columnar schema fills the
+// time column with the constant 0 — exactly the record's Box2 extent, so
+// POIs remain point-filterable — and dictionary-encodes Type.
 var POIRecC = codec.Codec[POIRec]{
 	Enc: func(w *codec.Writer, p POIRec) {
 		w.PutVarint(p.ID)
@@ -167,6 +258,20 @@ var POIRecC = codec.Codec[POIRec]{
 	},
 	Dec: func(r *codec.Reader) POIRec {
 		return POIRec{ID: r.Varint(), Loc: codec.PointC.Dec(r), Type: r.String()}
+	},
+	Col: &codec.Columnar[POIRec]{
+		Point:  true,
+		HasStr: true,
+		Split: func(p POIRec, b *codec.ColBlock) {
+			b.IDs = append(b.IDs, p.ID)
+			b.Lon = append(b.Lon, p.Loc.X)
+			b.Lat = append(b.Lat, p.Loc.Y)
+			b.T = append(b.T, 0)
+			b.Str = append(b.Str, p.Type)
+		},
+		Join: func(b *codec.ColBlock, i int, _ *codec.Reader) POIRec {
+			return POIRec{ID: b.IDs[i], Loc: geom.Pt(b.Lon[i], b.Lat[i]), Type: b.Str[i]}
+		},
 	},
 }
 

@@ -26,6 +26,24 @@ var flatC = codec.Codec[flatRec]{
 	},
 }
 
+// flatColC adds the columnar schema, so v3 writes native column streams.
+var flatColC = codec.Codec[flatRec]{
+	Enc: flatC.Enc,
+	Dec: flatC.Dec,
+	Col: &codec.Columnar[flatRec]{
+		Point: true,
+		Split: func(v flatRec, b *codec.ColBlock) {
+			b.IDs = append(b.IDs, 0)
+			b.Lon = append(b.Lon, v.X)
+			b.Lat = append(b.Lat, v.Y)
+			b.T = append(b.T, v.T)
+		},
+		Join: func(b *codec.ColBlock, i int, pay *codec.Reader) flatRec {
+			return flatRec{X: b.Lon[i], Y: b.Lat[i], T: b.T[i]}
+		},
+	},
+}
+
 func flatBox(v flatRec) index.Box {
 	return index.Box{
 		Min: [index.Dims]float64{v.X, v.Y, float64(v.T)},
@@ -33,15 +51,15 @@ func flatBox(v flatRec) index.Box {
 	}
 }
 
-func flatDataset(t testing.TB, dir string, compress bool, n, blockRecords int) *Metadata {
+func flatDataset(t testing.TB, dir string, c codec.Codec[flatRec], version int, compress bool, n, blockRecords int) *Metadata {
 	t.Helper()
 	rng := rand.New(rand.NewSource(77))
 	part := make([]flatRec, n)
 	for i := range part {
 		part[i] = flatRec{X: rng.Float64() * 100, Y: rng.Float64() * 100, T: int64(i)}
 	}
-	meta, err := Write(dir, flatC, [][]flatRec{part}, flatBox, WriteOptions{
-		Name: "alloc", Compress: compress, BlockRecords: blockRecords,
+	meta, err := Write(dir, c, [][]flatRec{part}, flatBox, WriteOptions{
+		Name: "alloc", Version: version, Compress: compress, BlockRecords: blockRecords,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,17 +83,21 @@ const (
 func TestReadPartitionAllocCeiling(t *testing.T) {
 	for _, tc := range []struct {
 		name     string
+		c        codec.Codec[flatRec]
+		version  int
 		compress bool
 		ceiling  float64
 	}{
-		{"plain", false, allocCeilingPlain},
-		{"gzip", true, allocCeilingGzip},
+		{"plain", flatC, 2, false, allocCeilingPlain},
+		{"gzip", flatC, 2, true, allocCeilingGzip},
+		// v3 native decodes pooled column slices; its ceiling matches plain.
+		{"v3", flatColC, 3, false, allocCeilingPlain},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
-			meta := flatDataset(t, dir, tc.compress, 2048, 256)
+			meta := flatDataset(t, dir, tc.c, tc.version, tc.compress, 2048, 256)
 			read := func() {
-				out, _, err := ReadPartitionPruned(dir, meta, 0, flatC, nil)
+				out, _, err := ReadPartitionPruned(dir, meta, 0, tc.c, nil)
 				if err != nil || len(out) != 2048 {
 					t.Fatalf("read: %d recs, %v", len(out), err)
 				}
@@ -90,13 +112,13 @@ func TestReadPartitionAllocCeiling(t *testing.T) {
 	}
 }
 
-func benchRead(b *testing.B, compress bool, windows []index.Box) {
+func benchRead(b *testing.B, c codec.Codec[flatRec], version int, compress bool, windows []index.Box) {
 	dir := b.TempDir()
-	meta := flatDataset(b, dir, compress, 64<<10, 1024)
+	meta := flatDataset(b, dir, c, version, compress, 64<<10, 1024)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, st, err := ReadPartitionPruned(dir, meta, 0, flatC, windows)
+		out, st, err := ReadPartitionPruned(dir, meta, 0, c, windows)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,17 +127,26 @@ func benchRead(b *testing.B, compress bool, windows []index.Box) {
 	}
 }
 
-func BenchmarkReadPartitionV2Plain(b *testing.B) { benchRead(b, false, nil) }
-func BenchmarkReadPartitionV2Gzip(b *testing.B)  { benchRead(b, true, nil) }
+func BenchmarkReadPartitionV2Plain(b *testing.B) { benchRead(b, flatC, 2, false, nil) }
+func BenchmarkReadPartitionV2Gzip(b *testing.B)  { benchRead(b, flatC, 2, true, nil) }
+func BenchmarkReadPartitionV3(b *testing.B)      { benchRead(b, flatColC, 3, false, nil) }
 
-// BenchmarkReadPartitionV2GzipPruned reads with a window covering ~1/32
-// of the time axis; flatDataset records are time-ordered so most blocks
-// prune, and the gap to the full-scan benchmark is the prefetch+prune win.
-func BenchmarkReadPartitionV2GzipPruned(b *testing.B) {
-	n := 64 << 10
-	win := index.Box{
+// pruneWindow covers ~1/32 of the time axis; flatDataset records are
+// time-ordered so most blocks prune, and the gap to the full-scan
+// benchmark is the prefetch+prune win.
+func pruneWindow(n int) []index.Box {
+	return []index.Box{{
 		Min: [index.Dims]float64{-1e9, -1e9, 0},
 		Max: [index.Dims]float64{1e9, 1e9, float64(n / 32)},
-	}
-	benchRead(b, true, []index.Box{win})
+	}}
+}
+
+func BenchmarkReadPartitionV2GzipPruned(b *testing.B) {
+	benchRead(b, flatC, 2, true, pruneWindow(64<<10))
+}
+
+// BenchmarkReadPartitionV3Pruned additionally engages the columnar
+// per-record predicate: survivors alone are materialized.
+func BenchmarkReadPartitionV3Pruned(b *testing.B) {
+	benchRead(b, flatColC, 3, false, pruneWindow(64<<10))
 }

@@ -46,13 +46,16 @@ const (
 	v2HeaderLen = 4
 )
 
-// FormatVersion is the version number written into new dataset metadata.
-const FormatVersion = 2
+// FormatVersion is the version number written into new dataset metadata:
+// the columnar v3 layout of blockv3.go. v1 and v2 datasets stay readable
+// through their legacy paths.
+const FormatVersion = 3
 
 // DefaultBlockRecords is the record count per block when WriteOptions
-// does not specify one. Small enough that a city-block-sized query
-// decompresses a few blocks, large enough that framing overhead and the
-// footer stay negligible.
+// does not specify one, for v2 files. Small enough that a
+// city-block-sized query decompresses a few blocks, large enough that
+// framing overhead and the footer stay negligible. v3 files default to
+// the finer DefaultBlockRecordsV3.
 const DefaultBlockRecords = 4096
 
 // BlockMeta describes one block of a v2 partition file, as recorded in

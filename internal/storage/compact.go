@@ -52,7 +52,8 @@ type CompactStats struct {
 // Compact is the background compactor's one pass over the dataset at dir:
 // every partition whose attached deltas meet the size-tier thresholds is
 // rewritten — base + deltas read through the ordinary merge-on-read path,
-// Z-order re-clustered, written as a fresh generation-suffixed v2 file —
+// Z-order re-clustered, written as a fresh generation-suffixed file in
+// the current format (v3 columnar) —
 // and the whole pass commits with a single atomic manifest swap that bumps
 // the dataset generation. Readers are never blocked: the old base and
 // delta files stay on disk until the grace-bounded GC collects them, so a
@@ -119,8 +120,8 @@ func Compact[T any](
 			return st, fmt.Errorf("storage: compact partition %d: %w", pi, err)
 		}
 		ZCluster(recs, boxOf)
-		pm, err := writePartitionV2File(dir, compactedFileName(pi, gen), c, recs, boxOf,
-			meta.Compressed, blockRecords, true)
+		pm, err := writePartitionV3File(dir, compactedFileName(pi, gen), c, recs, boxOf,
+			blockRecords, true)
 		if err != nil {
 			sp.End(trace.Str("error", err.Error()))
 			return st, fmt.Errorf("storage: compact partition %d: %w", pi, err)

@@ -14,7 +14,7 @@ import (
 // The delta layer turns the rebuild-the-world store into a continuously
 // ingesting one (see DESIGN.md "Delta layer & compaction"). New records are
 // not merged into the base partition files; they land in small immutable
-// delta files (the v2 block layout, Z-order clustered, CRC-framed) routed
+// delta files (the current block layout, Z-order clustered, CRC-framed) routed
 // to the base partition whose extent they enlarge least, and a manifest
 // file — swapped atomically via tmp+rename — records which delta files are
 // live. Readers union base + manifest-listed deltas (merge-on-read);
@@ -203,7 +203,7 @@ func compactedFileName(pi int, gen int64) string {
 // AppendDelta appends recs to the live dataset at dir without rewriting
 // any base file: records are routed to the base partition whose ST extent
 // they enlarge least, Z-order clustered, written as per-partition delta
-// files in the v2 block layout (compressed iff the base is), and committed
+// files in the current (v3 columnar) block layout, and committed
 // by an atomic manifest swap that bumps the dataset generation. Readers
 // that load metadata after the swap see the new records; readers that
 // loaded before keep a consistent pre-append view. Concurrent appends and
@@ -246,8 +246,10 @@ func AppendDelta[T any](
 		seq := mf.NextSeq
 		mf.NextSeq++
 		name := deltaFileName(pi, seq)
-		pm, err := writePartitionV2File(dir, name, c, group, boxOf,
-			meta.Compressed, blockRecords, true)
+		// Deltas are written in the current format regardless of the base
+		// dataset's: pm.Format records it, and the reader dispatches on it
+		// per delta file.
+		pm, err := writePartitionV3File(dir, name, c, group, boxOf, blockRecords, true)
 		if err != nil {
 			return nil, err
 		}

@@ -317,6 +317,104 @@ func TestMetamorphicDeltaEquivalence(t *testing.T) {
 	}
 }
 
+// TestDeltaCrossFormatMerge pins the mixed-generation migration path: a
+// v2 gzip base takes delta appends (deltas are always written in the
+// current columnar format), merge-on-read unions v2 blocks with v3 column
+// streams per window, and compaction folds each touched partition into a
+// v3 file via the per-partition Format override while untouched partitions
+// stay v2.
+func TestDeltaCrossFormatMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	parts := makeParts(rng, 3, 60)
+	dir := t.TempDir()
+	if _, err := Write(dir, recC, parts, recBox, WriteOptions{
+		Name: "xfmt", Version: 2, Compress: true, BlockRecords: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var combined []rec
+	for _, p := range parts {
+		combined = append(combined, p...)
+	}
+	// Deltas clustered near partition 0 so at least one partition stays
+	// delta-free and keeps its v2 file through compaction.
+	for b := 0; b < 2; b++ {
+		extra := make([]rec, 25)
+		for i := range extra {
+			extra[i] = parts[0][(b*25+i)%len(parts[0])]
+			extra[i].T += int64(b + 1)
+		}
+		combined = append(combined, extra...)
+		if _, err := AppendDelta(dir, recC, extra, recBox, AppendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	meta, err := ReadMetadata(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 {
+		t.Fatalf("base version = %d, want 2", meta.Version)
+	}
+	if meta.DeltaCount() == 0 {
+		t.Fatal("no deltas recorded")
+	}
+	for pi := 0; pi < meta.NumPartitions(); pi++ {
+		for _, dm := range meta.Deltas(pi) {
+			if dm.Format != FormatVersion {
+				t.Fatalf("delta %s format = %d, want %d", dm.File, dm.Format, FormatVersion)
+			}
+		}
+	}
+
+	// Windowed merge-on-read over the mixed store answers exactly like an
+	// in-memory filter of all the records.
+	windows := v2Windows(rng, parts)
+	check := func(stage string) {
+		t.Helper()
+		for wname, win := range windows {
+			var want []rec
+			for _, r := range combined {
+				if recBox(r).Intersects(win) {
+					want = append(want, r)
+				}
+			}
+			if got := readAll(t, dir, []index.Box{win}); !reflect.DeepEqual(got, canonical(want)) {
+				t.Fatalf("%s/%s: mixed-format read %d records, want %d",
+					stage, wname, len(got), len(want))
+			}
+		}
+	}
+	check("merge-on-read")
+
+	if _, err := Compact(dir, recC, recBox, CompactOptions{MinDeltas: 1, GCGrace: 0}); err != nil {
+		t.Fatal(err)
+	}
+	meta, err = ReadMetadata(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.DeltaCount() != 0 {
+		t.Fatalf("%d deltas survive compaction", meta.DeltaCount())
+	}
+	sawV2, sawV3 := false, false
+	for _, pm := range meta.Partitions {
+		switch {
+		case pm.Format == FormatVersion:
+			sawV3 = true
+		case pm.Format == 0 || pm.Format == 2:
+			sawV2 = true
+		default:
+			t.Fatalf("partition %s has unexpected format %d", pm.File, pm.Format)
+		}
+	}
+	if !sawV2 || !sawV3 {
+		t.Fatalf("expected mixed formats after partial compaction (v2=%v v3=%v)", sawV2, sawV3)
+	}
+	check("compacted")
+}
+
 // crashPanic is the sentinel the chaos hook throws.
 type crashPanic struct{ point string }
 

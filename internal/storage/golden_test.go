@@ -7,6 +7,7 @@
 package storage_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"math/rand"
@@ -15,6 +16,7 @@ import (
 	"reflect"
 	"testing"
 
+	"st4ml/internal/codec"
 	"st4ml/internal/geom"
 	"st4ml/internal/stdata"
 	"st4ml/internal/storage"
@@ -22,7 +24,11 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden testdata")
 
-const goldenDir = "testdata/v1-golden"
+const (
+	goldenDir   = "testdata/v1-golden"
+	goldenV2Dir = "testdata/v2-golden"
+	goldenV3Dir = "testdata/v3-golden"
+)
 
 // goldenRecords deterministically builds the dataset committed under
 // testdata: two partitions of NYC-style events on disjoint ST tiles.
@@ -95,5 +101,109 @@ func TestGoldenV1DatasetStillReads(t *testing.T) {
 	// future -update cannot silently change the dataset's content.
 	if !reflect.DeepEqual(parts, want) {
 		t.Fatal("goldenRecords() drifted from committed records.json")
+	}
+}
+
+// writeGolden (re)generates one golden dataset directory for -update.
+func writeGolden(t *testing.T, dir string, opts storage.WriteOptions) {
+	t.Helper()
+	parts := goldenRecords()
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storage.Write(dir, stdata.EventRecC, parts, stdata.EventRec.Box, opts); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(parts, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "records.json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readGolden reads every partition of a committed golden dataset and
+// checks it against the records.json beside it, returning the records.
+func readGolden(t *testing.T, dir string, wantVersion int) [][]stdata.EventRec {
+	t.Helper()
+	meta, err := storage.ReadMetadata(dir)
+	if err != nil {
+		t.Fatalf("golden dataset %s unreadable (run with -update to regenerate): %v", dir, err)
+	}
+	if meta.Version != wantVersion {
+		t.Fatalf("%s: version = %d, want %d", dir, meta.Version, wantVersion)
+	}
+	var want [][]stdata.EventRec
+	b, err := os.ReadFile(filepath.Join(dir, "records.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]stdata.EventRec, meta.NumPartitions())
+	for i := range got {
+		recs, _, err := storage.ReadPartitionPruned(dir, meta, i, stdata.EventRecC, nil)
+		if err != nil {
+			t.Fatalf("%s partition %d: %v", dir, i, err)
+		}
+		got[i] = recs
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: records differ from committed golden set", dir)
+	}
+	return got
+}
+
+// TestGoldenV2DatasetStillReads pins the row-major gzip block layout: the
+// committed v2-golden files must keep decoding to the recorded records on
+// every future reader, including through block-level pruning.
+func TestGoldenV2DatasetStillReads(t *testing.T) {
+	if *updateGolden {
+		writeGolden(t, goldenV2Dir, storage.WriteOptions{
+			Name: "v2-golden", Compress: true, Version: 2, BlockRecords: 16,
+		})
+	}
+	readGolden(t, goldenV2Dir, 2)
+}
+
+// TestGoldenV3DatasetStillReads pins the columnar layout: the committed
+// v3-golden files (native column streams, EventRec schema) must keep
+// decoding to the recorded records.
+func TestGoldenV3DatasetStillReads(t *testing.T) {
+	if *updateGolden {
+		writeGolden(t, goldenV3Dir, storage.WriteOptions{
+			Name: "v3-golden", Version: 3, BlockRecords: 16,
+		})
+	}
+	readGolden(t, goldenV3Dir, 3)
+}
+
+// TestGoldenCrossGeneration is the compatibility matrix in executable
+// form: the same logical dataset committed under all three on-disk
+// generations materializes to byte-identical records — every record
+// re-encoded through the wire codec produces the same bytes regardless of
+// which format version stored it.
+func TestGoldenCrossGeneration(t *testing.T) {
+	v1 := readGolden(t, goldenDir, 0)
+	v2 := readGolden(t, goldenV2Dir, 2)
+	v3 := readGolden(t, goldenV3Dir, 3)
+	if len(v1) != len(v2) || len(v1) != len(v3) {
+		t.Fatalf("partition counts differ: v1=%d v2=%d v3=%d", len(v1), len(v2), len(v3))
+	}
+	for p := range v1 {
+		if len(v1[p]) != len(v2[p]) || len(v1[p]) != len(v3[p]) {
+			t.Fatalf("partition %d: record counts differ: v1=%d v2=%d v3=%d",
+				p, len(v1[p]), len(v2[p]), len(v3[p]))
+		}
+		for i := range v1[p] {
+			b1 := codec.Marshal(stdata.EventRecC, v1[p][i])
+			b2 := codec.Marshal(stdata.EventRecC, v2[p][i])
+			b3 := codec.Marshal(stdata.EventRecC, v3[p][i])
+			if !bytes.Equal(b1, b2) || !bytes.Equal(b1, b3) {
+				t.Fatalf("partition %d record %d: re-encoded bytes differ across generations", p, i)
+			}
+		}
 	}
 }

@@ -47,8 +47,10 @@ type PartitionMeta struct {
 	TEnd   int64   `json:"tend"`
 	// Format, when non-zero, overrides the dataset-level Version for this
 	// partition's file. Compaction writes it so a rewritten partition of a
-	// v1 dataset can use the v2 block layout without re-ingesting the other
-	// partitions; delta files always carry Format 2.
+	// v1/v2 dataset can use the current layout without re-ingesting the
+	// other partitions; delta files carry the format they were appended
+	// in (absent means 2 — deltas predating the columnar layout were
+	// always the v2 block layout).
 	Format int `json:"format,omitempty"`
 }
 
@@ -82,11 +84,12 @@ type Metadata struct {
 	Framed bool `json:"framed,omitempty"`
 	// Version selects the partition file format: absent or 1 is the v1
 	// monolithic layout (whole-file gzip, framed or bare record stream),
-	// 2 is the block layout of block.go. Readers honor whatever is here,
-	// so v1 datasets stay readable without re-ingest.
+	// 2 is the gzip block layout of block.go, 3 the columnar block layout
+	// of blockv3.go. Readers honor whatever is here, so v1 and v2
+	// datasets stay readable without re-ingest.
 	Version int `json:"version,omitempty"`
 	// BlockRecords is the records-per-block target the dataset was written
-	// with (v2 only; informational).
+	// with (v2/v3 only; informational).
 	BlockRecords int             `json:"block_records,omitempty"`
 	TotalCount   int64           `json:"total_count"`
 	Partitions   []PartitionMeta `json:"partitions"`
@@ -170,13 +173,16 @@ type WriteOptions struct {
 	// Name labels the dataset in its metadata.
 	Name string
 	// Compress gzips partition data (per block in v2, whole-file in v1).
+	// v3 files ignore it: their column streams are delta-compressed
+	// natively and never gzipped.
 	Compress bool
-	// BlockRecords is the records-per-block target for v2 files;
-	// 0 means DefaultBlockRecords.
+	// BlockRecords is the records-per-block target for v2/v3 files;
+	// 0 means the format's default (DefaultBlockRecords for v2,
+	// DefaultBlockRecordsV3 for v3).
 	BlockRecords int
-	// Version pins the file format: 0 means latest (FormatVersion), 1
-	// forces the legacy monolithic layout — kept so compat tests and
-	// benchmarks can produce v1 datasets on demand.
+	// Version pins the file format: 0 means latest (FormatVersion); 1 and
+	// 2 force the earlier layouts — kept so compat tests and benchmarks
+	// can produce legacy datasets on demand.
 	Version int
 }
 
@@ -200,7 +206,11 @@ func Write[T any](
 	}
 	blockRecords := opts.BlockRecords
 	if blockRecords <= 0 {
-		blockRecords = DefaultBlockRecords
+		if version >= 3 {
+			blockRecords = DefaultBlockRecordsV3
+		} else {
+			blockRecords = DefaultBlockRecords
+		}
 	}
 	meta := &Metadata{Name: opts.Name, Compressed: opts.Compress, Framed: true}
 	if version >= 2 {
@@ -210,9 +220,12 @@ func Write[T any](
 	for i, part := range parts {
 		var pm PartitionMeta
 		var err error
-		if version >= 2 {
+		switch {
+		case version >= 3:
+			pm, err = writePartitionV3(dir, i, c, part, boxOf, blockRecords)
+		case version == 2:
 			pm, err = writePartitionV2(dir, i, c, part, boxOf, opts.Compress, blockRecords)
-		} else {
+		default:
 			pm, err = writePartition(dir, i, c, part, boxOf, opts.Compress)
 		}
 		if err != nil {
@@ -509,8 +522,14 @@ type ReadStats struct {
 	// BytesRead is the on-disk bytes actually read (header, scanned block
 	// frames, footer, trailer; the whole file for v1).
 	BytesRead int64
-	// RawBytes is the decompressed payload bytes decoded.
+	// RawBytes is the decompressed payload bytes decoded. On v3 files this
+	// is the decoded column bytes plus only the surviving records' payload
+	// spans — the columnar predicate's saving shows up here.
 	RawBytes int64
+	// RecordsPruned is how many records the v3 columnar predicate dropped
+	// on the decoded lon/lat/t columns before materialization (0 on
+	// v1/v2 files and on full reads).
+	RecordsPruned int64
 	// Delta-layer accounting: how many delta files the manifest attaches to
 	// the partition, how many were read versus skipped entirely because
 	// their manifest bounds miss every window, and the records they
@@ -528,6 +547,7 @@ func (s *ReadStats) add(o ReadStats) {
 	s.BlocksPruned += o.BlocksPruned
 	s.BytesRead += o.BytesRead
 	s.RawBytes += o.RawBytes
+	s.RecordsPruned += o.RecordsPruned
 }
 
 // ReadPartition decodes one partition file in full. Framed datasets verify
@@ -563,10 +583,14 @@ func ReadPartitionPruned[T any](
 		version = pm.Format
 	}
 	out, st, err := readWithRetry(pm.File, func() ([]T, ReadStats, error) {
-		if version >= 2 {
+		switch {
+		case version >= 3:
+			return readPartitionV3Once[T](dir, pm, c, windows)
+		case version == 2:
 			return readPartitionV2Once[T](dir, meta.Compressed, pm, c, windows)
+		default:
+			return readPartitionOnce[T](dir, meta, pm, c)
 		}
-		return readPartitionOnce[T](dir, meta, pm, c)
 	})
 	if err != nil {
 		return nil, ReadStats{}, err
@@ -579,7 +603,17 @@ func ReadPartitionPruned[T any](
 			continue
 		}
 		dpm := dm.PartitionMeta
+		// Delta files carry their own format: v2 from manifests committed
+		// before the columnar layout existed (absent Format means v2 —
+		// deltas were always block-layout), v3 afterwards.
+		dver := dpm.Format
+		if dver == 0 {
+			dver = 2
+		}
 		drecs, dst, err := readWithRetry(dpm.File, func() ([]T, ReadStats, error) {
+			if dver >= 3 {
+				return readPartitionV3Once[T](dir, dpm, c, windows)
+			}
 			return readPartitionV2Once[T](dir, meta.Compressed, dpm, c, windows)
 		})
 		if err != nil {
@@ -767,7 +801,7 @@ func readPartitionV2Once[T any](
 			pm.File, expect, pm.Count, codec.ErrCorrupt{Off: int(footerOff)})
 	}
 
-	out := make([]T, 0, expect)
+	out := make([]T, 0, capHint(expect))
 	done := make(chan struct{})
 	defer close(done)
 	for blk := range prefetchBlocks(f, scan, compressed, done) {

@@ -75,123 +75,165 @@ func v2Windows(rng *rand.Rand, parts [][]rec) map[string]index.Box {
 	}
 }
 
-// TestMetamorphicBlockPrunedEqualsFull is the v2 analogue of the
-// selection metamorphic suite: across layouts × block sizes × window
-// kinds (≥64 combos), a block-pruned read must agree byte-for-byte with
-// a full scan after both are filtered by the window — pruning may only
-// ever skip blocks no queried record lives in.
+// metaFormats are the on-disk generations × codec shapes the metamorphic
+// suite sweeps: the row-major v2 layout, the columnar v3 layout driven by
+// a Columnar schema (per-record predicate active), and v3's generic row
+// fallback for codecs without one.
+var metaFormats = []struct {
+	name    string
+	version int
+	c       codec.Codec[rec]
+}{
+	{"v2", 2, recC},
+	{"v3", 3, recC},
+	{"v3-generic", 3, recRowC},
+}
+
+// TestMetamorphicBlockPrunedEqualsFull is the storage analogue of the
+// selection metamorphic suite: across layouts × block sizes × formats ×
+// window kinds (≥128 combos), a pruned read must agree byte-for-byte with
+// a full scan after both are filtered by the window — block pruning may
+// only skip blocks no queried record lives in, and v3's per-record
+// columnar predicate may only drop records outside every window.
 func TestMetamorphicBlockPrunedEqualsFull(t *testing.T) {
 	blockSizes := []int{1, 7, 64, 1024}
 	combos := 0
-	for _, lay := range v2Layouts() {
-		for _, bs := range blockSizes {
-			rng := rand.New(rand.NewSource(lay.seed))
-			parts := makeParts(rng, lay.nParts, lay.perPart)
-			dir := t.TempDir()
-			meta, err := Write(dir, recC, parts, recBox, WriteOptions{
-				Name: lay.name, Compress: lay.compress, BlockRecords: bs,
-			})
-			if err != nil {
-				t.Fatalf("%s/bs=%d: %v", lay.name, bs, err)
-			}
-			if meta.Version != FormatVersion || meta.BlockRecords != bs {
-				t.Fatalf("%s/bs=%d: meta version=%d blockRecords=%d",
-					lay.name, bs, meta.Version, meta.BlockRecords)
-			}
-			for wname, win := range v2Windows(rng, parts) {
-				combos++
-				for pi := range parts {
-					full, fullSt, err := ReadPartitionPruned(dir, meta, pi, recC, nil)
-					if err != nil {
-						t.Fatalf("%s/bs=%d/%s p%d full: %v", lay.name, bs, wname, pi, err)
-					}
-					if !reflect.DeepEqual(full, parts[pi]) {
-						t.Fatalf("%s/bs=%d p%d full scan mismatch", lay.name, bs, pi)
-					}
-					pruned, st, err := ReadPartitionPruned(dir, meta, pi, recC, []index.Box{win})
-					if err != nil {
-						t.Fatalf("%s/bs=%d/%s p%d pruned: %v", lay.name, bs, wname, pi, err)
-					}
+	for _, fm := range metaFormats {
+		for _, lay := range v2Layouts() {
+			for _, bs := range blockSizes {
+				rng := rand.New(rand.NewSource(lay.seed))
+				parts := makeParts(rng, lay.nParts, lay.perPart)
+				dir := t.TempDir()
+				meta, err := Write(dir, fm.c, parts, recBox, WriteOptions{
+					Name: lay.name, Version: fm.version, Compress: lay.compress, BlockRecords: bs,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/bs=%d: %v", fm.name, lay.name, bs, err)
+				}
+				if meta.Version != fm.version || meta.BlockRecords != bs {
+					t.Fatalf("%s/%s/bs=%d: meta version=%d blockRecords=%d",
+						fm.name, lay.name, bs, meta.Version, meta.BlockRecords)
+				}
+				for wname, win := range v2Windows(rng, parts) {
+					combos++
+					for pi := range parts {
+						full, fullSt, err := ReadPartitionPruned(dir, meta, pi, fm.c, nil)
+						if err != nil {
+							t.Fatalf("%s/%s/bs=%d/%s p%d full: %v", fm.name, lay.name, bs, wname, pi, err)
+						}
+						if !reflect.DeepEqual(full, parts[pi]) {
+							t.Fatalf("%s/%s/bs=%d p%d full scan mismatch", fm.name, lay.name, bs, pi)
+						}
+						pruned, st, err := ReadPartitionPruned(dir, meta, pi, fm.c, []index.Box{win})
+						if err != nil {
+							t.Fatalf("%s/%s/bs=%d/%s p%d pruned: %v", fm.name, lay.name, bs, wname, pi, err)
+						}
 
-					// Filtered equivalence, byte-for-byte.
-					filter := func(recs []rec) []string {
-						var kept []rec
-						for _, r := range recs {
-							if recBox(r).Intersects(win) {
-								kept = append(kept, r)
-							}
-						}
-						return encodeRecs(kept)
-					}
-					if got, want := filter(pruned), filter(full); !reflect.DeepEqual(got, want) {
-						t.Fatalf("%s/bs=%d/%s p%d: filtered pruned %d recs != filtered full %d recs",
-							lay.name, bs, wname, pi, len(got), len(want))
-					}
-					// The pruned read is an order-preserving subsequence of the
-					// full scan (whole blocks in file order).
-					enc, fullEnc := encodeRecs(pruned), encodeRecs(full)
-					j := 0
-					for _, e := range enc {
-						for j < len(fullEnc) && fullEnc[j] != e {
-							j++
-						}
-						if j == len(fullEnc) {
-							t.Fatalf("%s/bs=%d/%s p%d: pruned result is not a subsequence of full scan",
-								lay.name, bs, wname, pi)
-						}
-						j++
-					}
-
-					// Stats invariants.
-					wantBlocks := (len(parts[pi]) + bs - 1) / bs
-					if fullSt.Blocks != wantBlocks || st.Blocks != wantBlocks {
-						t.Fatalf("%s/bs=%d p%d: Blocks=%d/%d want %d",
-							lay.name, bs, pi, fullSt.Blocks, st.Blocks, wantBlocks)
-					}
-					if st.BlocksScanned+st.BlocksPruned != st.Blocks {
-						t.Fatalf("%s/bs=%d/%s p%d: scanned %d + pruned %d != blocks %d",
-							lay.name, bs, wname, pi, st.BlocksScanned, st.BlocksPruned, st.Blocks)
-					}
-					if fullSt.BlocksPruned != 0 || fullSt.RawBytes == 0 && len(parts[pi]) > 0 {
-						t.Fatalf("%s/bs=%d p%d: full scan stats %+v", lay.name, bs, pi, fullSt)
-					}
-					switch wname {
-					case "disjoint":
-						if st.BlocksScanned != 0 || len(pruned) != 0 {
-							t.Fatalf("%s/bs=%d p%d: disjoint window scanned %d blocks, %d recs",
-								lay.name, bs, pi, st.BlocksScanned, len(pruned))
-						}
-					case "full":
-						if st.BlocksPruned != 0 || len(pruned) != len(full) {
-							t.Fatalf("%s/bs=%d p%d: full window pruned %d blocks",
-								lay.name, bs, pi, st.BlocksPruned)
-						}
-					case "degenerate", "boundary":
-						// The pinned record sits in partition 0 and must survive.
-						if pi == 0 {
-							want := encodeRecs([]rec{parts[0][len(parts[0])/2]})[0]
-							found := false
-							for _, e := range enc {
-								if e == want {
-									found = true
-									break
+						// Filtered equivalence, byte-for-byte.
+						filter := func(recs []rec) []string {
+							var kept []rec
+							for _, r := range recs {
+								if recBox(r).Intersects(win) {
+									kept = append(kept, r)
 								}
 							}
-							if !found {
-								t.Fatalf("%s/bs=%d/%s: pinned record pruned away", lay.name, bs, wname)
+							return encodeRecs(kept)
+						}
+						if got, want := filter(pruned), filter(full); !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s/%s/bs=%d/%s p%d: filtered pruned %d recs != filtered full %d recs",
+								fm.name, lay.name, bs, wname, pi, len(got), len(want))
+						}
+						// The pruned read is an order-preserving subsequence of
+						// the full scan (whole blocks in file order; v3's
+						// columnar predicate only ever drops records).
+						enc, fullEnc := encodeRecs(pruned), encodeRecs(full)
+						j := 0
+						for _, e := range enc {
+							for j < len(fullEnc) && fullEnc[j] != e {
+								j++
+							}
+							if j == len(fullEnc) {
+								t.Fatalf("%s/%s/bs=%d/%s p%d: pruned result is not a subsequence of full scan",
+									fm.name, lay.name, bs, wname, pi)
+							}
+							j++
+						}
+
+						// Stats invariants.
+						wantBlocks := (len(parts[pi]) + bs - 1) / bs
+						if fullSt.Blocks != wantBlocks || st.Blocks != wantBlocks {
+							t.Fatalf("%s/%s/bs=%d p%d: Blocks=%d/%d want %d",
+								fm.name, lay.name, bs, pi, fullSt.Blocks, st.Blocks, wantBlocks)
+						}
+						if st.BlocksScanned+st.BlocksPruned != st.Blocks {
+							t.Fatalf("%s/%s/bs=%d/%s p%d: scanned %d + pruned %d != blocks %d",
+								fm.name, lay.name, bs, wname, pi, st.BlocksScanned, st.BlocksPruned, st.Blocks)
+						}
+						if fullSt.BlocksPruned != 0 || fullSt.RawBytes == 0 && len(parts[pi]) > 0 {
+							t.Fatalf("%s/%s/bs=%d p%d: full scan stats %+v", fm.name, lay.name, bs, pi, fullSt)
+						}
+						// A full scan never engages the columnar predicate.
+						if fullSt.RecordsPruned != 0 {
+							t.Fatalf("%s/%s/bs=%d p%d: full scan pruned %d records",
+								fm.name, lay.name, bs, pi, fullSt.RecordsPruned)
+						}
+						native := fm.name == "v3"
+						if !native && st.RecordsPruned != 0 {
+							t.Fatalf("%s/%s/bs=%d/%s p%d: non-columnar read pruned %d records",
+								fm.name, lay.name, bs, wname, pi, st.RecordsPruned)
+						}
+						if native {
+							// The columnar predicate materializes survivors only,
+							// and accounts every record it drops.
+							if got := filter(pruned); len(got) != len(pruned) {
+								t.Fatalf("%s/%s/bs=%d/%s p%d: columnar read returned %d records, only %d match",
+									fm.name, lay.name, bs, wname, pi, len(pruned), len(got))
+							}
+							scannedRecs := int64(len(pruned)) + st.RecordsPruned
+							if scannedRecs < int64(len(filter(full))) || scannedRecs > int64(len(parts[pi])) {
+								t.Fatalf("%s/%s/bs=%d/%s p%d: survivors %d + pruned %d outside [%d, %d]",
+									fm.name, lay.name, bs, wname, pi, len(pruned), st.RecordsPruned,
+									len(filter(full)), len(parts[pi]))
 							}
 						}
-					}
-					if st.BytesRead > fullSt.BytesRead {
-						t.Fatalf("%s/bs=%d/%s p%d: pruned read %d bytes > full %d",
-							lay.name, bs, wname, pi, st.BytesRead, fullSt.BytesRead)
+						switch wname {
+						case "disjoint":
+							if st.BlocksScanned != 0 || len(pruned) != 0 {
+								t.Fatalf("%s/%s/bs=%d p%d: disjoint window scanned %d blocks, %d recs",
+									fm.name, lay.name, bs, pi, st.BlocksScanned, len(pruned))
+							}
+						case "full":
+							if st.BlocksPruned != 0 || len(pruned) != len(full) {
+								t.Fatalf("%s/%s/bs=%d p%d: full window pruned %d blocks",
+									fm.name, lay.name, bs, pi, st.BlocksPruned)
+							}
+						case "degenerate", "boundary":
+							// The pinned record sits in partition 0 and must survive.
+							if pi == 0 {
+								want := encodeRecs([]rec{parts[0][len(parts[0])/2]})[0]
+								found := false
+								for _, e := range enc {
+									if e == want {
+										found = true
+										break
+									}
+								}
+								if !found {
+									t.Fatalf("%s/%s/bs=%d/%s: pinned record pruned away", fm.name, lay.name, bs, wname)
+								}
+							}
+						}
+						if st.BytesRead > fullSt.BytesRead {
+							t.Fatalf("%s/%s/bs=%d/%s p%d: pruned read %d bytes > full %d",
+								fm.name, lay.name, bs, wname, pi, st.BytesRead, fullSt.BytesRead)
+						}
 					}
 				}
 			}
 		}
 	}
-	if combos < 64 {
-		t.Fatalf("only %d layout×blocksize×window combos, want ≥64", combos)
+	if combos < 128 {
+		t.Fatalf("only %d format×layout×blocksize×window combos, want ≥128", combos)
 	}
 }
 

@@ -70,6 +70,9 @@ type Explain struct {
 	BlocksScanned     int64 `json:"blocks_scanned"`
 	BlocksPruned      int64 `json:"blocks_pruned"`
 	BytesDecompressed int64 `json:"bytes_decompressed"`
+	// RecordsPruned counts records the v3 columnar predicate dropped on
+	// decoded lon/lat/t columns before materialization; zero on v1/v2.
+	RecordsPruned int64 `json:"records_pruned"`
 
 	// Delta-layer accounting: delta files unioned into partition reads
 	// (merge-on-read), delta files skipped via manifest bounds, the records
@@ -219,6 +222,9 @@ func (e *Explain) addBlockAttrs(s SpanRecord) {
 	if v, ok := s.Int("raw_bytes"); ok {
 		e.BytesDecompressed += v
 	}
+	if v, ok := s.Int("records_pruned"); ok {
+		e.RecordsPruned += v
+	}
 }
 
 // Fprint renders the report as the human-readable text stquery -explain
@@ -233,6 +239,9 @@ func (e *Explain) Fprint(w io.Writer) {
 		e.ReadPartitions, e.PrunedPartitions, e.TotalPartitions, e.PartitionBytes)
 	fmt.Fprintf(w, "blocks: %d scanned, %d pruned; %d bytes decompressed\n",
 		e.BlocksScanned, e.BlocksPruned, e.BytesDecompressed)
+	if e.RecordsPruned > 0 {
+		fmt.Fprintf(w, "columnar: %d records pruned before materialization\n", e.RecordsPruned)
+	}
 	if e.DeltaFilesRead > 0 || e.DeltaFilesPruned > 0 || e.Compactions > 0 {
 		fmt.Fprintf(w, "deltas: %d files read, %d pruned; %d records; %d compactions\n",
 			e.DeltaFilesRead, e.DeltaFilesPruned, e.DeltaRecords, e.Compactions)
