@@ -66,10 +66,11 @@ fuzz-smoke:
 # metamorphic suites, and the pool/prefetch paths all run with the
 # detector on; `make race` remains the full-length run), the coverage
 # floors (total plus per-package for the byte-format packages), a
-# bounded fuzz smoke per byte-format fuzzer, and two explicit end-to-end
-# smokes: boot stserved on an ephemeral port with a generated dataset
-# and run one query, and drive stingest's full tail-append-compact loop
-# in-process.
+# bounded fuzz smoke per byte-format fuzzer, and three explicit
+# end-to-end smokes: boot stserved on an ephemeral port with a generated
+# dataset and run one query, drive stingest's full tail-append-compact
+# loop in-process, and bring up a 2-shard fleet plus router on loopback
+# and check a pruned query scatters to fewer shards than the map holds.
 check:
 	$(GO) vet ./...
 	$(MAKE) docs
@@ -79,6 +80,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(GO) test -race -count=1 -run TestServedSmoke ./cmd/stserved
 	$(GO) test -race -count=1 -run TestIngestSmoke ./cmd/stingest
+	$(GO) test -race -count=1 -run TestClusterSmoke ./cmd/strouter
 
 bench:
 	$(GO) run ./cmd/stbench -exp all

@@ -7,17 +7,29 @@
 //	stquery -dir /data/nyc -dataset nyc \
 //	    -minx -74.0 -miny 40.7 -maxx -73.9 -maxy 40.8 \
 //	    -tstart 1357000000 -tend 1360000000
+//
+// With -server it queries a running stserved daemon or strouter cluster
+// router over HTTP instead of reading the dataset directly — the same
+// window flags and the same -explain report, which against a router renders
+// the stitched router→shard→partition:read tree:
+//
+//	stquery -server http://localhost:8080 -dataset nyc -explain ...
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
 	"st4ml/internal/engine"
 	"st4ml/internal/geom"
 	"st4ml/internal/selection"
+	"st4ml/internal/serve"
 	"st4ml/internal/stdata"
 	"st4ml/internal/tempo"
 	"st4ml/internal/trace"
@@ -25,7 +37,8 @@ import (
 
 func main() {
 	var (
-		dir       = flag.String("dir", "", "dataset directory (required)")
+		dir       = flag.String("dir", "", "dataset directory (required unless -server)")
+		server    = flag.String("server", "", "query a running stserved/strouter at this base URL instead of reading -dir")
 		dataset   = flag.String("dataset", "nyc", "schema: "+strings.Join(stdata.SchemaNames(), "|"))
 		minx      = flag.Float64("minx", -180, "window min longitude")
 		miny      = flag.Float64("miny", -90, "window min latitude")
@@ -39,8 +52,21 @@ func main() {
 		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the query to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
+	if *server != "" {
+		req := serve.QueryRequest{
+			Dataset: *dataset,
+			MinX:    *minx, MinY: *miny, MaxX: *maxx, MaxY: *maxy,
+			TStart: *tstart, TEnd: *tend,
+			Explain: *explain,
+		}
+		if err := queryServer(os.Stdout, *server, req); err != nil {
+			fmt.Fprintln(os.Stderr, "stquery:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "stquery: -dir is required")
+		fmt.Fprintln(os.Stderr, "stquery: -dir is required (or -server)")
 		os.Exit(2)
 	}
 	var tr *trace.Tracer
@@ -80,6 +106,42 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// queryServer runs the window against a serving daemon (or cluster router)
+// over HTTP and prints the stats in the local format, followed by the
+// server-side execution report when -explain was given.
+func queryServer(w io.Writer, base string, req serve.QueryRequest) error {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hresp, err := http.Post(strings.TrimRight(base, "/")+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server answered %d: %s", hresp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("server answered %d: %s", hresp.StatusCode, bytes.TrimSpace(body))
+	}
+	var resp serve.QueryResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return err
+	}
+	stats := resp.Stats
+	fmt.Fprintf(w, "server: %s (cache %s, %.3f ms)\n", base, resp.Cache, resp.ElapsedMS)
+	fmt.Fprintf(w, "partitions: %d/%d loaded\nrecords: %d loaded, %d selected\nbytes read: %d\n",
+		stats.LoadedPartitions, stats.TotalPartitions,
+		stats.LoadedRecords, stats.SelectedRecords, stats.LoadedBytes)
+	resp.Explain.Fprint(w)
+	return nil
 }
 
 // writeTrace dumps the tracer's spans as a Chrome trace file.

@@ -1,13 +1,20 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"st4ml/internal/cluster"
 	"st4ml/internal/datagen"
 	"st4ml/internal/engine"
 	"st4ml/internal/geom"
 	"st4ml/internal/partition"
 	"st4ml/internal/selection"
+	"st4ml/internal/serve"
 	"st4ml/internal/stdata"
 	"st4ml/internal/tempo"
 	"st4ml/internal/trace"
@@ -156,5 +163,60 @@ func TestExplainMatchesMetrics(t *testing.T) {
 			t.Errorf("stage %q: explain tasks/records %d/%d != metrics %d/%d",
 				ms.Name, es.Tasks, es.Records, ms.Tasks, ms.Records)
 		}
+	}
+}
+
+// TestQueryServerMode drives -server end to end against an in-process
+// 2-shard cluster: the printed report must carry the server stats and, with
+// explain, the stitched scatter lines a routed query produces.
+func TestQueryServerMode(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	sch, _ := stdata.Lookup("nyc")
+	dir := t.TempDir()
+	if _, err := sch.Ingest(ctx, datagen.NYC(2000, 5), dir, sch.DefaultPlanner(4, 2),
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv := serve.NewServer(serve.Config{Ctx: ctx, ShardName: fmt.Sprintf("s%d", i)})
+		if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	m, err := cluster.ParseShards(urls[0] + ";" + urls[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.NewRouter(cluster.Config{Shards: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(r.Handler())
+	defer router.Close()
+
+	req := serve.QueryRequest{Dataset: "nyc",
+		MinX: -180, MinY: -90, MaxX: 180, MaxY: 90,
+		TStart: 0, TEnd: 1 << 60, Explain: true}
+	var buf bytes.Buffer
+	if err := queryServer(&buf, router.URL, req); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"partitions:", "records:", "scatter:", "shard s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("server-mode report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Errors surface as errors, not zero-value reports.
+	if err := queryServer(io.Discard, router.URL, serve.QueryRequest{Dataset: "nope"}); err == nil {
+		t.Fatal("unknown dataset did not error")
 	}
 }

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"st4ml/internal/cluster"
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/selection"
+	"st4ml/internal/serve"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+)
+
+// TestClusterSmoke is the make-check smoke gate for multi-node serving: two
+// shard daemons plus a router on loopback, one spatially selective query,
+// and the explain must show the scatter touched fewer shards than the map
+// holds — the router prunes before it fans out.
+func TestClusterSmoke(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	sch, _ := stdata.Lookup("nyc")
+	dir := t.TempDir()
+	meta, err := sch.Ingest(ctx, datagen.NYC(2000, 3), dir, sch.DefaultPlanner(4, 2),
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shardURLs []string
+	for i := 0; i < 2; i++ {
+		srv := serve.NewServer(serve.Config{Ctx: ctx, ShardName: fmt.Sprintf("s%d", i)})
+		if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		shardURLs = append(shardURLs, ts.URL)
+	}
+
+	m, err := cluster.ParseShards(shardURLs[0] + ";" + shardURLs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := build([]string{"nyc=" + dir}, cluster.Config{Shards: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(r.Handler())
+	defer router.Close()
+
+	// A selective window: probe until the pruned partition set lands on a
+	// single shard, so the scatter width must come out below the shard
+	// count.
+	q, ok := selectiveWindow(meta, m)
+	if !ok {
+		t.Fatal("no probed window prunes to a single shard")
+	}
+	q.Records = true
+	q.Explain = true
+	b, _ := json.Marshal(q)
+	resp, err := http.Post(router.URL+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed query status %d", resp.StatusCode)
+	}
+	var out serve.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.SelectedRecords == 0 {
+		t.Fatal("selective window matched nothing")
+	}
+	if out.Explain == nil || out.Explain.Scatter == nil {
+		t.Fatal("routed explain missing scatter block")
+	}
+	sc := out.Explain.Scatter
+	if sc.Shards != 2 {
+		t.Fatalf("scatter shards %d, want 2", sc.Shards)
+	}
+	if sc.Width >= sc.Shards {
+		t.Fatalf("scatter width %d not below shard count %d: pruning did not narrow the fan-out", sc.Width, sc.Shards)
+	}
+	if out.Explain.PrunedPartitions == 0 {
+		t.Fatal("explain shows no partition pruning")
+	}
+
+	// The fleet is observable: router metrics count the scatter.
+	mresp, err := http.Get(router.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics cluster.MetricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Router.Queries != 1 || metrics.Router.RPCs != 1 {
+		t.Fatalf("router metrics: %+v", metrics.Router)
+	}
+}
+
+// selectiveWindow probes seeded sub-windows of the NYC extent until one
+// prunes to a non-empty partition set owned by a single shard.
+func selectiveWindow(meta *storage.Metadata, m cluster.ShardMap) (serve.QueryRequest, bool) {
+	rng := rand.New(rand.NewSource(17))
+	ext, yr := datagen.NYCExtent, datagen.Year2013
+	dx, dy := ext.MaxX-ext.MinX, ext.MaxY-ext.MinY
+	dt := yr.End - yr.Start
+	for try := 0; try < 200; try++ {
+		f := 0.03 + 0.1*rng.Float64()
+		x0 := ext.MinX + rng.Float64()*(1-f)*dx
+		y0 := ext.MinY + rng.Float64()*(1-f)*dy
+		t0 := yr.Start + int64(rng.Float64()*0.8*float64(dt))
+		q := serve.QueryRequest{
+			Dataset: "nyc",
+			MinX:    x0, MaxX: x0 + f*dx,
+			MinY: y0, MaxY: y0 + f*dy,
+			TStart: t0, TEnd: t0 + dt/12,
+		}
+		ids := meta.Prune(q.Window().Space, q.Window().Time)
+		if len(ids) == 0 {
+			continue
+		}
+		owners := map[int]bool{}
+		for _, id := range ids {
+			owners[m.Assign(id)] = true
+		}
+		if len(owners) == 1 {
+			return q, true
+		}
+	}
+	return serve.QueryRequest{}, false
+}
+
+func TestLoadTopology(t *testing.T) {
+	if _, err := loadTopology("", ""); err == nil {
+		t.Fatal("no topology accepted")
+	}
+	if _, err := loadTopology("http://a", "x.json"); err == nil {
+		t.Fatal("both flags accepted")
+	}
+	m, err := loadTopology("http://a,http://b;http://c", "")
+	if err != nil || len(m.Shards) != 2 || len(m.Shards[0].Replicas) != 2 {
+		t.Fatalf("topology %+v, err %v", m, err)
+	}
+}
+
+func TestRouterBuildRequiresDatasets(t *testing.T) {
+	m, _ := cluster.ParseShards("http://a")
+	if _, err := build(nil, cluster.Config{Shards: m}); err == nil {
+		t.Fatal("router with no datasets accepted")
+	}
+	if _, err := build([]string{"bad"}, cluster.Config{Shards: m}); err == nil {
+		t.Fatal("bad dataset spec accepted")
+	}
+}

@@ -42,20 +42,27 @@ func (d *datasetFlags) Set(v string) error { *d = append(*d, v); return nil }
 func main() {
 	var datasets datasetFlags
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		demo       = flag.Int("demo", 0, "generate and serve a synthetic NYC dataset of this many events")
-		slots      = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
-		cacheBytes = flag.Int64("cache-bytes", 256<<20, "partition+result cache budget (negative disables)")
-		inFlight   = flag.Int("max-inflight", 0, "concurrent query bound (0 = 2x slots)")
-		maxQueue   = flag.Int("max-queue", 0, "admission queue depth (0 = 4x max-inflight)")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060); empty disables")
+		addr         = flag.String("addr", ":8080", "listen address")
+		demo         = flag.Int("demo", 0, "generate and serve a synthetic NYC dataset of this many events")
+		slots        = flag.Int("slots", 0, "executor slots (0 = GOMAXPROCS)")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "partition+result cache budget (negative disables)")
+		inFlight     = flag.Int("max-inflight", 0, "concurrent query bound (0 = 2x slots)")
+		maxQueue     = flag.Int("max-queue", 0, "admission queue depth (0 = 4x max-inflight)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "in-flight request budget after SIGTERM before connections close hard")
+		shardName    = flag.String("shard-name", "", "shard identity stamped on cluster sub-query responses and stitched trace spans")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Var(&datasets, "dataset", "serve a dataset: name=dir or name:schema=dir (repeatable)")
 	flag.Parse()
 
-	srv, err := build(engine.New(engine.Config{Slots: *slots}), datasets, *demo,
-		*cacheBytes, *inFlight, *maxQueue, *timeout)
+	srv, err := build(engine.New(engine.Config{Slots: *slots}), datasets, *demo, serve.Config{
+		CacheBytes:  *cacheBytes,
+		MaxInFlight: *inFlight,
+		MaxQueue:    *maxQueue,
+		Timeout:     *timeout,
+		ShardName:   *shardName,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stserved:", err)
 		os.Exit(2)
@@ -72,8 +79,20 @@ func main() {
 			}
 		}()
 	}
+	// Serve until SIGINT/SIGTERM, then drain: readiness flips to 503 first
+	// (a cluster router stops routing here), in-flight queries get
+	// -drain-timeout to finish, then remaining connections close.
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "stserved: "+format+"\n", args...)
+	}
 	fmt.Printf("stserved: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := serve.Graceful(serve.GracefulConfig{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		Drainer:      srv,
+		DrainTimeout: *drainTimeout,
+		Logf:         logf,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "stserved:", err)
 		os.Exit(1)
 	}
@@ -95,17 +114,9 @@ func debugMux() *http.ServeMux {
 // build assembles the server from the flag values. With demo > 0 it
 // ingests a synthetic NYC dataset into a temp directory and serves it as
 // "demo".
-func build(
-	ctx *engine.Context, datasets []string, demo int,
-	cacheBytes int64, inFlight, maxQueue int, timeout time.Duration,
-) (*serve.Server, error) {
-	srv := serve.NewServer(serve.Config{
-		Ctx:         ctx,
-		CacheBytes:  cacheBytes,
-		MaxInFlight: inFlight,
-		MaxQueue:    maxQueue,
-		Timeout:     timeout,
-	})
+func build(ctx *engine.Context, datasets []string, demo int, cfg serve.Config) (*serve.Server, error) {
+	cfg.Ctx = ctx
+	srv := serve.NewServer(cfg)
 	if demo > 0 {
 		dir, err := ingestDemo(ctx, demo)
 		if err != nil {

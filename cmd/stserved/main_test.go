@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"st4ml/internal/engine"
+	"st4ml/internal/serve"
 )
 
 // TestServedSmoke is the make-check smoke gate: build the daemon against a
@@ -17,7 +18,7 @@ import (
 func TestServedSmoke(t *testing.T) {
 	t.Setenv("TMPDIR", t.TempDir()) // the demo ingest dir dies with the test
 	ctx := engine.New(engine.Config{Slots: 2})
-	srv, err := build(ctx, nil, 2000, 8<<20, 4, 8, 10*time.Second)
+	srv, err := build(ctx, nil, 2000, serve.Config{CacheBytes: 8 << 20, MaxInFlight: 4, MaxQueue: 8, Timeout: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestServedSmoke(t *testing.T) {
 func TestServedExplain(t *testing.T) {
 	t.Setenv("TMPDIR", t.TempDir())
 	ctx := engine.New(engine.Config{Slots: 2})
-	srv, err := build(ctx, nil, 2000, 8<<20, 4, 8, 10*time.Second)
+	srv, err := build(ctx, nil, 2000, serve.Config{CacheBytes: 8 << 20, MaxInFlight: 4, MaxQueue: 8, Timeout: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

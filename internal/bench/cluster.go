@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+
+	"st4ml/internal/cluster"
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/selection"
+	"st4ml/internal/serve"
+	"st4ml/internal/stdata"
+)
+
+// ClusterResult is one multi-node serving row: the same uncached window mix
+// issued against either a single stserved daemon (mode "single") or an
+// strouter fronting N shard daemons (mode "router"). Result caches are
+// bypassed on every query so the rows compare scatter/gather overhead and
+// fan-out parallelism, not cache amortization (the serve experiment covers
+// that).
+type ClusterResult struct {
+	Mode       string  `json:"mode"` // "single" or "router"
+	Shards     int     `json:"shards"`
+	Events     int     `json:"events"`
+	Partitions int     `json:"partitions"`
+	Clients    int     `json:"clients"`
+	Queries    int     `json:"queries"`
+	MeanMS     float64 `json:"mean_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	QPS        float64 `json:"qps"`
+	// MeanWidth is the mean shard fan-out per routed query; pruning keeps it
+	// below Shards for selective windows. Zero in single mode.
+	MeanWidth float64 `json:"mean_width"`
+	RPCs      int64   `json:"rpcs"`
+	Hedges    int64   `json:"hedges"`
+	Failovers int64   `json:"failovers"`
+}
+
+// Cluster benchmarks routed serving against the single-node baseline: one
+// ingested NYC-like store, one seeded window mix, then a latency pass against
+// a lone daemon followed by passes against a router over 2 and 4 shard
+// daemons. Every fleet serves the same store in-process, so the comparison
+// isolates the router's plan/scatter/merge path.
+func Cluster(ctx *engine.Context, workdir string, events, clients, windowsPerClient int) ([]ClusterResult, error) {
+	sch, ok := stdata.Lookup("nyc")
+	if !ok {
+		return nil, fmt.Errorf("bench: nyc schema not registered")
+	}
+	dir := filepath.Join(workdir, "cluster-nyc")
+	meta, err := sch.Ingest(ctx, datagen.NYC(events, 17), dir, sch.DefaultPlanner(8, 4),
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.05, Seed: 17})
+	if err != nil {
+		return nil, err
+	}
+
+	total := clients * windowsPerClient
+	windows := RandomWindows(datagen.NYCExtent, datagen.Year2013, 0.15, total, 17)
+	bodies := make([][]byte, total)
+	for i, w := range windows {
+		bodies[i], err = json.Marshal(serve.QueryRequest{
+			Dataset: "nyc",
+			MinX:    w.Space.MinX, MinY: w.Space.MinY,
+			MaxX: w.Space.MaxX, MaxY: w.Space.MaxY,
+			TStart: w.Time.Start, TEnd: w.Time.End,
+			NoCache: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	base := ClusterResult{
+		Events:     events,
+		Partitions: meta.NumPartitions(),
+		Clients:    clients,
+		Queries:    total,
+	}
+
+	var rows []ClusterResult
+
+	// Baseline: the window mix straight at one daemon, no router in the path.
+	single, urls, err := startShards(ctx, dir, 1, clients)
+	if err != nil {
+		return nil, err
+	}
+	row := base
+	row.Mode, row.Shards = "single", 1
+	var shed int64
+	row.MeanMS, row.P95MS, row.QPS, err = servePass(urls[0], bodies, clients, &shed)
+	closeAll(single)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	for _, shards := range []int{2, 4} {
+		fleet, urls, err := startShards(ctx, dir, shards, clients)
+		if err != nil {
+			return nil, err
+		}
+		row, err := routedPass(base, dir, urls, bodies, clients)
+		closeAll(fleet)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// startShards brings up n shard daemons over the same store and engine
+// context, returning the test servers and their URLs.
+func startShards(ctx *engine.Context, dir string, n, clients int) ([]*httptest.Server, []string, error) {
+	var fleet []*httptest.Server
+	var urls []string
+	for i := 0; i < n; i++ {
+		srv := serve.NewServer(serve.Config{
+			Ctx:         ctx,
+			ShardName:   fmt.Sprintf("s%d", i),
+			MaxInFlight: 2 * clients,
+			MaxQueue:    2 * clients,
+		})
+		if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+			closeAll(fleet)
+			return nil, nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		fleet = append(fleet, ts)
+		urls = append(urls, ts.URL)
+	}
+	return fleet, urls, nil
+}
+
+func closeAll(fleet []*httptest.Server) {
+	for _, ts := range fleet {
+		ts.Close()
+	}
+}
+
+// routedPass runs the window mix through a fresh router over the given shard
+// fleet and folds the router's own counters into the row.
+func routedPass(base ClusterResult, dir string, shardURLs []string, bodies [][]byte, clients int) (ClusterResult, error) {
+	row := base
+	row.Mode, row.Shards = "router", len(shardURLs)
+
+	topo := ""
+	for i, u := range shardURLs {
+		if i > 0 {
+			topo += ";"
+		}
+		topo += u
+	}
+	m, err := cluster.ParseShards(topo)
+	if err != nil {
+		return row, err
+	}
+	r, err := cluster.NewRouter(cluster.Config{Shards: m})
+	if err != nil {
+		return row, err
+	}
+	if err := r.AddDataset("nyc", "nyc", dir); err != nil {
+		return row, err
+	}
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	var shed int64
+	row.MeanMS, row.P95MS, row.QPS, err = servePass(ts.URL, bodies, clients, &shed)
+	if err != nil {
+		return row, err
+	}
+
+	var metrics cluster.MetricsResponse
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return row, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		return row, err
+	}
+	rs := metrics.Router
+	row.RPCs, row.Hedges, row.Failovers = rs.RPCs, rs.Hedges, rs.Failovers
+	if rs.Queries > 0 {
+		row.MeanWidth = float64(rs.ScatterWidth) / float64(rs.Queries)
+	}
+	return row, nil
+}
+
+// ClusterTable formats the routed-serving comparison rows.
+func ClusterTable(rows []ClusterResult) *Table {
+	t := NewTable("Cluster: single daemon vs routed shard fleets (uncached mix)",
+		"mode", "shards", "events", "parts", "clients", "queries",
+		"mean_ms", "p95_ms", "qps", "width", "rpcs", "hedges", "failovers")
+	for _, r := range rows {
+		t.Add(r.Mode, r.Shards, r.Events, r.Partitions, r.Clients, r.Queries,
+			r.MeanMS, r.P95MS, r.QPS, r.MeanWidth, r.RPCs, r.Hedges, r.Failovers)
+	}
+	return t
+}

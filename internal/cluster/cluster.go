@@ -1,0 +1,218 @@
+// Package cluster is the multi-node serving tier: a stateless router that
+// scatters window queries over a fleet of stserved shard processes and
+// gathers their per-partition chunks back into one answer that is
+// byte-identical to what a single daemon would have served.
+//
+// The design splits the serving problem the way the paper splits selection:
+//
+//   - Planning stays central. The router reads the same metadata.json (and
+//     delta manifest) a single node would, prunes partitions against the
+//     query window via the §4.1 bounds index, and rendezvous-hashes the
+//     surviving partition ids over the shard names — so a spatially
+//     selective query touches only the shards that own matching partitions
+//     (the explain report calls this the scatter width).
+//
+//   - Execution is scattered. Each touched shard gets one POST /subquery
+//     carrying its partition subset and a generation fence; replicas of a
+//     shard are interchangeable, so the RPC runs under engine.Hedge — the
+//     engine's task-attempt rules (failover on error, hedged duplicates on
+//     silence, exactly-once commit) generalized across the process
+//     boundary.
+//
+//   - Gathering is exactly-once. Shards answer per-partition chunks keyed
+//     by partition id; the merge drops duplicate ids (a chunk that raced in
+//     from a losing hedge), reassembles chunks in ascending partition
+//     order, and truncates at the query limit — the order a single node
+//     marshals in, which is what makes the merged bytes identical.
+//
+//   - Consistency is fenced, not locked. Every sub-query carries the
+//     dataset generation the router planned at; a shard whose view moved (a
+//     compaction or append committed mid-scatter) answers 409 and the
+//     router replans from fresh metadata, so one merged response can never
+//     mix generations.
+//
+// Shard trace spans ship back inside sub-query responses and are grafted
+// under the router's RPC spans, so `stquery -explain` against the router
+// renders one stitched router→shard→partition:read tree.
+package cluster
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"st4ml/internal/serve"
+)
+
+// Config tunes a Router. Zero values pick serving defaults.
+type Config struct {
+	// Catalog holds the datasets the router plans from (same directories
+	// the shards serve; the router reads only metadata, never partitions).
+	Catalog *serve.Catalog
+	// Shards is the cluster topology. Must validate.
+	Shards ShardMap
+	// CacheBytes budgets the merged-result cache. 0 means 64 MiB; negative
+	// disables caching.
+	CacheBytes int64
+	// Timeout bounds one routed query end to end. 0 means 30s.
+	Timeout time.Duration
+	// ShardTimeout bounds each sub-query attempt. 0 means Timeout.
+	ShardTimeout time.Duration
+	// HedgeAfter launches a duplicate attempt on another replica when a
+	// sub-query has not answered within this duration. 0 disables hedging
+	// (replicas then serve only as failover targets).
+	HedgeAfter time.Duration
+	// MaxAttempts bounds attempts per shard RPC. 0 means 2×replicas.
+	MaxAttempts int
+	// MaxReplans bounds generation-conflict replans per query. 0 means 3.
+	MaxReplans int
+	// Client issues the shard RPCs. Nil builds a default.
+	Client *http.Client
+}
+
+// Router is the scatter-gather coordinator. It is stateless apart from
+// caches and counters: all routing state derives from the shard map and the
+// dataset metadata, so any number of routers can front the same fleet.
+type Router struct {
+	catalog      *serve.Catalog
+	shards       ShardMap
+	replicas     [][]*replica // replicas[shard][i] tracks Shards[shard].Replicas[i]
+	cache        *serve.Cache
+	client       *http.Client
+	timeout      time.Duration
+	shardTimeout time.Duration
+	hedgeAfter   time.Duration
+	maxAttempts  int
+	maxReplans   int
+	started      time.Time
+	draining     atomic.Bool
+
+	queries      atomic.Int64
+	queryErrors  atomic.Int64
+	resultHits   atomic.Int64
+	resultMisses atomic.Int64
+	rpcs         atomic.Int64
+	hedges       atomic.Int64
+	failovers    atomic.Int64
+	replans      atomic.Int64
+	genConflicts atomic.Int64
+	dedupDrops   atomic.Int64
+	timeouts     atomic.Int64
+	scatterWidth atomic.Int64
+
+	// testHookAfterPlan, when set, runs after the scatter set is computed
+	// and before any sub-query is sent — the window in which tests race a
+	// compaction against the scatter to exercise the generation fence.
+	testHookAfterPlan func()
+}
+
+// NewRouter builds a Router from cfg.
+func NewRouter(cfg Config) (*Router, error) {
+	if err := cfg.Shards.Validate(); err != nil {
+		return nil, err
+	}
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog = serve.NewCatalog()
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 64 << 20
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	shardTimeout := cfg.ShardTimeout
+	if shardTimeout <= 0 {
+		shardTimeout = timeout
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	maxReplans := cfg.MaxReplans
+	if maxReplans <= 0 {
+		maxReplans = 3
+	}
+	r := &Router{
+		catalog:      catalog,
+		shards:       cfg.Shards,
+		cache:        serve.NewCache(cacheBytes),
+		client:       client,
+		timeout:      timeout,
+		shardTimeout: shardTimeout,
+		hedgeAfter:   cfg.HedgeAfter,
+		maxAttempts:  cfg.MaxAttempts,
+		maxReplans:   maxReplans,
+		started:      time.Now(),
+	}
+	r.replicas = make([][]*replica, len(cfg.Shards.Shards))
+	for i, sh := range cfg.Shards.Shards {
+		r.replicas[i] = make([]*replica, len(sh.Replicas))
+		for j, url := range sh.Replicas {
+			rep := &replica{url: url}
+			rep.ready.Store(true) // optimistic until a probe or RPC says otherwise
+			r.replicas[i][j] = rep
+		}
+	}
+	return r, nil
+}
+
+// Catalog exposes the router's dataset catalog.
+func (r *Router) Catalog() *serve.Catalog { return r.catalog }
+
+// AddDataset registers the dataset at dir under name for planning.
+func (r *Router) AddDataset(name, schemaName, dir string) error {
+	_, err := r.catalog.Register(name, schemaName, dir)
+	return err
+}
+
+// SetDraining marks the router as draining: readiness turns 503 and new
+// queries are refused while in-flight scatters finish.
+func (r *Router) SetDraining(v bool) { r.draining.Store(v) }
+
+// Draining reports whether the router is draining.
+func (r *Router) Draining() bool { return r.draining.Load() }
+
+// RouterStats is the /metrics wire form of the router counters.
+type RouterStats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	Shards        int     `json:"shards"`
+	Queries       int64   `json:"queries"`
+	QueryErrors   int64   `json:"query_errors"`
+	ResultHits    int64   `json:"result_cache_hits"`
+	ResultMisses  int64   `json:"result_cache_misses"`
+	RPCs          int64   `json:"rpcs"`
+	Hedges        int64   `json:"hedges"`
+	Failovers     int64   `json:"failovers"`
+	Replans       int64   `json:"replans"`
+	GenConflicts  int64   `json:"generation_conflicts"`
+	DedupDrops    int64   `json:"dedup_drops"`
+	Timeouts      int64   `json:"timeouts"`
+	// ScatterWidth is the cumulative shard count touched across routed
+	// queries; divided by Queries it is the mean fan-out.
+	ScatterWidth int64 `json:"scatter_width"`
+}
+
+// Stats returns a snapshot of the router counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		UptimeSeconds: time.Since(r.started).Seconds(),
+		Draining:      r.draining.Load(),
+		Shards:        len(r.shards.Shards),
+		Queries:       r.queries.Load(),
+		QueryErrors:   r.queryErrors.Load(),
+		ResultHits:    r.resultHits.Load(),
+		ResultMisses:  r.resultMisses.Load(),
+		RPCs:          r.rpcs.Load(),
+		Hedges:        r.hedges.Load(),
+		Failovers:     r.failovers.Load(),
+		Replans:       r.replans.Load(),
+		GenConflicts:  r.genConflicts.Load(),
+		DedupDrops:    r.dedupDrops.Load(),
+		Timeouts:      r.timeouts.Load(),
+		ScatterWidth:  r.scatterWidth.Load(),
+	}
+}

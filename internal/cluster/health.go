@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// replica tracks one shard replica's routing state: readiness (probed via
+// /readyz and demoted on transport failure) plus per-replica counters.
+type replica struct {
+	url   string
+	ready atomic.Bool
+	calls atomic.Int64
+	errs  atomic.Int64
+	nanos atomic.Int64 // cumulative committed-RPC wall time
+}
+
+// replicaOrder returns shard si's replica indices with ready replicas
+// first (stable within each class), so hedged attempts — attempt i targets
+// candidate i%n — exhaust healthy replicas before falling back to ones a
+// probe or a recent transport error marked not-ready.
+func (r *Router) replicaOrder(si int) []int {
+	reps := r.replicas[si]
+	order := make([]int, 0, len(reps))
+	for i, rep := range reps {
+		if rep.ready.Load() {
+			order = append(order, i)
+		}
+	}
+	for i, rep := range reps {
+		if !rep.ready.Load() {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// CheckReplicas runs one readiness pass: every replica of every shard is
+// probed via GET /readyz under a short deadline, and its routing readiness
+// set from the answer. A draining shard (503) or an unreachable one drops
+// out of the preferred order until a later pass revives it.
+func (r *Router) CheckReplicas(ctx context.Context) {
+	var wg sync.WaitGroup
+	for si := range r.replicas {
+		for ri := range r.replicas[si] {
+			wg.Add(1)
+			go func(rep *replica) {
+				defer wg.Done()
+				pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				defer cancel()
+				req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.url+"/readyz", nil)
+				if err != nil {
+					rep.ready.Store(false)
+					return
+				}
+				resp, err := r.client.Do(req)
+				if err != nil {
+					rep.ready.Store(false)
+					return
+				}
+				resp.Body.Close()
+				rep.ready.Store(resp.StatusCode == http.StatusOK)
+			}(r.replicas[si][ri])
+		}
+	}
+	wg.Wait()
+}
+
+// StartHealth probes replica readiness every interval (default 5s) until
+// the returned stop function is called.
+func (r *Router) StartHealth(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.CheckReplicas(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// ReplicaStatus is the /metrics wire form of one replica's routing state.
+type ReplicaStatus struct {
+	URL    string `json:"url"`
+	Ready  bool   `json:"ready"`
+	Calls  int64  `json:"calls"`
+	Errors int64  `json:"errors"`
+	// MeanMS is the mean wall time of this replica's committed RPCs.
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// ShardStatus is the /metrics wire form of one shard's replica set.
+type ShardStatus struct {
+	Name     string          `json:"name"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// ShardStatuses snapshots every shard's replica state, sorted by name.
+func (r *Router) ShardStatuses() []ShardStatus {
+	out := make([]ShardStatus, 0, len(r.shards.Shards))
+	for si, sh := range r.shards.Shards {
+		st := ShardStatus{Name: sh.Name}
+		for _, rep := range r.replicas[si] {
+			rs := ReplicaStatus{
+				URL:    rep.url,
+				Ready:  rep.ready.Load(),
+				Calls:  rep.calls.Load(),
+				Errors: rep.errs.Load(),
+			}
+			if ok := rs.Calls - rs.Errors; ok > 0 {
+				rs.MeanMS = float64(rep.nanos.Load()) / float64(ok) / 1e6
+			}
+			st.Replicas = append(st.Replicas, rs)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

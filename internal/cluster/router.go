@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/selection"
+	"st4ml/internal/serve"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+	"st4ml/internal/trace"
+)
+
+// genConflictError is a shard's 409: its dataset generation moved away from
+// the fence the scatter was planned at. It is permanent for the RPC (another
+// replica of the same dataset will refuse the same fence) but retryable for
+// the query — the router replans from fresh metadata.
+type genConflictError struct {
+	shard string
+	msg   string
+}
+
+func (e *genConflictError) Error() string {
+	return fmt.Sprintf("cluster: shard %s: %s", e.shard, e.msg)
+}
+
+// resultKey is the merged-result cache key: dataset identity, the catalog
+// generation (bumped on any observed reload), the planning fence, and
+// everything that shapes the response body. Embedding both generations is
+// the regression fix for mid-scatter compaction: a shard that compacts can
+// never leave a mixed-generation entry behind, and a replan stores under
+// the new fence.
+func resultKey(req serve.QueryRequest, gen, fenceGen, fenceCount int64) string {
+	return fmt.Sprintf("rq|%s|%d|%d,%d|%v,%v,%v,%v|%d,%d|%t,%d",
+		req.Dataset, gen, fenceGen, fenceCount,
+		req.MinX, req.MinY, req.MaxX, req.MaxY, req.TStart, req.TEnd,
+		req.Records, req.Limit)
+}
+
+// Query routes one window query: plan against the pinned metadata, scatter
+// sub-queries over the owning shards, gather and merge. It returns the
+// merged result, the cache disposition, the stitched execution report when
+// the request asked for one, and on failure an HTTP status.
+func (r *Router) Query(reqCtx context.Context, req serve.QueryRequest) (stdata.QueryResult, string, *trace.Explain, int, error) {
+	d, ok := r.catalog.Get(req.Dataset)
+	if !ok {
+		return stdata.QueryResult{}, "", nil, http.StatusNotFound,
+			fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+
+	var tr *trace.Tracer
+	if req.Explain {
+		tr = trace.New()
+	}
+	root := tr.StartSpan(0, "query", trace.Str("dataset", req.Dataset))
+
+	ctx, cancel := context.WithTimeout(reqCtx, r.timeout)
+	defer cancel()
+
+	// Replan loop: each round plans at the current metadata generation and
+	// scatters under that fence. A generation conflict — some shard saw a
+	// compaction or append commit mid-scatter — discards the round and
+	// replans from fresh metadata, bounded by maxReplans.
+	for replan := 0; ; replan++ {
+		meta, gen, err := d.Meta()
+		if err != nil {
+			root.End(trace.Str("error", err.Error()))
+			return stdata.QueryResult{}, "", nil, http.StatusInternalServerError, err
+		}
+
+		key := resultKey(req, gen, meta.Generation, meta.TotalCount)
+		if !req.NoCache {
+			lsp := root.Child(trace.SpanResultLookup)
+			v, ok := r.cache.Get(key)
+			lsp.End(trace.Bool("hit", ok))
+			if ok {
+				r.resultHits.Add(1)
+				root.End()
+				return v.(stdata.QueryResult), "hit", trace.Build(tr.Snapshot()), http.StatusOK, nil
+			}
+		}
+		r.resultMisses.Add(1)
+
+		res, conflict, status, err := r.scatter(ctx, d, meta, req, root, replan)
+		if conflict {
+			r.replans.Add(1)
+			if replan+1 < r.maxReplans {
+				continue
+			}
+			err = fmt.Errorf("cluster: generation moved %d times during one query: %w", replan+1, err)
+			root.End(trace.Str("error", err.Error()))
+			return stdata.QueryResult{}, "", nil, http.StatusConflict, err
+		}
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				r.timeouts.Add(1)
+				status = http.StatusGatewayTimeout
+			}
+			root.End(trace.Str("error", err.Error()))
+			return stdata.QueryResult{}, "", nil, status, err
+		}
+		if !req.NoCache {
+			r.cache.Put(key, res, mergedBytes(res))
+		}
+		root.End()
+		return res, "miss", trace.Build(tr.Snapshot()), http.StatusOK, nil
+	}
+}
+
+// shardOutcome is one shard RPC's gathered result.
+type shardOutcome struct {
+	shard    int
+	resp     serve.SubQueryResponse
+	stats    engine.AttemptStats
+	conflict *genConflictError
+	err      error
+}
+
+// scatter runs one planning+fan-out round at meta's generation. The second
+// return reports a generation conflict (caller replans).
+func (r *Router) scatter(ctx context.Context, d *serve.Dataset, meta *storage.Metadata,
+	req serve.QueryRequest, root *trace.Span, replan int,
+) (stdata.QueryResult, bool, int, error) {
+	w := req.Window()
+	ids := meta.Prune(w.Space, w.Time)
+	stats := selection.Stats{
+		TotalPartitions:  meta.NumPartitions(),
+		LoadedPartitions: len(ids),
+	}
+	for _, id := range ids {
+		stats.LoadedRecords += meta.PartitionCount(id)
+		stats.LoadedBytes += meta.PartitionBytes(id)
+	}
+
+	// Group the scatter set by owning shard. Prune returns ascending ids
+	// and append preserves order, so each group is ascending too.
+	groups := map[int][]int{}
+	for _, id := range ids {
+		si := r.shards.Assign(id)
+		groups[si] = append(groups[si], id)
+	}
+	touched := make([]int, 0, len(groups))
+	for si := range groups {
+		touched = append(touched, si)
+	}
+	sort.Ints(touched)
+
+	// The scatter span carries the planning attrs exactly once for the
+	// whole stitched tree (shard sub-query spans suppress theirs). It is
+	// recorded only for the winning round — a conflicted round's span is
+	// abandoned un-ended, so a replanned query never double-counts.
+	ssp := root.Child(trace.SpanScatter,
+		trace.Int("total_partitions", int64(stats.TotalPartitions)),
+		trace.Int("kept_partitions", int64(stats.LoadedPartitions)),
+		trace.Int("loaded_records", stats.LoadedRecords),
+		trace.Int("loaded_bytes", stats.LoadedBytes),
+		trace.Int("shards", int64(len(r.shards.Shards))),
+		trace.Int("width", int64(len(touched))))
+
+	if r.testHookAfterPlan != nil {
+		r.testHookAfterPlan()
+	}
+
+	if len(touched) == 0 {
+		ssp.End(trace.Int("replans", int64(replan)))
+		res := stdata.QueryResult{Stats: stats}
+		if req.Records {
+			res.Records = make([]json.RawMessage, 0)
+		}
+		return res, false, http.StatusOK, nil
+	}
+	r.scatterWidth.Add(int64(len(touched)))
+
+	// The embedded QueryRequest carries Explain through, so shards trace
+	// (and ship spans back) exactly when the routed query is traced.
+	sub := serve.SubQueryRequest{
+		QueryRequest: req,
+		Gen:          meta.Generation,
+		Count:        meta.TotalCount,
+	}
+
+	outs := make([]shardOutcome, len(touched))
+	var wg sync.WaitGroup
+	for i, si := range touched {
+		wg.Add(1)
+		go func(i, si int) {
+			defer wg.Done()
+			outs[i] = r.callShard(ctx, si, groups[si], sub, ssp)
+		}(i, si)
+	}
+	wg.Wait()
+
+	for _, out := range outs {
+		r.hedges.Add(int64(out.stats.Hedges))
+		r.failovers.Add(int64(out.stats.Failovers))
+		if out.conflict != nil {
+			r.genConflicts.Add(1)
+		}
+	}
+	for _, out := range outs {
+		if out.conflict != nil {
+			return stdata.QueryResult{}, true, http.StatusConflict, out.conflict
+		}
+	}
+	for _, out := range outs {
+		if out.err != nil {
+			return stdata.QueryResult{}, false, http.StatusBadGateway,
+				fmt.Errorf("cluster: shard %s: %w", r.shards.Shards[out.shard].Name, out.err)
+		}
+	}
+
+	res := r.merge(ids, outs, req, stats)
+	ssp.End(trace.Int("replans", int64(replan)))
+	return res, false, http.StatusOK, nil
+}
+
+// callShard issues one shard's sub-query as hedged attempts over its
+// replicas: ready replicas are tried first, a failed attempt fails over to
+// the next, a silent one gets a hedged duplicate after HedgeAfter, and
+// exactly one response commits. The shard's span dump is grafted under the
+// RPC span so the stitched tree crosses the process boundary.
+func (r *Router) callShard(ctx context.Context, si int, parts []int,
+	sub serve.SubQueryRequest, ssp *trace.Span,
+) shardOutcome {
+	sh := r.shards.Shards[si]
+	sub.Partitions = parts
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return shardOutcome{shard: si, err: err}
+	}
+	order := r.replicaOrder(si)
+	rsp := ssp.Child(trace.SpanRPC,
+		trace.Str("shard", sh.Name),
+		trace.Int("partitions", int64(len(parts))))
+	r.rpcs.Add(1)
+
+	resp, ast, err := engine.Hedge(ctx, len(order),
+		engine.AttemptConfig{
+			MaxAttempts: r.maxAttempts,
+			HedgeAfter:  r.hedgeAfter,
+			Timeout:     r.shardTimeout,
+		},
+		func(ctx context.Context, cand, attempt int) (serve.SubQueryResponse, error) {
+			return r.post(ctx, si, order[cand], sh.Name, body)
+		})
+
+	out := shardOutcome{shard: si, resp: resp, stats: ast}
+	winner := ""
+	if ast.Winner >= 0 {
+		winner = sh.Replicas[order[ast.Winner]]
+	}
+	if err != nil {
+		var conflict *genConflictError
+		if errors.As(err, &conflict) {
+			out.conflict = conflict
+		} else {
+			out.err = err
+		}
+		rsp.End(trace.Str("error", err.Error()),
+			trace.Int("attempts", int64(ast.Attempts)),
+			trace.Int("hedges", int64(ast.Hedges)),
+			trace.Int("failovers", int64(ast.Failovers)))
+		return out
+	}
+	var selected int64
+	for _, pr := range resp.Parts {
+		selected += pr.Selected
+	}
+	r.graft(resp.Spans, rsp)
+	rsp.End(trace.Str("replica", winner),
+		trace.Int("attempts", int64(ast.Attempts)),
+		trace.Int("hedges", int64(ast.Hedges)),
+		trace.Int("failovers", int64(ast.Failovers)),
+		trace.Int("selected", selected))
+	return out
+}
+
+// graft records a shard's span dump under the RPC span's tracer.
+func (r *Router) graft(spans []trace.WireSpan, rsp *trace.Span) {
+	if rsp == nil || len(spans) == 0 {
+		return
+	}
+	rsp.Tracer().Graft(spans, rsp.ID())
+}
+
+// post issues one sub-query attempt against one replica and classifies the
+// answer: 200 commits, 409 is a permanent generation conflict, anything
+// else fails over. Transport failures additionally mark the replica
+// not-ready so later queries prefer its peers until a probe revives it.
+func (r *Router) post(ctx context.Context, si, ri int, shardName string, body []byte) (serve.SubQueryResponse, error) {
+	rep := r.replicas[si][ri]
+	rep.calls.Add(1)
+	url := rep.url + "/subquery"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return serve.SubQueryResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	hresp, err := r.client.Do(hreq)
+	if err != nil {
+		rep.errs.Add(1)
+		rep.ready.Store(false)
+		return serve.SubQueryResponse{}, err
+	}
+	defer hresp.Body.Close()
+	switch hresp.StatusCode {
+	case http.StatusOK:
+		var out serve.SubQueryResponse
+		if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+			rep.errs.Add(1)
+			return serve.SubQueryResponse{}, fmt.Errorf("decode %s: %w", url, err)
+		}
+		rep.nanos.Add(time.Since(start).Nanoseconds())
+		return out, nil
+	case http.StatusConflict:
+		rep.errs.Add(1)
+		return serve.SubQueryResponse{}, engine.Permanent(&genConflictError{
+			shard: shardName, msg: readErrorBody(hresp.Body),
+		})
+	default:
+		rep.errs.Add(1)
+		return serve.SubQueryResponse{}, fmt.Errorf("%s: status %d: %s",
+			url, hresp.StatusCode, readErrorBody(hresp.Body))
+	}
+}
+
+// readErrorBody extracts the {"error": …} message of a non-200 answer.
+func readErrorBody(body io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// merge gathers the shard chunks back into one result, exactly once: chunks
+// are keyed by partition id (each record belongs to exactly one partition
+// per generation), duplicates from losing hedges are dropped, and records
+// are reassembled in ascending partition order — the order a single node
+// marshals in — then truncated at the query limit.
+func (r *Router) merge(ids []int, outs []shardOutcome, req serve.QueryRequest, stats selection.Stats) stdata.QueryResult {
+	chunks := make(map[int]stdata.PartResult, len(ids))
+	for _, out := range outs {
+		for _, pr := range out.resp.Parts {
+			if _, dup := chunks[pr.ID]; dup {
+				r.dedupDrops.Add(1)
+				continue
+			}
+			chunks[pr.ID] = pr
+		}
+	}
+	res := stdata.QueryResult{Stats: stats}
+	for _, pr := range chunks {
+		res.Stats.SelectedRecords += pr.Selected
+	}
+	if !req.Records {
+		return res
+	}
+	limit := req.Limit
+	if limit <= 0 || int64(limit) > res.Stats.SelectedRecords {
+		limit = int(res.Stats.SelectedRecords)
+	}
+	res.Records = make([]json.RawMessage, 0, limit)
+	// ids is ascending; per-shard groups preserve that order, so walking
+	// the planned set in order reassembles the global record stream. Each
+	// shard capped its marshaled records at the global limit across its
+	// own chunks in the same order, so every record inside the global
+	// prefix survived its shard's cap.
+	for _, id := range ids {
+		pr, ok := chunks[id]
+		if !ok {
+			continue
+		}
+		for _, rec := range pr.Records {
+			if len(res.Records) >= limit {
+				return res
+			}
+			res.Records = append(res.Records, rec)
+		}
+	}
+	return res
+}
+
+// mergedBytes estimates a cached merged result's resident size.
+func mergedBytes(res stdata.QueryResult) int64 {
+	n := int64(160)
+	for _, rec := range res.Records {
+		n += int64(len(rec)) + 24
+	}
+	return n
+}

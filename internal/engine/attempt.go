@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file generalizes the engine's task-attempt machinery — bounded
+// retries, speculative duplicates, exactly-once commits — to attempts that
+// cross a process boundary. runStage applies those rules to in-memory
+// tasks; Hedge applies the same rules to an arbitrary closure with several
+// interchangeable candidates (e.g. the replicas of a cluster shard): a
+// failed attempt fails over to the next candidate, a slow attempt gets a
+// hedged duplicate on the next candidate after HedgeAfter, and exactly one
+// result is committed — the first success — while every losing attempt is
+// canceled through its context.
+
+// AttemptConfig tunes one Hedge call. Zero values pick sane defaults.
+type AttemptConfig struct {
+	// MaxAttempts bounds the total attempts across all candidates.
+	// 0 means 2×candidates (each candidate once, then one retry round).
+	MaxAttempts int
+	// HedgeAfter launches a duplicate attempt on the next candidate when
+	// the running ones have not answered within this duration. 0 disables
+	// hedging (attempts then launch only on failure — pure failover).
+	HedgeAfter time.Duration
+	// Timeout bounds each individual attempt. 0 means no per-attempt bound
+	// beyond the caller's context.
+	Timeout time.Duration
+	// Backoff is the sleep before a failover attempt (not before hedges),
+	// doubling per failover like task retry backoff. 0 disables.
+	Backoff time.Duration
+}
+
+// AttemptStats reports what one Hedge call did.
+type AttemptStats struct {
+	// Attempts is how many attempts launched in total.
+	Attempts int
+	// Hedges counts duplicates launched because of HedgeAfter.
+	Hedges int
+	// Failovers counts attempts launched because a prior one failed.
+	Failovers int
+	// Winner is the candidate index whose attempt committed (-1 on failure).
+	Winner int
+}
+
+// PermanentError marks an attempt failure that retrying on another
+// candidate cannot fix (a generation conflict, a malformed request); Hedge
+// stops immediately and returns the wrapped error.
+type PermanentError struct{ Err error }
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err so Hedge treats it as non-retryable.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// Hedge runs run against up to MaxAttempts attempts spread over candidates
+// interchangeable candidates (attempt i targets candidate i%candidates) and
+// returns the first successful result. Exactly one result commits; when a
+// winner is chosen every other in-flight attempt's context is canceled.
+// Failed attempts fail over to the next candidate immediately (after
+// Backoff); with HedgeAfter set, silence launches a hedged duplicate
+// without waiting for a failure. A PermanentError from any attempt aborts
+// the call. The zero value of T and the stats so far are returned on error.
+func Hedge[T any](ctx context.Context, candidates int, cfg AttemptConfig,
+	run func(ctx context.Context, candidate, attempt int) (T, error)) (T, AttemptStats, error) {
+	var zero T
+	st := AttemptStats{Winner: -1}
+	if candidates <= 0 {
+		return zero, st, errors.New("engine: Hedge needs at least one candidate")
+	}
+	max := cfg.MaxAttempts
+	if max <= 0 {
+		max = 2 * candidates
+	}
+	actx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	type outcome struct {
+		v    T
+		cand int
+		err  error
+	}
+	// Buffered to max so losing attempts never block on send and always
+	// exit once canceled.
+	results := make(chan outcome, max)
+	launch := func() {
+		attempt := st.Attempts
+		cand := attempt % candidates
+		st.Attempts++
+		go func() {
+			rctx := actx
+			cancel := func() {}
+			if cfg.Timeout > 0 {
+				rctx, cancel = context.WithTimeout(actx, cfg.Timeout)
+			}
+			defer cancel()
+			v, err := run(rctx, cand, attempt)
+			results <- outcome{v: v, cand: cand, err: err}
+		}()
+	}
+
+	launch()
+	pending := 1
+	backoff := cfg.Backoff
+	var lastErr error
+	for {
+		var hedge <-chan time.Time
+		if cfg.HedgeAfter > 0 && st.Attempts < max {
+			t := time.NewTimer(cfg.HedgeAfter)
+			hedge = t.C
+			defer t.Stop()
+		}
+		select {
+		case out := <-results:
+			pending--
+			if out.err == nil {
+				// Exactly-once commit: first success wins, losers are
+				// canceled and their results discarded.
+				st.Winner = out.cand
+				cancelAll()
+				return out.v, st, nil
+			}
+			lastErr = out.err
+			var perm *PermanentError
+			if errors.As(out.err, &perm) {
+				cancelAll()
+				return zero, st, perm.Err
+			}
+			if err := ctx.Err(); err != nil {
+				return zero, st, err
+			}
+			if st.Attempts < max {
+				if backoff > 0 {
+					select {
+					case <-time.After(backoff):
+					case <-ctx.Done():
+						return zero, st, ctx.Err()
+					}
+					backoff *= 2
+				}
+				st.Failovers++
+				launch()
+				pending++
+			} else if pending == 0 {
+				return zero, st, fmt.Errorf("engine: all %d attempts failed: %w", st.Attempts, lastErr)
+			}
+		case <-hedge:
+			st.Hedges++
+			launch()
+			pending++
+		case <-ctx.Done():
+			return zero, st, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Drainer is anything with a drain switch: the serving daemon and the
+// cluster router both flip readiness to 503 while in-flight work finishes.
+type Drainer interface {
+	SetDraining(bool)
+}
+
+// GracefulConfig configures one graceful HTTP serving loop.
+type GracefulConfig struct {
+	// Addr is the listen address.
+	Addr string
+	// Handler is the HTTP handler to serve.
+	Handler http.Handler
+	// Drainer, when set, is flipped to draining before the listener stops
+	// accepting — readiness probes turn 503 first, so a router (or load
+	// balancer) stops sending work before connections start failing.
+	Drainer Drainer
+	// DrainTimeout bounds how long in-flight requests may take to finish
+	// after the shutdown signal. 0 means 10s. When it expires, remaining
+	// connections are closed hard.
+	DrainTimeout time.Duration
+	// Logf, when set, receives shutdown progress lines.
+	Logf func(format string, args ...any)
+	// OnListen, when set, receives the bound address before serving starts
+	// (tests bind :0 and learn the port here).
+	OnListen func(addr string)
+}
+
+// Graceful serves until SIGINT or SIGTERM, then drains: the Drainer flips
+// (readiness 503), the listener closes, and in-flight requests get
+// DrainTimeout to finish before remaining connections are closed hard. It
+// returns nil on a clean drain.
+func Graceful(cfg GracefulConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return GracefulContext(ctx, cfg)
+}
+
+// GracefulContext is Graceful with an explicit shutdown trigger: serving
+// runs until ctx is canceled.
+func GracefulContext(ctx context.Context, cfg GracefulConfig) error {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: cfg.Handler}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logf("draining: refusing new work, waiting up to %s for in-flight requests", drain)
+	if cfg.Drainer != nil {
+		cfg.Drainer.SetDraining(true)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		logf("drain timed out (%v): closing remaining connections", err)
+		return hs.Close()
+	}
+	logf("drained cleanly")
+	// Serve has returned ErrServerClosed by now; swallow it.
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

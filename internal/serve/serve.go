@@ -43,17 +43,26 @@ type Config struct {
 	// Timeout is the per-request deadline; a query that cannot finish (or
 	// even start) in time is answered 504. 0 means 30s.
 	Timeout time.Duration
+	// ShardName identifies this daemon in cluster sub-query responses and
+	// stitched trace spans ("" for a standalone daemon).
+	ShardName string
 }
 
 // Server is the serving daemon's state: catalog, cache, admission, and the
 // shared engine context, plus request counters in the engine.Metrics style.
 type Server struct {
-	ctx     *engine.Context
-	catalog *Catalog
-	cache   *Cache
-	adm     *Admission
-	timeout time.Duration
-	started time.Time
+	ctx       *engine.Context
+	catalog   *Catalog
+	cache     *Cache
+	adm       *Admission
+	timeout   time.Duration
+	started   time.Time
+	shardName string
+
+	// draining flips once, when a SIGTERM begins the shutdown drain: the
+	// readiness probe turns 503 so routers stop sending new work, while
+	// liveness stays green and in-flight requests finish.
+	draining atomic.Bool
 
 	queries        atomic.Int64
 	queryErrors    atomic.Int64
@@ -61,6 +70,8 @@ type Server struct {
 	resultMisses   atomic.Int64
 	partitionLoads atomic.Int64
 	timeouts       atomic.Int64
+	subqueries     atomic.Int64
+	genConflicts   atomic.Int64
 
 	// lastGen tracks each dataset's observed metadata generation, so a
 	// reload triggers eager cache invalidation (see noteGeneration).
@@ -93,15 +104,24 @@ func NewServer(cfg Config) *Server {
 		timeout = 30 * time.Second
 	}
 	return &Server{
-		ctx:     ctx,
-		catalog: NewCatalog(),
-		cache:   NewCache(cacheBytes),
-		adm:     NewAdmission(inFlight, queue),
-		timeout: timeout,
-		started: time.Now(),
-		lastGen: map[string]int64{},
+		ctx:       ctx,
+		catalog:   NewCatalog(),
+		cache:     NewCache(cacheBytes),
+		adm:       NewAdmission(inFlight, queue),
+		timeout:   timeout,
+		started:   time.Now(),
+		shardName: cfg.ShardName,
+		lastGen:   map[string]int64{},
 	}
 }
+
+// SetDraining marks the daemon as draining (or not): readiness turns 503
+// and new queries are refused, while in-flight work completes. Called by
+// the daemon's SIGTERM handler before http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the daemon is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Catalog exposes the server's dataset catalog.
 func (s *Server) Catalog() *Catalog { return s.catalog }
@@ -119,23 +139,31 @@ func (s *Server) AddDataset(name, schemaName, dir string) error {
 // ServerStats is the /metrics wire form of the server-level counters.
 type ServerStats struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Shard          string  `json:"shard,omitempty"`
+	Draining       bool    `json:"draining"`
 	Queries        int64   `json:"queries"`
 	QueryErrors    int64   `json:"query_errors"`
 	ResultHits     int64   `json:"result_cache_hits"`
 	ResultMisses   int64   `json:"result_cache_misses"`
 	PartitionLoads int64   `json:"partition_loads"`
 	Timeouts       int64   `json:"timeouts"`
+	Subqueries     int64   `json:"subqueries"`
+	GenConflicts   int64   `json:"generation_conflicts"`
 }
 
 // Stats returns a snapshot of the server-level counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
 		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Shard:          s.shardName,
+		Draining:       s.draining.Load(),
 		Queries:        s.queries.Load(),
 		QueryErrors:    s.queryErrors.Load(),
 		ResultHits:     s.resultHits.Load(),
 		ResultMisses:   s.resultMisses.Load(),
 		PartitionLoads: s.partitionLoads.Load(),
 		Timeouts:       s.timeouts.Load(),
+		Subqueries:     s.subqueries.Load(),
+		GenConflicts:   s.genConflicts.Load(),
 	}
 }

@@ -72,10 +72,20 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /subquery", s.handleSubquery)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// readJSONBody decodes one JSON request body.
+func readJSONBody(r *http.Request, dst any) error {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -92,9 +102,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if err := readJSONBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if r.URL.Query().Get("explain") == "1" {
@@ -276,6 +290,7 @@ func (s *Server) noteGeneration(name string, gen int64) {
 	if last != 0 {
 		s.cache.DropPrefix("part|" + name + "|")
 		s.cache.DropPrefix("res|" + name + "|")
+		s.cache.DropPrefix("sub|" + name + "|")
 	}
 }
 
@@ -309,7 +324,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is the liveness probe: green as long as the process can
+// answer HTTP at all, draining included.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 503 while draining, so a cluster
+// router stops routing to this shard before its listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }

@@ -42,6 +42,15 @@ type QueryOptions struct {
 	// addition to the stats. Limit caps how many (0 = all).
 	Records bool
 	Limit   int
+	// Partitions, when non-nil, restricts the query to exactly these
+	// partition ids — the sub-query path of a cluster shard, whose router
+	// has already pruned against the metadata index. Nil prunes from the
+	// window locally. An empty non-nil slice queries nothing.
+	Partitions []int
+	// PerPartition returns per-partition result chunks (QueryResult.Parts)
+	// instead of the flat Records slice — the unit a scatter-gather merge
+	// de-duplicates on. Record marshaling still honors Records and Limit.
+	PerPartition bool
 }
 
 // QueryResult is one selection's outcome in transportable form.
@@ -50,6 +59,20 @@ type QueryResult struct {
 	// Records, when requested, holds the matches in deterministic
 	// (partition, record) order.
 	Records []json.RawMessage `json:"records,omitempty"`
+	// Parts, on PerPartition queries, holds one chunk per queried
+	// partition in request order; Records is then left nil.
+	Parts []PartResult `json:"parts,omitempty"`
+}
+
+// PartResult is one partition's chunk of a per-partition query: the
+// partition id is the chunk's identity (each record belongs to exactly one
+// partition per dataset generation), which is what makes cross-process
+// merges exactly-once — a chunk delivered twice by a hedged retry is
+// dropped by id.
+type PartResult struct {
+	ID       int               `json:"id"`
+	Selected int64             `json:"selected"`
+	Records  []json.RawMessage `json:"records,omitempty"`
 }
 
 // Partition is a decoded partition pinned in memory together with its 3-d
@@ -256,7 +279,18 @@ func (s schema[T]) ServeQuery(
 			return p, err
 		}
 	}
-	ids := meta.Prune(w.Space, w.Time)
+	ids := opts.Partitions
+	subquery := ids != nil
+	if subquery {
+		for _, id := range ids {
+			if id < 0 || id >= meta.NumPartitions() {
+				return QueryResult{}, fmt.Errorf("stdata: schema %s: subquery partition %d out of range [0,%d)",
+					s.spec.Name, id, meta.NumPartitions())
+			}
+		}
+	} else {
+		ids = meta.Prune(w.Space, w.Time)
+	}
 	stats := selection.Stats{
 		TotalPartitions:  meta.NumPartitions(),
 		LoadedPartitions: len(ids),
@@ -265,12 +299,23 @@ func (s schema[T]) ServeQuery(
 		stats.LoadedRecords += meta.PartitionCount(id)
 		stats.LoadedBytes += meta.PartitionBytes(id)
 	}
-	sp := ctx.StartSpan(trace.SpanSelect,
-		trace.Str("dataset", meta.Name),
-		trace.Int("total_partitions", int64(stats.TotalPartitions)),
-		trace.Int("kept_partitions", int64(stats.LoadedPartitions)),
-		trace.Int("loaded_records", stats.LoadedRecords),
-		trace.Int("loaded_bytes", stats.LoadedBytes))
+	var sp *trace.Span
+	if subquery {
+		// A sub-query span suppresses the planning attrs — the router's
+		// scatter span carries the prune outcome exactly once for the whole
+		// query — and keeps only what this shard executed, so a stitched
+		// explain never double-counts partitions.
+		sp = ctx.StartSpan(trace.SpanSelect,
+			trace.Str("dataset", meta.Name),
+			trace.Int("partitions", int64(len(ids))))
+	} else {
+		sp = ctx.StartSpan(trace.SpanSelect,
+			trace.Str("dataset", meta.Name),
+			trace.Int("total_partitions", int64(stats.TotalPartitions)),
+			trace.Int("kept_partitions", int64(stats.LoadedPartitions)),
+			trace.Int("loaded_records", stats.LoadedRecords),
+			trace.Int("loaded_bytes", stats.LoadedBytes))
+	}
 	res := QueryResult{Stats: stats}
 	if len(ids) == 0 {
 		sp.End(trace.Int("selected", 0))
@@ -309,11 +354,37 @@ func (s schema[T]) ServeQuery(
 		res.Stats.SelectedRecords += int64(len(part))
 	}
 	sp.End(trace.Int("selected", res.Stats.SelectedRecords))
-	if opts.Records {
-		limit := opts.Limit
-		if limit <= 0 || int64(limit) > res.Stats.SelectedRecords {
-			limit = int(res.Stats.SelectedRecords)
+	limit := opts.Limit
+	if limit <= 0 || int64(limit) > res.Stats.SelectedRecords {
+		limit = int(res.Stats.SelectedRecords)
+	}
+	if opts.PerPartition {
+		// Per-partition chunks: Selected always counts every match; record
+		// marshaling caps at limit across the chunks in order — a shard's
+		// stream is a subsequence of the global partition-ordered stream,
+		// so any record within the global limit survives the local cap and
+		// a scatter-gather merge stays byte-identical to single-node
+		// serving.
+		res.Parts = make([]PartResult, len(ids))
+		remaining := limit
+		for p, id := range ids {
+			pr := PartResult{ID: id, Selected: int64(len(matched[p]))}
+			if opts.Records {
+				for _, rec := range matched[p] {
+					if remaining <= 0 {
+						break
+					}
+					b, err := json.Marshal(rec)
+					if err != nil {
+						return QueryResult{}, fmt.Errorf("stdata: marshal record: %w", err)
+					}
+					pr.Records = append(pr.Records, b)
+					remaining--
+				}
+			}
+			res.Parts[p] = pr
 		}
+	} else if opts.Records {
 		res.Records = make([]json.RawMessage, 0, limit)
 	marshal:
 		for _, part := range matched {

@@ -164,3 +164,89 @@ func TestCSVDispatch(t *testing.T) {
 		t.Error("air has no CSV reader, want error")
 	}
 }
+
+// TestServeQuerySubqueryMode pins the cluster shard path: restricting a
+// query to an explicit partition subset with per-partition chunks must
+// reassemble byte-for-byte into the flat single-node answer.
+func TestServeQuerySubqueryMode(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	sch, _ := Lookup("nyc")
+	dir := t.TempDir()
+	meta, err := sch.Ingest(ctx, makeEvents(500), dir, sch.DefaultPlanner(2, 2),
+		selection.IngestOptions{Name: "grid", SampleFrac: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := selection.Window{Space: geom.Box(2, 2, 7, 7), Time: tempo.New(0, 60)}
+	flat, err := sch.ServeQuery(ctx, dir, meta, nil, w, QueryOptions{Records: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := meta.Prune(w.Space, w.Time)
+	if len(ids) == 0 {
+		t.Fatal("window hit no partitions")
+	}
+	sub, err := sch.ServeQuery(ctx, dir, meta, nil, w,
+		QueryOptions{Records: true, Partitions: ids, PerPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Records != nil {
+		t.Error("per-partition mode must not fill the flat Records slice")
+	}
+	if len(sub.Parts) != len(ids) {
+		t.Fatalf("%d chunks for %d partitions", len(sub.Parts), len(ids))
+	}
+	var merged []json.RawMessage
+	var selected int64
+	for i, pr := range sub.Parts {
+		if pr.ID != ids[i] {
+			t.Fatalf("chunk %d id %d, want %d", i, pr.ID, ids[i])
+		}
+		merged = append(merged, pr.Records...)
+		selected += pr.Selected
+	}
+	if selected != flat.Stats.SelectedRecords {
+		t.Errorf("chunk selected sum %d, flat %d", selected, flat.Stats.SelectedRecords)
+	}
+	if len(merged) != len(flat.Records) {
+		t.Fatalf("merged %d records, flat %d", len(merged), len(flat.Records))
+	}
+	for i := range merged {
+		if string(merged[i]) != string(flat.Records[i]) {
+			t.Fatalf("record %d differs: %s vs %s", i, merged[i], flat.Records[i])
+		}
+	}
+
+	// Limit caps marshaled records across chunks in order, not Selected.
+	lim, err := sch.ServeQuery(ctx, dir, meta, nil, w,
+		QueryOptions{Records: true, Limit: 3, Partitions: ids, PerPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var limRecs []json.RawMessage
+	var limSelected int64
+	for _, pr := range lim.Parts {
+		limRecs = append(limRecs, pr.Records...)
+		limSelected += pr.Selected
+	}
+	if len(limRecs) != 3 || limSelected != selected {
+		t.Fatalf("limit chunks: %d records, %d selected", len(limRecs), limSelected)
+	}
+	for i := range limRecs {
+		if string(limRecs[i]) != string(flat.Records[i]) {
+			t.Fatalf("limited record %d differs", i)
+		}
+	}
+
+	// Empty non-nil subsets query nothing; out-of-range ids are rejected.
+	empty, err := sch.ServeQuery(ctx, dir, meta, nil, w,
+		QueryOptions{Partitions: []int{}, PerPartition: true})
+	if err != nil || empty.Stats.SelectedRecords != 0 || empty.Stats.LoadedPartitions != 0 {
+		t.Fatalf("empty subset: %+v, %v", empty.Stats, err)
+	}
+	if _, err := sch.ServeQuery(ctx, dir, meta, nil, w,
+		QueryOptions{Partitions: []int{meta.NumPartitions()}}); err == nil {
+		t.Error("out-of-range partition id accepted")
+	}
+}

@@ -38,6 +38,16 @@ const (
 	SpanDeltaRead = "delta:read"
 	// SpanCompact is one partition rewrite by the background compactor.
 	SpanCompact = "compact:partition"
+	// SpanScatter is a cluster router's planning+fan-out phase: attrs carry
+	// the partition-prune outcome (the router plans from the same metadata
+	// a single node would) plus the scatter width in shards.
+	SpanScatter = "scatter"
+	// SpanRPC is one shard sub-query RPC issued by the router, hedged
+	// replica attempts included; the shard's own span dump is grafted
+	// under it, stitching the cross-process tree.
+	SpanRPC = "rpc:shard"
+	// SpanSubquery is the shard-side root of one /subquery execution.
+	SpanSubquery = "subquery"
 )
 
 // StageExplain is the per-stage line of an explain report.
@@ -97,9 +107,38 @@ type Explain struct {
 	PartitionLoads  int64   `json:"partition_cache_loads"`
 	AdmissionWaitMS float64 `json:"admission_wait_ms"`
 
+	// Scatter is the cluster router's fan-out report; nil outside a routed
+	// query. The shard spans it summarizes are grafted into the same dump,
+	// so the block/partition/record counters above already include the
+	// work the shards did.
+	Scatter *ScatterExplain `json:"scatter,omitempty"`
+
 	Stages []StageExplain `json:"stages"`
 	WallMS float64        `json:"wall_ms"`
 	Spans  int            `json:"spans"`
+}
+
+// ScatterExplain summarizes a routed query's fan-out: how many shards the
+// scatter set touched (of how many in the map), hedged and failed-over
+// replica attempts, generation-conflict replans, and one line per shard
+// RPC.
+type ScatterExplain struct {
+	Shards    int64        `json:"shards"`
+	Width     int64        `json:"width"`
+	Hedges    int64        `json:"hedges"`
+	Failovers int64        `json:"failovers"`
+	Replans   int64        `json:"replans"`
+	RPCs      []RPCExplain `json:"rpcs,omitempty"`
+}
+
+// RPCExplain is one shard sub-query line of a routed explain.
+type RPCExplain struct {
+	Shard      string  `json:"shard"`
+	Replica    string  `json:"replica,omitempty"`
+	Partitions int64   `json:"partitions"`
+	Attempts   int64   `json:"attempts"`
+	Selected   int64   `json:"selected"`
+	WallMS     float64 `json:"wall_ms"`
 }
 
 // Build aggregates a span dump into an explain report. It tolerates partial
@@ -174,6 +213,51 @@ func Build(spans []SpanRecord) *Explain {
 			}
 		case s.Name == SpanCompact:
 			e.Compactions++
+		case s.Name == SpanScatter:
+			// The router plans from the same metadata a single node would,
+			// so its scatter span carries the partition-prune outcome; the
+			// shards' grafted sub-query spans carry only what they selected
+			// and read, keeping every counter single-counted.
+			total, _ := s.Int("total_partitions")
+			kept, _ := s.Int("kept_partitions")
+			e.TotalPartitions += total
+			e.ReadPartitions += kept
+			e.PrunedPartitions += total - kept
+			if v, ok := s.Int("loaded_records"); ok {
+				e.RecordsLoaded += v
+			}
+			if v, ok := s.Int("loaded_bytes"); ok {
+				e.PartitionBytes += v
+			}
+			if e.Scatter == nil {
+				e.Scatter = &ScatterExplain{}
+			}
+			if v, ok := s.Int("shards"); ok {
+				e.Scatter.Shards = v
+			}
+			if v, ok := s.Int("width"); ok {
+				e.Scatter.Width += v
+			}
+			if v, ok := s.Int("replans"); ok {
+				e.Scatter.Replans += v
+			}
+		case s.Name == SpanRPC:
+			if e.Scatter == nil {
+				e.Scatter = &ScatterExplain{}
+			}
+			rpc := RPCExplain{WallMS: float64(s.Duration.Microseconds()) / 1000}
+			rpc.Shard, _ = s.Str("shard")
+			rpc.Replica, _ = s.Str("replica")
+			rpc.Partitions, _ = s.Int("partitions")
+			rpc.Attempts, _ = s.Int("attempts")
+			rpc.Selected, _ = s.Int("selected")
+			if v, ok := s.Int("hedges"); ok {
+				e.Scatter.Hedges += v
+			}
+			if v, ok := s.Int("failovers"); ok {
+				e.Scatter.Failovers += v
+			}
+			e.Scatter.RPCs = append(e.Scatter.RPCs, rpc)
 		}
 		if s.Parent == 0 {
 			if ms := float64(s.Duration.Microseconds()) / 1000; ms > e.WallMS {
@@ -253,6 +337,14 @@ func (e *Explain) Fprint(w io.Writer) {
 	if e.ResultCache != "" {
 		fmt.Fprintf(w, "serving: result cache %s; partitions %d cached, %d loaded; admission wait %.3f ms\n",
 			e.ResultCache, e.PartitionHits, e.PartitionLoads, e.AdmissionWaitMS)
+	}
+	if e.Scatter != nil {
+		fmt.Fprintf(w, "scatter: %d/%d shards; %d hedged, %d failovers, %d replans\n",
+			e.Scatter.Width, e.Scatter.Shards, e.Scatter.Hedges, e.Scatter.Failovers, e.Scatter.Replans)
+		for _, r := range e.Scatter.RPCs {
+			fmt.Fprintf(w, "  shard %s → %s: %d partitions, %d attempts, %d selected, %.3f ms\n",
+				r.Shard, r.Replica, r.Partitions, r.Attempts, r.Selected, r.WallMS)
+		}
 	}
 	if len(e.Stages) == 0 {
 		return

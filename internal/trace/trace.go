@@ -229,6 +229,15 @@ func (s *Span) ID() SpanID {
 	return s.id
 }
 
+// Tracer returns the owning tracer (nil for a no-op span) — the hook a
+// cluster router uses to Graft a shard's span dump under its RPC span.
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
 // Set appends attributes to the span.
 func (s *Span) Set(attrs ...Attr) {
 	if s == nil {
