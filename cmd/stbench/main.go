@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig5|blocks|encode|compact|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|cluster|all")
+		exp       = flag.String("exp", "all", "experiment: fig5|blocks|encode|compact|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|cluster|subscribe|all")
 		events    = flag.Int("events", 200_000, "NYC-like event count")
 		trajs     = flag.Int("trajs", 20_000, "Porto-like trajectory count")
 		pois      = flag.Int("pois", 100_000, "OSM-like POI count")
@@ -132,7 +132,7 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 	needEnv := all || want["fig5"] || want["blocks"] || want["encode"] || want["compact"] ||
 		want["fig6"] || want["table5"] || want["table6"] || want["fig7"] || want["ablation"] ||
 		want["fig7sweep"]
-	if !needEnv && !want["serve"] && !want["cluster"] {
+	if !needEnv && !want["serve"] && !want["cluster"] && !want["subscribe"] {
 		return nil
 	}
 
@@ -158,6 +158,23 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 		}
 		if err := emit("serve", res); err != nil {
 			return err
+		}
+	}
+	// The push-path benchmark fans committed delta batches out to standing
+	// subscriptions; like serve, it builds its own store per subscriber count.
+	if all || want["subscribe"] {
+		rows, err := bench.Subscribe(ctx, workdir, scale.Events/2, 8, 2000, []int{1, 16, 256})
+		if err != nil {
+			return err
+		}
+		bench.SubscribeTable(rows).Fprint(os.Stdout)
+		for _, row := range rows {
+			if err := bench.WriteJSONRow(os.Stdout, "subscribe", row); err != nil {
+				return err
+			}
+			if err := emit("subscribe", row); err != nil {
+				return err
+			}
 		}
 	}
 	// The cluster benchmark compares a lone daemon against routed 2- and

@@ -23,6 +23,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -219,7 +220,20 @@ func ingestAvailable(sch stdata.Schema, cfg config, off *int64) (int, error) {
 		id := fmt.Sprintf("%s:%d-%d", filepath.Base(cfg.Input), batchStart, next)
 		gen, err := sch.Append(recs, cfg.Dir, id)
 		if err != nil {
-			return err
+			var herr *storage.HookError
+			if !errors.As(err, &herr) {
+				return err
+			}
+			// A commit-hook failure comes back WITH committed state: the batch
+			// is durable, only the post-commit notification (subscription push)
+			// failed. Advance the offset before surfacing the error — replaying
+			// the batch would dedup to a silent no-op and lose the notification
+			// again — then exit non-zero so the operator sees it.
+			if werr := writeOffset(cfg.Dir, cfg.Input, next); werr != nil {
+				return fmt.Errorf("batch %s committed but commit hook failed (%v); recording offset also failed: %w", id, err, werr)
+			}
+			fmt.Fprintf(cfg.Log, "stingest: batch %s committed (generation %d) but commit hook failed: %v\n", id, gen, err)
+			return fmt.Errorf("batch %s committed but commit hook failed: %w", id, err)
 		}
 		if err := writeOffset(cfg.Dir, cfg.Input, next); err != nil {
 			return err

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"st4ml/internal/datagen"
@@ -71,5 +74,80 @@ func TestIngestSmoke(t *testing.T) {
 	}
 	if meta2.TotalCount != meta.TotalCount {
 		t.Fatalf("re-run changed TotalCount: %d -> %d", meta.TotalCount, meta2.TotalCount)
+	}
+}
+
+// TestIngestSurfacesHookError pins the commit-hook failure contract: the
+// batch IS committed (durable, offset advanced — a replay would dedup
+// silently and lose the notification again), the error reaches the exit
+// status, and a re-run neither duplicates records nor re-reports.
+func TestIngestSurfacesHookError(t *testing.T) {
+	dir := t.TempDir()
+	sch, _ := stdata.Lookup("nyc")
+	ctx := engine.New(engine.Config{Slots: 2})
+	if _, err := sch.Ingest(ctx, datagen.NYC(300, 1), dir, sch.DefaultPlanner(2, 2),
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	feed := filepath.Join(t.TempDir(), "feed.csv")
+	extra := datagen.NYC(40, 2)
+	f, err := os.Create(feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range extra {
+		fmt.Fprintf(f, "%d,%v,%v,%d,%s\n", e.ID+10_000, e.Loc.X, e.Loc.Y, e.Time, e.Aux)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	hookErr := errors.New("subscription notifier down")
+	cancel := storage.OnCommit(dir, func(storage.CommitEvent) error { return hookErr })
+	var log bytes.Buffer
+	cfg := config{
+		Schema: "nyc", Dir: dir, Input: feed,
+		BatchRecords: 100, Once: true, CompactDeltas: 0, Log: &log,
+	}
+	err = run(cfg)
+	cancel()
+	if err == nil {
+		t.Fatal("hook failure did not surface in the run error (exit status)")
+	}
+	var herr *storage.HookError
+	if !errors.As(err, &herr) || !errors.Is(err, hookErr) {
+		t.Fatalf("run error %v does not wrap the hook error", err)
+	}
+	if !strings.Contains(log.String(), "committed") || !strings.Contains(log.String(), "commit hook failed") {
+		t.Fatalf("log line does not report the committed-but-unnotified batch: %q", log.String())
+	}
+
+	// Despite the error, the batch committed and the offset advanced.
+	meta, err := storage.ReadMetadata(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(300 + 40); meta.TotalCount != want {
+		t.Fatalf("TotalCount = %d, want %d (batch must be durable)", meta.TotalCount, want)
+	}
+	off, err := readOffset(dir, feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off == 0 {
+		t.Fatal("offset did not advance past the committed batch")
+	}
+
+	// A re-run (hook gone) is a clean no-op: no duplicates, no error.
+	if err := run(cfg); err != nil {
+		t.Fatalf("re-run after hook failure errored: %v", err)
+	}
+	meta2, err := storage.ReadMetadata(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.TotalCount != meta.TotalCount {
+		t.Fatalf("re-run duplicated records: %d -> %d", meta.TotalCount, meta2.TotalCount)
 	}
 }

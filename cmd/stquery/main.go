@@ -14,9 +14,17 @@
 // the stitched router→shard→partition:read tree:
 //
 //	stquery -server http://localhost:8080 -dataset nyc -explain ...
+//
+// With -subscribe (requires -server) the window becomes a standing
+// subscription: the daemon streams an init snapshot followed by
+// incremental batch/resync events over SSE as delta commits land, until
+// -events updates have arrived (0 streams until interrupted):
+//
+//	stquery -server http://localhost:8080 -dataset nyc -subscribe -events 10 ...
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -31,6 +39,7 @@ import (
 	"st4ml/internal/selection"
 	"st4ml/internal/serve"
 	"st4ml/internal/stdata"
+	"st4ml/internal/subscribe"
 	"st4ml/internal/tempo"
 	"st4ml/internal/trace"
 )
@@ -50,8 +59,14 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print the engine counter snapshot after the query")
 		explain   = flag.Bool("explain", false, "print the aggregated execution report (partitions pruned, records, tasks, per-stage breakdown)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the query to this file (open in chrome://tracing or Perfetto)")
+		subscr    = flag.Bool("subscribe", false, "register the window as a standing subscription on -server and stream pushed updates (SSE)")
+		events    = flag.Int("events", 0, "with -subscribe: exit after this many updates (0 = stream until interrupted)")
 	)
 	flag.Parse()
+	if *subscr && *server == "" {
+		fmt.Fprintln(os.Stderr, "stquery: -subscribe requires -server")
+		os.Exit(2)
+	}
 	if *server != "" {
 		req := serve.QueryRequest{
 			Dataset: *dataset,
@@ -59,7 +74,13 @@ func main() {
 			TStart: *tstart, TEnd: *tend,
 			Explain: *explain,
 		}
-		if err := queryServer(os.Stdout, *server, req); err != nil {
+		var err error
+		if *subscr {
+			err = subscribeServer(os.Stdout, *server, req, *events)
+		} else {
+			err = queryServer(os.Stdout, *server, req)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "stquery:", err)
 			os.Exit(1)
 		}
@@ -142,6 +163,81 @@ func queryServer(w io.Writer, base string, req serve.QueryRequest) error {
 		stats.LoadedRecords, stats.SelectedRecords, stats.LoadedBytes)
 	resp.Explain.Fprint(w)
 	return nil
+}
+
+// subscribeServer registers the window as a standing subscription on the
+// daemon and prints one line per pushed update until maxEvents arrive
+// (0 = no bound). It speaks the server's SSE framing: `event:` carries the
+// update kind, `data:` the JSON payload.
+func subscribeServer(w io.Writer, base string, req serve.QueryRequest, maxEvents int) error {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hresp, err := http.Post(strings.TrimRight(base, "/")+"/subscribe", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		return fmt.Errorf("server answered %d: %s", hresp.StatusCode, bytes.TrimSpace(body))
+	}
+	fmt.Fprintf(w, "subscribed: %s dataset %s window [%g,%g]x[%g,%g] t[%d,%d]\n",
+		base, req.Dataset, req.MinX, req.MaxX, req.MinY, req.MaxY, req.TStart, req.TEnd)
+	seen := 0
+	sc := bufio.NewScanner(hresp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0: // blank line dispatches the accumulated frame
+			if data == nil {
+				continue // keepalive comment frame
+			}
+			if err := printUpdate(w, data); err != nil {
+				return err
+			}
+			data = nil
+			seen++
+			if maxEvents > 0 && seen >= maxEvents {
+				return nil
+			}
+		case bytes.HasPrefix(line, []byte("data: ")):
+			data = append([]byte(nil), line[len("data: "):]...)
+		default:
+			// event:/id: lines duplicate fields inside data; comments keep
+			// the stream alive. Nothing to do for either.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended after %d events (daemon drained?)", seen)
+}
+
+// printUpdate renders one pushed update as a log line.
+func printUpdate(w io.Writer, data []byte) error {
+	var u subscribe.Update
+	if err := json.Unmarshal(data, &u); err != nil {
+		return fmt.Errorf("bad update frame: %w", err)
+	}
+	switch u.Kind {
+	case subscribe.KindBatch:
+		_, err := fmt.Fprintf(w, "batch: generation %d seq %d partition %d: %d records\n",
+			u.Generation, u.Seq, u.Partition, len(u.Records))
+		return err
+	default: // init, resync
+		records, parts := 0, 0
+		for _, p := range u.Parts {
+			parts++
+			records += len(p.Records)
+		}
+		_, err := fmt.Fprintf(w, "%s: generation %d (fence %d): %d records in %d partitions\n",
+			u.Kind, u.Generation, u.NextSeq, records, parts)
+		return err
+	}
 }
 
 // writeTrace dumps the tracer's spans as a Chrome trace file.

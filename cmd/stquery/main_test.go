@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"st4ml/internal/cluster"
 	"st4ml/internal/datagen"
@@ -218,5 +219,58 @@ func TestQueryServerMode(t *testing.T) {
 	// Errors surface as errors, not zero-value reports.
 	if err := queryServer(io.Discard, router.URL, serve.QueryRequest{Dataset: "nope"}); err == nil {
 		t.Fatal("unknown dataset did not error")
+	}
+}
+
+// TestSubscribeServerMode drives -subscribe end to end: the client
+// registers the window over HTTP, prints the init line, then one line per
+// pushed batch as commits land, and exits once -events updates arrived.
+func TestSubscribeServerMode(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	sch, _ := stdata.Lookup("nyc")
+	dir := t.TempDir()
+	if _, err := sch.Ingest(ctx, datagen.NYC(1000, 5), dir, sch.DefaultPlanner(2, 2),
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(serve.Config{Ctx: ctx, SubscribePoll: -1})
+	defer srv.Close()
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := serve.QueryRequest{Dataset: "nyc",
+		MinX: -180, MinY: -90, MaxX: 180, MaxY: 90,
+		TStart: 0, TEnd: 1 << 60}
+
+	// Commit from a second goroutine once the subscription is up; the
+	// client's stream sees init plus the commit's batches.
+	go func() {
+		// The hub admits the subscriber before the init is delivered, so a
+		// short settle keeps the commit after admission without coupling to
+		// client internals. Commits before admission land in the init anyway.
+		time.Sleep(100 * time.Millisecond)
+		if _, err := sch.Append(datagen.NYC(100, 9), dir, "cli-sub-1"); err != nil {
+			t.Error(err)
+		}
+	}()
+	var buf bytes.Buffer
+	if err := subscribeServer(&buf, ts.URL, req, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "subscribed: ") || !strings.Contains(out, "init: generation") {
+		t.Fatalf("subscribe output missing init line:\n%s", out)
+	}
+	if !strings.Contains(out, "batch: generation") {
+		t.Fatalf("subscribe output missing batch line:\n%s", out)
+	}
+
+	// A draining daemon refuses the subscription with an error.
+	srv.SetDraining(true)
+	if err := subscribeServer(io.Discard, ts.URL, req, 1); err == nil {
+		t.Fatal("draining daemon accepted a subscription")
 	}
 }

@@ -51,17 +51,21 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "in-flight request budget after SIGTERM before connections close hard")
 		shardName    = flag.String("shard-name", "", "shard identity stamped on cluster sub-query responses and stitched trace spans")
+		subQueue     = flag.Int("subscribe-queue", 0, "per-subscriber bounded update queue before drop-oldest backpressure (0 = default)")
+		subPoll      = flag.Duration("subscribe-poll", 0, "manifest poll cadence for delta commits made by other processes (0 = 250ms, negative disables)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Var(&datasets, "dataset", "serve a dataset: name=dir or name:schema=dir (repeatable)")
 	flag.Parse()
 
 	srv, err := build(engine.New(engine.Config{Slots: *slots}), datasets, *demo, serve.Config{
-		CacheBytes:  *cacheBytes,
-		MaxInFlight: *inFlight,
-		MaxQueue:    *maxQueue,
-		Timeout:     *timeout,
-		ShardName:   *shardName,
+		CacheBytes:     *cacheBytes,
+		MaxInFlight:    *inFlight,
+		MaxQueue:       *maxQueue,
+		Timeout:        *timeout,
+		ShardName:      *shardName,
+		SubscribeQueue: *subQueue,
+		SubscribePoll:  *subPoll,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stserved:", err)

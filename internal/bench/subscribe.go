@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/selection"
+	"st4ml/internal/serve"
+	"st4ml/internal/stdata"
+	"st4ml/internal/subscribe"
+	"st4ml/internal/tempo"
+)
+
+// SubscribeResult is one push-path row: a stream of committed delta
+// batches fanned out through the subscription index to Subscribers
+// standing full-extent windows. PushMeanMS/PushP99MS time the synchronous
+// hook-driven leg — match against the window index plus enqueue to every
+// subscriber — which is exactly the latency an ingest writer pays per
+// commit; EventsPerSec/RecordsPerSec cover the whole path including the
+// subscribers draining their queues.
+type SubscribeResult struct {
+	Events        int     `json:"events"`
+	Subscribers   int     `json:"subscribers"`
+	Batches       int     `json:"batches"`
+	BatchRecords  int     `json:"batch_records"`
+	PushMeanMS    float64 `json:"push_mean_ms"`
+	PushP99MS     float64 `json:"push_p99_ms"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	EventsPushed  int64   `json:"events_pushed"`
+	Dropped       int64   `json:"dropped"`
+	Resyncs       int64   `json:"resyncs"`
+}
+
+// Subscribe benchmarks the standing-query fan-out across subscriber
+// counts: ingest an NYC-like base store, register full-extent
+// subscriptions straight on the hub (no HTTP, so the numbers isolate the
+// index + queue machinery), then commit batches of fresh events and drain
+// every subscriber. Queues are sized to hold the whole run, so Dropped
+// and Resyncs staying zero is part of the expected shape — every
+// subscriber sees every committed record exactly once.
+func Subscribe(ctx *engine.Context, workdir string, events, batches, batchRecords int, subscribers []int) ([]SubscribeResult, error) {
+	sch, ok := stdata.Lookup("nyc")
+	if !ok {
+		return nil, fmt.Errorf("bench: nyc schema not registered")
+	}
+	window := selection.Window{
+		Space: geom.Box(datagen.NYCExtent.MinX, datagen.NYCExtent.MinY,
+			datagen.NYCExtent.MaxX, datagen.NYCExtent.MaxY),
+		Time: tempo.New(0, 1<<60),
+	}
+	var rows []SubscribeResult
+	for _, n := range subscribers {
+		dir := filepath.Join(workdir, fmt.Sprintf("subscribe-nyc-%d", n))
+		if _, err := sch.Ingest(ctx, datagen.NYC(events, 13), dir, sch.DefaultPlanner(8, 4),
+			selection.IngestOptions{Name: "nyc", SampleFrac: 0.05, Seed: 13}); err != nil {
+			return nil, err
+		}
+		srv := serve.NewServer(serve.Config{Ctx: ctx, SubscribePoll: -1})
+		if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		row, err := subscribeRun(srv, sch, dir, window, events, batches, batchRecords, n)
+		srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func subscribeRun(srv *serve.Server, sch stdata.Schema, dir string,
+	window selection.Window, events, batches, batchRecords, n int) (SubscribeResult, error) {
+	// Each commit produces one event per delta file per subscriber; queue
+	// bounds sized for the whole run keep overflow resyncs out of the
+	// measurement.
+	subs := make([]*subscribe.Subscriber, n)
+	for i := range subs {
+		var err error
+		subs[i], err = srv.Hub().Subscribe("nyc", window, subscribe.Options{
+			Queue: batches * 64,
+			// The init snapshot is not under measurement; skip marshaling
+			// the base store into it.
+			Limit: 1,
+		})
+		if err != nil {
+			return SubscribeResult{}, err
+		}
+		defer subs[i].Close()
+	}
+	// Drain the init events so the queues start empty.
+	for _, sub := range subs {
+		if _, err := nextPending(sub); err != nil {
+			return SubscribeResult{}, err
+		}
+	}
+
+	pushMS := make([]float64, batches)
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		t0 := time.Now()
+		if _, err := sch.Append(datagen.NYC(batchRecords, int64(1000+b)), dir,
+			fmt.Sprintf("bench-sub-%d-%d", n, b)); err != nil {
+			return SubscribeResult{}, err
+		}
+		// The commit hook runs the match + fan-out synchronously, so the
+		// Append call's latency is the push cost.
+		pushMS[b] = float64(time.Since(t0).Microseconds()) / 1000
+	}
+	// Every event is already enqueued when the last Append returns; the
+	// drain leg is pure queue consumption.
+	var delivered int64
+	for _, sub := range subs {
+		got := int64(0)
+		for sub.Pending() > 0 {
+			u, err := nextPending(sub)
+			if err != nil {
+				return SubscribeResult{}, err
+			}
+			if u.Kind == subscribe.KindBatch {
+				got += int64(len(u.Records))
+			}
+		}
+		if want := int64(batches * batchRecords); got != want {
+			return SubscribeResult{}, fmt.Errorf(
+				"bench: subscriber drained %d records, want %d", got, want)
+		}
+		delivered += got
+	}
+	elapsed := time.Since(start).Seconds()
+
+	st := srv.Hub().Stats()
+	sorted := append([]float64(nil), pushMS...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, l := range sorted {
+		sum += l
+	}
+	res := SubscribeResult{
+		Events:       events,
+		Subscribers:  n,
+		Batches:      batches,
+		BatchRecords: batchRecords,
+		PushMeanMS:   sum / float64(len(sorted)),
+		PushP99MS:    sorted[len(sorted)*99/100],
+		EventsPushed: st.EventsPushed,
+		Dropped:      st.EventsDropped,
+		Resyncs:      st.Resyncs,
+	}
+	if elapsed > 0 {
+		res.EventsPerSec = float64(st.EventsPushed) / elapsed
+		res.RecordsPerSec = float64(delivered) / elapsed
+	}
+	return res, nil
+}
+
+// nextPending returns the subscriber's next queued update without
+// blocking indefinitely: the bench only calls it when an update is known
+// to be queued, so the timeout is a failure backstop, not pacing.
+func nextPending(sub *subscribe.Subscriber) (subscribe.Update, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return sub.Next(ctx)
+}
+
+// SubscribeTable formats the push-path rows.
+func SubscribeTable(rows []SubscribeResult) *Table {
+	t := NewTable("Standing queries: commit fan-out vs subscriber count",
+		"events", "subs", "batches", "batchRecs",
+		"push_ms", "push_p99", "events/s", "records/s",
+		"pushed", "dropped", "resyncs")
+	for _, r := range rows {
+		t.Add(r.Events, r.Subscribers, r.Batches, r.BatchRecords,
+			r.PushMeanMS, r.PushP99MS, r.EventsPerSec, r.RecordsPerSec,
+			r.EventsPushed, r.Dropped, r.Resyncs)
+	}
+	return t
+}

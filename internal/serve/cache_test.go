@@ -184,6 +184,21 @@ func TestCacheCountersConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+
+	// One deterministic hit after the storm: hits during it depend on the
+	// scheduler actually interleaving workers (a fully serialized run never
+	// re-probes a key while it is still resident), so the hits-path
+	// assertion below must not ride on that.
+	probes.Add(1)
+	if _, err := c.GetOrLoad("hot", func() (any, int64, error) {
+		return 1, 20, nil
+	}); err != nil {
+		t.Fatalf("GetOrLoad(hot): %v", err)
+	}
+	probes.Add(1)
+	if _, ok := c.Get("hot"); !ok {
+		t.Fatal("freshly loaded key not resident")
+	}
 	close(stopMon)
 	<-monDone
 

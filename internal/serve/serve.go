@@ -26,6 +26,8 @@ import (
 	"time"
 
 	"st4ml/internal/engine"
+	"st4ml/internal/subscribe"
+	"st4ml/internal/trace"
 )
 
 // Config tunes a Server. Zero values pick serving defaults.
@@ -46,6 +48,18 @@ type Config struct {
 	// ShardName identifies this daemon in cluster sub-query responses and
 	// stitched trace spans ("" for a standalone daemon).
 	ShardName string
+	// SubscribeQueue is the per-subscriber bounded update queue for the
+	// POST /subscribe online path; when it fills, the oldest pending event
+	// is dropped and the subscriber resyncs. 0 means subscribe.DefaultQueue.
+	SubscribeQueue int
+	// SubscribePoll is the manifest-poll cadence that picks up delta
+	// commits made by other processes (in-process commits push instantly
+	// via the storage commit hook). 0 means 250ms; negative disables
+	// polling, leaving the hook as the only trigger.
+	SubscribePoll time.Duration
+	// Tracer, when non-nil, records the hub's subscribe:match and
+	// subscribe:push spans (explain/trace integration for the online path).
+	Tracer *trace.Tracer
 }
 
 // Server is the serving daemon's state: catalog, cache, admission, and the
@@ -55,9 +69,16 @@ type Server struct {
 	catalog   *Catalog
 	cache     *Cache
 	adm       *Admission
+	hub       *subscribe.Hub
 	timeout   time.Duration
 	started   time.Time
 	shardName string
+
+	// hookCancels unregisters the storage commit hooks AddDataset installed
+	// (see Close); closeOnce makes Close idempotent.
+	hookMu      sync.Mutex
+	hookCancels []func()
+	closeOnce   sync.Once
 
 	// draining flips once, when a SIGTERM begins the shutdown drain: the
 	// readiness probe turns 503 so routers stop sending new work, while
@@ -65,6 +86,7 @@ type Server struct {
 	draining atomic.Bool
 
 	queries        atomic.Int64
+	subscribes     atomic.Int64
 	queryErrors    atomic.Int64
 	resultHits     atomic.Int64
 	resultMisses   atomic.Int64
@@ -103,22 +125,38 @@ func NewServer(cfg Config) *Server {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &Server{
+	s := &Server{
 		ctx:       ctx,
 		catalog:   NewCatalog(),
 		cache:     NewCache(cacheBytes),
 		adm:       NewAdmission(inFlight, queue),
+		hub:       subscribe.NewHub(subscribe.Config{Queue: cfg.SubscribeQueue, Tracer: cfg.Tracer}),
 		timeout:   timeout,
 		started:   time.Now(),
 		shardName: cfg.ShardName,
 		lastGen:   map[string]int64{},
 	}
+	poll := cfg.SubscribePoll
+	if poll == 0 {
+		poll = 250 * time.Millisecond
+	}
+	if poll > 0 {
+		s.hub.StartPolling(poll)
+	}
+	return s
 }
 
 // SetDraining marks the daemon as draining (or not): readiness turns 503
 // and new queries are refused, while in-flight work completes. Called by
-// the daemon's SIGTERM handler before http.Server.Shutdown.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+// the daemon's SIGTERM handler before http.Server.Shutdown. Entering the
+// drain also closes every live subscription, so long-lived SSE streams end
+// immediately instead of pinning the drain until its timeout cuts them.
+func (s *Server) SetDraining(v bool) {
+	s.draining.Store(v)
+	if v {
+		s.hub.CloseAll()
+	}
+}
 
 // Draining reports whether the daemon is draining.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -130,10 +168,15 @@ func (s *Server) Catalog() *Catalog { return s.catalog }
 func (s *Server) Engine() *engine.Context { return s.ctx }
 
 // AddDataset registers the dataset at dir under name, decoded by the named
-// stdata schema.
+// stdata schema, and wires it into the subscription hub (commit hook +
+// notifier).
 func (s *Server) AddDataset(name, schemaName, dir string) error {
-	_, err := s.catalog.Register(name, schemaName, dir)
-	return err
+	d, err := s.catalog.Register(name, schemaName, dir)
+	if err != nil {
+		return err
+	}
+	s.attachSubscriptions(d)
+	return nil
 }
 
 // ServerStats is the /metrics wire form of the server-level counters.
@@ -142,6 +185,7 @@ type ServerStats struct {
 	Shard          string  `json:"shard,omitempty"`
 	Draining       bool    `json:"draining"`
 	Queries        int64   `json:"queries"`
+	Subscribes     int64   `json:"subscribes"`
 	QueryErrors    int64   `json:"query_errors"`
 	ResultHits     int64   `json:"result_cache_hits"`
 	ResultMisses   int64   `json:"result_cache_misses"`
@@ -158,6 +202,7 @@ func (s *Server) Stats() ServerStats {
 		Shard:          s.shardName,
 		Draining:       s.draining.Load(),
 		Queries:        s.queries.Load(),
+		Subscribes:     s.subscribes.Load(),
 		QueryErrors:    s.queryErrors.Load(),
 		ResultHits:     s.resultHits.Load(),
 		ResultMisses:   s.resultMisses.Load(),

@@ -13,6 +13,7 @@ import (
 	"st4ml/internal/selection"
 	"st4ml/internal/stdata"
 	"st4ml/internal/storage"
+	"st4ml/internal/subscribe"
 	"st4ml/internal/tempo"
 	"st4ml/internal/trace"
 )
@@ -72,6 +73,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /subscribe", s.handleSubscribe)
 	mux.HandleFunc("POST /subquery", s.handleSubquery)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -304,6 +306,7 @@ type MetricsResponse struct {
 	Server    ServerStats     `json:"server"`
 	Cache     CacheStats      `json:"cache"`
 	Admission AdmissionStats  `json:"admission"`
+	Subscribe subscribe.Stats `json:"subscribe"`
 	Engine    engine.Snapshot `json:"engine"`
 }
 
@@ -320,6 +323,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Server:    s.Stats(),
 		Cache:     s.cache.Stats(),
 		Admission: s.adm.Stats(),
+		Subscribe: s.hub.Stats(),
 		Engine:    snap,
 	})
 }

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"st4ml/internal/index"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+	"st4ml/internal/subscribe"
+)
+
+// The serving tier's online path: POST /subscribe registers the request
+// window as a standing subscription on the server's hub and streams the
+// hub's updates back over Server-Sent Events. Commits reach the hub
+// synchronously through the storage OnCommit hook AddDataset registers
+// (in-process writers: stingest -demo loops, tests, benches) and through
+// the hub's manifest poll (writers in other processes).
+
+// subKeepAlive is how often an idle SSE stream emits a comment frame so
+// clients and intermediaries can distinguish quiet from dead.
+const subKeepAlive = 15 * time.Second
+
+// subSnapshot is the cached form of one subscription snapshot: the
+// per-partition chunks plus the consistent view's generation and sequence
+// fence. Cached under the "sub|<name>|<gen>|..." key family, which
+// noteGeneration drops whenever the dataset moves.
+type subSnapshot struct {
+	parts   []stdata.PartResult
+	gen     int64
+	nextSeq int64
+}
+
+// subSource adapts one catalog dataset to the hub's Source: manifests come
+// straight from disk (the notifier's cursor must see every commit), delta
+// reads go through the schema, and snapshots run the ordinary cached
+// ServeQuery path in per-partition mode.
+type subSource struct {
+	s *Server
+	d *Dataset
+}
+
+func (src subSource) Manifest() (*storage.Manifest, error) {
+	return storage.ReadManifest(src.d.Dir)
+}
+
+func (src subSource) ReadDelta(dm storage.DeltaMeta) ([]index.Box, []json.RawMessage, error) {
+	meta, _, err := src.d.Meta()
+	if err != nil {
+		return nil, nil, err
+	}
+	return src.d.Schema.ReadDelta(src.d.Dir, meta, dm)
+}
+
+func (src subSource) Snapshot(w selection.Window, limit int) ([]stdata.PartResult, int64, int64, error) {
+	d := src.d
+	meta, gen, err := d.Meta()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	src.s.noteGeneration(d.Name, gen)
+	key := fmt.Sprintf("sub|%s|%d|%v,%v,%v,%v|%d,%d|%d", d.Name, gen,
+		w.Space.MinX, w.Space.MinY, w.Space.MaxX, w.Space.MaxY,
+		w.Time.Start, w.Time.End, limit)
+	v, err := src.s.cache.GetOrLoad(key, func() (any, int64, error) {
+		res, err := d.Schema.ServeQuery(src.s.ctx, d.Dir, meta,
+			src.s.fetcher(d, meta, gen, src.s.ctx), w,
+			stdata.QueryOptions{Records: true, Limit: limit, PerPartition: true})
+		if err != nil {
+			return nil, 0, err
+		}
+		sn := subSnapshot{parts: res.Parts, gen: meta.Generation, nextSeq: meta.NextSeq}
+		return sn, snapshotBytes(sn.parts), nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sn := v.(subSnapshot)
+	return sn.parts, sn.gen, sn.nextSeq, nil
+}
+
+// snapshotBytes estimates a cached snapshot's resident size.
+func snapshotBytes(parts []stdata.PartResult) int64 {
+	n := int64(128)
+	for _, p := range parts {
+		n += 64
+		for _, rec := range p.Records {
+			n += int64(len(rec)) + 24
+		}
+	}
+	return n
+}
+
+// Hub exposes the server's subscription hub — the in-process subscribe
+// path tests and benches use to bypass HTTP.
+func (s *Server) Hub() *subscribe.Hub { return s.hub }
+
+// attachSubscriptions wires a registered dataset into the online path: the
+// hub learns the dataset, and the storage commit hook pokes the hub
+// synchronously on every in-process append or compaction.
+func (s *Server) attachSubscriptions(d *Dataset) {
+	s.hub.Attach(d.Name, subSource{s: s, d: d})
+	name := d.Name
+	cancel := storage.OnCommit(d.Dir, func(storage.CommitEvent) error {
+		return s.hub.Poke(name)
+	})
+	s.hookMu.Lock()
+	s.hookCancels = append(s.hookCancels, cancel)
+	s.hookMu.Unlock()
+}
+
+// Close releases the server's background resources: the subscription
+// poller, every live subscriber, and the storage commit hooks. The daemon
+// never calls it (hooks live as long as the process); tests and embedders
+// that build many servers per process must.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.hub.StopPolling()
+		s.hub.CloseAll()
+		s.hookMu.Lock()
+		cancels := s.hookCancels
+		s.hookCancels = nil
+		s.hookMu.Unlock()
+		for _, cancel := range cancels {
+			cancel()
+		}
+	})
+}
+
+// handleSubscribe registers the request window as a standing subscription
+// and streams init/batch/resync updates as SSE frames until the client
+// disconnects or the daemon drains.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var req QueryRequest
+	if err := readJSONBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	sub, err := s.hub.Subscribe(req.Dataset, req.Window(), subscribe.Options{Limit: req.Limit})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, subscribe.ErrUnknownDataset) {
+			status = http.StatusNotFound
+		}
+		s.queryErrors.Add(1)
+		writeError(w, status, err)
+		return
+	}
+	defer sub.Close()
+	s.subscribes.Add(1)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		kctx, cancel := context.WithTimeout(ctx, subKeepAlive)
+		u, err := sub.Next(kctx)
+		cancel()
+		switch {
+		case err == nil:
+			if writeSSE(w, u) != nil {
+				return // client gone
+			}
+			fl.Flush()
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		default:
+			// Subscription closed (drain), client context done, or a resync
+			// snapshot failed; the stream ends and the client's reconnect
+			// starts clean from a fresh init.
+			return
+		}
+	}
+}
+
+// writeSSE frames one update as a Server-Sent Event. The event name is the
+// update kind and the id encodes generation:seq, so a bare `curl` session
+// reads as a self-describing log.
+func writeSSE(w io.Writer, u subscribe.Update) error {
+	b, err := json.Marshal(u)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d:%d\ndata: %s\n\n", u.Kind, u.Generation, u.Seq, b)
+	return err
+}

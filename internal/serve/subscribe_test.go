@@ -1,0 +1,584 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+	"st4ml/internal/subscribe"
+)
+
+// replayState rebuilds a subscriber's view by the documented replay rule:
+// init seeds per-partition chunks, batch events append to their partition,
+// resync replaces wholesale. Flattening in ascending partition id order must
+// match a fresh batch query byte for byte — the metamorphic property this
+// file pins.
+type replayState struct {
+	parts   map[int][]json.RawMessage
+	resyncs int
+	dropped int64
+}
+
+func (r *replayState) apply(u subscribe.Update) {
+	switch u.Kind {
+	case subscribe.KindInit, subscribe.KindResync:
+		r.parts = map[int][]json.RawMessage{}
+		for _, p := range u.Parts {
+			r.parts[p.ID] = append([]json.RawMessage(nil), p.Records...)
+		}
+		if u.Kind == subscribe.KindResync {
+			r.resyncs++
+			r.dropped += u.Dropped
+		}
+	case subscribe.KindBatch:
+		r.parts[u.Partition] = append(r.parts[u.Partition], u.Records...)
+	}
+}
+
+func (r *replayState) flatten() []byte {
+	ids := make([]int, 0, len(r.parts))
+	for id := range r.parts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var buf bytes.Buffer
+	for _, id := range ids {
+		for _, rec := range r.parts[id] {
+			buf.Write(rec)
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.Bytes()
+}
+
+func flattenRecords(recs []json.RawMessage) []byte {
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		buf.Write(rec)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// drainSub applies every already-delivered update (hook-driven pushes are
+// synchronous, so after an Append returns the queue is populated).
+func drainSub(t *testing.T, sub *subscribe.Subscriber, st *replayState) {
+	t.Helper()
+	for sub.Pending() > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		u, err := sub.Next(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		st.apply(u)
+	}
+}
+
+// freshRecords runs the window as an ordinary batch query over HTTP and
+// returns its flattened record bytes — the ground truth a replayed stream
+// must reproduce.
+func freshRecords(t *testing.T, url string, req QueryRequest) []byte {
+	t.Helper()
+	req.Records = true
+	res, code := postQuery(t, url, req)
+	if code != http.StatusOK {
+		t.Fatalf("fresh query status %d", code)
+	}
+	return flattenRecords(res.Records)
+}
+
+// fullExtent is a window matching every NYC record.
+func fullExtent() QueryRequest {
+	return QueryRequest{
+		Dataset: "nyc",
+		MinX:    -180, MinY: -90, MaxX: 180, MaxY: 90,
+		TStart: 0, TEnd: 1 << 60,
+		Records: true,
+	}
+}
+
+// TestMetamorphicSubscribeReplay is the tentpole's property wall: across
+// seeded window × batch × subscriber combos — with and without a
+// mid-sequence compaction — replaying the push stream after every commit
+// yields byte-for-byte the records a fresh batch query of the same window
+// returns. ≥64 combos are checked (each drained-subscriber × commit
+// verification is one combo).
+func TestMetamorphicSubscribeReplay(t *testing.T) {
+	sch, _ := stdata.Lookup("nyc")
+	combos := 0
+	for _, compactMid := range []bool{false, true} {
+		ctx := engine.New(engine.Config{Slots: 4})
+		dir := ingestNYC(t, ctx, 3000)
+		srv := NewServer(Config{Ctx: ctx, CacheBytes: 32 << 20, SubscribePoll: -1})
+		defer srv.Close()
+		if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		windows := append(nycWindows(7), fullExtent())
+		type client struct {
+			req QueryRequest
+			sub *subscribe.Subscriber
+			st  replayState
+		}
+		var clients []*client
+		for _, req := range windows {
+			// Two subscribers per window: fan-out must deliver to both.
+			for dup := 0; dup < 2; dup++ {
+				sub, err := srv.Hub().Subscribe("nyc", req.Window(), subscribe.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sub.Close()
+				clients = append(clients, &client{req: req, sub: sub})
+			}
+		}
+
+		for b := 0; b < 3; b++ {
+			if _, err := sch.Append(datagen.NYC(400, int64(100+b)), dir,
+				fmt.Sprintf("meta-%v-%d", compactMid, b)); err != nil {
+				t.Fatal(err)
+			}
+			if compactMid && b == 1 {
+				if _, err := sch.Compact(dir, storage.CompactOptions{MinDeltas: 1, GCGrace: 0}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for ci, c := range clients {
+				drainSub(t, c.sub, &c.st)
+				got := c.st.flatten()
+				want := freshRecords(t, ts.URL, c.req)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("compact=%v commit=%d client=%d: replay diverged (%d bytes vs %d)",
+						compactMid, b, ci, len(got), len(want))
+				}
+				combos++
+			}
+		}
+		if compactMid {
+			// The compaction must have reached every subscriber as a resync.
+			for ci, c := range clients {
+				if c.st.resyncs == 0 {
+					t.Fatalf("client %d saw no resync across a compaction", ci)
+				}
+			}
+		}
+	}
+	if combos < 64 {
+		t.Fatalf("only %d combos verified, want >= 64", combos)
+	}
+}
+
+// TestSubscribeStalledSubscriber pins the backpressure path end to end: a
+// subscriber that never drains overflows its bounded queue, events drop,
+// and the eventual drain recovers — via resync — to exactly the fresh
+// query's bytes.
+func TestSubscribeStalledSubscriber(t *testing.T) {
+	sch, _ := stdata.Lookup("nyc")
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := ingestNYC(t, ctx, 1500)
+	srv := NewServer(Config{Ctx: ctx, CacheBytes: 32 << 20, SubscribePoll: -1})
+	defer srv.Close()
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := fullExtent()
+	sub, err := srv.Hub().Subscribe("nyc", req.Window(), subscribe.Options{Queue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Stall: commit far more batches than the queue holds, draining nothing.
+	for b := 0; b < 6; b++ {
+		if _, err := sch.Append(datagen.NYC(150, int64(300+b)), dir,
+			fmt.Sprintf("stall-%d", b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.Hub().Stats(); st.EventsDropped == 0 {
+		t.Fatalf("no events dropped despite the stall: %+v", st)
+	}
+
+	var rs replayState
+	drainSub(t, sub, &rs)
+	if rs.resyncs == 0 || rs.dropped == 0 {
+		t.Fatalf("stalled subscriber recovered without a resync (resyncs=%d dropped=%d)",
+			rs.resyncs, rs.dropped)
+	}
+	if got, want := rs.flatten(), freshRecords(t, ts.URL, req); !bytes.Equal(got, want) {
+		t.Fatalf("post-stall replay diverged (%d bytes vs %d)", len(got), len(want))
+	}
+}
+
+// TestSubscribeCompactionRace races a compactor loop against appends while
+// subscribers drain concurrently; once everything quiesces the replayed
+// streams must still equal the fresh query byte for byte. Runs under -race
+// in make check.
+func TestSubscribeCompactionRace(t *testing.T) {
+	sch, _ := stdata.Lookup("nyc")
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := ingestNYC(t, ctx, 1500)
+	srv := NewServer(Config{Ctx: ctx, CacheBytes: 32 << 20, SubscribePoll: -1})
+	defer srv.Close()
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	windows := []QueryRequest{fullExtent(), nycWindows(3)[1]}
+	type client struct {
+		req QueryRequest
+		sub *subscribe.Subscriber
+		st  replayState
+	}
+	var clients []*client
+	for _, req := range windows {
+		sub, err := srv.Hub().Subscribe("nyc", req.Window(), subscribe.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		clients = append(clients, &client{req: req, sub: sub})
+	}
+
+	// Drainers apply updates continuously while the writers run.
+	drainCtx, stopDrain := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *client) {
+			defer wg.Done()
+			for {
+				u, err := c.sub.Next(drainCtx)
+				if err != nil {
+					return
+				}
+				c.st.apply(u)
+			}
+		}(c)
+	}
+
+	// The compactor races the appender; a long GC grace keeps superseded
+	// files alive for readers pinned on older generations (the production
+	// MVCC discipline).
+	compDone := make(chan struct{})
+	stopComp := make(chan struct{})
+	go func() {
+		defer close(compDone)
+		for {
+			select {
+			case <-stopComp:
+				return
+			default:
+			}
+			if _, err := sch.Compact(dir, storage.CompactOptions{MinDeltas: 1, GCGrace: time.Hour}); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	for b := 0; b < 8; b++ {
+		if _, err := sch.Append(datagen.NYC(120, int64(500+b)), dir,
+			fmt.Sprintf("race-%d", b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stopComp)
+	<-compDone
+	stopDrain()
+	wg.Wait()
+
+	// Quiesced: drain the remainder single-threaded and compare.
+	for ci, c := range clients {
+		drainSub(t, c.sub, &c.st)
+		got := c.st.flatten()
+		want := freshRecords(t, ts.URL, c.req)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("client %d: replay diverged after compaction race (%d bytes vs %d)",
+				ci, len(got), len(want))
+		}
+	}
+}
+
+// sseFrame is one parsed Server-Sent Event.
+type sseFrame struct {
+	event string
+	id    string
+	data  []byte
+}
+
+// readFrame parses the next SSE frame, skipping keepalive comments.
+func readFrame(br *bufio.Reader) (sseFrame, error) {
+	var fr sseFrame
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return fr, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if fr.data != nil {
+				return fr, nil
+			}
+			// blank after a comment: keep reading
+		case strings.HasPrefix(line, ":"):
+			// keepalive comment
+		case strings.HasPrefix(line, "event: "):
+			fr.event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			fr.id = line[len("id: "):]
+		case strings.HasPrefix(line, "data: "):
+			fr.data = []byte(line[len("data: "):])
+		}
+	}
+}
+
+// decodeUpdate parses one SSE data payload into a fresh Update (a fresh
+// struct per frame: absent JSON fields must decode as zero values).
+func decodeUpdate(t *testing.T, data []byte) subscribe.Update {
+	t.Helper()
+	var u subscribe.Update
+	if err := json.Unmarshal(data, &u); err != nil {
+		t.Fatalf("bad update payload %s: %v", data, err)
+	}
+	return u
+}
+
+// openStream POSTs /subscribe and returns the live SSE body.
+func openStream(t *testing.T, url string, req QueryRequest) (io.ReadCloser, *bufio.Reader) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/subscribe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		t.Fatalf("subscribe status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	return resp.Body, bufio.NewReader(resp.Body)
+}
+
+// TestSubscribeSSEDisconnectResync pins the transport contract across a
+// mid-batch disconnect: a client that drops its stream between two commits
+// reconnects, gets a fresh init whose fence covers everything it missed,
+// resumes replay from it, and converges to the fresh query's exact bytes.
+// Also exercises the SSE framing (event names, generation:seq ids) and the
+// /metrics subscriber counters.
+func TestSubscribeSSEDisconnectResync(t *testing.T) {
+	sch, _ := stdata.Lookup("nyc")
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := ingestNYC(t, ctx, 1500)
+	srv := NewServer(Config{Ctx: ctx, CacheBytes: 32 << 20, SubscribePoll: -1})
+	defer srv.Close()
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	req := fullExtent()
+
+	body, br := openStream(t, ts.URL, req)
+	fr, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.event != "init" {
+		t.Fatalf("first frame event %q, want init", fr.event)
+	}
+	var rs replayState
+	rs.apply(decodeUpdate(t, fr.data))
+
+	// One commit lands and streams; the client reads part of the commit's
+	// frames, then drops the connection mid-batch.
+	if _, err := sch.Append(datagen.NYC(200, 700), dir, "sse-0"); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.event != "batch" {
+		t.Fatalf("post-commit frame event %q, want batch", fr.event)
+	}
+	var gen, seq int64
+	if _, err := fmt.Sscanf(fr.id, "%d:%d", &gen, &seq); err != nil || gen == 0 {
+		t.Fatalf("frame id %q does not parse as generation:seq", fr.id)
+	}
+	body.Close() // mid-stream disconnect: later frames of this commit are lost
+
+	// More commits while disconnected.
+	if _, err := sch.Append(datagen.NYC(200, 701), dir, "sse-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconnect: the fresh init's snapshot covers both the half-read commit
+	// and everything missed while away.
+	body2, br2 := openStream(t, ts.URL, req)
+	defer body2.Close()
+	fr, err = readFrame(br2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.event != "init" {
+		t.Fatalf("reconnect frame event %q, want init", fr.event)
+	}
+	rs = replayState{}
+	rs.apply(decodeUpdate(t, fr.data))
+
+	// One more commit streams incrementally on the new connection.
+	if _, err := sch.Append(datagen.NYC(150, 702), dir, "sse-2"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fr, err = readFrame(br2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.event != "batch" {
+			t.Fatalf("frame event %q, want batch", fr.event)
+		}
+		rs.apply(decodeUpdate(t, fr.data))
+		if got, want := rs.flatten(), freshRecords(t, ts.URL, req); bytes.Equal(got, want) {
+			break // all of sse-2's frames arrived and replay converged
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replay never converged to the fresh query after reconnect")
+		}
+	}
+
+	var m MetricsResponse
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Server.Subscribes != 2 {
+		t.Errorf("subscribes counter = %d, want 2", m.Server.Subscribes)
+	}
+	if m.Subscribe.TotalSubscribers != 2 || m.Subscribe.EventsPushed == 0 {
+		t.Errorf("hub stats = %+v", m.Subscribe)
+	}
+}
+
+// TestSubscribeDrainingRefused pins that a draining daemon answers 503.
+func TestSubscribeDrainingRefused(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	dir := ingestNYC(t, ctx, 500)
+	srv := NewServer(Config{Ctx: ctx, SubscribePoll: -1})
+	defer srv.Close()
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.SetDraining(true)
+	body, _ := json.Marshal(fullExtent())
+	resp, err := http.Post(ts.URL+"/subscribe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining subscribe status %d, want 503", resp.StatusCode)
+	}
+	if _, err := srv.Hub().Subscribe("nope", fullExtent().Window(), subscribe.Options{}); err == nil {
+		t.Fatal("unknown dataset subscribed")
+	}
+}
+
+// TestGracefulDrainCutsSSE pins satellite 3's contract: a drain with a live
+// long-lived SSE stream must not hang until the drain timeout — entering
+// the drain closes every subscription, the handler returns, and shutdown
+// completes quickly; the client sees its stream end.
+func TestGracefulDrainCutsSSE(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	dir := ingestNYC(t, ctx, 800)
+	srv := NewServer(Config{Ctx: ctx, SubscribePoll: -1})
+	defer srv.Close()
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+
+	gctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- GracefulContext(gctx, GracefulConfig{
+			Addr:         "127.0.0.1:0",
+			Handler:      srv.Handler(),
+			Drainer:      srv,
+			DrainTimeout: 30 * time.Second, // far beyond what a correct drain needs
+			OnListen:     func(addr string) { addrc <- addr },
+		})
+	}()
+	addr := <-addrc
+
+	body, br := openStream(t, "http://"+addr, fullExtent())
+	defer body.Close()
+	if fr, err := readFrame(br); err != nil || fr.event != "init" {
+		t.Fatalf("init frame: %v %+v", err, fr)
+	}
+
+	streamEnded := make(chan error, 1)
+	go func() {
+		_, err := readFrame(br) // blocks until the server ends the stream
+		streamEnded <- err
+	}()
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful loop returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung on the live SSE stream")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %v with an idle SSE stream; the hub close should cut it immediately", elapsed)
+	}
+	select {
+	case err := <-streamEnded:
+		if err == nil {
+			t.Fatal("stream delivered a frame instead of ending")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client stream did not end after the drain")
+	}
+}

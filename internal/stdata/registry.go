@@ -113,8 +113,16 @@ type Schema interface {
 	// Append adds recs — a []T of the schema's record type — to the live
 	// dataset at dir through the storage delta layer (no base rewrite);
 	// batchID, when non-empty, makes retries exactly-once. It returns the
-	// dataset generation after the append.
+	// dataset generation after the append. A *storage.HookError comes back
+	// WITH the committed generation: the append is durable, only a commit
+	// hook failed — callers must not replay the batch.
 	Append(recs any, dir, batchID string) (int64, error)
+	// ReadDelta decodes one committed delta file of the dataset at dir,
+	// returning each record's ST box alongside its JSON wire form — the
+	// same bytes ServeQuery marshals, which is what lets a push stream stay
+	// byte-identical to a batch re-query.
+	ReadDelta(dir string, meta *storage.Metadata,
+		dm storage.DeltaMeta) ([]index.Box, []json.RawMessage, error)
 	// Compact runs one compaction pass over the dataset at dir, folding
 	// delta files back into rewritten base partitions.
 	Compact(dir string, opts storage.CompactOptions) (storage.CompactStats, error)
@@ -196,10 +204,33 @@ func (s schema[T]) Append(recs any, dir, batchID string) (int64, error) {
 	}
 	mf, err := storage.AppendDelta(dir, s.spec.Codec, typed, s.spec.BoxOf,
 		storage.AppendOptions{BatchID: batchID})
-	if err != nil {
+	if mf == nil {
 		return 0, err
 	}
-	return mf.Generation, nil
+	// A non-nil manifest with a non-nil error is a *storage.HookError: the
+	// append committed, so the generation flows back with it.
+	return mf.Generation, err
+}
+
+func (s schema[T]) ReadDelta(
+	dir string, meta *storage.Metadata, dm storage.DeltaMeta,
+) ([]index.Box, []json.RawMessage, error) {
+	compressed := meta != nil && meta.Compressed
+	recs, err := storage.ReadDelta(dir, compressed, dm, s.spec.Codec)
+	if err != nil {
+		return nil, nil, err
+	}
+	boxes := make([]index.Box, len(recs))
+	raw := make([]json.RawMessage, len(recs))
+	for i, rec := range recs {
+		boxes[i] = s.spec.BoxOf(rec)
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stdata: schema %s: marshal record: %w", s.spec.Name, err)
+		}
+		raw[i] = b
+	}
+	return boxes, raw, nil
 }
 
 func (s schema[T]) Compact(dir string, opts storage.CompactOptions) (storage.CompactStats, error) {

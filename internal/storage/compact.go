@@ -60,19 +60,41 @@ type CompactStats struct {
 // reader holding the pre-compaction manifest keeps a complete, consistent
 // view (MVCC with files). Queries before and after the swap return
 // identical records; only the file layout changes.
+//
+// After a committing pass, OnCommit hooks for dir run outside the writer
+// lock; a hook failure returns the pass's stats alongside a *HookError —
+// the compaction is durable, only the notification failed.
 func Compact[T any](
 	dir string, c codec.Codec[T], boxOf func(T) index.Box, opts CompactOptions,
 ) (CompactStats, error) {
+	st, committed, err := compactLocked(dir, c, boxOf, opts)
+	if err != nil {
+		return st, err
+	}
+	if committed {
+		ev := CommitEvent{Dir: dir, Kind: CommitCompact, Generation: st.Generation}
+		if herr := notifyCommit(ev); herr != nil {
+			return st, herr
+		}
+	}
+	return st, nil
+}
+
+// compactLocked does the pass under the directory writer lock and reports
+// whether a manifest swap committed (GC-only passes do not notify).
+func compactLocked[T any](
+	dir string, c codec.Codec[T], boxOf func(T) index.Box, opts CompactOptions,
+) (CompactStats, bool, error) {
 	unlock := lockDir(dir)
 	defer unlock()
 
 	meta, err := ReadMetadata(dir)
 	if err != nil {
-		return CompactStats{}, err
+		return CompactStats{}, false, err
 	}
 	mf, err := ReadManifest(dir)
 	if err != nil {
-		return CompactStats{}, err
+		return CompactStats{}, false, err
 	}
 	st := CompactStats{Generation: mf.Generation}
 
@@ -99,7 +121,7 @@ func Compact[T any](
 		if opts.GCGrace >= 0 {
 			st.FilesRemoved, err = collectGarbage(dir, meta, mf, opts.GCGrace)
 		}
-		return st, err
+		return st, false, err
 	}
 
 	gen := mf.Generation + 1
@@ -117,14 +139,14 @@ func Compact[T any](
 		recs, _, err := ReadPartitionPruned(dir, meta, pi, c, nil)
 		if err != nil {
 			sp.End(trace.Str("error", err.Error()))
-			return st, fmt.Errorf("storage: compact partition %d: %w", pi, err)
+			return st, false, fmt.Errorf("storage: compact partition %d: %w", pi, err)
 		}
 		ZCluster(recs, boxOf)
 		pm, err := writePartitionV3File(dir, compactedFileName(pi, gen), c, recs, boxOf,
 			blockRecords, true)
 		if err != nil {
 			sp.End(trace.Str("error", err.Error()))
-			return st, fmt.Errorf("storage: compact partition %d: %w", pi, err)
+			return st, false, fmt.Errorf("storage: compact partition %d: %w", pi, err)
 		}
 		pm.Format = FormatVersion
 		mf.Rewrites[pi] = pm
@@ -149,7 +171,7 @@ func Compact[T any](
 	crash("compact:base-written")
 	mf.Generation = gen
 	if err := writeManifest(dir, mf); err != nil {
-		return st, err
+		return st, false, err
 	}
 	st.Generation = gen
 	crash("compact:swapped")
@@ -158,14 +180,14 @@ func Compact[T any](
 		// Rebuild the post-swap view for the referenced-file set.
 		view, err := ReadMetadata(dir)
 		if err != nil {
-			return st, err
+			return st, true, err
 		}
 		st.FilesRemoved, err = collectGarbage(dir, view, mf, opts.GCGrace)
 		if err != nil {
-			return st, err
+			return st, true, err
 		}
 	}
-	return st, nil
+	return st, true, nil
 }
 
 // collectGarbage removes partition/delta files that the committed view no

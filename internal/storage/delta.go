@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"st4ml/internal/codec"
@@ -209,28 +210,50 @@ func compactedFileName(pi int, gen int64) string {
 // loaded before keep a consistent pre-append view. Concurrent appends and
 // compactions of one directory serialize in-process; see the package
 // comment on delta.go for the crash-safety argument.
+//
+// After the swap, OnCommit hooks for dir run outside the writer lock; a
+// hook failure returns the committed manifest alongside a *HookError — the
+// append is durable, only the notification failed.
 func AppendDelta[T any](
 	dir string, c codec.Codec[T], recs []T, boxOf func(T) index.Box, opts AppendOptions,
 ) (*Manifest, error) {
+	mf, ev, err := appendDeltaLocked(dir, c, recs, boxOf, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ev != nil {
+		if herr := notifyCommit(*ev); herr != nil {
+			return mf, herr
+		}
+	}
+	return mf, nil
+}
+
+// appendDeltaLocked does the append under the directory writer lock and
+// returns the commit event to notify (nil when nothing committed: a
+// replayed batch or an empty record set).
+func appendDeltaLocked[T any](
+	dir string, c codec.Codec[T], recs []T, boxOf func(T) index.Box, opts AppendOptions,
+) (*Manifest, *CommitEvent, error) {
 	unlock := lockDir(dir)
 	defer unlock()
 
 	meta, err := ReadMetadata(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if meta.NumPartitions() == 0 {
-		return nil, fmt.Errorf("storage: append to %s: dataset has no partitions", dir)
+		return nil, nil, fmt.Errorf("storage: append to %s: dataset has no partitions", dir)
 	}
 	mf, err := ReadManifest(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if opts.BatchID != "" && mf.applied(opts.BatchID) {
-		return mf, nil // committed by a previous attempt
+		return mf, nil, nil // committed by a previous attempt
 	}
 	if len(recs) == 0 {
-		return mf, nil
+		return mf, nil, nil
 	}
 
 	blockRecords := meta.BlockRecords
@@ -238,6 +261,7 @@ func AppendDelta[T any](
 		blockRecords = DefaultBlockRecords
 	}
 	groups := routeToPartitions(meta, recs, boxOf)
+	var committed []DeltaMeta
 	for pi, group := range groups {
 		if len(group) == 0 {
 			continue
@@ -251,18 +275,28 @@ func AppendDelta[T any](
 		// per delta file.
 		pm, err := writePartitionV3File(dir, name, c, group, boxOf, blockRecords, true)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pm.Format = FormatVersion
-		mf.Deltas = append(mf.Deltas, DeltaMeta{Partition: pi, Seq: seq, PartitionMeta: pm})
+		dm := DeltaMeta{Partition: pi, Seq: seq, PartitionMeta: pm}
+		mf.Deltas = append(mf.Deltas, dm)
+		committed = append(committed, dm)
 	}
 	crash("append:delta-written")
 	mf.Generation++
 	mf.noteBatch(opts.BatchID)
 	if err := writeManifest(dir, mf); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return mf, nil
+	sort.Slice(committed, func(i, j int) bool { return committed[i].Seq < committed[j].Seq })
+	ev := &CommitEvent{
+		Dir:        dir,
+		Kind:       CommitAppend,
+		Generation: mf.Generation,
+		BatchID:    opts.BatchID,
+		Deltas:     committed,
+	}
+	return mf, ev, nil
 }
 
 // routeToPartitions assigns each record to a base partition: the one whose

@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestOnCommitAppendEvents pins the hook contract on the append path: one
+// event per committed batch carrying the batch id and the committed deltas
+// in sequence order, no event for a replayed (deduplicated) batch, and no
+// events after cancel.
+func TestOnCommitAppendEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	parts := makeParts(rng, 3, 40)
+	dir := t.TempDir()
+	if _, err := Write(dir, recC, parts, recBox, WriteOptions{Name: "h", BlockRecords: 16}); err != nil {
+		t.Fatal(err)
+	}
+	var events []CommitEvent
+	cancel := OnCommit(dir, func(ev CommitEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	defer cancel()
+
+	extra := makeParts(rng, 1, 30)[0]
+	mf, err := AppendDelta(dir, recC, extra, recBox, AppendOptions{BatchID: "h1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("%d events after one append, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Kind != CommitAppend || ev.Dir != dir || ev.BatchID != "h1" || ev.Generation != mf.Generation {
+		t.Fatalf("event %+v, manifest generation %d", ev, mf.Generation)
+	}
+	if len(ev.Deltas) == 0 {
+		t.Fatal("append event carries no deltas")
+	}
+	total := int64(0)
+	for i, dm := range ev.Deltas {
+		total += dm.Count
+		if i > 0 && dm.Seq <= ev.Deltas[i-1].Seq {
+			t.Fatalf("deltas out of sequence order: %+v", ev.Deltas)
+		}
+	}
+	if total != int64(len(extra)) {
+		t.Fatalf("event deltas cover %d records, batch had %d", total, len(extra))
+	}
+
+	// Replay: exactly-once dedup means no commit, hence no event.
+	if _, err := AppendDelta(dir, recC, extra, recBox, AppendOptions{BatchID: "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("replayed batch fired an event (%d total)", len(events))
+	}
+
+	// Empty batch: no commit, no event.
+	if _, err := AppendDelta(dir, recC, nil, recBox, AppendOptions{BatchID: "h2"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("empty batch fired an event (%d total)", len(events))
+	}
+
+	cancel()
+	if _, err := AppendDelta(dir, recC, makeParts(rng, 1, 10)[0], recBox, AppendOptions{BatchID: "h3"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("cancelled hook still fired (%d total)", len(events))
+	}
+}
+
+// TestOnCommitCompactEvent pins that a committed compaction notifies with
+// CommitCompact at the new generation, and that a GC-only or idle pass
+// stays silent.
+func TestOnCommitCompactEvent(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	parts := makeParts(rng, 2, 40)
+	dir := t.TempDir()
+	if _, err := Write(dir, recC, parts, recBox, WriteOptions{Name: "hc", BlockRecords: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendDelta(dir, recC, makeParts(rng, 1, 25)[0], recBox, AppendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var events []CommitEvent
+	cancel := OnCommit(dir, func(ev CommitEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	defer cancel()
+
+	st, err := Compact(dir, recC, recBox, CompactOptions{MinDeltas: 1, GCGrace: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PartitionsCompacted == 0 {
+		t.Fatalf("compaction did nothing: %+v", st)
+	}
+	if len(events) != 1 {
+		t.Fatalf("%d events after compaction, want 1", len(events))
+	}
+	if ev := events[0]; ev.Kind != CommitCompact || ev.Generation != st.Generation || ev.Dir != dir {
+		t.Fatalf("event %+v, stats generation %d", ev, st.Generation)
+	}
+
+	// Nothing left to fold: the idle pass commits nothing and stays silent.
+	if _, err := Compact(dir, recC, recBox, CompactOptions{MinDeltas: 1, GCGrace: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("idle compaction pass fired an event (%d total)", len(events))
+	}
+}
+
+// TestHookErrorKeepsCommit pins the durability contract: a failing hook
+// surfaces as *HookError, but the append it observed IS committed — the
+// manifest moved, the records read back, and a replay of the batch dedups
+// to a no-op (so callers must not retry the append to "redeliver" the
+// notification).
+func TestHookErrorKeepsCommit(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	parts := makeParts(rng, 2, 40)
+	dir := t.TempDir()
+	if _, err := Write(dir, recC, parts, recBox, WriteOptions{Name: "he", BlockRecords: 16}); err != nil {
+		t.Fatal(err)
+	}
+	var base []rec
+	for _, p := range parts {
+		base = append(base, p...)
+	}
+	boom := errors.New("notifier exploded")
+	cancel := OnCommit(dir, func(CommitEvent) error { return boom })
+	defer cancel()
+
+	extra := makeParts(rng, 1, 20)[0]
+	mf, err := AppendDelta(dir, recC, extra, recBox, AppendOptions{BatchID: "he1"})
+	if err == nil {
+		t.Fatal("hook failure did not surface")
+	}
+	var herr *HookError
+	if !errors.As(err, &herr) || !errors.Is(err, boom) {
+		t.Fatalf("error %v is not a *HookError wrapping the hook's error", err)
+	}
+	if mf == nil || mf.Generation == 0 {
+		t.Fatalf("manifest not returned with the hook error: %+v", mf)
+	}
+	want := canonical(append(append([]rec{}, base...), extra...))
+	if got := readAll(t, dir, nil); !reflect.DeepEqual(got, want) {
+		t.Fatal("append with failing hook did not commit the records")
+	}
+
+	// The replay dedups silently: same state, and the hook is NOT re-fired
+	// (no error comes back), which is exactly why callers must not replay.
+	mf2, err := AppendDelta(dir, recC, extra, recBox, AppendOptions{BatchID: "he1"})
+	if err != nil {
+		t.Fatalf("replay after hook failure errored: %v", err)
+	}
+	if mf2.Generation != mf.Generation {
+		t.Fatalf("replay moved generation %d -> %d", mf.Generation, mf2.Generation)
+	}
+	if got := readAll(t, dir, nil); !reflect.DeepEqual(got, want) {
+		t.Fatal("replay changed the dataset")
+	}
+
+	// Compaction with the failing hook: same shape — committed state plus
+	// *HookError.
+	st, err := Compact(dir, recC, recBox, CompactOptions{MinDeltas: 1, GCGrace: 0})
+	if !errors.As(err, &herr) {
+		t.Fatalf("compaction hook failure surfaced as %v", err)
+	}
+	if st.PartitionsCompacted == 0 {
+		t.Fatalf("compaction stats lost alongside the hook error: %+v", st)
+	}
+	if got := readAll(t, dir, nil); !reflect.DeepEqual(got, want) {
+		t.Fatal("compaction with failing hook corrupted the dataset")
+	}
+}
+
+// TestOnCommitMultipleHooks pins registration order and first-error-wins.
+func TestOnCommitMultipleHooks(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	parts := makeParts(rng, 2, 30)
+	dir := t.TempDir()
+	if _, err := Write(dir, recC, parts, recBox, WriteOptions{Name: "hm", BlockRecords: 16}); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	c1 := OnCommit(dir, func(CommitEvent) error { order = append(order, "a"); return nil })
+	defer c1()
+	c2 := OnCommit(dir, func(CommitEvent) error { order = append(order, "b"); return errors.New("b failed") })
+	defer c2()
+	c3 := OnCommit(dir, func(CommitEvent) error { order = append(order, "c"); return nil })
+	defer c3()
+
+	_, err := AppendDelta(dir, recC, makeParts(rng, 1, 10)[0], recBox, AppendOptions{})
+	var herr *HookError
+	if !errors.As(err, &herr) {
+		t.Fatalf("second hook's error not surfaced: %v", err)
+	}
+	if want := []string{"a", "b"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("hook order %v, want %v (run in order, stop at first error)", order, want)
+	}
+}

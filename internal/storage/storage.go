@@ -99,6 +99,13 @@ type Metadata struct {
 	// increasing counter bumped by every committed append or compaction.
 	// It lives in manifest.json, never in metadata.json.
 	Generation int64 `json:"-"`
+	// NextSeq mirrors the manifest's next unused delta sequence number at
+	// the time this view was merged (0 without a delta layer). Every
+	// committed delta with Seq < NextSeq is part of this view — still live,
+	// or folded into a rewritten base — which makes NextSeq the dedup fence
+	// subscription snapshots carry: a pushed batch whose Seq is below the
+	// fence is already in the snapshot.
+	NextSeq int64 `json:"-"`
 	// deltas[i] lists partition i's live delta files, merged in from the
 	// manifest by ReadMetadata (nil when the dataset has none). Readers
 	// union them with the base partition — merge-on-read.
@@ -481,6 +488,7 @@ func (m *Metadata) applyManifest(mf *Manifest) error {
 		return nil
 	}
 	m.Generation = mf.Generation
+	m.NextSeq = mf.NextSeq
 	for i, pm := range mf.Rewrites {
 		if i < 0 || i >= len(m.Partitions) {
 			return fmt.Errorf("storage: manifest rewrites partition %d of %d", i, len(m.Partitions))
@@ -625,6 +633,26 @@ func ReadPartitionPruned[T any](
 		out = append(out, drecs...)
 	}
 	return out, st, nil
+}
+
+// ReadDelta decodes one committed delta file in full, in file order — the
+// unit the subscription notifier routes through its window index and
+// pushes to matching subscribers. It dispatches on the delta's recorded
+// format exactly like the merge-on-read path, so a pushed record is byte-
+// identical to the same record surfaced by a batch query.
+func ReadDelta[T any](dir string, compressed bool, dm DeltaMeta, c codec.Codec[T]) ([]T, error) {
+	dpm := dm.PartitionMeta
+	dver := dpm.Format
+	if dver == 0 {
+		dver = 2 // pre-columnar manifests: deltas were always block-layout
+	}
+	recs, _, err := readWithRetry(dpm.File, func() ([]T, ReadStats, error) {
+		if dver >= 3 {
+			return readPartitionV3Once[T](dir, dpm, c, nil)
+		}
+		return readPartitionV2Once[T](dir, compressed, dpm, c, nil)
+	})
+	return recs, err
 }
 
 // boxIntersectsAny reports whether b intersects at least one window.

@@ -1,0 +1,97 @@
+package subscribe
+
+import "st4ml/internal/index"
+
+// SubIndex is the inverted interval index at the heart of the fan-out: an
+// R-tree over the registered query windows, probed once per arriving
+// record. With M live subscriptions a probe costs O(log M) instead of the
+// O(M) linear sweep, which is what keeps per-batch matching at O(K log M).
+//
+// index.RTree has no deletion, so removal is a tombstone: the id drops out
+// of the live set (probes filter on it) and the tree is rebuilt via STR
+// bulk load once tombstones outnumber live entries. Not safe for
+// concurrent use; the hub guards it.
+type SubIndex struct {
+	tree *index.RTree[int64]
+	live map[int64]index.Box
+	dead int
+}
+
+// NewSubIndex returns an empty index.
+func NewSubIndex() *SubIndex {
+	return &SubIndex{tree: index.NewRTree[int64](16), live: map[int64]index.Box{}}
+}
+
+// Len returns the number of live registered windows.
+func (x *SubIndex) Len() int { return len(x.live) }
+
+// Insert registers window b under id. Re-inserting a live id replaces its
+// window.
+func (x *SubIndex) Insert(id int64, b index.Box) {
+	if _, ok := x.live[id]; ok {
+		x.Remove(id)
+	}
+	x.live[id] = b
+	x.tree.Insert(b, id)
+}
+
+// Remove unregisters id (a no-op for unknown ids). The tree entry stays as
+// a tombstone until the rebuild threshold trips.
+func (x *SubIndex) Remove(id int64) {
+	if _, ok := x.live[id]; !ok {
+		return
+	}
+	delete(x.live, id)
+	x.dead++
+	// Rebuild once tombstones dominate: keeps probes O(log live) under
+	// subscriber churn without rebuilding on every unsubscribe.
+	if x.dead > 16 && x.dead > len(x.live) {
+		x.rebuild()
+	}
+}
+
+func (x *SubIndex) rebuild() {
+	items := make([]index.Item[int64], 0, len(x.live))
+	for id, b := range x.live {
+		items = append(items, index.Item[int64]{Box: b, Data: id})
+	}
+	x.tree = index.BulkLoadSTR(items, 16)
+	x.dead = 0
+}
+
+// Match invokes fn once for every live id whose window intersects b.
+func (x *SubIndex) Match(b index.Box, fn func(id int64)) {
+	// A replaced window can leave two tree entries for one id; the seen set
+	// keeps fn to one call even when both intersect.
+	var seen map[int64]bool
+	x.tree.SearchFunc(b, func(id int64, box index.Box) bool {
+		lb, ok := x.live[id]
+		if !ok || lb != box {
+			return true // tombstone, or an entry superseded by Insert
+		}
+		if seen[id] {
+			return true
+		}
+		if seen == nil {
+			seen = make(map[int64]bool, 4)
+		}
+		seen[id] = true
+		fn(id)
+		return true
+	})
+}
+
+// Any reports whether at least one live window intersects b — the cheap
+// pre-filter that lets the notifier skip reading a delta file no
+// subscriber can match.
+func (x *SubIndex) Any(b index.Box) bool {
+	hit := false
+	x.tree.SearchFunc(b, func(id int64, box index.Box) bool {
+		if lb, ok := x.live[id]; ok && lb == box {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}

@@ -1,0 +1,171 @@
+package subscribe
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"st4ml/internal/index"
+)
+
+func box(minx, miny, mint, maxx, maxy, maxt float64) index.Box {
+	var b index.Box
+	b.Min[0], b.Max[0] = minx, maxx
+	b.Min[1], b.Max[1] = miny, maxy
+	b.Min[2], b.Max[2] = mint, maxt
+	return b
+}
+
+// matchIDs collects Match's callbacks sorted, for comparisons.
+func matchIDs(x *SubIndex, b index.Box) []int64 {
+	var ids []int64
+	x.Match(b, func(id int64) { ids = append(ids, id) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestSubIndexInsertMatchRemove(t *testing.T) {
+	x := NewSubIndex()
+	if x.Len() != 0 || x.Any(box(0, 0, 0, 10, 10, 10)) {
+		t.Fatal("empty index matched")
+	}
+	x.Insert(1, box(0, 0, 0, 5, 5, 5))
+	x.Insert(2, box(4, 4, 4, 9, 9, 9))
+	x.Insert(3, box(20, 20, 20, 25, 25, 25))
+	if got := matchIDs(x, box(4.5, 4.5, 4.5, 4.6, 4.6, 4.6)); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("overlap probe matched %v, want [1 2]", got)
+	}
+	if got := matchIDs(x, box(21, 21, 21, 22, 22, 22)); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("probe matched %v, want [3]", got)
+	}
+	if !x.Any(box(21, 21, 21, 22, 22, 22)) || x.Any(box(100, 100, 100, 101, 101, 101)) {
+		t.Fatal("Any disagrees with Match")
+	}
+
+	// Remove tombstones: the id must stop matching immediately.
+	x.Remove(2)
+	if got := matchIDs(x, box(4.5, 4.5, 4.5, 4.6, 4.6, 4.6)); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("post-remove probe matched %v, want [1]", got)
+	}
+	if x.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", x.Len())
+	}
+	x.Remove(2) // unknown/already-removed: no-op
+	if x.Len() != 2 {
+		t.Fatal("double remove changed Len")
+	}
+}
+
+// TestSubIndexReplaceWindow pins that re-inserting a live id moves its
+// window and never double-fires the callback.
+func TestSubIndexReplaceWindow(t *testing.T) {
+	x := NewSubIndex()
+	x.Insert(7, box(0, 0, 0, 5, 5, 5))
+	x.Insert(7, box(10, 10, 10, 15, 15, 15))
+	if got := matchIDs(x, box(1, 1, 1, 2, 2, 2)); len(got) != 0 {
+		t.Fatalf("old window still matches after replace: %v", got)
+	}
+	if got := matchIDs(x, box(11, 11, 11, 12, 12, 12)); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("new window matched %v, want [7]", got)
+	}
+	// Replace with the identical window: two equal tree entries for one id;
+	// the seen set must keep the callback to one invocation.
+	x.Insert(8, box(30, 30, 30, 35, 35, 35))
+	x.Insert(8, box(30, 30, 30, 35, 35, 35))
+	if got := matchIDs(x, box(31, 31, 31, 32, 32, 32)); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("identical replace matched %v, want exactly [8]", got)
+	}
+}
+
+// TestSubIndexRebuild drives enough churn to trip the tombstone-dominance
+// rebuild and checks matching stays exact through it.
+func TestSubIndexRebuild(t *testing.T) {
+	x := NewSubIndex()
+	for id := int64(0); id < 40; id++ {
+		f := float64(id)
+		x.Insert(id, box(f, f, f, f+0.5, f+0.5, f+0.5))
+	}
+	for id := int64(0); id < 30; id++ {
+		x.Remove(id)
+	}
+	// 30 removals with only 10 survivors must have tripped at least one
+	// rebuild (which resets the tombstone count) along the way.
+	if x.dead >= 30 {
+		t.Fatalf("dead = %d after heavy churn, no rebuild happened", x.dead)
+	}
+	if x.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", x.Len())
+	}
+	for id := int64(30); id < 40; id++ {
+		f := float64(id)
+		if got := matchIDs(x, box(f+0.1, f+0.1, f+0.1, f+0.2, f+0.2, f+0.2)); len(got) != 1 || got[0] != id {
+			t.Fatalf("survivor %d matched %v after rebuild", id, got)
+		}
+	}
+	for id := int64(0); id < 30; id++ {
+		f := float64(id)
+		if x.Any(box(f+0.1, f+0.1, f+0.1, f+0.2, f+0.2, f+0.2)) {
+			t.Fatalf("removed id %d still matches after rebuild", id)
+		}
+	}
+}
+
+// FuzzSubscriptionIndex drives the index with an arbitrary op stream —
+// insert, replace, remove, probe — and checks every probe against a
+// brute-force oracle over the live window set. Run as a 10s smoke in
+// `make fuzz-smoke`.
+func FuzzSubscriptionIndex(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, int64(1))
+	f.Add([]byte{0, 0, 0, 1, 1, 2, 2, 2, 0, 2}, int64(42))
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 0, 1}, int64(7))
+	f.Fuzz(func(t *testing.T, ops []byte, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		randBox := func() index.Box {
+			var b index.Box
+			for i := 0; i < index.Dims; i++ {
+				lo := rng.Float64()*100 - 50
+				b.Min[i], b.Max[i] = lo, lo+rng.Float64()*20
+			}
+			return b
+		}
+		x := NewSubIndex()
+		oracle := map[int64]index.Box{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // insert or replace a window under a small id space
+				id := int64(rng.Intn(12))
+				b := randBox()
+				x.Insert(id, b)
+				oracle[id] = b
+			case 1: // remove (often an id that exists)
+				id := int64(rng.Intn(12))
+				x.Remove(id)
+				delete(oracle, id)
+			case 2: // probe and compare to brute force
+				probe := randBox()
+				var want []int64
+				for id, b := range oracle {
+					if b.Intersects(probe) {
+						want = append(want, id)
+					}
+				}
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				got := matchIDs(x, probe)
+				if len(got) != len(want) {
+					t.Fatalf("probe %v: got %v, oracle %v", probe, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("probe %v: got %v, oracle %v", probe, got, want)
+					}
+				}
+				if x.Any(probe) != (len(want) > 0) {
+					t.Fatalf("Any(%v) = %v, oracle has %d matches", probe, x.Any(probe), len(want))
+				}
+			}
+		}
+		if x.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle has %d", x.Len(), len(oracle))
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package subscribe
+
+import (
+	"context"
+	"sync"
+
+	"st4ml/internal/selection"
+)
+
+// Subscriber is one standing subscription: a registered window plus a
+// bounded queue of pending updates the client drains with Next. The queue
+// is the backpressure boundary between the notifier (which must never
+// block on a slow consumer) and the transport: when it fills, the oldest
+// pending event is dropped and the subscriber is marked for resync, so a
+// stalled client costs bounded memory and recovers to a correct state the
+// moment it catches up — the same shed-don't-queue discipline as the
+// serving tier's admission control.
+type Subscriber struct {
+	id      int64
+	dataset string
+	window  selection.Window
+	opts    Options
+	hub     *Hub
+	ds      *hubDataset
+
+	mu       sync.Mutex
+	signal   chan struct{} // 1-buffered wakeup; extra sends coalesce
+	queue    []Update
+	maxQueue int
+	// pending marks the admission window between registration and the init
+	// snapshot: enqueues buffer (nothing may outrun init) and Next blocks.
+	pending    bool
+	needResync bool
+	// minSeq is the delta-sequence fence of the last delivered snapshot;
+	// queued batch events below it are already inside that snapshot and
+	// are discarded instead of delivered twice.
+	minSeq  int64
+	closed  bool
+	dropped int64 // overflow-discarded events since the last snapshot
+}
+
+// ID returns the subscription's hub-unique id.
+func (s *Subscriber) ID() int64 { return s.id }
+
+// Dataset returns the subscribed dataset name.
+func (s *Subscriber) Dataset() string { return s.dataset }
+
+// Window returns the standing query window.
+func (s *Subscriber) Window() selection.Window { return s.window }
+
+// Next blocks until the next update is available and returns it. Resync
+// takes priority over queued batches: once a snapshot replaces the state,
+// older queued events would be stale. It returns ErrClosed after Close (or
+// a server-side drain), and ctx's error on cancellation.
+func (s *Subscriber) Next(ctx context.Context) (Update, error) {
+	for {
+		s.mu.Lock()
+		switch {
+		case s.closed:
+			s.mu.Unlock()
+			return Update{}, ErrClosed
+		case !s.pending && s.needResync:
+			s.needResync = false
+			dropped := s.dropped
+			s.dropped = 0
+			s.mu.Unlock()
+			u, err := s.hub.resync(s, dropped)
+			if err != nil {
+				// Restore the marker so a retry (or a reconnect's fresh
+				// init) still recovers a correct state.
+				s.mu.Lock()
+				s.needResync = true
+				s.dropped += dropped
+				s.mu.Unlock()
+				return Update{}, err
+			}
+			return u, nil
+		case !s.pending && len(s.queue) > 0:
+			u := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue[len(s.queue)-1] = Update{}
+			s.queue = s.queue[:len(s.queue)-1]
+			s.mu.Unlock()
+			return u, nil
+		}
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Update{}, ctx.Err()
+		case <-s.signal:
+		}
+	}
+}
+
+// Pending returns how many deliveries Next would return without blocking —
+// the subscriber's lag (a scheduled resync counts as one).
+func (s *Subscriber) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending {
+		return 0
+	}
+	n := len(s.queue)
+	if s.needResync {
+		n++
+	}
+	return n
+}
+
+// Close ends the subscription: it unregisters the window from the hub's
+// index and wakes any blocked Next with ErrClosed. Safe to call more than
+// once.
+func (s *Subscriber) Close() { s.hub.unsubscribe(s) }
+
+// enqueue appends one batch update, dropping the oldest queued event (and
+// scheduling a resync that supersedes it) when the queue is full. Returns
+// whether the update was queued.
+func (s *Subscriber) enqueue(u Update) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if !s.pending && u.Seq < s.minSeq {
+		return false // already inside the last delivered snapshot
+	}
+	if len(s.queue) >= s.maxQueue {
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.needResync = true
+		s.dropped++
+		s.hub.drops.Add(1)
+	}
+	s.queue = append(s.queue, u)
+	s.wake()
+	return true
+}
+
+// markResync schedules a snapshot-replacing resync (compaction path).
+func (s *Subscriber) markResync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.needResync = true
+	s.wake()
+}
+
+// wake nudges a blocked Next; concurrent wakes coalesce in the buffer.
+func (s *Subscriber) wake() {
+	select {
+	case s.signal <- struct{}{}:
+	default:
+	}
+}

@@ -48,6 +48,11 @@ const (
 	SpanRPC = "rpc:shard"
 	// SpanSubquery is the shard-side root of one /subquery execution.
 	SpanSubquery = "subquery"
+	// SpanSubscribeMatch is one committed delta batch routed through the
+	// subscription window index; its subscribe:push children are the
+	// matched updates enqueued to (or dropped by) subscriber queues.
+	SpanSubscribeMatch = "subscribe:match"
+	SpanSubscribePush  = "subscribe:push"
 )
 
 // StageExplain is the per-stage line of an explain report.
@@ -92,6 +97,14 @@ type Explain struct {
 	DeltaFilesPruned int64 `json:"delta_files_pruned"`
 	DeltaRecords     int64 `json:"delta_records"`
 	Compactions      int64 `json:"compactions"`
+
+	// Standing-query accounting: delta batches matched against the
+	// subscription window index under this trace, updates pushed to
+	// subscriber queues, and the records those updates carried. All zero
+	// outside the online push path.
+	SubscribeMatches int64 `json:"subscribe_matches"`
+	SubscribePushes  int64 `json:"subscribe_pushes"`
+	SubscribeRecords int64 `json:"subscribe_records"`
 
 	ShuffleRecords int64 `json:"shuffle_records"`
 	ShuffleBytes   int64 `json:"shuffle_bytes"`
@@ -213,6 +226,13 @@ func Build(spans []SpanRecord) *Explain {
 			}
 		case s.Name == SpanCompact:
 			e.Compactions++
+		case s.Name == SpanSubscribeMatch:
+			e.SubscribeMatches++
+		case s.Name == SpanSubscribePush:
+			e.SubscribePushes++
+			if v, ok := s.Int("records"); ok {
+				e.SubscribeRecords += v
+			}
 		case s.Name == SpanScatter:
 			// The router plans from the same metadata a single node would,
 			// so its scatter span carries the partition-prune outcome; the
@@ -329,6 +349,10 @@ func (e *Explain) Fprint(w io.Writer) {
 	if e.DeltaFilesRead > 0 || e.DeltaFilesPruned > 0 || e.Compactions > 0 {
 		fmt.Fprintf(w, "deltas: %d files read, %d pruned; %d records; %d compactions\n",
 			e.DeltaFilesRead, e.DeltaFilesPruned, e.DeltaRecords, e.Compactions)
+	}
+	if e.SubscribeMatches > 0 || e.SubscribePushes > 0 {
+		fmt.Fprintf(w, "subscribe: %d batches matched, %d updates pushed (%d records)\n",
+			e.SubscribeMatches, e.SubscribePushes, e.SubscribeRecords)
 	}
 	fmt.Fprintf(w, "records: %d loaded, %d selected\n", e.RecordsLoaded, e.RecordsSelected)
 	fmt.Fprintf(w, "shuffle: %d records, %d bytes\n", e.ShuffleRecords, e.ShuffleBytes)
