@@ -16,6 +16,7 @@ CODEC_FLOOR     ?= 80.0
 STORAGE_FLOOR   ?= 80.0
 SERVE_FLOOR     ?= 80.0
 SUBSCRIBE_FLOOR ?= 85.0
+SUMMARY_FLOOR   ?= 85.0
 
 build:
 	$(GO) build ./...
@@ -38,12 +39,13 @@ cover:
 	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
 		if (t+0 < floor+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
 		printf "coverage %.1f%% >= %.1f%% floor\n", t, floor }'
-	@$(GO) test -cover ./internal/codec ./internal/storage ./internal/serve ./internal/subscribe | \
-	awk -v cf="$(CODEC_FLOOR)" -v sf="$(STORAGE_FLOOR)" -v vf="$(SERVE_FLOOR)" -v bf="$(SUBSCRIBE_FLOOR)" ' \
+	@$(GO) test -cover ./internal/codec ./internal/storage ./internal/serve ./internal/subscribe ./internal/summary | \
+	awk -v cf="$(CODEC_FLOOR)" -v sf="$(STORAGE_FLOOR)" -v vf="$(SERVE_FLOOR)" -v bf="$(SUBSCRIBE_FLOOR)" -v mf="$(SUMMARY_FLOOR)" ' \
 		{ for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { sub(/%/, "", $$i); cov = $$i } \
 		  floor = sf; \
 		  if ($$2 ~ /codec$$/) floor = cf; \
 		  else if ($$2 ~ /subscribe$$/) floor = bf; \
+		  else if ($$2 ~ /summary$$/) floor = mf; \
 		  else if ($$2 ~ /serve$$/) floor = vf; \
 		  if (cov+0 < floor+0) { printf "%s coverage %.1f%% is below its %.1f%% floor\n", $$2, cov, floor; bad = 1 } \
 		  else printf "%s coverage %.1f%% >= %.1f%% floor\n", $$2, cov, floor } \
@@ -67,6 +69,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzColumnCodecs$$' -fuzztime=10s ./internal/codec
 	$(GO) test -run='^$$' -fuzz='^FuzzV3Block$$' -fuzztime=10s ./internal/storage
 	$(GO) test -run='^$$' -fuzz='^FuzzSubscriptionIndex$$' -fuzztime=10s ./internal/subscribe
+	$(GO) test -run='^$$' -fuzz='^FuzzSummarySidecar$$' -fuzztime=10s ./internal/summary
 
 # check is the full pre-merge gate: vet, the docs gate, build, the
 # race-enabled short suite (fast gate over every package — fuzz corpora,
@@ -88,6 +91,7 @@ check:
 	$(GO) test -race -count=1 -run TestServedSmoke ./cmd/stserved
 	$(GO) test -race -count=1 -run TestIngestSmoke ./cmd/stingest
 	$(GO) test -race -count=1 -run TestClusterSmoke ./cmd/strouter
+	$(GO) test -race -count=1 -run TestApproxBytesSmoke ./internal/bench
 
 # check-nightly is the long gate: the entire suite, full-length and
 # uncached, under the race detector. It subsumes `make race` (which

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig5|blocks|encode|compact|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|cluster|subscribe|all")
+		exp       = flag.String("exp", "all", "experiment: fig5|blocks|encode|compact|approx|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|cluster|subscribe|all")
 		events    = flag.Int("events", 200_000, "NYC-like event count")
 		trajs     = flag.Int("trajs", 20_000, "Porto-like trajectory count")
 		pois      = flag.Int("pois", 100_000, "OSM-like POI count")
@@ -132,7 +132,7 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 	needEnv := all || want["fig5"] || want["blocks"] || want["encode"] || want["compact"] ||
 		want["fig6"] || want["table5"] || want["table6"] || want["fig7"] || want["ablation"] ||
 		want["fig7sweep"]
-	if !needEnv && !want["serve"] && !want["cluster"] && !want["subscribe"] {
+	if !needEnv && !want["serve"] && !want["cluster"] && !want["subscribe"] && !want["approx"] {
 		return nil
 	}
 
@@ -158,6 +158,25 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 		}
 		if err := emit("serve", res); err != nil {
 			return err
+		}
+	}
+	// The approximate-tier benchmark compares summary-sidecar aggregates
+	// against the exact scan path at 1%/10%/50% selectivity; it builds its
+	// own summarized store.
+	if all || want["approx"] {
+		rows, err := bench.Approx(ctx, workdir, scale.Events/2, windows,
+			[]float64{0.01, 0.1, 0.5})
+		if err != nil {
+			return err
+		}
+		bench.ApproxTable(rows).Fprint(os.Stdout)
+		for _, row := range rows {
+			if err := bench.WriteJSONRow(os.Stdout, "approx", row); err != nil {
+				return err
+			}
+			if err := emit("approx", row); err != nil {
+				return err
+			}
 		}
 	}
 	// The push-path benchmark fans committed delta batches out to standing

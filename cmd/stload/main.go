@@ -37,6 +37,7 @@ import (
 	"st4ml/internal/selection"
 	"st4ml/internal/stdata"
 	"st4ml/internal/storage"
+	"st4ml/internal/summary"
 	"st4ml/internal/trace"
 )
 
@@ -58,6 +59,7 @@ func main() {
 		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the ingest to this file")
 		appendTo  = flag.Bool("append", false, "append to the existing dataset at -out via the delta layer instead of rebuilding it")
 		batchID   = flag.String("batch", "", "idempotency id for -append: re-running with the same id is a no-op")
+		summaries = flag.Bool("summaries", false, "build approximate-query summary sidecars after writing (compaction keeps them current afterwards)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -119,6 +121,9 @@ func main() {
 		}
 		fmt.Printf("stload: appended to %s (generation %d, %d records, %d live deltas)\n",
 			*out, gen, meta.TotalCount, meta.DeltaCount())
+		if *summaries {
+			buildSummaries(sch, *out)
+		}
 		return
 	}
 	var meta *storage.Metadata
@@ -135,12 +140,26 @@ func main() {
 	}
 	fmt.Printf("stload: wrote %d records in %d partitions to %s (%s)\n",
 		meta.TotalCount, meta.NumPartitions(), *out, format)
+	if *summaries {
+		buildSummaries(sch, *out)
+	}
 	if *traceFile != "" {
 		if err := writeTrace(*traceFile, tr); err != nil {
 			fmt.Fprintln(os.Stderr, "stload:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// buildSummaries backfills summary sidecars for the dataset and reports
+// how many partitions were summarized.
+func buildSummaries(sch stdata.Schema, dir string) {
+	n, err := sch.BuildSummaries(dir, summary.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stload: summarized %d partitions (approximate queries answer from sidecars)\n", n)
 }
 
 // writeTrace dumps the tracer's spans as a Chrome trace file.

@@ -39,7 +39,9 @@ import (
 	"st4ml/internal/selection"
 	"st4ml/internal/serve"
 	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
 	"st4ml/internal/subscribe"
+	"st4ml/internal/summary"
 	"st4ml/internal/tempo"
 	"st4ml/internal/trace"
 )
@@ -61,6 +63,11 @@ func main() {
 		traceFile = flag.String("trace", "", "write a Chrome trace-event dump of the query to this file (open in chrome://tracing or Perfetto)")
 		subscr    = flag.Bool("subscribe", false, "register the window as a standing subscription on -server and stream pushed updates (SSE)")
 		events    = flag.Int("events", 0, "with -subscribe: exit after this many updates (0 = stream until interrupted)")
+		approx    = flag.Bool("approx", false, "answer an aggregate from compaction-time summaries: estimate ± bound, guaranteed to contain the exact answer")
+		agg       = flag.String("agg", "count", "with -approx: aggregate (count|hist|quantile)")
+		quantile  = flag.Float64("q", 0.5, "with -approx -agg quantile: quantile in [0,1]")
+		res       = flag.Int("res", 0, "with -approx -agg hist: histogram cells per axis (0 = default)")
+		approxScn = flag.Bool("approx-scan", false, "with -approx: scan boundary-straddling blocks exactly for a tighter bound")
 	)
 	flag.Parse()
 	if *subscr && *server == "" {
@@ -73,6 +80,10 @@ func main() {
 			MinX:    *minx, MinY: *miny, MaxX: *maxx, MaxY: *maxy,
 			TStart: *tstart, TEnd: *tend,
 			Explain: *explain,
+			Approx:  *approx, Agg: *agg, Q: *quantile, Res: *res, ApproxScan: *approxScn,
+		}
+		if !*approx {
+			req.Agg, req.Q, req.Res, req.ApproxScan = "", 0, 0, false
 		}
 		var err error
 		if *subscr {
@@ -98,6 +109,29 @@ func main() {
 	w := selection.Window{
 		Space: geom.Box(*minx, *miny, *maxx, *maxy),
 		Time:  tempo.New(*tstart, *tend),
+	}
+	if *approx {
+		env, err := queryApprox(ctx, *dataset, *dir, w, stdata.ApproxRequest{
+			Agg: *agg, Q: *quantile, Res: *res, ScanBoundary: *approxScn,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stquery:", err)
+			os.Exit(1)
+		}
+		printApprox(os.Stdout, env)
+		if *metrics {
+			fmt.Println(ctx.Metrics.Snapshot())
+		}
+		if *explain {
+			trace.Build(tr.Snapshot()).Fprint(os.Stdout)
+		}
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "stquery:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	stats, err := query(ctx, *dataset, *dir, w, *full)
 	if err != nil {
@@ -156,13 +190,58 @@ func queryServer(w io.Writer, base string, req serve.QueryRequest) error {
 	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
 		return err
 	}
-	stats := resp.Stats
 	fmt.Fprintf(w, "server: %s (cache %s, %.3f ms)\n", base, resp.Cache, resp.ElapsedMS)
-	fmt.Fprintf(w, "partitions: %d/%d loaded\nrecords: %d loaded, %d selected\nbytes read: %d\n",
-		stats.LoadedPartitions, stats.TotalPartitions,
-		stats.LoadedRecords, stats.SelectedRecords, stats.LoadedBytes)
+	if resp.Approx != nil {
+		printApprox(w, resp.Approx)
+	} else {
+		stats := resp.Stats
+		fmt.Fprintf(w, "partitions: %d/%d loaded\nrecords: %d loaded, %d selected\nbytes read: %d\n",
+			stats.LoadedPartitions, stats.TotalPartitions,
+			stats.LoadedRecords, stats.SelectedRecords, stats.LoadedBytes)
+	}
 	resp.Explain.Fprint(w)
 	return nil
+}
+
+// queryApprox answers the window from the dataset's summary sidecars
+// directly (the -dir path; -server routes through the daemon instead).
+func queryApprox(ctx *engine.Context, dataset, dir string, w selection.Window, req stdata.ApproxRequest) (*summary.Result, error) {
+	sch, ok := stdata.Lookup(dataset)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	meta, err := storage.ReadMetadata(dir)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := sch.ApproxQuery(ctx, dir, meta, w, req)
+	return res, err
+}
+
+// printApprox renders an approximate answer envelope.
+func printApprox(w io.Writer, r *summary.Result) {
+	fmt.Fprintf(w, "approx %s: %g ± %g", r.Agg, r.Estimate, r.Bound)
+	if r.Exact {
+		fmt.Fprintf(w, " (exact)")
+	}
+	fmt.Fprintf(w, "\ncount envelope: [%d,%d]", r.CountLo, r.CountHi)
+	if r.Distinct > 0 {
+		fmt.Fprintf(w, "; distinct ids ~%.0f", r.Distinct)
+		if r.DistinctExact {
+			fmt.Fprintf(w, " (exact)")
+		}
+	}
+	fmt.Fprintf(w, "\nprovenance: %d summary blocks, %d blocks scanned, %d records scanned, %d bytes read",
+		r.SummaryBlocks, r.ScannedBlocks, r.ScannedRecords, r.BytesRead)
+	if r.Fallback {
+		fmt.Fprintf(w, "; exact fallback (no sidecars)")
+	}
+	fmt.Fprintf(w, "\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "  cell [%g,%g]x[%g,%g] t[%g,%g]: %g ± %g [%d,%d]\n",
+			c.Box.Min[0], c.Box.Max[0], c.Box.Min[1], c.Box.Max[1], c.Box.Min[2], c.Box.Max[2],
+			c.Estimate, c.Bound, c.Lo, c.Hi)
+	}
 }
 
 // subscribeServer registers the window as a standing subscription on the

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/selection"
+	"st4ml/internal/stdata"
+	"st4ml/internal/storage"
+	"st4ml/internal/summary"
+)
+
+// The approx experiment measures what the approximate query tier buys: the
+// same window workload answered once through the exact block-scan path and
+// once from compaction-time summary sidecars. The sidecar path reads a few
+// KB of sketches per touched partition instead of every intersecting
+// block, so bytes read should collapse — most dramatically on narrow
+// windows, where the exact path still decodes whole boundary blocks for a
+// handful of matches — while every envelope keeps containing the exact
+// count (checked per window, not on average).
+
+// ApproxRow is one range-fraction measurement: the exact and approximate
+// sides of the same window sweep, with the acceptance ratios precomputed.
+type ApproxRow struct {
+	Frac          float64 `json:"frac"`
+	Queries       int     `json:"queries"`
+	ExactWallMs   float64 `json:"exact_wall_ms"`
+	ExactBytes    int64   `json:"exact_bytes"`
+	Selected      int64   `json:"selected"`
+	ApproxWallMs  float64 `json:"approx_wall_ms"`
+	ApproxBytes   int64   `json:"approx_bytes"`
+	SummaryBlocks int64   `json:"summary_blocks"`
+	ScannedBlocks int64   `json:"scanned_blocks"`
+	Contained     bool    `json:"contained"` // exact ∈ [lo,hi] for EVERY window
+	Fallbacks     int     `json:"fallbacks"`
+	BytesRatio    float64 `json:"exact_over_approx_bytes"`
+	Speedup       float64 `json:"exact_over_approx_wall"`
+}
+
+// Approx ingests an NYC-like v3 store under workdir, backfills summary
+// sidecars, and sweeps queriesPerFrac random windows per range fraction
+// through both paths.
+func Approx(ctx *engine.Context, workdir string, events, queriesPerFrac int, fracs []float64) ([]ApproxRow, error) {
+	sch, ok := stdata.Lookup("nyc")
+	if !ok {
+		return nil, fmt.Errorf("bench: nyc schema not registered")
+	}
+	dir := filepath.Join(workdir, "approx-nyc")
+	corpus := datagen.NYC(events, 23)
+	// Coarser partitioning than the selection benchmarks: summaries earn
+	// their keep on partitions holding many blocks, where the exact path
+	// decodes kilobytes per boundary block and the sidecar answers from a
+	// few hundred bytes of sketches each.
+	if _, err := sch.Ingest(ctx, corpus, dir, sch.DefaultPlanner(4, 2),
+		selection.IngestOptions{Name: "nyc", SampleFrac: 0.05, Seed: 23}); err != nil {
+		return nil, err
+	}
+	if _, err := sch.BuildSummaries(dir, summary.Config{}); err != nil {
+		return nil, err
+	}
+	meta, err := storage.ReadMetadata(dir)
+	if err != nil {
+		return nil, err
+	}
+	sel := selection.New(ctx, stdata.EventRecC, stdata.EventRec.Box, nil,
+		selection.Config{Index: true})
+
+	var rows []ApproxRow
+	for _, frac := range fracs {
+		windows := RandomWindows(datagen.NYCExtent, datagen.Year2013, frac,
+			queriesPerFrac, int64(frac*1000)+23)
+		row := ApproxRow{Frac: frac, Queries: len(windows), Contained: true}
+		for _, w := range windows {
+			t0 := time.Now()
+			_, st, err := sel.SelectPruned(dir, w)
+			if err != nil {
+				return nil, err
+			}
+			row.ExactWallMs += float64(time.Since(t0).Microseconds()) / 1000
+			row.ExactBytes += st.LoadedBytes
+			row.Selected += st.SelectedRecords
+
+			t0 = time.Now()
+			res, _, err := sch.ApproxQuery(ctx, dir, meta, w,
+				stdata.ApproxRequest{Agg: summary.AggCount})
+			if err != nil {
+				return nil, err
+			}
+			row.ApproxWallMs += float64(time.Since(t0).Microseconds()) / 1000
+			row.ApproxBytes += res.BytesRead
+			row.SummaryBlocks += res.SummaryBlocks
+			row.ScannedBlocks += res.ScannedBlocks
+			if st.SelectedRecords < res.CountLo || st.SelectedRecords > res.CountHi {
+				row.Contained = false
+			}
+			if res.Fallback {
+				row.Fallbacks++
+			}
+		}
+		row.BytesRatio = ratio(float64(row.ExactBytes), float64(row.ApproxBytes))
+		row.Speedup = ratio(row.ExactWallMs, row.ApproxWallMs)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ApproxTable formats the rows.
+func ApproxTable(rows []ApproxRow) *Table {
+	t := NewTable("Approx: summary-sidecar aggregates vs exact block scans (count)",
+		"range", "queries", "exact_ms", "approx_ms", "speedup",
+		"exact_mb", "approx_mb", "bytes_ratio", "contained", "fallbacks")
+	for _, r := range rows {
+		t.Add(r.Frac, r.Queries, r.ExactWallMs, r.ApproxWallMs, r.Speedup,
+			float64(r.ExactBytes)/(1<<20), float64(r.ApproxBytes)/(1<<20),
+			r.BytesRatio, fmt.Sprint(r.Contained), r.Fallbacks)
+	}
+	return t
+}

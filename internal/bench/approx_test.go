@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+
+	"st4ml/internal/engine"
+)
+
+// TestApproxBytesSmoke is the pre-merge acceptance shape for the
+// approximate tier (wired into `make check`): on the small-range case the
+// sidecar path must read at least 5x fewer bytes than the exact block
+// scan, every envelope must contain the exact count, and nothing may fall
+// back to a scan on a fully summarized store.
+func TestApproxBytesSmoke(t *testing.T) {
+	ctx := engine.New(engine.Config{})
+	rows, err := Approx(ctx, t.TempDir(), 30_000, 4, []float64{0.01, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Contained {
+			t.Errorf("frac %.2f: an envelope missed the exact count: %+v", r.Frac, r)
+		}
+		if r.Fallbacks != 0 {
+			t.Errorf("frac %.2f: %d fallbacks on a summarized store", r.Frac, r.Fallbacks)
+		}
+		if r.ApproxBytes <= 0 || r.ExactBytes <= 0 {
+			t.Errorf("frac %.2f: missing byte accounting: %+v", r.Frac, r)
+		}
+	}
+	small := rows[0]
+	if small.BytesRatio < 5 {
+		t.Errorf("small range: approx read %d bytes vs exact %d — ratio %.1f, want >= 5x",
+			small.ApproxBytes, small.ExactBytes, small.BytesRatio)
+	}
+}

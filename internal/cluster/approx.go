@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"st4ml/internal/serve"
+	"st4ml/internal/storage"
+	"st4ml/internal/summary"
+	"st4ml/internal/trace"
+)
+
+// This file routes approximate aggregate queries. Shards answer mergeable
+// partial envelopes instead of record chunks: raw count/cell envelopes,
+// t-digests, and KMV sketches. The router folds every shard's partial into
+// one accumulator and finalizes — mergeable-sketch semantics, so the
+// routed answer is the same envelope a single node covering all partitions
+// would produce (which TestApproxPartialMergeMatchesFlat pins at the
+// stdata layer). Planning, fencing, hedging, and replans are shared with
+// the exact path; only the gather differs.
+//
+// The router deliberately emits no approx span of its own: each shard's
+// sub-query carries one, grafted under the RPC spans, and trace.Build sums
+// them — a router-side span would double-count every total.
+
+// QueryApprox routes one approximate aggregate query: plan and scatter
+// like Query, gather the shards' partial envelopes, merge, finalize.
+func (r *Router) QueryApprox(reqCtx context.Context, req serve.QueryRequest) (*summary.Result, string, *trace.Explain, int, error) {
+	d, ok := r.catalog.Get(req.Dataset)
+	if !ok {
+		return nil, "", nil, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+	spec := summary.Spec{Window: req.Window().Box(), Agg: req.Agg, Q: req.Q, Res: req.Res}
+	if err := spec.Validate(true); err != nil { // value presence is the shard schema's call
+		return nil, "", nil, http.StatusBadRequest, err
+	}
+
+	var tr *trace.Tracer
+	if req.Explain {
+		tr = trace.New()
+	}
+	root := tr.StartSpan(0, "query", trace.Str("dataset", req.Dataset))
+
+	ctx, cancel := context.WithTimeout(reqCtx, r.timeout)
+	defer cancel()
+
+	for replan := 0; ; replan++ {
+		meta, gen, err := d.Meta()
+		if err != nil {
+			root.End(trace.Str("error", err.Error()))
+			return nil, "", nil, http.StatusInternalServerError, err
+		}
+
+		key := resultKey(req, gen, meta.Generation, meta.TotalCount)
+		if !req.NoCache {
+			lsp := root.Child(trace.SpanResultLookup)
+			v, ok := r.cache.Get(key)
+			lsp.End(trace.Bool("hit", ok))
+			if ok {
+				r.resultHits.Add(1)
+				root.End()
+				return v.(*summary.Result), "hit", trace.Build(tr.Snapshot()), http.StatusOK, nil
+			}
+		}
+		r.resultMisses.Add(1)
+
+		res, conflict, status, err := r.scatterApprox(ctx, meta, spec, req, root, replan)
+		if conflict {
+			r.replans.Add(1)
+			if replan+1 < r.maxReplans {
+				continue
+			}
+			err = fmt.Errorf("cluster: generation moved %d times during one query: %w", replan+1, err)
+			root.End(trace.Str("error", err.Error()))
+			return nil, "", nil, http.StatusConflict, err
+		}
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				r.timeouts.Add(1)
+				status = http.StatusGatewayTimeout
+			}
+			root.End(trace.Str("error", err.Error()))
+			return nil, "", nil, status, err
+		}
+		if !req.NoCache {
+			r.cache.Put(key, res, 256+int64(len(res.Cells))*72+int64(len(res.Parts))*56)
+		}
+		root.End()
+		return res, "miss", trace.Build(tr.Snapshot()), http.StatusOK, nil
+	}
+}
+
+// scatterApprox runs one planning+fan-out round at meta's generation and
+// merges the shards' partials. The second return reports a generation
+// conflict (caller replans).
+func (r *Router) scatterApprox(ctx context.Context, meta *storage.Metadata,
+	spec summary.Spec, req serve.QueryRequest, root *trace.Span, replan int,
+) (*summary.Result, bool, int, error) {
+	w := req.Window()
+	ids := meta.Prune(w.Space, w.Time)
+
+	groups := map[int][]int{}
+	for _, id := range ids {
+		si := r.shards.Assign(id)
+		groups[si] = append(groups[si], id)
+	}
+	touched := make([]int, 0, len(groups))
+	for si := range groups {
+		touched = append(touched, si)
+	}
+	sort.Ints(touched)
+
+	ssp := root.Child(trace.SpanScatter,
+		trace.Int("total_partitions", int64(meta.NumPartitions())),
+		trace.Int("kept_partitions", int64(len(ids))),
+		trace.Int("shards", int64(len(r.shards.Shards))),
+		trace.Int("width", int64(len(touched))))
+
+	if r.testHookAfterPlan != nil {
+		r.testHookAfterPlan()
+	}
+
+	acc := summary.NewAccumulator(spec)
+	if len(touched) == 0 {
+		ssp.End(trace.Int("replans", int64(replan)))
+		return acc.Finalize(), false, http.StatusOK, nil
+	}
+	r.scatterWidth.Add(int64(len(touched)))
+
+	sub := serve.SubQueryRequest{
+		QueryRequest: req,
+		Gen:          meta.Generation,
+		Count:        meta.TotalCount,
+	}
+
+	outs := make([]shardOutcome, len(touched))
+	var wg sync.WaitGroup
+	for i, si := range touched {
+		wg.Add(1)
+		go func(i, si int) {
+			defer wg.Done()
+			outs[i] = r.callShard(ctx, si, groups[si], sub, ssp)
+		}(i, si)
+	}
+	wg.Wait()
+
+	for _, out := range outs {
+		r.hedges.Add(int64(out.stats.Hedges))
+		r.failovers.Add(int64(out.stats.Failovers))
+		if out.conflict != nil {
+			r.genConflicts.Add(1)
+		}
+	}
+	for _, out := range outs {
+		if out.conflict != nil {
+			return nil, true, http.StatusConflict, out.conflict
+		}
+	}
+	for _, out := range outs {
+		if out.err != nil {
+			return nil, false, http.StatusBadGateway,
+				fmt.Errorf("cluster: shard %s: %w", r.shards.Shards[out.shard].Name, out.err)
+		}
+	}
+
+	// Merge in ascending shard order — shard groups are disjoint partition
+	// subsets, so provenance concatenates deterministically and envelopes
+	// add; finalize closes the global envelope exactly as one node would.
+	for _, out := range outs {
+		if out.resp.Approx == nil {
+			return nil, false, http.StatusBadGateway,
+				fmt.Errorf("cluster: shard %s answered an approx sub-query without a partial envelope (old shard version?)",
+					r.shards.Shards[out.shard].Name)
+		}
+		if err := acc.MergePartial(out.resp.Approx); err != nil {
+			return nil, false, http.StatusBadGateway,
+				fmt.Errorf("cluster: shard %s: %w", r.shards.Shards[out.shard].Name, err)
+		}
+	}
+	ssp.End(trace.Int("replans", int64(replan)))
+	return acc.Finalize(), false, http.StatusOK, nil
+}

@@ -57,6 +57,24 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		qreq.Explain = true
 	}
 	r.queries.Add(1)
+	if qreq.Approx {
+		approx, cache, explain, status, err := r.QueryApprox(req.Context(), qreq)
+		if err != nil {
+			if status >= http.StatusInternalServerError && status != http.StatusGatewayTimeout {
+				r.queryErrors.Add(1)
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, serve.QueryResponse{
+			Dataset:   qreq.Dataset,
+			Cache:     cache,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Explain:   explain,
+			Approx:    approx,
+		})
+		return
+	}
 	res, cache, explain, status, err := r.Query(req.Context(), qreq)
 	if err != nil {
 		if status >= http.StatusInternalServerError && status != http.StatusGatewayTimeout {

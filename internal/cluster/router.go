@@ -40,10 +40,14 @@ func (e *genConflictError) Error() string {
 // never leave a mixed-generation entry behind, and a replan stores under
 // the new fence.
 func resultKey(req serve.QueryRequest, gen, fenceGen, fenceCount int64) string {
-	return fmt.Sprintf("rq|%s|%d|%d,%d|%v,%v,%v,%v|%d,%d|%t,%d",
+	key := fmt.Sprintf("rq|%s|%d|%d,%d|%v,%v,%v,%v|%d,%d|%t,%d",
 		req.Dataset, gen, fenceGen, fenceCount,
 		req.MinX, req.MinY, req.MaxX, req.MaxY, req.TStart, req.TEnd,
 		req.Records, req.Limit)
+	if req.Approx {
+		key += fmt.Sprintf("|approx:%s,%v,%d,%t", req.Agg, req.Q, req.Res, req.ApproxScan)
+	}
+	return key
 }
 
 // Query routes one window query: plan against the pinned metadata, scatter

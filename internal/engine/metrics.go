@@ -39,6 +39,14 @@ type Metrics struct {
 	deltaRecords atomic.Int64
 	compactions  atomic.Int64
 
+	// Approximate-tier accounting: queries answered from summary sidecars,
+	// the block summaries they consumed, and the blocks/records they still
+	// scanned exactly (boundary blocks, deltas, fallbacks).
+	approxQueries        atomic.Int64
+	approxSummaryBlocks  atomic.Int64
+	approxScannedBlocks  atomic.Int64
+	approxScannedRecords atomic.Int64
+
 	stageMu       sync.Mutex
 	stages        []StageStat
 	stagesDropped int64
@@ -69,6 +77,17 @@ func (m *Metrics) AddDeltaRead(files, records int64) {
 // AddCompaction accounts compactor partition rewrites.
 func (m *Metrics) AddCompaction(partitions int64) {
 	m.compactions.Add(partitions)
+}
+
+// AddApprox accounts one approximate (summary-tier) query evaluation: the
+// block summaries consumed and the blocks/records scanned exactly. The
+// totals match the query's Result provenance, so explain output, result
+// envelopes, and engine metrics agree.
+func (m *Metrics) AddApprox(summaryBlocks, scannedBlocks, scannedRecords int64) {
+	m.approxQueries.Add(1)
+	m.approxSummaryBlocks.Add(summaryBlocks)
+	m.approxScannedBlocks.Add(scannedBlocks)
+	m.approxScannedRecords.Add(scannedRecords)
 }
 
 // maxStageStats bounds the retained per-stage history. A long-running
@@ -121,6 +140,13 @@ type Snapshot struct {
 	DeltasRead   int64
 	DeltaRecords int64
 	Compactions  int64
+	// Approximate-tier counters: queries answered through the summary
+	// sidecar path, block summaries consumed, blocks and records scanned
+	// exactly alongside them.
+	ApproxQueries        int64
+	ApproxSummaryBlocks  int64
+	ApproxScannedBlocks  int64
+	ApproxScannedRecords int64
 	// Stages holds the most recent executed stages (bounded window);
 	// StagesDropped counts older entries that aged out of it.
 	Stages        []StageStat
@@ -135,26 +161,30 @@ func (m *Metrics) Snapshot() Snapshot {
 	dropped := m.stagesDropped
 	m.stageMu.Unlock()
 	return Snapshot{
-		TasksRun:            m.tasksRun.Load(),
-		RecordsOut:          m.recordsOut.Load(),
-		ShuffleRecords:      m.shuffleRecords.Load(),
-		ShuffleBytes:        m.shuffleBytes.Load(),
-		Broadcasts:          m.broadcasts.Load(),
-		BroadcastBytes:      m.broadcastBytes.Load(),
-		TaskTime:            time.Duration(m.taskNanos.Load()),
-		TaskRetries:         m.taskRetries.Load(),
-		SpeculativeLaunched: m.specLaunched.Load(),
-		SpeculativeWins:     m.specWins.Load(),
-		CorruptRereads:      m.corruptRereads.Load(),
-		BlocksScanned:       m.blocksScanned.Load(),
-		BlocksPruned:        m.blocksPruned.Load(),
-		BytesDecompressed:   m.bytesDecompressed.Load(),
-		RecordsPruned:       m.recordsPruned.Load(),
-		DeltasRead:          m.deltasRead.Load(),
-		DeltaRecords:        m.deltaRecords.Load(),
-		Compactions:         m.compactions.Load(),
-		Stages:              stages,
-		StagesDropped:       dropped,
+		TasksRun:             m.tasksRun.Load(),
+		RecordsOut:           m.recordsOut.Load(),
+		ShuffleRecords:       m.shuffleRecords.Load(),
+		ShuffleBytes:         m.shuffleBytes.Load(),
+		Broadcasts:           m.broadcasts.Load(),
+		BroadcastBytes:       m.broadcastBytes.Load(),
+		TaskTime:             time.Duration(m.taskNanos.Load()),
+		TaskRetries:          m.taskRetries.Load(),
+		SpeculativeLaunched:  m.specLaunched.Load(),
+		SpeculativeWins:      m.specWins.Load(),
+		CorruptRereads:       m.corruptRereads.Load(),
+		BlocksScanned:        m.blocksScanned.Load(),
+		BlocksPruned:         m.blocksPruned.Load(),
+		BytesDecompressed:    m.bytesDecompressed.Load(),
+		RecordsPruned:        m.recordsPruned.Load(),
+		DeltasRead:           m.deltasRead.Load(),
+		DeltaRecords:         m.deltaRecords.Load(),
+		Compactions:          m.compactions.Load(),
+		ApproxQueries:        m.approxQueries.Load(),
+		ApproxSummaryBlocks:  m.approxSummaryBlocks.Load(),
+		ApproxScannedBlocks:  m.approxScannedBlocks.Load(),
+		ApproxScannedRecords: m.approxScannedRecords.Load(),
+		Stages:               stages,
+		StagesDropped:        dropped,
 	}
 }
 
@@ -178,6 +208,10 @@ func (m *Metrics) Reset() {
 	m.deltasRead.Store(0)
 	m.deltaRecords.Store(0)
 	m.compactions.Store(0)
+	m.approxQueries.Store(0)
+	m.approxSummaryBlocks.Store(0)
+	m.approxScannedBlocks.Store(0)
+	m.approxScannedRecords.Store(0)
 	m.stageMu.Lock()
 	m.stages = nil
 	m.stagesDropped = 0
@@ -201,9 +235,11 @@ func (s Snapshot) String() string {
 		"tasks=%d records=%d shuffleRecords=%d shuffleBytes=%d broadcasts=%d taskTime=%s"+
 			" retries=%d speculated=%d specWins=%d corruptRereads=%d"+
 			" blocksScanned=%d blocksPruned=%d bytesDecompressed=%d recordsPruned=%d"+
-			" deltasRead=%d deltaRecords=%d compactions=%d",
+			" deltasRead=%d deltaRecords=%d compactions=%d"+
+			" approxQueries=%d approxSummaryBlocks=%d approxScannedBlocks=%d approxScannedRecords=%d",
 		s.TasksRun, s.RecordsOut, s.ShuffleRecords, s.ShuffleBytes, s.Broadcasts, s.TaskTime,
 		s.TaskRetries, s.SpeculativeLaunched, s.SpeculativeWins, s.CorruptRereads,
 		s.BlocksScanned, s.BlocksPruned, s.BytesDecompressed, s.RecordsPruned,
-		s.DeltasRead, s.DeltaRecords, s.Compactions)
+		s.DeltasRead, s.DeltaRecords, s.Compactions,
+		s.ApproxQueries, s.ApproxSummaryBlocks, s.ApproxScannedBlocks, s.ApproxScannedRecords)
 }

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/stdata"
+	"st4ml/internal/summary"
+)
+
+// summarizeNYC backfills summary sidecars for an ingested dataset dir.
+func summarizeNYC(t *testing.T, dir string) {
+	t.Helper()
+	sch, _ := stdata.Lookup("nyc")
+	if n, err := sch.BuildSummaries(dir, summary.Config{}); err != nil || n == 0 {
+		t.Fatalf("BuildSummaries = (%d, %v)", n, err)
+	}
+}
+
+// TestServeApproxQuery: POST /query with approx=true answers from the
+// summary tier — the exact count (from the exact path over the same
+// window) lies inside the envelope, the explain tree carries per-partition
+// provenance, and the envelope caches under its own key.
+func TestServeApproxQuery(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	dir := ingestNYC(t, ctx, 5000)
+	summarizeNYC(t, dir)
+	srv := NewServer(Config{Ctx: ctx, CacheBytes: 32 << 20})
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, req := range nycWindows(4) {
+		exactRes, code := postQuery(t, ts.URL, req)
+		if code != http.StatusOK {
+			t.Fatalf("exact query status %d", code)
+		}
+		exact := exactRes.Stats.SelectedRecords
+
+		areq := req
+		areq.Records = false
+		areq.Approx = true
+		areq.Agg = summary.AggCount
+		areq.Explain = true
+		res, code := postQuery(t, ts.URL, areq)
+		if code != http.StatusOK {
+			t.Fatalf("approx query status %d", code)
+		}
+		if res.Approx == nil {
+			t.Fatal("no approx envelope in response")
+		}
+		a := res.Approx
+		if exact < a.CountLo || exact > a.CountHi {
+			t.Fatalf("exact %d outside [%d,%d]", exact, a.CountLo, a.CountHi)
+		}
+		if float64(exact) < a.Estimate-a.Bound || float64(exact) > a.Estimate+a.Bound {
+			t.Fatalf("exact %d outside %v±%v", exact, a.Estimate, a.Bound)
+		}
+		if a.Fallback {
+			t.Fatal("unexpected fallback with sidecars present")
+		}
+		if res.Explain == nil || res.Explain.Approx == nil {
+			t.Fatal("no approx section in explain")
+		}
+		if len(res.Explain.Approx.Parts) != len(a.Parts) {
+			t.Fatalf("explain has %d parts, envelope %d",
+				len(res.Explain.Approx.Parts), len(a.Parts))
+		}
+		var sb int64
+		for _, p := range res.Explain.Approx.Parts {
+			sb += p.SummaryBlocks
+		}
+		if sb != res.Explain.Approx.SummaryBlocks || sb != a.SummaryBlocks {
+			t.Fatalf("explain parts sum %d, totals %d/%d",
+				sb, res.Explain.Approx.SummaryBlocks, a.SummaryBlocks)
+		}
+
+		// The envelope caches under its own key, separate from the exact
+		// result for the same window.
+		areq.Explain = false
+		hit, _ := postQuery(t, ts.URL, areq)
+		if hit.Cache != "hit" {
+			t.Fatalf("repeat approx query cache = %q", hit.Cache)
+		}
+		if hit.Approx == nil || hit.Approx.CountLo != a.CountLo || hit.Approx.CountHi != a.CountHi {
+			t.Fatal("cached approx envelope differs")
+		}
+	}
+}
+
+// TestServeApproxAbsentFromExactResponses pins wire compatibility: a
+// request without approx=true serializes with no approx field at all, so
+// pre-existing clients see byte-identical response shapes.
+func TestServeApproxAbsentFromExactResponses(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	dir := ingestNYC(t, ctx, 1000)
+	summarizeNYC(t, dir)
+	srv := NewServer(Config{Ctx: ctx, CacheBytes: 8 << 20})
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := nycWindows(1)[0]
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["approx"]; ok {
+		t.Fatal("exact response leaks an approx field")
+	}
+}
+
+// TestServeApproxFallbackWithoutSummaries: a dataset never summarized
+// still answers approx=true — through the flagged exact fallback.
+func TestServeApproxFallbackWithoutSummaries(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	dir := ingestNYC(t, ctx, 1000)
+	srv := NewServer(Config{Ctx: ctx, CacheBytes: 8 << 20})
+	if err := srv.AddDataset("nyc", "nyc", dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := nycWindows(2)[1]
+	exactRes, _ := postQuery(t, ts.URL, req)
+	areq := req
+	areq.Records = false
+	areq.Approx = true
+	res, code := postQuery(t, ts.URL, areq)
+	if code != http.StatusOK {
+		t.Fatalf("approx query status %d", code)
+	}
+	a := res.Approx
+	if a == nil || !a.Fallback || !a.Exact || a.Bound != 0 {
+		t.Fatalf("fallback envelope: %+v", a)
+	}
+	if a.CountLo != exactRes.Stats.SelectedRecords {
+		t.Fatalf("fallback count %d, exact %d", a.CountLo, exactRes.Stats.SelectedRecords)
+	}
+	for _, p := range a.Parts {
+		if p.Source != summary.SourceScan {
+			t.Fatalf("partition %d source %q, want scan", p.ID, p.Source)
+		}
+	}
+}

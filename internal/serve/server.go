@@ -14,6 +14,7 @@ import (
 	"st4ml/internal/stdata"
 	"st4ml/internal/storage"
 	"st4ml/internal/subscribe"
+	"st4ml/internal/summary"
 	"st4ml/internal/tempo"
 	"st4ml/internal/trace"
 )
@@ -36,6 +37,19 @@ type QueryRequest struct {
 	// Explain traces the query and attaches the aggregated execution report
 	// to the response (also enabled by the ?explain=1 URL parameter).
 	Explain bool `json:"explain"`
+	// Approx answers an aggregate from compaction-time summaries instead of
+	// returning records: the response's approx envelope guarantees the exact
+	// answer lies within estimate±bound. Records/Limit are ignored.
+	Approx bool `json:"approx,omitempty"`
+	// Agg is the approximate aggregate: count (default), hist, or quantile.
+	Agg string `json:"agg,omitempty"`
+	// Q is the quantile in [0,1] (agg=quantile).
+	Q float64 `json:"q,omitempty"`
+	// Res is the histogram cells-per-axis (agg=hist).
+	Res int `json:"res,omitempty"`
+	// ApproxScan scans boundary-straddling blocks exactly for a tighter
+	// envelope at the cost of extra reads.
+	ApproxScan bool `json:"approx_scan,omitempty"`
 }
 
 // Window converts the request coordinates to a selection window.
@@ -49,8 +63,12 @@ func (q QueryRequest) Window() selection.Window {
 // resultKey is the result-cache key: dataset identity and generation plus
 // everything that shapes the response body.
 func (q QueryRequest) resultKey(gen int64) string {
-	return fmt.Sprintf("res|%s|%d|%v,%v,%v,%v|%d,%d|%t,%d",
+	key := fmt.Sprintf("res|%s|%d|%v,%v,%v,%v|%d,%d|%t,%d",
 		q.Dataset, gen, q.MinX, q.MinY, q.MaxX, q.MaxY, q.TStart, q.TEnd, q.Records, q.Limit)
+	if q.Approx {
+		key += fmt.Sprintf("|approx:%s,%v,%d,%t", q.Agg, q.Q, q.Res, q.ApproxScan)
+	}
+	return key
 }
 
 // QueryResponse is the POST /query reply.
@@ -61,6 +79,8 @@ type QueryResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Explain is the aggregated execution report of a traced query.
 	Explain *trace.Explain `json:"explain,omitempty"`
+	// Approx is the approximate-tier answer envelope (approx=true requests).
+	Approx *summary.Result `json:"approx,omitempty"`
 	stdata.QueryResult
 }
 
@@ -117,6 +137,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		req.Explain = true
 	}
 	s.queries.Add(1)
+	if req.Approx {
+		approx, cache, explain, status, err := s.runApprox(r.Context(), req)
+		if err != nil {
+			if status >= http.StatusInternalServerError && status != http.StatusGatewayTimeout {
+				s.queryErrors.Add(1)
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Dataset:   req.Dataset,
+			Cache:     cache,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Explain:   explain,
+			Approx:    approx,
+		})
+		return
+	}
 	res, cache, explain, status, err := s.runQuery(r.Context(), req)
 	if err != nil {
 		if status >= http.StatusInternalServerError && status != http.StatusGatewayTimeout {
@@ -274,6 +312,91 @@ func resultBytes(res stdata.QueryResult) int64 {
 		n += int64(len(rec)) + 24
 	}
 	return n
+}
+
+// runApprox resolves, admits, and executes one approximate aggregate query
+// against the dataset's compaction-time summaries. Same admission, caching,
+// and tracing discipline as runQuery; the answer is the estimate±bound
+// envelope, never records.
+func (s *Server) runApprox(reqCtx context.Context, req QueryRequest) (*summary.Result, string, *trace.Explain, int, error) {
+	d, ok := s.catalog.Get(req.Dataset)
+	if !ok {
+		return nil, "", nil, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+	meta, gen, err := d.Meta()
+	if err != nil {
+		return nil, "", nil, http.StatusInternalServerError, err
+	}
+	s.noteGeneration(req.Dataset, gen)
+
+	var tr *trace.Tracer
+	if req.Explain {
+		tr = trace.New()
+	}
+	root := tr.StartSpan(0, "query", trace.Str("dataset", req.Dataset))
+
+	key := req.resultKey(gen)
+	if !req.NoCache {
+		lsp := root.Child(trace.SpanResultLookup)
+		v, ok := s.cache.Get(key)
+		lsp.End(trace.Bool("hit", ok))
+		if ok {
+			s.resultHits.Add(1)
+			root.End()
+			return v.(*summary.Result), "hit", trace.Build(tr.Snapshot()), http.StatusOK, nil
+		}
+	}
+	s.resultMisses.Add(1)
+
+	ctx, cancel := context.WithTimeout(reqCtx, s.timeout)
+	defer cancel()
+	asp := root.Child(trace.SpanAdmission)
+	release, err := s.adm.Acquire(ctx)
+	asp.End(trace.Bool("acquired", err == nil))
+	if errors.Is(err, ErrBusy) {
+		root.End(trace.Str("error", err.Error()))
+		return nil, "", nil, http.StatusTooManyRequests, err
+	}
+	if err != nil {
+		s.timeouts.Add(1)
+		root.End(trace.Str("error", err.Error()))
+		return nil, "", nil, http.StatusGatewayTimeout, err
+	}
+
+	ectx := s.ctx.WithTracer(tr, root.ID())
+	type outcome struct {
+		res *summary.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer release()
+		res, _, err := d.Schema.ApproxQuery(ectx, d.Dir, meta, req.Window(), stdata.ApproxRequest{
+			Agg: req.Agg, Q: req.Q, Res: req.Res, ScanBoundary: req.ApproxScan,
+		})
+		if err == nil && !req.NoCache {
+			s.cache.Put(key, res, approxBytes(res.Cells, len(res.Parts)))
+		}
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			root.End(trace.Str("error", out.err.Error()))
+			return nil, "", nil, http.StatusInternalServerError, out.err
+		}
+		root.End()
+		return out.res, "miss", trace.Build(tr.Snapshot()), http.StatusOK, nil
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return nil, "", nil, http.StatusGatewayTimeout,
+			fmt.Errorf("serve: query exceeded the %s deadline", s.timeout)
+	}
+}
+
+// approxBytes estimates a cached approx envelope's resident size.
+func approxBytes(cells []summary.Cell, parts int) int64 {
+	return 256 + int64(len(cells))*72 + int64(parts)*56
 }
 
 // noteGeneration eagerly drops a dataset's cached partitions and results

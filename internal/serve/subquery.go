@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"st4ml/internal/stdata"
+	"st4ml/internal/summary"
 	"st4ml/internal/trace"
 )
 
@@ -49,10 +50,14 @@ func (q SubQueryRequest) subKey(gen int64) string {
 		binary.LittleEndian.PutUint64(buf[:], uint64(id))
 		h.Write(buf[:])
 	}
-	return fmt.Sprintf("sub|%s|%d|%d,%d|%v,%v,%v,%v|%d,%d|%t,%d|%x",
+	key := fmt.Sprintf("sub|%s|%d|%d,%d|%v,%v,%v,%v|%d,%d|%t,%d|%x",
 		q.Dataset, gen, q.Gen, q.Count,
 		q.MinX, q.MinY, q.MaxX, q.MaxY, q.TStart, q.TEnd,
 		q.Records, q.Limit, h.Sum64())
+	if q.Approx {
+		key += fmt.Sprintf("|approx:%s,%v,%d,%t", q.Agg, q.Q, q.Res, q.ApproxScan)
+	}
+	return key
 }
 
 // SubQueryResponse is the POST /subquery reply: per-partition chunks at
@@ -65,7 +70,10 @@ type SubQueryResponse struct {
 	Cache     string              `json:"cache"`
 	ElapsedMS float64             `json:"elapsed_ms"`
 	Parts     []stdata.PartResult `json:"parts"`
-	Spans     []trace.WireSpan    `json:"spans,omitempty"`
+	// Approx is the shard's mergeable partial envelope (approx=true
+	// sub-queries); the router merges all shards' partials and finalizes.
+	Approx *summary.Partial `json:"approx,omitempty"`
+	Spans  []trace.WireSpan `json:"spans,omitempty"`
 }
 
 // errDraining is the refusal a draining daemon answers new work with.
@@ -136,7 +144,11 @@ func (s *Server) runSubquery(reqCtx context.Context, req SubQueryRequest) (SubQu
 			s.resultHits.Add(1)
 			root.End()
 			resp.Cache = "hit"
-			resp.Parts = v.([]stdata.PartResult)
+			if req.Approx {
+				resp.Approx = v.(*summary.Partial)
+			} else {
+				resp.Parts = v.([]stdata.PartResult)
+			}
 			resp.Spans = trace.ToWire(tr.Snapshot())
 			return resp, http.StatusOK, nil
 		}
@@ -164,25 +176,44 @@ func (s *Server) runSubquery(reqCtx context.Context, req SubQueryRequest) (SubQu
 		parts = []int{}
 	}
 	type outcome struct {
-		res stdata.QueryResult
-		err error
+		res    stdata.QueryResult
+		approx *summary.Partial
+		err    error
 	}
 	done := make(chan outcome, 1)
 	go func() {
 		defer release()
+		if req.Approx {
+			_, p, err := d.Schema.ApproxQuery(ectx, d.Dir, meta, req.Window(), stdata.ApproxRequest{
+				Agg: req.Agg, Q: req.Q, Res: req.Res, ScanBoundary: req.ApproxScan,
+				Partitions: parts, Partial: true,
+			})
+			if err == nil && !req.NoCache {
+				s.cache.Put(key, p, approxBytes(nil, len(p.Parts))+int64(len(p.CellLo))*24)
+			}
+			done <- outcome{approx: p, err: err}
+			return
+		}
 		res, err := d.Schema.ServeQuery(ectx, d.Dir, meta, s.fetcher(d, meta, gen, ectx), req.Window(),
 			stdata.QueryOptions{Records: req.Records, Limit: req.Limit,
 				Partitions: parts, PerPartition: true})
 		if err == nil && !req.NoCache {
 			s.cache.Put(key, res.Parts, partsBytes(res.Parts))
 		}
-		done <- outcome{res, err}
+		done <- outcome{res: res, err: err}
 	}()
 	select {
 	case out := <-done:
 		if out.err != nil {
 			root.End(trace.Str("error", out.err.Error()))
 			return SubQueryResponse{}, http.StatusInternalServerError, out.err
+		}
+		if req.Approx {
+			root.End(trace.Int("approx_count_hi", out.approx.CountHi))
+			resp.Cache = "miss"
+			resp.Approx = out.approx
+			resp.Spans = trace.ToWire(tr.Snapshot())
+			return resp, http.StatusOK, nil
 		}
 		var selected int64
 		for _, pr := range out.res.Parts {

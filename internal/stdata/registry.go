@@ -12,6 +12,7 @@ import (
 	"st4ml/internal/partition"
 	"st4ml/internal/selection"
 	"st4ml/internal/storage"
+	"st4ml/internal/summary"
 	"st4ml/internal/trace"
 )
 
@@ -34,6 +35,12 @@ type Spec[T any] struct {
 	// Spatial2D marks schemas with no temporal extent (OSM POIs), which
 	// plan with a 2-d STR partitioner instead of T-STR.
 	Spatial2D bool
+	// Value extracts the payload attribute the approximate tier digests
+	// (quantile queries); nil marks schemas without one — approximate
+	// counts and histograms still work, quantiles are rejected.
+	Value func(T) (float64, bool)
+	// IDOf extracts the record's entity id for distinct-ID sketches.
+	IDOf func(T) int64
 }
 
 // QueryOptions tunes one served query.
@@ -138,6 +145,19 @@ type Schema interface {
 	ServeQuery(ctx *engine.Context, dir string, meta *storage.Metadata,
 		fetch func(id int) (Partition, error), w selection.Window,
 		opts QueryOptions) (QueryResult, error)
+	// ApproxQuery answers an aggregate from summary sidecars with a
+	// deterministic error envelope (see internal/summary). Exactly one of
+	// the returns is non-nil on success: a finalized Result, or — when
+	// req.Partial — the mergeable Partial a cluster shard ships to its
+	// router.
+	ApproxQuery(ctx *engine.Context, dir string, meta *storage.Metadata,
+		w selection.Window, req ApproxRequest) (*summary.Result, *summary.Partial, error)
+	// BuildSummaries backfills summary sidecars for every base partition
+	// lacking a current one, committing them through the manifest.
+	BuildSummaries(dir string, cfg summary.Config) (int, error)
+	// Summarizer returns the builder compaction uses to keep sidecars
+	// current (storage.CompactOptions.Summarizer).
+	Summarizer(cfg summary.Config) summary.Builder
 }
 
 var registry = map[string]Schema{}
@@ -145,10 +165,17 @@ var registry = map[string]Schema{}
 func register[T any](s Spec[T]) { registry[s.Name] = schema[T]{s} }
 
 func init() {
-	register(Spec[EventRec]{Name: "nyc", Codec: EventRecC, BoxOf: EventRec.Box, CSV: ReadEventsCSV})
-	register(Spec[TrajRec]{Name: "porto", Codec: TrajRecC, BoxOf: TrajRec.Box, CSV: ReadTrajsCSV})
-	register(Spec[AirRec]{Name: "air", Codec: AirRecC, BoxOf: AirRec.Box})
-	register(Spec[POIRec]{Name: "osm", Codec: POIRecC, BoxOf: POIRec.Box, Spatial2D: true})
+	register(Spec[EventRec]{Name: "nyc", Codec: EventRecC, BoxOf: EventRec.Box, CSV: ReadEventsCSV,
+		Value: func(e EventRec) (float64, bool) { return float64(e.Time), true },
+		IDOf:  func(e EventRec) int64 { return e.ID }})
+	register(Spec[TrajRec]{Name: "porto", Codec: TrajRecC, BoxOf: TrajRec.Box, CSV: ReadTrajsCSV,
+		Value: func(t TrajRec) (float64, bool) { return float64(len(t.Points)), true },
+		IDOf:  func(t TrajRec) int64 { return t.ID }})
+	register(Spec[AirRec]{Name: "air", Codec: AirRecC, BoxOf: AirRec.Box,
+		Value: func(a AirRec) (float64, bool) { return a.Indices[0], true },
+		IDOf:  func(a AirRec) int64 { return a.StationID }})
+	register(Spec[POIRec]{Name: "osm", Codec: POIRecC, BoxOf: POIRec.Box, Spatial2D: true,
+		IDOf: func(p POIRec) int64 { return p.ID }})
 }
 
 // Lookup returns the schema registered under name.

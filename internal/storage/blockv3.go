@@ -326,9 +326,13 @@ func pointInAny(lon, lat float64, t int64, windows []index.Box) bool {
 // skipping individual records whose (lon, lat, t) columns miss every
 // window before they are materialized. RecordsPruned in the returned
 // stats counts the latter; RawBytes counts decoded column bytes plus only
-// the surviving records' payload spans.
+// the surviving records' payload spans. A non-nil blockSet overrides
+// window pruning with an explicit block-index selection (the approximate
+// path's boundary-block scan); record counts are then not cross-checked
+// against metadata, since only a subset is read.
 func readPartitionV3Once[T any](
 	dir string, pm PartitionMeta, c codec.Codec[T], windows []index.Box,
+	blockSet map[int]bool,
 ) ([]T, ReadStats, error) {
 	f, profile, blocks, footerOff, size, err := readFooterV3(filepath.Join(dir, pm.File))
 	if err != nil {
@@ -345,9 +349,11 @@ func readPartitionV3Once[T any](
 	st := ReadStats{Blocks: len(blocks), BytesRead: int64(v3HeaderLen) + (size - footerOff)}
 	var scan []BlockMeta
 	var expect int64
-	for _, bm := range blocks {
-		keep := windows == nil
-		if !keep && bm.Count > 0 {
+	for bi, bm := range blocks {
+		keep := windows == nil && blockSet == nil
+		if blockSet != nil {
+			keep = blockSet[bi]
+		} else if !keep && bm.Count > 0 {
 			for _, w := range windows {
 				if bm.Bounds.Intersects(w) {
 					keep = true
@@ -363,7 +369,7 @@ func readPartitionV3Once[T any](
 		}
 	}
 	st.BlocksScanned = len(scan)
-	if windows == nil && expect != pm.Count {
+	if windows == nil && blockSet == nil && expect != pm.Count {
 		return nil, ReadStats{}, fmt.Errorf(
 			"storage: partition %s footer counts %d records, metadata says %d: %w",
 			pm.File, expect, pm.Count, codec.ErrCorrupt{Off: int(footerOff)})
@@ -441,7 +447,7 @@ func readPartitionV3Once[T any](
 				pm.File, blk.bm.Offset, decErr)
 		}
 	}
-	if windows == nil && materialized != pm.Count {
+	if windows == nil && blockSet == nil && materialized != pm.Count {
 		return nil, ReadStats{}, fmt.Errorf(
 			"storage: partition %s decoded %d records, metadata says %d: %w",
 			pm.File, materialized, pm.Count, codec.ErrCorrupt{Off: 0})

@@ -10,6 +10,7 @@ import (
 
 	"st4ml/internal/codec"
 	"st4ml/internal/index"
+	"st4ml/internal/summary"
 	"st4ml/internal/trace"
 )
 
@@ -30,6 +31,13 @@ type CompactOptions struct {
 	// removed, so readers holding the previous view keep their files.
 	// Negative skips GC entirely.
 	GCGrace time.Duration
+	// Summarizer, when non-nil, builds a summary sidecar for every
+	// rewritten partition (the approximate query tier's maintenance path):
+	// the rewrite commits as a base+sidecar pair under the same manifest
+	// swap. When nil, a rewritten partition's previous sidecar entry is
+	// dropped — approximate queries on it fall back to exact until the
+	// next summarizing pass or a BuildSummaries backfill.
+	Summarizer summary.Builder
 }
 
 // CompactStats reports what a compaction pass did.
@@ -150,6 +158,29 @@ func compactLocked[T any](
 		}
 		pm.Format = FormatVersion
 		mf.Rewrites[pi] = pm
+		// The old sidecar described the old base file; drop it, and write
+		// a fresh one for the rewrite when a summarizer is wired in.
+		delete(mf.Summaries, pi)
+		if opts.Summarizer != nil {
+			bn := blockRecords
+			if bn > maxBlockRecords {
+				bn = maxBlockRecords // mirror the file writer's cap
+			}
+			ps, err := opts.Summarizer.Build(recs, bn)
+			if err != nil {
+				sp.End(trace.Str("error", err.Error()))
+				return st, false, fmt.Errorf("storage: summarize partition %d: %w", pi, err)
+			}
+			sm, err := writeSummaryFile(dir, pm.File, ps)
+			if err != nil {
+				sp.End(trace.Str("error", err.Error()))
+				return st, false, fmt.Errorf("storage: summarize partition %d: %w", pi, err)
+			}
+			if mf.Summaries == nil {
+				mf.Summaries = map[int]SummaryMeta{}
+			}
+			mf.Summaries[pi] = sm
+		}
 		st.PartitionsCompacted++
 		st.DeltasMerged += len(meta.Deltas(pi))
 		st.RecordsRewritten += pm.Count
@@ -202,6 +233,9 @@ func collectGarbage(dir string, view *Metadata, mf *Manifest, grace time.Duratio
 			referenced[d.File] = true
 		}
 	}
+	for _, sm := range mf.Summaries {
+		referenced[sm.File] = true
+	}
 	// Files named by the raw metadata.json stay referenced even when a
 	// rewrite supersedes them in the merged view: metadata.json is never
 	// rewritten by the delta layer, so GC deleting its files would leave a
@@ -220,7 +254,11 @@ func collectGarbage(dir string, view *Metadata, mf *Manifest, grace time.Duratio
 	now := time.Now()
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || referenced[name] || !strings.HasSuffix(name, ".stp") {
+		// Eligible: partition/delta files and summary sidecars. Sidecars of
+		// superseded base generations become unreferenced the moment their
+		// manifest entry is dropped or replaced, and age out like bases.
+		ok := strings.HasSuffix(name, ".stp") || strings.HasSuffix(name, ".stp"+summary.Suffix)
+		if e.IsDir() || referenced[name] || !ok {
 			continue
 		}
 		if !strings.HasPrefix(name, "part-") && !strings.HasPrefix(name, "delta-") {

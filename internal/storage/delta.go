@@ -67,6 +67,12 @@ type Manifest struct {
 	Rewrites map[int]PartitionMeta `json:"rewrites,omitempty"`
 	// Deltas lists the live delta files in append order.
 	Deltas []DeltaMeta `json:"deltas,omitempty"`
+	// Summaries maps partition id → its summary sidecar (approximate query
+	// tier). An entry is only served while its Base matches the
+	// partition's live base file, so compactions that rewrite a partition
+	// without re-summarizing leave a harmlessly stale entry, never a
+	// wrong estimate.
+	Summaries map[int]SummaryMeta `json:"summaries,omitempty"`
 	// AppliedBatches holds the most recent ingest batch ids (bounded at
 	// maxAppliedBatches); an AppendDelta carrying one of them is a retry of
 	// a committed batch and becomes a no-op.

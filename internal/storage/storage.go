@@ -110,6 +110,9 @@ type Metadata struct {
 	// manifest by ReadMetadata (nil when the dataset has none). Readers
 	// union them with the base partition — merge-on-read.
 	deltas [][]DeltaMeta
+	// summaries maps partition id → its committed summary sidecar, merged
+	// in from the manifest (nil when the dataset has none).
+	summaries map[int]SummaryMeta
 }
 
 // NumPartitions returns the partition count.
@@ -121,6 +124,33 @@ func (m *Metadata) Deltas(i int) []DeltaMeta {
 		return nil
 	}
 	return m.deltas[i]
+}
+
+// SummaryFor returns partition i's summary sidecar reference, if the
+// manifest committed one for the partition's live base file. A stale
+// entry — its Base superseded by a compaction that did not re-summarize —
+// reports false, so the approximate path falls back to exact rather than
+// estimating from a sidecar describing dead data.
+func (m *Metadata) SummaryFor(i int) (SummaryMeta, bool) {
+	if i < 0 || i >= len(m.Partitions) {
+		return SummaryMeta{}, false
+	}
+	sm, ok := m.summaries[i]
+	if !ok || sm.Base != m.Partitions[i].File {
+		return SummaryMeta{}, false
+	}
+	return sm, true
+}
+
+// SummaryCount returns how many partitions carry a live summary sidecar.
+func (m *Metadata) SummaryCount() int {
+	n := 0
+	for i := range m.Partitions {
+		if _, ok := m.SummaryFor(i); ok {
+			n++
+		}
+	}
+	return n
 }
 
 // DeltaCount returns the total number of live delta files across the view.
@@ -496,6 +526,16 @@ func (m *Metadata) applyManifest(mf *Manifest) error {
 		m.TotalCount += pm.Count - m.Partitions[i].Count
 		m.Partitions[i] = pm
 	}
+	if len(mf.Summaries) > 0 {
+		m.summaries = make(map[int]SummaryMeta, len(mf.Summaries))
+		for i, sm := range mf.Summaries {
+			if i < 0 || i >= len(m.Partitions) {
+				return fmt.Errorf("storage: manifest summary for partition %d of %d",
+					i, len(m.Partitions))
+			}
+			m.summaries[i] = sm
+		}
+	}
 	if len(mf.Deltas) == 0 {
 		return nil
 	}
@@ -593,9 +633,9 @@ func ReadPartitionPruned[T any](
 	out, st, err := readWithRetry(pm.File, func() ([]T, ReadStats, error) {
 		switch {
 		case version >= 3:
-			return readPartitionV3Once[T](dir, pm, c, windows)
+			return readPartitionV3Once[T](dir, pm, c, windows, nil)
 		case version == 2:
-			return readPartitionV2Once[T](dir, meta.Compressed, pm, c, windows)
+			return readPartitionV2Once[T](dir, meta.Compressed, pm, c, windows, nil)
 		default:
 			return readPartitionOnce[T](dir, meta, pm, c)
 		}
@@ -620,9 +660,9 @@ func ReadPartitionPruned[T any](
 		}
 		drecs, dst, err := readWithRetry(dpm.File, func() ([]T, ReadStats, error) {
 			if dver >= 3 {
-				return readPartitionV3Once[T](dir, dpm, c, windows)
+				return readPartitionV3Once[T](dir, dpm, c, windows, nil)
 			}
-			return readPartitionV2Once[T](dir, meta.Compressed, dpm, c, windows)
+			return readPartitionV2Once[T](dir, meta.Compressed, dpm, c, windows, nil)
 		})
 		if err != nil {
 			return nil, ReadStats{}, err
@@ -648,9 +688,9 @@ func ReadDelta[T any](dir string, compressed bool, dm DeltaMeta, c codec.Codec[T
 	}
 	recs, _, err := readWithRetry(dpm.File, func() ([]T, ReadStats, error) {
 		if dver >= 3 {
-			return readPartitionV3Once[T](dir, dpm, c, nil)
+			return readPartitionV3Once[T](dir, dpm, c, nil, nil)
 		}
-		return readPartitionV2Once[T](dir, compressed, dpm, c, nil)
+		return readPartitionV2Once[T](dir, compressed, dpm, c, nil, nil)
 	})
 	return recs, err
 }
@@ -794,6 +834,7 @@ func readFooter(path string) (*os.File, []BlockMeta, int64, int64, error) {
 
 func readPartitionV2Once[T any](
 	dir string, compressed bool, pm PartitionMeta, c codec.Codec[T], windows []index.Box,
+	blockSet map[int]bool,
 ) ([]T, ReadStats, error) {
 	f, blocks, footerOff, size, err := readFooter(filepath.Join(dir, pm.File))
 	if err != nil {
@@ -805,9 +846,11 @@ func readPartitionV2Once[T any](
 	st := ReadStats{Blocks: len(blocks), BytesRead: int64(v2HeaderLen) + (size - footerOff)}
 	var scan []BlockMeta
 	var expect int64
-	for _, bm := range blocks {
-		keep := windows == nil
-		if !keep && bm.Count > 0 {
+	for bi, bm := range blocks {
+		keep := windows == nil && blockSet == nil
+		if blockSet != nil {
+			keep = blockSet[bi]
+		} else if !keep && bm.Count > 0 {
 			for _, w := range windows {
 				if bm.Bounds.Intersects(w) {
 					keep = true
@@ -823,7 +866,7 @@ func readPartitionV2Once[T any](
 		}
 	}
 	st.BlocksScanned = len(scan)
-	if windows == nil && expect != pm.Count {
+	if windows == nil && blockSet == nil && expect != pm.Count {
 		return nil, ReadStats{}, fmt.Errorf(
 			"storage: partition %s footer counts %d records, metadata says %d: %w",
 			pm.File, expect, pm.Count, codec.ErrCorrupt{Off: int(footerOff)})

@@ -1,0 +1,264 @@
+package summary
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"st4ml/internal/index"
+)
+
+// driveAccumulator runs the real query-time classification over a built
+// summary: blocks inside the window are certain, straddlers uncertain (or
+// scanned when scanBoundary), pruned blocks skipped — exactly what the
+// stdata orchestration does — and returns the finalized result plus the
+// brute-forced exact answers.
+func driveAccumulator(t *testing.T, spec Spec, recs []sumRec, ps *PartitionSummary, scanBoundary bool) (*Result, int64, []int64) {
+	t.Helper()
+	a := NewAccumulator(spec)
+	spec = a.Spec()
+	bn := ps.BlockRecords
+	if bn <= 0 {
+		bn = len(recs)
+	}
+	a.BeginPartition(0)
+	var scanned int
+	for bi := range ps.Blocks {
+		bs := &ps.Blocks[bi]
+		switch {
+		case !bs.Bounds.Intersects(spec.Window):
+			// pruned
+		case spec.Window.Contains(bs.Bounds):
+			a.BlockCertain(bs)
+		case scanBoundary:
+			scanned++
+			a.BlockScanned(1)
+			lo, hi := bi*bn, (bi+1)*bn
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			for _, r := range recs[lo:hi] {
+				if r.box.Intersects(spec.Window) {
+					a.Record(r.box, r.val, true, r.id)
+				}
+			}
+		default:
+			a.BlockUncertain(bs)
+		}
+	}
+	a.EndPartition(ps)
+
+	var exactCount int64
+	var vals []float64
+	cellExact := make([]int64, len(windowCells(spec.Window, spec.Res)))
+	cells := windowCells(spec.Window, spec.Res)
+	for _, r := range recs {
+		if !r.box.Intersects(spec.Window) {
+			continue
+		}
+		exactCount++
+		vals = append(vals, r.val)
+		for i, c := range cells {
+			if c.Intersects(r.box) {
+				cellExact[i]++
+			}
+		}
+	}
+	res := a.Finalize()
+	_ = vals
+	_ = scanned
+	return res, exactCount, cellExact
+}
+
+// TestAccumulatorContainment drives random workloads through the real
+// block-classification flow and asserts the containment guarantee for all
+// three aggregates, with and without boundary scanning.
+func TestAccumulatorContainment(t *testing.T) {
+	domain := index.Box{Min: [3]float64{-74, 40, 0}, Max: [3]float64{-73, 41, 100000}}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(1500)
+		recs := make([]sumRec, n)
+		for i := range recs {
+			recs[i] = sumRec{id: int64(i % 50), box: randBox(rng, domain), val: rng.NormFloat64() * 10}
+		}
+		ps := Build(recs,
+			func(r sumRec) index.Box { return r.box },
+			func(r sumRec) (float64, bool) { return r.val, true },
+			func(r sumRec) int64 { return r.id },
+			Config{BlockRecords: 128})
+		for wi := 0; wi < 8; wi++ {
+			w := randWindow(rng, domain)
+			for _, scanB := range []bool{false, true} {
+				for _, agg := range []string{AggCount, AggHist, AggQuantile} {
+					spec := Spec{Window: w, Agg: agg, Q: rng.Float64(), Res: 3}
+					res, exact, cellExact := driveAccumulator(t, spec, recs, ps, scanB)
+					if exact < res.CountLo || exact > res.CountHi {
+						t.Fatalf("seed %d agg %s scan=%v: exact count %d outside [%d,%d]",
+							seed, agg, scanB, exact, res.CountLo, res.CountHi)
+					}
+					switch agg {
+					case AggCount:
+						if float64(exact) < res.Estimate-res.Bound || float64(exact) > res.Estimate+res.Bound {
+							t.Fatalf("count outside envelope")
+						}
+					case AggHist:
+						for i, c := range res.Cells {
+							if cellExact[i] < c.Lo || cellExact[i] > c.Hi {
+								t.Fatalf("seed %d cell %d: exact %d outside [%d,%d]", seed, i, cellExact[i], c.Lo, c.Hi)
+							}
+						}
+					case AggQuantile:
+						if exact == 0 {
+							continue // undefined; envelope only qualifies the count
+						}
+						var vals []float64
+						for _, r := range recs {
+							if r.box.Intersects(w) {
+								vals = append(vals, r.val)
+							}
+						}
+						ex := exactQuantile(vals, spec.normalize().Q)
+						if ex < res.Estimate-res.Bound-1e-9 || ex > res.Estimate+res.Bound+1e-9 {
+							t.Fatalf("seed %d q=%v scan=%v: exact quantile %v outside %v±%v",
+								seed, spec.Q, scanB, ex, res.Estimate, res.Bound)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAccumulatorExactWhenCovered: a window containing the whole partition
+// yields a zero-width envelope flagged Exact.
+func TestAccumulatorExactWhenCovered(t *testing.T) {
+	ps := makeSummary(t, 3, 500, 64)
+	w := ps.Bounds
+	a := NewAccumulator(Spec{Window: w, Agg: AggCount})
+	a.BeginPartition(0)
+	for i := range ps.Blocks {
+		if !w.Contains(ps.Blocks[i].Bounds) {
+			t.Fatal("partition bounds must contain all blocks")
+		}
+		a.BlockCertain(&ps.Blocks[i])
+	}
+	a.EndPartition(ps)
+	res := a.Finalize()
+	if !res.Exact || res.Bound != 0 || res.CountLo != 500 || res.CountHi != 500 {
+		t.Fatalf("full coverage: got exact=%v bound=%v [%d,%d]", res.Exact, res.Bound, res.CountLo, res.CountHi)
+	}
+	if len(res.Parts) != 1 || res.Parts[0].Source != SourceSummary {
+		t.Fatalf("provenance: %+v", res.Parts)
+	}
+}
+
+// TestPartialMerge pins mergeable-sketch semantics: splitting partitions
+// across two accumulators, snapshotting Partials (through JSON, as the
+// cluster wire does), and merging must reproduce the single-accumulator
+// result exactly.
+func TestPartialMerge(t *testing.T) {
+	domain := index.Box{Min: [3]float64{0, 0, 0}, Max: [3]float64{100, 100, 1000}}
+	rng := rand.New(rand.NewSource(9))
+	mk := func() ([]sumRec, *PartitionSummary) {
+		recs := make([]sumRec, 600)
+		for i := range recs {
+			recs[i] = sumRec{id: rng.Int63n(200), box: randBox(rng, domain), val: rng.NormFloat64()}
+		}
+		ps := Build(recs,
+			func(r sumRec) index.Box { return r.box },
+			func(r sumRec) (float64, bool) { return r.val, true },
+			func(r sumRec) int64 { return r.id },
+			Config{BlockRecords: 100})
+		return recs, ps
+	}
+	recs1, ps1 := mk()
+	recs2, ps2 := mk()
+	w := index.Box{Min: [3]float64{20, 20, 200}, Max: [3]float64{70, 70, 700}}
+	for _, agg := range []string{AggCount, AggHist, AggQuantile} {
+		spec := Spec{Window: w, Agg: agg, Q: 0.5, Res: 2}
+		fold := func(a *Accumulator, id int, ps *PartitionSummary) {
+			a.BeginPartition(id)
+			for i := range ps.Blocks {
+				bs := &ps.Blocks[i]
+				switch {
+				case !bs.Bounds.Intersects(w):
+				case w.Contains(bs.Bounds):
+					a.BlockCertain(bs)
+				default:
+					a.BlockUncertain(bs)
+				}
+			}
+			a.EndPartition(ps)
+		}
+		single := NewAccumulator(spec)
+		fold(single, 0, ps1)
+		fold(single, 1, ps2)
+		want := single.Finalize()
+
+		shard1, shard2 := NewAccumulator(spec), NewAccumulator(spec)
+		fold(shard1, 0, ps1)
+		fold(shard2, 1, ps2)
+		router := NewAccumulator(spec)
+		for _, sh := range []*Accumulator{shard1, shard2} {
+			b, err := json.Marshal(sh.Partial())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var p Partial
+			if err := json.Unmarshal(b, &p); err != nil {
+				t.Fatal(err)
+			}
+			if err := router.MergePartial(&p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := router.Finalize()
+		if got.CountLo != want.CountLo || got.CountHi != want.CountHi {
+			t.Fatalf("agg %s: merged count envelope [%d,%d] != single [%d,%d]",
+				agg, got.CountLo, got.CountHi, want.CountLo, want.CountHi)
+		}
+		// Integer envelopes merge exactly; float estimates may differ in the
+		// last bit from summation order, never beyond. Quantile digests are
+		// order-sensitive under compression, so there the contract is the
+		// containment guarantee itself, checked below against brute force.
+		close := func(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)) }
+		if agg == AggQuantile {
+			var vals []float64
+			for _, r := range append(append([]sumRec(nil), recs1...), recs2...) {
+				if r.box.Intersects(w) {
+					vals = append(vals, r.val)
+				}
+			}
+			if len(vals) > 0 {
+				ex := exactQuantile(vals, 0.5)
+				if ex < got.Estimate-got.Bound-1e-9 || ex > got.Estimate+got.Bound+1e-9 {
+					t.Fatalf("merged quantile envelope %v±%v misses exact %v", got.Estimate, got.Bound, ex)
+				}
+				if ex < want.Estimate-want.Bound-1e-9 || ex > want.Estimate+want.Bound+1e-9 {
+					t.Fatalf("single quantile envelope %v±%v misses exact %v", want.Estimate, want.Bound, ex)
+				}
+			}
+		} else if !close(got.Estimate, want.Estimate) || !close(got.Bound, want.Bound) {
+			t.Fatalf("agg %s: merged %v±%v != single %v±%v", agg, got.Estimate, got.Bound, want.Estimate, want.Bound)
+		}
+		if len(got.Cells) != len(want.Cells) {
+			t.Fatalf("cell count mismatch")
+		}
+		for i := range got.Cells {
+			g, w := got.Cells[i], want.Cells[i]
+			if g.Lo != w.Lo || g.Hi != w.Hi || g.Box != w.Box || !close(g.Estimate, w.Estimate) {
+				t.Fatalf("agg %s cell %d: %+v != %+v", agg, i, g, w)
+			}
+		}
+		if got.Distinct != want.Distinct || got.DistinctExact != want.DistinctExact {
+			t.Fatalf("distinct mismatch: %v/%v vs %v/%v", got.Distinct, got.DistinctExact, want.Distinct, want.DistinctExact)
+		}
+	}
+	// Cell-shape mismatches are rejected, not silently merged.
+	a := NewAccumulator(Spec{Window: w, Agg: AggHist, Res: 2})
+	if err := a.MergePartial(&Partial{CellLo: []int64{1}}); err == nil {
+		t.Fatal("mismatched partial should fail")
+	}
+}

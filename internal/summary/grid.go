@@ -1,0 +1,191 @@
+package summary
+
+import "st4ml/internal/index"
+
+// Grid is a 3-d histogram with a deterministic containment guarantee. The
+// domain box is split into Res cells per axis; a record box that bins into
+// a single cell is counted there, a record box spanning cells (a long
+// trajectory) is counted in the Overflow bucket. The query-time bounds
+// then hold for ST4ML's box-intersects selection predicate:
+//
+//   - lo: records in cells fully inside the window — their boxes lie
+//     inside the cell, hence inside the window, hence intersect it;
+//   - hi: records in cells whose closure intersects the window, plus every
+//     overflow record — a record box is contained in its cell's closure
+//     (or, for overflow, in the domain), so a cell disjoint from the
+//     window cannot hold an intersecting record.
+//
+// Cell edges are derived deterministically from (Domain, Res), and binning
+// searches those exact edge values, so build-time and query-time geometry
+// agree bit-for-bit — no float-tiling epsilon can break the guarantee.
+type Grid struct {
+	Domain   index.Box `json:"domain"`
+	Res      int       `json:"res"`
+	Overflow int64     `json:"overflow"`
+	Counts   []int64   `json:"counts"` // len Res³, index x + Res·(y + Res·t)
+}
+
+// maxGridRes bounds decoded resolutions so a corrupt sidecar cannot ask
+// for a multi-gigabyte allocation.
+const maxGridRes = 64
+
+// NewGrid builds an empty grid over domain with res cells per axis.
+func NewGrid(domain index.Box, res int) *Grid {
+	if res < 1 {
+		res = 1
+	}
+	return &Grid{Domain: domain, Res: res, Counts: make([]int64, res*res*res)}
+}
+
+// edge returns cell boundary i (0..Res) along dim d. The same expression
+// runs at build and query time, so the boundaries always agree.
+func (g *Grid) edge(d, i int) float64 {
+	if i >= g.Res {
+		return g.Domain.Max[d]
+	}
+	return g.Domain.Min[d] + float64(i)*(g.Domain.Max[d]-g.Domain.Min[d])/float64(g.Res)
+}
+
+// binIdx returns the largest cell index whose lower edge is <= v, clamped
+// into [0, Res-1].
+func (g *Grid) binIdx(d int, v float64) int {
+	for i := g.Res - 1; i > 0; i-- {
+		if v >= g.edge(d, i) {
+			return i
+		}
+	}
+	return 0
+}
+
+// Add counts one record box. Boxes outside the domain (possible only on a
+// builder/domain mismatch) go to overflow, which stays conservative.
+func (g *Grid) Add(b index.Box) {
+	if !g.Domain.Contains(b) {
+		g.Overflow++
+		return
+	}
+	idx := 0
+	mul := 1
+	for d := 0; d < index.Dims; d++ {
+		lo := g.binIdx(d, b.Min[d])
+		if g.binIdx(d, b.Max[d]) != lo {
+			g.Overflow++
+			return
+		}
+		idx += lo * mul
+		mul *= g.Res
+	}
+	g.Counts[idx]++
+}
+
+// cellClosure returns the closed box covering every record value that can
+// bin into cell (x, y, t).
+func (g *Grid) cellClosure(x, y, t int) index.Box {
+	var b index.Box
+	c := [3]int{x, y, t}
+	for d := 0; d < index.Dims; d++ {
+		b.Min[d] = g.edge(d, c[d])
+		b.Max[d] = g.edge(d, c[d]+1)
+		if b.Max[d] < b.Min[d] {
+			b.Max[d] = b.Min[d]
+		}
+	}
+	return b
+}
+
+// CountRange bounds the number of records whose box intersects w:
+// the true count is always in [lo, hi]; est interpolates by overlap volume
+// and is clamped into the envelope.
+func (g *Grid) CountRange(w index.Box) (lo, hi int64, est float64) {
+	for t := 0; t < g.Res; t++ {
+		for y := 0; y < g.Res; y++ {
+			base := (t*g.Res + y) * g.Res
+			for x := 0; x < g.Res; x++ {
+				c := g.Counts[base+x]
+				if c == 0 {
+					continue
+				}
+				cell := g.cellClosure(x, y, t)
+				if !cell.Intersects(w) {
+					continue
+				}
+				hi += c
+				if w.Contains(cell) {
+					lo += c
+					est += float64(c)
+				} else {
+					est += float64(c) * overlapFrac(cell, w)
+				}
+			}
+		}
+	}
+	if g.Overflow > 0 {
+		hi += g.Overflow
+		if g.Domain.Intersects(w) {
+			est += float64(g.Overflow) * overlapFrac(g.Domain, w)
+		}
+	}
+	if est < float64(lo) {
+		est = float64(lo)
+	}
+	if est > float64(hi) {
+		est = float64(hi)
+	}
+	return lo, hi, est
+}
+
+// Merge folds o (same domain and resolution) into g.
+func (g *Grid) Merge(o *Grid) error {
+	if o.Res != g.Res || o.Domain != g.Domain || len(o.Counts) != len(g.Counts) {
+		return errGridShape
+	}
+	g.Overflow += o.Overflow
+	for i, c := range o.Counts {
+		g.Counts[i] += c
+	}
+	return nil
+}
+
+var errGridShape = errShape("summary: grid domain/resolution mismatch")
+
+type errShape string
+
+func (e errShape) Error() string { return string(e) }
+
+// Total returns the number of records counted (cells plus overflow).
+func (g *Grid) Total() int64 {
+	n := g.Overflow
+	for _, c := range g.Counts {
+		n += c
+	}
+	return n
+}
+
+// overlapFrac estimates what fraction of box a overlaps b, as a product of
+// per-axis overlap ratios; zero-width axes contribute factor 1 (the axes
+// already intersect). Callers ensure a and b intersect.
+func overlapFrac(a, b index.Box) float64 {
+	f := 1.0
+	for d := 0; d < index.Dims; d++ {
+		w := a.Max[d] - a.Min[d]
+		if w <= 0 {
+			continue
+		}
+		hi := a.Max[d]
+		if b.Max[d] < hi {
+			hi = b.Max[d]
+		}
+		lo := a.Min[d]
+		if b.Min[d] > lo {
+			lo = b.Min[d]
+		}
+		ov := (hi - lo) / w
+		if ov < 0 {
+			ov = 0
+		} else if ov > 1 {
+			ov = 1
+		}
+		f *= ov
+	}
+	return f
+}

@@ -1,0 +1,108 @@
+package summary
+
+import (
+	"math"
+	"sort"
+)
+
+// KMV is a k-minimum-values distinct-count sketch over record IDs. While
+// fewer than K distinct hashes have been seen it is exact; past that it
+// keeps the K smallest hashes and estimates cardinality from the K-th
+// minimum. Unlike the count/histogram/quantile envelopes, the distinct
+// estimate is probabilistic (±~1/sqrt(K) relative), and is surfaced as
+// informational — it carries no hard bound.
+type KMV struct {
+	K     int      `json:"k"`
+	Exact bool     `json:"exact"`
+	Hs    []uint64 `json:"hs,omitempty"` // sorted ascending, distinct
+}
+
+// maxSketchK bounds decoded sketches against corrupt sidecars.
+const maxSketchK = 1 << 16
+
+// NewKMV returns an empty sketch of size k.
+func NewKMV(k int) *KMV {
+	if k < 8 {
+		k = 8
+	}
+	return &KMV{K: k, Exact: true}
+}
+
+// splitmix64 is the finalizer used to hash IDs: cheap, well-mixed, and
+// deterministic across processes (the cluster tier merges shard sketches).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Add absorbs one ID.
+func (s *KMV) Add(id int64) {
+	h := splitmix64(uint64(id))
+	i := sort.Search(len(s.Hs), func(i int) bool { return s.Hs[i] >= h })
+	if i < len(s.Hs) && s.Hs[i] == h {
+		return
+	}
+	if len(s.Hs) >= s.K {
+		if h >= s.Hs[len(s.Hs)-1] {
+			s.Exact = false
+			return
+		}
+		s.Hs = s.Hs[:len(s.Hs)-1]
+		s.Exact = false
+	}
+	s.Hs = append(s.Hs, 0)
+	copy(s.Hs[i+1:], s.Hs[i:])
+	s.Hs[i] = h
+}
+
+// Merge folds o into s: the union's K smallest hashes, exact only if both
+// inputs were and the union fits.
+func (s *KMV) Merge(o *KMV) {
+	if o == nil {
+		return
+	}
+	merged := make([]uint64, 0, len(s.Hs)+len(o.Hs))
+	i, j := 0, 0
+	for i < len(s.Hs) || j < len(o.Hs) {
+		switch {
+		case j >= len(o.Hs) || (i < len(s.Hs) && s.Hs[i] < o.Hs[j]):
+			merged = append(merged, s.Hs[i])
+			i++
+		case i >= len(s.Hs) || o.Hs[j] < s.Hs[i]:
+			merged = append(merged, o.Hs[j])
+			j++
+		default: // equal
+			merged = append(merged, s.Hs[i])
+			i, j = i+1, j+1
+		}
+	}
+	k := s.K
+	if o.K < k {
+		k = o.K
+	}
+	s.K = k
+	s.Exact = s.Exact && o.Exact
+	if len(merged) > k {
+		merged = merged[:k]
+		s.Exact = false
+	}
+	s.Hs = merged
+}
+
+// Estimate returns the distinct-count estimate; exact reports whether it
+// is the true distinct count.
+func (s *KMV) Estimate() (est float64, exact bool) {
+	if s == nil {
+		return 0, true
+	}
+	if s.Exact || len(s.Hs) < s.K {
+		return float64(len(s.Hs)), s.Exact
+	}
+	kth := s.Hs[s.K-1]
+	if kth == 0 {
+		return float64(s.K), false
+	}
+	return float64(s.K-1) / (float64(kth) / math.Pow(2, 64)), false
+}

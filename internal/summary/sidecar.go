@@ -1,0 +1,283 @@
+package summary
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/index"
+)
+
+// Sidecar layout ("STSM" magic, then CRC-framed sections):
+//
+//	magic | frame(header) | frame(partition sketches) | frame(block 0) ... frame(block n-1)
+//
+// header:   version, count, blockRecords, hasValue, nblocks, bounds
+// sketches: grids, [digest], distinct (partition level)
+// block i:  count, bounds, grid, [digest], distinct
+//
+// Every section sits inside a codec frame (uvarint length + CRC32-C), so
+// any byte flip or truncation surfaces as ErrCorrupt at decode — a corrupt
+// sidecar fails the query loudly instead of skewing an estimate, which
+// FuzzSummarySidecar and the exhaustive byte-flip wall pin.
+var sidecarMagic = []byte("STSM")
+
+// EncodeSidecar serializes ps as a self-contained sidecar byte stream.
+func EncodeSidecar(ps *PartitionSummary) []byte {
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	sec := codec.NewWriter(1 << 10)
+
+	w.PutRaw(sidecarMagic)
+
+	sec.PutUvarint(uint64(ps.Version))
+	sec.PutUvarint(uint64(ps.Count))
+	sec.PutUvarint(uint64(ps.BlockRecords))
+	sec.PutBool(ps.HasValue)
+	sec.PutUvarint(uint64(len(ps.Blocks)))
+	putBox(sec, ps.Bounds)
+	w.PutFrame(sec.Bytes())
+
+	sec.Reset()
+	sec.PutUvarint(uint64(len(ps.Grids)))
+	for _, g := range ps.Grids {
+		putGrid(sec, g)
+	}
+	if ps.HasValue {
+		putDigest(sec, ps.Digest)
+	}
+	putKMV(sec, ps.Distinct)
+	w.PutFrame(sec.Bytes())
+
+	for i := range ps.Blocks {
+		bs := &ps.Blocks[i]
+		sec.Reset()
+		sec.PutUvarint(uint64(bs.Count))
+		putBox(sec, bs.Bounds)
+		putGrid(sec, bs.Grid)
+		if ps.HasValue {
+			putDigest(sec, bs.Digest)
+		}
+		putKMV(sec, bs.Distinct)
+		w.PutFrame(sec.Bytes())
+	}
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// DecodeSidecar parses and verifies a sidecar stream. Any structural or
+// checksum violation — flipped byte, truncation, trailing garbage — comes
+// back as an error.
+func DecodeSidecar(b []byte) (*PartitionSummary, error) {
+	if len(b) < len(sidecarMagic) || !bytes.Equal(b[:len(sidecarMagic)], sidecarMagic) {
+		return nil, fmt.Errorf("summary: corrupt sidecar: bad magic")
+	}
+	var ps *PartitionSummary
+	err := codec.Catch(func() {
+		r := codec.NewReader(b[len(sidecarMagic):])
+		hdr := codec.NewReader(r.Frame())
+		ps = &PartitionSummary{
+			Version:      int(hdr.Uvarint()),
+			Count:        int64(hdr.Uvarint()),
+			BlockRecords: int(hdr.Uvarint()),
+			HasValue:     hdr.Bool(),
+		}
+		nblocks := int(hdr.Uvarint())
+		ps.Bounds = getBox(hdr)
+		checkDrained(hdr)
+		if ps.Version != Version || nblocks < 0 || nblocks > 1<<22 || ps.Count < 0 {
+			panic(codec.ErrCorrupt{})
+		}
+
+		sk := codec.NewReader(r.Frame())
+		ngrids := int(sk.Uvarint())
+		if ngrids < 0 || ngrids > 8 {
+			panic(codec.ErrCorrupt{})
+		}
+		for i := 0; i < ngrids; i++ {
+			ps.Grids = append(ps.Grids, getGrid(sk))
+		}
+		if ps.HasValue {
+			ps.Digest = getDigest(sk)
+		}
+		ps.Distinct = getKMV(sk)
+		checkDrained(sk)
+
+		for i := 0; i < nblocks; i++ {
+			br := codec.NewReader(r.Frame())
+			bs := BlockSummary{Count: int64(br.Uvarint())}
+			bs.Bounds = getBox(br)
+			bs.Grid = getGrid(br)
+			if ps.HasValue {
+				bs.Digest = getDigest(br)
+			}
+			bs.Distinct = getKMV(br)
+			checkDrained(br)
+			if bs.Count < 0 {
+				panic(codec.ErrCorrupt{})
+			}
+			ps.Blocks = append(ps.Blocks, bs)
+		}
+		checkDrained(r)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("summary: corrupt sidecar: %w", err)
+	}
+	return ps, nil
+}
+
+// checkDrained rejects trailing bytes inside a section.
+func checkDrained(r *codec.Reader) {
+	if r.Remaining() != 0 {
+		panic(codec.ErrCorrupt{})
+	}
+}
+
+func putBox(w *codec.Writer, b index.Box) {
+	for d := 0; d < index.Dims; d++ {
+		w.PutFloat64(b.Min[d])
+	}
+	for d := 0; d < index.Dims; d++ {
+		w.PutFloat64(b.Max[d])
+	}
+}
+
+func getBox(r *codec.Reader) index.Box {
+	var b index.Box
+	for d := 0; d < index.Dims; d++ {
+		b.Min[d] = r.Float64()
+	}
+	for d := 0; d < index.Dims; d++ {
+		b.Max[d] = r.Float64()
+	}
+	return b
+}
+
+// Grids encode sparsely — only nonzero cells, as (ascending delta-index,
+// count) varint pairs — because fine grids over small record sets are
+// mostly empty and a dense 16^3 section would dwarf the data it sketches.
+func putGrid(w *codec.Writer, g *Grid) {
+	putBox(w, g.Domain)
+	w.PutUvarint(uint64(g.Res))
+	w.PutUvarint(uint64(g.Overflow))
+	nz := 0
+	for _, c := range g.Counts {
+		if c != 0 {
+			nz++
+		}
+	}
+	w.PutUvarint(uint64(nz))
+	prev := 0
+	for i, c := range g.Counts {
+		if c == 0 {
+			continue
+		}
+		w.PutUvarint(uint64(i - prev))
+		w.PutUvarint(uint64(c))
+		prev = i
+	}
+}
+
+func getGrid(r *codec.Reader) *Grid {
+	g := &Grid{Domain: getBox(r)}
+	g.Res = int(r.Uvarint())
+	g.Overflow = int64(r.Uvarint())
+	if g.Res < 1 || g.Res > maxGridRes || g.Overflow < 0 {
+		panic(codec.ErrCorrupt{})
+	}
+	n := g.Res * g.Res * g.Res
+	nz := int(r.Uvarint())
+	if nz < 0 || nz > n {
+		panic(codec.ErrCorrupt{})
+	}
+	g.Counts = make([]int64, n)
+	idx := 0
+	for i := 0; i < nz; i++ {
+		d := int(r.Uvarint())
+		if i == 0 {
+			idx = d
+		} else {
+			if d < 1 {
+				panic(codec.ErrCorrupt{}) // indexes must stay strictly ascending
+			}
+			idx += d
+		}
+		if idx < 0 || idx >= n {
+			panic(codec.ErrCorrupt{})
+		}
+		c := int64(r.Uvarint())
+		if c < 1 {
+			panic(codec.ErrCorrupt{}) // only nonzero cells are encoded
+		}
+		g.Counts[idx] = c
+	}
+	return g
+}
+
+func putDigest(w *codec.Writer, d *TDigest) {
+	w.PutUvarint(uint64(d.Limit))
+	w.PutUvarint(uint64(len(d.Cs)))
+	for _, c := range d.Cs {
+		w.PutFloat64(c.Mean)
+		w.PutUvarint(uint64(c.Count))
+		w.PutFloat64(c.Min)
+		w.PutFloat64(c.Max)
+	}
+}
+
+func getDigest(r *codec.Reader) *TDigest {
+	d := &TDigest{Limit: int(r.Uvarint())}
+	n := int(r.Uvarint())
+	if d.Limit < 1 || d.Limit > maxDigestLimit || n < 0 || n > 4*d.Limit+8 {
+		panic(codec.ErrCorrupt{})
+	}
+	for i := 0; i < n; i++ {
+		c := Centroid{
+			Mean:  r.Float64(),
+			Count: int64(r.Uvarint()),
+			Min:   r.Float64(),
+			Max:   r.Float64(),
+		}
+		if c.Count < 1 || math.IsNaN(c.Min) || math.IsNaN(c.Max) || c.Min > c.Max {
+			panic(codec.ErrCorrupt{})
+		}
+		d.Cs = append(d.Cs, c)
+	}
+	return d
+}
+
+func putKMV(w *codec.Writer, s *KMV) {
+	w.PutUvarint(uint64(s.K))
+	w.PutBool(s.Exact)
+	w.PutUvarint(uint64(len(s.Hs)))
+	prev := uint64(0)
+	for i, h := range s.Hs {
+		if i == 0 {
+			w.PutUvarint(h)
+		} else {
+			w.PutUvarint(h - prev) // ascending, so deltas stay small
+		}
+		prev = h
+	}
+}
+
+func getKMV(r *codec.Reader) *KMV {
+	s := &KMV{K: int(r.Uvarint()), Exact: r.Bool()}
+	n := int(r.Uvarint())
+	if s.K < 1 || s.K > maxSketchK || n < 0 || n > s.K {
+		panic(codec.ErrCorrupt{})
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		d := r.Uvarint()
+		h := prev + d
+		if i > 0 && (d == 0 || h < prev) {
+			panic(codec.ErrCorrupt{}) // not strictly ascending / overflow
+		}
+		s.Hs = append(s.Hs, h)
+		prev = h
+	}
+	return s
+}

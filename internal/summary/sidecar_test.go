@@ -1,0 +1,135 @@
+package summary
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"st4ml/internal/index"
+)
+
+type sumRec struct {
+	id  int64
+	box index.Box
+	val float64
+}
+
+func makeSummary(t testing.TB, seed int64, n, blockRecords int) *PartitionSummary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	domain := index.Box{Min: [3]float64{-74, 40, 0}, Max: [3]float64{-73, 41, 100000}}
+	recs := make([]sumRec, n)
+	for i := range recs {
+		recs[i] = sumRec{id: int64(i % 100), box: randBox(rng, domain), val: rng.NormFloat64()}
+	}
+	return Build(recs,
+		func(r sumRec) index.Box { return r.box },
+		func(r sumRec) (float64, bool) { return r.val, true },
+		func(r sumRec) int64 { return r.id },
+		Config{BlockRecords: blockRecords})
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, bn int }{{0, 0}, {1, 0}, {100, 0}, {1000, 64}, {777, 100}} {
+		ps := makeSummary(t, int64(tc.n), tc.n, tc.bn)
+		enc := EncodeSidecar(ps)
+		got, err := DecodeSidecar(enc)
+		if err != nil {
+			t.Fatalf("n=%d bn=%d: %v", tc.n, tc.bn, err)
+		}
+		if !reflect.DeepEqual(ps, got) {
+			t.Fatalf("n=%d bn=%d: roundtrip mismatch", tc.n, tc.bn)
+		}
+		// Encoding is deterministic (shards must agree byte-for-byte).
+		if !bytes.Equal(enc, EncodeSidecar(got)) {
+			t.Fatalf("n=%d bn=%d: re-encode differs", tc.n, tc.bn)
+		}
+	}
+}
+
+// TestSidecarNoValue covers schemas without a payload attribute (no
+// digests anywhere in the stream).
+func TestSidecarNoValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	domain := index.Box{Min: [3]float64{0, 0, 0}, Max: [3]float64{1, 1, 0}}
+	recs := make([]sumRec, 300)
+	for i := range recs {
+		recs[i] = sumRec{id: int64(i), box: randBox(rng, domain)}
+	}
+	ps := Build(recs,
+		func(r sumRec) index.Box { return r.box },
+		nil,
+		func(r sumRec) int64 { return r.id },
+		Config{BlockRecords: 50})
+	if ps.HasValue || ps.Digest != nil {
+		t.Fatal("no-value build should not carry digests")
+	}
+	got, err := DecodeSidecar(EncodeSidecar(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ps, got) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+// TestSidecarEveryByteFlip is the loud-failure wall: flipping any single
+// byte of a sidecar must either fail decode or — never — change the
+// decoded summary silently into one that mis-estimates. We require the
+// stronger property outright: every flip fails decode, except flips that
+// decode back to a byte-identical stream (impossible here, so: every flip
+// errors).
+func TestSidecarEveryByteFlip(t *testing.T) {
+	ps := makeSummary(t, 11, 400, 64)
+	enc := EncodeSidecar(ps)
+	if len(enc) > 1<<20 {
+		t.Fatalf("sidecar unexpectedly large: %d bytes", len(enc))
+	}
+	for off := 0; off < len(enc); off++ {
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0xff
+		got, err := DecodeSidecar(mut)
+		if err != nil {
+			continue
+		}
+		// A flip that still decodes must re-encode to the mutated bytes
+		// (i.e. the flip landed in truly dead space — there is none).
+		if !bytes.Equal(EncodeSidecar(got), mut) {
+			t.Fatalf("byte flip at %d/%d decoded silently", off, len(enc))
+		}
+	}
+}
+
+// TestSidecarTruncation: every prefix must fail loudly.
+func TestSidecarTruncation(t *testing.T) {
+	enc := EncodeSidecar(makeSummary(t, 12, 300, 64))
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeSidecar(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded silently", n, len(enc))
+		}
+	}
+	// Trailing garbage is corruption too.
+	if _, err := DecodeSidecar(append(append([]byte(nil), enc...), 0x00)); err == nil {
+		t.Fatal("trailing byte decoded silently")
+	}
+}
+
+// FuzzSummarySidecar feeds arbitrary bytes and mutated valid sidecars to
+// the decoder: it must never panic, and whatever decodes must re-encode
+// byte-identically (no silent acceptance of corrupt envelopes).
+func FuzzSummarySidecar(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("STSM"))
+	f.Add(EncodeSidecar(makeSummary(f, 1, 100, 32)))
+	f.Add(EncodeSidecar(makeSummary(f, 2, 0, 0)))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ps, err := DecodeSidecar(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeSidecar(ps), b) {
+			t.Fatalf("accepted bytes that do not re-encode identically")
+		}
+	})
+}

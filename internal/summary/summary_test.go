@@ -1,0 +1,396 @@
+package summary
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"st4ml/internal/index"
+)
+
+// randBox returns a record box inside domain: mostly points, sometimes
+// extended boxes (trajectory-like) spanning a fraction of the domain.
+func randBox(rng *rand.Rand, domain index.Box) index.Box {
+	var b index.Box
+	for d := 0; d < index.Dims; d++ {
+		w := domain.Max[d] - domain.Min[d]
+		lo := domain.Min[d] + rng.Float64()*w
+		span := 0.0
+		if rng.Intn(4) == 0 { // 25% extended records
+			span = rng.Float64() * 0.3 * w
+		}
+		hi := lo + span
+		if hi > domain.Max[d] {
+			hi = domain.Max[d]
+		}
+		b.Min[d], b.Max[d] = lo, hi
+	}
+	return b
+}
+
+func randWindow(rng *rand.Rand, domain index.Box) index.Box {
+	var w index.Box
+	for d := 0; d < index.Dims; d++ {
+		span := domain.Max[d] - domain.Min[d]
+		a := domain.Min[d] + (rng.Float64()*1.4-0.2)*span // sometimes outside
+		b := domain.Min[d] + (rng.Float64()*1.4-0.2)*span
+		if a > b {
+			a, b = b, a
+		}
+		w.Min[d], w.Max[d] = a, b
+	}
+	return w
+}
+
+// TestGridCountBounds is the core statistical guarantee: for random record
+// sets (points and extended boxes) and random windows, the exact
+// intersecting count always lies in the grid's [lo, hi] envelope, at every
+// resolution, and the estimate stays inside the envelope.
+func TestGridCountBounds(t *testing.T) {
+	domain := index.Box{Min: [3]float64{-74.1, 40.6, 0}, Max: [3]float64{-73.7, 40.9, 86400}}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(500)
+		boxes := make([]index.Box, n)
+		bounds := index.EmptyBox()
+		for i := range boxes {
+			boxes[i] = randBox(rng, domain)
+			bounds = bounds.Union(boxes[i])
+		}
+		for _, res := range []int{1, 2, 4, 8, 16} {
+			g := NewGrid(bounds, res)
+			for _, b := range boxes {
+				g.Add(b)
+			}
+			if g.Total() != int64(n) {
+				t.Fatalf("seed %d res %d: total %d want %d", seed, res, g.Total(), n)
+			}
+			for wi := 0; wi < 50; wi++ {
+				w := randWindow(rng, domain)
+				var exact int64
+				for _, b := range boxes {
+					if b.Intersects(w) {
+						exact++
+					}
+				}
+				lo, hi, est := g.CountRange(w)
+				if exact < lo || exact > hi {
+					t.Fatalf("seed %d res %d window %v: exact %d outside [%d,%d]", seed, res, w, exact, lo, hi)
+				}
+				if est < float64(lo) || est > float64(hi) {
+					t.Fatalf("est %v outside [%d,%d]", est, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestGridDegenerate covers zero-width axes (2-d schemas have a
+// zero-width time axis) and a single record.
+func TestGridDegenerate(t *testing.T) {
+	b := index.Box{Min: [3]float64{1, 2, 5}, Max: [3]float64{1, 2, 5}}
+	g := NewGrid(b, 4)
+	g.Add(b)
+	lo, hi, _ := g.CountRange(b)
+	if lo != 1 || hi != 1 {
+		t.Fatalf("point query on point record: [%d,%d] want [1,1]", lo, hi)
+	}
+	miss := index.Box{Min: [3]float64{2, 3, 6}, Max: [3]float64{3, 4, 7}}
+	if lo, hi, _ := g.CountRange(miss); lo != 0 || hi != 0 {
+		t.Fatalf("disjoint window: [%d,%d] want [0,0]", lo, hi)
+	}
+}
+
+// TestGridMerge pins merge-then-query ≡ query-then-combine for histograms:
+// a merged grid's envelope equals the sum of the parts' envelopes.
+func TestGridMerge(t *testing.T) {
+	domain := index.Box{Min: [3]float64{0, 0, 0}, Max: [3]float64{10, 10, 10}}
+	rng := rand.New(rand.NewSource(7))
+	g1, g2 := NewGrid(domain, 8), NewGrid(domain, 8)
+	for i := 0; i < 300; i++ {
+		g1.Add(randBox(rng, domain))
+		g2.Add(randBox(rng, domain))
+	}
+	merged := NewGrid(domain, 8)
+	if err := merged.Merge(g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(g2); err != nil {
+		t.Fatal(err)
+	}
+	for wi := 0; wi < 40; wi++ {
+		w := randWindow(rng, domain)
+		lo1, hi1, _ := g1.CountRange(w)
+		lo2, hi2, _ := g2.CountRange(w)
+		lom, him, _ := merged.CountRange(w)
+		if lom != lo1+lo2 || him != hi1+hi2 {
+			t.Fatalf("merge envelope [%d,%d] != sum [%d,%d]", lom, him, lo1+lo2, hi1+hi2)
+		}
+	}
+	bad := NewGrid(domain, 4)
+	if err := merged.Merge(bad); err == nil {
+		t.Fatal("merging mismatched resolutions should fail")
+	}
+}
+
+// exactQuantile computes the rank-ceil(q·n) order statistic brute-force.
+func exactQuantile(vals []float64, q float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	r := quantileRank(q, int64(len(s)))
+	return s[r-1]
+}
+
+// TestQuantileBoundsCertain: with only certain digests, the bound interval
+// must contain the exact quantile for random data and q.
+func TestQuantileBoundsCertain(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3000)
+		vals := make([]float64, n)
+		d := NewTDigest(32)
+		for i := range vals {
+			// Mixed distribution with duplicates and negatives.
+			switch rng.Intn(3) {
+			case 0:
+				vals[i] = rng.NormFloat64() * 100
+			case 1:
+				vals[i] = float64(rng.Intn(10))
+			default:
+				vals[i] = rng.Float64()
+			}
+			d.Add(vals[i])
+		}
+		if d.Total() != int64(n) {
+			t.Fatalf("total %d want %d", d.Total(), n)
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+			exact := exactQuantile(vals, q)
+			lo, hi, ok := QuantileBounds(q, []*TDigest{d}, nil)
+			if !ok {
+				t.Fatal("expected ok")
+			}
+			if exact < lo || exact > hi {
+				t.Fatalf("seed %d q %v: exact %v outside [%v,%v]", seed, q, exact, lo, hi)
+			}
+			est := d.Quantile(q)
+			if clamp(est, lo, hi) < lo || clamp(est, lo, hi) > hi {
+				t.Fatal("clamped estimate escaped the envelope")
+			}
+		}
+	}
+}
+
+// TestQuantileBoundsUncertain models straddling blocks: the certain set is
+// definitely selected, each uncertain value may or may not be. The bound
+// must hold for EVERY realizable subset, checked against random subsets
+// plus the two extremes.
+func TestQuantileBoundsUncertain(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nc, nu := rng.Intn(400), 1+rng.Intn(400)
+		certainVals := make([]float64, nc)
+		uncertainVals := make([]float64, nu)
+		dc, du := NewTDigest(24), NewTDigest(24)
+		for i := range certainVals {
+			certainVals[i] = rng.NormFloat64() * 50
+			dc.Add(certainVals[i])
+		}
+		for i := range uncertainVals {
+			uncertainVals[i] = rng.NormFloat64()*50 + 20
+			du.Add(uncertainVals[i])
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.95, 1} {
+			lo, hi, ok := QuantileBounds(q, []*TDigest{dc}, []*TDigest{du})
+			if !ok {
+				t.Fatal("expected ok")
+			}
+			trial := func(sel []float64) {
+				if len(sel) == 0 {
+					return // quantile of an empty selection is undefined
+				}
+				exact := exactQuantile(sel, q)
+				if exact < lo || exact > hi {
+					t.Fatalf("seed %d q %v: realizable exact %v outside [%v,%v] (nc=%d nsel=%d)",
+						seed, q, exact, lo, hi, nc, len(sel))
+				}
+			}
+			trial(certainVals)
+			trial(append(append([]float64(nil), certainVals...), uncertainVals...))
+			for k := 0; k < 10; k++ {
+				sel := append([]float64(nil), certainVals...)
+				for _, v := range uncertainVals {
+					if rng.Intn(2) == 0 {
+						sel = append(sel, v)
+					}
+				}
+				trial(sel)
+			}
+		}
+	}
+}
+
+// TestDigestMergeProperty is the satellite merge property: merging digests
+// then querying gives an envelope consistent with querying the combined
+// value stream directly — both contain the exact quantile, and totals add.
+func TestDigestMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var all []float64
+	parts := make([]*TDigest, 4)
+	merged := NewTDigest(32)
+	for p := range parts {
+		parts[p] = NewTDigest(32)
+		for i := 0; i < 500; i++ {
+			v := rng.NormFloat64() * float64(p+1)
+			parts[p].Add(v)
+			all = append(all, v)
+		}
+		merged.Merge(parts[p])
+	}
+	if merged.Total() != int64(len(all)) {
+		t.Fatalf("merged total %d want %d", merged.Total(), len(all))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		exact := exactQuantile(all, q)
+		lo1, hi1, _ := QuantileBounds(q, []*TDigest{merged}, nil)
+		lo2, hi2, _ := QuantileBounds(q, parts, nil)
+		if exact < lo1 || exact > hi1 {
+			t.Fatalf("q %v: exact %v outside merged bounds [%v,%v]", q, exact, lo1, hi1)
+		}
+		if exact < lo2 || exact > hi2 {
+			t.Fatalf("q %v: exact %v outside multi-digest bounds [%v,%v]", q, exact, lo2, hi2)
+		}
+	}
+}
+
+func TestKMV(t *testing.T) {
+	s := NewKMV(64)
+	for i := 0; i < 40; i++ {
+		s.Add(int64(i % 20)) // 20 distinct, duplicated
+	}
+	est, exact := s.Estimate()
+	if !exact || est != 20 {
+		t.Fatalf("below k: est %v exact %v, want 20 exact", est, exact)
+	}
+	big := NewKMV(64)
+	for i := 0; i < 10000; i++ {
+		big.Add(int64(i))
+	}
+	est, exact = big.Estimate()
+	if exact {
+		t.Fatal("10000 ids through k=64 cannot be exact")
+	}
+	if est < 5000 || est > 20000 {
+		t.Fatalf("estimate %v too far from 10000", est)
+	}
+	// Merge ≡ single-stream: same K-minimum set either way.
+	a, b, whole := NewKMV(64), NewKMV(64), NewKMV(64)
+	for i := 0; i < 3000; i++ {
+		if i%2 == 0 {
+			a.Add(int64(i))
+		} else {
+			b.Add(int64(i))
+		}
+		whole.Add(int64(i))
+	}
+	a.Merge(b)
+	ea, _ := a.Estimate()
+	ew, _ := whole.Estimate()
+	if math.Abs(ea-ew) > 1e-9 {
+		t.Fatalf("merged estimate %v != single-stream %v", ea, ew)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Agg: "count"}).Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Spec{Agg: "quantile", Q: 0.5}).Validate(false); err == nil {
+		t.Fatal("quantile without a value attribute should fail")
+	}
+	if err := (Spec{Agg: "quantile", Q: 1.5}).Validate(true); err == nil {
+		t.Fatal("q outside [0,1] should fail")
+	}
+	if err := (Spec{Agg: "median"}).Validate(true); err == nil {
+		t.Fatal("unknown aggregate should fail")
+	}
+}
+
+// TestBuildAlignment: Build chunks records in slice order, so block i of
+// the summary must describe records [i·bn, (i+1)·bn).
+func TestBuildAlignment(t *testing.T) {
+	type rec struct {
+		id  int64
+		box index.Box
+		val float64
+	}
+	rng := rand.New(rand.NewSource(3))
+	domain := index.Box{Min: [3]float64{0, 0, 0}, Max: [3]float64{1, 1, 1}}
+	recs := make([]rec, 1000)
+	for i := range recs {
+		recs[i] = rec{id: int64(i), box: randBox(rng, domain), val: rng.Float64()}
+	}
+	ps := Build(recs,
+		func(r rec) index.Box { return r.box },
+		func(r rec) (float64, bool) { return r.val, true },
+		func(r rec) int64 { return r.id },
+		Config{BlockRecords: 128})
+	if len(ps.Blocks) != 8 { // ceil(1000/128)
+		t.Fatalf("got %d blocks, want 8", len(ps.Blocks))
+	}
+	var total int64
+	for bi, bs := range ps.Blocks {
+		total += bs.Count
+		lo, hi := bi*128, (bi+1)*128
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if bs.Count != int64(hi-lo) {
+			t.Fatalf("block %d count %d want %d", bi, bs.Count, hi-lo)
+		}
+		want := index.EmptyBox()
+		for _, r := range recs[lo:hi] {
+			want = want.Union(r.box)
+		}
+		if bs.Bounds != want {
+			t.Fatalf("block %d bounds mismatch", bi)
+		}
+		if bs.Grid.Total() != bs.Count {
+			t.Fatalf("block %d grid total %d want %d", bi, bs.Grid.Total(), bs.Count)
+		}
+		if bs.Digest.Total() != bs.Count {
+			t.Fatalf("block %d digest total %d want %d", bi, bs.Digest.Total(), bs.Count)
+		}
+	}
+	if total != ps.Count || ps.Count != 1000 {
+		t.Fatalf("counts: blocks %d partition %d", total, ps.Count)
+	}
+	if len(ps.Grids) != 2 { // default {4, 8}, both coarser than 1000 records
+		t.Fatalf("want 2 partition grid resolutions, got %d", len(ps.Grids))
+	}
+	if ps.Distinct == nil || ps.Digest == nil || !ps.HasValue {
+		t.Fatal("partition sketches missing")
+	}
+	est, exact := ps.Distinct.Estimate()
+	if exact || est < 800 || est > 1200 {
+		// 1000 distinct ids through k=64: inexact but within ~1/sqrt(k).
+		t.Fatalf("distinct: %v exact=%v, want inexact near 1000", est, exact)
+	}
+	// Erased builder round-trips through any.
+	b := NewBuilder(
+		func(r rec) index.Box { return r.box },
+		func(r rec) (float64, bool) { return r.val, true },
+		func(r rec) int64 { return r.id },
+		Config{})
+	ps2, err := b.Build(recs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.Count != 1000 || len(ps2.Blocks) != 8 {
+		t.Fatalf("builder: count %d blocks %d", ps2.Count, len(ps2.Blocks))
+	}
+	if _, err := b.Build([]int{1, 2}, 128); err == nil {
+		t.Fatal("wrong record type should fail")
+	}
+}

@@ -1,0 +1,238 @@
+package summary
+
+import (
+	"math"
+	"sort"
+)
+
+// Centroid is one t-digest cluster. Alongside the usual mean/count it
+// keeps the exact min and max of the values it absorbed, which is what
+// turns the digest from an estimator into a bound: however values are
+// clustered, every absorbed value provably lies in [Min, Max].
+type Centroid struct {
+	Mean  float64 `json:"mean"`
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// TDigest is a mergeable quantile sketch: at most ~Limit centroids, each
+// carrying exact count/min/max. Compression greedily merges the adjacent
+// pair whose union has the narrowest [Min, Max] span, keeping centroids
+// tight so the rank-enclosure bounds (QuantileBounds) stay useful.
+// All fields are exported so the sketch serializes over the wire as-is.
+type TDigest struct {
+	Limit int        `json:"limit"`
+	Cs    []Centroid `json:"cs,omitempty"`
+}
+
+// maxDigestLimit bounds decoded digests against corrupt sidecars.
+const maxDigestLimit = 4096
+
+// NewTDigest returns an empty digest keeping at most limit centroids.
+func NewTDigest(limit int) *TDigest {
+	if limit < 4 {
+		limit = 4
+	}
+	return &TDigest{Limit: limit}
+}
+
+// Add absorbs one value. NaNs are dropped (they have no rank).
+func (d *TDigest) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	d.Cs = append(d.Cs, Centroid{Mean: v, Count: 1, Min: v, Max: v})
+	if len(d.Cs) > 4*d.Limit {
+		d.compress()
+	}
+}
+
+// Merge folds o into d. o is not modified.
+func (d *TDigest) Merge(o *TDigest) {
+	if o == nil || len(o.Cs) == 0 {
+		return
+	}
+	d.Cs = append(d.Cs, o.Cs...)
+	if len(d.Cs) > 4*d.Limit {
+		d.compress()
+	}
+}
+
+// Total returns the number of values absorbed.
+func (d *TDigest) Total() int64 {
+	if d == nil {
+		return 0
+	}
+	var n int64
+	for _, c := range d.Cs {
+		n += c.Count
+	}
+	return n
+}
+
+// Compact compresses down to at most Limit centroids. Called once a digest
+// stops absorbing values, so the persisted form pays for Limit centroids
+// rather than the 4x ingestion buffer.
+func (d *TDigest) Compact() {
+	if d != nil && len(d.Cs) > d.Limit {
+		d.compress()
+	}
+}
+
+// Clone returns an independent copy.
+func (d *TDigest) Clone() *TDigest {
+	if d == nil {
+		return nil
+	}
+	return &TDigest{Limit: d.Limit, Cs: append([]Centroid(nil), d.Cs...)}
+}
+
+// compress sorts by mean and merges adjacent centroids — always the pair
+// whose merged [Min, Max] span is narrowest — until at most Limit remain.
+func (d *TDigest) compress() {
+	sort.Slice(d.Cs, func(i, j int) bool { return d.Cs[i].Mean < d.Cs[j].Mean })
+	for len(d.Cs) > d.Limit {
+		best, bestW := 0, math.Inf(1)
+		for i := 0; i+1 < len(d.Cs); i++ {
+			w := math.Max(d.Cs[i].Max, d.Cs[i+1].Max) - math.Min(d.Cs[i].Min, d.Cs[i+1].Min)
+			if w < bestW {
+				best, bestW = i, w
+			}
+		}
+		a, b := d.Cs[best], d.Cs[best+1]
+		n := a.Count + b.Count
+		d.Cs[best] = Centroid{
+			Mean:  (a.Mean*float64(a.Count) + b.Mean*float64(b.Count)) / float64(n),
+			Count: n,
+			Min:   math.Min(a.Min, b.Min),
+			Max:   math.Max(a.Max, b.Max),
+		}
+		d.Cs = append(d.Cs[:best+1], d.Cs[best+2:]...)
+	}
+}
+
+// Quantile returns the interpolated q-quantile estimate (no bound; pair
+// with QuantileBounds for the envelope).
+func (d *TDigest) Quantile(q float64) float64 {
+	if d == nil || len(d.Cs) == 0 {
+		return 0
+	}
+	cs := append([]Centroid(nil), d.Cs...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Mean < cs[j].Mean })
+	total := d.Total()
+	if q <= 0 {
+		return cs[0].Min
+	}
+	if q >= 1 {
+		return cs[len(cs)-1].Max
+	}
+	target := q * float64(total)
+	var cum float64
+	for _, c := range cs {
+		n := float64(c.Count)
+		if cum+n >= target {
+			if n <= 1 || c.Max <= c.Min {
+				return c.Mean
+			}
+			f := (target - cum) / n
+			return c.Min + f*(c.Max-c.Min)
+		}
+		cum += n
+	}
+	return cs[len(cs)-1].Max
+}
+
+// quantileRank is the 1-based rank of the q-quantile in a multiset of n
+// values: ceil(q·n) clamped into [1, n] (q=0 → the minimum, q=1 → the
+// maximum). Nondecreasing in n, which the enclosure below relies on.
+func quantileRank(q float64, n int64) int64 {
+	if n <= 0 {
+		return 1
+	}
+	r := int64(math.Ceil(q * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// QuantileBounds returns a closed interval [lo, hi] certain to contain the
+// exact q-quantile of the selected values, given digests over values
+// certainly selected and digests over values possibly selected. ok is
+// false when no value can be selected at all (empty envelope).
+//
+// The argument: the selected count n lies in [nLo, nHi] (certain total,
+// certain+uncertain total), so the target rank r lies in
+// [rank(q,nLo), rank(q,nHi)]. Fewer than rank(q,nLo) values can be below
+// any threshold t that fewer-than-that many centroid Mins precede, so the
+// quantile is >= the first centroid Min at which the cumulative count
+// (over all candidate values) reaches rank(q,nLo). Symmetrically, at least
+// rank(q,nHi) certainly-selected values sit at or below the first certain
+// centroid Max whose cumulative count reaches rank(q,nHi), so the quantile
+// is <= it; if the certain mass never reaches that rank, the global max of
+// all candidate values bounds it instead.
+func QuantileBounds(q float64, certain, uncertain []*TDigest) (lo, hi float64, ok bool) {
+	var all, sure []Centroid
+	var nLo, nHi int64
+	for _, d := range certain {
+		if d == nil {
+			continue
+		}
+		all = append(all, d.Cs...)
+		sure = append(sure, d.Cs...)
+		nLo += d.Total()
+	}
+	nHi = nLo
+	for _, d := range uncertain {
+		if d == nil {
+			continue
+		}
+		all = append(all, d.Cs...)
+		nHi += d.Total()
+	}
+	if nHi == 0 || len(all) == 0 {
+		return 0, 0, false
+	}
+	rMin := int64(1)
+	if nLo > 0 {
+		rMin = quantileRank(q, nLo)
+	}
+	rMax := quantileRank(q, nHi)
+
+	sort.Slice(all, func(i, j int) bool { return all[i].Min < all[j].Min })
+	var cum int64
+	lo = all[0].Min
+	for _, c := range all {
+		cum += c.Count
+		if cum >= rMin {
+			lo = c.Min
+			break
+		}
+	}
+	globalMax := all[0].Max
+	for _, c := range all {
+		if c.Max > globalMax {
+			globalMax = c.Max
+		}
+	}
+	hi = globalMax
+	sort.Slice(sure, func(i, j int) bool { return sure[i].Max < sure[j].Max })
+	cum = 0
+	for _, c := range sure {
+		cum += c.Count
+		if cum >= rMax {
+			hi = c.Max
+			break
+		}
+	}
+	if lo > hi {
+		// Can only happen through rounding at the rank seams; widen to stay
+		// conservative rather than return an inverted interval.
+		lo = hi
+	}
+	return lo, hi, true
+}

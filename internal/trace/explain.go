@@ -53,6 +53,13 @@ const (
 	// matched updates enqueued to (or dropped by) subscriber queues.
 	SpanSubscribeMatch = "subscribe:match"
 	SpanSubscribePush  = "subscribe:push"
+	// SpanApprox is one approximate (summary-tier) aggregate evaluation;
+	// attrs carry the aggregate plus the summary/scan totals. Its
+	// approx:partition children record per-partition provenance — whether
+	// each partition was answered from its sidecar, a mix of sidecar and
+	// exact scans, or a transparent exact fallback.
+	SpanApprox     = "approx"
+	SpanApproxPart = "approx:partition"
 )
 
 // StageExplain is the per-stage line of an explain report.
@@ -120,6 +127,13 @@ type Explain struct {
 	PartitionLoads  int64   `json:"partition_cache_loads"`
 	AdmissionWaitMS float64 `json:"admission_wait_ms"`
 
+	// Approx is the approximate-tier report: totals plus per-partition
+	// estimated-vs-exact provenance; nil outside an approx=true query. On a
+	// routed query the shard spans are grafted into the same dump, so the
+	// totals aggregate what every shard consumed and the parts concatenate
+	// across shards.
+	Approx *ApproxExplain `json:"approx,omitempty"`
+
 	// Scatter is the cluster router's fan-out report; nil outside a routed
 	// query. The shard spans it summarizes are grafted into the same dump,
 	// so the block/partition/record counters above already include the
@@ -129,6 +143,31 @@ type Explain struct {
 	Stages []StageExplain `json:"stages"`
 	WallMS float64        `json:"wall_ms"`
 	Spans  int            `json:"spans"`
+}
+
+// ApproxExplain is the approximate-tier section of an explain report.
+type ApproxExplain struct {
+	Agg string `json:"agg,omitempty"`
+	// SummaryBlocks counts block summaries consumed; ScannedBlocks and
+	// ScannedRecords count the exact reads done alongside (boundary
+	// blocks, delta files, fallback scans).
+	SummaryBlocks  int64 `json:"summary_blocks"`
+	ScannedBlocks  int64 `json:"scanned_blocks"`
+	ScannedRecords int64 `json:"scanned_records"`
+	// Fallback marks at least one partition answered by a transparent
+	// exact scan because it had no usable sidecar.
+	Fallback bool `json:"fallback,omitempty"`
+	// Parts is the per-partition provenance, one line per partition walked.
+	Parts []ApproxPartExplain `json:"parts,omitempty"`
+}
+
+// ApproxPartExplain is one partition's estimated-vs-exact provenance line.
+type ApproxPartExplain struct {
+	ID             int64  `json:"id"`
+	Source         string `json:"source"`
+	SummaryBlocks  int64  `json:"summary_blocks"`
+	ScannedBlocks  int64  `json:"scanned_blocks"`
+	ScannedRecords int64  `json:"scanned_records"`
 }
 
 // ScatterExplain summarizes a routed query's fan-out: how many shards the
@@ -233,6 +272,36 @@ func Build(spans []SpanRecord) *Explain {
 			if v, ok := s.Int("records"); ok {
 				e.SubscribeRecords += v
 			}
+		case s.Name == SpanApprox:
+			if e.Approx == nil {
+				e.Approx = &ApproxExplain{}
+			}
+			if v, ok := s.Str("agg"); ok {
+				e.Approx.Agg = v
+			}
+			if v, ok := s.Int("summary_blocks"); ok {
+				e.Approx.SummaryBlocks += v
+			}
+			if v, ok := s.Int("scanned_blocks"); ok {
+				e.Approx.ScannedBlocks += v
+			}
+			if v, ok := s.Int("scanned_records"); ok {
+				e.Approx.ScannedRecords += v
+			}
+			if s.BoolAttr("fallback") {
+				e.Approx.Fallback = true
+			}
+		case s.Name == SpanApproxPart:
+			if e.Approx == nil {
+				e.Approx = &ApproxExplain{}
+			}
+			p := ApproxPartExplain{}
+			p.ID, _ = s.Int("partition")
+			p.Source, _ = s.Str("source")
+			p.SummaryBlocks, _ = s.Int("summary_blocks")
+			p.ScannedBlocks, _ = s.Int("scanned_blocks")
+			p.ScannedRecords, _ = s.Int("scanned_records")
+			e.Approx.Parts = append(e.Approx.Parts, p)
 		case s.Name == SpanScatter:
 			// The router plans from the same metadata a single node would,
 			// so its scatter span carries the partition-prune outcome; the
@@ -361,6 +430,18 @@ func (e *Explain) Fprint(w io.Writer) {
 	if e.ResultCache != "" {
 		fmt.Fprintf(w, "serving: result cache %s; partitions %d cached, %d loaded; admission wait %.3f ms\n",
 			e.ResultCache, e.PartitionHits, e.PartitionLoads, e.AdmissionWaitMS)
+	}
+	if e.Approx != nil {
+		fmt.Fprintf(w, "approx: agg=%s; %d summary blocks, %d blocks scanned, %d records scanned",
+			e.Approx.Agg, e.Approx.SummaryBlocks, e.Approx.ScannedBlocks, e.Approx.ScannedRecords)
+		if e.Approx.Fallback {
+			fmt.Fprintf(w, "; exact fallback")
+		}
+		fmt.Fprintf(w, "\n")
+		for _, p := range e.Approx.Parts {
+			fmt.Fprintf(w, "  partition %d: %s (%d summary blocks, %d scanned, %d records)\n",
+				p.ID, p.Source, p.SummaryBlocks, p.ScannedBlocks, p.ScannedRecords)
+		}
 	}
 	if e.Scatter != nil {
 		fmt.Fprintf(w, "scatter: %d/%d shards; %d hedged, %d failovers, %d replans\n",
