@@ -17,6 +17,7 @@ STORAGE_FLOOR   ?= 80.0
 SERVE_FLOOR     ?= 80.0
 SUBSCRIBE_FLOOR ?= 85.0
 SUMMARY_FLOOR   ?= 85.0
+POINTPAT_FLOOR  ?= 80.0
 
 build:
 	$(GO) build ./...
@@ -39,27 +40,29 @@ cover:
 	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
 		if (t+0 < floor+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
 		printf "coverage %.1f%% >= %.1f%% floor\n", t, floor }'
-	@$(GO) test -cover ./internal/codec ./internal/storage ./internal/serve ./internal/subscribe ./internal/summary | \
-	awk -v cf="$(CODEC_FLOOR)" -v sf="$(STORAGE_FLOOR)" -v vf="$(SERVE_FLOOR)" -v bf="$(SUBSCRIBE_FLOOR)" -v mf="$(SUMMARY_FLOOR)" ' \
+	@$(GO) test -cover ./internal/codec ./internal/storage ./internal/serve ./internal/subscribe ./internal/summary ./internal/pointpat | \
+	awk -v cf="$(CODEC_FLOOR)" -v sf="$(STORAGE_FLOOR)" -v vf="$(SERVE_FLOOR)" -v bf="$(SUBSCRIBE_FLOOR)" -v mf="$(SUMMARY_FLOOR)" -v pf="$(POINTPAT_FLOOR)" ' \
 		{ for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { sub(/%/, "", $$i); cov = $$i } \
 		  floor = sf; \
 		  if ($$2 ~ /codec$$/) floor = cf; \
 		  else if ($$2 ~ /subscribe$$/) floor = bf; \
 		  else if ($$2 ~ /summary$$/) floor = mf; \
 		  else if ($$2 ~ /serve$$/) floor = vf; \
+		  else if ($$2 ~ /pointpat$$/) floor = pf; \
 		  if (cov+0 < floor+0) { printf "%s coverage %.1f%% is below its %.1f%% floor\n", $$2, cov, floor; bad = 1 } \
 		  else printf "%s coverage %.1f%% >= %.1f%% floor\n", $$2, cov, floor } \
 		END { exit bad }'
 
-# docs fails if any package is missing a package comment, keeping the
-# godoc entry point of every subsystem present (see ARCHITECTURE.md for
-# the prose tour).
+# docs fails if any package is missing a package comment — or carrying a
+# trivial one (under 60 characters buys no godoc entry point worth
+# having) — keeping the prose tour of every subsystem present (see
+# ARCHITECTURE.md).
 docs:
-	@missing=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...); \
+	@missing=$$($(GO) list -f '{{if lt (len .Doc) 60}}{{.ImportPath}} ({{len .Doc}} chars){{end}}' ./...); \
 	if [ -n "$$missing" ]; then \
-		echo "packages missing a package comment:"; echo "$$missing"; exit 1; \
+		echo "packages missing a non-trivial package comment (>= 60 chars):"; echo "$$missing"; exit 1; \
 	fi; \
-	echo "all packages have package comments"
+	echo "all packages have non-trivial package comments"
 
 # fuzz-smoke runs each byte-format fuzzer for a short bounded burst, so
 # the pre-merge gate gets real randomized coverage of the column codecs
@@ -92,6 +95,7 @@ check:
 	$(GO) test -race -count=1 -run TestIngestSmoke ./cmd/stingest
 	$(GO) test -race -count=1 -run TestClusterSmoke ./cmd/strouter
 	$(GO) test -race -count=1 -run TestApproxBytesSmoke ./internal/bench
+	$(GO) test -race -count=1 -run TestPointPatSmoke ./internal/pointpat
 
 # check-nightly is the long gate: the entire suite, full-length and
 # uncached, under the race detector. It subsumes `make race` (which

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig5|blocks|encode|compact|approx|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|cluster|subscribe|all")
+		exp       = flag.String("exp", "all", "experiment: fig5|blocks|encode|compact|approx|pointpat|fig6|table5|table6|fig7|table8|fig9|table9|ablation|fig7sweep|serve|cluster|subscribe|all")
 		events    = flag.Int("events", 200_000, "NYC-like event count")
 		trajs     = flag.Int("trajs", 20_000, "Porto-like trajectory count")
 		pois      = flag.Int("pois", 100_000, "OSM-like POI count")
@@ -127,6 +127,23 @@ func run(exp string, cfg engine.Config, scale bench.Scale, windows, clients int,
 		}
 		if all || want["table9"] {
 			bench.Table9Table(bench.Table9(ctx, city, 2, 400)).Fprint(os.Stdout)
+		}
+	}
+	// The point-pattern benchmark runs on in-memory corpora — no store, no
+	// environment — so it precedes the workdir setup.
+	if all || want["pointpat"] {
+		rows, err := bench.PointPat(ctx, []int{2000, 5000, 12000}, 8)
+		if err != nil {
+			return err
+		}
+		bench.PointPatTable(rows).Fprint(os.Stdout)
+		for _, row := range rows {
+			if err := bench.WriteJSONRow(os.Stdout, "pointpat", row); err != nil {
+				return err
+			}
+			if err := emit("pointpat", row); err != nil {
+				return err
+			}
 		}
 	}
 	needEnv := all || want["fig5"] || want["blocks"] || want["encode"] || want["compact"] ||

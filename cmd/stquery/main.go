@@ -21,6 +21,17 @@
 // -events updates have arrived (0 streams until interrupted):
 //
 //	stquery -server http://localhost:8080 -dataset nyc -subscribe -events 10 ...
+//
+// With -pointpat the selected window feeds a distributed point-pattern
+// statistic instead of a plain count: k estimates the edge-corrected
+// space-time Ripley's K function over a -radii × -lags grid (with
+// partition halo exchange for exact boundary pairs), getis computes
+// Getis-Ord Gi* hot-spot z-scores over a -cells × -tslots raster.
+// -pointpat-brute additionally runs the single-partition brute-force
+// oracle and fails on any bit divergence:
+//
+//	stquery -dir /data/nyc -dataset nyc -pointpat k -radii 0.005,0.01 -lags 1800,3600 ...
+//	stquery -dir /data/nyc -dataset nyc -pointpat getis -cells 16 -tslots 8 -zthresh 2.5 ...
 package main
 
 import (
@@ -30,12 +41,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"st4ml/internal/engine"
 	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/pointpat"
 	"st4ml/internal/selection"
 	"st4ml/internal/serve"
 	"st4ml/internal/stdata"
@@ -68,10 +84,24 @@ func main() {
 		quantile  = flag.Float64("q", 0.5, "with -approx -agg quantile: quantile in [0,1]")
 		res       = flag.Int("res", 0, "with -approx -agg hist: histogram cells per axis (0 = default)")
 		approxScn = flag.Bool("approx-scan", false, "with -approx: scan boundary-straddling blocks exactly for a tighter bound")
+		pointpatS = flag.String("pointpat", "", "point-pattern statistic over the selected window: k (space-time Ripley's K) or getis (Getis-Ord Gi* hot spots)")
+		radii     = flag.String("radii", "0.005,0.01,0.02", "with -pointpat k: ascending spatial radii, coordinate units (comma-separated)")
+		lags      = flag.String("lags", "1800,3600,7200", "with -pointpat k: ascending temporal lags, seconds (comma-separated)")
+		ppParts   = flag.Int("pointpat-parts", 0, "with -pointpat: ST partition / parallelism count (0 = engine default)")
+		ppBrute   = flag.Bool("pointpat-brute", false, "with -pointpat: also run the single-partition brute-force oracle and verify bit-for-bit agreement")
+		cells     = flag.Int("cells", 8, "with -pointpat getis: raster cells per spatial axis")
+		tslots    = flag.Int("tslots", 6, "with -pointpat getis: raster time slots")
+		nbrCells  = flag.Int("nbr-cells", 1, "with -pointpat getis: spatial neighborhood radius, cells")
+		nbrSlots  = flag.Int("nbr-slots", 1, "with -pointpat getis: temporal neighborhood radius, slots")
+		zThresh   = flag.Float64("zthresh", 1.96, "with -pointpat getis: hot-spot z-score threshold")
 	)
 	flag.Parse()
 	if *subscr && *server == "" {
 		fmt.Fprintln(os.Stderr, "stquery: -subscribe requires -server")
+		os.Exit(2)
+	}
+	if *pointpatS != "" && *server != "" {
+		fmt.Fprintln(os.Stderr, "stquery: -pointpat runs against -dir, not -server")
 		os.Exit(2)
 	}
 	if *server != "" {
@@ -109,6 +139,31 @@ func main() {
 	w := selection.Window{
 		Space: geom.Box(*minx, *miny, *maxx, *maxy),
 		Time:  tempo.New(*tstart, *tend),
+	}
+	if *pointpatS != "" {
+		err := runPointPat(os.Stdout, ctx, *dataset, *dir, w, pointPatOptions{
+			Stat: *pointpatS, Radii: *radii, Lags: *lags,
+			Partitions: *ppParts, Brute: *ppBrute,
+			Cells: *cells, TSlots: *tslots,
+			NbrCells: *nbrCells, NbrSlots: *nbrSlots, ZThresh: *zThresh,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stquery:", err)
+			os.Exit(1)
+		}
+		if *metrics {
+			fmt.Println(ctx.Metrics.Snapshot())
+		}
+		if *explain {
+			trace.Build(tr.Snapshot()).Fprint(os.Stdout)
+		}
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "stquery:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	if *approx {
 		env, err := queryApprox(ctx, *dataset, *dir, w, stdata.ApproxRequest{
@@ -330,6 +385,172 @@ func writeTrace(path string, tr *trace.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// pointPatOptions bundles the -pointpat flag values.
+type pointPatOptions struct {
+	Stat               string
+	Radii, Lags        string
+	Partitions         int
+	Brute              bool
+	Cells, TSlots      int
+	NbrCells, NbrSlots int
+	ZThresh            float64
+}
+
+// runPointPat selects the window, projects matches to pattern points, and
+// runs the requested distributed point-pattern statistic.
+func runPointPat(w io.Writer, ctx *engine.Context, dataset, dir string, win selection.Window, o pointPatOptions) error {
+	sch, ok := stdata.Lookup(dataset)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	pts, stats, err := sch.SelectPoints(ctx, dir, win)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "selected %d points (%d/%d partitions loaded)\n",
+		len(pts), stats.LoadedPartitions, stats.TotalPartitions)
+	switch o.Stat {
+	case "k":
+		return runRipleyK(w, ctx, pts, o)
+	case "getis":
+		return runGetis(w, ctx, pts, o)
+	default:
+		return fmt.Errorf("unknown -pointpat statistic %q (want k or getis)", o.Stat)
+	}
+}
+
+func runRipleyK(w io.Writer, ctx *engine.Context, pts []pointpat.Point, o pointPatOptions) error {
+	radii, err := parseFloats(o.Radii)
+	if err != nil {
+		return fmt.Errorf("-radii: %w", err)
+	}
+	lags, err := parseInts(o.Lags)
+	if err != nil {
+		return fmt.Errorf("-lags: %w", err)
+	}
+	cfg := pointpat.KConfig{
+		Grid:       pointpat.Grid{Radii: radii, Lags: lags},
+		Partitions: o.Partitions,
+	}
+	res, err := pointpat.DistributedK(ctx, pts, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ripley k: n=%d region %s t[%d,%d] over %d partitions\n",
+		res.N, res.Region.Space, res.Region.Time.Start, res.Region.Time.End, res.Partitions)
+	fmt.Fprintf(w, "%10s %8s %12s %12s %14s\n", "radius", "lag", "pairs", "centers", "K")
+	for r, h := range radii {
+		for l, lag := range lags {
+			fmt.Fprintf(w, "%10g %8d %12d %12d %14.6g\n",
+				h, lag, res.Pairs[r][l], res.Centers[r][l], res.K[r][l])
+		}
+	}
+	fmt.Fprintf(w, "halo: %d points, %d bytes; pairs: %d tested, %d counted\n",
+		res.HaloPoints, res.HaloBytes, res.PairsTested, res.PairsCounted)
+	if o.Brute {
+		brute, err := pointpat.BruteForceK(pts, cfg)
+		if err != nil {
+			return err
+		}
+		if err := sameK(res, brute); err != nil {
+			return fmt.Errorf("oracle divergence: %w", err)
+		}
+		fmt.Fprintf(w, "oracle: brute force identical (%d pairs tested there)\n", brute.PairsTested)
+	}
+	return nil
+}
+
+func runGetis(w io.Writer, ctx *engine.Context, pts []pointpat.Point, o pointPatOptions) error {
+	if len(pts) == 0 {
+		fmt.Fprintln(w, "getis: no points in window")
+		return nil
+	}
+	reg := pointpat.RegionOf(pts)
+	cfg := pointpat.GetisConfig{
+		Grid: instance.RasterGrid{
+			Space: instance.SpatialGrid{Extent: reg.Space, NX: o.Cells, NY: o.Cells},
+			Time:  instance.TimeGrid{Window: reg.Time, NT: o.TSlots},
+		},
+		RadiusCells: o.NbrCells, LagSlots: o.NbrSlots,
+		Partitions: o.Partitions,
+	}
+	res, err := pointpat.DistributedGiStar(ctx, pts, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "getis-ord gi*: %d cells (%dx%dx%d), mean %.4g, std %.4g\n",
+		len(res.Counts), o.Cells, o.Cells, o.TSlots, res.Mean, res.Std)
+	hot := res.Hot(o.ZThresh)
+	fmt.Fprintf(w, "hot spots (z >= %g): %d\n", o.ZThresh, len(hot))
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Z > hot[j].Z })
+	for i, c := range hot {
+		if i == 20 {
+			fmt.Fprintf(w, "  ... %d more\n", len(hot)-20)
+			break
+		}
+		ext, slot := cfg.Grid.CellAt(c.Cell)
+		fmt.Fprintf(w, "  cell (%d,%d,%d) %s t[%d,%d]: count %d, z %.3f\n",
+			c.IX, c.IY, c.IT, ext, slot.Start, slot.End, c.Count, c.Z)
+	}
+	if o.Brute {
+		brute, err := pointpat.BruteForceGiStar(pts, cfg)
+		if err != nil {
+			return err
+		}
+		for i := range res.Z {
+			if math.Float64bits(res.Z[i]) != math.Float64bits(brute.Z[i]) ||
+				res.Counts[i] != brute.Counts[i] {
+				return fmt.Errorf("oracle divergence at cell %d: distributed (%d, %v), brute (%d, %v)",
+					i, res.Counts[i], res.Z[i], brute.Counts[i], brute.Z[i])
+			}
+		}
+		fmt.Fprintln(w, "oracle: brute force identical")
+	}
+	return nil
+}
+
+// sameK verifies two K results agree bit-for-bit.
+func sameK(a, b *pointpat.KResult) error {
+	if a.N != b.N {
+		return fmt.Errorf("n %d vs %d", a.N, b.N)
+	}
+	for r := range a.K {
+		for l := range a.K[r] {
+			if a.Pairs[r][l] != b.Pairs[r][l] || a.Centers[r][l] != b.Centers[r][l] ||
+				math.Float64bits(a.K[r][l]) != math.Float64bits(b.K[r][l]) {
+				return fmt.Errorf("cell (%d,%d): pairs %d/%d centers %d/%d K %v/%v",
+					r, l, a.Pairs[r][l], b.Pairs[r][l],
+					a.Centers[r][l], b.Centers[r][l], a.K[r][l], b.K[r][l])
+			}
+		}
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func query(ctx *engine.Context, dataset, dir string, w selection.Window, full bool) (selection.Stats, error) {

@@ -1,4 +1,4 @@
-// Trafficspeed is the paper's first case study (§6, Fig. 9): extract
+// Trafficspeed is the paper's first case study (§6, Figure 9): extract
 // time-evolving district-level traffic speeds from camera-sighting
 // trajectories over a synthetic city — 100 districts × 24 hourly slots —
 // then print the busiest hour's district speed summary.

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"st4ml/internal/datagen"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/pointpat"
+	"st4ml/internal/trace"
+)
+
+// The pointpat experiment measures the distributed space-time Ripley's K
+// estimator against its single-partition brute-force oracle on the same
+// NYC-like corpora. Two claims are on trial: the statistics are identical
+// bit-for-bit (the halo exchange makes boundary pairs exact, not
+// approximate), and the partitioned time-sweep tests far fewer candidate
+// pairs than the O(n²) oracle — sub-quadratic pair work at realistic
+// densities, with the halo volume accounted in explain.
+
+// PointPatRow is one corpus-scale measurement of distributed vs brute.
+type PointPatRow struct {
+	Points     int `json:"points"`
+	Partitions int `json:"partitions"`
+
+	BruteWallMs      float64 `json:"brute_wall_ms"`
+	BrutePairsTested int64   `json:"brute_pairs_tested"`
+	DistWallMs       float64 `json:"dist_wall_ms"`
+	DistPairsTested  int64   `json:"dist_pairs_tested"`
+	PairsCounted     int64   `json:"pairs_counted"`
+
+	HaloPoints int64 `json:"halo_points"`
+	HaloBytes  int64 `json:"halo_bytes"`
+	// ExplainHaloBytes is the halo volume as reported by the trace/explain
+	// pipeline for the same run — it must equal HaloBytes, proving the cost
+	// is observable without touching the result struct.
+	ExplainHaloBytes int64 `json:"explain_halo_bytes"`
+
+	// Identical reports bit-for-bit agreement of the distributed and brute
+	// K statistics (pair counts, center counts, and the float matrices).
+	Identical bool `json:"identical"`
+	// PairWorkFrac is dist_pairs_tested / brute_pairs_tested — the
+	// sub-quadratic headline (≪ 1 at realistic densities).
+	PairWorkFrac float64 `json:"pair_work_frac"`
+	Speedup      float64 `json:"brute_over_dist_wall"`
+}
+
+// pointPatGrid is the benchmark's evaluation grid: a few hundred metres of
+// spatial radius (in NYC degrees) by 30–120 minutes of lag.
+func pointPatGrid() pointpat.Grid {
+	return pointpat.Grid{
+		Radii: []float64{
+			geom.MetersToDegreesLat(200),
+			geom.MetersToDegreesLat(500),
+			geom.MetersToDegreesLat(1000),
+		},
+		Lags: []int64{1800, 3600, 7200},
+	}
+}
+
+// PointPat sweeps corpus scales, running the brute-force oracle and the
+// distributed halo-corrected estimator on identical point sets.
+func PointPat(ctx *engine.Context, scales []int, partitions int) ([]PointPatRow, error) {
+	var rows []PointPatRow
+	for _, n := range scales {
+		corpus := datagen.NYC(n, 31)
+		pts := make([]pointpat.Point, len(corpus))
+		for i, e := range corpus {
+			pts[i] = pointpat.Point{X: e.Loc.X, Y: e.Loc.Y, T: e.Time}
+		}
+		cfg := pointpat.KConfig{Grid: pointPatGrid(), Partitions: partitions}
+
+		t0 := time.Now()
+		brute, err := pointpat.BruteForceK(pts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		bruteMs := float64(time.Since(t0).Microseconds()) / 1000
+
+		// A per-run tracer captures the halo/paircount spans so the row can
+		// cross-check the explain report against the result's own counters.
+		tr := trace.New()
+		tctx := ctx.WithTracer(tr, 0)
+		t0 = time.Now()
+		dist, err := pointpat.DistributedK(tctx, pts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		distMs := float64(time.Since(t0).Microseconds()) / 1000
+
+		row := PointPatRow{
+			Points: n, Partitions: dist.Partitions,
+			BruteWallMs: bruteMs, BrutePairsTested: brute.PairsTested,
+			DistWallMs: distMs, DistPairsTested: dist.PairsTested,
+			PairsCounted: dist.PairsCounted,
+			HaloPoints:   dist.HaloPoints, HaloBytes: dist.HaloBytes,
+			Identical:    sameKResult(dist, brute),
+			PairWorkFrac: ratio(float64(dist.PairsTested), float64(brute.PairsTested)),
+			Speedup:      ratio(bruteMs, distMs),
+		}
+		if e := trace.Build(tr.Snapshot()); e != nil && e.PointPat != nil {
+			row.ExplainHaloBytes = e.PointPat.HaloBytes
+		}
+		if row.ExplainHaloBytes != row.HaloBytes {
+			return nil, fmt.Errorf("bench: explain halo bytes %d != result halo bytes %d",
+				row.ExplainHaloBytes, row.HaloBytes)
+		}
+		if !row.Identical {
+			return nil, fmt.Errorf("bench: distributed K diverged from brute force at n=%d", n)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// sameKResult reports bit-for-bit agreement of two K results.
+func sameKResult(a, b *pointpat.KResult) bool {
+	if a.N != b.N || a.Region != b.Region {
+		return false
+	}
+	for r := range a.K {
+		for l := range a.K[r] {
+			if a.Pairs[r][l] != b.Pairs[r][l] || a.Centers[r][l] != b.Centers[r][l] ||
+				math.Float64bits(a.K[r][l]) != math.Float64bits(b.K[r][l]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PointPatTable formats the rows.
+func PointPatTable(rows []PointPatRow) *Table {
+	t := NewTable("PointPat: distributed halo-corrected Ripley's K vs brute force",
+		"points", "parts", "brute_ms", "dist_ms", "speedup",
+		"brute_pairs", "dist_pairs", "pair_frac", "halo_pts", "halo_kb", "identical")
+	for _, r := range rows {
+		t.Add(r.Points, r.Partitions, r.BruteWallMs, r.DistWallMs, r.Speedup,
+			r.BrutePairsTested, r.DistPairsTested, r.PairWorkFrac,
+			r.HaloPoints, float64(r.HaloBytes)/1024, fmt.Sprint(r.Identical))
+	}
+	return t
+}

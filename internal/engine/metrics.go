@@ -47,6 +47,15 @@ type Metrics struct {
 	approxScannedBlocks  atomic.Int64
 	approxScannedRecords atomic.Int64
 
+	// Point-pattern accounting: rim points duplicated to neighboring
+	// partitions by the halo exchange (and their encoded byte volume), plus
+	// the candidate pairs the neighborhood counters tested and the
+	// (pair, grid-cell) matches they recorded.
+	haloPoints   atomic.Int64
+	haloBytes    atomic.Int64
+	pairsTested  atomic.Int64
+	pairsCounted atomic.Int64
+
 	stageMu       sync.Mutex
 	stages        []StageStat
 	stagesDropped int64
@@ -88,6 +97,23 @@ func (m *Metrics) AddApprox(summaryBlocks, scannedBlocks, scannedRecords int64) 
 	m.approxSummaryBlocks.Add(summaryBlocks)
 	m.approxScannedBlocks.Add(scannedBlocks)
 	m.approxScannedRecords.Add(scannedRecords)
+}
+
+// AddHaloExchange accounts one partition halo exchange: the rim points
+// duplicated to spatio-temporal neighbor partitions and their encoded byte
+// volume (a subset of the shuffle counters, tracked separately so the cost
+// of boundary correction is visible on its own).
+func (m *Metrics) AddHaloExchange(points, bytes int64) {
+	m.haloPoints.Add(points)
+	m.haloBytes.Add(bytes)
+}
+
+// AddPairCount accounts one neighborhood pair-counting stage: candidate
+// pairs whose distance predicate was evaluated, and pair matches recorded
+// into the statistic's grid.
+func (m *Metrics) AddPairCount(tested, counted int64) {
+	m.pairsTested.Add(tested)
+	m.pairsCounted.Add(counted)
 }
 
 // maxStageStats bounds the retained per-stage history. A long-running
@@ -147,6 +173,13 @@ type Snapshot struct {
 	ApproxSummaryBlocks  int64
 	ApproxScannedBlocks  int64
 	ApproxScannedRecords int64
+	// Point-pattern counters: rim points (and encoded bytes) duplicated by
+	// halo exchanges, candidate pairs tested by neighborhood counters, and
+	// (pair, grid-cell) matches recorded.
+	HaloPoints   int64
+	HaloBytes    int64
+	PairsTested  int64
+	PairsCounted int64
 	// Stages holds the most recent executed stages (bounded window);
 	// StagesDropped counts older entries that aged out of it.
 	Stages        []StageStat
@@ -183,6 +216,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		ApproxSummaryBlocks:  m.approxSummaryBlocks.Load(),
 		ApproxScannedBlocks:  m.approxScannedBlocks.Load(),
 		ApproxScannedRecords: m.approxScannedRecords.Load(),
+		HaloPoints:           m.haloPoints.Load(),
+		HaloBytes:            m.haloBytes.Load(),
+		PairsTested:          m.pairsTested.Load(),
+		PairsCounted:         m.pairsCounted.Load(),
 		Stages:               stages,
 		StagesDropped:        dropped,
 	}
@@ -212,6 +249,10 @@ func (m *Metrics) Reset() {
 	m.approxSummaryBlocks.Store(0)
 	m.approxScannedBlocks.Store(0)
 	m.approxScannedRecords.Store(0)
+	m.haloPoints.Store(0)
+	m.haloBytes.Store(0)
+	m.pairsTested.Store(0)
+	m.pairsCounted.Store(0)
 	m.stageMu.Lock()
 	m.stages = nil
 	m.stagesDropped = 0
@@ -236,10 +277,12 @@ func (s Snapshot) String() string {
 			" retries=%d speculated=%d specWins=%d corruptRereads=%d"+
 			" blocksScanned=%d blocksPruned=%d bytesDecompressed=%d recordsPruned=%d"+
 			" deltasRead=%d deltaRecords=%d compactions=%d"+
-			" approxQueries=%d approxSummaryBlocks=%d approxScannedBlocks=%d approxScannedRecords=%d",
+			" approxQueries=%d approxSummaryBlocks=%d approxScannedBlocks=%d approxScannedRecords=%d"+
+			" haloPoints=%d haloBytes=%d pairsTested=%d pairsCounted=%d",
 		s.TasksRun, s.RecordsOut, s.ShuffleRecords, s.ShuffleBytes, s.Broadcasts, s.TaskTime,
 		s.TaskRetries, s.SpeculativeLaunched, s.SpeculativeWins, s.CorruptRereads,
 		s.BlocksScanned, s.BlocksPruned, s.BytesDecompressed, s.RecordsPruned,
 		s.DeltasRead, s.DeltaRecords, s.Compactions,
-		s.ApproxQueries, s.ApproxSummaryBlocks, s.ApproxScannedBlocks, s.ApproxScannedRecords)
+		s.ApproxQueries, s.ApproxSummaryBlocks, s.ApproxScannedBlocks, s.ApproxScannedRecords,
+		s.HaloPoints, s.HaloBytes, s.PairsTested, s.PairsCounted)
 }

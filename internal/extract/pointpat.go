@@ -1,0 +1,43 @@
+package extract
+
+import (
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/pointpat"
+)
+
+// Point-pattern extractors: the Extraction-stage face of internal/pointpat.
+// Both reduce an event RDD to its observation points (centroid + interval
+// start) and hand off to the distributed estimators, which re-partition
+// with an ST planner and exchange boundary halos internally — so callers
+// feed them whatever partitioning the Selection stage produced.
+
+// eventPoints projects an event RDD onto pattern observations.
+func eventPoints[S geom.Geometry, V, D any](r *engine.RDD[instance.Event[S, V, D]]) []pointpat.Point {
+	return engine.Map(r, func(e instance.Event[S, V, D]) pointpat.Point {
+		c := e.Entry.Spatial.Centroid()
+		return pointpat.Point{X: c.X, Y: c.Y, T: e.Entry.Temporal.Start}
+	}).Collect()
+}
+
+// EventRipleyK estimates the edge-corrected space-time Ripley's K function
+// of an event RDD over cfg's radius×lag grid, using the distributed
+// halo-corrected estimator (bit-identical to a single-partition brute
+// force).
+func EventRipleyK[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.Event[S, V, D]],
+	cfg pointpat.KConfig,
+) (*pointpat.KResult, error) {
+	return pointpat.DistributedK(r.Ctx(), eventPoints(r), cfg)
+}
+
+// EventGetisOrd computes Getis-Ord Gi* hot-spot z-scores of an event RDD
+// over cfg's raster, binning through the Conversion stage and scoring in
+// parallel (bit-identical to the naive single-pass oracle).
+func EventGetisOrd[S geom.Geometry, V, D any](
+	r *engine.RDD[instance.Event[S, V, D]],
+	cfg pointpat.GetisConfig,
+) (*pointpat.GetisResult, error) {
+	return pointpat.DistributedGiStar(r.Ctx(), eventPoints(r), cfg)
+}

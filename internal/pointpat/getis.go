@@ -1,0 +1,258 @@
+package pointpat
+
+import (
+	"fmt"
+	"math"
+
+	"st4ml/internal/convert"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
+)
+
+// GetisConfig parameterizes a Getis-Ord Gi* hot-spot analysis over a
+// regular ST raster: points are binned into Grid cells, and each cell's
+// z-score compares its neighborhood count sum against the global mean.
+type GetisConfig struct {
+	// Grid is the raster the pattern is binned into. Required.
+	Grid instance.RasterGrid
+	// RadiusCells is the spatial neighborhood radius in cells (Chebyshev:
+	// the (2r+1)×(2r+1) block around each cell, self included). 0 means
+	// only the cell itself spatially.
+	RadiusCells int
+	// LagSlots is the temporal neighborhood radius in slots. 0 means only
+	// the cell's own slot.
+	LagSlots int
+	// Method selects the conversion allocation strategy (Auto picks
+	// grid-index arithmetic here). The exact closed-boundary predicates
+	// are applied regardless, so the counts do not depend on it.
+	Method convert.Method
+	// Partitions is the parallelism of the distributed path (≤0 uses the
+	// engine default). Ignored by BruteForceGiStar.
+	Partitions int
+}
+
+// Validate reports whether the config is usable.
+func (c GetisConfig) Validate() error {
+	if c.Grid.NumCells() <= 0 {
+		return fmt.Errorf("pointpat: getis raster grid has no cells")
+	}
+	if c.RadiusCells < 0 || c.LagSlots < 0 {
+		return fmt.Errorf("pointpat: getis neighborhood radii must be non-negative")
+	}
+	return nil
+}
+
+// GetisCell is one raster cell of a Gi* result, with its grid coordinates,
+// binned count, and z-score.
+type GetisCell struct {
+	Cell  int     `json:"cell"`
+	IX    int     `json:"ix"`
+	IY    int     `json:"iy"`
+	IT    int     `json:"it"`
+	Count int64   `json:"count"`
+	Z     float64 `json:"z"`
+}
+
+// GetisResult is a scored Gi* raster. Counts and Z are indexed by
+// RasterGrid cell index. Two results with equal Counts carry bit-identical
+// Z (the scoring is a deterministic function of the integer grid).
+type GetisResult struct {
+	Grid   instance.RasterGrid
+	Counts []int64
+	Z      []float64
+	// Mean and Std are the global moments the scores are standardized by.
+	Mean, Std float64
+	// NeighborsVisited counts (cell, neighbor-cell) visits during scoring;
+	// CellsScored counts scored cells.
+	NeighborsVisited int64
+	CellsScored      int64
+}
+
+// Hot returns the cells with Z ≥ threshold, in cell-index order.
+func (r *GetisResult) Hot(threshold float64) []GetisCell {
+	var out []GetisCell
+	per := r.Grid.Space.NumCells()
+	for i, z := range r.Z {
+		if z >= threshold {
+			it := i / per
+			rem := i % per
+			out = append(out, GetisCell{
+				Cell: i, IX: rem % r.Grid.Space.NX, IY: rem / r.Grid.Space.NX, IT: it,
+				Count: r.Counts[i], Z: z,
+			})
+		}
+	}
+	return out
+}
+
+// giStats holds the global moments of a cell-count grid, computed from
+// integer totals so both estimation paths derive identical floats.
+type giStats struct {
+	n         int
+	mean, std float64
+}
+
+func momentsOf(vals []int64) giStats {
+	var sum, sumSq int64
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+	}
+	n := len(vals)
+	mean := float64(sum) / float64(n)
+	variance := float64(sumSq)/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return giStats{n: n, mean: mean, std: math.Sqrt(variance)}
+}
+
+// giCellZ scores one cell: binary weights over the Chebyshev
+// radius×lag neighborhood (self included, clipped at the grid edge),
+// integer neighborhood sums, then the standard Gi* statistic
+//
+//	z = (Σwx − X̄·W) / (S·sqrt((n·W − W²)/(n−1)))
+//
+// Both the distributed and brute-force paths call this exact function, so
+// equal count grids yield bit-identical scores.
+func giCellZ(vals []int64, g instance.RasterGrid, rc, ls, cell int, st giStats) (z float64, visited int64) {
+	per := g.Space.NumCells()
+	it0 := cell / per
+	rem := cell % per
+	iy0, ix0 := rem/g.Space.NX, rem%g.Space.NX
+	var wx, w int64
+	for it := maxi(0, it0-ls); it <= mini(g.Time.NT-1, it0+ls); it++ {
+		for iy := maxi(0, iy0-rc); iy <= mini(g.Space.NY-1, iy0+rc); iy++ {
+			for ix := maxi(0, ix0-rc); ix <= mini(g.Space.NX-1, ix0+rc); ix++ {
+				wx += vals[g.Index(ix, iy, it)]
+				w++
+				visited++
+			}
+		}
+	}
+	if st.n <= 1 || st.std == 0 {
+		return 0, visited
+	}
+	num := float64(wx) - st.mean*float64(w)
+	den := st.std * math.Sqrt((float64(st.n)*float64(w)-float64(w)*float64(w))/float64(st.n-1))
+	if den == 0 {
+		return 0, visited
+	}
+	return num / den, visited
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// giEvent is the event shape points take through the Conversion stage.
+type giEvent = instance.Event[geom.Point, instance.Unit, instance.Unit]
+
+func toGiEvent(p Point) giEvent {
+	return instance.NewEvent(geom.Pt(p.X, p.Y), tempo.Instant(p.T), instance.Unit{}, instance.Unit{})
+}
+
+// BruteForceGiStar bins and scores on a single partition with naive
+// per-(point, cell) predicate tests — the oracle for the distributed path.
+// The binning predicates are the same closed-boundary tests the Conversion
+// stage applies (a point on a shared cell border counts in every touching
+// cell), so the two paths agree exactly.
+func BruteForceGiStar(pts []Point, cfg GetisConfig) (*GetisResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cells, slots := cfg.Grid.Build()
+	vals := make([]int64, len(cells))
+	for _, p := range pts {
+		pt, at := geom.Pt(p.X, p.Y), tempo.Instant(p.T)
+		for c := range cells {
+			if slots[c].Intersects(at) && cells[c].ContainsPoint(pt) {
+				vals[c]++
+			}
+		}
+	}
+	return scoreGrid(cfg, vals), nil
+}
+
+// scoreGrid runs the shared sequential scoring over a merged count grid.
+func scoreGrid(cfg GetisConfig, vals []int64) *GetisResult {
+	st := momentsOf(vals)
+	z := make([]float64, len(vals))
+	var visited int64
+	for c := range vals {
+		var v int64
+		z[c], v = giCellZ(vals, cfg.Grid, cfg.RadiusCells, cfg.LagSlots, c, st)
+		visited += v
+	}
+	return &GetisResult{
+		Grid: cfg.Grid, Counts: vals, Z: z, Mean: st.mean, Std: st.std,
+		NeighborsVisited: visited, CellsScored: int64(len(vals)),
+	}
+}
+
+// DistributedGiStar bins points into the raster through the Conversion
+// stage (per-partition allocation, integer partial-raster merge) and
+// scores cells in parallel over a broadcast of the merged grid. Counts and
+// z-scores are bit-for-bit identical to BruteForceGiStar on the same
+// points and config.
+func DistributedGiStar(ctx *engine.Context, pts []Point, cfg GetisConfig) (*GetisResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	events := engine.Map(engine.Parallelize(ctx, pts, cfg.Partitions), toGiEvent)
+	partials := convert.EventToRaster(events, convert.RasterGridTarget(cfg.Grid), cfg.Method,
+		func(evs []giEvent) int64 { return int64(len(evs)) })
+	vals := make([]int64, cfg.Grid.NumCells())
+	for _, r := range partials.CollectPartitions() {
+		for _, partial := range r {
+			for i, e := range partial.Entries {
+				vals[i] += e.Value
+			}
+		}
+	}
+
+	span := ctx.StartSpan(trace.SpanPointPatPairs, trace.Str("stat", "getis"))
+	sctx := ctx.WithSpan(span)
+	idxs := make([]int, len(vals))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	st := momentsOf(vals)
+	bv := engine.Broadcast(sctx, vals, int64(8*len(vals)))
+	grid, rc, ls := cfg.Grid, cfg.RadiusCells, cfg.LagSlots
+	type scored struct {
+		cell    int
+		z       float64
+		visited int64
+	}
+	scoredRDD := engine.Map(engine.Parallelize(sctx, idxs, cfg.Partitions), func(c int) scored {
+		z, v := giCellZ(bv.Value(), grid, rc, ls, c, st)
+		return scored{cell: c, z: z, visited: v}
+	})
+	z := make([]float64, len(vals))
+	var visited int64
+	for _, s := range scoredRDD.Collect() {
+		z[s.cell] = s.z
+		visited += s.visited
+	}
+	span.End(trace.Int("pairs_tested", visited), trace.Int("pairs_counted", int64(len(vals))))
+	ctx.Metrics.AddPairCount(visited, int64(len(vals)))
+
+	return &GetisResult{
+		Grid: cfg.Grid, Counts: vals, Z: z, Mean: st.mean, Std: st.std,
+		NeighborsVisited: visited, CellsScored: int64(len(vals)),
+	}, nil
+}

@@ -1,0 +1,266 @@
+package pointpat
+
+import (
+	"fmt"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/partition"
+	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
+)
+
+// KConfig parameterizes a space-time Ripley's K estimation.
+type KConfig struct {
+	// Grid is the radius×lag evaluation grid. Required.
+	Grid Grid
+	// Region overrides the study region; nil uses the exact point-set
+	// bounds. The distributed and brute-force paths must agree on it for
+	// bit-identical border correction, which they do by defaulting the same
+	// way.
+	Region *Region
+	// Partitions is the target ST partition count for the distributed
+	// estimator (≤0 uses the engine's default parallelism). Ignored by
+	// BruteForceK.
+	Partitions int
+	// Planner picks the ST partitioning scheme (nil uses STR2D over the
+	// target partition count). Ignored by BruteForceK.
+	Planner partition.Planner
+}
+
+// KResult is an estimated space-time K function plus the integer evidence
+// it was derived from. Pairs[r][l] counts ordered point pairs within
+// spatial radius Grid.Radii[r] and temporal lag Grid.Lags[l] whose center
+// is border-eligible at that cell; Centers[r][l] counts the eligible
+// centers. K[r][l] is the edge-corrected estimate
+//
+//	K̂(h, t) = |W×T| · Pairs / (n · Centers)
+//
+// computed once from those integers, so two KResults with equal Pairs,
+// Centers, N, and Region carry bit-identical K matrices.
+type KResult struct {
+	Grid    Grid
+	Region  Region
+	N       int64
+	Pairs   [][]int64
+	Centers [][]int64
+	K       [][]float64
+
+	// Partitions is the number of ST partitions the estimate ran over
+	// (1 for the brute-force oracle). The remaining fields account the
+	// work: candidate pairs tested, pair matches recorded, and the rim
+	// points (with encoded bytes) the halo exchange duplicated.
+	Partitions   int
+	PairsTested  int64
+	PairsCounted int64
+	HaloPoints   int64
+	HaloBytes    int64
+}
+
+// finalizeK turns accumulated integer counts into a KResult. Both
+// estimators funnel through it so the float math is shared (identical
+// expression, identical evaluation order).
+func finalizeK(g Grid, reg Region, n int64, c *counts) *KResult {
+	pairs, centers := c.resolve()
+	vol := reg.Volume()
+	k := make([][]float64, len(g.Radii))
+	for r := range k {
+		k[r] = make([]float64, len(g.Lags))
+		for l := range k[r] {
+			p, cn := pairs[r][l], centers[r][l]
+			if n == 0 || cn == 0 || vol == 0 {
+				continue
+			}
+			k[r][l] = vol * float64(p) / (float64(n) * float64(cn))
+		}
+	}
+	return &KResult{
+		Grid: g, Region: reg, N: n,
+		Pairs: pairs, Centers: centers, K: k,
+		PairsTested: c.tested, PairsCounted: c.counted,
+	}
+}
+
+func resolveRegion(cfg KConfig, pts []Point) Region {
+	if cfg.Region != nil {
+		return *cfg.Region
+	}
+	return RegionOf(pts)
+}
+
+// BruteForceK estimates the space-time K function on a single partition
+// with the O(n²) double loop — the oracle the distributed estimator is
+// pinned against bit-for-bit.
+func BruteForceK(pts []Point, cfg KConfig) (*KResult, error) {
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	reg := resolveRegion(cfg, pts)
+	c := newCounts(cfg.Grid)
+	bruteCount(c, cfg.Grid, reg, pts)
+	res := finalizeK(cfg.Grid, reg, int64(len(pts)), c)
+	res.Partitions = 1
+	return res, nil
+}
+
+// stBox is one partition's actual (not planned) point-set bounds; halo
+// routing measures distances against these, so empty partitions attract no
+// rim traffic at all.
+type stBox struct {
+	space geom.MBR
+	time  tempo.Duration
+	some  bool
+}
+
+func (b *stBox) add(p Point) {
+	if !b.some {
+		b.space = geom.Pt(p.X, p.Y).MBR()
+		b.time = tempo.Instant(p.T)
+		b.some = true
+		return
+	}
+	b.space = b.space.ExpandToPoint(geom.Pt(p.X, p.Y))
+	b.time = b.time.ExpandTo(p.T)
+}
+
+// withinHalo reports whether p lies within spatial distance hMax and
+// temporal gap tMax of the box. The axis gaps are exact FP subtractions
+// and the comparison is on squared distance, so the predicate is
+// monotone: any point within hMax of a point inside the box always
+// passes (see DESIGN.md for the containment argument).
+func (b *stBox) withinHalo(p Point, h2 float64, tMax int64) bool {
+	if !b.some {
+		return false
+	}
+	dx := maxf(0, maxf(b.space.MinX-p.X, p.X-b.space.MaxX))
+	dy := maxf(0, maxf(b.space.MinY-p.Y, p.Y-b.space.MaxY))
+	if dx*dx+dy*dy > h2 {
+		return false
+	}
+	gap := max64(b.time.Start-p.T, p.T-b.time.End)
+	return gap <= tMax
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DistributedK estimates the space-time K function over the engine:
+// ST-partition the points with the configured planner, exchange boundary
+// halos (each partition receives every foreign point within HMax/TMax of
+// its actual bounds, over the CRC-framed shuffle), then count pairs per
+// partition with the time-sorted sweep. The integer pair and center counts
+// — and therefore the K matrix — are bit-for-bit identical to BruteForceK
+// on the same points and config.
+func DistributedK(ctx *engine.Context, pts []Point, cfg KConfig) (*KResult, error) {
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	reg := resolveRegion(cfg, pts)
+	if len(pts) == 0 {
+		res := finalizeK(cfg.Grid, reg, 0, newCounts(cfg.Grid))
+		return res, nil
+	}
+	nTarget := cfg.Partitions
+	if nTarget <= 0 {
+		nTarget = ctx.DefaultParallelism()
+	}
+	planner := cfg.Planner
+	if planner == nil {
+		planner = partition.STR2D{N: nTarget}
+	}
+	sample := make([]index.Box, len(pts))
+	for i, p := range pts {
+		sample[i] = p.Box()
+	}
+	bounds := planner.Plan(sample)
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("pointpat: planner %s produced no partitions", planner.Name())
+	}
+	asg := partition.NewAssigner(bounds)
+	nP := asg.NumPartitions()
+
+	// Stage 1: ST partitioning shuffle (the same toll selection pays).
+	owned := engine.PartitionBy(engine.Parallelize(ctx, pts, 0), PointC, nP,
+		func(p Point) int { return asg.Assign(p.Box()) })
+	ownParts := owned.CollectPartitions()
+
+	boxes := make([]stBox, nP)
+	for p, part := range ownParts {
+		for _, v := range part {
+			boxes[p].add(v)
+		}
+	}
+
+	// Stage 2: halo exchange. Each point is duplicated to every *other*
+	// partition whose actual bounds lie within the maximum search radius —
+	// those partitions own centers that may pair with it.
+	h2 := cfg.Grid.HMax() * cfg.Grid.HMax()
+	tMax := cfg.Grid.TMax()
+	haloSpan := ctx.StartSpan(trace.SpanPointPatHalo, trace.Str("stat", "k"),
+		trace.Int("partitions", int64(nP)))
+	hctx := ctx.WithSpan(haloSpan)
+	rim := engine.FromPartitions(hctx, "pointpat.rim", ownParts)
+	halo := engine.PartitionByMulti(rim, PointC, nP, func(v Point) []int {
+		owner := asg.Assign(v.Box())
+		var ts []int
+		for q := 0; q < nP; q++ {
+			if q != owner && boxes[q].withinHalo(v, h2, tMax) {
+				ts = append(ts, q)
+			}
+		}
+		return ts
+	})
+	haloParts := halo.CollectPartitions()
+	var haloPoints, haloBytes int64
+	w := codec.GetWriter()
+	for _, part := range haloParts {
+		haloPoints += int64(len(part))
+		w.Reset()
+		for _, v := range part {
+			PointC.Enc(w, v)
+		}
+		haloBytes += int64(w.Len())
+	}
+	codec.PutWriter(w)
+	haloSpan.End(trace.Int("halo_points", haloPoints), trace.Int("halo_bytes", haloBytes))
+	ctx.Metrics.AddHaloExchange(haloPoints, haloBytes)
+
+	// Stage 3: per-partition pair counting over own ∪ halo, merged on the
+	// driver (integer counts, so merge order is irrelevant).
+	pairSpan := ctx.StartSpan(trace.SpanPointPatPairs, trace.Str("stat", "k"))
+	pctx := ctx.WithSpan(pairSpan)
+	grid, region := cfg.Grid, reg
+	partial := engine.MapPartitions(
+		engine.FromPartitions(pctx, "pointpat.count", ownParts),
+		func(p int, own []Point) []*counts {
+			c := newCounts(grid)
+			countInto(c, grid, region, own, haloParts[p])
+			return []*counts{c}
+		})
+	merged := newCounts(cfg.Grid)
+	for _, c := range partial.Collect() {
+		merged.merge(c)
+	}
+	pairSpan.End(trace.Int("pairs_tested", merged.tested),
+		trace.Int("pairs_counted", merged.counted))
+	ctx.Metrics.AddPairCount(merged.tested, merged.counted)
+
+	res := finalizeK(cfg.Grid, reg, int64(len(pts)), merged)
+	res.Partitions = nP
+	res.HaloPoints = haloPoints
+	res.HaloBytes = haloBytes
+	return res, nil
+}

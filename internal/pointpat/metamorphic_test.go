@@ -1,0 +1,254 @@
+package pointpat
+
+// The metamorphic wall: the distributed halo-corrected estimators must be
+// bit-for-bit interchangeable with the single-partition brute-force
+// oracles, across every layout shape the halo logic can get wrong —
+// points exactly on partition boundaries, exact duplicates, degenerate
+// regions, clusters far enough apart that rims are empty, and every
+// planner family. Any divergence in a single integer count or float bit
+// fails the wall.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"st4ml/internal/convert"
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/partition"
+	"st4ml/internal/tempo"
+)
+
+// layout is one named seeded point generator.
+type layout struct {
+	name string
+	gen  func(seed int64) []Point
+}
+
+var layouts = []layout{
+	{"uniform", func(seed int64) []Point { return uniformPts(180, seed) }},
+	{"clustered", func(seed int64) []Point {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		for c := 0; c < 4; c++ {
+			cx, cy := rng.Float64()*10, rng.Float64()*10
+			ct := rng.Int63n(86400)
+			for i := 0; i < 40; i++ {
+				pts = append(pts, Point{
+					X: cx + rng.NormFloat64()*0.3,
+					Y: cy + rng.NormFloat64()*0.3,
+					T: ct + rng.Int63n(7200),
+				})
+			}
+		}
+		return pts
+	}},
+	// lattice places every point on exact .5-multiples — planner splits
+	// land exactly on point coordinates, exercising boundary ownership.
+	{"lattice", func(seed int64) []Point {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		for i := 0; i < 200; i++ {
+			pts = append(pts, Point{
+				X: float64(rng.Intn(21)) * 0.5,
+				Y: float64(rng.Intn(21)) * 0.5,
+				T: rng.Int63n(25) * 3600,
+			})
+		}
+		return pts
+	}},
+	// duplicates draws with replacement from 12 distinct values, so many
+	// points coincide exactly (identity must be by index, not value).
+	{"duplicates", func(seed int64) []Point {
+		rng := rand.New(rand.NewSource(seed))
+		base := uniformPts(12, seed+1000)
+		pts := make([]Point, 150)
+		for i := range pts {
+			pts[i] = base[rng.Intn(len(base))]
+		}
+		return pts
+	}},
+	// farclusters separates two blobs by much more than any radius — the
+	// halo rims between them are empty.
+	{"farclusters", func(seed int64) []Point {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		for i := 0; i < 60; i++ {
+			pts = append(pts, Point{X: rng.Float64(), Y: rng.Float64(), T: rng.Int63n(3600)})
+		}
+		for i := 0; i < 60; i++ {
+			pts = append(pts, Point{X: 1000 + rng.Float64(), Y: 1000 + rng.Float64(),
+				T: 10_000_000 + rng.Int63n(3600)})
+		}
+		return pts
+	}},
+	// collinear points give a zero-area region (K degenerates to 0, but
+	// counts must still match).
+	{"collinear", func(seed int64) []Point {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]Point, 100)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 10, Y: 5, T: rng.Int63n(86400)}
+		}
+		return pts
+	}},
+	{"tiny", func(seed int64) []Point { return uniformPts(int(seed%3), seed) }},
+	{"negative-coords", func(seed int64) []Point {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]Point, 120)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64()*20 - 10, Y: rng.Float64()*20 - 10,
+				T: rng.Int63n(86400) - 43200}
+		}
+		return pts
+	}},
+}
+
+var wallGrids = []Grid{
+	{Radii: []float64{0.5, 1, 2}, Lags: []int64{3600, 14400}},
+	{Radii: []float64{0.1}, Lags: []int64{60}},
+	{Radii: []float64{1, 2, 4, 8, 16, 2000}, Lags: []int64{7200, 86400, 20_000_000}},
+}
+
+// TestKMetamorphicWall sweeps layouts × partition counts × radius grids
+// (96 combos) asserting distributed ≡ brute force bit-for-bit.
+func TestKMetamorphicWall(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	combos := 0
+	for li, lay := range layouts {
+		for _, nParts := range []int{1, 2, 5, 8} {
+			for gi, g := range wallGrids {
+				combos++
+				name := fmt.Sprintf("%s/p%d/g%d", lay.name, nParts, gi)
+				t.Run(name, func(t *testing.T) {
+					seed := int64(li*1000 + nParts*10 + gi)
+					pts := lay.gen(seed)
+					cfg := KConfig{Grid: g, Partitions: nParts}
+					brute, err := BruteForceK(pts, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dist, err := DistributedK(ctx, pts, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameK(t, dist, brute)
+				})
+			}
+		}
+	}
+	if combos < 64 {
+		t.Fatalf("wall ran only %d combos, ISSUE requires ≥64", combos)
+	}
+}
+
+// TestKMetamorphicPlanners re-runs the wall over every planner family, so
+// halo correctness does not depend on STR2D's particular splits.
+func TestKMetamorphicPlanners(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	planners := []partition.Planner{
+		partition.STR2D{N: 6},
+		partition.TSTR{GT: 2, GS: 3},
+		partition.TBalance{N: 6},
+		partition.QuadTree{N: 6},
+		partition.KDTree{N: 6},
+		partition.Grid{N: 6},
+	}
+	g := wallGrids[0]
+	for _, lay := range layouts[:4] {
+		for _, pl := range planners {
+			t.Run(fmt.Sprintf("%s/%s", lay.name, pl.Name()), func(t *testing.T) {
+				pts := lay.gen(99)
+				cfg := KConfig{Grid: g, Planner: pl, Partitions: 6}
+				brute, err := BruteForceK(pts, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dist, err := DistributedK(ctx, pts, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameK(t, dist, brute)
+			})
+		}
+	}
+}
+
+// TestKExplicitBoundaryPoints pins the exact scenario the halo must not
+// fumble: a hand-built region split at x=1 with points sitting exactly on
+// the split line, exactly hMax away from it on both sides, and exact
+// duplicates straddling it.
+func TestKExplicitBoundaryPoints(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	pts := []Point{
+		{0, 0, 0}, {2, 0, 0}, // corners pin the region to [0,2]×[0,0]... widened below
+		{1, 0.5, 100}, {1, 1.5, 100}, // exactly on the split line
+		{0.5, 1, 100}, {1.5, 1, 100}, // exactly hMax=0.5 from the line
+		{1, 1, 200}, {1, 1, 200}, // exact duplicates on the line
+		{0, 2, 300}, {2, 2, 300},
+	}
+	cfg := KConfig{
+		Grid:       Grid{Radii: []float64{0.5, 1}, Lags: []int64{100, 300}},
+		Planner:    partition.Grid{N: 2},
+		Partitions: 2,
+	}
+	brute, err := BruteForceK(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := DistributedK(ctx, pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameK(t, dist, brute)
+	if dist.HaloPoints == 0 {
+		t.Fatal("scenario should exchange rim points across the split")
+	}
+	if brute.PairsCounted == 0 {
+		t.Fatal("scenario should record pairs")
+	}
+}
+
+// TestGetisMetamorphicWall sweeps layouts × grids × neighborhood shapes ×
+// conversion methods, asserting distributed counts and z-scores equal the
+// naive single-pass oracle bit-for-bit.
+func TestGetisMetamorphicWall(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 4})
+	grids := []instance.RasterGrid{
+		{
+			Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 10, 10), NX: 4, NY: 4},
+			Time:  instance.TimeGrid{Window: tempo.New(0, 86399), NT: 3},
+		},
+		{
+			Space: instance.SpatialGrid{Extent: geom.Box(2, 2, 8, 8), NX: 3, NY: 2},
+			Time:  instance.TimeGrid{Window: tempo.New(1000, 50000), NT: 1},
+		},
+	}
+	for _, lay := range layouts[:6] {
+		for gi, grid := range grids {
+			for _, shape := range []struct{ rc, ls int }{{0, 0}, {1, 1}, {2, 0}} {
+				for _, m := range []convert.Method{convert.Auto, convert.Naive, convert.RTree} {
+					name := fmt.Sprintf("%s/g%d/r%dl%d/%s", lay.name, gi, shape.rc, shape.ls, m)
+					t.Run(name, func(t *testing.T) {
+						pts := lay.gen(int64(gi + shape.rc*7 + 3))
+						cfg := GetisConfig{
+							Grid: grid, RadiusCells: shape.rc, LagSlots: shape.ls,
+							Method: m, Partitions: 3,
+						}
+						brute, err := BruteForceGiStar(pts, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						dist, err := DistributedGiStar(ctx, pts, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						requireSameGetis(t, dist, brute)
+					})
+				}
+			}
+		}
+	}
+}

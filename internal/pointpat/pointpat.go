@@ -1,0 +1,365 @@
+// Package pointpat implements distributed spatio-temporal point-pattern
+// analytics over the engine: the space-time Ripley's K function and
+// Getis-Ord Gi* hot-spot detection — the first workload class in this
+// repository whose cost is pairwise (every point against its ST
+// neighborhood) rather than window-shaped (every point against a query
+// box).
+//
+// The distributed K estimator partitions events with the same ST planners
+// selection uses, then corrects each partition's local pair counts at the
+// boundaries with a partition halo exchange: every partition ships only the
+// rim of its points that lie within the maximum search radius
+// (h_max spatially, t_max temporally) of a neighbor partition's bounds,
+// over the engine's CRC-framed shuffle. A pair (i, j) within the search
+// radius is then always visible to the partition that owns i — either j is
+// local or j arrived in the halo — so the distributed ordered-pair counts
+// equal a single-partition brute-force count exactly (see DESIGN.md,
+// "Point-pattern analytics", for the containment argument). All grid
+// accumulation is integer, so the distributed statistics are bit-for-bit
+// identical to the brute-force oracle, not merely close.
+//
+// Gi* rides on the Conversion stage: events are rasterized per partition
+// with convert.EventToRaster, partial rasters merge by integer cell-count
+// addition, and the z-scores are computed over the merged grid with binary
+// neighborhood weights — so hot-spot maps from the distributed path equal
+// the naive single-pass binning oracle exactly as well.
+//
+// Distances are planar Euclidean in coordinate units (degrees for the
+// lon/lat corpora) and temporal gaps are in seconds; callers pick radius
+// grids accordingly (geom.MetersToDegreesLat helps).
+package pointpat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"st4ml/internal/codec"
+	"st4ml/internal/geom"
+	"st4ml/internal/index"
+	"st4ml/internal/tempo"
+)
+
+// Point is one event observation of the analyzed pattern: planar
+// coordinates plus an instant. The statistics care only about geometry, so
+// records from any schema reduce to this.
+type Point struct {
+	X, Y float64
+	T    int64
+}
+
+// PointC is the binary codec Points travel the shuffle with.
+var PointC = codec.Codec[Point]{
+	Enc: func(w *codec.Writer, p Point) {
+		w.PutFloat64(p.X)
+		w.PutFloat64(p.Y)
+		w.PutVarint(p.T)
+	},
+	Dec: func(r *codec.Reader) Point {
+		return Point{X: r.Float64(), Y: r.Float64(), T: r.Varint()}
+	},
+}
+
+// Box returns the point's degenerate ST box (for partition assignment).
+func (p Point) Box() index.Box {
+	return index.BoxOfPoint(geom.Pt(p.X, p.Y), p.T)
+}
+
+// Grid is the radius×lag evaluation grid of a space-time statistic:
+// K(h, t) is estimated at every (Radii[r], Lags[l]) combination. Radii and
+// Lags must be strictly ascending and positive; the largest entries double
+// as the halo radii h_max and t_max.
+type Grid struct {
+	Radii []float64 // spatial radii, coordinate units, ascending
+	Lags  []int64   // temporal lags, seconds, ascending
+}
+
+// Validate reports whether the grid is usable.
+func (g Grid) Validate() error {
+	if len(g.Radii) == 0 || len(g.Lags) == 0 {
+		return fmt.Errorf("pointpat: empty radius or lag grid")
+	}
+	for i, h := range g.Radii {
+		if h <= 0 || (i > 0 && h <= g.Radii[i-1]) {
+			return fmt.Errorf("pointpat: radii must be positive ascending, got %v", g.Radii)
+		}
+	}
+	for i, t := range g.Lags {
+		if t <= 0 || (i > 0 && t <= g.Lags[i-1]) {
+			return fmt.Errorf("pointpat: lags must be positive ascending, got %v", g.Lags)
+		}
+	}
+	return nil
+}
+
+// HMax returns the largest spatial radius (the halo radius).
+func (g Grid) HMax() float64 { return g.Radii[len(g.Radii)-1] }
+
+// TMax returns the largest temporal lag (the halo lag).
+func (g Grid) TMax() int64 { return g.Lags[len(g.Lags)-1] }
+
+// radiusIdx returns the smallest radius index whose ball contains a pair at
+// squared distance d2, or -1 when the pair is beyond every radius. r2 holds
+// the squared radii.
+func radiusIdx(r2 []float64, d2 float64) int {
+	for r, rr := range r2 {
+		if d2 <= rr {
+			return r
+		}
+	}
+	return -1
+}
+
+// lagIdx returns the smallest lag index covering temporal gap dt, or -1.
+func lagIdx(lags []int64, dt int64) int {
+	for l, lag := range lags {
+		if dt <= lag {
+			return l
+		}
+	}
+	return -1
+}
+
+// Region is the rectangular ST study region the pattern is observed in.
+// The intensity normalization and the border edge correction are both
+// relative to it.
+type Region struct {
+	Space geom.MBR
+	Time  tempo.Duration
+}
+
+// RegionOf returns the exact ST bounds of a point set.
+func RegionOf(pts []Point) Region {
+	r := Region{Space: geom.EmptyMBR(), Time: tempo.Empty()}
+	for _, p := range pts {
+		r.Space = r.Space.ExpandToPoint(geom.Pt(p.X, p.Y))
+		r.Time = r.Time.ExpandTo(p.T)
+	}
+	return r
+}
+
+// IsEmpty reports whether the region holds no volume at all (no points).
+func (r Region) IsEmpty() bool { return r.Space.IsEmpty() || r.Time.IsEmpty() }
+
+// Volume returns the ST volume |W|·|T| used by the intensity normalizer.
+// Degenerate axes contribute zero.
+func (r Region) Volume() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Space.Area() * float64(r.Time.End-r.Time.Start)
+}
+
+// eligIdx returns the border-correction eligibility of a point: the largest
+// radius index re such that the ball of Radii[re] around p stays inside the
+// region spatially, and the largest lag index le such that the interval of
+// Lags[le] stays inside temporally. Either is -1 when the point is too
+// close to the boundary for even the smallest radius/lag — such a point
+// still participates as a pair target, just never as a center.
+func eligIdx(g Grid, reg Region, p Point) (re, le int) {
+	ds := math.Min(
+		math.Min(p.X-reg.Space.MinX, reg.Space.MaxX-p.X),
+		math.Min(p.Y-reg.Space.MinY, reg.Space.MaxY-p.Y),
+	)
+	dt := min64(p.T-reg.Time.Start, reg.Time.End-p.T)
+	re, le = -1, -1
+	for r, h := range g.Radii {
+		if h <= ds {
+			re = r
+		}
+	}
+	for l, lag := range g.Lags {
+		if lag <= dt {
+			le = l
+		}
+	}
+	return re, le
+}
+
+// counts accumulates the integer pair and eligible-center counts of one
+// partition (or of the whole pattern, for the brute-force oracle) over the
+// radius×lag grid. Increment regions are rectangles in (radius, lag) index
+// space, so both matrices are kept as 2-d difference arrays and resolved
+// with prefix sums at the end — every pair costs O(1) regardless of grid
+// size, and everything stays integer (hence exactly mergeable in any
+// order).
+type counts struct {
+	nr, nl  int
+	pairD   []int64 // (nr+1)×(nl+1) difference matrix of pair counts
+	centerD []int64 // same, for eligible-center counts
+	tested  int64   // candidate pairs whose distance predicate ran
+	counted int64   // pairs recorded into at least one grid cell
+}
+
+func newCounts(g Grid) *counts {
+	nr, nl := len(g.Radii), len(g.Lags)
+	return &counts{
+		nr: nr, nl: nl,
+		pairD:   make([]int64, (nr+1)*(nl+1)),
+		centerD: make([]int64, (nr+1)*(nl+1)),
+	}
+}
+
+// rect adds +1 over the index rectangle [r0..r1]×[l0..l1] of a difference
+// matrix (inclusive bounds; no-op when empty).
+func (c *counts) rect(d []int64, r0, r1, l0, l1 int) {
+	if r0 > r1 || l0 > l1 {
+		return
+	}
+	w := c.nl + 1
+	d[r0*w+l0]++
+	d[(r1+1)*w+l0]--
+	d[r0*w+l1+1]--
+	d[(r1+1)*w+l1+1]++
+}
+
+// addCenter records a point as an eligible center for radii ≤ re and
+// lags ≤ le.
+func (c *counts) addCenter(re, le int) {
+	c.rect(c.centerD, 0, re, 0, le)
+}
+
+// addPair records an ordered pair entering the grid at (ri, li), visible
+// only where its center stays eligible: cells (r, l) with ri ≤ r ≤ re and
+// li ≤ l ≤ le.
+func (c *counts) addPair(ri, li, re, le int) {
+	if ri <= re && li <= le {
+		c.counted++
+	}
+	c.rect(c.pairD, ri, re, li, le)
+}
+
+// merge folds another partition's counts in (integer, order-independent).
+func (c *counts) merge(o *counts) {
+	for i, v := range o.pairD {
+		c.pairD[i] += v
+	}
+	for i, v := range o.centerD {
+		c.centerD[i] += v
+	}
+	c.tested += o.tested
+	c.counted += o.counted
+}
+
+// resolve turns the difference matrices into per-cell totals.
+func (c *counts) resolve() (pairs, centers [][]int64) {
+	return resolveDiff(c.pairD, c.nr, c.nl), resolveDiff(c.centerD, c.nr, c.nl)
+}
+
+func resolveDiff(d []int64, nr, nl int) [][]int64 {
+	w := nl + 1
+	acc := make([]int64, len(d))
+	copy(acc, d)
+	for r := 0; r <= nr; r++ {
+		for l := 1; l <= nl; l++ {
+			acc[r*w+l] += acc[r*w+l-1]
+		}
+	}
+	for r := 1; r <= nr; r++ {
+		for l := 0; l <= nl; l++ {
+			acc[r*w+l] += acc[(r-1)*w+l]
+		}
+	}
+	out := make([][]int64, nr)
+	for r := 0; r < nr; r++ {
+		out[r] = make([]int64, nl)
+		for l := 0; l < nl; l++ {
+			out[r][l] = acc[r*w+l]
+		}
+	}
+	return out
+}
+
+// countInto counts every ordered pair (i, j) with center i drawn from own
+// and target j drawn from own ∪ halo into c, using a time-sorted sweep so
+// only candidates within TMax are tested — the sub-quadratic path the
+// distributed estimator runs per partition. Counting order never affects
+// the totals (they are integers), so this is exactly equivalent to the
+// brute-force double loop.
+func countInto(c *counts, g Grid, reg Region, own, halo []Point) {
+	n := len(own) + len(halo)
+	all := make([]Point, 0, n)
+	all = append(all, own...)
+	all = append(all, halo...)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return all[order[a]].T < all[order[b]].T })
+	times := make([]int64, n)
+	for k, idx := range order {
+		times[k] = all[idx].T
+	}
+	r2 := make([]float64, len(g.Radii))
+	for i, h := range g.Radii {
+		r2[i] = h * h
+	}
+	tmax := g.TMax()
+	for ci := range own {
+		p := own[ci]
+		re, le := eligIdx(g, reg, p)
+		c.addCenter(re, le)
+		lo := sort.Search(n, func(k int) bool { return times[k] >= p.T-tmax })
+		for k := lo; k < n && times[k] <= p.T+tmax; k++ {
+			aj := order[k]
+			if aj == ci {
+				continue // a point is never its own neighbor
+			}
+			q := all[aj]
+			c.tested++
+			dx, dy := q.X-p.X, q.Y-p.Y
+			ri := radiusIdx(r2, dx*dx+dy*dy)
+			if ri < 0 {
+				continue
+			}
+			li := lagIdx(g.Lags, abs64(q.T-p.T))
+			c.addPair(ri, li, re, le)
+		}
+	}
+}
+
+// bruteCount is the O(n²) oracle: every ordered pair tested, no sweep, no
+// halo. The metamorphic wall pins countInto (and its distributed split)
+// against this.
+func bruteCount(c *counts, g Grid, reg Region, pts []Point) {
+	r2 := make([]float64, len(g.Radii))
+	for i, h := range g.Radii {
+		r2[i] = h * h
+	}
+	for i := range pts {
+		p := pts[i]
+		re, le := eligIdx(g, reg, p)
+		c.addCenter(re, le)
+		for j := range pts {
+			if j == i {
+				continue
+			}
+			q := pts[j]
+			c.tested++
+			dx, dy := q.X-p.X, q.Y-p.Y
+			ri := radiusIdx(r2, dx*dx+dy*dy)
+			if ri < 0 {
+				continue
+			}
+			li := lagIdx(g.Lags, abs64(q.T-p.T))
+			if li < 0 {
+				continue
+			}
+			c.addPair(ri, li, re, le)
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,311 @@
+package pointpat
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"st4ml/internal/engine"
+	"st4ml/internal/geom"
+	"st4ml/internal/instance"
+	"st4ml/internal/tempo"
+	"st4ml/internal/trace"
+)
+
+func TestGridValidate(t *testing.T) {
+	ok := Grid{Radii: []float64{0.5, 1}, Lags: []int64{60, 3600}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	bad := []Grid{
+		{Radii: nil, Lags: []int64{60}},
+		{Radii: []float64{1}, Lags: nil},
+		{Radii: []float64{1, 1}, Lags: []int64{60}},
+		{Radii: []float64{2, 1}, Lags: []int64{60}},
+		{Radii: []float64{-1}, Lags: []int64{60}},
+		{Radii: []float64{1}, Lags: []int64{0}},
+		{Radii: []float64{1}, Lags: []int64{60, 60}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad grid %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	if !RegionOf(nil).IsEmpty() {
+		t.Fatal("empty point set should yield empty region")
+	}
+	r := RegionOf([]Point{{1, 2, 10}, {3, -1, 5}})
+	want := Region{Space: geom.Box(1, -1, 3, 2), Time: tempo.New(5, 10)}
+	if r != want {
+		t.Fatalf("region = %+v, want %+v", r, want)
+	}
+	if r.Volume() != 2*3*5 {
+		t.Fatalf("volume = %v, want 30", r.Volume())
+	}
+	one := RegionOf([]Point{{1, 1, 1}})
+	if one.Volume() != 0 {
+		t.Fatalf("degenerate region volume = %v, want 0", one.Volume())
+	}
+}
+
+// TestCountsRectResolve pins the difference-matrix accumulator against a
+// naive per-cell double loop over random rectangles.
+func TestCountsRectResolve(t *testing.T) {
+	g := Grid{Radii: []float64{1, 2, 3, 4}, Lags: []int64{10, 20, 30}}
+	rng := rand.New(rand.NewSource(7))
+	c := newCounts(g)
+	nr, nl := len(g.Radii), len(g.Lags)
+	naivePairs := make([][]int64, nr)
+	naiveCenters := make([][]int64, nr)
+	for r := range naivePairs {
+		naivePairs[r] = make([]int64, nl)
+		naiveCenters[r] = make([]int64, nl)
+	}
+	for i := 0; i < 500; i++ {
+		ri, li := rng.Intn(nr), rng.Intn(nl)
+		re, le := rng.Intn(nr+1)-1, rng.Intn(nl+1)-1
+		c.addPair(ri, li, re, le)
+		for r := ri; r <= re; r++ {
+			for l := li; l <= le; l++ {
+				naivePairs[r][l]++
+			}
+		}
+		c.addCenter(re, le)
+		for r := 0; r <= re; r++ {
+			for l := 0; l <= le; l++ {
+				naiveCenters[r][l]++
+			}
+		}
+	}
+	pairs, centers := c.resolve()
+	if !reflect.DeepEqual(pairs, naivePairs) {
+		t.Errorf("pairs mismatch:\n got %v\nwant %v", pairs, naivePairs)
+	}
+	if !reflect.DeepEqual(centers, naiveCenters) {
+		t.Errorf("centers mismatch:\n got %v\nwant %v", centers, naiveCenters)
+	}
+}
+
+func TestRadiusLagIdx(t *testing.T) {
+	r2 := []float64{1, 4, 9}
+	for _, tc := range []struct {
+		d2   float64
+		want int
+	}{{0, 0}, {1, 0}, {1.5, 1}, {4, 1}, {9, 2}, {9.1, -1}} {
+		if got := radiusIdx(r2, tc.d2); got != tc.want {
+			t.Errorf("radiusIdx(%v) = %d, want %d", tc.d2, got, tc.want)
+		}
+	}
+	lags := []int64{10, 100}
+	for _, tc := range []struct {
+		dt   int64
+		want int
+	}{{0, 0}, {10, 0}, {11, 1}, {100, 1}, {101, -1}} {
+		if got := lagIdx(lags, tc.dt); got != tc.want {
+			t.Errorf("lagIdx(%d) = %d, want %d", tc.dt, got, tc.want)
+		}
+	}
+}
+
+// uniformPts draws n points uniformly over a 10×10×day region.
+func uniformPts(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 10, Y: rng.Float64() * 10, T: rng.Int63n(86400)}
+	}
+	return pts
+}
+
+// requireSameK asserts the two K results agree bit-for-bit on everything
+// the statistic is made of.
+func requireSameK(t *testing.T, dist, brute *KResult) {
+	t.Helper()
+	if dist.N != brute.N {
+		t.Fatalf("N: distributed %d, brute %d", dist.N, brute.N)
+	}
+	if dist.Region != brute.Region {
+		t.Fatalf("region: distributed %+v, brute %+v", dist.Region, brute.Region)
+	}
+	if !reflect.DeepEqual(dist.Pairs, brute.Pairs) {
+		t.Fatalf("pair counts diverge:\n distributed %v\n brute       %v", dist.Pairs, brute.Pairs)
+	}
+	if !reflect.DeepEqual(dist.Centers, brute.Centers) {
+		t.Fatalf("center counts diverge:\n distributed %v\n brute       %v", dist.Centers, brute.Centers)
+	}
+	for r := range dist.K {
+		for l := range dist.K[r] {
+			if math.Float64bits(dist.K[r][l]) != math.Float64bits(brute.K[r][l]) {
+				t.Fatalf("K[%d][%d]: distributed %v, brute %v (bits differ)",
+					r, l, dist.K[r][l], brute.K[r][l])
+			}
+		}
+	}
+}
+
+// TestPointPatSmoke is the make-check smoke: a tiny dataset, distributed
+// halo-corrected K bit-identical to the brute-force oracle, halo traffic
+// observed and accounted.
+func TestPointPatSmoke(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	pts := uniformPts(300, 42)
+	cfg := KConfig{
+		Grid:       Grid{Radii: []float64{0.5, 1, 2}, Lags: []int64{3600, 4 * 3600}},
+		Partitions: 4,
+	}
+	brute, err := BruteForceK(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := DistributedK(ctx, pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameK(t, dist, brute)
+	if dist.Partitions < 2 {
+		t.Fatalf("smoke should run multi-partition, got %d", dist.Partitions)
+	}
+	if dist.HaloPoints == 0 || dist.HaloBytes == 0 {
+		t.Fatal("expected halo traffic between adjacent partitions")
+	}
+	if dist.PairsTested >= brute.PairsTested {
+		t.Fatalf("distributed sweep tested %d pairs, not fewer than brute force's %d",
+			dist.PairsTested, brute.PairsTested)
+	}
+	snap := ctx.Metrics.Snapshot()
+	if snap.HaloPoints != dist.HaloPoints || snap.HaloBytes != dist.HaloBytes {
+		t.Fatalf("metrics halo (%d pts, %d bytes) != result (%d pts, %d bytes)",
+			snap.HaloPoints, snap.HaloBytes, dist.HaloPoints, dist.HaloBytes)
+	}
+	if snap.PairsTested != dist.PairsTested || snap.PairsCounted != dist.PairsCounted {
+		t.Fatalf("metrics pairs (%d/%d) != result (%d/%d)",
+			snap.PairsTested, snap.PairsCounted, dist.PairsTested, dist.PairsCounted)
+	}
+}
+
+// TestKExplain checks that a traced run surfaces the halo and pair-count
+// spans through the explain builder.
+func TestKExplain(t *testing.T) {
+	tr := trace.New()
+	ctx := engine.New(engine.Config{Slots: 2, Tracer: tr})
+	pts := uniformPts(200, 7)
+	cfg := KConfig{
+		Grid:       Grid{Radii: []float64{1, 2}, Lags: []int64{3600}},
+		Partitions: 3,
+	}
+	dist, err := DistributedK(ctx, pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := trace.Build(tr.Snapshot())
+	if e == nil || e.PointPat == nil {
+		t.Fatal("explain has no pointpat section")
+	}
+	if e.PointPat.Stat != "k" {
+		t.Fatalf("explain stat = %q, want k", e.PointPat.Stat)
+	}
+	if e.PointPat.HaloPoints != dist.HaloPoints || e.PointPat.HaloBytes != dist.HaloBytes {
+		t.Fatalf("explain halo (%d, %d) != result (%d, %d)",
+			e.PointPat.HaloPoints, e.PointPat.HaloBytes, dist.HaloPoints, dist.HaloBytes)
+	}
+	if e.PointPat.PairsTested != dist.PairsTested || e.PointPat.PairsCounted != dist.PairsCounted {
+		t.Fatalf("explain pairs (%d/%d) != result (%d/%d)",
+			e.PointPat.PairsTested, e.PointPat.PairsCounted, dist.PairsTested, dist.PairsCounted)
+	}
+}
+
+func TestKDegenerateInputs(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	cfg := KConfig{Grid: Grid{Radii: []float64{1}, Lags: []int64{60}}, Partitions: 3}
+	for _, pts := range [][]Point{nil, {{1, 1, 1}}, {{1, 1, 1}, {1, 1, 1}}} {
+		brute, err := BruteForceK(pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := DistributedK(ctx, pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameK(t, dist, brute)
+	}
+	if _, err := BruteForceK(nil, KConfig{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := DistributedK(ctx, nil, KConfig{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestGetisValidateAndHot(t *testing.T) {
+	if err := (GetisConfig{}).Validate(); err == nil {
+		t.Fatal("empty getis grid accepted")
+	}
+	grid := instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 4, 4), NX: 2, NY: 2},
+		Time:  instance.TimeGrid{Window: tempo.New(0, 99), NT: 1},
+	}
+	if err := (GetisConfig{Grid: grid, RadiusCells: -1}).Validate(); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	// A single dense cell should be the lone hot spot.
+	var pts []Point
+	for i := 0; i < 30; i++ {
+		pts = append(pts, Point{X: 0.5, Y: 0.5, T: int64(i)})
+	}
+	pts = append(pts, Point{X: 3.5, Y: 3.5, T: 5})
+	res, err := BruteForceGiStar(pts, GetisConfig{Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := res.Hot(1.5)
+	if len(hot) != 1 || hot[0].IX != 0 || hot[0].IY != 0 || hot[0].IT != 0 {
+		t.Fatalf("hot spots = %+v, want exactly cell (0,0,0)", hot)
+	}
+	if hot[0].Count != 30 {
+		t.Fatalf("hot cell count = %d, want 30", hot[0].Count)
+	}
+}
+
+func requireSameGetis(t *testing.T, dist, brute *GetisResult) {
+	t.Helper()
+	if !reflect.DeepEqual(dist.Counts, brute.Counts) {
+		t.Fatalf("cell counts diverge:\n distributed %v\n brute       %v", dist.Counts, brute.Counts)
+	}
+	for i := range dist.Z {
+		if math.Float64bits(dist.Z[i]) != math.Float64bits(brute.Z[i]) {
+			t.Fatalf("Z[%d]: distributed %v, brute %v (bits differ)", i, dist.Z[i], brute.Z[i])
+		}
+	}
+	if math.Float64bits(dist.Mean) != math.Float64bits(brute.Mean) ||
+		math.Float64bits(dist.Std) != math.Float64bits(brute.Std) {
+		t.Fatalf("moments diverge: distributed (%v, %v), brute (%v, %v)",
+			dist.Mean, dist.Std, brute.Mean, brute.Std)
+	}
+}
+
+func TestGetisSmoke(t *testing.T) {
+	ctx := engine.New(engine.Config{Slots: 2})
+	grid := instance.RasterGrid{
+		Space: instance.SpatialGrid{Extent: geom.Box(0, 0, 10, 10), NX: 5, NY: 5},
+		Time:  instance.TimeGrid{Window: tempo.New(0, 86399), NT: 4},
+	}
+	cfg := GetisConfig{Grid: grid, RadiusCells: 1, LagSlots: 1, Partitions: 3}
+	pts := uniformPts(400, 11)
+	brute, err := BruteForceGiStar(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := DistributedGiStar(ctx, pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGetis(t, dist, brute)
+	snap := ctx.Metrics.Snapshot()
+	if snap.PairsTested == 0 {
+		t.Fatal("getis scoring recorded no neighborhood visits in metrics")
+	}
+}

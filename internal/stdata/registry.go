@@ -10,6 +10,7 @@ import (
 	"st4ml/internal/engine"
 	"st4ml/internal/index"
 	"st4ml/internal/partition"
+	"st4ml/internal/pointpat"
 	"st4ml/internal/selection"
 	"st4ml/internal/storage"
 	"st4ml/internal/summary"
@@ -145,6 +146,11 @@ type Schema interface {
 	ServeQuery(ctx *engine.Context, dir string, meta *storage.Metadata,
 		fetch func(id int) (Partition, error), w selection.Window,
 		opts QueryOptions) (QueryResult, error)
+	// SelectPoints runs the pruned window selection and projects each match
+	// onto its pattern observation — the record's ST box center — the input
+	// shape of the point-pattern statistics (stquery -pointpat).
+	SelectPoints(ctx *engine.Context, dir string,
+		w selection.Window) ([]pointpat.Point, selection.Stats, error)
 	// ApproxQuery answers an aggregate from summary sidecars with a
 	// deterministic error envelope (see internal/summary). Exactly one of
 	// the returns is non-nil on success: a finalized Result, or — when
@@ -258,6 +264,22 @@ func (s schema[T]) ReadDelta(
 		raw[i] = b
 	}
 	return boxes, raw, nil
+}
+
+func (s schema[T]) SelectPoints(
+	ctx *engine.Context, dir string, w selection.Window,
+) ([]pointpat.Point, selection.Stats, error) {
+	sel := selection.New(ctx, s.spec.Codec, s.spec.BoxOf, nil, selection.Config{Index: true})
+	rdd, st, err := sel.SelectPruned(dir, w)
+	if err != nil {
+		return nil, st, err
+	}
+	boxOf := s.spec.BoxOf
+	pts := engine.Map(rdd, func(rec T) pointpat.Point {
+		c := boxOf(rec).Center()
+		return pointpat.Point{X: c[0], Y: c[1], T: int64(c[2])}
+	}).Collect()
+	return pts, st, nil
 }
 
 func (s schema[T]) Compact(dir string, opts storage.CompactOptions) (storage.CompactStats, error) {

@@ -60,6 +60,13 @@ const (
 	// exact scans, or a transparent exact fallback.
 	SpanApprox     = "approx"
 	SpanApproxPart = "approx:partition"
+	// SpanPointPatHalo is one partition halo exchange of a point-pattern
+	// statistic: attrs carry the rim points duplicated to neighbor
+	// partitions and their encoded byte volume. SpanPointPatPairs is the
+	// neighborhood pair-counting stage that follows: attrs carry candidate
+	// pairs tested and (pair, grid-cell) matches recorded.
+	SpanPointPatHalo  = "pointpat:halo"
+	SpanPointPatPairs = "pointpat:paircount"
 )
 
 // StageExplain is the per-stage line of an explain report.
@@ -134,6 +141,10 @@ type Explain struct {
 	// across shards.
 	Approx *ApproxExplain `json:"approx,omitempty"`
 
+	// PointPat is the point-pattern analytics report: halo-exchange and
+	// pair-counting totals; nil outside a pointpat evaluation.
+	PointPat *PointPatExplain `json:"pointpat,omitempty"`
+
 	// Scatter is the cluster router's fan-out report; nil outside a routed
 	// query. The shard spans it summarizes are grafted into the same dump,
 	// so the block/partition/record counters above already include the
@@ -168,6 +179,22 @@ type ApproxPartExplain struct {
 	SummaryBlocks  int64  `json:"summary_blocks"`
 	ScannedBlocks  int64  `json:"scanned_blocks"`
 	ScannedRecords int64  `json:"scanned_records"`
+}
+
+// PointPatExplain is the point-pattern section of an explain report: what
+// the boundary-correcting halo exchange shipped and what the neighborhood
+// counters did with it.
+type PointPatExplain struct {
+	// Stat names the statistic ("k" or "getis").
+	Stat string `json:"stat,omitempty"`
+	// HaloPoints and HaloBytes count rim points duplicated to neighbor
+	// partitions and their encoded volume across the exchange.
+	HaloPoints int64 `json:"halo_points"`
+	HaloBytes  int64 `json:"halo_bytes"`
+	// PairsTested counts candidate pairs whose distance predicate ran;
+	// PairsCounted counts the (pair, grid-cell) matches recorded.
+	PairsTested  int64 `json:"pairs_tested"`
+	PairsCounted int64 `json:"pairs_counted"`
 }
 
 // ScatterExplain summarizes a routed query's fan-out: how many shards the
@@ -302,6 +329,32 @@ func Build(spans []SpanRecord) *Explain {
 			p.ScannedBlocks, _ = s.Int("scanned_blocks")
 			p.ScannedRecords, _ = s.Int("scanned_records")
 			e.Approx.Parts = append(e.Approx.Parts, p)
+		case s.Name == SpanPointPatHalo:
+			if e.PointPat == nil {
+				e.PointPat = &PointPatExplain{}
+			}
+			if v, ok := s.Str("stat"); ok {
+				e.PointPat.Stat = v
+			}
+			if v, ok := s.Int("halo_points"); ok {
+				e.PointPat.HaloPoints += v
+			}
+			if v, ok := s.Int("halo_bytes"); ok {
+				e.PointPat.HaloBytes += v
+			}
+		case s.Name == SpanPointPatPairs:
+			if e.PointPat == nil {
+				e.PointPat = &PointPatExplain{}
+			}
+			if v, ok := s.Str("stat"); ok {
+				e.PointPat.Stat = v
+			}
+			if v, ok := s.Int("pairs_tested"); ok {
+				e.PointPat.PairsTested += v
+			}
+			if v, ok := s.Int("pairs_counted"); ok {
+				e.PointPat.PairsCounted += v
+			}
 		case s.Name == SpanScatter:
 			// The router plans from the same metadata a single node would,
 			// so its scatter span carries the partition-prune outcome; the
@@ -442,6 +495,11 @@ func (e *Explain) Fprint(w io.Writer) {
 			fmt.Fprintf(w, "  partition %d: %s (%d summary blocks, %d scanned, %d records)\n",
 				p.ID, p.Source, p.SummaryBlocks, p.ScannedBlocks, p.ScannedRecords)
 		}
+	}
+	if e.PointPat != nil {
+		fmt.Fprintf(w, "pointpat: stat=%s; halo %d points (%d bytes); %d pairs tested, %d counted\n",
+			e.PointPat.Stat, e.PointPat.HaloPoints, e.PointPat.HaloBytes,
+			e.PointPat.PairsTested, e.PointPat.PairsCounted)
 	}
 	if e.Scatter != nil {
 		fmt.Fprintf(w, "scatter: %d/%d shards; %d hedged, %d failovers, %d replans\n",
